@@ -1,0 +1,41 @@
+// Eqs. 6–8 (paper Sec. 4): the analytical feedback cost model that motivates
+// e-DSUD's selective feedback.  Prints H(d, N), N_back = (m−1)·H(d, N) and
+// N_local = (m−1)·H(d, N/m) for the Table 3 parameter grid, showing
+// N_back > N_local — naive feedback costs more than shipping every local
+// skyline.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "skyline/cardinality.hpp"
+
+int main() {
+  using namespace dsud;
+  using namespace dsud::bench;
+
+  const Scale scale = defaultScale();
+  const std::size_t n =
+      envOr("DSUD_SCALE", std::string{}) == "paper" ? 2'000'000 : scale.n;
+
+  printTitle("Eq. 6: expected skyline cardinality H(d, N)");
+  printHeader({"N", "d=2", "d=3", "d=4", "d=5"});
+  for (const std::size_t nn :
+       {n / 100, n / 10, n, n * 10}) {
+    printRow(std::to_string(nn), expectedSkylineCardinality(2, nn),
+             expectedSkylineCardinality(3, nn),
+             expectedSkylineCardinality(4, nn),
+             expectedSkylineCardinality(5, nn));
+  }
+
+  printTitle("Eqs. 7-8: N_back vs N_local (d = 3, N = " + std::to_string(n) +
+             ")");
+  printHeader({"m", "N_back", "N_local", "ratio"});
+  for (const std::size_t m : {40u, 60u, 80u, 100u}) {
+    const double nBack = expectedFeedbackTuples(3, n, m);
+    const double nLocal = expectedLocalSkylineTuples(3, n, m);
+    printRow(std::to_string(m), nBack, nLocal, nBack / nLocal);
+  }
+  std::printf(
+      "\nN_back > N_local for every m: feedback must be *selective* "
+      "(the e-DSUD design point).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 9 (paper Sec. 7.2): bandwidth vs the number of local sites
+// m = 40..100 (d = 3, q = 0.3), Independent and Anticorrelated.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dsud;
+using namespace dsud::bench;
+
+void runPanel(const Scale& scale, ValueDistribution dist, char panel) {
+  printTitle(std::string("Fig. 9") + panel + ": bandwidth vs site count (" +
+             distributionName(dist) + ")");
+  printHeader({"m", "DSUD", "e-DSUD", "|SKY|"});
+
+  QueryConfig config;
+  config.q = scale.q;
+  const Dataset global =
+      generateSynthetic(SyntheticSpec{scale.n, 3, dist, scale.seed + 90});
+  for (std::size_t m : {40u, 60u, 80u, 100u}) {
+    const Point dsud = averagePoint(global, m, scale.repeats, Algo::kDsud,
+                                    config, scale.seed);
+    const Point edsud = averagePoint(global, m, scale.repeats, Algo::kEdsud,
+                                     config, scale.seed);
+    printRow(std::to_string(m), dsud.tuples, edsud.tuples, edsud.skyline);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = defaultScale();
+  printScale(scale);
+  runPanel(scale, ValueDistribution::kIndependent, 'a');
+  runPanel(scale, ValueDistribution::kAnticorrelated, 'b');
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 11 (paper Sec. 7.4): the NYSE stock-trace experiments.
+//   11a: bandwidth vs number of sites m (uniform probabilities, q = 0.3)
+//   11b: bandwidth vs threshold q        (uniform probabilities, m = 60)
+//   11c: bandwidth vs Gaussian mean μ    (σ = 0.2, q = 0.3, m = 60)
+//   11d: |SKY| vs Gaussian mean μ        (both algorithms report the same
+//        count — only the bandwidth differs)
+// The trace itself is the documented synthetic substitution for the
+// proprietary Dell/NYSE data (DESIGN.md Sec. 5).
+#include "bench_util.hpp"
+
+#include "gen/probability.hpp"
+
+namespace {
+
+using namespace dsud;
+using namespace dsud::bench;
+
+void panelA(const Scale& scale, const Dataset& trace) {
+  printTitle("Fig. 11a: NYSE bandwidth vs site count (uniform probs)");
+  printHeader({"m", "DSUD", "e-DSUD", "|SKY|"});
+  QueryConfig config;
+  config.q = scale.q;
+  for (std::size_t m : {40u, 60u, 80u, 100u}) {
+    const Point dsud =
+        averagePoint(trace, m, scale.repeats, Algo::kDsud, config, scale.seed);
+    const Point edsud =
+        averagePoint(trace, m, scale.repeats, Algo::kEdsud, config, scale.seed);
+    printRow(std::to_string(m), dsud.tuples, edsud.tuples, edsud.skyline);
+  }
+}
+
+void panelB(const Scale& scale, const Dataset& trace) {
+  printTitle("Fig. 11b: NYSE bandwidth vs threshold q (uniform probs)");
+  printHeader({"q", "DSUD", "e-DSUD", "|SKY|"});
+  for (const double q : {0.3, 0.5, 0.7, 0.9}) {
+    QueryConfig config;
+    config.q = q;
+    const Point dsud = averagePoint(trace, scale.m, scale.repeats, Algo::kDsud,
+                                    config, scale.seed);
+    const Point edsud = averagePoint(trace, scale.m, scale.repeats,
+                                     Algo::kEdsud, config, scale.seed);
+    char label[8];
+    std::snprintf(label, sizeof(label), "%.1f", q);
+    printRow(std::string(label), dsud.tuples, edsud.tuples, edsud.skyline);
+  }
+}
+
+void panelsCD(const Scale& scale) {
+  printTitle("Fig. 11c/11d: NYSE vs Gaussian probability mean (sigma = 0.2)");
+  printHeader({"mu", "DSUD", "e-DSUD", "|SKY| DSUD", "|SKY| e-DSUD"});
+  QueryConfig config;
+  config.q = scale.q;
+  for (const double mu : {0.3, 0.5, 0.7, 0.9}) {
+    const Dataset trace = generateNyse(NyseSpec{scale.n, scale.seed + 110},
+                                       gaussianProbability(mu, 0.2));
+    const Point dsud = averagePoint(trace, scale.m, scale.repeats, Algo::kDsud,
+                                    config, scale.seed);
+    const Point edsud = averagePoint(trace, scale.m, scale.repeats,
+                                     Algo::kEdsud, config, scale.seed);
+    char label[8];
+    std::snprintf(label, sizeof(label), "%.1f", mu);
+    printRow(std::string(label), dsud.tuples, edsud.tuples, dsud.skyline,
+             edsud.skyline);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = defaultScale();
+  printScale(scale);
+  const Dataset trace = generateNyse(NyseSpec{scale.n, scale.seed + 110});
+  panelA(scale, trace);
+  panelB(scale, trace);
+  panelsCD(scale);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks M1 + ablation A3: PR-tree construction, maintenance, and
+// the two dominance-product query paths (aggregate descent vs the paper's
+// enumerating window query).
+#include <benchmark/benchmark.h>
+
+#include "gen/synthetic.hpp"
+#include "index/prtree.hpp"
+
+namespace {
+
+using namespace dsud;
+
+Dataset makeData(std::size_t n, std::size_t dims) {
+  return generateSynthetic(
+      SyntheticSpec{n, dims, ValueDistribution::kIndependent, 9001});
+}
+
+void BM_BulkLoad(benchmark::State& state) {
+  const Dataset data = makeData(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    PRTree tree = PRTree::bulkLoad(data);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BulkLoad)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DynamicInsert(benchmark::State& state) {
+  const Dataset data = makeData(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    PRTree tree(3);
+    for (std::size_t row = 0; row < data.size(); ++row) {
+      tree.insert(data.id(row), data.values(row), data.prob(row));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DynamicInsert)->Arg(1000)->Arg(10000);
+
+void BM_Erase(benchmark::State& state) {
+  const Dataset data = makeData(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PRTree tree = PRTree::bulkLoad(data);
+    state.ResumeTiming();
+    for (std::size_t row = 0; row < data.size(); ++row) {
+      std::vector<double> v(data.values(row).begin(), data.values(row).end());
+      tree.erase(data.id(row), v);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Erase)->Arg(1000)->Arg(10000);
+
+void BM_DominanceSurvivalAggregate(benchmark::State& state) {
+  const Dataset data = makeData(static_cast<std::size_t>(state.range(0)), 3);
+  const PRTree tree = PRTree::bulkLoad(data);
+  Rng rng(7);
+  std::vector<std::array<double, 3>> probes(256);
+  for (auto& p : probes) {
+    for (auto& x : p) x = rng.uniform();
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = probes[i++ & 255];
+    benchmark::DoNotOptimize(
+        tree.dominanceSurvival(std::span<const double>(p.data(), 3)));
+  }
+}
+BENCHMARK(BM_DominanceSurvivalAggregate)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_DominanceSurvivalEnumerate(benchmark::State& state) {
+  // Ablation A3: the paper's window-query formulation — enumerate every
+  // dominating tuple and multiply (Sec. 6.3, Fig. 6).
+  const Dataset data = makeData(static_cast<std::size_t>(state.range(0)), 3);
+  const PRTree tree = PRTree::bulkLoad(data);
+  Rng rng(7);
+  std::vector<std::array<double, 3>> probes(256);
+  for (auto& p : probes) {
+    for (auto& x : p) x = rng.uniform();
+  }
+  std::size_t i = 0;
+  const DimMask mask = fullMask(3);
+  for (auto _ : state) {
+    const auto& p = probes[i++ & 255];
+    double survival = 1.0;
+    tree.forEachDominating(std::span<const double>(p.data(), 3), mask,
+                           [&](const PRTree::LeafEntry& e) {
+                             survival *= 1.0 - e.prob;
+                           });
+    benchmark::DoNotOptimize(survival);
+  }
+}
+BENCHMARK(BM_DominanceSurvivalEnumerate)->Arg(10000)->Arg(100000);
+
+void BM_WindowQuery(benchmark::State& state) {
+  const Dataset data = makeData(static_cast<std::size_t>(state.range(0)), 3);
+  const PRTree tree = PRTree::bulkLoad(data);
+  Rect window(3);
+  const std::array<double, 3> lo = {0.2, 0.2, 0.2};
+  const std::array<double, 3> hi = {0.4, 0.4, 0.4};
+  window.expand(lo);
+  window.expand(hi);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    tree.windowQuery(window, [&](const PRTree::LeafEntry&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_WindowQuery)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

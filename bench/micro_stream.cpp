@@ -1,0 +1,88 @@
+// Microbenchmarks M3: streaming and cube machinery — sliding-window
+// maintenance throughput, candidate-test cost, skycube construction, and
+// the Monte Carlo estimator's world rate.
+#include <benchmark/benchmark.h>
+
+#include "gen/nyse.hpp"
+#include "gen/synthetic.hpp"
+#include "skyline/monte_carlo.hpp"
+#include "skyline/skycube.hpp"
+#include "skyline/stream.hpp"
+
+namespace {
+
+using namespace dsud;
+
+void BM_SlidingWindowAppend(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  const Dataset trace = generateNyse(NyseSpec{window + (1u << 14), 9100});
+  SlidingWindowSkyline stream(2, window, 0.3);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    stream.append(trace.tuple(row));
+    row = (row + 1) % trace.size();
+    if (row == 0) {
+      // Ids repeat once the trace wraps; rebuild to keep them unique.
+      state.PauseTiming();
+      stream = SlidingWindowSkyline(2, window, 0.3);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingWindowAppend)->Arg(1024)->Arg(16384);
+
+void BM_SlidingWindowQuery(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  const Dataset trace = generateNyse(NyseSpec{window, 9101});
+  SlidingWindowSkyline stream(2, window, 0.3);
+  for (std::size_t row = 0; row < trace.size(); ++row) {
+    stream.append(trace.tuple(row));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.skyline().size());
+  }
+}
+BENCHMARK(BM_SlidingWindowQuery)->Arg(1024)->Arg(16384);
+
+void BM_CandidateCount(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  const Dataset trace = generateNyse(NyseSpec{window, 9102});
+  SlidingWindowSkyline stream(2, window, 0.3);
+  for (std::size_t row = 0; row < trace.size(); ++row) {
+    stream.append(trace.tuple(row));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.candidateCount());
+  }
+}
+BENCHMARK(BM_CandidateCount)->Arg(1024)->Arg(4096);
+
+void BM_SkycubeConstruction(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{20000, d, ValueDistribution::kIndependent, 9103});
+  const PRTree tree = PRTree::bulkLoad(data);
+  for (auto _ : state) {
+    const Skycube cube(tree, 0.3);
+    benchmark::DoNotOptimize(cube.cuboidCount());
+  }
+}
+BENCHMARK(BM_SkycubeConstruction)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_MonteCarloWorlds(benchmark::State& state) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{static_cast<std::size_t>(state.range(0)), 3,
+                    ValueDistribution::kIndependent, 9104});
+  Rng rng(9105);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        skylineProbabilitiesMonteCarlo(data, 100, rng).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_MonteCarloWorlds)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

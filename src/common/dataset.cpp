@@ -1,0 +1,81 @@
+#include "common/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace dsud {
+
+Dataset::Dataset(std::size_t dims) : dims_(dims) {
+  if (dims == 0) throw std::invalid_argument("Dataset: dims must be >= 1");
+}
+
+std::size_t Dataset::add(TupleId id, std::span<const double> values,
+                         double prob) {
+  if (values.size() != dims_) {
+    throw std::invalid_argument("Dataset::add: expected " +
+                                std::to_string(dims_) + " values, got " +
+                                std::to_string(values.size()));
+  }
+  if (!(prob > 0.0) || prob > 1.0) {
+    throw std::invalid_argument("Dataset::add: probability must be in (0, 1]");
+  }
+  if (!rowOf_.emplace(id, probs_.size()).second) {
+    throw std::invalid_argument("Dataset::add: duplicate id " +
+                                std::to_string(id));
+  }
+  flat_.insert(flat_.end(), values.begin(), values.end());
+  probs_.push_back(prob);
+  ids_.push_back(id);
+  nextId_ = std::max(nextId_, id + 1);
+  return probs_.size() - 1;
+}
+
+std::size_t Dataset::add(std::span<const double> values, double prob) {
+  return add(nextId_, values, prob);
+}
+
+std::span<const double> Dataset::values(std::size_t row) const noexcept {
+  return {flat_.data() + row * dims_, dims_};
+}
+
+TupleRef Dataset::at(std::size_t row) const noexcept {
+  return TupleRef{ids_[row], values(row), probs_[row]};
+}
+
+std::optional<std::size_t> Dataset::rowOf(TupleId id) const {
+  auto it = rowOf_.find(id);
+  if (it == rowOf_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Dataset::eraseRow(std::size_t row) {
+  if (row >= size()) throw std::out_of_range("Dataset::eraseRow");
+  const std::size_t last = size() - 1;
+  rowOf_.erase(ids_[row]);
+  if (row != last) {
+    std::copy_n(flat_.data() + last * dims_, dims_, flat_.data() + row * dims_);
+    probs_[row] = probs_[last];
+    ids_[row] = ids_[last];
+    rowOf_[ids_[row]] = row;
+  }
+  flat_.resize(last * dims_);
+  probs_.pop_back();
+  ids_.pop_back();
+}
+
+bool Dataset::eraseId(TupleId id) {
+  auto it = rowOf_.find(id);
+  if (it == rowOf_.end()) return false;
+  eraseRow(it->second);
+  return true;
+}
+
+void Dataset::reserve(std::size_t n) {
+  flat_.reserve(n * dims_);
+  probs_.reserve(n);
+  ids_.reserve(n);
+  rowOf_.reserve(n);
+}
+
+}  // namespace dsud

@@ -1,0 +1,174 @@
+#include "common/io.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "geometry/dominance.hpp"  // kMaxDims
+
+namespace dsud {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'U', 'D'};
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw IoError(what + ": " + path);
+}
+
+}  // namespace
+
+void saveDatasetBinary(const Dataset& data, const std::string& path) {
+  ByteWriter w(32 + data.size() * (16 + data.dims() * 8));
+  for (const char c : kMagic) w.putU8(static_cast<std::uint8_t>(c));
+  w.putU32(kDatasetFormatVersion);
+  w.putU32(static_cast<std::uint32_t>(data.dims()));
+  w.putU64(data.size());
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    w.putU64(data.id(row));
+    w.putF64(data.prob(row));
+    for (const double v : data.values(row)) w.putF64(v);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("saveDatasetBinary: cannot open", path);
+  out.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.size()));
+  if (!out) fail("saveDatasetBinary: write failed", path);
+}
+
+Dataset loadDatasetBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("loadDatasetBinary: cannot open", path);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  if (in.bad()) fail("loadDatasetBinary: read failed", path);
+
+  try {
+    ByteReader r(std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(raw.data()), raw.size()));
+    for (const char c : kMagic) {
+      if (r.getU8() != static_cast<std::uint8_t>(c)) {
+        fail("loadDatasetBinary: bad magic", path);
+      }
+    }
+    const std::uint32_t version = r.getU32();
+    if (version != kDatasetFormatVersion) {
+      fail("loadDatasetBinary: unsupported version " + std::to_string(version),
+           path);
+    }
+    const std::uint32_t dims = r.getU32();
+    if (dims == 0 || dims > kMaxDims) {
+      fail("loadDatasetBinary: dims out of range", path);
+    }
+    const std::uint64_t count = r.getU64();
+
+    Dataset data(dims);
+    data.reserve(count);
+    std::vector<double> values(dims);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const TupleId id = r.getU64();
+      const double prob = r.getF64();
+      for (std::uint32_t j = 0; j < dims; ++j) values[j] = r.getF64();
+      data.add(id, values, prob);  // validates probability and uniqueness
+    }
+    r.expectEnd();
+    return data;
+  } catch (const SerializeError& e) {
+    fail(std::string("loadDatasetBinary: ") + e.what(), path);
+  } catch (const std::invalid_argument& e) {
+    fail(std::string("loadDatasetBinary: ") + e.what(), path);
+  }
+}
+
+void saveDatasetCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) fail("saveDatasetCsv: cannot open", path);
+  out << "id,prob";
+  for (std::size_t j = 0; j < data.dims(); ++j) out << ",v" << j;
+  out << '\n';
+  out.precision(17);
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    out << data.id(row) << ',' << data.prob(row);
+    for (const double v : data.values(row)) out << ',' << v;
+    out << '\n';
+  }
+  if (!out) fail("saveDatasetCsv: write failed", path);
+}
+
+Dataset loadDatasetCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("loadDatasetCsv: cannot open", path);
+
+  std::string line;
+  std::size_t lineNo = 0;
+  std::vector<std::vector<double>> rows;
+  std::vector<TupleId> ids;
+  std::vector<double> probs;
+  std::size_t dims = 0;
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::stringstream fields(line);
+    std::string field;
+    std::vector<std::string> parts;
+    while (std::getline(fields, field, ',')) parts.push_back(field);
+    if (parts.size() < 3) {
+      fail("loadDatasetCsv: line " + std::to_string(lineNo) +
+               " needs id,prob,values...",
+           path);
+    }
+
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long id = std::strtoull(parts[0].c_str(), &end, 10);
+    if (end == parts[0].c_str() || *end != '\0' || errno == ERANGE) {
+      if (lineNo == 1) continue;  // header line
+      fail("loadDatasetCsv: bad id at line " + std::to_string(lineNo), path);
+    }
+
+    std::vector<double> numeric;
+    numeric.reserve(parts.size() - 1);
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      end = nullptr;
+      const double v = std::strtod(parts[i].c_str(), &end);
+      if (end == parts[i].c_str() || *end != '\0') {
+        fail("loadDatasetCsv: bad number at line " + std::to_string(lineNo),
+             path);
+      }
+      numeric.push_back(v);
+    }
+
+    if (dims == 0) {
+      dims = numeric.size() - 1;
+      if (dims == 0 || dims > kMaxDims) {
+        fail("loadDatasetCsv: dims out of range", path);
+      }
+    } else if (numeric.size() - 1 != dims) {
+      fail("loadDatasetCsv: ragged row at line " + std::to_string(lineNo),
+           path);
+    }
+    ids.push_back(id);
+    probs.push_back(numeric[0]);
+    rows.emplace_back(numeric.begin() + 1, numeric.end());
+  }
+  if (in.bad()) fail("loadDatasetCsv: read failed", path);
+  if (dims == 0) fail("loadDatasetCsv: no data rows", path);
+
+  Dataset data(dims);
+  data.reserve(rows.size());
+  try {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      data.add(ids[i], rows[i], probs[i]);
+    }
+  } catch (const std::invalid_argument& e) {
+    fail(std::string("loadDatasetCsv: ") + e.what(), path);
+  }
+  return data;
+}
+
+}  // namespace dsud

@@ -1,0 +1,35 @@
+// Dataset persistence: a compact binary format and CSV import/export.
+//
+// Binary layout (little-endian): magic "DSUD", u32 version, u32 dims,
+// u64 count, then per tuple: u64 id, f64 prob, dims x f64 values.  The
+// loader validates the header and every probability, so a truncated or
+// corrupt file fails loudly instead of yielding a half-read database.
+//
+// CSV layout: optional header line, then `id,prob,v0,v1,...` rows.  The
+// importer skips a non-numeric first line, accepts scientific notation, and
+// reports the offending line number on malformed input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/dataset.hpp"
+
+namespace dsud {
+
+/// Error raised on any load/save failure (I/O or format).
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Current binary format version.
+inline constexpr std::uint32_t kDatasetFormatVersion = 1;
+
+void saveDatasetBinary(const Dataset& data, const std::string& path);
+Dataset loadDatasetBinary(const std::string& path);
+
+void saveDatasetCsv(const Dataset& data, const std::string& path);
+Dataset loadDatasetCsv(const std::string& path);
+
+}  // namespace dsud

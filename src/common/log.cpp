@@ -1,0 +1,55 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace dsud {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* levelTag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel logLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void logMessage(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[dsud ";
+  line += levelTag(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+namespace detail {
+
+LogLine::~LogLine() {
+  if (enabled()) logMessage(level_, stream_.str());
+}
+
+}  // namespace detail
+}  // namespace dsud

@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The library itself logs nothing at Info or below on hot paths; logging is
+// used by examples, benches, and the TCP transport for operational events.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace dsud {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level (default kInfo).  Thread-safe.
+void setLogLevel(LogLevel level) noexcept;
+LogLevel logLevel() noexcept;
+
+/// Emits one line to stderr with a level tag; thread-safe (single write call).
+void logMessage(LogLevel level, std::string_view msg);
+
+namespace detail {
+
+/// Stream-style builder: `LogLine(LogLevel::kInfo) << "x=" << x;` emits on
+/// destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled()) stream_ << v;
+    return *this;
+  }
+
+  bool enabled() const noexcept {
+    return static_cast<int>(level_) >= static_cast<int>(logLevel());
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace dsud
+
+#define DSUD_LOG(level) ::dsud::detail::LogLine(::dsud::LogLevel::level)

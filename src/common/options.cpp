@@ -1,0 +1,79 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+
+namespace dsud {
+
+std::int64_t envOr(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return v;
+}
+
+double envOr(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return fallback;
+  return v;
+}
+
+std::string envOr(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return raw;
+}
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.substr(0, 2) == "--") {
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        options_.emplace(std::string(arg), "true");
+      } else {
+        options_.emplace(std::string(arg.substr(0, eq)),
+                         std::string(arg.substr(eq + 1)));
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+bool ArgParser::has(std::string_view key) const {
+  return options_.find(key) != options_.end();
+}
+
+std::string ArgParser::get(std::string_view key, std::string fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return it->second;
+}
+
+std::int64_t ArgParser::getInt(std::string_view key,
+                               std::int64_t fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+double ArgParser::getDouble(std::string_view key, double fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+}  // namespace dsud

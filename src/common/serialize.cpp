@@ -1,0 +1,68 @@
+#include "common/serialize.hpp"
+
+namespace dsud {
+
+void ByteWriter::putBytes(std::span<const std::byte> bytes) {
+  putU32(static_cast<std::uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::putString(std::string_view s) {
+  putU32(static_cast<std::uint32_t>(s.size()));
+  const auto* data = reinterpret_cast<const std::byte*>(s.data());
+  buf_.insert(buf_.end(), data, data + s.size());
+}
+
+void ByteWriter::putF64Vector(std::span<const double> v) {
+  putU32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) putF64(x);
+}
+
+std::uint8_t ByteReader::getU8() {
+  require(1);
+  return std::to_integer<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::vector<std::byte> ByteReader::getBytes() {
+  const std::uint32_t n = getU32();
+  require(n);
+  std::vector<std::byte> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             bytes_.begin() +
+                                 static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::getString() {
+  const std::uint32_t n = getU32();
+  require(n);
+  std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<double> ByteReader::getF64Vector() {
+  const std::uint32_t n = getU32();
+  require(static_cast<std::size_t>(n) * sizeof(double));
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(getF64());
+  return out;
+}
+
+void ByteReader::expectEnd() const {
+  if (!atEnd()) {
+    throw SerializeError("ByteReader: " + std::to_string(remaining()) +
+                         " trailing bytes after message");
+  }
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw SerializeError("ByteReader: truncated input (need " +
+                         std::to_string(n) + " bytes, have " +
+                         std::to_string(remaining()) + ")");
+  }
+}
+
+}  // namespace dsud

@@ -1,0 +1,28 @@
+// Monotonic wall-clock stopwatch used for progressiveness and update-latency
+// measurements (paper Figs. 12–14).
+#pragma once
+
+#include <chrono>
+
+namespace dsud {
+
+/// Started on construction; `elapsed*()` reads do not stop it.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  double elapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsedMillis() const noexcept { return elapsedSeconds() * 1e3; }
+  double elapsedMicros() const noexcept { return elapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dsud

@@ -1,0 +1,143 @@
+// Internal: the coordinator-side candidate queue with Observation-2 /
+// Corollary-2 upper-bound tracking, shared by e-DSUD (Sec. 5.2) and the
+// top-k extension.  Not part of the public API.
+//
+// Every candidate ever added is retained as a *witness*: for a later
+// candidate s and a witness t ∈ D_x (x ≠ s's site) with t ≺ s,
+//
+//     P_sky(s, D_x) <= P_sky(t, D_x) / P(t) · (1 − P(t))      (Observation 2)
+//
+// and for a witness with exact global probability (a confirmed answer),
+//
+//     P_gsky(s) <= P(s) · P_gsky(t) / P(t) · (1 − P(t))       (Corollary 2)
+//
+// both stay valid forever (they are facts about the witness's database), so
+// bounds only tighten over time.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace dsud::internal {
+
+/// Candidate queue with per-entry global-probability upper bounds.
+class BoundQueue {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  BoundQueue(DimMask mask, FeedbackBound bound)
+      : mask_(mask),
+        useWitnesses_(bound != FeedbackBound::kNone),
+        useConfirmed_(bound == FeedbackBound::kQueuedAndConfirmed) {}
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  const Candidate& candidate(std::size_t i) const { return entries_[i].c; }
+
+  double upperBound(std::size_t i) const {
+    const Entry& e = entries_[i];
+    double ub = e.c.localSkyProb;
+    for (const auto& [site, factor] : e.siteFactor) ub *= factor;
+    return std::min(ub, e.confirmedCap);
+  }
+
+  /// Adds a candidate, applying all retained witnesses to it and it to the
+  /// current entries.
+  void add(Candidate c) {
+    Entry entry;
+    entry.c = std::move(c);
+    if (useWitnesses_) {
+      for (const Candidate& w : witnesses_) applyWitness(entry, w);
+      for (Entry& other : entries_) applyWitness(other, entry.c);
+    }
+    if (useConfirmed_) {
+      for (const Confirmed& w : confirmed_) applyConfirmed(entry, w);
+    }
+    witnesses_.push_back(entry.c);
+    entries_.push_back(std::move(entry));
+  }
+
+  /// Index of the entry with the largest local skyline probability among
+  /// those with upperBound >= threshold; npos when none qualifies.
+  std::size_t selectQualified(double threshold) const {
+    std::size_t best = npos;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (upperBound(i) < threshold) continue;
+      if (best == npos ||
+          entries_[i].c.localSkyProb > entries_[best].c.localSkyProb ||
+          (entries_[i].c.localSkyProb == entries_[best].c.localSkyProb &&
+           entries_[i].c.tuple.id < entries_[best].c.tuple.id)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  /// Index of any entry with upperBound < threshold; npos when none.
+  std::size_t findExpungeable(double threshold) const {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (upperBound(i) < threshold) return i;
+    }
+    return npos;
+  }
+
+  /// Removes and returns entry i's candidate.
+  Candidate take(std::size_t i) {
+    Candidate c = std::move(entries_[i].c);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return c;
+  }
+
+  /// Registers an exact global probability; tightens remaining entries.
+  void confirm(const Tuple& tuple, double globalSkyProb) {
+    if (!useConfirmed_) return;
+    const Confirmed witness{tuple, globalSkyProb};
+    for (Entry& e : entries_) applyConfirmed(e, witness);
+    confirmed_.push_back(witness);
+  }
+
+ private:
+  struct Entry {
+    Candidate c;
+    std::unordered_map<SiteId, double> siteFactor;  // min per external site
+    double confirmedCap = 1.0;
+  };
+  struct Confirmed {
+    Tuple tuple;
+    double globalSkyProb;
+  };
+
+  static double witnessFactor(const Candidate& t) noexcept {
+    return t.localSkyProb / t.tuple.prob * (1.0 - t.tuple.prob);
+  }
+
+  void applyWitness(Entry& entry, const Candidate& witness) const {
+    if (witness.site == entry.c.site) return;
+    if (!dominates(witness.tuple.values, entry.c.tuple.values, mask_)) return;
+    const double factor = std::min(1.0, witnessFactor(witness));
+    auto [it, inserted] = entry.siteFactor.emplace(witness.site, factor);
+    if (!inserted) it->second = std::min(it->second, factor);
+  }
+
+  void applyConfirmed(Entry& entry, const Confirmed& witness) const {
+    if (!dominates(witness.tuple.values, entry.c.tuple.values, mask_)) return;
+    entry.confirmedCap = std::min(
+        entry.confirmedCap, entry.c.tuple.prob * witness.globalSkyProb /
+                                witness.tuple.prob *
+                                (1.0 - witness.tuple.prob));
+  }
+
+  DimMask mask_;
+  bool useWitnesses_;
+  bool useConfirmed_;
+  std::vector<Entry> entries_;
+  std::vector<Candidate> witnesses_;
+  std::vector<Confirmed> confirmed_;
+};
+
+}  // namespace dsud::internal

@@ -1,0 +1,47 @@
+#include "core/cluster.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "gen/partition.hpp"
+#include "net/inproc_transport.hpp"
+
+namespace dsud {
+
+InProcCluster::InProcCluster(const Dataset& global, std::size_t m,
+                             std::uint64_t seed, PRTree::Options treeOptions) {
+  Rng rng(seed);
+  build(partitionUniform(global, m, rng), treeOptions);
+}
+
+InProcCluster::InProcCluster(const std::vector<Dataset>& siteData,
+                             PRTree::Options treeOptions) {
+  build(siteData, treeOptions);
+}
+
+void InProcCluster::build(const std::vector<Dataset>& siteData,
+                          PRTree::Options options) {
+  if (siteData.empty()) {
+    throw std::invalid_argument("InProcCluster: at least one site required");
+  }
+  dims_ = siteData.front().dims();
+
+  std::vector<std::unique_ptr<SiteHandle>> handles;
+  handles.reserve(siteData.size());
+  for (std::size_t i = 0; i < siteData.size(); ++i) {
+    if (siteData[i].dims() != dims_) {
+      throw std::invalid_argument(
+          "InProcCluster: sites must share dimensionality");
+    }
+    const auto id = static_cast<SiteId>(i);
+    sites_.push_back(std::make_unique<LocalSite>(id, siteData[i], options));
+    servers_.push_back(std::make_unique<SiteServer>(*sites_.back()));
+    handles.push_back(std::make_unique<RpcSiteHandle>(
+        id, std::make_unique<InProcChannel>(servers_.back()->handler()),
+        &meter_));
+  }
+  coordinator_ = std::make_unique<Coordinator>(std::move(handles), &meter_,
+                                               dims_);
+}
+
+}  // namespace dsud

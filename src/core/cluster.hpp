@@ -1,0 +1,48 @@
+// One-call construction of a complete in-process cluster: m LocalSites over
+// a partitioned global database, wired to a Coordinator through the
+// in-process transport with a shared BandwidthMeter.  This is the harness
+// used by tests, benches, and most examples; the TCP example wires the same
+// pieces over sockets instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "core/coordinator.hpp"
+#include "core/local_site.hpp"
+
+namespace dsud {
+
+class InProcCluster {
+ public:
+  /// Partitions `global` uniformly onto `m` sites (paper Sec. 7) and builds
+  /// the whole stack.  `seed` controls the partitioning only.
+  InProcCluster(const Dataset& global, std::size_t m, std::uint64_t seed,
+                PRTree::Options treeOptions = {});
+
+  /// Builds from pre-partitioned local databases (site ids = positions).
+  explicit InProcCluster(const std::vector<Dataset>& siteData,
+                         PRTree::Options treeOptions = {});
+
+  InProcCluster(const InProcCluster&) = delete;
+  InProcCluster& operator=(const InProcCluster&) = delete;
+
+  Coordinator& coordinator() noexcept { return *coordinator_; }
+  BandwidthMeter& meter() noexcept { return meter_; }
+  std::size_t siteCount() const noexcept { return sites_.size(); }
+  LocalSite& localSite(std::size_t i) noexcept { return *sites_[i]; }
+  std::size_t dims() const noexcept { return dims_; }
+
+ private:
+  void build(const std::vector<Dataset>& siteData, PRTree::Options options);
+
+  std::size_t dims_ = 0;
+  BandwidthMeter meter_;
+  std::vector<std::unique_ptr<LocalSite>> sites_;
+  std::vector<std::unique_ptr<SiteServer>> servers_;
+  std::unique_ptr<Coordinator> coordinator_;
+};
+
+}  // namespace dsud

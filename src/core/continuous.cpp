@@ -1,0 +1,67 @@
+#include "core/continuous.hpp"
+
+#include <stdexcept>
+
+namespace dsud {
+
+ContinuousDistributedSkyline::ContinuousDistributedSkyline(
+    Coordinator& coordinator, QueryConfig config, std::size_t windowPerSite,
+    std::vector<std::vector<Tuple>> initialWindows)
+    : windowPerSite_(windowPerSite),
+      maintainer_(coordinator, config, MaintenanceStrategy::kIncremental) {
+  if (windowPerSite == 0) {
+    throw std::invalid_argument(
+        "ContinuousDistributedSkyline: window must be >= 1");
+  }
+  if (initialWindows.size() != coordinator.siteCount()) {
+    throw std::invalid_argument(
+        "ContinuousDistributedSkyline: one initial window per site required");
+  }
+  windows_.reserve(initialWindows.size());
+  for (auto& window : initialWindows) {
+    if (window.size() > windowPerSite) {
+      throw std::invalid_argument(
+          "ContinuousDistributedSkyline: initial window exceeds capacity");
+    }
+    windows_.emplace_back(window.begin(), window.end());
+  }
+  maintainer_.initialize();
+}
+
+UpdateStats ContinuousDistributedSkyline::append(SiteId site,
+                                                 const Tuple& t) {
+  if (site >= windows_.size()) {
+    throw std::out_of_range("ContinuousDistributedSkyline: unknown site");
+  }
+  std::deque<Tuple>& window = windows_[site];
+
+  UpdateStats total;
+  if (window.size() == windowPerSite_) {
+    UpdateEvent expiry;
+    expiry.kind = UpdateEvent::Kind::kDelete;
+    expiry.site = site;
+    expiry.tuple = window.front();
+    const UpdateStats stats = maintainer_.apply(expiry);
+    total.tuplesShipped += stats.tuplesShipped;
+    total.bytesShipped += stats.bytesShipped;
+    total.seconds += stats.seconds;
+    total.broadcasts += stats.broadcasts;
+    total.skylineChanged |= stats.skylineChanged;
+    window.pop_front();
+  }
+
+  UpdateEvent arrival;
+  arrival.kind = UpdateEvent::Kind::kInsert;
+  arrival.site = site;
+  arrival.tuple = t;
+  const UpdateStats stats = maintainer_.apply(arrival);
+  total.tuplesShipped += stats.tuplesShipped;
+  total.bytesShipped += stats.bytesShipped;
+  total.seconds += stats.seconds;
+  total.broadcasts += stats.broadcasts;
+  total.skylineChanged |= stats.skylineChanged;
+  window.push_back(t);
+  return total;
+}
+
+}  // namespace dsud

@@ -1,0 +1,51 @@
+// Continuous distributed skyline over per-site sliding windows.
+//
+// The distributed counterpart of the stream setting in Sec. 2.2's related
+// work: every site observes its own uncertain stream and keeps the most
+// recent W elements; the coordinator continuously maintains the global
+// probabilistic skyline over the union of all live windows.  Each stream
+// arrival is exactly one insert plus (once warmed up) one expiry delete,
+// both handled by the incremental maintenance machinery of Sec. 5.4 — so
+// the answer set is exact after every append, at a per-event cost measured
+// in a handful of tuples instead of a full re-query.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/updates.hpp"
+
+namespace dsud {
+
+class ContinuousDistributedSkyline {
+ public:
+  /// `initialWindows[i]` holds site i's current window contents in arrival
+  /// order (oldest first); each must hold at most `windowPerSite` elements
+  /// and match the cluster's site count.  The coordinator's sites must
+  /// already contain exactly these tuples (build the cluster from them).
+  ContinuousDistributedSkyline(Coordinator& coordinator, QueryConfig config,
+                               std::size_t windowPerSite,
+                               std::vector<std::vector<Tuple>> initialWindows);
+
+  /// One stream arrival at `site`: expires that site's oldest element when
+  /// its window is full, then inserts `t`.  Returns the combined
+  /// maintenance cost.  Ids must be unique among live elements.
+  UpdateStats append(SiteId site, const Tuple& t);
+
+  /// Current exact global skyline, sorted by descending probability.
+  std::vector<GlobalSkylineEntry> skyline() const {
+    return maintainer_.skyline();
+  }
+
+  std::size_t windowPerSite() const noexcept { return windowPerSite_; }
+  std::size_t liveCount(SiteId site) const {
+    return windows_.at(site).size();
+  }
+
+ private:
+  std::size_t windowPerSite_;
+  std::vector<std::deque<Tuple>> windows_;
+  SkylineMaintainer maintainer_;
+};
+
+}  // namespace dsud

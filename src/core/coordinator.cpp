@@ -1,0 +1,77 @@
+#include "core/coordinator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace dsud {
+
+void sortByGlobalProbability(std::vector<GlobalSkylineEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const GlobalSkylineEntry& a, const GlobalSkylineEntry& b) {
+              if (a.globalSkyProb != b.globalSkyProb) {
+                return a.globalSkyProb > b.globalSkyProb;
+              }
+              return a.tuple.id < b.tuple.id;
+            });
+}
+
+Coordinator::Coordinator(std::vector<std::unique_ptr<SiteHandle>> sites,
+                         BandwidthMeter* meter, std::size_t dims)
+    : sites_(std::move(sites)), meter_(meter), dims_(dims) {
+  if (sites_.empty()) {
+    throw std::invalid_argument("Coordinator: at least one site required");
+  }
+  for (const auto& s : sites_) {
+    if (!s) throw std::invalid_argument("Coordinator: null site handle");
+  }
+}
+
+SiteHandle& Coordinator::siteById(SiteId id) {
+  for (const auto& s : sites_) {
+    if (s->siteId() == id) return *s;
+  }
+  throw std::out_of_range("Coordinator: unknown site id " +
+                          std::to_string(id));
+}
+
+void Coordinator::setParallelBroadcast(std::size_t threads) {
+  broadcastPool_ = threads == 0 ? nullptr
+                                : std::make_unique<ThreadPool>(threads);
+}
+
+double Coordinator::evaluateGlobally(const Candidate& c, bool pruneLocal,
+                                     QueryStats& stats,
+                                     const std::optional<Rect>& window) {
+  double globalSkyProb = c.localSkyProb;
+  const EvaluateRequest request{c.tuple, pruneLocal, window};
+
+  if (broadcastPool_ != nullptr && sites_.size() > 2) {
+    // Fan the m−1 independent RPCs across the pool; reduce in site order so
+    // the floating-point product (and thus every downstream decision) is
+    // identical to the sequential path.
+    std::vector<std::future<EvaluateResponse>> responses;
+    responses.reserve(sites_.size());
+    for (const auto& s : sites_) {
+      if (s->siteId() == c.site) continue;
+      responses.push_back(broadcastPool_->submit(
+          [&site = *s, &request] { return site.evaluate(request); }));
+    }
+    for (auto& future : responses) {
+      const EvaluateResponse r = future.get();
+      globalSkyProb *= r.survival;
+      stats.prunedAtSites += r.prunedCount;
+    }
+  } else {
+    for (const auto& s : sites_) {
+      if (s->siteId() == c.site) continue;
+      const EvaluateResponse r = s->evaluate(request);
+      globalSkyProb *= r.survival;
+      stats.prunedAtSites += r.prunedCount;
+    }
+  }
+  ++stats.broadcasts;
+  return globalSkyProb;
+}
+
+}  // namespace dsud

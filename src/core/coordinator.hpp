@@ -1,0 +1,91 @@
+// The central server H (paper Sec. 3–5).
+//
+// A Coordinator owns handles to m sites and runs the three query algorithms:
+//
+//   * runNaive  — the Sec. 3.2 baseline: ship every local database to H,
+//                 answer centrally;
+//   * runDsud   — Sec. 5.1: sorted To-Server access by local skyline
+//                 probability, every candidate broadcast for exact global
+//                 evaluation (priority queue L);
+//   * runEdsud  — Sec. 5.2: additionally maintains the global-probability
+//                 upper bound P*_gsky for every queued candidate (queue G);
+//                 candidates whose bound falls below q are expunged without
+//                 the (m−1)-tuple broadcast — the source of e-DSUD's
+//                 bandwidth advantage.
+//
+// All three report answers progressively through an optional callback and
+// return the per-query statistics used by the benchmarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/result.hpp"
+#include "core/site_handle.hpp"
+#include "net/bandwidth.hpp"
+
+namespace dsud {
+
+class Coordinator {
+ public:
+  /// `meter` may be null (no bandwidth accounting).  `dims` is the global
+  /// dimensionality (identical across sites).
+  Coordinator(std::vector<std::unique_ptr<SiteHandle>> sites,
+              BandwidthMeter* meter, std::size_t dims);
+
+  std::size_t siteCount() const noexcept { return sites_.size(); }
+  std::size_t dims() const noexcept { return dims_; }
+  BandwidthMeter* meter() const noexcept { return meter_; }
+
+  /// Site handle by position (positions are stable; ids may differ).
+  SiteHandle& site(std::size_t index) { return *sites_[index]; }
+  /// Site handle by id; throws std::out_of_range when unknown.
+  SiteHandle& siteById(SiteId id);
+
+  /// Registers a callback invoked the moment each answer qualifies.
+  void setProgressCallback(ProgressCallback callback) {
+    progress_ = std::move(callback);
+  }
+
+  /// Runs feedback broadcasts with `threads` workers instead of
+  /// sequentially.  Requires every site handle to tolerate concurrent calls
+  /// to *different* sites (both shipped transports do: in-process sites are
+  /// independent objects; TCP sites own separate sockets).  Survival factors
+  /// are still reduced in site order, so results stay bit-for-bit
+  /// deterministic.  `threads == 0` restores sequential broadcasting.
+  void setParallelBroadcast(std::size_t threads);
+
+  QueryResult runNaive(const QueryConfig& config);
+  QueryResult runDsud(const QueryConfig& config);
+  QueryResult runEdsud(const QueryConfig& config);
+
+  /// Top-k extension (cf. the "selecting stars" line of work the paper
+  /// cites as [4]): the k tuples with the *largest* global skyline
+  /// probability, found with e-DSUD's bound machinery driven by an adaptive
+  /// threshold — the running k-th best confirmed probability.  Exact
+  /// whenever at least k tuples satisfy P_gsky >= floorQ (the site-side
+  /// enumeration floor); answers are returned sorted by descending
+  /// probability, not streamed (top-k membership is only final at the end).
+  QueryResult runTopK(const TopKConfig& config);
+
+  /// Broadcasts `c.tuple` to every site except its origin and multiplies the
+  /// returned survival factors onto the local probability (Lemma 1).
+  /// Returns the exact P_gsky; accumulates prune counts into `stats`.  A
+  /// `window` restricts the survival products to in-window dominators
+  /// (constrained queries).
+  double evaluateGlobally(const Candidate& c, bool pruneLocal,
+                          QueryStats& stats,
+                          const std::optional<Rect>& window = std::nullopt);
+
+ private:
+  friend struct QueryRun;
+
+  std::vector<std::unique_ptr<SiteHandle>> sites_;
+  BandwidthMeter* meter_;
+  std::size_t dims_;
+  ProgressCallback progress_;
+  std::unique_ptr<ThreadPool> broadcastPool_;
+};
+
+}  // namespace dsud

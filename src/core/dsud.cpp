@@ -1,0 +1,64 @@
+// DSUD (paper Sec. 5.1).
+//
+// Sites expose their local skylines in descending order of local skyline
+// probability; the coordinator keeps at most one candidate per site in the
+// priority queue L, repeatedly pops the globally best one, broadcasts it to
+// the other m−1 sites for exact evaluation (Lemma 1) and local pruning, and
+// pulls the origin site's next candidate.  Corollary 1 (P_gsky <= local
+// P_sky) lets the loop stop as soon as the head of L falls below q.
+#include <queue>
+
+#include "core/coordinator.hpp"
+#include "core/query_run.hpp"
+
+namespace dsud {
+namespace {
+
+struct LowerLocalProb {
+  bool operator()(const Candidate& a, const Candidate& b) const noexcept {
+    if (a.localSkyProb != b.localSkyProb) {
+      return a.localSkyProb < b.localSkyProb;  // max-heap on local probability
+    }
+    return a.tuple.id > b.tuple.id;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+QueryResult Coordinator::runDsud(const QueryConfig& config) {
+  internal::QueryRun run(*this);
+  QueryStats& stats = run.result.stats;
+  const PrepareRequest prep{config.q, config.effectiveMask(dims_),
+                            config.prune, config.window};
+
+  std::priority_queue<Candidate, std::vector<Candidate>, LowerLocalProb> queue;
+  for (const auto& s : sites_) {
+    s->prepare(prep);
+  }
+  for (const auto& s : sites_) {
+    if (auto response = s->nextCandidate(); response.candidate) {
+      queue.push(std::move(*response.candidate));
+      ++stats.candidatesPulled;
+    }
+  }
+
+  while (!queue.empty()) {
+    const Candidate c = queue.top();
+    queue.pop();
+
+    // Corollary 1: nothing still queued or unseen can reach q.
+    if (c.localSkyProb < config.q) break;
+
+    const double globalSkyProb =
+        evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+    if (globalSkyProb >= config.q) run.emit(c, globalSkyProb, progress_);
+
+    if (auto next = siteById(c.site).nextCandidate(); next.candidate) {
+      queue.push(std::move(*next.candidate));
+      ++stats.candidatesPulled;
+    }
+  }
+  return run.finalize();
+}
+
+}  // namespace dsud

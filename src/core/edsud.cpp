@@ -1,0 +1,81 @@
+// e-DSUD (paper Sec. 5.2).
+//
+// Like DSUD, but the coordinator additionally maintains, for every queued
+// candidate s, an upper bound P*_gsky(s) on its exact global skyline
+// probability (see core/bound_queue.hpp for the Observation-2 / Corollary-2
+// witness machinery).  A candidate whose bound falls below q is *expunged*
+// without its (m−1)-tuple broadcast — the source of e-DSUD's bandwidth
+// advantage over DSUD.  Two scheduling policies are provided:
+//
+//   kEager (default): expunge immediately (sweep to a fixpoint each round),
+//   keeping every site stream flowing so strong pruners reach the
+//   coordinator early;
+//
+//   kPark (the paper's Sec. 5.3 walkthrough): stall sub-threshold
+//   candidates — and their sites — until no broadcastable candidate
+//   remains; the stalled streams may be pruned site-side for free.
+//
+// Feedback selection among qualified candidates is by largest local skyline
+// probability (the strongest pruners first); see DESIGN.md 3.4 and the A2
+// ablation for why this beats selection by the bound itself.
+#include "core/bound_queue.hpp"
+#include "core/coordinator.hpp"
+#include "core/query_run.hpp"
+
+namespace dsud {
+
+QueryResult Coordinator::runEdsud(const QueryConfig& config) {
+  internal::QueryRun run(*this);
+  QueryStats& stats = run.result.stats;
+  const DimMask mask = config.effectiveMask(dims_);
+  const PrepareRequest prep{config.q, mask, config.prune, config.window};
+
+  for (const auto& s : sites_) {
+    s->prepare(prep);
+  }
+
+  internal::BoundQueue queue(mask, config.bound);
+  const auto pullFrom = [&](SiteId site) {
+    if (auto next = siteById(site).nextCandidate(); next.candidate) {
+      queue.add(std::move(*next.candidate));
+      ++stats.candidatesPulled;
+    }
+  };
+  for (const auto& s : sites_) {
+    pullFrom(s->siteId());
+  }
+
+  while (!queue.empty()) {
+    if (config.expunge == ExpungePolicy::kEager) {
+      // Expunge sweep to a fixpoint: replacements pulled for an expunged
+      // candidate see all retained witnesses and may be expunged in turn.
+      for (std::size_t i = queue.findExpungeable(config.q);
+           i != internal::BoundQueue::npos;
+           i = queue.findExpungeable(config.q)) {
+        const Candidate victim = queue.take(i);
+        ++stats.expunged;
+        pullFrom(victim.site);
+      }
+      if (queue.empty()) break;
+    }
+
+    const std::size_t best = queue.selectQualified(config.q);
+    if (best == internal::BoundQueue::npos) {
+      // kPark: every entry is provably unqualified; release one stream.
+      const Candidate parked = queue.take(queue.size() - 1);
+      ++stats.expunged;
+      pullFrom(parked.site);
+      continue;
+    }
+
+    const Candidate c = queue.take(best);
+    const double globalSkyProb =
+        evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+    queue.confirm(c.tuple, globalSkyProb);
+    if (globalSkyProb >= config.q) run.emit(c, globalSkyProb, progress_);
+    pullFrom(c.site);
+  }
+  return run.finalize();
+}
+
+}  // namespace dsud

@@ -1,0 +1,260 @@
+#include "core/local_site.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "skyline/bbs.hpp"
+
+namespace dsud {
+
+LocalSite::LocalSite(SiteId id, const Dataset& db, PRTree::Options options)
+    : id_(id),
+      tree_(PRTree::bulkLoad(db, options)),
+      mask_(fullMask(db.dims())) {}
+
+PrepareResponse LocalSite::prepare(const PrepareRequest& request) {
+  if (!(request.q > 0.0) || request.q > 1.0) {
+    throw std::invalid_argument("LocalSite::prepare: q must be in (0, 1]");
+  }
+  q_ = request.q;
+  mask_ = request.mask == 0 ? fullMask(tree_.dims()) : request.mask;
+  prune_ = request.prune;
+  if (request.window && request.window->dims() != tree_.dims()) {
+    throw std::invalid_argument("LocalSite::prepare: window dims mismatch");
+  }
+  window_ = request.window;
+
+  pending_.clear();
+  const Rect* clip = window_ ? &*window_ : nullptr;
+  for (ProbSkylineEntry& e :
+       bbsSkyline(tree_, q_, mask_, /*stats=*/nullptr, clip)) {
+    pending_.push_back(PendingEntry{std::move(e), 1.0});
+  }
+  return PrepareResponse{pending_.size()};
+}
+
+NextCandidateResponse LocalSite::nextCandidate() {
+  NextCandidateResponse response;
+  if (pending_.empty()) return response;
+
+  PendingEntry head = std::move(pending_.front());
+  pending_.erase(pending_.begin());
+
+  Candidate c;
+  c.site = id_;
+  c.tuple = Tuple(head.entry.id, std::move(head.entry.values),
+                  head.entry.prob);
+  c.localSkyProb = head.entry.skyProb;
+  response.candidate = std::move(c);
+  return response;
+}
+
+EvaluateResponse LocalSite::evaluate(const EvaluateRequest& request) {
+  if (request.window && request.window->dims() != tree_.dims()) {
+    throw std::invalid_argument("LocalSite::evaluate: window dims mismatch");
+  }
+  EvaluateResponse response;
+  const Rect* clip = request.window ? &*request.window : nullptr;
+  response.survival =
+      tree_.dominanceSurvival(request.tuple.values, mask_, clip);
+
+  if (!request.pruneLocal) return response;
+
+  const Tuple& t = request.tuple;
+  auto doomed = [&](PendingEntry& p) {
+    if (!dominates(t.values, p.entry.values, mask_)) return false;
+    if (prune_ == PruneRule::kDominance) return true;
+    // Threshold rule: accumulate the external factor and prune only when
+    // the provable upper bound falls below q.
+    p.extSurvival *= 1.0 - t.prob;
+    return p.entry.skyProb * p.extSurvival < q_;
+  };
+  const auto removed = std::remove_if(pending_.begin(), pending_.end(), doomed);
+  response.prunedCount =
+      static_cast<std::uint32_t>(std::distance(removed, pending_.end()));
+  pending_.erase(removed, pending_.end());
+  return response;
+}
+
+ShipAllResponse LocalSite::shipAll() const {
+  ShipAllResponse response;
+  response.tuples.reserve(tree_.size());
+  tree_.forEach([&](const PRTree::LeafEntry& e) {
+    response.tuples.emplace_back(
+        e.id,
+        std::vector<double>(e.values.begin(),
+                            e.values.begin() +
+                                static_cast<std::ptrdiff_t>(tree_.dims())),
+        e.prob);
+  });
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Update maintenance
+
+double LocalSite::replicaExternalSurvival(std::span<const double> v) const {
+  double survival = 1.0;
+  for (const ReplicaEntry& r : replica_) {
+    if (r.entry.site == id_) continue;  // already counted in the local tree
+    if (dominates(r.entry.tuple.values, v, mask_)) {
+      survival *= 1.0 - r.entry.tuple.prob;
+    }
+  }
+  return survival;
+}
+
+ApplyInsertResponse LocalSite::applyInsert(const ApplyInsertRequest& request) {
+  const Tuple& t = request.tuple;
+  tree_.insert(t);
+
+  ApplyInsertResponse response;
+  response.localSkyProb =
+      t.prob * tree_.dominanceSurvival(t.values, mask_);
+  response.globalUpperBound =
+      response.localSkyProb * replicaExternalSurvival(t.values);
+  for (const ReplicaEntry& r : replica_) {
+    if (dominates(t.values, r.entry.tuple.values, mask_)) {
+      response.dominatedReplica.push_back(r.entry.tuple.id);
+    }
+  }
+  return response;
+}
+
+ApplyDeleteResponse LocalSite::applyDelete(const ApplyDeleteRequest& request) {
+  if (request.values.size() != tree_.dims()) {
+    throw std::invalid_argument("LocalSite::applyDelete: bad dimensionality");
+  }
+  ApplyDeleteResponse response;
+  // Recover the probability before erasing (needed by the coordinator to
+  // rescale cached global probabilities).
+  double prob = 0.0;
+  bool found = false;
+  const Rect probe = Rect::point(request.values);
+  tree_.windowQuery(probe, [&](const PRTree::LeafEntry& e) {
+    if (e.id == request.id) {
+      prob = e.prob;
+      found = true;
+    }
+  });
+  if (!found) return response;
+
+  response.existed = tree_.erase(request.id, request.values);
+  response.prob = response.existed ? prob : 0.0;
+  return response;
+}
+
+RepairDeleteResponse LocalSite::repairDelete(
+    const RepairDeleteRequest& request) {
+  if (request.deleted.values.size() != tree_.dims()) {
+    throw std::invalid_argument("LocalSite::repairDelete: bad dimensionality");
+  }
+  RepairDeleteResponse response;
+  const Tuple& deleted = request.deleted;
+
+  // Region-restricted skyline search: tuples dominated by the deleted tuple
+  // whose exact local probability passes q and whose replica-based global
+  // upper bound passes q as well.
+  std::vector<ProbSkylineEntry> regional;
+  bbsSkylineStream(tree_, q_, mask_, [&](const ProbSkylineEntry& e) {
+    if (dominates(deleted.values, e.values, mask_)) regional.push_back(e);
+    return true;
+  });
+
+  for (ProbSkylineEntry& e : regional) {
+    const bool inReplica =
+        std::any_of(replica_.begin(), replica_.end(),
+                    [&](const ReplicaEntry& r) {
+                      return r.entry.tuple.id == e.id;
+                    });
+    if (inReplica) continue;
+    if (e.skyProb * replicaExternalSurvival(e.values) < q_) continue;
+    Candidate c;
+    c.site = id_;
+    c.localSkyProb = e.skyProb;
+    c.tuple = Tuple(e.id, std::move(e.values), e.prob);
+    response.candidates.push_back(std::move(c));
+  }
+  return response;
+}
+
+void LocalSite::replicaAdd(const ReplicaAddRequest& request) {
+  if (request.entry.tuple.values.size() != tree_.dims()) {
+    throw std::invalid_argument("LocalSite::replicaAdd: bad dimensionality");
+  }
+  // Replace a stale copy if present (re-confirmation after updates).
+  for (ReplicaEntry& r : replica_) {
+    if (r.entry.tuple.id == request.entry.tuple.id) {
+      r.entry = request.entry;
+      r.globalSkyProb = request.globalSkyProb;
+      return;
+    }
+  }
+  replica_.push_back(ReplicaEntry{request.entry, request.globalSkyProb});
+}
+
+void LocalSite::replicaRemove(const ReplicaRemoveRequest& request) {
+  std::erase_if(replica_, [&](const ReplicaEntry& r) {
+    return r.entry.tuple.id == request.id;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SiteServer dispatch
+
+Frame SiteServer::handle(const Frame& request) {
+  ByteReader r(request);
+  const MsgType type = frameType(r);
+  switch (type) {
+    case MsgType::kPrepare: {
+      const auto msg = PrepareRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->prepare(msg));
+    }
+    case MsgType::kNextCandidate: {
+      NextCandidateRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->nextCandidate());
+    }
+    case MsgType::kEvaluate: {
+      const auto msg = EvaluateRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->evaluate(msg));
+    }
+    case MsgType::kShipAll: {
+      ShipAllRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->shipAll());
+    }
+    case MsgType::kApplyInsert: {
+      const auto msg = ApplyInsertRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->applyInsert(msg));
+    }
+    case MsgType::kApplyDelete: {
+      const auto msg = ApplyDeleteRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->applyDelete(msg));
+    }
+    case MsgType::kRepairDelete: {
+      const auto msg = RepairDeleteRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->repairDelete(msg));
+    }
+    case MsgType::kReplicaAdd: {
+      const auto msg = ReplicaAddRequest::decode(r);
+      r.expectEnd();
+      site_->replicaAdd(msg);
+      return toResponseFrame(AckResponse{});
+    }
+    case MsgType::kReplicaRemove: {
+      const auto msg = ReplicaRemoveRequest::decode(r);
+      r.expectEnd();
+      site_->replicaRemove(msg);
+      return toResponseFrame(AckResponse{});
+    }
+  }
+  throw SerializeError("SiteServer: unknown message type");
+}
+
+}  // namespace dsud

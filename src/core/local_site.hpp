@@ -1,0 +1,112 @@
+// A local site S_i: owns the uncertain database D_i, its PR-tree, the
+// remaining local skyline of the active query session, and the replica of
+// SKY(H) used by update maintenance (paper Secs. 4–6).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "core/protocol.hpp"
+#include "index/prtree.hpp"
+#include "net/transport.hpp"
+#include "skyline/skyline_result.hpp"
+
+namespace dsud {
+
+/// Site-side protocol engine.  Not thread-safe; one protocol session at a
+/// time (matching the strictly sequential coordinator).
+class LocalSite {
+ public:
+  /// Builds the PR-tree over `db` by STR bulk load.
+  LocalSite(SiteId id, const Dataset& db, PRTree::Options options = {});
+
+  SiteId id() const noexcept { return id_; }
+  std::size_t size() const noexcept { return tree_.size(); }
+  const PRTree& tree() const noexcept { return tree_; }
+
+  // --- Query protocol ------------------------------------------------------
+
+  /// Local computing phase (framework step 1): computes SKY(D_i) = {t :
+  /// P_sky(t, D_i) >= q} sorted by descending probability.  Resets any
+  /// previous session state.
+  PrepareResponse prepare(const PrepareRequest& request);
+
+  /// To-Server phase: the best remaining local-skyline tuple, or empty when
+  /// the site is exhausted.
+  NextCandidateResponse nextCandidate();
+
+  /// Server-Delivery + Local-Pruning phases: returns Π (1 − P(t')) over the
+  /// local dominators of the delivered tuple (Observation 1) and, when
+  /// requested, prunes the remaining local skyline with the configured rule.
+  EvaluateResponse evaluate(const EvaluateRequest& request);
+
+  /// Naive baseline: the whole local database.
+  ShipAllResponse shipAll() const;
+
+  // --- Update maintenance (Sec. 5.4) ---------------------------------------
+
+  ApplyInsertResponse applyInsert(const ApplyInsertRequest& request);
+  ApplyDeleteResponse applyDelete(const ApplyDeleteRequest& request);
+
+  /// After a delete elsewhere: search the region dominated by the deleted
+  /// tuple for local tuples that may now qualify globally (not already in
+  /// the replica, provable upper bound >= q).
+  RepairDeleteResponse repairDelete(const RepairDeleteRequest& request);
+
+  void replicaAdd(const ReplicaAddRequest& request);
+  void replicaRemove(const ReplicaRemoveRequest& request);
+
+  /// Current replica of SKY(H) (for tests and examples).
+  struct ReplicaEntry {
+    Candidate entry;
+    double globalSkyProb = 0.0;
+  };
+  const std::vector<ReplicaEntry>& replica() const noexcept {
+    return replica_;
+  }
+
+  /// Remaining (unshipped, unpruned) local skyline size of the session.
+  std::size_t pendingCount() const noexcept { return pending_.size(); }
+
+ private:
+  /// Π (1 − P(r)) over replica entries from *other* sites dominating `v`.
+  double replicaExternalSurvival(std::span<const double> v) const;
+
+  struct PendingEntry {
+    ProbSkylineEntry entry;
+    /// Running Π (1 − P(t)) over external feedback tuples dominating this
+    /// entry (threshold prune rule).
+    double extSurvival = 1.0;
+  };
+
+  SiteId id_;
+  PRTree tree_;
+
+  // Active query session.
+  double q_ = 0.3;
+  DimMask mask_;
+  PruneRule prune_ = PruneRule::kThresholdBound;
+  std::optional<Rect> window_;         // constrained-query session window
+  std::vector<PendingEntry> pending_;  // descending skyProb; front is next
+
+  std::vector<ReplicaEntry> replica_;
+};
+
+/// Frame dispatcher: decodes requests, invokes the site, encodes responses.
+/// The returned handler is what both transports plug into.
+class SiteServer {
+ public:
+  explicit SiteServer(LocalSite& site) : site_(&site) {}
+
+  Frame handle(const Frame& request);
+
+  FrameHandler handler() {
+    return [this](const Frame& f) { return handle(f); };
+  }
+
+ private:
+  LocalSite* site_;
+};
+
+}  // namespace dsud

@@ -1,0 +1,46 @@
+// The baseline approach (paper Sec. 3.2): every site ships its entire
+// uncertain database to H, which answers the query centrally (BBS over a
+// bulk-loaded PR-tree).  Communication cost is |D| = Σ |D_i| tuples — the
+// upper bound both DSUD algorithms are measured against.
+#include "common/dataset.hpp"
+#include "core/coordinator.hpp"
+#include "core/query_run.hpp"
+#include "skyline/bbs.hpp"
+
+namespace dsud {
+
+QueryResult Coordinator::runNaive(const QueryConfig& config) {
+  internal::QueryRun run(*this);
+  const DimMask mask = config.effectiveMask(dims_);
+
+  // Collect every tuple, remembering its origin site.
+  Dataset unified(dims_);
+  std::unordered_map<TupleId, SiteId> origin;
+  for (const auto& s : sites_) {
+    const ShipAllResponse shipment = s->shipAll();
+    origin.reserve(origin.size() + shipment.tuples.size());
+    for (const Tuple& t : shipment.tuples) {
+      unified.add(t);
+      origin.emplace(t.id, s->siteId());
+    }
+  }
+  run.result.stats.candidatesPulled = unified.size();
+
+  // Centralised answer, reported progressively in BBS order.
+  const PRTree tree = PRTree::bulkLoad(unified);
+  const Rect* clip = config.window ? &*config.window : nullptr;
+  bbsSkylineStream(
+      tree, config.q, mask,
+      [&](const ProbSkylineEntry& e) {
+        Candidate c;
+        c.site = origin.at(e.id);
+        c.tuple = Tuple(e.id, e.values, e.prob);
+        c.localSkyProb = e.skyProb;  // over the unified database == global
+        run.emit(c, e.skyProb, progress_);
+        return true;
+      },
+      clip);
+  return run.finalize();
+}
+
+}  // namespace dsud

@@ -1,0 +1,299 @@
+// Wire protocol between the coordinator H and the local sites.
+//
+// Every message is one frame: a MsgType byte followed by the fields encoded
+// with ByteWriter (little-endian).  The protocol is strict request/response;
+// the site never initiates.  Messages map 1:1 onto the phases of the paper's
+// framework (Fig. 4) plus the update maintenance of Sec. 5.4:
+//
+//   kPrepare        — start a query: site computes SKY(D_i) (local phase)
+//   kNextCandidate  — To-Server phase: pull the site's best remaining tuple
+//   kEvaluate       — Server-Delivery + Local-Pruning phases: deliver a
+//                     candidate, get back P_sky(t, D_x), prune local skyline
+//   kShipAll        — the naive baseline: ship the whole local database
+//   kApplyInsert / kApplyDelete / kRepairDelete / kReplicaAdd /
+//   kReplicaRemove  — update maintenance
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "common/serialize.hpp"
+#include "geometry/dominance.hpp"
+#include "geometry/rect.hpp"
+#include "net/transport.hpp"
+
+namespace dsud {
+
+// ---------------------------------------------------------------------------
+// Query configuration
+
+/// Local-pruning rule applied when a feedback tuple arrives (DESIGN.md 3.5).
+enum class PruneRule : std::uint8_t {
+  /// Exact: drop a local candidate s only when its provable upper bound
+  /// P_sky(s, D_i) · Π_{feedback t ≺ s} (1 − P(t)) falls below q.
+  kThresholdBound = 0,
+  /// Paper-faithful (Sec. 4, Local-Pruning phase): drop every dominated
+  /// candidate.  Can lose qualified answers; kept for the ablation.
+  kDominance = 1,
+};
+
+/// Witnesses used by e-DSUD's global-probability upper bound (DESIGN.md 3.4).
+enum class FeedbackBound : std::uint8_t {
+  kNone = 0,                ///< no bound: degenerate to DSUD-style broadcast
+  kQueuedWitnesses = 1,     ///< Observation 2 over every candidate seen so far
+  kQueuedAndConfirmed = 2,  ///< + transitive bound through confirmed tuples
+};
+
+/// What e-DSUD does with a queued candidate whose bound falls below q
+/// (DESIGN.md 3.4).
+enum class ExpungePolicy : std::uint8_t {
+  /// Expunge immediately and pull the site's next candidate.  Keeps every
+  /// site stream flowing, so strong pruners reach the coordinator early;
+  /// the best policy at scale and the default.
+  kEager = 0,
+  /// Park the candidate and stall its site until no broadcastable candidate
+  /// remains (the paper's Sec. 5.3 behaviour): the stalled stream may be
+  /// pruned at the site for free, at the cost of deferring that stream's
+  /// own feedback.
+  kPark = 1,
+};
+
+struct QueryConfig {
+  double q = 0.3;    ///< probability threshold (paper default)
+  DimMask mask = 0;  ///< 0 = all dimensions; otherwise a subspace query
+  PruneRule prune = PruneRule::kThresholdBound;
+  FeedbackBound bound = FeedbackBound::kQueuedAndConfirmed;
+  ExpungePolicy expunge = ExpungePolicy::kEager;
+  /// Constrained skyline (Wu et al., paper Sec. 2.1): restrict the query to
+  /// tuples inside this window; dominance is evaluated among them only.
+  std::optional<Rect> window;
+
+  DimMask effectiveMask(std::size_t dims) const noexcept {
+    return mask == 0 ? fullMask(dims) : mask;
+  }
+};
+
+/// Configuration of the top-k extension (Coordinator::runTopK).
+struct TopKConfig {
+  std::size_t k = 10;
+  /// Site-side enumeration floor: tuples with local skyline probability
+  /// below this are never shipped.  The result is exact whenever at least k
+  /// tuples have P_gsky >= floorQ.
+  double floorQ = 1e-3;
+  DimMask mask = 0;  ///< 0 = all dimensions
+  std::optional<Rect> window;
+
+  DimMask effectiveMask(std::size_t dims) const noexcept {
+    return mask == 0 ? fullMask(dims) : mask;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shared payloads
+
+/// The paper's quaternion ⟨i, j, P(t_ij), P_sky(t_ij, D_i)⟩, carrying the
+/// tuple coordinates as well (the coordinator needs them for dominance
+/// checks and feedback broadcast).  Shipping one Candidate counts as one
+/// tuple of bandwidth.
+struct Candidate {
+  SiteId site = kNoSite;
+  Tuple tuple;
+  double localSkyProb = 0.0;
+
+  void encode(ByteWriter& w) const;
+  static Candidate decode(ByteReader& r);
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+void encodeTuple(ByteWriter& w, const Tuple& t);
+Tuple decodeTuple(ByteReader& r);
+
+void encodeOptionalRect(ByteWriter& w, const std::optional<Rect>& rect);
+std::optional<Rect> decodeOptionalRect(ByteReader& r);
+
+// ---------------------------------------------------------------------------
+// Messages
+
+enum class MsgType : std::uint8_t {
+  kPrepare = 1,
+  kNextCandidate = 2,
+  kEvaluate = 3,
+  kShipAll = 4,
+  kApplyInsert = 5,
+  kApplyDelete = 6,
+  kRepairDelete = 7,
+  kReplicaAdd = 8,
+  kReplicaRemove = 9,
+};
+
+struct PrepareRequest {
+  double q = 0.3;
+  DimMask mask = 0;
+  PruneRule prune = PruneRule::kThresholdBound;
+  std::optional<Rect> window;  ///< constrained-query window
+
+  void encode(ByteWriter& w) const;
+  static PrepareRequest decode(ByteReader& r);
+};
+
+struct PrepareResponse {
+  std::uint64_t localSkylineSize = 0;
+
+  void encode(ByteWriter& w) const;
+  static PrepareResponse decode(ByteReader& r);
+};
+
+struct NextCandidateRequest {
+  void encode(ByteWriter&) const {}
+  static NextCandidateRequest decode(ByteReader&) { return {}; }
+};
+
+struct NextCandidateResponse {
+  std::optional<Candidate> candidate;  ///< empty when the site is exhausted
+
+  void encode(ByteWriter& w) const;
+  static NextCandidateResponse decode(ByteReader& r);
+};
+
+struct EvaluateRequest {
+  Tuple tuple;
+  bool pruneLocal = true;      ///< false during update maintenance
+  std::optional<Rect> window;  ///< survival restricted to this window
+
+  void encode(ByteWriter& w) const;
+  static EvaluateRequest decode(ByteReader& r);
+};
+
+struct EvaluateResponse {
+  double survival = 1.0;  ///< Π_{t'∈D_x, t'≺t} (1 − P(t'))  (Observation 1)
+  std::uint32_t prunedCount = 0;
+
+  void encode(ByteWriter& w) const;
+  static EvaluateResponse decode(ByteReader& r);
+};
+
+struct ShipAllRequest {
+  void encode(ByteWriter&) const {}
+  static ShipAllRequest decode(ByteReader&) { return {}; }
+};
+
+struct ShipAllResponse {
+  std::vector<Tuple> tuples;
+
+  void encode(ByteWriter& w) const;
+  static ShipAllResponse decode(ByteReader& r);
+};
+
+// --- Update maintenance ----------------------------------------------------
+
+struct ApplyInsertRequest {
+  Tuple tuple;
+
+  void encode(ByteWriter& w) const;
+  static ApplyInsertRequest decode(ByteReader& r);
+};
+
+struct ApplyInsertResponse {
+  /// P_sky(t, D_i) after insertion (includes P(t)).
+  double localSkyProb = 0.0;
+  /// localSkyProb multiplied by Π (1 − P(r)) over replica dominators from
+  /// other sites: a correct upper bound on P_gsky(t).
+  double globalUpperBound = 0.0;
+  /// Replica members the inserted tuple dominates (their cached global
+  /// probabilities shrink by (1 − P(t))).
+  std::vector<TupleId> dominatedReplica;
+
+  void encode(ByteWriter& w) const;
+  static ApplyInsertResponse decode(ByteReader& r);
+};
+
+struct ApplyDeleteRequest {
+  TupleId id = 0;
+  std::vector<double> values;
+
+  void encode(ByteWriter& w) const;
+  static ApplyDeleteRequest decode(ByteReader& r);
+};
+
+struct ApplyDeleteResponse {
+  bool existed = false;
+  double prob = 0.0;  ///< P(t) of the deleted tuple (0 when !existed)
+
+  void encode(ByteWriter& w) const;
+  static ApplyDeleteResponse decode(ByteReader& r);
+};
+
+/// Broadcast after a delete: each site searches the region dominated by the
+/// deleted tuple for local candidates that may now qualify globally.
+struct RepairDeleteRequest {
+  Tuple deleted;
+  SiteId origin = kNoSite;  ///< site the delete happened at (already knows t)
+
+  void encode(ByteWriter& w) const;
+  static RepairDeleteRequest decode(ByteReader& r);
+};
+
+struct RepairDeleteResponse {
+  std::vector<Candidate> candidates;
+
+  void encode(ByteWriter& w) const;
+  static RepairDeleteResponse decode(ByteReader& r);
+};
+
+struct ReplicaAddRequest {
+  Candidate entry;  ///< site = origin site of the tuple
+  double globalSkyProb = 0.0;
+
+  void encode(ByteWriter& w) const;
+  static ReplicaAddRequest decode(ByteReader& r);
+};
+
+struct ReplicaRemoveRequest {
+  TupleId id = 0;
+
+  void encode(ByteWriter& w) const;
+  static ReplicaRemoveRequest decode(ByteReader& r);
+};
+
+struct AckResponse {
+  void encode(ByteWriter&) const {}
+  static AckResponse decode(ByteReader&) { return {}; }
+};
+
+// ---------------------------------------------------------------------------
+// Framing helpers
+
+/// Builds a frame: MsgType byte + encoded body.
+template <typename Msg>
+Frame toFrame(MsgType type, const Msg& msg) {
+  ByteWriter w;
+  w.putU8(static_cast<std::uint8_t>(type));
+  msg.encode(w);
+  return std::move(w).take();
+}
+
+/// Reads and returns the type byte, leaving `r` at the body.
+MsgType frameType(ByteReader& r);
+
+/// Decodes a response frame that has no leading type byte.
+template <typename Msg>
+Msg fromResponseFrame(const Frame& frame) {
+  ByteReader r(frame);
+  Msg msg = Msg::decode(r);
+  r.expectEnd();
+  return msg;
+}
+
+/// Encodes a response frame (responses carry no type byte; the request
+/// determines the expected response type).
+template <typename Msg>
+Frame toResponseFrame(const Msg& msg) {
+  ByteWriter w;
+  msg.encode(w);
+  return std::move(w).take();
+}
+
+}  // namespace dsud

@@ -1,0 +1,55 @@
+// Internal bookkeeping shared by the query algorithm implementations:
+// stopwatch, bandwidth baseline (the meter is shared across queries), and
+// progressive emission.  Not part of the public API.
+#pragma once
+
+#include "common/stopwatch.hpp"
+#include "core/coordinator.hpp"
+
+namespace dsud::internal {
+
+struct QueryRun {
+  Coordinator& coord;
+  QueryResult result;
+  Stopwatch watch;
+  UsageTotals baseline;
+
+  explicit QueryRun(Coordinator& c) : coord(c) {
+    if (coord.meter() != nullptr) baseline = coord.meter()->totals();
+  }
+
+  std::uint64_t tuplesSoFar() const {
+    if (coord.meter() == nullptr) return 0;
+    return coord.meter()->totals().tuples - baseline.tuples;
+  }
+
+  void emit(const Candidate& c, double globalSkyProb, ProgressCallback& cb) {
+    GlobalSkylineEntry entry;
+    entry.site = c.site;
+    entry.tuple = c.tuple;
+    entry.localSkyProb = c.localSkyProb;
+    entry.globalSkyProb = globalSkyProb;
+
+    ProgressPoint point;
+    point.reported = result.skyline.size() + 1;
+    point.tuplesShipped = tuplesSoFar();
+    point.seconds = watch.elapsedSeconds();
+
+    if (cb) cb(entry, point);
+    result.skyline.push_back(std::move(entry));
+    result.progress.push_back(point);
+  }
+
+  QueryResult finalize() {
+    result.stats.seconds = watch.elapsedSeconds();
+    if (coord.meter() != nullptr) {
+      const UsageTotals now = coord.meter()->totals();
+      result.stats.tuplesShipped = now.tuples - baseline.tuples;
+      result.stats.bytesShipped = now.bytes - baseline.bytes;
+      result.stats.roundTrips = now.calls - baseline.calls;
+    }
+    return std::move(result);
+  }
+};
+
+}  // namespace dsud::internal

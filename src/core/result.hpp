@@ -1,0 +1,59 @@
+// Query result and statistics types shared by all distributed algorithms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "core/protocol.hpp"
+
+namespace dsud {
+
+/// One qualified global skyline answer reported at the coordinator.
+struct GlobalSkylineEntry {
+  SiteId site = kNoSite;  ///< origin site
+  Tuple tuple;
+  double localSkyProb = 0.0;   ///< P_sky(t, D_site)
+  double globalSkyProb = 0.0;  ///< exact P_gsky(t)
+
+  friend bool operator==(const GlobalSkylineEntry&,
+                         const GlobalSkylineEntry&) = default;
+};
+
+/// Progressiveness sample recorded when the k-th answer is emitted
+/// (paper Figs. 12–13: bandwidth and CPU time as functions of answers
+/// reported so far).
+struct ProgressPoint {
+  std::size_t reported = 0;         ///< answers emitted so far (this one included)
+  std::uint64_t tuplesShipped = 0;  ///< cumulative bandwidth at emission
+  double seconds = 0.0;             ///< CPU/wall time since query start
+};
+
+/// Work counters for one distributed query run.
+struct QueryStats {
+  std::uint64_t tuplesShipped = 0;  ///< the paper's bandwidth metric
+  std::uint64_t bytesShipped = 0;
+  std::uint64_t roundTrips = 0;
+  std::size_t candidatesPulled = 0;  ///< To-Server tuples
+  std::size_t broadcasts = 0;        ///< Server-Delivery feedback rounds
+  std::size_t expunged = 0;          ///< e-DSUD: candidates killed by bound
+  std::size_t prunedAtSites = 0;     ///< Local-Pruning victims
+  double seconds = 0.0;
+};
+
+struct QueryResult {
+  std::vector<GlobalSkylineEntry> skyline;  ///< in emission order
+  QueryStats stats;
+  std::vector<ProgressPoint> progress;  ///< one point per emitted answer
+};
+
+/// Invoked the moment an answer qualifies (progressive reporting).
+using ProgressCallback =
+    std::function<void(const GlobalSkylineEntry&, const ProgressPoint&)>;
+
+/// Sorts answers by descending global skyline probability (ties: id) — the
+/// canonical order used when comparing algorithm outputs.
+void sortByGlobalProbability(std::vector<GlobalSkylineEntry>& entries);
+
+}  // namespace dsud

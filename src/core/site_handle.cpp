@@ -1,0 +1,93 @@
+#include "core/site_handle.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dsud {
+
+RpcSiteHandle::RpcSiteHandle(SiteId site,
+                             std::unique_ptr<ClientChannel> channel,
+                             BandwidthMeter* meter)
+    : site_(site), channel_(std::move(channel)), meter_(meter) {
+  if (!channel_) {
+    throw std::invalid_argument("RpcSiteHandle: null channel");
+  }
+}
+
+Frame RpcSiteHandle::roundTrip(const Frame& request) {
+  Frame response = channel_->call(request);
+  if (meter_ != nullptr) {
+    meter_->recordCall(site_, request.size(), response.size());
+  }
+  return response;
+}
+
+void RpcSiteHandle::countTuples(std::uint64_t toSite, std::uint64_t fromSite) {
+  if (meter_ != nullptr && (toSite != 0 || fromSite != 0)) {
+    meter_->recordTuples(site_, toSite, fromSite);
+  }
+}
+
+PrepareResponse RpcSiteHandle::prepare(const PrepareRequest& request) {
+  const Frame response = roundTrip(toFrame(MsgType::kPrepare, request));
+  return fromResponseFrame<PrepareResponse>(response);
+}
+
+NextCandidateResponse RpcSiteHandle::nextCandidate() {
+  const Frame response =
+      roundTrip(toFrame(MsgType::kNextCandidate, NextCandidateRequest{}));
+  auto msg = fromResponseFrame<NextCandidateResponse>(response);
+  countTuples(0, msg.candidate.has_value() ? 1 : 0);
+  return msg;
+}
+
+EvaluateResponse RpcSiteHandle::evaluate(const EvaluateRequest& request) {
+  const Frame response = roundTrip(toFrame(MsgType::kEvaluate, request));
+  countTuples(1, 0);
+  return fromResponseFrame<EvaluateResponse>(response);
+}
+
+ShipAllResponse RpcSiteHandle::shipAll() {
+  const Frame response = roundTrip(toFrame(MsgType::kShipAll, ShipAllRequest{}));
+  auto msg = fromResponseFrame<ShipAllResponse>(response);
+  countTuples(0, msg.tuples.size());
+  return msg;
+}
+
+ApplyInsertResponse RpcSiteHandle::applyInsert(
+    const ApplyInsertRequest& request) {
+  // Injection of a site-local event: not a network tuple.
+  const Frame response = roundTrip(toFrame(MsgType::kApplyInsert, request));
+  return fromResponseFrame<ApplyInsertResponse>(response);
+}
+
+ApplyDeleteResponse RpcSiteHandle::applyDelete(
+    const ApplyDeleteRequest& request) {
+  const Frame response = roundTrip(toFrame(MsgType::kApplyDelete, request));
+  return fromResponseFrame<ApplyDeleteResponse>(response);
+}
+
+RepairDeleteResponse RpcSiteHandle::repairDelete(
+    const RepairDeleteRequest& request) {
+  const Frame response = roundTrip(toFrame(MsgType::kRepairDelete, request));
+  auto msg = fromResponseFrame<RepairDeleteResponse>(response);
+  // The origin site already knows the deleted tuple; only remote deliveries
+  // ship it.
+  countTuples(request.origin == site_ ? 0 : 1, msg.candidates.size());
+  return msg;
+}
+
+void RpcSiteHandle::replicaAdd(const ReplicaAddRequest& request) {
+  const Frame response = roundTrip(toFrame(MsgType::kReplicaAdd, request));
+  fromResponseFrame<AckResponse>(response);
+  // The origin site already holds the tuple; shipping to it is id-only in a
+  // real deployment.
+  countTuples(request.entry.site == site_ ? 0 : 1, 0);
+}
+
+void RpcSiteHandle::replicaRemove(const ReplicaRemoveRequest& request) {
+  const Frame response = roundTrip(toFrame(MsgType::kReplicaRemove, request));
+  fromResponseFrame<AckResponse>(response);
+}
+
+}  // namespace dsud

@@ -1,0 +1,70 @@
+// Coordinator-side view of one local site.
+//
+// `SiteHandle` is the typed RPC surface the algorithms program against;
+// `RpcSiteHandle` is the production implementation that serialises protocol
+// messages onto a ClientChannel (in-process or TCP) and meters both bytes
+// and the paper's tuple-count bandwidth.
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.hpp"
+#include "net/bandwidth.hpp"
+#include "net/transport.hpp"
+
+namespace dsud {
+
+/// Typed operations the coordinator performs on one site.
+class SiteHandle {
+ public:
+  virtual ~SiteHandle() = default;
+
+  virtual SiteId siteId() const noexcept = 0;
+
+  virtual PrepareResponse prepare(const PrepareRequest& request) = 0;
+  virtual NextCandidateResponse nextCandidate() = 0;
+  virtual EvaluateResponse evaluate(const EvaluateRequest& request) = 0;
+  virtual ShipAllResponse shipAll() = 0;
+
+  virtual ApplyInsertResponse applyInsert(const ApplyInsertRequest&) = 0;
+  virtual ApplyDeleteResponse applyDelete(const ApplyDeleteRequest&) = 0;
+  virtual RepairDeleteResponse repairDelete(const RepairDeleteRequest&) = 0;
+  virtual void replicaAdd(const ReplicaAddRequest&) = 0;
+  virtual void replicaRemove(const ReplicaRemoveRequest&) = 0;
+};
+
+/// SiteHandle over a ClientChannel with bandwidth accounting.
+///
+/// Tuple accounting follows the paper (Sec. 3.2): one tuple per shipped
+/// Candidate or Tuple payload in either direction; probability scalars,
+/// flags, and replica-removal ids are control traffic (bytes only).  Update
+/// *injections* (ApplyInsert/ApplyDelete requests) are not counted — they
+/// model events that originate at the site itself.
+class RpcSiteHandle final : public SiteHandle {
+ public:
+  RpcSiteHandle(SiteId site, std::unique_ptr<ClientChannel> channel,
+                BandwidthMeter* meter);
+
+  SiteId siteId() const noexcept override { return site_; }
+
+  PrepareResponse prepare(const PrepareRequest& request) override;
+  NextCandidateResponse nextCandidate() override;
+  EvaluateResponse evaluate(const EvaluateRequest& request) override;
+  ShipAllResponse shipAll() override;
+
+  ApplyInsertResponse applyInsert(const ApplyInsertRequest&) override;
+  ApplyDeleteResponse applyDelete(const ApplyDeleteRequest&) override;
+  RepairDeleteResponse repairDelete(const RepairDeleteRequest&) override;
+  void replicaAdd(const ReplicaAddRequest&) override;
+  void replicaRemove(const ReplicaRemoveRequest&) override;
+
+ private:
+  Frame roundTrip(const Frame& request);
+  void countTuples(std::uint64_t toSite, std::uint64_t fromSite);
+
+  SiteId site_;
+  std::unique_ptr<ClientChannel> channel_;
+  BandwidthMeter* meter_;  // may be null (no accounting)
+};
+
+}  // namespace dsud

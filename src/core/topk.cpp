@@ -1,0 +1,107 @@
+// Top-k probabilistic skyline over distributed uncertain data.
+//
+// An extension in the spirit of the representative-skyline work the paper
+// cites ([4]): instead of a fixed threshold q, report the k tuples with the
+// largest global skyline probability.  The machinery is e-DSUD's — sorted
+// To-Server access, Observation-2/Corollary-2 bounds, expunging — driven by
+// an *adaptive* threshold τ: the k-th best confirmed probability so far
+// (the floor `floorQ` until k candidates are confirmed).  τ only grows, so
+// every expunge stays provably safe; when the queue drains, no unseen or
+// expunged tuple can beat the k-th answer.
+//
+// Sites enumerate their local skylines down to floorQ, which bounds the
+// search: the result is exact whenever at least k tuples have
+// P_gsky >= floorQ (P_gsky <= local P_sky, Corollary 1, so nothing below
+// the floor locally can reach it globally).
+#include <algorithm>
+
+#include "core/bound_queue.hpp"
+#include "core/coordinator.hpp"
+#include "core/query_run.hpp"
+
+namespace dsud {
+
+QueryResult Coordinator::runTopK(const TopKConfig& config) {
+  if (config.k == 0) {
+    throw std::invalid_argument("runTopK: k must be >= 1");
+  }
+  if (!(config.floorQ > 0.0) || config.floorQ > 1.0) {
+    throw std::invalid_argument("runTopK: floorQ must be in (0, 1]");
+  }
+
+  internal::QueryRun run(*this);
+  QueryStats& stats = run.result.stats;
+  const DimMask mask = config.effectiveMask(dims_);
+  const PrepareRequest prep{config.floorQ, mask, PruneRule::kThresholdBound,
+                            config.window};
+  for (const auto& s : sites_) {
+    s->prepare(prep);
+  }
+
+  internal::BoundQueue queue(mask, FeedbackBound::kQueuedAndConfirmed);
+  const auto pullFrom = [&](SiteId site) {
+    if (auto next = siteById(site).nextCandidate(); next.candidate) {
+      queue.add(std::move(*next.candidate));
+      ++stats.candidatesPulled;
+    }
+  };
+  for (const auto& s : sites_) {
+    pullFrom(s->siteId());
+  }
+
+  // Current best-k, kept sorted descending by probability (k is small).
+  std::vector<GlobalSkylineEntry> top;
+  const auto threshold = [&]() {
+    return top.size() < config.k ? config.floorQ
+                                 : top.back().globalSkyProb;
+  };
+
+  while (!queue.empty()) {
+    // Expunge sweep against the adaptive threshold.
+    for (std::size_t i = queue.findExpungeable(threshold());
+         i != internal::BoundQueue::npos;
+         i = queue.findExpungeable(threshold())) {
+      const Candidate victim = queue.take(i);
+      ++stats.expunged;
+      pullFrom(victim.site);
+    }
+    if (queue.empty()) break;
+
+    // After the sweep every remaining entry has ub >= τ, so selection
+    // cannot fail while the queue is nonempty (kept defensive).
+    const std::size_t best = queue.selectQualified(threshold());
+    if (best == internal::BoundQueue::npos) break;
+
+    const Candidate c = queue.take(best);
+    const double globalSkyProb =
+        evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+    queue.confirm(c.tuple, globalSkyProb);
+
+    // Admission: above the floor (the contract's universe) and either the
+    // top list is not full yet or the candidate beats the current k-th.
+    if (globalSkyProb >= config.floorQ &&
+        (top.size() < config.k ||
+         globalSkyProb > top.back().globalSkyProb)) {
+      GlobalSkylineEntry entry;
+      entry.site = c.site;
+      entry.tuple = c.tuple;
+      entry.localSkyProb = c.localSkyProb;
+      entry.globalSkyProb = globalSkyProb;
+      top.push_back(std::move(entry));
+      std::sort(top.begin(), top.end(),
+                [](const GlobalSkylineEntry& a, const GlobalSkylineEntry& b) {
+                  if (a.globalSkyProb != b.globalSkyProb) {
+                    return a.globalSkyProb > b.globalSkyProb;
+                  }
+                  return a.tuple.id < b.tuple.id;
+                });
+      if (top.size() > config.k) top.pop_back();
+    }
+    pullFrom(c.site);
+  }
+
+  run.result.skyline = std::move(top);
+  return run.finalize();
+}
+
+}  // namespace dsud

@@ -1,0 +1,89 @@
+// Continuous skyline maintenance under data updates (paper Sec. 5.4).
+//
+// After the initial query, SKY(H) is replicated at every site.  Two
+// strategies keep it correct as tuples are inserted into / deleted from the
+// local databases:
+//
+//   * kIncremental — per-update patching.  Inserts evaluate the new tuple
+//     only when its replica-derived upper bound reaches q and rescale the
+//     cached probabilities of dominated skyline members exactly (×(1−P(t))
+//     needs no network at all).  Deletes rescale upward and, because a
+//     vanished dominator can *promote* previously unqualified tuples, run a
+//     repair broadcast that searches the dominated region at every site.
+//     Unlike the paper's sketch — which skips promotions unless the deleted
+//     tuple was itself in SKY(H) — this implementation is exact, which the
+//     property tests verify against a from-scratch recompute.
+//
+//   * kNaiveRecompute — the paper's strawman: rerun e-DSUD after every
+//     update.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/coordinator.hpp"
+
+namespace dsud {
+
+enum class MaintenanceStrategy : std::uint8_t {
+  kIncremental = 0,
+  kNaiveRecompute = 1,
+};
+
+struct UpdateEvent {
+  enum class Kind : std::uint8_t { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  SiteId site = 0;
+  Tuple tuple;  ///< full payload for inserts; id+values suffice for deletes
+};
+
+/// Cost of processing one update until SKY(H) is correct again.
+struct UpdateStats {
+  std::uint64_t tuplesShipped = 0;
+  std::uint64_t bytesShipped = 0;
+  double seconds = 0.0;
+  std::size_t broadcasts = 0;
+  bool skylineChanged = false;
+};
+
+/// Keeps SKY(H) correct across an update stream.
+class SkylineMaintainer {
+ public:
+  SkylineMaintainer(Coordinator& coordinator, QueryConfig config,
+                    MaintenanceStrategy strategy);
+
+  /// Runs the initial e-DSUD query and (in incremental mode) installs the
+  /// SKY(H) replica at every site.  Must be called before apply().
+  QueryResult initialize();
+
+  /// Applies one update and restores SKY(H) exactness.
+  UpdateStats apply(const UpdateEvent& event);
+
+  /// Current global skyline, sorted by descending global probability.
+  std::vector<GlobalSkylineEntry> skyline() const;
+
+  MaintenanceStrategy strategy() const noexcept { return strategy_; }
+
+ private:
+  UpdateStats applyIncremental(const UpdateEvent& event);
+  UpdateStats applyNaive(const UpdateEvent& event);
+
+  void incrementalInsert(const UpdateEvent& event, UpdateStats& stats);
+  void incrementalDelete(const UpdateEvent& event, UpdateStats& stats);
+
+  /// Adds `entry` to SKY(H) and pushes the replica to every site.
+  void addSkyline(const Candidate& c, double globalSkyProb);
+  /// Removes by id from SKY(H) and the replicas.
+  void removeSkyline(TupleId id);
+
+  void installReplicas();
+
+  Coordinator& coordinator_;
+  QueryConfig config_;
+  MaintenanceStrategy strategy_;
+  bool initialized_ = false;
+  std::unordered_map<TupleId, GlobalSkylineEntry> sky_;
+};
+
+}  // namespace dsud

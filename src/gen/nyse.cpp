@@ -1,0 +1,44 @@
+#include "gen/nyse.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace dsud {
+
+Dataset generateNyse(const NyseSpec& spec, const ProbSampler& probs) {
+  Dataset data(2);
+  data.reserve(spec.n);
+  Rng rng(spec.seed);
+  Rng probRng = rng.split(0x6e797365);
+
+  double price = spec.initialPrice;
+  const double pi = std::acos(-1.0);
+
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    const double dayPhase =
+        static_cast<double>(i % spec.ticksPerDay) /
+        static_cast<double>(spec.ticksPerDay);
+    // U-shaped intraday activity: busy open and close, quiet lunch.
+    const double intraday = 1.0 + 0.8 * std::cos(2.0 * pi * dayPhase);
+
+    // Mean-reverting log-price walk with rare regime jumps.
+    const double vol = spec.baseVolatility * intraday;
+    double step = rng.gaussian(0.0, vol) +
+                  spec.meanReversion * (spec.initialPrice - price);
+    if (rng.uniform() < 1e-4) step += rng.gaussian(0.0, 10.0 * vol);
+    price = std::max(1.0, price + step);
+    const double quotedPrice = std::round(price * 100.0) / 100.0;
+
+    // Heavy-tailed lognormal volume in round lots of 100 shares.
+    const double logVolume = rng.gaussian(6.0, 1.2) + 0.5 * intraday;
+    const double volume =
+        std::max(100.0, std::round(std::exp(logVolume) / 100.0) * 100.0);
+
+    const std::array<double, 2> values = {quotedPrice, -volume};
+    data.add(values, probs(probRng));
+  }
+  return data;
+}
+
+}  // namespace dsud

@@ -1,0 +1,41 @@
+// Synthetic NYSE-style stock-transaction trace (paper Sec. 7.4).
+//
+// The paper's real data set — 2M Dell trades from the New York Stock
+// Exchange, 1/12/2000–22/5/2001, attributes ⟨average price per volume, total
+// volume⟩ — is proprietary, so this module synthesises a statistically
+// similar trace (documented substitution, DESIGN.md Sec. 5):
+//
+//   * price follows a mean-reverting random walk with intraday U-shaped
+//     volatility and occasional regime jumps, quantised to cents;
+//   * volume is lognormal (heavy-tailed) with intraday U-shape and round-lot
+//     quantisation.
+//
+// A deal is "better" when it is cheaper AND larger, so the skyline direction
+// on volume is maximisation; the generator stores the *negated* volume to fit
+// the library's min-dominance convention.  The result has the same character
+// as the real trace: strongly clustered 2-D data with a tiny skyline and a
+// huge dominated mass.
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "gen/probability.hpp"
+
+namespace dsud {
+
+struct NyseSpec {
+  std::size_t n = 2'000'000;  ///< paper: 2M transactions
+  std::uint64_t seed = 20001201;
+  double initialPrice = 25.0;   ///< $ per share, Dell circa Dec 2000
+  double meanReversion = 0.002;
+  double baseVolatility = 0.03;
+  std::size_t ticksPerDay = 390;  ///< one trade per minute, 6.5h session
+};
+
+/// Dimension 0: average price per share ($).  Dimension 1: negated volume
+/// (shares), so Pareto-minimisation prefers cheap, large deals.
+Dataset generateNyse(const NyseSpec& spec,
+                     const ProbSampler& probs = uniformProbability());
+
+}  // namespace dsud

@@ -1,0 +1,91 @@
+#include "gen/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dsud {
+
+std::vector<Dataset> partitionUniform(const Dataset& global, std::size_t m,
+                                      Rng& rng) {
+  if (m == 0) throw std::invalid_argument("partitionUniform: m must be >= 1");
+
+  std::vector<std::size_t> order(global.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Fisher–Yates with the library RNG for determinism.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  std::vector<Dataset> sites;
+  sites.reserve(m);
+  for (std::size_t s = 0; s < m; ++s) {
+    sites.emplace_back(global.dims());
+    sites.back().reserve(global.size() / m + 1);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const TupleRef ref = global.at(order[i]);
+    sites[i % m].add(ref.id, ref.values, ref.prob);
+  }
+  return sites;
+}
+
+std::vector<Dataset> partitionByRange(const Dataset& global, std::size_t m,
+                                      std::size_t dimension) {
+  if (m == 0) throw std::invalid_argument("partitionByRange: m must be >= 1");
+  if (dimension >= global.dims()) {
+    throw std::invalid_argument("partitionByRange: dimension out of range");
+  }
+
+  std::vector<std::size_t> order(global.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double va = global.values(a)[dimension];
+    const double vb = global.values(b)[dimension];
+    if (va != vb) return va < vb;
+    return global.id(a) < global.id(b);  // deterministic tie-break
+  });
+
+  std::vector<Dataset> sites;
+  sites.reserve(m);
+  for (std::size_t s = 0; s < m; ++s) sites.emplace_back(global.dims());
+  const std::size_t n = order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t site = std::min(m - 1, i * m / std::max<std::size_t>(n, 1));
+    const TupleRef ref = global.at(order[i]);
+    sites[site].add(ref.id, ref.values, ref.prob);
+  }
+  return sites;
+}
+
+std::vector<Dataset> partitionZipf(const Dataset& global, std::size_t m,
+                                   double theta, Rng& rng) {
+  if (m == 0) throw std::invalid_argument("partitionZipf: m must be >= 1");
+  if (theta < 0.0) {
+    throw std::invalid_argument("partitionZipf: theta must be >= 0");
+  }
+
+  // Cumulative site weights w_i ∝ 1/(i+1)^theta.
+  std::vector<double> cumulative(m);
+  double total = 0.0;
+  for (std::size_t s = 0; s < m; ++s) {
+    total += 1.0 / std::pow(static_cast<double>(s + 1), theta);
+    cumulative[s] = total;
+  }
+
+  std::vector<Dataset> sites;
+  sites.reserve(m);
+  for (std::size_t s = 0; s < m; ++s) sites.emplace_back(global.dims());
+  for (std::size_t row = 0; row < global.size(); ++row) {
+    const double u = rng.uniform() * total;
+    const std::size_t site = static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    const TupleRef ref = global.at(row);
+    sites[std::min(site, m - 1)].add(ref.id, ref.values, ref.prob);
+  }
+  return sites;
+}
+
+}  // namespace dsud

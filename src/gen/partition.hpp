@@ -1,0 +1,35 @@
+// Horizontal partitioning of a global database onto m sites (paper Sec. 7):
+// tuples are assigned to sites uniformly at random, all sites receive the
+// same local cardinality |D_i| = N/m (±1 when m does not divide N), and the
+// local samples are mutually disjoint.
+#pragma once
+
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "common/rng.hpp"
+
+namespace dsud {
+
+/// Randomly deals the tuples of `global` into `m` disjoint local databases
+/// of (near-)equal size.  Deterministic given `rng`'s state.
+std::vector<Dataset> partitionUniform(const Dataset& global, std::size_t m,
+                                      Rng& rng);
+
+/// Range partitioning on one dimension: tuples sorted by `dimension` are cut
+/// into m contiguous slices (the CAN-style spatial assignment of Wu et al.,
+/// reviewed in the paper's Sec. 2.1).  The worst case for horizontal skyline
+/// protocols — one site owns the entire preferred region — and therefore a
+/// useful robustness workload (DSUD/e-DSUD make no uniformity assumption;
+/// only their constants change).
+std::vector<Dataset> partitionByRange(const Dataset& global, std::size_t m,
+                                      std::size_t dimension);
+
+/// Skewed random partitioning: site i receives tuples with probability
+/// proportional to 1/(i+1)^theta (Zipf).  theta = 0 reduces to uniform
+/// assignment with unequal-size noise; theta ~ 1 gives realistic hot-site
+/// imbalance.  Sites may end up empty at extreme skew.
+std::vector<Dataset> partitionZipf(const Dataset& global, std::size_t m,
+                                   double theta, Rng& rng);
+
+}  // namespace dsud

@@ -1,0 +1,26 @@
+#include "gen/probability.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dsud {
+
+ProbSampler uniformProbability() {
+  return [](Rng& rng) { return rng.existentialUniform(); };
+}
+
+ProbSampler gaussianProbability(double mean, double stddev) {
+  return [mean, stddev](Rng& rng) {
+    const double p = rng.gaussian(mean, stddev);
+    return std::clamp(p, 1e-9, 1.0);
+  };
+}
+
+ProbSampler constantProbability(double p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("constantProbability: p must be in (0, 1]");
+  }
+  return [p](Rng&) { return p; };
+}
+
+}  // namespace dsud

@@ -1,0 +1,28 @@
+// Existential-probability assignment (paper Sec. 7, "Data set").
+//
+// The paper makes tuples uncertain by randomly assigning each an occurrence
+// probability, either uniform on (0, 1] (synthetic + NYSE default) or
+// Gaussian with mean μ ∈ [0.3, 0.9] and σ = 0.2 (NYSE, Figs. 11c/11d, 13).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+
+namespace dsud {
+
+/// Draws one existential probability.
+using ProbSampler = std::function<double(Rng&)>;
+
+/// P ~ U(0, 1].
+ProbSampler uniformProbability();
+
+/// P ~ N(mean, stddev) clamped into (0, 1].  The paper's NYSE Gaussian
+/// setting (μ from 0.3 to 0.9, σ = 0.2).
+ProbSampler gaussianProbability(double mean, double stddev);
+
+/// Constant probability (useful for reducing to the certain-data case:
+/// P ≡ 1 makes the probabilistic skyline coincide with the classic skyline).
+ProbSampler constantProbability(double p);
+
+}  // namespace dsud

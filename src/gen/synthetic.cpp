@@ -1,0 +1,140 @@
+#include "gen/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/dominance.hpp"
+
+namespace dsud {
+namespace {
+
+double truncatedNormal(Rng& rng, double mean, double stddev) {
+  // Rejection keeps the shape of the bell inside [0, 1] (clamping would pile
+  // mass on the borders and distort the skyline).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double v = rng.gaussian(mean, stddev);
+    if (v >= 0.0 && v <= 1.0) return v;
+  }
+  return std::clamp(rng.gaussian(mean, stddev), 0.0, 1.0);
+}
+
+void sampleIndependent(std::size_t dims, Rng& rng, double* out) {
+  for (std::size_t j = 0; j < dims; ++j) out[j] = rng.uniform();
+}
+
+void sampleCorrelated(std::size_t dims, Rng& rng, double* out) {
+  // All attributes cluster around a common level v: cheap hotels tend to be
+  // close to the beach too.
+  const double v = truncatedNormal(rng, 0.5, 0.25);
+  for (std::size_t j = 0; j < dims; ++j) {
+    out[j] = std::clamp(v + rng.gaussian(0.0, 0.05), 0.0, 1.0);
+  }
+}
+
+void sampleClustered(std::size_t dims, Rng& rng, double* out,
+                     std::span<const double> centres) {
+  // One of kClusterCount Gaussian blobs, sigma 0.05, rejected back into the
+  // unit cube.
+  const std::size_t cluster = rng.below(kClusterCount);
+  for (std::size_t j = 0; j < dims; ++j) {
+    const double centre = centres[cluster * dims + j];
+    double v = rng.gaussian(centre, 0.05);
+    for (int attempt = 0; (v < 0.0 || v > 1.0) && attempt < 16; ++attempt) {
+      v = rng.gaussian(centre, 0.05);
+    }
+    out[j] = std::clamp(v, 0.0, 1.0);
+  }
+}
+
+void sampleAnticorrelated(std::size_t dims, Rng& rng, double* out) {
+  // Börzsönyi-style: pick a plane Σ x_j ≈ d·v, then shuffle mass between
+  // dimension pairs, preserving the sum, so being good on one dimension
+  // forces being bad on another.
+  const double v = truncatedNormal(rng, 0.5, 0.0833);
+  for (std::size_t j = 0; j < dims; ++j) out[j] = v;
+  if (dims == 1) return;
+  const std::size_t swaps = 2 * dims;
+  for (std::size_t s = 0; s < swaps; ++s) {
+    const auto i = static_cast<std::size_t>(rng.below(dims));
+    auto j = static_cast<std::size_t>(rng.below(dims - 1));
+    if (j >= i) ++j;
+    // Largest transfer keeping both coordinates inside [0, 1].
+    const double maxUp = std::min(1.0 - out[i], out[j]);
+    const double maxDown = std::min(out[i], 1.0 - out[j]);
+    const double delta = rng.uniform(-maxDown, maxUp);
+    out[i] += delta;
+    out[j] -= delta;
+  }
+}
+
+}  // namespace
+
+const char* distributionName(ValueDistribution dist) noexcept {
+  switch (dist) {
+    case ValueDistribution::kIndependent:
+      return "independent";
+    case ValueDistribution::kCorrelated:
+      return "correlated";
+    case ValueDistribution::kAnticorrelated:
+      return "anticorrelated";
+    case ValueDistribution::kClustered:
+      return "clustered";
+  }
+  return "unknown";
+}
+
+void samplePoint(ValueDistribution dist, std::size_t dims, Rng& rng,
+                 double* out) {
+  switch (dist) {
+    case ValueDistribution::kIndependent:
+      sampleIndependent(dims, rng, out);
+      return;
+    case ValueDistribution::kCorrelated:
+      sampleCorrelated(dims, rng, out);
+      return;
+    case ValueDistribution::kAnticorrelated:
+      sampleAnticorrelated(dims, rng, out);
+      return;
+    case ValueDistribution::kClustered: {
+      // Standalone calls derive fixed centres from a canonical stream so the
+      // function stays self-contained; generateSynthetic seeds per spec.
+      Rng centreRng(0xC1);
+      std::vector<double> centres(kClusterCount * dims);
+      for (double& c : centres) c = centreRng.uniform();
+      sampleClustered(dims, rng, out, centres);
+      return;
+    }
+  }
+  throw std::invalid_argument("samplePoint: unknown distribution");
+}
+
+Dataset generateSynthetic(const SyntheticSpec& spec,
+                          const ProbSampler& probs) {
+  if (spec.dims == 0 || spec.dims > kMaxDims) {
+    throw std::invalid_argument("generateSynthetic: dims out of range");
+  }
+  Dataset data(spec.dims);
+  data.reserve(spec.n);
+  Rng rng(spec.seed);
+  Rng probRng = rng.split(0x70726f62);  // decorrelate values from probs
+  std::vector<double> centres;
+  if (spec.dist == ValueDistribution::kClustered) {
+    Rng centreRng = rng.split(0x636c7573);
+    centres.resize(kClusterCount * spec.dims);
+    for (double& c : centres) c = centreRng.uniform();
+  }
+  std::array<double, kMaxDims> point{};
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    if (spec.dist == ValueDistribution::kClustered) {
+      sampleClustered(spec.dims, rng, point.data(), centres);
+    } else {
+      samplePoint(spec.dist, spec.dims, rng, point.data());
+    }
+    data.add(std::span<const double>(point.data(), spec.dims),
+             probs(probRng));
+  }
+  return data;
+}
+
+}  // namespace dsud

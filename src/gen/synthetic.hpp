@@ -1,0 +1,58 @@
+// Synthetic value generators (paper Sec. 7, Fig. 7).
+//
+// The two distributions the paper evaluates follow Börzsönyi et al.'s classic
+// skyline benchmark:
+//
+//   * Independent    — every attribute uniform on [0, 1], independently;
+//   * Anticorrelated — points concentrated around the plane Σ_j x_j = d/2, so
+//     a small value on one dimension implies large values elsewhere (many
+//     skyline points);
+//
+// plus Correlated (small values on one dimension imply small values on the
+// others; few skyline points) and Clustered (Gaussian blobs around random
+// seeds, the workload of several of the paper's distributed-skyline
+// references), which the paper does not sweep but which are useful for
+// tests and ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "common/rng.hpp"
+#include "gen/probability.hpp"
+
+namespace dsud {
+
+enum class ValueDistribution {
+  kIndependent,
+  kCorrelated,
+  kAnticorrelated,
+  kClustered,
+};
+
+/// Human-readable name ("independent", ...).
+const char* distributionName(ValueDistribution dist) noexcept;
+
+struct SyntheticSpec {
+  std::size_t n = 1000;
+  std::size_t dims = 2;
+  ValueDistribution dist = ValueDistribution::kIndependent;
+  std::uint64_t seed = 1;
+};
+
+/// Generates `spec.n` uncertain tuples with sequential ids starting at 0 and
+/// probabilities drawn from `probs` (default: the paper's uniform model).
+Dataset generateSynthetic(const SyntheticSpec& spec,
+                          const ProbSampler& probs = uniformProbability());
+
+/// Draws one point of the given distribution into `out[0..dims)`.  The
+/// clustered distribution additionally needs the cluster centres; use
+/// `generateSynthetic` (which derives them from the spec's seed) unless you
+/// are building a custom pipeline.
+void samplePoint(ValueDistribution dist, std::size_t dims, Rng& rng,
+                 double* out);
+
+/// Number of Gaussian blobs the clustered distribution uses.
+inline constexpr std::size_t kClusterCount = 10;
+
+}  // namespace dsud

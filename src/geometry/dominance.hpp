@@ -1,0 +1,87 @@
+// Pareto dominance over d-dimensional tuples, full-space and subspace.
+//
+// Convention (paper Sec. 3.1): smaller is better on every dimension.  Tuple
+// `a` dominates `b` (written a ≺ b) iff a_j <= b_j on every dimension and
+// a_j < b_j on at least one.  Subspace queries (paper Sec. 4) restrict the
+// comparison to a caller-chosen subset of dimensions, encoded as a bitmask.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dsud {
+
+/// Bit j set means dimension j participates in the comparison.
+using DimMask = std::uint32_t;
+
+/// Maximum supported dimensionality (bounded so MBRs can use inline storage).
+inline constexpr std::size_t kMaxDims = 8;
+
+/// Mask selecting all of the first `dims` dimensions.
+constexpr DimMask fullMask(std::size_t dims) noexcept {
+  return static_cast<DimMask>((1u << dims) - 1u);
+}
+
+/// Number of dimensions selected by `mask`.
+constexpr std::size_t maskSize(DimMask mask) noexcept {
+  std::size_t n = 0;
+  while (mask != 0) {
+    n += mask & 1u;
+    mask >>= 1u;
+  }
+  return n;
+}
+
+/// Mutual relation of two tuples under a dimension mask.
+enum class DomRelation {
+  kDominates,    ///< a ≺ b
+  kDominatedBy,  ///< b ≺ a
+  kEqual,        ///< equal on every selected dimension
+  kIncomparable  ///< neither dominates
+};
+
+/// a ≺ b on the selected dimensions.  Spans must have equal size and cover
+/// every selected dimension.
+inline bool dominates(std::span<const double> a, std::span<const double> b,
+                      DimMask mask) noexcept {
+  bool strict = false;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    if ((mask & (1u << j)) == 0) continue;
+    if (a[j] > b[j]) return false;
+    if (a[j] < b[j]) strict = true;
+  }
+  return strict;
+}
+
+/// a ≺ b on all dimensions.
+inline bool dominates(std::span<const double> a,
+                      std::span<const double> b) noexcept {
+  return dominates(a, b, fullMask(a.size()));
+}
+
+/// Full relation; useful when one comparison must branch three ways.
+inline DomRelation compare(std::span<const double> a, std::span<const double> b,
+                           DimMask mask) noexcept {
+  bool aBelow = false;  // a strictly smaller somewhere
+  bool bBelow = false;  // b strictly smaller somewhere
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    if ((mask & (1u << j)) == 0) continue;
+    if (a[j] < b[j]) {
+      aBelow = true;
+    } else if (b[j] < a[j]) {
+      bBelow = true;
+    }
+    if (aBelow && bBelow) return DomRelation::kIncomparable;
+  }
+  if (aBelow) return DomRelation::kDominates;
+  if (bBelow) return DomRelation::kDominatedBy;
+  return DomRelation::kEqual;
+}
+
+inline DomRelation compare(std::span<const double> a,
+                           std::span<const double> b) noexcept {
+  return compare(a, b, fullMask(a.size()));
+}
+
+}  // namespace dsud

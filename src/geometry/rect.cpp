@@ -1,0 +1,137 @@
+#include "geometry/rect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dsud {
+
+Rect::Rect(std::size_t dims) : dims_(dims), empty_(true) {
+  if (dims == 0 || dims > kMaxDims) {
+    throw std::invalid_argument("Rect: dims out of [1, kMaxDims]");
+  }
+  lo_.fill(std::numeric_limits<double>::infinity());
+  hi_.fill(-std::numeric_limits<double>::infinity());
+}
+
+Rect Rect::point(std::span<const double> p) {
+  Rect r(p.size());
+  r.expand(p);
+  return r;
+}
+
+void Rect::expand(std::span<const double> p) noexcept {
+  for (std::size_t j = 0; j < dims_; ++j) {
+    lo_[j] = std::min(lo_[j], p[j]);
+    hi_[j] = std::max(hi_[j], p[j]);
+  }
+  empty_ = false;
+}
+
+void Rect::expand(const Rect& r) noexcept {
+  if (r.empty_) return;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    lo_[j] = std::min(lo_[j], r.lo_[j]);
+    hi_[j] = std::max(hi_[j], r.hi_[j]);
+  }
+  empty_ = false;
+}
+
+bool Rect::containsPoint(std::span<const double> p) const noexcept {
+  if (empty_) return false;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    if (p[j] < lo_[j] || p[j] > hi_[j]) return false;
+  }
+  return true;
+}
+
+bool Rect::containsRect(const Rect& r) const noexcept {
+  if (r.empty_) return true;
+  if (empty_) return false;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    if (r.lo_[j] < lo_[j] || r.hi_[j] > hi_[j]) return false;
+  }
+  return true;
+}
+
+bool Rect::intersects(const Rect& r) const noexcept {
+  if (empty_ || r.empty_) return false;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    if (r.hi_[j] < lo_[j] || r.lo_[j] > hi_[j]) return false;
+  }
+  return true;
+}
+
+double Rect::margin() const noexcept {
+  if (empty_) return 0.0;
+  double m = 0.0;
+  for (std::size_t j = 0; j < dims_; ++j) m += hi_[j] - lo_[j];
+  return m;
+}
+
+double Rect::area() const noexcept {
+  if (empty_) return 0.0;
+  double a = 1.0;
+  for (std::size_t j = 0; j < dims_; ++j) a *= hi_[j] - lo_[j];
+  return a;
+}
+
+double Rect::overlapArea(const Rect& r) const noexcept {
+  if (empty_ || r.empty_) return 0.0;
+  double a = 1.0;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    const double lo = std::max(lo_[j], r.lo_[j]);
+    const double hi = std::min(hi_[j], r.hi_[j]);
+    if (hi < lo) return 0.0;
+    a *= hi - lo;
+  }
+  return a;
+}
+
+double Rect::enlargement(const Rect& r) const noexcept {
+  Rect merged = *this;
+  merged.expand(r);
+  return merged.area() - area();
+}
+
+double Rect::l1Key() const noexcept {
+  double s = 0.0;
+  for (std::size_t j = 0; j < dims_; ++j) s += lo_[j];
+  return s;
+}
+
+bool Rect::fullyDominates(std::span<const double> b,
+                          DimMask mask) const noexcept {
+  if (empty_) return false;
+  bool strict = false;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    if ((mask & (1u << j)) == 0) continue;
+    if (hi_[j] > b[j]) return false;
+    if (hi_[j] < b[j]) strict = true;
+  }
+  return strict;
+}
+
+bool Rect::possiblyDominates(std::span<const double> b,
+                             DimMask mask) const noexcept {
+  if (empty_) return false;
+  bool strict = false;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    if ((mask & (1u << j)) == 0) continue;
+    if (lo_[j] > b[j]) return false;
+    if (lo_[j] < b[j]) strict = true;
+  }
+  return strict;
+}
+
+bool operator==(const Rect& a, const Rect& b) noexcept {
+  if (a.dims_ != b.dims_ || a.empty_ != b.empty_) return false;
+  if (a.empty_) return true;
+  for (std::size_t j = 0; j < a.dims_; ++j) {
+    if (a.lo_[j] != b.lo_[j] || a.hi_[j] != b.hi_[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace dsud

@@ -1,0 +1,84 @@
+// Axis-aligned minimum bounding rectangles with inline storage.
+//
+// Rects are the workhorse of the PR-tree: node MBRs, window queries, and the
+// dominance-region tests that power both BBS candidate pruning and aggregate
+// dominance-product descent.  Storage is a fixed `std::array<double, kMaxDims>`
+// pair so tree nodes never allocate per-entry.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "geometry/dominance.hpp"
+
+namespace dsud {
+
+/// Axis-aligned box [lo, hi] in up to kMaxDims dimensions.
+///
+/// A default-constructed or freshly `Rect(dims)`-constructed rect is *empty*
+/// (inverted bounds); expanding it with the first point makes it a point box.
+class Rect {
+ public:
+  Rect() : Rect(1) {}
+
+  /// Empty rect of the given dimensionality.  Throws std::invalid_argument
+  /// unless 1 <= dims <= kMaxDims (untrusted dimension counts arrive from
+  /// the wire, so this is a real boundary, not an assert).
+  explicit Rect(std::size_t dims);
+
+  /// Degenerate rect covering exactly `p`.
+  static Rect point(std::span<const double> p);
+
+  std::size_t dims() const noexcept { return dims_; }
+  bool isEmpty() const noexcept { return empty_; }
+
+  double lo(std::size_t j) const noexcept { return lo_[j]; }
+  double hi(std::size_t j) const noexcept { return hi_[j]; }
+  std::span<const double> loSpan() const noexcept { return {lo_.data(), dims_}; }
+  std::span<const double> hiSpan() const noexcept { return {hi_.data(), dims_}; }
+
+  /// Grows to cover `p` / `r`.
+  void expand(std::span<const double> p) noexcept;
+  void expand(const Rect& r) noexcept;
+
+  bool containsPoint(std::span<const double> p) const noexcept;
+  bool containsRect(const Rect& r) const noexcept;
+  bool intersects(const Rect& r) const noexcept;
+
+  /// Sum of side lengths (R*-split margin criterion).  0 for empty rects.
+  double margin() const noexcept;
+
+  /// Product of side lengths.  0 for empty rects.
+  double area() const noexcept;
+
+  /// Area of the intersection with `r` (0 when disjoint).
+  double overlapArea(const Rect& r) const noexcept;
+
+  /// area(this ∪ r) − area(this): the R-tree insertion criterion.
+  double enlargement(const Rect& r) const noexcept;
+
+  /// Σ_j lo_j: a lower bound on the coordinate sum of any contained point.
+  /// Monotone under dominance, so it is the BBS heap key (paper Sec. 6.2 uses
+  /// "mindist to the origin"; the raw coordinate sum is the sign-robust
+  /// equivalent).
+  double l1Key() const noexcept;
+
+  /// True iff *every* point of this rect dominates `b` on the selected
+  /// dimensions: hi <= b everywhere and hi < b somewhere.
+  bool fullyDominates(std::span<const double> b, DimMask mask) const noexcept;
+
+  /// True iff *some* point of this rect could dominate `b`: lo ≺ b.  When
+  /// false the rect can be skipped in dominance queries.
+  bool possiblyDominates(std::span<const double> b, DimMask mask) const noexcept;
+
+  friend bool operator==(const Rect& a, const Rect& b) noexcept;
+
+ private:
+  std::array<double, kMaxDims> lo_;
+  std::array<double, kMaxDims> hi_;
+  std::size_t dims_;
+  bool empty_;
+};
+
+}  // namespace dsud

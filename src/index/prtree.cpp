@@ -1,0 +1,687 @@
+#include "index/prtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace dsud {
+
+// ---------------------------------------------------------------------------
+// Node layout
+
+struct PRTree::Node {
+  Rect mbr;
+  double pMin = 1.0;      // paper's P1
+  double pMax = 0.0;      // paper's P2
+  double survival = 1.0;  // Π (1 − P) over the subtree
+  std::size_t count = 0;
+  bool leaf = true;
+  std::vector<std::unique_ptr<Node>> children;  // internal nodes
+  std::vector<LeafEntry> entries;               // leaf nodes
+
+  explicit Node(std::size_t dims, bool isLeaf) : mbr(dims), leaf(isLeaf) {}
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+
+PRTree::PRTree(PRTree&&) noexcept = default;
+PRTree& PRTree::operator=(PRTree&&) noexcept = default;
+PRTree::~PRTree() = default;
+
+PRTree::PRTree(std::size_t dims, Options options)
+    : dims_(dims), options_(options) {
+  if (dims == 0 || dims > kMaxDims) {
+    throw std::invalid_argument("PRTree: dims must be in [1, " +
+                                std::to_string(kMaxDims) + "]");
+  }
+  if (options_.maxEntries < 4) {
+    throw std::invalid_argument("PRTree: maxEntries must be >= 4");
+  }
+  if (options_.minEntries < 2 || options_.minEntries > options_.maxEntries / 2) {
+    throw std::invalid_argument(
+        "PRTree: minEntries must be in [2, maxEntries/2]");
+  }
+}
+
+PRTree::LeafEntry PRTree::makeEntry(TupleId id, std::span<const double> values,
+                                    double prob) const {
+  if (values.size() != dims_) {
+    throw std::invalid_argument("PRTree: dimensionality mismatch");
+  }
+  if (!(prob > 0.0) || prob > 1.0) {
+    throw std::invalid_argument("PRTree: probability must be in (0, 1]");
+  }
+  LeafEntry e;
+  std::copy(values.begin(), values.end(), e.values.begin());
+  e.prob = prob;
+  e.id = id;
+  return e;
+}
+
+void PRTree::recomputeAggregates(Node& node) const {
+  node.mbr = Rect(dims_);
+  node.pMin = 1.0;
+  node.pMax = 0.0;
+  node.survival = 1.0;
+  node.count = 0;
+  if (node.leaf) {
+    for (const LeafEntry& e : node.entries) {
+      node.mbr.expand(e.valueSpan(dims_));
+      node.pMin = std::min(node.pMin, e.prob);
+      node.pMax = std::max(node.pMax, e.prob);
+      node.survival *= 1.0 - e.prob;
+      ++node.count;
+    }
+  } else {
+    for (const auto& child : node.children) {
+      node.mbr.expand(child->mbr);
+      node.pMin = std::min(node.pMin, child->pMin);
+      node.pMax = std::max(node.pMax, child->pMax);
+      node.survival *= child->survival;
+      node.count += child->count;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// STR bulk load
+
+namespace {
+
+/// Sort-tile-recursive packing: partitions `items` into groups of at most
+/// `cap` and (except when the whole input is smaller) at least `minFill`,
+/// tiling one dimension per recursion level.  `coord(item, dim)` must return
+/// the sort key on the given dimension.  Requires cap >= 2 * minFill, which
+/// PRTreeOptions enforces, so undersized tails can always be rebalanced.
+template <typename Item, typename Coord>
+void strPack(std::vector<Item>& items, std::size_t begin, std::size_t end,
+             std::size_t dim, std::size_t dims, std::size_t cap,
+             std::size_t minFill, const Coord& coord,
+             std::vector<std::pair<std::size_t, std::size_t>>& groups) {
+  const std::size_t n = end - begin;
+  if (n <= cap) {
+    groups.emplace_back(begin, end);
+    return;
+  }
+  const auto cmp = [&](const Item& a, const Item& b) {
+    return coord(a, dim) < coord(b, dim);
+  };
+  std::sort(items.begin() + static_cast<std::ptrdiff_t>(begin),
+            items.begin() + static_cast<std::ptrdiff_t>(end), cmp);
+  const std::size_t remainingDims = dims - dim;
+  if (remainingDims <= 1) {
+    std::size_t i = begin;
+    while (i < end) {
+      const std::size_t rem = end - i;
+      if (rem <= cap) {
+        groups.emplace_back(i, end);
+        break;
+      }
+      if (rem < cap + minFill) {
+        // A plain cap-sized chunk would leave an underfull tail; split the
+        // remainder evenly (both halves land in [minFill, cap]).
+        const std::size_t half = rem / 2;
+        groups.emplace_back(i, i + half);
+        groups.emplace_back(i + half, end);
+        break;
+      }
+      groups.emplace_back(i, i + cap);
+      i += cap;
+    }
+    return;
+  }
+  const auto pages = static_cast<double>((n + cap - 1) / cap);
+  const auto slabCount = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(std::pow(pages, 1.0 / static_cast<double>(remainingDims)))));
+  const std::size_t slabSize = std::max<std::size_t>(
+      cap, (n + slabCount - 1) / slabCount);
+  std::size_t i = begin;
+  while (i < end) {
+    // Absorb a tail too small to stand alone into the current slab.
+    std::size_t take = std::min(slabSize, end - i);
+    if (end - i - take < minFill) take = end - i;
+    strPack(items, i, i + take, dim + 1, dims, cap, minFill, coord, groups);
+    i += take;
+  }
+}
+
+}  // namespace
+
+PRTree PRTree::bulkLoad(const Dataset& data, Options options) {
+  PRTree tree(data.dims(), options);
+  const std::size_t dims = data.dims();
+  const std::size_t cap = options.maxEntries;
+
+  if (data.empty()) return tree;
+
+  std::vector<LeafEntry> items;
+  items.reserve(data.size());
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    items.push_back(tree.makeEntry(data.id(row), data.values(row),
+                                   data.prob(row)));
+  }
+
+  // Pack tuples into leaves.
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  strPack(items, 0, items.size(), 0, dims, cap, options.minEntries,
+          [](const LeafEntry& e, std::size_t dim) { return e.values[dim]; },
+          groups);
+
+  std::vector<std::unique_ptr<Node>> level;
+  level.reserve(groups.size());
+  for (const auto& [b, e] : groups) {
+    auto node = std::make_unique<Node>(dims, /*isLeaf=*/true);
+    node->entries.assign(items.begin() + static_cast<std::ptrdiff_t>(b),
+                         items.begin() + static_cast<std::ptrdiff_t>(e));
+    tree.recomputeAggregates(*node);
+    level.push_back(std::move(node));
+  }
+  tree.height_ = 1;
+
+  // Pack nodes into parent levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::pair<std::size_t, std::size_t>> nodeGroups;
+    strPack(level, 0, level.size(), 0, dims, cap, options.minEntries,
+            [](const std::unique_ptr<Node>& n, std::size_t dim) {
+              return 0.5 * (n->mbr.lo(dim) + n->mbr.hi(dim));
+            },
+            nodeGroups);
+    std::vector<std::unique_ptr<Node>> parents;
+    parents.reserve(nodeGroups.size());
+    for (const auto& [b, e] : nodeGroups) {
+      auto parent = std::make_unique<Node>(dims, /*isLeaf=*/false);
+      parent->children.reserve(e - b);
+      for (std::size_t i = b; i < e; ++i) {
+        parent->children.push_back(std::move(level[i]));
+      }
+      tree.recomputeAggregates(*parent);
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+    ++tree.height_;
+  }
+
+  tree.root_ = std::move(level.front());
+  tree.size_ = data.size();
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Insert
+
+namespace {
+
+/// Rect of the i-th routing item of `node` (leaf entry point box or child
+/// MBR); shared by the split heuristics.
+Rect itemRect(const PRTree::LeafEntry& e, std::size_t dims) {
+  return Rect::point(e.valueSpan(dims));
+}
+
+}  // namespace
+
+std::unique_ptr<PRTree::Node> PRTree::split(Node& node) {
+  const std::size_t total =
+      node.leaf ? node.entries.size() : node.children.size();
+  const std::size_t minE = options_.minEntries;
+
+  std::vector<Rect> rects;
+  rects.reserve(total);
+  if (node.leaf) {
+    for (const LeafEntry& e : node.entries) rects.push_back(itemRect(e, dims_));
+  } else {
+    for (const auto& c : node.children) rects.push_back(c->mbr);
+  }
+
+  // R*-style: pick the axis with the smallest margin sum over all valid
+  // distributions, then the split index with the smallest overlap (ties:
+  // smallest combined area).
+  std::vector<std::size_t> bestOrder;
+  std::size_t bestIndex = minE;
+  double bestOverlap = std::numeric_limits<double>::infinity();
+  double bestArea = std::numeric_limits<double>::infinity();
+  double bestMarginSum = std::numeric_limits<double>::infinity();
+  std::size_t bestAxis = 0;
+
+  std::vector<std::size_t> order(total);
+  std::vector<Rect> prefix(total, Rect(dims_));
+  std::vector<Rect> suffix(total, Rect(dims_));
+
+  for (std::size_t axis = 0; axis < dims_; ++axis) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (rects[a].lo(axis) != rects[b].lo(axis)) {
+        return rects[a].lo(axis) < rects[b].lo(axis);
+      }
+      return rects[a].hi(axis) < rects[b].hi(axis);
+    });
+    Rect acc(dims_);
+    for (std::size_t i = 0; i < total; ++i) {
+      acc.expand(rects[order[i]]);
+      prefix[i] = acc;
+    }
+    acc = Rect(dims_);
+    for (std::size_t i = total; i-- > 0;) {
+      acc.expand(rects[order[i]]);
+      suffix[i] = acc;
+    }
+    double marginSum = 0.0;
+    for (std::size_t k = minE; k + minE <= total; ++k) {
+      marginSum += prefix[k - 1].margin() + suffix[k].margin();
+    }
+    if (marginSum < bestMarginSum) {
+      bestMarginSum = marginSum;
+      bestAxis = axis;
+      bestOrder = order;
+    }
+  }
+
+  // Recompute prefix/suffix on the winning axis order.
+  {
+    Rect acc(dims_);
+    for (std::size_t i = 0; i < total; ++i) {
+      acc.expand(rects[bestOrder[i]]);
+      prefix[i] = acc;
+    }
+    acc = Rect(dims_);
+    for (std::size_t i = total; i-- > 0;) {
+      acc.expand(rects[bestOrder[i]]);
+      suffix[i] = acc;
+    }
+  }
+  (void)bestAxis;
+  for (std::size_t k = minE; k + minE <= total; ++k) {
+    const double overlap = prefix[k - 1].overlapArea(suffix[k]);
+    const double area = prefix[k - 1].area() + suffix[k].area();
+    if (overlap < bestOverlap ||
+        (overlap == bestOverlap && area < bestArea)) {
+      bestOverlap = overlap;
+      bestArea = area;
+      bestIndex = k;
+    }
+  }
+
+  auto sibling = std::make_unique<Node>(dims_, node.leaf);
+  if (node.leaf) {
+    std::vector<LeafEntry> left;
+    left.reserve(bestIndex);
+    for (std::size_t i = 0; i < bestIndex; ++i) {
+      left.push_back(node.entries[bestOrder[i]]);
+    }
+    for (std::size_t i = bestIndex; i < total; ++i) {
+      sibling->entries.push_back(node.entries[bestOrder[i]]);
+    }
+    node.entries = std::move(left);
+  } else {
+    std::vector<std::unique_ptr<Node>> left;
+    left.reserve(bestIndex);
+    for (std::size_t i = 0; i < bestIndex; ++i) {
+      left.push_back(std::move(node.children[bestOrder[i]]));
+    }
+    for (std::size_t i = bestIndex; i < total; ++i) {
+      sibling->children.push_back(std::move(node.children[bestOrder[i]]));
+    }
+    node.children = std::move(left);
+  }
+  recomputeAggregates(node);
+  recomputeAggregates(*sibling);
+  return sibling;
+}
+
+std::unique_ptr<PRTree::Node> PRTree::insertRecurse(Node& node,
+                                                    const LeafEntry& e) {
+  if (node.leaf) {
+    node.entries.push_back(e);
+  } else {
+    // Choose the child needing the least enlargement (ties: smaller area,
+    // then fewer tuples).
+    const Rect point = Rect::point(e.valueSpan(dims_));
+    Node* best = nullptr;
+    double bestEnlargement = std::numeric_limits<double>::infinity();
+    double bestArea = std::numeric_limits<double>::infinity();
+    std::size_t bestCount = 0;
+    for (const auto& child : node.children) {
+      const double enlargement = child->mbr.enlargement(point);
+      const double area = child->mbr.area();
+      if (enlargement < bestEnlargement ||
+          (enlargement == bestEnlargement &&
+           (area < bestArea ||
+            (area == bestArea && child->count < bestCount)))) {
+        best = child.get();
+        bestEnlargement = enlargement;
+        bestArea = area;
+        bestCount = child->count;
+      }
+    }
+    if (auto sibling = insertRecurse(*best, e)) {
+      node.children.push_back(std::move(sibling));
+    }
+  }
+  const std::size_t fanout =
+      node.leaf ? node.entries.size() : node.children.size();
+  if (fanout > options_.maxEntries) {
+    return split(node);  // split() recomputes both halves
+  }
+  recomputeAggregates(node);
+  return nullptr;
+}
+
+void PRTree::growRootIfSplit(std::unique_ptr<Node> sibling) {
+  if (!sibling) return;
+  auto newRoot = std::make_unique<Node>(dims_, /*isLeaf=*/false);
+  newRoot->children.push_back(std::move(root_));
+  newRoot->children.push_back(std::move(sibling));
+  recomputeAggregates(*newRoot);
+  root_ = std::move(newRoot);
+  ++height_;
+}
+
+void PRTree::insert(TupleId id, std::span<const double> values, double prob) {
+  const LeafEntry e = makeEntry(id, values, prob);
+  if (!root_) {
+    root_ = std::make_unique<Node>(dims_, /*isLeaf=*/true);
+    height_ = 1;
+  }
+  growRootIfSplit(insertRecurse(*root_, e));
+  ++size_;
+}
+
+// ---------------------------------------------------------------------------
+// Delete
+
+void PRTree::collectEntries(const Node& node, std::vector<LeafEntry>& out) {
+  if (node.leaf) {
+    out.insert(out.end(), node.entries.begin(), node.entries.end());
+  } else {
+    for (const auto& child : node.children) collectEntries(*child, out);
+  }
+}
+
+bool PRTree::eraseRecurse(Node& node, TupleId id,
+                          std::span<const double> values,
+                          std::vector<LeafEntry>& orphans) {
+  if (node.leaf) {
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      const LeafEntry& e = node.entries[i];
+      if (e.id != id) continue;
+      if (!std::equal(values.begin(), values.end(), e.values.begin())) continue;
+      node.entries.erase(node.entries.begin() + static_cast<std::ptrdiff_t>(i));
+      recomputeAggregates(node);
+      return true;
+    }
+    return false;
+  }
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    Node& child = *node.children[i];
+    if (!child.mbr.containsPoint(values)) continue;
+    if (!eraseRecurse(child, id, values, orphans)) continue;
+    const std::size_t fanout =
+        child.leaf ? child.entries.size() : child.children.size();
+    if (fanout < options_.minEntries) {
+      // Condense: orphan the whole subtree for reinsertion.
+      collectEntries(child, orphans);
+      node.children.erase(node.children.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    }
+    recomputeAggregates(node);
+    return true;
+  }
+  return false;
+}
+
+bool PRTree::erase(TupleId id, std::span<const double> values) {
+  if (values.size() != dims_) {
+    throw std::invalid_argument("PRTree::erase: dimensionality mismatch");
+  }
+  if (!root_) return false;
+  std::vector<LeafEntry> orphans;
+  if (!eraseRecurse(*root_, id, values, orphans)) return false;
+  --size_;
+
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+    --height_;
+  }
+  if (root_->leaf && root_->entries.empty() && orphans.empty()) {
+    root_.reset();
+    height_ = 0;
+  }
+
+  // Reinsert orphaned tuples (their subtree was dissolved).  size_ already
+  // excludes the erased tuple; orphans were counted before removal, so
+  // adjust around insert()'s increment.
+  for (const LeafEntry& e : orphans) {
+    if (!root_) {
+      root_ = std::make_unique<Node>(dims_, /*isLeaf=*/true);
+      height_ = 1;
+    }
+    growRootIfSplit(insertRecurse(*root_, e));
+  }
+  return true;
+}
+
+void PRTree::clear() {
+  root_.reset();
+  size_ = 0;
+  height_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+double PRTree::dominanceSurvival(std::span<const double> b, DimMask mask,
+                                 const Rect* clip) const {
+  if (b.size() != dims_) {
+    throw std::invalid_argument("PRTree::dominanceSurvival: bad query dims");
+  }
+  if (!root_) return 1.0;
+
+  // Recursive aggregate descent, defined inline to keep Node private.
+  const std::function<double(const Node&)> descend =
+      [&](const Node& node) -> double {
+    if (!node.mbr.possiblyDominates(b, mask)) return 1.0;
+    if (clip != nullptr && !node.mbr.intersects(*clip)) return 1.0;
+    const bool insideClip = clip == nullptr || clip->containsRect(node.mbr);
+    if (insideClip && node.mbr.fullyDominates(b, mask)) return node.survival;
+    double product = 1.0;
+    if (node.leaf) {
+      for (const LeafEntry& e : node.entries) {
+        if (clip != nullptr && !clip->containsPoint(e.valueSpan(dims_))) {
+          continue;
+        }
+        if (dominates(e.valueSpan(dims_), b, mask)) product *= 1.0 - e.prob;
+      }
+    } else {
+      for (const auto& child : node.children) product *= descend(*child);
+    }
+    return product;
+  };
+  return descend(*root_);
+}
+
+void PRTree::forEachDominating(
+    std::span<const double> b, DimMask mask,
+    const std::function<void(const LeafEntry&)>& fn) const {
+  if (b.size() != dims_) {
+    throw std::invalid_argument("PRTree::forEachDominating: bad query dims");
+  }
+  if (!root_) return;
+  const std::function<void(const Node&)> descend = [&](const Node& node) {
+    if (!node.mbr.possiblyDominates(b, mask)) return;
+    if (node.leaf) {
+      for (const LeafEntry& e : node.entries) {
+        if (dominates(e.valueSpan(dims_), b, mask)) fn(e);
+      }
+    } else {
+      for (const auto& child : node.children) descend(*child);
+    }
+  };
+  descend(*root_);
+}
+
+void PRTree::windowQuery(
+    const Rect& window, const std::function<void(const LeafEntry&)>& fn) const {
+  if (!root_) return;
+  const std::function<void(const Node&)> descend = [&](const Node& node) {
+    if (!node.mbr.intersects(window)) return;
+    if (node.leaf) {
+      for (const LeafEntry& e : node.entries) {
+        if (window.containsPoint(e.valueSpan(dims_))) fn(e);
+      }
+    } else {
+      for (const auto& child : node.children) descend(*child);
+    }
+  };
+  descend(*root_);
+}
+
+void PRTree::forEach(const std::function<void(const LeafEntry&)>& fn) const {
+  if (!root_) return;
+  const std::function<void(const Node&)> descend = [&](const Node& node) {
+    if (node.leaf) {
+      for (const LeafEntry& e : node.entries) fn(e);
+    } else {
+      for (const auto& child : node.children) descend(*child);
+    }
+  };
+  descend(*root_);
+}
+
+// ---------------------------------------------------------------------------
+// NodeRef
+
+bool PRTree::NodeRef::isLeaf() const noexcept {
+  return static_cast<const Node*>(node_)->leaf;
+}
+const Rect& PRTree::NodeRef::mbr() const noexcept {
+  return static_cast<const Node*>(node_)->mbr;
+}
+double PRTree::NodeRef::pMin() const noexcept {
+  return static_cast<const Node*>(node_)->pMin;
+}
+double PRTree::NodeRef::pMax() const noexcept {
+  return static_cast<const Node*>(node_)->pMax;
+}
+double PRTree::NodeRef::survival() const noexcept {
+  return static_cast<const Node*>(node_)->survival;
+}
+std::size_t PRTree::NodeRef::count() const noexcept {
+  return static_cast<const Node*>(node_)->count;
+}
+std::size_t PRTree::NodeRef::fanout() const noexcept {
+  const Node* n = static_cast<const Node*>(node_);
+  return n->leaf ? n->entries.size() : n->children.size();
+}
+PRTree::NodeRef PRTree::NodeRef::child(std::size_t i) const noexcept {
+  return NodeRef(static_cast<const Node*>(node_)->children[i].get());
+}
+const PRTree::LeafEntry& PRTree::NodeRef::entry(std::size_t i) const noexcept {
+  return static_cast<const Node*>(node_)->entries[i];
+}
+
+PRTree::NodeRef PRTree::root() const noexcept { return NodeRef(root_.get()); }
+
+std::size_t PRTree::height() const noexcept { return height_; }
+
+// ---------------------------------------------------------------------------
+// Invariant checking
+
+void PRTree::checkInvariants() const {
+  if (!root_) {
+    if (size_ != 0 || height_ != 0) {
+      throw std::logic_error("PRTree: empty tree with nonzero size/height");
+    }
+    return;
+  }
+
+  const auto closeEnough = [](double a, double b) {
+    return std::abs(a - b) <= 1e-12 + 1e-9 * std::abs(b);
+  };
+
+  std::size_t tuples = 0;
+  // Returns subtree depth.
+  const std::function<std::size_t(const Node&, bool)> check =
+      [&](const Node& node, bool isRoot) -> std::size_t {
+    const std::size_t fanout =
+        node.leaf ? node.entries.size() : node.children.size();
+    if (!isRoot && fanout < options_.minEntries) {
+      throw std::logic_error("PRTree: underfull non-root node");
+    }
+    if (fanout > options_.maxEntries) {
+      throw std::logic_error("PRTree: overfull node");
+    }
+    if (isRoot && !node.leaf && fanout < 2) {
+      throw std::logic_error("PRTree: internal root with < 2 children");
+    }
+
+    std::size_t depth = 1;
+    if (node.leaf) {
+      tuples += node.entries.size();
+    } else {
+      std::size_t childDepth = 0;
+      for (const auto& child : node.children) {
+        const std::size_t d = check(*child, false);
+        if (childDepth == 0) {
+          childDepth = d;
+        } else if (childDepth != d) {
+          throw std::logic_error("PRTree: leaves at different depths");
+        }
+        if (!node.mbr.containsRect(child->mbr)) {
+          throw std::logic_error("PRTree: child MBR escapes parent MBR");
+        }
+      }
+      depth = childDepth + 1;
+    }
+
+    // Recompute aggregates from scratch.
+    Rect mbr(dims_);
+    double pMin = 1.0;
+    double pMax = 0.0;
+    double survival = 1.0;
+    std::size_t count = 0;
+    if (node.leaf) {
+      for (const LeafEntry& e : node.entries) {
+        mbr.expand(e.valueSpan(dims_));
+        pMin = std::min(pMin, e.prob);
+        pMax = std::max(pMax, e.prob);
+        survival *= 1.0 - e.prob;
+        ++count;
+      }
+    } else {
+      for (const auto& child : node.children) {
+        mbr.expand(child->mbr);
+        pMin = std::min(pMin, child->pMin);
+        pMax = std::max(pMax, child->pMax);
+        survival *= child->survival;
+        count += child->count;
+      }
+    }
+    if (!(mbr == node.mbr)) {
+      throw std::logic_error("PRTree: stale MBR aggregate");
+    }
+    if (count != node.count) {
+      throw std::logic_error("PRTree: stale count aggregate");
+    }
+    if (count > 0 && (!closeEnough(pMin, node.pMin) ||
+                      !closeEnough(pMax, node.pMax))) {
+      throw std::logic_error("PRTree: stale probability aggregates");
+    }
+    if (!closeEnough(survival, node.survival)) {
+      throw std::logic_error("PRTree: stale survival aggregate");
+    }
+    return depth;
+  };
+
+  const std::size_t depth = check(*root_, true);
+  if (depth != height_) {
+    throw std::logic_error("PRTree: height bookkeeping mismatch");
+  }
+  if (tuples != size_) {
+    throw std::logic_error("PRTree: size bookkeeping mismatch");
+  }
+}
+
+}  // namespace dsud

@@ -1,0 +1,59 @@
+// Bandwidth accounting (paper Sec. 3.2, goal 1).
+//
+// The paper measures bandwidth as the number of *tuples* transmitted over the
+// network, explicitly excluding synchronisation messages and packet headers.
+// The meter tracks that tuple count per link and in total, and additionally
+// tracks raw bytes and message counts so byte-level comparisons are possible.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace dsud {
+
+/// Per-link usage between the coordinator and one site.
+struct LinkUsage {
+  std::uint64_t tuplesToSite = 0;    ///< tuples in coordinator→site payloads
+  std::uint64_t tuplesFromSite = 0;  ///< tuples in site→coordinator payloads
+  std::uint64_t bytesToSite = 0;
+  std::uint64_t bytesFromSite = 0;
+  std::uint64_t calls = 0;  ///< request/response round trips
+};
+
+/// Aggregate view over all links.
+struct UsageTotals {
+  std::uint64_t tuples = 0;  ///< total tuples shipped, both directions
+  std::uint64_t bytes = 0;
+  std::uint64_t calls = 0;
+};
+
+/// Thread-safe usage accumulator shared by all channels of one cluster.
+class BandwidthMeter {
+ public:
+  explicit BandwidthMeter(std::size_t siteCount = 0);
+
+  /// Grows the table to cover `site` if needed and returns its row.
+  void recordCall(SiteId site, std::uint64_t requestBytes,
+                  std::uint64_t responseBytes);
+  void recordTuples(SiteId site, std::uint64_t toSite,
+                    std::uint64_t fromSite);
+
+  LinkUsage link(SiteId site) const;
+  UsageTotals totals() const;
+
+  /// Total tuples shipped (the paper's bandwidth metric).
+  std::uint64_t tuplesShipped() const { return totals().tuples; }
+
+  void reset();
+
+ private:
+  void ensureSiteLocked(SiteId site);
+
+  mutable std::mutex mutex_;
+  std::vector<LinkUsage> links_;
+};
+
+}  // namespace dsud

@@ -1,0 +1,4 @@
+// InProcChannel is header-only; this translation unit exists so the target
+// has a stable archive member for the class and to hold future out-of-line
+// definitions.
+#include "net/inproc_transport.hpp"

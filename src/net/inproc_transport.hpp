@@ -1,0 +1,38 @@
+// Deterministic in-process transport.
+//
+// `call` serialises nothing away: the request frame is handed to the
+// registered handler and its response frame returned, exactly as a socket
+// round trip would, so byte counts and (de)serialisation behaviour are
+// identical to the TCP transport — only latency and concurrency differ.
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/transport.hpp"
+
+namespace dsud {
+
+/// Synchronous loopback channel: each call invokes the handler directly.
+class InProcChannel final : public ClientChannel {
+ public:
+  explicit InProcChannel(FrameHandler handler)
+      : handler_(std::move(handler)) {
+    if (!handler_) {
+      throw std::invalid_argument("InProcChannel: null handler");
+    }
+  }
+
+  Frame call(const Frame& request) override {
+    if (closed_) throw std::logic_error("InProcChannel: channel closed");
+    return handler_(request);
+  }
+
+  void close() override { closed_ = true; }
+
+ private:
+  FrameHandler handler_;
+  bool closed_ = false;
+};
+
+}  // namespace dsud

@@ -1,0 +1,29 @@
+#include "net/tcp_transport.hpp"
+
+#include <stdexcept>
+
+namespace dsud {
+
+TcpSiteServer::TcpSiteServer(FrameHandler handler, std::uint16_t port)
+    : handler_(std::move(handler)) {
+  if (!handler_) throw std::invalid_argument("TcpSiteServer: null handler");
+  listener_ = listenOn(port, &port_);
+}
+
+std::size_t TcpSiteServer::serve() {
+  Socket conn = acceptFrom(listener_);
+  std::size_t served = 0;
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    Frame request;
+    try {
+      request = readFrame(conn);
+    } catch (const NetError&) {
+      break;  // peer disconnected: normal shutdown
+    }
+    writeFrame(conn, handler_(request));
+    ++served;
+  }
+  return served;
+}
+
+}  // namespace dsud

@@ -1,0 +1,60 @@
+// TCP implementations of the transport abstraction.
+//
+// A `TcpSiteServer` runs on the site side: it accepts one coordinator
+// connection and serves request frames through the registered handler until
+// the peer disconnects or `stop()` is called.  A `TcpClientChannel` is the
+// coordinator endpoint.  Both speak the framing defined in wire.hpp, so the
+// protocol layer is byte-identical to the in-process transport.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace dsud {
+
+/// Coordinator-side TCP channel to one site.
+class TcpClientChannel final : public ClientChannel {
+ public:
+  /// Connects to a site server on 127.0.0.1:`port`.
+  explicit TcpClientChannel(std::uint16_t port) : socket_(connectTo(port)) {}
+
+  Frame call(const Frame& request) override {
+    writeFrame(socket_, request);
+    return readFrame(socket_);
+  }
+
+  void close() override { socket_.close(); }
+
+ private:
+  Socket socket_;
+};
+
+/// Site-side server: one listener, one coordinator connection.
+class TcpSiteServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral).  Call `port()` for the bound
+  /// port and `serve()` (typically on a dedicated thread) to start.
+  explicit TcpSiteServer(FrameHandler handler, std::uint16_t port = 0);
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts one connection and serves frames until the peer disconnects.
+  /// Returns the number of requests served.
+  std::size_t serve();
+
+  /// Makes `serve` return after the in-flight request (by closing the
+  /// listener; the peer disconnect ends the loop).
+  void stop() noexcept { stopped_.store(true, std::memory_order_relaxed); }
+
+ private:
+  FrameHandler handler_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace dsud

@@ -1,0 +1,42 @@
+// Transport abstraction between the coordinator and the local sites.
+//
+// The DSUD protocol is strictly request/response: every coordinator→site
+// message receives exactly one reply.  A `ClientChannel` is the coordinator's
+// endpoint of one such link.  Two implementations exist:
+//
+//   * InProcChannel  — deterministic, single-threaded loopback used by the
+//                      benchmarks (the paper's metric, tuples shipped, is
+//                      transport-independent);
+//   * TcpClientChannel / TcpSiteServer — the same frames over real TCP
+//                      sockets, used by `examples/tcp_cluster` and the
+//                      transport integration tests.
+//
+// Frames are opaque byte vectors; the protocol layer (src/core/protocol.hpp)
+// defines their contents.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace dsud {
+
+using Frame = std::vector<std::byte>;
+
+/// Handler invoked on the site side for every incoming request frame;
+/// returns the response frame.
+using FrameHandler = std::function<Frame(const Frame&)>;
+
+/// Coordinator-side endpoint of a channel to one site.
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+
+  /// Sends one request and blocks until its response arrives.
+  virtual Frame call(const Frame& request) = 0;
+
+  /// Releases the underlying resources; further calls are invalid.
+  virtual void close() {}
+};
+
+}  // namespace dsud

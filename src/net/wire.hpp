@@ -1,0 +1,60 @@
+// POSIX socket RAII and length-prefixed framing for the TCP transport.
+//
+// Frame format on the wire: u32 little-endian payload length, then payload.
+// Frames are capped at kMaxFrameBytes so a corrupt peer cannot trigger an
+// unbounded allocation.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace dsud {
+
+/// Error for any socket-level failure (connect, accept, short read, ...).
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Largest accepted frame payload (64 MiB).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Owning file-descriptor wrapper.  Move-only.
+class Socket {
+ public:
+  Socket() noexcept = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening IPv4 socket on 127.0.0.1:`port` (port 0 picks a free
+/// port).  `boundPort`, when non-null, receives the actual port.
+Socket listenOn(std::uint16_t port, std::uint16_t* boundPort = nullptr);
+
+/// Blocking accept.
+Socket acceptFrom(const Socket& listener);
+
+/// Blocking connect to 127.0.0.1:`port`.
+Socket connectTo(std::uint16_t port);
+
+/// Writes one length-prefixed frame; throws NetError on failure.
+void writeFrame(const Socket& socket, const Frame& frame);
+
+/// Reads one length-prefixed frame; throws NetError on failure or EOF.
+Frame readFrame(const Socket& socket);
+
+}  // namespace dsud

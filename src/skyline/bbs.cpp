@@ -1,0 +1,120 @@
+#include "skyline/bbs.hpp"
+
+#include <queue>
+#include <variant>
+#include <vector>
+
+namespace dsud {
+namespace {
+
+struct HeapItem {
+  double key;  // L1 key of the node MBR / tuple
+  std::variant<PRTree::NodeRef, PRTree::LeafEntry> payload;
+};
+
+struct HeapCompare {
+  bool operator()(const HeapItem& a, const HeapItem& b) const noexcept {
+    return a.key > b.key;  // min-heap
+  }
+};
+
+double tupleL1Key(const PRTree::LeafEntry& e, std::size_t dims) noexcept {
+  double s = 0.0;
+  for (std::size_t j = 0; j < dims; ++j) s += e.values[j];
+  return s;
+}
+
+/// Upper bound on P_sky of any tuple under `node`: P₂ times the survival of
+/// all tuples guaranteed to dominate the whole MBR.
+double nodeUpperBound(const PRTree& tree, const PRTree::NodeRef& node,
+                      DimMask mask, const Rect* clip) {
+  return node.pMax() *
+         tree.dominanceSurvival(node.mbr().loSpan(), mask, clip);
+}
+
+template <typename Emit>
+void traverse(const PRTree& tree, double q, DimMask mask, BbsStats* stats,
+              const Rect* clip, const Emit& emit) {
+  if (tree.empty()) return;
+  const std::size_t dims = tree.dims();
+
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCompare> heap;
+  heap.push(HeapItem{tree.root().mbr().l1Key(), tree.root()});
+
+  while (!heap.empty()) {
+    const HeapItem item = heap.top();
+    heap.pop();
+
+    if (const auto* entry = std::get_if<PRTree::LeafEntry>(&item.payload)) {
+      if (stats != nullptr) ++stats->tuplesEvaluated;
+      const double skyProb =
+          entry->prob *
+          tree.dominanceSurvival(entry->valueSpan(dims), mask, clip);
+      if (skyProb >= q) {
+        ProbSkylineEntry out;
+        out.id = entry->id;
+        out.values.assign(entry->values.begin(),
+                          entry->values.begin() +
+                              static_cast<std::ptrdiff_t>(dims));
+        out.prob = entry->prob;
+        out.skyProb = skyProb;
+        if (!emit(out)) return;
+      }
+      continue;
+    }
+
+    const auto node = std::get<PRTree::NodeRef>(item.payload);
+    if (stats != nullptr) ++stats->nodesVisited;
+    if (clip != nullptr && !node.mbr().intersects(*clip)) {
+      if (stats != nullptr) ++stats->nodesPruned;
+      continue;
+    }
+    if (nodeUpperBound(tree, node, mask, clip) < q) {
+      if (stats != nullptr) ++stats->nodesPruned;
+      continue;
+    }
+    if (node.isLeaf()) {
+      for (std::size_t i = 0; i < node.fanout(); ++i) {
+        const PRTree::LeafEntry& e = node.entry(i);
+        if (clip != nullptr && !clip->containsPoint(e.valueSpan(dims))) {
+          continue;  // outside the constraint window: not a candidate
+        }
+        // Cheap per-tuple filter before the exact query at pop time: the
+        // node-level survival bound applies to every entry.
+        heap.push(HeapItem{tupleL1Key(e, dims), e});
+      }
+    } else {
+      for (std::size_t i = 0; i < node.fanout(); ++i) {
+        const PRTree::NodeRef child = node.child(i);
+        heap.push(HeapItem{child.mbr().l1Key(), child});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree, double q,
+                                         DimMask mask, BbsStats* stats,
+                                         const Rect* clip) {
+  std::vector<ProbSkylineEntry> result;
+  traverse(tree, q, mask, stats, clip, [&](const ProbSkylineEntry& e) {
+    result.push_back(e);
+    return true;
+  });
+  sortBySkylineProbability(result);
+  return result;
+}
+
+std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree, double q) {
+  return bbsSkyline(tree, q, fullMask(tree.dims()));
+}
+
+void bbsSkylineStream(
+    const PRTree& tree, double q, DimMask mask,
+    const std::function<bool(const ProbSkylineEntry&)>& emit,
+    const Rect* clip) {
+  traverse(tree, q, mask, nullptr, clip, emit);
+}
+
+}  // namespace dsud

@@ -1,0 +1,50 @@
+// Branch-and-bound probabilistic skyline over the PR-tree (paper Sec. 6.2).
+//
+// Best-first traversal in ascending L1 key (the paper's "mindist to the
+// origin"), with subtree pruning by the threshold rule: a node e can be
+// skipped when
+//
+//     P₂(e) · Π_{t' ≺ e.mbr.lo} (1 − P(t'))  <  q
+//
+// which generalises the paper's single-witness rule (P₂(b)·(1−P(a)) < q) to
+// *all* known dominators of the node's low corner, computed in one aggregate
+// descent.  Each surviving leaf tuple gets its exact skyline probability from
+// a dominance-survival query, so the returned set is exactly
+// {t : P_sky(t, D) >= q} — no approximation is introduced by pruning.
+#pragma once
+
+#include <functional>
+
+#include "geometry/dominance.hpp"
+#include "index/prtree.hpp"
+#include "skyline/skyline_result.hpp"
+
+namespace dsud {
+
+/// Counters describing how much work a BBS run performed (for benches and
+/// pruning-effectiveness tests).
+struct BbsStats {
+  std::size_t nodesVisited = 0;
+  std::size_t nodesPruned = 0;
+  std::size_t tuplesEvaluated = 0;
+};
+
+/// Qualified probabilistic skyline of the indexed database, sorted by
+/// descending skyline probability.  A non-null `clip` restricts the query
+/// to the window (constrained skyline, Wu et al.): only tuples inside the
+/// window are candidates AND only in-window dominators count.
+std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree, double q,
+                                         DimMask mask,
+                                         BbsStats* stats = nullptr,
+                                         const Rect* clip = nullptr);
+std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree, double q);
+
+/// Streaming variant: invokes `emit` for each qualified tuple in ascending
+/// L1-key order (the BBS progressive order).  Returning false from `emit`
+/// stops the traversal early.
+void bbsSkylineStream(
+    const PRTree& tree, double q, DimMask mask,
+    const std::function<bool(const ProbSkylineEntry&)>& emit,
+    const Rect* clip = nullptr);
+
+}  // namespace dsud

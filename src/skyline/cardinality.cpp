@@ -1,0 +1,83 @@
+#include "skyline/cardinality.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace dsud {
+namespace {
+
+double factorial(std::size_t d) {
+  double f = 1.0;
+  for (std::size_t i = 2; i <= d; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+/// Exact Poisson-binomial mass for n tuples each existing with a probability
+/// drawn uniformly from [0,1]; marginally each exists with probability 1/2,
+/// so the count is Binomial(n, 1/2).
+std::vector<double> binomialHalfPmf(std::size_t n) {
+  std::vector<double> pmf(n + 1, 0.0);
+  pmf[0] = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i + 1; k-- > 0;) {
+      pmf[k + 1] += pmf[k] * 0.5;
+      pmf[k] *= 0.5;
+    }
+  }
+  return pmf;
+}
+
+}  // namespace
+
+double skylineDensityTerm(std::size_t d, double n) {
+  if (n < 2.0) return 0.0;
+  return std::pow(std::log(n), static_cast<double>(d) - 1.0) / factorial(d);
+}
+
+double expectedSkylineCardinality(std::size_t d, std::size_t n) {
+  if (n == 0) return 0.0;
+
+  if (n <= 512) {
+    // Exact expectation over the Binomial(n, 1/2) existing-tuple count.
+    const std::vector<double> pmf = binomialHalfPmf(n);
+    double h = 0.0;
+    for (std::size_t k = 0; k <= n; ++k) {
+      h += skylineDensityTerm(d, static_cast<double>(k)) * pmf[k];
+    }
+    return h;
+  }
+
+  // Large N: the count concentrates at mean N/2 with variance N·E[p(1−p)]
+  // = N/6.  Integrate the smooth summand with Gauss–Hermite quadrature.
+  const double mean = static_cast<double>(n) / 2.0;
+  const double sigma = std::sqrt(static_cast<double>(n) / 6.0);
+  // 5-point Gauss–Hermite abscissae/weights for ∫ f(x) e^{-x²} dx,
+  // transformed to N(mean, sigma²).
+  constexpr std::array<double, 5> abscissae = {
+      -2.0201828704560856, -0.9585724646138185, 0.0, 0.9585724646138185,
+      2.0201828704560856};
+  constexpr std::array<double, 5> weights = {
+      0.019953242059045913, 0.39361932315224116, 0.9453087204829419,
+      0.39361932315224116, 0.019953242059045913};
+  constexpr double invSqrtPi = 0.5641895835477563;
+  double h = 0.0;
+  for (std::size_t i = 0; i < abscissae.size(); ++i) {
+    const double count = mean + std::sqrt(2.0) * sigma * abscissae[i];
+    h += weights[i] * invSqrtPi * skylineDensityTerm(d, count);
+  }
+  return h;
+}
+
+double expectedFeedbackTuples(std::size_t d, std::size_t n, std::size_t m) {
+  if (m <= 1) return 0.0;
+  return static_cast<double>(m - 1) * expectedSkylineCardinality(d, n);
+}
+
+double expectedLocalSkylineTuples(std::size_t d, std::size_t n,
+                                  std::size_t m) {
+  if (m <= 1) return 0.0;
+  return static_cast<double>(m - 1) * expectedSkylineCardinality(d, n / m);
+}
+
+}  // namespace dsud

@@ -1,0 +1,39 @@
+// Skyline-cardinality estimation and the feedback cost model (paper Sec. 4,
+// Eqs. 6–8).
+//
+// Under the paper's three assumptions (uniform values, independent
+// dimensions, uniform existential probabilities) the expected number of
+// skyline tuples in a d-dimensional uncertain database with cardinality N is
+//
+//     H(d, N) ≈ Σ_{n=0}^{N} ln^{d−1}(n) / d! · P(n)        (Eq. 6)
+//
+// where P(n) is the probability that exactly n tuples exist.  With P ~ U[0,1]
+// the existing-tuple count concentrates around N/2 with variance N/12·... —
+// precisely Var = Σ p_i(1−p_i) whose expectation is N/6 — so for large N we
+// integrate the smooth summand against a 5-point Gaussian quadrature around
+// the mean instead of materialising two million binomial terms; for small N
+// the Poisson-binomial distribution is evaluated exactly.  Eqs. 7 and 8
+// compare the cost of naive feedback (N_back) with shipping all local
+// skylines (N_local), motivating the e-DSUD feedback selection.
+#pragma once
+
+#include <cstddef>
+
+namespace dsud {
+
+/// ln^{d−1}(n) / d!, the Eq. 6 summand (0 for n < 2).
+double skylineDensityTerm(std::size_t d, double n);
+
+/// Expected skyline cardinality H(d, N) of an uncertain database whose
+/// tuples exist independently with probability drawn from U[0,1] (Eq. 6).
+double expectedSkylineCardinality(std::size_t d, std::size_t n);
+
+/// Expected number of tuples a naive feedback mechanism sends back:
+/// N_back = (m−1) · H(d, N)  (Eq. 7).
+double expectedFeedbackTuples(std::size_t d, std::size_t n, std::size_t m);
+
+/// Expected total local-skyline size under even partitioning:
+/// N_local = (m−1) · H(d, N/m)  (Eq. 8).
+double expectedLocalSkylineTuples(std::size_t d, std::size_t n, std::size_t m);
+
+}  // namespace dsud

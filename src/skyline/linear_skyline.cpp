@@ -1,0 +1,68 @@
+#include "skyline/linear_skyline.hpp"
+
+#include <algorithm>
+
+namespace dsud {
+
+void sortBySkylineProbability(std::vector<ProbSkylineEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ProbSkylineEntry& a, const ProbSkylineEntry& b) {
+              if (a.skyProb != b.skyProb) return a.skyProb > b.skyProb;
+              return a.id < b.id;
+            });
+}
+
+std::vector<double> skylineProbabilitiesLinear(const Dataset& data,
+                                               DimMask mask) {
+  std::vector<double> probs(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    double survival = 1.0;
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      if (j == i) continue;
+      if (dominates(data.values(j), data.values(i), mask)) {
+        survival *= 1.0 - data.prob(j);
+      }
+    }
+    probs[i] = data.prob(i) * survival;
+  }
+  return probs;
+}
+
+std::vector<double> skylineProbabilitiesLinear(const Dataset& data) {
+  return skylineProbabilitiesLinear(data, fullMask(data.dims()));
+}
+
+std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data, double q,
+                                            DimMask mask) {
+  const std::vector<double> probs = skylineProbabilitiesLinear(data, mask);
+  std::vector<ProbSkylineEntry> result;
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    if (probs[row] >= q) {
+      const TupleRef ref = data.at(row);
+      result.push_back(ProbSkylineEntry{
+          ref.id,
+          std::vector<double>(ref.values.begin(), ref.values.end()),
+          ref.prob, probs[row]});
+    }
+  }
+  sortBySkylineProbability(result);
+  return result;
+}
+
+std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data, double q) {
+  return linearSkyline(data, q, fullMask(data.dims()));
+}
+
+std::vector<ProbSkylineEntry> linearSkylineConstrained(const Dataset& data,
+                                                       double q, DimMask mask,
+                                                       const Rect& window) {
+  Dataset filtered(data.dims());
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    if (window.containsPoint(data.values(row))) {
+      filtered.add(data.id(row), data.values(row), data.prob(row));
+    }
+  }
+  return linearSkyline(filtered, q, mask);
+}
+
+}  // namespace dsud

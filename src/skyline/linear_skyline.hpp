@@ -1,0 +1,35 @@
+// O(N²) probabilistic skyline by direct evaluation of the closed form
+// (Eq. 3): P_sky(t, D) = P(t) · Π_{t'≺t} (1 − P(t')).
+//
+// This is the paper's "basic linear scan method" (Sec. 6): simple, exact, and
+// the reference implementation every indexed algorithm is tested against.
+#pragma once
+
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "geometry/dominance.hpp"
+#include "geometry/rect.hpp"
+#include "skyline/skyline_result.hpp"
+
+namespace dsud {
+
+/// P_sky(row, data) for every row, on the selected dimensions.  O(N²).
+std::vector<double> skylineProbabilitiesLinear(const Dataset& data,
+                                               DimMask mask);
+std::vector<double> skylineProbabilitiesLinear(const Dataset& data);
+
+/// Qualified probabilistic skyline {t : P_sky(t, D) >= q}, sorted by
+/// descending skyline probability.  O(N²).
+std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data, double q,
+                                            DimMask mask);
+std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data, double q);
+
+/// Constrained variant (Wu et al.): only tuples inside `window` participate,
+/// both as candidates and as dominators.  Reference implementation for the
+/// indexed constrained queries.  O(N²).
+std::vector<ProbSkylineEntry> linearSkylineConstrained(const Dataset& data,
+                                                       double q, DimMask mask,
+                                                       const Rect& window);
+
+}  // namespace dsud

@@ -1,0 +1,70 @@
+#include "skyline/monte_carlo.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dsud {
+
+WorldSampler independentWorlds() {
+  return [](const Dataset& data, Rng& rng, std::vector<bool>& present) {
+    for (std::size_t row = 0; row < data.size(); ++row) {
+      present[row] = rng.uniform() < data.prob(row);
+    }
+  };
+}
+
+std::vector<double> skylineProbabilitiesMonteCarlo(
+    const Dataset& data, std::size_t worlds, Rng& rng, DimMask mask,
+    const WorldSampler& sampler) {
+  if (worlds == 0) {
+    throw std::invalid_argument(
+        "skylineProbabilitiesMonteCarlo: need at least one world");
+  }
+  const DimMask effective = mask == 0 ? fullMask(data.dims()) : mask;
+
+  // Sort rows by coordinate sum once: dominators precede dominated rows, so
+  // each world's skyline is computable in one forward sweep against the
+  // world's current skyline set.
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto sum = [&](std::size_t row) {
+      double s = 0.0;
+      const auto v = data.values(row);
+      for (std::size_t j = 0; j < data.dims(); ++j) {
+        if ((effective & (1u << j)) != 0) s += v[j];
+      }
+      return s;
+    };
+    return sum(a) < sum(b);
+  });
+
+  std::vector<double> hits(data.size(), 0.0);
+  std::vector<bool> present(data.size());
+  std::vector<std::size_t> worldSkyline;
+
+  for (std::size_t w = 0; w < worlds; ++w) {
+    sampler(data, rng, present);
+    worldSkyline.clear();
+    for (const std::size_t row : order) {
+      if (!present[row]) continue;
+      bool dominated = false;
+      for (const std::size_t member : worldSkyline) {
+        if (dominates(data.values(member), data.values(row), effective)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        worldSkyline.push_back(row);
+        hits[row] += 1.0;
+      }
+    }
+  }
+
+  for (double& h : hits) h /= static_cast<double>(worlds);
+  return hits;
+}
+
+}  // namespace dsud

@@ -1,0 +1,38 @@
+// Monte Carlo estimation of skyline probabilities (in the spirit of MCDB,
+// the paper's reference [9]): instantiate possible worlds by sampling each
+// tuple's existence independently, compute the conventional skyline of each
+// world, and average membership.
+//
+// The estimator converges to the possible-world semantics (Eq. 2) by the law
+// of large numbers, so it cross-checks the closed form (Eq. 3) at scales
+// where the 2^N enumeration is impossible — and is itself a useful library
+// feature when dominance independence is in doubt (correlated-existence
+// models can be plugged in through the world sampler).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "common/rng.hpp"
+#include "geometry/dominance.hpp"
+
+namespace dsud {
+
+/// Draws one possible world: `present[i]` says whether row i exists.  The
+/// default sampler uses the independent-existence model of the paper.
+using WorldSampler = std::function<void(const Dataset&, Rng&,
+                                        std::vector<bool>& present)>;
+
+/// The paper's model: each tuple exists independently with probability P(t).
+WorldSampler independentWorlds();
+
+/// Estimated P_sky(t, D) for every row from `worlds` sampled possible
+/// worlds.  Standard error of each estimate is <= 0.5 / sqrt(worlds).
+std::vector<double> skylineProbabilitiesMonteCarlo(
+    const Dataset& data, std::size_t worlds, Rng& rng,
+    DimMask mask = 0,  // 0 = all dimensions
+    const WorldSampler& sampler = independentWorlds());
+
+}  // namespace dsud

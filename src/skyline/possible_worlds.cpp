@@ -1,0 +1,60 @@
+#include "skyline/possible_worlds.hpp"
+
+#include <stdexcept>
+
+namespace dsud {
+
+double worldProbability(const Dataset& data, std::uint32_t memberBits) {
+  double p = 1.0;
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    const bool present = (memberBits >> row) & 1u;
+    p *= present ? data.prob(row) : 1.0 - data.prob(row);
+  }
+  return p;
+}
+
+std::vector<std::size_t> skylineOfWorld(const Dataset& data,
+                                        std::uint32_t memberBits,
+                                        DimMask mask) {
+  std::vector<std::size_t> members;
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    if ((memberBits >> row) & 1u) members.push_back(row);
+  }
+  std::vector<std::size_t> skyline;
+  for (const std::size_t candidate : members) {
+    bool dominated = false;
+    for (const std::size_t other : members) {
+      if (other == candidate) continue;
+      if (dominates(data.values(other), data.values(candidate), mask)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(candidate);
+  }
+  return skyline;
+}
+
+std::vector<double> skylineProbabilitiesByEnumeration(const Dataset& data,
+                                                      DimMask mask) {
+  if (data.size() > kMaxEnumerableTuples) {
+    throw std::invalid_argument(
+        "skylineProbabilitiesByEnumeration: dataset too large to enumerate");
+  }
+  std::vector<double> probs(data.size(), 0.0);
+  const std::uint32_t worlds = 1u << data.size();
+  for (std::uint32_t w = 0; w < worlds; ++w) {
+    const double pw = worldProbability(data, w);
+    if (pw == 0.0) continue;
+    for (const std::size_t row : skylineOfWorld(data, w, mask)) {
+      probs[row] += pw;
+    }
+  }
+  return probs;
+}
+
+std::vector<double> skylineProbabilitiesByEnumeration(const Dataset& data) {
+  return skylineProbabilitiesByEnumeration(data, fullMask(data.dims()));
+}
+
+}  // namespace dsud

@@ -1,0 +1,38 @@
+// Possible-world semantics, by direct enumeration (paper Sec. 3, Fig. 3).
+//
+// Every subset W of an uncertain database is a possible world with
+// probability P(W) = Π_{t∈W} P(t) · Π_{t∉W} (1 − P(t)) (Eq. 1), and the
+// skyline probability of a tuple is the total probability of the worlds whose
+// (conventional) skyline contains it (Eq. 2).  Enumeration is exponential, so
+// this module is the *ground truth oracle* for tests and tiny examples: it
+// validates that the closed form (Eq. 3) used everywhere else matches the
+// semantics exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "geometry/dominance.hpp"
+
+namespace dsud {
+
+/// Maximum dataset size accepted by the enumerator (2^N worlds).
+inline constexpr std::size_t kMaxEnumerableTuples = 24;
+
+/// P(W) of the world whose members are the rows with set bits (Eq. 1).
+double worldProbability(const Dataset& data, std::uint32_t memberBits);
+
+/// Row indices of the conventional skyline of the given world, on the
+/// selected dimensions.
+std::vector<std::size_t> skylineOfWorld(const Dataset& data,
+                                        std::uint32_t memberBits, DimMask mask);
+
+/// Skyline probability of every row by full possible-world enumeration
+/// (Eq. 2).  Throws std::invalid_argument when the dataset exceeds
+/// kMaxEnumerableTuples.
+std::vector<double> skylineProbabilitiesByEnumeration(const Dataset& data,
+                                                      DimMask mask);
+std::vector<double> skylineProbabilitiesByEnumeration(const Dataset& data);
+
+}  // namespace dsud

@@ -1,0 +1,27 @@
+#include "skyline/skycube.hpp"
+
+#include <stdexcept>
+
+#include "skyline/bbs.hpp"
+
+namespace dsud {
+
+Skycube::Skycube(const PRTree& tree, double q) : dims_(tree.dims()), q_(q) {
+  if (!(q > 0.0) || q > 1.0) {
+    throw std::invalid_argument("Skycube: q must be in (0, 1]");
+  }
+  const DimMask full = fullMask(dims_);
+  cuboids_.reserve(full);
+  for (DimMask mask = 1; mask <= full; ++mask) {
+    cuboids_.push_back(bbsSkyline(tree, q_, mask));
+  }
+}
+
+const std::vector<ProbSkylineEntry>& Skycube::cuboid(DimMask mask) const {
+  if (mask == 0 || mask > fullMask(dims_)) {
+    throw std::out_of_range("Skycube::cuboid: mask outside the cube");
+  }
+  return cuboids_[mask - 1];
+}
+
+}  // namespace dsud

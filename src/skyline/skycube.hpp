@@ -1,0 +1,51 @@
+// Probabilistic skyline cube: the qualified skyline of every non-empty
+// subspace (the paper's reference [3], "Efficient Computation of the
+// Skyline Cube", lifted to the uncertain model).
+//
+// A d-dimensional uncertain database has 2^d − 1 cuboids; each is the
+// probabilistic skyline under the corresponding dimension mask.  Because
+// dominance is mask-dependent, cuboids are not generally contained in one
+// another — each is computed by its own BBS pass over the shared PR-tree
+// (the index is mask-agnostic), which is the pragmatic strategy for the
+// d <= 8 range this library supports.
+#pragma once
+
+#include <vector>
+
+#include "geometry/dominance.hpp"
+#include "index/prtree.hpp"
+#include "skyline/skyline_result.hpp"
+
+namespace dsud {
+
+/// All-subspace probabilistic skylines of one indexed database.
+class Skycube {
+ public:
+  /// Computes every cuboid of `tree` at threshold `q`.
+  Skycube(const PRTree& tree, double q);
+
+  std::size_t dims() const noexcept { return dims_; }
+  double threshold() const noexcept { return q_; }
+
+  /// Number of cuboids: 2^d − 1.
+  std::size_t cuboidCount() const noexcept { return cuboids_.size(); }
+
+  /// The skyline of one subspace; `mask` must be a non-empty subset of the
+  /// first d dimensions.  Throws std::out_of_range otherwise.
+  const std::vector<ProbSkylineEntry>& cuboid(DimMask mask) const;
+
+  /// Invokes `fn(mask, skyline)` for every cuboid, in ascending mask order.
+  template <typename Fn>
+  void forEachCuboid(Fn&& fn) const {
+    for (DimMask mask = 1; mask <= fullMask(dims_); ++mask) {
+      fn(mask, cuboids_[mask - 1]);
+    }
+  }
+
+ private:
+  std::size_t dims_;
+  double q_;
+  std::vector<std::vector<ProbSkylineEntry>> cuboids_;  // index = mask - 1
+};
+
+}  // namespace dsud

@@ -1,0 +1,25 @@
+// Result record shared by all centralised probabilistic-skyline algorithms.
+#pragma once
+
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace dsud {
+
+/// One qualified probabilistic-skyline answer.
+struct ProbSkylineEntry {
+  TupleId id = 0;
+  std::vector<double> values;
+  double prob = 0.0;     ///< existential probability P(t)
+  double skyProb = 0.0;  ///< skyline probability P_sky(t, D)
+
+  friend bool operator==(const ProbSkylineEntry&,
+                         const ProbSkylineEntry&) = default;
+};
+
+/// Sorts answers in the paper's canonical order: descending skyline
+/// probability, ties broken by ascending id for determinism.
+void sortBySkylineProbability(std::vector<ProbSkylineEntry>& entries);
+
+}  // namespace dsud

@@ -1,0 +1,81 @@
+#include "skyline/stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "skyline/bbs.hpp"
+
+namespace dsud {
+
+SlidingWindowSkyline::SlidingWindowSkyline(std::size_t dims,
+                                           std::size_t windowSize, double q)
+    : dims_(dims), windowSize_(windowSize), q_(q), tree_(dims) {
+  if (windowSize == 0) {
+    throw std::invalid_argument("SlidingWindowSkyline: window must be >= 1");
+  }
+  if (!(q > 0.0) || q > 1.0) {
+    throw std::invalid_argument("SlidingWindowSkyline: q must be in (0, 1]");
+  }
+}
+
+TupleId SlidingWindowSkyline::append(const Tuple& t) {
+  if (t.values.size() != dims_) {
+    throw std::invalid_argument("SlidingWindowSkyline: dims mismatch");
+  }
+  TupleId expired = kNoExpiry;
+  if (window_.size() == windowSize_) {
+    const Tuple& oldest = window_.front();
+    if (!tree_.erase(oldest.id, oldest.values)) {
+      throw std::logic_error("SlidingWindowSkyline: window/tree divergence");
+    }
+    expired = oldest.id;
+    window_.pop_front();
+  }
+  tree_.insert(t);
+  window_.push_back(t);
+  return expired;
+}
+
+std::vector<ProbSkylineEntry> SlidingWindowSkyline::skyline() const {
+  return bbsSkyline(tree_, q_);
+}
+
+double SlidingWindowSkyline::skylineProbability(TupleId id) const {
+  for (const Tuple& t : window_) {
+    if (t.id == id) {
+      return t.prob * tree_.dominanceSurvival(t.values);
+    }
+  }
+  return 0.0;
+}
+
+double SlidingWindowSkyline::newerDominatorSurvival(
+    std::size_t windowIndex) const {
+  const Tuple& t = window_[windowIndex];
+  double survival = 1.0;
+  for (std::size_t j = windowIndex + 1; j < window_.size(); ++j) {
+    if (dominates(window_[j].values, t.values)) {
+      survival *= 1.0 - window_[j].prob;
+    }
+  }
+  return survival;
+}
+
+bool SlidingWindowSkyline::isCandidate(TupleId id) const {
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    if (window_[i].id == id) {
+      return window_[i].prob * newerDominatorSurvival(i) >= q_;
+    }
+  }
+  return false;
+}
+
+std::size_t SlidingWindowSkyline::candidateCount() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    if (window_[i].prob * newerDominatorSurvival(i) >= q_) ++count;
+  }
+  return count;
+}
+
+}  // namespace dsud

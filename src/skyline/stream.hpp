@@ -1,0 +1,78 @@
+// Sliding-window probabilistic skyline over an uncertain stream.
+//
+// A compact reproduction of the related work the paper builds its NYSE
+// evaluation on (Zhang et al., ICDE 2009, reviewed in Sec. 2.2): maintain,
+// over the most recent W elements of an uncertain stream, the set
+// {t : P_sky(t, window) >= q}.
+//
+// Two of that paper's ideas are reproduced here:
+//
+//   * exact maintenance — the window is indexed by a PR-tree, so each slide
+//     is one insert + one delete and the answer is a BBS query;
+//
+//   * the *candidate* criterion — an element's skyline probability only
+//     grows as the window slides (its dominators that are OLDER expire
+//     before it does), so its maximum future probability is
+//
+//         P(t) · Π_{t' newer than t, t' ≺ t} (1 − P(t'))
+//
+//     and an element below q on that bound can never become an answer
+//     while it lives.  Zhang et al. prove these non-candidates are exactly
+//     the elements a minimal scheme may forget; here the criterion is
+//     exposed for inspection (`isCandidate`, `candidateCount`) and verified
+//     by property tests, while the index keeps everything for exactness.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/dataset.hpp"
+#include "index/prtree.hpp"
+#include "skyline/skyline_result.hpp"
+
+namespace dsud {
+
+/// Count-based sliding-window probabilistic skyline.
+class SlidingWindowSkyline {
+ public:
+  /// Window of the most recent `windowSize` elements; threshold `q`.
+  SlidingWindowSkyline(std::size_t dims, std::size_t windowSize, double q);
+
+  std::size_t dims() const noexcept { return dims_; }
+  std::size_t windowSize() const noexcept { return windowSize_; }
+  double threshold() const noexcept { return q_; }
+  /// Elements currently in the window (== windowSize once warmed up).
+  std::size_t size() const noexcept { return window_.size(); }
+
+  /// Appends one stream element, expiring the oldest when the window is
+  /// full.  Ids must be unique among live elements.  Returns the expired
+  /// element's id, or kNoExpiry when the window was not yet full.
+  static constexpr TupleId kNoExpiry = static_cast<TupleId>(-1);
+  TupleId append(const Tuple& t);
+
+  /// Current answer set {t in window : P_sky(t, window) >= q}, sorted by
+  /// descending probability.
+  std::vector<ProbSkylineEntry> skyline() const;
+
+  /// Exact skyline probability of a live element (0 if not live).
+  double skylineProbability(TupleId id) const;
+
+  /// Zhang-et-al. candidate test: can this element still reach q before it
+  /// expires?  (Only *newer* dominators outlive it.)
+  bool isCandidate(TupleId id) const;
+
+  /// Number of live elements passing the candidate test — the minimum
+  /// state a memory-optimal scheme must retain.
+  std::size_t candidateCount() const;
+
+ private:
+  double newerDominatorSurvival(std::size_t windowIndex) const;
+
+  std::size_t dims_;
+  std::size_t windowSize_;
+  double q_;
+  std::deque<Tuple> window_;  // front = oldest
+  PRTree tree_;
+};
+
+}  // namespace dsud

@@ -1,0 +1,159 @@
+#include "vertical/vertical.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geometry/dominance.hpp"
+
+namespace dsud {
+
+DimensionSite::DimensionSite(std::size_t dimension,
+                             std::vector<std::pair<double, TupleId>> column)
+    : dimension_(dimension), column_(std::move(column)) {
+  std::sort(column_.begin(), column_.end());
+  byId_.reserve(column_.size());
+  for (const auto& [value, id] : column_) {
+    if (!byId_.emplace(id, value).second) {
+      throw std::invalid_argument("DimensionSite: duplicate tuple id");
+    }
+  }
+}
+
+DimensionSite DimensionSite::fromDataset(const Dataset& data,
+                                         std::size_t dimension) {
+  if (dimension >= data.dims()) {
+    throw std::invalid_argument("DimensionSite: dimension out of range");
+  }
+  std::vector<std::pair<double, TupleId>> column;
+  column.reserve(data.size());
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    column.emplace_back(data.values(row)[dimension], data.id(row));
+  }
+  return DimensionSite(dimension, std::move(column));
+}
+
+std::optional<std::pair<double, TupleId>> DimensionSite::nextSorted() {
+  if (cursor_ >= column_.size()) return std::nullopt;
+  return column_[cursor_++];
+}
+
+double DimensionSite::valueOf(TupleId id) const {
+  auto it = byId_.find(id);
+  if (it == byId_.end()) {
+    throw std::out_of_range("DimensionSite: unknown tuple id");
+  }
+  return it->second;
+}
+
+std::vector<VerticalSkylineEntry> verticalSkyline(
+    std::vector<DimensionSite>& sites, VerticalStats* stats) {
+  const std::size_t d = sites.size();
+  if (d == 0) return {};
+  for (auto& site : sites) site.rewind();
+
+  VerticalStats local;
+  // Per-tuple partial view: which dimensions sorted access delivered.
+  struct Partial {
+    std::vector<double> values;
+    std::uint32_t seenMask = 0;
+    std::size_t seenCount = 0;
+  };
+  std::unordered_map<TupleId, Partial> seen;
+
+  // Phase 1: round-robin sorted access until one tuple completes.
+  const auto deliver = [&](std::size_t s,
+                           const std::pair<double, TupleId>& next) -> bool {
+    ++local.sortedAccesses;
+    auto [it, inserted] = seen.try_emplace(next.second);
+    if (inserted) it->second.values.assign(d, 0.0);
+    Partial& partial = it->second;
+    const std::size_t dim = sites[s].dimension();
+    partial.values[dim] = next.first;
+    partial.seenMask |= 1u << dim;
+    return ++partial.seenCount == d;
+  };
+
+  TupleId completedId = 0;
+  bool complete = false;
+  while (!complete) {
+    bool progressed = false;
+    for (std::size_t s = 0; s < d && !complete; ++s) {
+      const auto next = sites[s].nextSorted();
+      if (!next) continue;  // this list is exhausted
+      progressed = true;
+      if (deliver(s, *next)) {
+        complete = true;
+        completedId = next->second;
+      }
+    }
+    if (!progressed) break;  // every list exhausted: everything was seen
+  }
+
+  // Phase 1b — tie drain.  The pruning argument needs every unseen tuple to
+  // be *strictly* above the completed tuple p on all dimensions.  With
+  // duplicate attribute values an unseen tuple can still tie p at the scan
+  // frontier, so advance each list past all values equal to p's value there.
+  if (complete) {
+    const Partial& p = seen.at(completedId);
+    for (std::size_t s = 0; s < d; ++s) {
+      const double pValue = p.values[sites[s].dimension()];
+      while (true) {
+        const auto next = sites[s].nextSorted();
+        if (!next) break;
+        deliver(s, *next);
+        if (next->first > pValue) break;
+      }
+    }
+  }
+  local.candidates = seen.size();
+
+  // Phase 2: fetch the missing attributes of every candidate by random
+  // access (only the dimensions sorted access did not deliver).
+  std::vector<VerticalSkylineEntry> candidates;
+  candidates.reserve(seen.size());
+  for (auto& [id, partial] : seen) {
+    VerticalSkylineEntry entry;
+    entry.id = id;
+    entry.values = std::move(partial.values);
+    for (std::size_t s = 0; s < d; ++s) {
+      const std::size_t dim = sites[s].dimension();
+      if ((partial.seenMask & (1u << dim)) == 0) {
+        entry.values[dim] = sites[s].valueOf(id);
+        ++local.randomAccesses;
+      }
+    }
+    candidates.push_back(std::move(entry));
+  }
+
+  // Phase 3: conventional skyline among the candidates.
+  std::vector<VerticalSkylineEntry> skyline;
+  for (const auto& c : candidates) {
+    bool dominated = false;
+    for (const auto& other : candidates) {
+      if (other.id == c.id) continue;
+      if (dominates(other.values, c.values)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(c);
+  }
+  std::sort(skyline.begin(), skyline.end(),
+            [](const VerticalSkylineEntry& a, const VerticalSkylineEntry& b) {
+              return a.id < b.id;
+            });
+  if (stats != nullptr) *stats = local;
+  return skyline;
+}
+
+std::vector<VerticalSkylineEntry> verticalSkyline(const Dataset& data,
+                                                  VerticalStats* stats) {
+  std::vector<DimensionSite> sites;
+  sites.reserve(data.dims());
+  for (std::size_t dim = 0; dim < data.dims(); ++dim) {
+    sites.push_back(DimensionSite::fromDataset(data, dim));
+  }
+  return verticalSkyline(sites, stats);
+}
+
+}  // namespace dsud

@@ -1,0 +1,93 @@
+// Distributed skyline over VERTICALLY partitioned data.
+//
+// The paper's future-work direction (Sec. 8) and its earliest related work
+// (Balke, Güntzer & Zheng, EDBT 2004, reviewed in Sec. 2.1): a d-dimensional
+// relation is split across d sites, each holding *one attribute* as a list
+// sorted ascending.  The coordinator performs Threshold-Algorithm-style
+// sorted accesses over the d lists in round-robin until some tuple has been
+// seen in every list; at that moment every still-unseen tuple lies beyond
+// the scan frontier on all dimensions and is therefore dominated by the
+// completed tuple, so it can be pruned without ever being fetched.  The
+// survivors' missing attributes are then fetched by random access and the
+// conventional skyline is computed locally.
+//
+// This module implements the certain-data case (existential probabilities
+// play no role in the pruning argument; extending it to uncertain data is
+// exactly the open problem the paper leaves behind).  Unlike the textbook
+// formulation — which assumes the paper's Sec. 4 uniqueness condition — the
+// implementation is tie-safe: after the first tuple completes, each list is
+// drained past all values equal to the completed tuple's value, so the
+// frontier-domination argument is strict even with duplicate attributes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace dsud {
+
+/// One site of the vertical partitioning: a single attribute, sorted.
+class DimensionSite {
+ public:
+  /// Builds from (value, id) pairs; sorts ascending by value.
+  DimensionSite(std::size_t dimension,
+                std::vector<std::pair<double, TupleId>> column);
+
+  /// Extracts dimension `dimension` of `data` as one site.
+  static DimensionSite fromDataset(const Dataset& data,
+                                   std::size_t dimension);
+
+  std::size_t dimension() const noexcept { return dimension_; }
+  std::size_t size() const noexcept { return column_.size(); }
+
+  /// Sorted access: the next (value, id) in ascending order, or nullopt
+  /// when the list is exhausted.  Each call costs one sorted access.
+  std::optional<std::pair<double, TupleId>> nextSorted();
+
+  /// Random access: the attribute value of a given tuple.  Each call costs
+  /// one random access.  Throws std::out_of_range for unknown ids.
+  double valueOf(TupleId id) const;
+
+  /// Resets the sorted-access cursor (new query).
+  void rewind() noexcept { cursor_ = 0; }
+
+ private:
+  std::size_t dimension_;
+  std::vector<std::pair<double, TupleId>> column_;
+  std::unordered_map<TupleId, double> byId_;
+  std::size_t cursor_ = 0;
+};
+
+/// Access counts: the bandwidth currency of the vertical model (each access
+/// moves one (value, id) pair over the network).
+struct VerticalStats {
+  std::size_t sortedAccesses = 0;
+  std::size_t randomAccesses = 0;
+  std::size_t candidates = 0;  ///< tuples seen before the stop condition
+};
+
+/// Skyline answer with the reassembled attribute vector.
+struct VerticalSkylineEntry {
+  TupleId id = 0;
+  std::vector<double> values;
+
+  friend bool operator==(const VerticalSkylineEntry&,
+                         const VerticalSkylineEntry&) = default;
+};
+
+/// Computes the exact skyline of the vertically partitioned relation.
+/// Sites must all have the same cardinality (one row per tuple each).
+/// Results are sorted by ascending id.
+std::vector<VerticalSkylineEntry> verticalSkyline(
+    std::vector<DimensionSite>& sites, VerticalStats* stats = nullptr);
+
+/// Convenience: partitions `data` vertically and runs the query (ignores
+/// the existential probabilities; certain-data semantics).
+std::vector<VerticalSkylineEntry> verticalSkyline(const Dataset& data,
+                                                  VerticalStats* stats =
+                                                      nullptr);
+
+}  // namespace dsud

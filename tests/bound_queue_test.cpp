@@ -1,0 +1,144 @@
+// Direct unit tests of the coordinator's bound machinery
+// (core/bound_queue.hpp): Observation-2 witness factors, Corollary-2
+// confirmed caps, retention semantics, and selection.
+#include "core/bound_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsud {
+namespace {
+
+using internal::BoundQueue;
+
+Candidate cand(SiteId site, TupleId id, std::vector<double> values,
+               double prob, double localSkyProb) {
+  Candidate c;
+  c.site = site;
+  c.tuple = Tuple{id, std::move(values), prob};
+  c.localSkyProb = localSkyProb;
+  return c;
+}
+
+TEST(BoundQueueTest, UndominatedEntryBoundIsLocalProb) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  queue.add(cand(0, 1, {0.5, 0.5}, 0.8, 0.7));
+  ASSERT_EQ(queue.size(), 1u);
+  EXPECT_DOUBLE_EQ(queue.upperBound(0), 0.7);
+}
+
+TEST(BoundQueueTest, ObservationTwoFactorApplied) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  // Witness t from site 0: local prob 0.65, P = 0.7 (the paper's (6,6)).
+  queue.add(cand(0, 1, {6.0, 6.0}, 0.7, 0.65));
+  // s from site 2 dominated by t: the Sec. 5.3 bound 0.8 * (0.65/0.7) * 0.3.
+  queue.add(cand(2, 2, {6.4, 7.5}, 0.9, 0.8));
+  EXPECT_NEAR(queue.upperBound(1), 0.8 * (0.65 / 0.7) * 0.3, 1e-12);
+  // The witness itself is unaffected.
+  EXPECT_DOUBLE_EQ(queue.upperBound(0), 0.65);
+}
+
+TEST(BoundQueueTest, SameSiteWitnessIgnored) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  queue.add(cand(1, 1, {1.0, 1.0}, 0.5, 0.5));
+  queue.add(cand(1, 2, {2.0, 2.0}, 0.9, 0.45));
+  // Same site: the dominator is already inside s's local probability.
+  EXPECT_DOUBLE_EQ(queue.upperBound(1), 0.45);
+}
+
+TEST(BoundQueueTest, PerSiteMinimumOverWitnesses) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  queue.add(cand(0, 1, {1.0, 1.0}, 0.5, 0.5));  // factor = 0.5/0.5*0.5 = 0.5
+  queue.add(cand(0, 2, {2.0, 2.0}, 0.8, 0.4));  // factor = 0.4/0.8*0.2 = 0.1
+  queue.add(cand(1, 3, {3.0, 3.0}, 0.9, 0.9));
+  // Both witnesses are from site 0: the minimum factor applies once.
+  EXPECT_NEAR(queue.upperBound(2), 0.9 * 0.1, 1e-12);
+}
+
+TEST(BoundQueueTest, WitnessesFromDifferentSitesMultiply) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  queue.add(cand(0, 1, {1.0, 1.0}, 0.5, 0.5));  // factor 0.5
+  queue.add(cand(1, 2, {1.5, 1.5}, 0.5, 0.4));  // factor 0.4/0.5*0.5 = 0.4
+  queue.add(cand(2, 3, {3.0, 3.0}, 0.9, 0.9));
+  EXPECT_NEAR(queue.upperBound(2), 0.9 * 0.5 * 0.4, 1e-12);
+}
+
+TEST(BoundQueueTest, WitnessRetainedAfterTake) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  queue.add(cand(0, 1, {1.0, 1.0}, 0.5, 0.5));
+  queue.take(0);  // witness leaves the queue...
+  queue.add(cand(1, 2, {2.0, 2.0}, 0.9, 0.9));
+  // ...but its Observation-2 factor still applies to later arrivals.
+  EXPECT_NEAR(queue.upperBound(0), 0.9 * 0.5, 1e-12);
+}
+
+TEST(BoundQueueTest, ConfirmedCapTightens) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  queue.add(cand(1, 2, {2.0, 2.0}, 0.9, 0.9));
+  // Confirmed witness t ≺ s with exact P_gsky(t) = 0.3, P(t) = 0.5:
+  // cap = P(s) * 0.3/0.5 * 0.5 = 0.9 * 0.3 = 0.27.
+  queue.confirm(Tuple{7, {1.0, 1.0}, 0.5}, 0.3);
+  EXPECT_NEAR(queue.upperBound(0), 0.27, 1e-12);
+}
+
+TEST(BoundQueueTest, ConfirmedCapAppliesToLaterArrivals) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  queue.confirm(Tuple{7, {1.0, 1.0}, 0.5}, 0.3);
+  queue.add(cand(1, 2, {2.0, 2.0}, 0.9, 0.9));
+  EXPECT_NEAR(queue.upperBound(0), 0.27, 1e-12);
+}
+
+TEST(BoundQueueTest, BoundModesDisableMachinery) {
+  // kNone: bound is always the local probability.
+  BoundQueue none(fullMask(2), FeedbackBound::kNone);
+  none.add(cand(0, 1, {1.0, 1.0}, 0.5, 0.5));
+  none.add(cand(1, 2, {2.0, 2.0}, 0.9, 0.9));
+  none.confirm(Tuple{7, {0.5, 0.5}, 0.5}, 0.2);
+  EXPECT_DOUBLE_EQ(none.upperBound(1), 0.9);
+
+  // kQueuedWitnesses: Observation 2 on, Corollary-2 caps off.
+  BoundQueue wit(fullMask(2), FeedbackBound::kQueuedWitnesses);
+  wit.add(cand(0, 1, {1.0, 1.0}, 0.5, 0.5));
+  wit.add(cand(1, 2, {2.0, 2.0}, 0.9, 0.9));
+  wit.confirm(Tuple{7, {0.5, 0.5}, 0.5}, 0.0001);
+  EXPECT_NEAR(wit.upperBound(1), 0.9 * 0.5, 1e-12);
+}
+
+TEST(BoundQueueTest, SelectQualifiedPicksStrongestPruner) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  queue.add(cand(0, 1, {1.0, 9.0}, 0.6, 0.6));
+  queue.add(cand(1, 2, {9.0, 1.0}, 0.8, 0.8));
+  queue.add(cand(2, 3, {5.0, 5.0}, 0.7, 0.7));
+  EXPECT_EQ(queue.selectQualified(0.3), 1u);  // largest local prob
+  EXPECT_EQ(queue.selectQualified(0.75), 1u);
+  EXPECT_EQ(queue.selectQualified(0.9), BoundQueue::npos);
+}
+
+TEST(BoundQueueTest, SelectQualifiedTieBreaksById) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  queue.add(cand(0, 9, {1.0, 9.0}, 0.6, 0.6));
+  queue.add(cand(1, 2, {9.0, 1.0}, 0.6, 0.6));
+  EXPECT_EQ(queue.selectQualified(0.3), 1u);  // id 2 < id 9
+}
+
+TEST(BoundQueueTest, FindExpungeableAndTake) {
+  BoundQueue queue(fullMask(2), FeedbackBound::kQueuedAndConfirmed);
+  queue.add(cand(0, 1, {1.0, 1.0}, 0.5, 0.9));
+  queue.add(cand(1, 2, {2.0, 2.0}, 0.9, 0.8));  // bound 0.8 * 0.9 = 0.72...
+  // Witness factor for entry 1: 0.9/0.5 * 0.5 = 0.9 -> ub = 0.72.
+  EXPECT_EQ(queue.findExpungeable(0.7), BoundQueue::npos);
+  EXPECT_EQ(queue.findExpungeable(0.73), 1u);
+  const Candidate taken = queue.take(1);
+  EXPECT_EQ(taken.tuple.id, 2u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundQueueTest, SubspaceMaskControlsDominance) {
+  // On the masked dims {0}, (1, 9) dominates (2, 1).
+  BoundQueue queue(DimMask{0b01}, FeedbackBound::kQueuedAndConfirmed);
+  queue.add(cand(0, 1, {1.0, 9.0}, 0.5, 0.5));
+  queue.add(cand(1, 2, {2.0, 1.0}, 0.9, 0.9));
+  EXPECT_NEAR(queue.upperBound(1), 0.9 * 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace dsud

@@ -1,0 +1,101 @@
+#include "skyline/cardinality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/synthetic.hpp"
+#include "skyline/linear_skyline.hpp"
+
+namespace dsud {
+namespace {
+
+TEST(CardinalityTest, DensityTermBasics) {
+  EXPECT_EQ(skylineDensityTerm(2, 0.0), 0.0);
+  EXPECT_EQ(skylineDensityTerm(2, 1.0), 0.0);
+  // d = 2: ln(n) / 2!.
+  EXPECT_NEAR(skylineDensityTerm(2, std::exp(1.0) * std::exp(1.0)), 1.0,
+              1e-12);
+  // d = 3: ln²(n) / 3!.
+  EXPECT_NEAR(skylineDensityTerm(3, std::exp(2.0)), 4.0 / 6.0, 1e-12);
+}
+
+TEST(CardinalityTest, ZeroTuplesZeroSkyline) {
+  EXPECT_EQ(expectedSkylineCardinality(2, 0), 0.0);
+}
+
+TEST(CardinalityTest, GrowsWithDimensionality) {
+  const std::size_t n = 100000;
+  double prev = 0.0;
+  for (std::size_t d = 2; d <= 5; ++d) {
+    const double h = expectedSkylineCardinality(d, n);
+    EXPECT_GT(h, prev) << "d=" << d;
+    prev = h;
+  }
+}
+
+TEST(CardinalityTest, GrowsWithCardinality) {
+  EXPECT_LT(expectedSkylineCardinality(3, 1000),
+            expectedSkylineCardinality(3, 100000));
+}
+
+TEST(CardinalityTest, SmallAndLargeBranchesAgreeAtBoundary) {
+  // The exact Binomial evaluation (N <= 512) and the Gaussian quadrature
+  // should agree near the crossover because the summand is smooth.
+  const double exact = expectedSkylineCardinality(3, 512);
+  const double approx = expectedSkylineCardinality(3, 513);
+  EXPECT_NEAR(exact, approx, exact * 0.02);
+}
+
+TEST(CardinalityTest, RoughlyPredictsMeasuredSkylineSizes) {
+  // The estimator targets the expected count of *conventional* skyline
+  // points among existing tuples; with uniform probabilities roughly half
+  // the tuples exist.  Check order of magnitude only (the formula is the
+  // paper's approximation, not an exact result).
+  const std::size_t n = 20000;
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{n, 2, ValueDistribution::kIndependent, 71});
+  // Count tuples undominated among the full dataset (certain-data skyline of
+  // the expected world scale).
+  const auto sky = linearSkyline(data, 1e-9);
+  const double predicted = expectedSkylineCardinality(2, n);
+  EXPECT_GT(predicted, 1.0);
+  // Same order of magnitude as ln(n): allow a factor of 4 either way.
+  EXPECT_LT(predicted, 4.0 * std::log(double(n)));
+  EXPECT_GT(predicted, std::log(double(n)) / 4.0);
+  EXPECT_GT(sky.size(), 0u);
+}
+
+TEST(CardinalityTest, FeedbackCostModelEq7Eq8) {
+  const std::size_t d = 3;
+  const std::size_t n = 2000000;
+  for (std::size_t m : {40u, 60u, 80u, 100u}) {
+    const double nBack = expectedFeedbackTuples(d, n, m);
+    const double nLocal = expectedLocalSkylineTuples(d, n, m);
+    // Paper Sec. 4: N_back > N_local when m > 1 — naive feedback costs more
+    // than shipping every local skyline, motivating selective feedback.
+    EXPECT_GT(nBack, nLocal) << "m=" << m;
+    EXPECT_NEAR(nBack, (m - 1) * expectedSkylineCardinality(d, n), 1e-9);
+    EXPECT_NEAR(nLocal, (m - 1) * expectedSkylineCardinality(d, n / m), 1e-9);
+  }
+}
+
+TEST(CardinalityTest, SingleSiteHasNoFeedbackCost) {
+  EXPECT_EQ(expectedFeedbackTuples(3, 1000, 1), 0.0);
+  EXPECT_EQ(expectedLocalSkylineTuples(3, 1000, 1), 0.0);
+}
+
+TEST(CardinalityTest, FeedbackGapWidensWithSites) {
+  const std::size_t d = 3;
+  const std::size_t n = 1000000;
+  double prevGap = 0.0;
+  for (std::size_t m : {10u, 20u, 40u, 80u}) {
+    const double gap = expectedFeedbackTuples(d, n, m) -
+                       expectedLocalSkylineTuples(d, n, m);
+    EXPECT_GT(gap, prevGap);
+    prevGap = gap;
+  }
+}
+
+}  // namespace
+}  // namespace dsud

@@ -1,0 +1,138 @@
+// Failure injection: a site that dies mid-query must surface as a clean
+// transport exception from the query call — never a hang, a crash, or a
+// silently wrong answer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "core/cluster.hpp"
+#include "core/local_site.hpp"
+#include "core/site_handle.hpp"
+#include "gen/partition.hpp"
+#include "gen/synthetic.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/wire.hpp"
+
+namespace dsud {
+namespace {
+
+/// Channel that works for `healthyCalls` requests, then fails forever.
+class FlakyChannel final : public ClientChannel {
+ public:
+  FlakyChannel(FrameHandler handler, std::size_t healthyCalls)
+      : inner_(std::move(handler)), remaining_(healthyCalls) {}
+
+  Frame call(const Frame& request) override {
+    if (remaining_ == 0) throw NetError("injected link failure");
+    --remaining_;
+    return inner_.call(request);
+  }
+
+ private:
+  InProcChannel inner_;
+  std::size_t remaining_;
+};
+
+struct FailingCluster {
+  std::vector<std::unique_ptr<LocalSite>> sites;
+  std::vector<std::unique_ptr<SiteServer>> servers;
+  std::unique_ptr<BandwidthMeter> meter = std::make_unique<BandwidthMeter>();
+  std::unique_ptr<Coordinator> coordinator;
+};
+
+/// Builds a cluster where site `victim` fails after `healthyCalls` RPCs.
+FailingCluster makeCluster(std::size_t m, SiteId victim,
+                           std::size_t healthyCalls) {
+  const Dataset global = generateSynthetic(
+      SyntheticSpec{400, 2, ValueDistribution::kIndependent, 970});
+  Rng rng(971);
+  const auto siteData = partitionUniform(global, m, rng);
+
+  FailingCluster cluster;
+  std::vector<std::unique_ptr<SiteHandle>> handles;
+  for (std::size_t i = 0; i < m; ++i) {
+    cluster.sites.push_back(
+        std::make_unique<LocalSite>(static_cast<SiteId>(i), siteData[i]));
+    cluster.servers.push_back(
+        std::make_unique<SiteServer>(*cluster.sites.back()));
+    std::unique_ptr<ClientChannel> channel;
+    if (i == victim) {
+      channel = std::make_unique<FlakyChannel>(
+          cluster.servers.back()->handler(), healthyCalls);
+    } else {
+      channel =
+          std::make_unique<InProcChannel>(cluster.servers.back()->handler());
+    }
+    handles.push_back(std::make_unique<RpcSiteHandle>(
+        static_cast<SiteId>(i), std::move(channel), cluster.meter.get()));
+  }
+  cluster.coordinator =
+      std::make_unique<Coordinator>(std::move(handles), cluster.meter.get(), 2);
+  return cluster;
+}
+
+TEST(FailureTest, DeathDuringPrepareSurfaces) {
+  FailingCluster cluster = makeCluster(4, 2, 0);
+  EXPECT_THROW(cluster.coordinator->runEdsud(QueryConfig{}), NetError);
+}
+
+TEST(FailureTest, DeathMidQuerySurfacesFromEveryAlgorithm) {
+  // Calibrate: how many RPCs does the victim serve in a healthy run?  Then
+  // give the flaky link only part of that budget so it dies mid-protocol.
+  FailingCluster healthy = makeCluster(4, 1, std::size_t(-1));
+  healthy.coordinator->runEdsud(QueryConfig{});
+  const std::uint64_t victimCalls = healthy.meter->link(1).calls;
+  ASSERT_GT(victimCalls, 4u);
+
+  for (const std::size_t healthyCalls :
+       {std::size_t{3}, static_cast<std::size_t>(victimCalls / 2),
+        static_cast<std::size_t>(victimCalls - 1)}) {
+    FailingCluster edsud = makeCluster(4, 1, healthyCalls);
+    EXPECT_THROW(edsud.coordinator->runEdsud(QueryConfig{}), NetError)
+        << "budget " << healthyCalls;
+
+    FailingCluster dsud = makeCluster(4, 1, healthyCalls);
+    EXPECT_THROW(dsud.coordinator->runDsud(QueryConfig{}), NetError)
+        << "budget " << healthyCalls;
+  }
+  FailingCluster naive = makeCluster(4, 3, 0);
+  EXPECT_THROW(naive.coordinator->runNaive(QueryConfig{}), NetError);
+}
+
+TEST(FailureTest, DeathSurfacesThroughParallelBroadcast) {
+  FailingCluster cluster = makeCluster(6, 2, 8);
+  cluster.coordinator->setParallelBroadcast(3);
+  EXPECT_THROW(cluster.coordinator->runEdsud(QueryConfig{}), NetError);
+}
+
+TEST(FailureTest, HealthyRunAfterRebuildingIsUnaffected) {
+  // The failure is per-cluster state; a fresh cluster over the same data
+  // answers normally (no global/static state was poisoned).
+  FailingCluster broken = makeCluster(4, 1, 5);
+  EXPECT_THROW(broken.coordinator->runEdsud(QueryConfig{}), NetError);
+
+  FailingCluster healthy = makeCluster(4, 1, std::size_t(-1));
+  const QueryResult result = healthy.coordinator->runEdsud(QueryConfig{});
+  EXPECT_FALSE(result.skyline.empty());
+}
+
+TEST(FailureTest, TcpPeerDisconnectSurfacesAsNetError) {
+  // A real socket torn down mid-conversation.
+  TcpSiteServer server([](const Frame& f) { return f; });
+  std::thread serverThread([&server] { server.serve(); });
+
+  auto channel = std::make_unique<TcpClientChannel>(server.port());
+  const Frame ping(4, std::byte{1});
+  EXPECT_EQ(channel->call(ping), ping);
+
+  // Disconnect: the server loop exits when the client closes...
+  channel->close();
+  serverThread.join();
+  // ...and further calls on the closed channel fail loudly.
+  EXPECT_THROW(channel->call(ping), NetError);
+}
+
+}  // namespace
+}  // namespace dsud

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gen/nyse.hpp"
+#include "gen/probability.hpp"
+#include "gen/synthetic.hpp"
+#include "skyline/linear_skyline.hpp"
+
+namespace dsud {
+namespace {
+
+TEST(ProbabilityTest, UniformStaysInRange) {
+  Rng rng(1);
+  const auto sampler = uniformProbability();
+  for (int i = 0; i < 10000; ++i) {
+    const double p = sampler(rng);
+    ASSERT_GT(p, 0.0);
+    ASSERT_LE(p, 1.0);
+  }
+}
+
+TEST(ProbabilityTest, GaussianClampedToValidRange) {
+  Rng rng(2);
+  const auto sampler = gaussianProbability(0.5, 0.5);  // wide: forces clamps
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double p = sampler(rng);
+    ASSERT_GT(p, 0.0);
+    ASSERT_LE(p, 1.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.03);
+}
+
+TEST(ProbabilityTest, GaussianMeanTracks) {
+  Rng rng(3);
+  for (double mu : {0.3, 0.5, 0.7, 0.9}) {
+    const auto sampler = gaussianProbability(mu, 0.2);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) sum += sampler(rng);
+    // Clamping skews slightly at the edges; generous tolerance.
+    EXPECT_NEAR(sum / 20000, mu, 0.05) << "mu=" << mu;
+  }
+}
+
+TEST(ProbabilityTest, ConstantIsConstantAndValidated) {
+  Rng rng(4);
+  const auto sampler = constantProbability(0.4);
+  EXPECT_EQ(sampler(rng), 0.4);
+  EXPECT_THROW(constantProbability(0.0), std::invalid_argument);
+  EXPECT_THROW(constantProbability(1.5), std::invalid_argument);
+}
+
+TEST(SyntheticTest, RespectsSpec) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{1234, 3, ValueDistribution::kIndependent, 5});
+  EXPECT_EQ(data.size(), 1234u);
+  EXPECT_EQ(data.dims(), 3u);
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    for (double v : data.values(row)) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 1.0);
+    }
+    ASSERT_GT(data.prob(row), 0.0);
+    ASSERT_LE(data.prob(row), 1.0);
+  }
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  const SyntheticSpec spec{100, 2, ValueDistribution::kAnticorrelated, 6};
+  const Dataset a = generateSynthetic(spec);
+  const Dataset b = generateSynthetic(spec);
+  for (std::size_t row = 0; row < a.size(); ++row) {
+    EXPECT_EQ(a.values(row)[0], b.values(row)[0]);
+    EXPECT_EQ(a.prob(row), b.prob(row));
+  }
+  const Dataset c = generateSynthetic(
+      SyntheticSpec{100, 2, ValueDistribution::kAnticorrelated, 7});
+  bool anyDifferent = false;
+  for (std::size_t row = 0; row < a.size() && !anyDifferent; ++row) {
+    anyDifferent = a.values(row)[0] != c.values(row)[0];
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(SyntheticTest, AnticorrelatedHasNegativePairwiseCorrelation) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{20000, 2, ValueDistribution::kAnticorrelated, 8});
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  const auto n = static_cast<double>(data.size());
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    const double x = data.values(row)[0];
+    const double y = data.values(row)[1];
+    sx += x;
+    sy += y;
+    sxy += x * y;
+    sxx += x * x;
+    syy += y * y;
+  }
+  const double corr = (n * sxy - sx * sy) /
+                      std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  EXPECT_LT(corr, -0.3);
+}
+
+TEST(SyntheticTest, CorrelatedHasPositivePairwiseCorrelation) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{20000, 2, ValueDistribution::kCorrelated, 9});
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  const auto n = static_cast<double>(data.size());
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    const double x = data.values(row)[0];
+    const double y = data.values(row)[1];
+    sx += x;
+    sy += y;
+    sxy += x * y;
+    sxx += x * x;
+    syy += y * y;
+  }
+  const double corr = (n * sxy - sx * sy) /
+                      std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  EXPECT_GT(corr, 0.5);
+}
+
+TEST(SyntheticTest, AnticorrelatedSkylineIsMuchLarger) {
+  // The defining property driving every "anticorrelated costs more" result
+  // in the paper's evaluation.
+  const std::size_t n = 5000;
+  const Dataset indep = generateSynthetic(
+      SyntheticSpec{n, 2, ValueDistribution::kIndependent, 10});
+  const Dataset anti = generateSynthetic(
+      SyntheticSpec{n, 2, ValueDistribution::kAnticorrelated, 10});
+  const auto indepSky = linearSkyline(indep, 0.3);
+  const auto antiSky = linearSkyline(anti, 0.3);
+  EXPECT_GT(antiSky.size(), 2 * indepSky.size());
+}
+
+TEST(SyntheticTest, DimensionalityGrowsSkyline) {
+  std::size_t prev = 0;
+  for (std::size_t d = 2; d <= 5; ++d) {
+    const Dataset data = generateSynthetic(
+        SyntheticSpec{3000, d, ValueDistribution::kIndependent, 11});
+    const std::size_t size = linearSkyline(data, 0.3).size();
+    EXPECT_GE(size, prev) << "d=" << d;
+    prev = size;
+  }
+}
+
+TEST(SyntheticTest, RejectsBadDims) {
+  EXPECT_THROW(
+      generateSynthetic(SyntheticSpec{10, 0, ValueDistribution::kIndependent, 1}),
+      std::invalid_argument);
+  EXPECT_THROW(generateSynthetic(SyntheticSpec{
+                   10, kMaxDims + 1, ValueDistribution::kIndependent, 1}),
+               std::invalid_argument);
+}
+
+TEST(SyntheticTest, DistributionNames) {
+  EXPECT_STREQ(distributionName(ValueDistribution::kIndependent),
+               "independent");
+  EXPECT_STREQ(distributionName(ValueDistribution::kAnticorrelated),
+               "anticorrelated");
+  EXPECT_STREQ(distributionName(ValueDistribution::kCorrelated), "correlated");
+  EXPECT_STREQ(distributionName(ValueDistribution::kClustered), "clustered");
+}
+
+TEST(SyntheticTest, ClusteredStaysInUnitCubeAndIsDeterministic) {
+  const SyntheticSpec spec{2000, 3, ValueDistribution::kClustered, 60};
+  const Dataset a = generateSynthetic(spec);
+  const Dataset b = generateSynthetic(spec);
+  for (std::size_t row = 0; row < a.size(); ++row) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      ASSERT_GE(a.values(row)[j], 0.0);
+      ASSERT_LE(a.values(row)[j], 1.0);
+      ASSERT_EQ(a.values(row)[j], b.values(row)[j]);
+    }
+  }
+}
+
+TEST(SyntheticTest, ClusteredOccupiesFarLessSpaceThanIndependent) {
+  // Blob concentration: count occupied 50x50 grid cells.
+  const auto occupiedCells = [](const Dataset& data) {
+    std::set<int> cells;
+    for (std::size_t row = 0; row < data.size(); ++row) {
+      const int x = std::min(49, static_cast<int>(data.values(row)[0] * 50));
+      const int y = std::min(49, static_cast<int>(data.values(row)[1] * 50));
+      cells.insert(x * 50 + y);
+    }
+    return cells.size();
+  };
+  const Dataset clustered = generateSynthetic(
+      SyntheticSpec{5000, 2, ValueDistribution::kClustered, 61});
+  const Dataset independent = generateSynthetic(
+      SyntheticSpec{5000, 2, ValueDistribution::kIndependent, 61});
+  EXPECT_LT(occupiedCells(clustered), occupiedCells(independent) * 6 / 10);
+}
+
+TEST(SyntheticTest, ClusteredSeedMovesTheClusters) {
+  const Dataset a = generateSynthetic(
+      SyntheticSpec{100, 2, ValueDistribution::kClustered, 62});
+  const Dataset b = generateSynthetic(
+      SyntheticSpec{100, 2, ValueDistribution::kClustered, 63});
+  bool different = false;
+  for (std::size_t row = 0; row < a.size() && !different; ++row) {
+    different = a.values(row)[0] != b.values(row)[0];
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(NyseTest, ShapeAndRanges) {
+  const Dataset data = generateNyse(NyseSpec{20000, 12});
+  EXPECT_EQ(data.size(), 20000u);
+  EXPECT_EQ(data.dims(), 2u);
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    const auto v = data.values(row);
+    ASSERT_GE(v[0], 1.0);               // price at least $1
+    ASSERT_LE(v[1], -100.0);            // negated volume, lots of 100
+    ASSERT_EQ(std::fmod(-v[1], 100.0), 0.0);  // round lots
+    // Prices are quantised to cents.
+    ASSERT_NEAR(v[0] * 100.0, std::round(v[0] * 100.0), 1e-6);
+  }
+}
+
+TEST(NyseTest, DeterministicPerSeed) {
+  const Dataset a = generateNyse(NyseSpec{1000, 13});
+  const Dataset b = generateNyse(NyseSpec{1000, 13});
+  for (std::size_t row = 0; row < a.size(); ++row) {
+    ASSERT_EQ(a.values(row)[0], b.values(row)[0]);
+    ASSERT_EQ(a.values(row)[1], b.values(row)[1]);
+  }
+}
+
+TEST(NyseTest, TinySkylineLikeRealStockData) {
+  // Correlated/clustered market data has a very small skyline relative to
+  // its cardinality — the property that makes the paper's NYSE experiments
+  // cheap on bandwidth.
+  const Dataset data = generateNyse(NyseSpec{50000, 14});
+  const auto sky = linearSkyline(data, 0.3);
+  EXPECT_LT(sky.size(), 100u);
+  EXPECT_GT(sky.size(), 0u);
+}
+
+TEST(NyseTest, GaussianProbabilityVariantWorks) {
+  const Dataset data =
+      generateNyse(NyseSpec{5000, 15}, gaussianProbability(0.5, 0.2));
+  double sum = 0.0;
+  for (std::size_t row = 0; row < data.size(); ++row) sum += data.prob(row);
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace dsud

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/dominance.hpp"
+#include "geometry/rect.hpp"
+
+namespace dsud {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dominance
+
+TEST(DominanceTest, StrictlySmallerDominates) {
+  const std::array<double, 2> a = {1.0, 1.0};
+  const std::array<double, 2> b = {2.0, 2.0};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(DominanceTest, EqualOnOneDimensionStillDominates) {
+  const std::array<double, 2> a = {1.0, 2.0};
+  const std::array<double, 2> b = {1.0, 3.0};
+  EXPECT_TRUE(dominates(a, b));
+}
+
+TEST(DominanceTest, EqualPointsDoNotDominate) {
+  const std::array<double, 3> a = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(DominanceTest, IncomparablePoints) {
+  const std::array<double, 2> a = {1.0, 4.0};
+  const std::array<double, 2> b = {2.0, 3.0};
+  EXPECT_FALSE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(DominanceTest, DominanceIsIrreflexiveAndAsymmetricRandomised) {
+  Rng rng(5);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::array<double, 4> a{};
+    std::array<double, 4> b{};
+    for (auto& x : a) x = rng.uniform();
+    for (auto& x : b) x = rng.uniform();
+    EXPECT_FALSE(dominates(a, a));
+    if (dominates(a, b)) {
+      EXPECT_FALSE(dominates(b, a));
+    }
+  }
+}
+
+TEST(DominanceTest, TransitivityRandomised) {
+  Rng rng(6);
+  int chains = 0;
+  for (int trial = 0; trial < 20000 && chains < 50; ++trial) {
+    std::array<double, 3> a{};
+    std::array<double, 3> b{};
+    std::array<double, 3> c{};
+    for (auto& x : a) x = rng.uniform();
+    for (auto& x : b) x = rng.uniform();
+    for (auto& x : c) x = rng.uniform();
+    if (dominates(a, b) && dominates(b, c)) {
+      ++chains;
+      EXPECT_TRUE(dominates(a, c));
+    }
+  }
+  EXPECT_GT(chains, 0);
+}
+
+TEST(DominanceTest, SubspaceMaskIgnoresUnselectedDims) {
+  const std::array<double, 3> a = {1.0, 9.0, 1.0};
+  const std::array<double, 3> b = {2.0, 0.0, 2.0};
+  EXPECT_FALSE(dominates(a, b));                   // full space: incomparable
+  EXPECT_TRUE(dominates(a, b, DimMask{0b101}));    // dims 0 and 2 only
+  EXPECT_TRUE(dominates(b, a, DimMask{0b010}));    // dim 1 only
+}
+
+TEST(DominanceTest, SubspaceEqualValuesDoNotDominate) {
+  const std::array<double, 2> a = {1.0, 5.0};
+  const std::array<double, 2> b = {1.0, 7.0};
+  EXPECT_FALSE(dominates(a, b, DimMask{0b01}));  // equal on dim 0
+}
+
+TEST(DominanceTest, NegativeCoordinatesWork) {
+  const std::array<double, 2> a = {-5.0, -1.0};
+  const std::array<double, 2> b = {-4.0, 0.0};
+  EXPECT_TRUE(dominates(a, b));
+}
+
+TEST(DominanceTest, CompareCoversAllRelations) {
+  const std::array<double, 2> a = {1.0, 1.0};
+  const std::array<double, 2> b = {2.0, 2.0};
+  const std::array<double, 2> c = {0.5, 3.0};
+  EXPECT_EQ(compare(a, b), DomRelation::kDominates);
+  EXPECT_EQ(compare(b, a), DomRelation::kDominatedBy);
+  EXPECT_EQ(compare(a, a), DomRelation::kEqual);
+  EXPECT_EQ(compare(a, c), DomRelation::kIncomparable);
+}
+
+TEST(DominanceTest, CompareAgreesWithDominates) {
+  Rng rng(8);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::array<double, 3> a{};
+    std::array<double, 3> b{};
+    for (auto& x : a) x = rng.below(4);  // small grid forces ties
+    for (auto& x : b) x = rng.below(4);
+    const DomRelation rel = compare(a, b);
+    EXPECT_EQ(rel == DomRelation::kDominates, dominates(a, b));
+    EXPECT_EQ(rel == DomRelation::kDominatedBy, dominates(b, a));
+  }
+}
+
+TEST(DominanceTest, MaskHelpers) {
+  EXPECT_EQ(fullMask(1), 0b1u);
+  EXPECT_EQ(fullMask(3), 0b111u);
+  EXPECT_EQ(maskSize(0b1011), 3u);
+  EXPECT_EQ(maskSize(0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Rect
+
+TEST(RectTest, EmptyRectProperties) {
+  const Rect r(2);
+  EXPECT_TRUE(r.isEmpty());
+  EXPECT_EQ(r.area(), 0.0);
+  EXPECT_EQ(r.margin(), 0.0);
+  const std::array<double, 2> p = {0.0, 0.0};
+  EXPECT_FALSE(r.containsPoint(p));
+}
+
+TEST(RectTest, PointRectIsDegenerate) {
+  const std::array<double, 2> p = {3.0, 4.0};
+  const Rect r = Rect::point(p);
+  EXPECT_FALSE(r.isEmpty());
+  EXPECT_TRUE(r.containsPoint(p));
+  EXPECT_EQ(r.area(), 0.0);
+  EXPECT_EQ(r.lo(0), 3.0);
+  EXPECT_EQ(r.hi(1), 4.0);
+}
+
+TEST(RectTest, ExpandGrowsToCover) {
+  Rect r(2);
+  const std::array<double, 2> a = {0.0, 2.0};
+  const std::array<double, 2> b = {3.0, 1.0};
+  r.expand(a);
+  r.expand(b);
+  EXPECT_EQ(r.lo(0), 0.0);
+  EXPECT_EQ(r.hi(0), 3.0);
+  EXPECT_EQ(r.lo(1), 1.0);
+  EXPECT_EQ(r.hi(1), 2.0);
+  EXPECT_EQ(r.area(), 3.0);
+  EXPECT_EQ(r.margin(), 4.0);
+}
+
+TEST(RectTest, ExpandWithEmptyRectIsNoOp) {
+  const std::array<double, 2> a = {1.0, 1.0};
+  Rect r = Rect::point(a);
+  r.expand(Rect(2));
+  EXPECT_EQ(r, Rect::point(a));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer(2);
+  const std::array<double, 2> lo = {0.0, 0.0};
+  const std::array<double, 2> hi = {10.0, 10.0};
+  outer.expand(lo);
+  outer.expand(hi);
+  const std::array<double, 2> a = {2.0, 2.0};
+  const std::array<double, 2> b = {3.0, 11.0};
+  EXPECT_TRUE(outer.containsRect(Rect::point(a)));
+  EXPECT_FALSE(outer.containsRect(Rect::point(b)));
+  EXPECT_TRUE(outer.containsRect(Rect(2)));  // empty is contained everywhere
+}
+
+TEST(RectTest, IntersectsIncludesTouching) {
+  Rect a(2);
+  const std::array<double, 2> a0 = {0.0, 0.0};
+  const std::array<double, 2> a1 = {1.0, 1.0};
+  a.expand(a0);
+  a.expand(a1);
+  Rect b(2);
+  const std::array<double, 2> b0 = {1.0, 1.0};
+  const std::array<double, 2> b1 = {2.0, 2.0};
+  b.expand(b0);
+  b.expand(b1);
+  EXPECT_TRUE(a.intersects(b));
+
+  Rect c(2);
+  const std::array<double, 2> c0 = {1.5, 0.0};
+  const std::array<double, 2> c1 = {2.0, 0.5};
+  c.expand(c0);
+  c.expand(c1);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(RectTest, OverlapArea) {
+  Rect a(2);
+  const std::array<double, 2> a0 = {0.0, 0.0};
+  const std::array<double, 2> a1 = {2.0, 2.0};
+  a.expand(a0);
+  a.expand(a1);
+  Rect b(2);
+  const std::array<double, 2> b0 = {1.0, 1.0};
+  const std::array<double, 2> b1 = {3.0, 3.0};
+  b.expand(b0);
+  b.expand(b1);
+  EXPECT_EQ(a.overlapArea(b), 1.0);
+  EXPECT_EQ(b.overlapArea(a), 1.0);
+
+  Rect c(2);
+  const std::array<double, 2> c0 = {5.0, 5.0};
+  c.expand(c0);
+  EXPECT_EQ(a.overlapArea(c), 0.0);
+}
+
+TEST(RectTest, EnlargementMeasuresAreaGrowth) {
+  Rect a(2);
+  const std::array<double, 2> a0 = {0.0, 0.0};
+  const std::array<double, 2> a1 = {2.0, 2.0};
+  a.expand(a0);
+  a.expand(a1);
+  const std::array<double, 2> inside = {1.0, 1.0};
+  const std::array<double, 2> outside = {4.0, 2.0};
+  EXPECT_EQ(a.enlargement(Rect::point(inside)), 0.0);
+  EXPECT_EQ(a.enlargement(Rect::point(outside)), 4.0);  // 4x2 - 2x2
+}
+
+TEST(RectTest, L1KeyIsLowCornerSum) {
+  Rect r(3);
+  const std::array<double, 3> a = {1.0, -2.0, 3.0};
+  const std::array<double, 3> b = {0.5, 5.0, 4.0};
+  r.expand(a);
+  r.expand(b);
+  EXPECT_EQ(r.l1Key(), 0.5 - 2.0 + 3.0);
+}
+
+TEST(RectTest, L1KeyMonotoneUnderDominance) {
+  Rng rng(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::array<double, 3> a{};
+    std::array<double, 3> b{};
+    for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+    for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+    if (dominates(a, b)) {
+      EXPECT_LT(Rect::point(a).l1Key(), Rect::point(b).l1Key());
+    }
+  }
+}
+
+TEST(RectTest, FullyDominatesRequiresWholeRectBelow) {
+  Rect r(2);
+  const std::array<double, 2> lo = {0.0, 0.0};
+  const std::array<double, 2> hi = {2.0, 2.0};
+  r.expand(lo);
+  r.expand(hi);
+  const std::array<double, 2> far = {3.0, 3.0};
+  const std::array<double, 2> corner = {2.0, 2.0};
+  const std::array<double, 2> inside = {1.0, 1.0};
+  const DimMask mask = fullMask(2);
+  EXPECT_TRUE(r.fullyDominates(far, mask));
+  EXPECT_FALSE(r.fullyDominates(corner, mask));  // point == hi corner
+  EXPECT_FALSE(r.fullyDominates(inside, mask));
+}
+
+TEST(RectTest, PossiblyDominatesUsesLowCorner) {
+  Rect r(2);
+  const std::array<double, 2> lo = {1.0, 1.0};
+  const std::array<double, 2> hi = {5.0, 5.0};
+  r.expand(lo);
+  r.expand(hi);
+  const std::array<double, 2> above = {2.0, 2.0};
+  const std::array<double, 2> below = {0.5, 0.5};
+  const std::array<double, 2> equalLo = {1.0, 1.0};
+  const DimMask mask = fullMask(2);
+  EXPECT_TRUE(r.possiblyDominates(above, mask));
+  EXPECT_FALSE(r.possiblyDominates(below, mask));
+  EXPECT_FALSE(r.possiblyDominates(equalLo, mask));  // lo == b: no strict dim
+}
+
+TEST(RectTest, DominanceRegionTestsAgreeWithPointwiseTruth) {
+  Rng rng(10);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Random rect from two points, random query, compare with sampling the
+    // rect corners (sufficient: dominance region tests are corner-determined).
+    std::array<double, 2> p{};
+    std::array<double, 2> q{};
+    std::array<double, 2> b{};
+    for (auto& x : p) x = rng.below(5);
+    for (auto& x : q) x = rng.below(5);
+    for (auto& x : b) x = rng.below(5);
+    Rect r(2);
+    r.expand(p);
+    r.expand(q);
+    const DimMask mask = fullMask(2);
+    const std::array<double, 2> loCorner = {r.lo(0), r.lo(1)};
+    const std::array<double, 2> hiCorner = {r.hi(0), r.hi(1)};
+    EXPECT_EQ(r.possiblyDominates(b, mask), dominates(loCorner, b));
+    EXPECT_EQ(r.fullyDominates(b, mask), dominates(hiCorner, b));
+  }
+}
+
+}  // namespace
+}  // namespace dsud

@@ -1,0 +1,130 @@
+#include "skyline/linear_skyline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/synthetic.hpp"
+#include "test_util.hpp"
+
+namespace dsud {
+namespace {
+
+using testutil::makeDataset;
+
+TEST(LinearSkylineTest, EmptyDataset) {
+  const Dataset data(2);
+  EXPECT_TRUE(skylineProbabilitiesLinear(data).empty());
+  EXPECT_TRUE(linearSkyline(data, 0.3).empty());
+}
+
+TEST(LinearSkylineTest, SingleTupleIsItsOwnSkyline) {
+  const Dataset data = makeDataset(2, {{1.0, 2.0, 0.7}});
+  const auto probs = skylineProbabilitiesLinear(data);
+  EXPECT_DOUBLE_EQ(probs[0], 0.7);
+  const auto sky = linearSkyline(data, 0.5);
+  ASSERT_EQ(sky.size(), 1u);
+  EXPECT_EQ(sky[0].id, 0u);
+  EXPECT_DOUBLE_EQ(sky[0].skyProb, 0.7);
+}
+
+TEST(LinearSkylineTest, DominatorChainMultipliesSurvivals) {
+  // t0 ≺ t1 ≺ t2; P_sky(t2) = P(t2)(1-P(t0))(1-P(t1)).
+  const Dataset data = makeDataset(2, {
+                                          {1.0, 1.0, 0.5},
+                                          {2.0, 2.0, 0.4},
+                                          {3.0, 3.0, 0.9},
+                                      });
+  const auto probs = skylineProbabilitiesLinear(data);
+  EXPECT_DOUBLE_EQ(probs[0], 0.5);
+  EXPECT_DOUBLE_EQ(probs[1], 0.4 * 0.5);
+  EXPECT_DOUBLE_EQ(probs[2], 0.9 * 0.5 * 0.6);
+}
+
+TEST(LinearSkylineTest, ThresholdFiltersAndSortsDescending) {
+  const Dataset data = makeDataset(2, {
+                                          {1.0, 5.0, 0.9},
+                                          {5.0, 1.0, 0.4},
+                                          {2.0, 6.0, 0.5},  // dominated by t0
+                                      });
+  const auto sky = linearSkyline(data, 0.3);
+  ASSERT_EQ(sky.size(), 2u);
+  EXPECT_EQ(sky[0].id, 0u);
+  EXPECT_EQ(sky[1].id, 1u);
+  EXPECT_GE(sky[0].skyProb, sky[1].skyProb);
+}
+
+TEST(LinearSkylineTest, ThresholdMonotonicity) {
+  // p-skyline ⊆ p'-skyline whenever p' <= p (paper Sec. 7.3 argument).
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{300, 3, ValueDistribution::kIndependent, 42});
+  auto idsAt = [&](double q) {
+    auto ids = testutil::idsOf(linearSkyline(data, q));
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  const auto at03 = idsAt(0.3);
+  const auto at05 = idsAt(0.5);
+  const auto at09 = idsAt(0.9);
+  EXPECT_GE(at03.size(), at05.size());
+  EXPECT_GE(at05.size(), at09.size());
+  EXPECT_TRUE(std::includes(at03.begin(), at03.end(), at05.begin(),
+                            at05.end()));
+  EXPECT_TRUE(std::includes(at05.begin(), at05.end(), at09.begin(),
+                            at09.end()));
+}
+
+TEST(LinearSkylineTest, CertainDataReducesToClassicSkyline) {
+  // Fig. 1 example shape: P1(1,9), P2(2,10) dominated, P3(4,5), P4(6,7)
+  // dominated, P5(9,2) -- skyline {P1, P3, P5}.
+  const Dataset data = makeDataset(2, {
+                                          {1.0, 9.0, 1.0},
+                                          {2.0, 10.0, 1.0},
+                                          {4.0, 5.0, 1.0},
+                                          {6.0, 7.0, 1.0},
+                                          {9.0, 2.0, 1.0},
+                                      });
+  const auto sky = linearSkyline(data, 0.5);
+  auto ids = testutil::idsOf(sky);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<TupleId>{0, 2, 4}));
+  for (const auto& e : sky) EXPECT_DOUBLE_EQ(e.skyProb, 1.0);
+}
+
+TEST(LinearSkylineTest, SubspaceProjectionChangesAnswer) {
+  const Dataset data = makeDataset(2, {
+                                          {1.0, 9.0, 1.0},
+                                          {2.0, 1.0, 1.0},
+                                      });
+  // Full space: both in skyline.
+  EXPECT_EQ(linearSkyline(data, 0.5).size(), 2u);
+  // Dim 0 only: tuple 0 dominates tuple 1.
+  const auto sky0 = linearSkyline(data, 0.5, DimMask{0b01});
+  ASSERT_EQ(sky0.size(), 1u);
+  EXPECT_EQ(sky0[0].id, 0u);
+  // Dim 1 only: tuple 1 wins.
+  const auto sky1 = linearSkyline(data, 0.5, DimMask{0b10});
+  ASSERT_EQ(sky1.size(), 1u);
+  EXPECT_EQ(sky1[0].id, 1u);
+}
+
+TEST(LinearSkylineTest, EntriesCarryValuesAndProb) {
+  const Dataset data = makeDataset(2, {{3.0, 4.0, 0.8}});
+  const auto sky = linearSkyline(data, 0.1);
+  ASSERT_EQ(sky.size(), 1u);
+  EXPECT_EQ(sky[0].values, (std::vector<double>{3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(sky[0].prob, 0.8);
+}
+
+TEST(LinearSkylineTest, DuplicatePointsDoNotDominateEachOther) {
+  const Dataset data = makeDataset(2, {
+                                          {1.0, 1.0, 0.6},
+                                          {1.0, 1.0, 0.9},
+                                      });
+  const auto probs = skylineProbabilitiesLinear(data);
+  EXPECT_DOUBLE_EQ(probs[0], 0.6);
+  EXPECT_DOUBLE_EQ(probs[1], 0.9);
+}
+
+}  // namespace
+}  // namespace dsud

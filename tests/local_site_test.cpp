@@ -1,0 +1,255 @@
+#include "core/local_site.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.hpp"
+#include "skyline/linear_skyline.hpp"
+#include "test_util.hpp"
+
+namespace dsud {
+namespace {
+
+using testutil::makeDataset;
+
+PrepareRequest prep(double q,
+                    PruneRule rule = PruneRule::kThresholdBound) {
+  PrepareRequest request;
+  request.q = q;
+  request.prune = rule;
+  return request;
+}
+
+TEST(LocalSiteTest, PrepareComputesQualifiedLocalSkyline) {
+  const Dataset db = generateSynthetic(
+      SyntheticSpec{300, 2, ValueDistribution::kIndependent, 51});
+  LocalSite site(0, db);
+  const auto response = site.prepare(prep(0.3));
+  EXPECT_EQ(response.localSkylineSize, linearSkyline(db, 0.3).size());
+}
+
+TEST(LocalSiteTest, PrepareRejectsBadThreshold) {
+  const Dataset db = makeDataset(2, {{1.0, 1.0, 0.5}});
+  LocalSite site(0, db);
+  EXPECT_THROW(site.prepare(prep(0.0)), std::invalid_argument);
+  EXPECT_THROW(site.prepare(prep(1.5)), std::invalid_argument);
+}
+
+TEST(LocalSiteTest, CandidatesComeInDescendingLocalProbability) {
+  const Dataset db = generateSynthetic(
+      SyntheticSpec{500, 3, ValueDistribution::kAnticorrelated, 52});
+  LocalSite site(3, db);
+  site.prepare(prep(0.3));
+  double last = 2.0;
+  std::size_t count = 0;
+  while (true) {
+    const auto response = site.nextCandidate();
+    if (!response.candidate) break;
+    EXPECT_LE(response.candidate->localSkyProb, last);
+    EXPECT_GE(response.candidate->localSkyProb, 0.3);
+    EXPECT_EQ(response.candidate->site, 3u);
+    last = response.candidate->localSkyProb;
+    ++count;
+  }
+  EXPECT_EQ(count, linearSkyline(db, 0.3).size());
+  // Exhausted site keeps answering empty.
+  EXPECT_FALSE(site.nextCandidate().candidate.has_value());
+}
+
+TEST(LocalSiteTest, EvaluateReturnsExternalSurvival) {
+  const Dataset db = makeDataset(2, {
+                                        {1.0, 1.0, 0.5},
+                                        {2.0, 2.0, 0.25},
+                                    });
+  LocalSite site(0, db);
+  site.prepare(prep(0.3));
+
+  // Foreign tuple dominated by both local tuples.
+  EvaluateRequest request;
+  request.tuple = Tuple{100, {3.0, 3.0}, 0.9};
+  request.pruneLocal = false;
+  EXPECT_NEAR(site.evaluate(request).survival, 0.5 * 0.75, 1e-12);
+
+  // Foreign tuple dominating everything: survival 1.
+  request.tuple = Tuple{101, {0.0, 0.0}, 0.9};
+  EXPECT_DOUBLE_EQ(site.evaluate(request).survival, 1.0);
+}
+
+TEST(LocalSiteTest, ThresholdPruneNeedsAccumulatedEvidence) {
+  // Local skyline tuple with probability 0.9; a single external dominator
+  // with P = 0.4 leaves the bound at 0.54 >= 0.3 (kept), a second pushes it
+  // to 0.324... still above; a third (0.4) gives 0.194 < 0.3 (pruned).
+  const Dataset db = makeDataset(2, {{5.0, 5.0, 0.9}});
+  LocalSite site(0, db);
+  site.prepare(prep(0.3));
+  ASSERT_EQ(site.pendingCount(), 1u);
+
+  EvaluateRequest request;
+  request.pruneLocal = true;
+  request.tuple = Tuple{100, {1.0, 1.0}, 0.4};
+  EXPECT_EQ(site.evaluate(request).prunedCount, 0u);
+  request.tuple = Tuple{101, {2.0, 2.0}, 0.4};
+  EXPECT_EQ(site.evaluate(request).prunedCount, 0u);
+  request.tuple = Tuple{102, {3.0, 3.0}, 0.4};
+  EXPECT_EQ(site.evaluate(request).prunedCount, 1u);
+  EXPECT_EQ(site.pendingCount(), 0u);
+}
+
+TEST(LocalSiteTest, DominancePruneDropsImmediately) {
+  const Dataset db = makeDataset(2, {{5.0, 5.0, 0.9}});
+  LocalSite site(0, db);
+  site.prepare(prep(0.3, PruneRule::kDominance));
+
+  EvaluateRequest request;
+  request.pruneLocal = true;
+  request.tuple = Tuple{100, {1.0, 1.0}, 0.01};  // tiny probability!
+  EXPECT_EQ(site.evaluate(request).prunedCount, 1u);
+  EXPECT_EQ(site.pendingCount(), 0u);
+}
+
+TEST(LocalSiteTest, NonDominatingFeedbackPrunesNothing) {
+  const Dataset db = makeDataset(2, {{1.0, 5.0, 0.9}});
+  LocalSite site(0, db);
+  site.prepare(prep(0.3, PruneRule::kDominance));
+  EvaluateRequest request;
+  request.pruneLocal = true;
+  request.tuple = Tuple{100, {5.0, 1.0}, 0.99};  // incomparable
+  EXPECT_EQ(site.evaluate(request).prunedCount, 0u);
+  EXPECT_EQ(site.pendingCount(), 1u);
+}
+
+TEST(LocalSiteTest, ShipAllReturnsWholeDatabase) {
+  const Dataset db = generateSynthetic(
+      SyntheticSpec{128, 2, ValueDistribution::kIndependent, 53});
+  LocalSite site(0, db);
+  auto shipped = site.shipAll().tuples;
+  EXPECT_EQ(shipped.size(), db.size());
+  std::sort(shipped.begin(), shipped.end(),
+            [](const Tuple& a, const Tuple& b) { return a.id < b.id; });
+  for (std::size_t i = 0; i < shipped.size(); ++i) {
+    const auto row = db.rowOf(shipped[i].id);
+    ASSERT_TRUE(row.has_value());
+    EXPECT_EQ(shipped[i].prob, db.prob(*row));
+  }
+}
+
+TEST(LocalSiteTest, ApplyInsertReportsBoundsAndDominatedReplica) {
+  const Dataset db = makeDataset(2, {{2.0, 2.0, 0.5}});
+  LocalSite site(0, db);
+  site.prepare(prep(0.3));
+
+  // Install a replica entry from another site that the insert dominates.
+  ReplicaAddRequest replica;
+  replica.entry = Candidate{1, Tuple{200, {4.0, 4.0}, 0.6}, 0.6};
+  replica.globalSkyProb = 0.5;
+  site.replicaAdd(replica);
+  // And one from another site that dominates the insert position.
+  ReplicaAddRequest dominator;
+  dominator.entry = Candidate{2, Tuple{201, {0.5, 0.5}, 0.5}, 0.5};
+  dominator.globalSkyProb = 0.5;
+  site.replicaAdd(dominator);
+
+  ApplyInsertRequest insert;
+  insert.tuple = Tuple{300, {3.0, 3.0}, 0.8};
+  const auto response = site.applyInsert(insert);
+  // Local: dominated by (2,2) P=0.5 -> P_sky = 0.8 * 0.5 = 0.4.
+  EXPECT_NEAR(response.localSkyProb, 0.4, 1e-12);
+  // External replica dominator (0.5, 0.5) P=0.5 -> bound 0.2.
+  EXPECT_NEAR(response.globalUpperBound, 0.2, 1e-12);
+  ASSERT_EQ(response.dominatedReplica.size(), 1u);
+  EXPECT_EQ(response.dominatedReplica[0], 200u);
+  EXPECT_EQ(site.size(), 2u);
+}
+
+TEST(LocalSiteTest, ReplicaDominatorFromOwnSiteNotDoubleCounted) {
+  const Dataset db = makeDataset(2, {{1.0, 1.0, 0.5}});
+  LocalSite site(0, db);
+  site.prepare(prep(0.3));
+  // Replica entry originating from THIS site: already in the local tree.
+  ReplicaAddRequest replica;
+  replica.entry = Candidate{0, Tuple{0, {1.0, 1.0}, 0.5}, 0.5};
+  replica.globalSkyProb = 0.5;
+  site.replicaAdd(replica);
+
+  ApplyInsertRequest insert;
+  insert.tuple = Tuple{300, {2.0, 2.0}, 0.8};
+  const auto response = site.applyInsert(insert);
+  EXPECT_NEAR(response.localSkyProb, 0.8 * 0.5, 1e-12);
+  // Must NOT be 0.8 * 0.5 * 0.5.
+  EXPECT_NEAR(response.globalUpperBound, 0.8 * 0.5, 1e-12);
+}
+
+TEST(LocalSiteTest, ApplyDeleteReturnsProbability) {
+  const Dataset db = makeDataset(2, {{1.0, 2.0, 0.75}});
+  LocalSite site(0, db);
+  ApplyDeleteRequest request;
+  request.id = 0;
+  request.values = {1.0, 2.0};
+  const auto response = site.applyDelete(request);
+  EXPECT_TRUE(response.existed);
+  EXPECT_EQ(response.prob, 0.75);
+  EXPECT_EQ(site.size(), 0u);
+  // Second delete misses.
+  EXPECT_FALSE(site.applyDelete(request).existed);
+}
+
+TEST(LocalSiteTest, RepairDeleteFindsPromotableCandidates) {
+  // Site holds a tuple that was suppressed by an (external, now deleted)
+  // dominator.
+  const Dataset db = makeDataset(2, {{5.0, 5.0, 0.8}});
+  LocalSite site(0, db);
+  site.prepare(prep(0.3));
+
+  RepairDeleteRequest repair;
+  repair.deleted = Tuple{900, {1.0, 1.0}, 0.9};
+  repair.origin = 2;
+  const auto response = site.repairDelete(repair);
+  ASSERT_EQ(response.candidates.size(), 1u);
+  EXPECT_EQ(response.candidates[0].tuple.id, 0u);
+  EXPECT_NEAR(response.candidates[0].localSkyProb, 0.8, 1e-12);
+}
+
+TEST(LocalSiteTest, RepairDeleteSkipsReplicaMembersAndLowBounds) {
+  const Dataset db = makeDataset(2, {
+                                        {5.0, 5.0, 0.8},   // in replica
+                                        {6.0, 5.5, 0.7},   // incomparable-ish
+                                    });
+  LocalSite site(0, db);
+  site.prepare(prep(0.3));
+
+  ReplicaAddRequest replica;
+  replica.entry = Candidate{0, Tuple{0, {5.0, 5.0}, 0.8}, 0.8};
+  replica.globalSkyProb = 0.8;
+  site.replicaAdd(replica);
+  // External replica dominator crushing tuple 1's bound.
+  ReplicaAddRequest crusher;
+  crusher.entry = Candidate{1, Tuple{500, {0.5, 0.5}, 0.95}, 0.95};
+  crusher.globalSkyProb = 0.9;
+  site.replicaAdd(crusher);
+
+  RepairDeleteRequest repair;
+  repair.deleted = Tuple{900, {1.0, 1.0}, 0.9};
+  repair.origin = 2;
+  const auto response = site.repairDelete(repair);
+  // Tuple 0 is in the replica; tuple 1's bound is 0.7*... *(1-0.95) < 0.3.
+  EXPECT_TRUE(response.candidates.empty());
+}
+
+TEST(LocalSiteTest, ReplicaAddReplacesAndRemoveErases) {
+  const Dataset db = makeDataset(2, {{1.0, 1.0, 0.5}});
+  LocalSite site(0, db);
+  ReplicaAddRequest add;
+  add.entry = Candidate{1, Tuple{7, {2.0, 2.0}, 0.5}, 0.5};
+  add.globalSkyProb = 0.5;
+  site.replicaAdd(add);
+  add.globalSkyProb = 0.4;
+  site.replicaAdd(add);  // replaces, no duplicate
+  ASSERT_EQ(site.replica().size(), 1u);
+  EXPECT_EQ(site.replica()[0].globalSkyProb, 0.4);
+
+  site.replicaRemove(ReplicaRemoveRequest{7});
+  EXPECT_TRUE(site.replica().empty());
+  site.replicaRemove(ReplicaRemoveRequest{7});  // idempotent
+}
+
+}  // namespace
+}  // namespace dsud

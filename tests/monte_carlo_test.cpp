@@ -1,0 +1,127 @@
+#include "skyline/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/synthetic.hpp"
+#include "skyline/linear_skyline.hpp"
+#include "skyline/possible_worlds.hpp"
+#include "test_util.hpp"
+
+namespace dsud {
+namespace {
+
+TEST(MonteCarloTest, RejectsZeroWorlds) {
+  const Dataset data = testutil::makeDataset(2, {{1.0, 1.0, 0.5}});
+  Rng rng(1);
+  EXPECT_THROW(skylineProbabilitiesMonteCarlo(data, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(MonteCarloTest, CertainSingletonIsAlwaysSkyline) {
+  const Dataset data = testutil::makeDataset(2, {{1.0, 1.0, 1.0}});
+  Rng rng(2);
+  const auto est = skylineProbabilitiesMonteCarlo(data, 100, rng);
+  EXPECT_EQ(est[0], 1.0);
+}
+
+TEST(MonteCarloTest, ConvergesToEnumerationOnFig3) {
+  // The paper's Fig. 3 example: exact values 0.16, 0.6, 0.8.
+  const Dataset data = testutil::makeDataset(2, {
+                                                    {80.0, 96.0, 0.8},
+                                                    {85.0, 90.0, 0.6},
+                                                    {75.0, 95.0, 0.8},
+                                                });
+  Rng rng(3);
+  const auto est = skylineProbabilitiesMonteCarlo(data, 200000, rng);
+  EXPECT_NEAR(est[0], 0.16, 0.01);
+  EXPECT_NEAR(est[1], 0.6, 0.01);
+  EXPECT_NEAR(est[2], 0.8, 0.01);
+}
+
+TEST(MonteCarloTest, MatchesClosedFormOnRandomData) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{60, 3, ValueDistribution::kIndependent, 700});
+  Rng rng(701);
+  const auto est = skylineProbabilitiesMonteCarlo(data, 100000, rng);
+  const auto exact = skylineProbabilitiesLinear(data);
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    // 100k worlds: ~4.5 sigma of 0.5/sqrt(100000) ≈ 0.007.
+    EXPECT_NEAR(est[row], exact[row], 0.015) << "row " << row;
+  }
+}
+
+TEST(MonteCarloTest, SubspaceMaskRespected) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{40, 3, ValueDistribution::kAnticorrelated, 702});
+  Rng rng(703);
+  const DimMask mask = 0b011;
+  const auto est = skylineProbabilitiesMonteCarlo(data, 60000, rng, mask);
+  const auto exact = skylineProbabilitiesLinear(data, mask);
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    EXPECT_NEAR(est[row], exact[row], 0.02) << "row " << row;
+  }
+}
+
+TEST(MonteCarloTest, DeterministicGivenSeed) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{30, 2, ValueDistribution::kIndependent, 704});
+  Rng rngA(705);
+  Rng rngB(705);
+  EXPECT_EQ(skylineProbabilitiesMonteCarlo(data, 5000, rngA),
+            skylineProbabilitiesMonteCarlo(data, 5000, rngB));
+}
+
+TEST(MonteCarloTest, CustomWorldSamplerIsUsed) {
+  // A sampler that never instantiates anything: all probabilities zero.
+  const Dataset data = testutil::makeDataset(2, {
+                                                    {1.0, 1.0, 0.9},
+                                                    {2.0, 2.0, 0.9},
+                                                });
+  Rng rng(706);
+  const auto none = skylineProbabilitiesMonteCarlo(
+      data, 100, rng, 0,
+      [](const Dataset&, Rng&, std::vector<bool>& present) {
+        std::fill(present.begin(), present.end(), false);
+      });
+  EXPECT_EQ(none[0], 0.0);
+  EXPECT_EQ(none[1], 0.0);
+
+  // A fully-correlated sampler: both exist or neither (NOT the paper's
+  // independent model) — the dominated tuple then never wins.
+  const auto correlated = skylineProbabilitiesMonteCarlo(
+      data, 20000, rng, 0,
+      [](const Dataset& d, Rng& r, std::vector<bool>& present) {
+        const bool all = r.uniform() < d.prob(0);
+        std::fill(present.begin(), present.end(), all);
+      });
+  EXPECT_NEAR(correlated[0], 0.9, 0.02);
+  EXPECT_NEAR(correlated[1], 0.0, 1e-12);
+}
+
+TEST(MonteCarloTest, ErrorShrinksWithMoreWorlds) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{50, 2, ValueDistribution::kIndependent, 707});
+  const auto exact = skylineProbabilitiesLinear(data);
+  const auto maxError = [&](std::size_t worlds, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto est = skylineProbabilitiesMonteCarlo(data, worlds, rng);
+    double worst = 0.0;
+    for (std::size_t row = 0; row < data.size(); ++row) {
+      worst = std::max(worst, std::abs(est[row] - exact[row]));
+    }
+    return worst;
+  };
+  // Average over a few seeds so the comparison is stable.
+  double coarse = 0.0;
+  double fine = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    coarse += maxError(500, 708 + seed);
+    fine += maxError(50000, 808 + seed);
+  }
+  EXPECT_LT(fine, coarse);
+}
+
+}  // namespace
+}  // namespace dsud

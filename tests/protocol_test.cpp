@@ -1,0 +1,201 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/local_site.hpp"
+#include "test_util.hpp"
+
+namespace dsud {
+namespace {
+
+Tuple sampleTuple() {
+  return Tuple{42, {1.5, -2.5, 3.25}, 0.625};
+}
+
+template <typename Msg>
+Msg reencode(const Msg& msg) {
+  ByteWriter w;
+  msg.encode(w);
+  ByteReader r(w.bytes());
+  Msg out = Msg::decode(r);
+  r.expectEnd();
+  return out;
+}
+
+TEST(ProtocolTest, TupleRoundTrip) {
+  ByteWriter w;
+  encodeTuple(w, sampleTuple());
+  ByteReader r(w.bytes());
+  const Tuple t = decodeTuple(r);
+  EXPECT_EQ(t, sampleTuple());
+  r.expectEnd();
+}
+
+TEST(ProtocolTest, CandidateRoundTrip) {
+  Candidate c;
+  c.site = 7;
+  c.tuple = sampleTuple();
+  c.localSkyProb = 0.375;
+  EXPECT_EQ(reencode(c), c);
+}
+
+TEST(ProtocolTest, PrepareRequestRoundTrip) {
+  PrepareRequest msg;
+  msg.q = 0.45;
+  msg.mask = 0b101;
+  msg.prune = PruneRule::kDominance;
+  const PrepareRequest out = reencode(msg);
+  EXPECT_EQ(out.q, 0.45);
+  EXPECT_EQ(out.mask, 0b101u);
+  EXPECT_EQ(out.prune, PruneRule::kDominance);
+}
+
+TEST(ProtocolTest, NextCandidateResponseEmptyAndFull) {
+  NextCandidateResponse empty;
+  EXPECT_FALSE(reencode(empty).candidate.has_value());
+
+  NextCandidateResponse full;
+  full.candidate = Candidate{3, sampleTuple(), 0.5};
+  const auto out = reencode(full);
+  ASSERT_TRUE(out.candidate.has_value());
+  EXPECT_EQ(*out.candidate, *full.candidate);
+}
+
+TEST(ProtocolTest, EvaluateRoundTrip) {
+  EvaluateRequest req;
+  req.tuple = sampleTuple();
+  req.pruneLocal = false;
+  const auto reqOut = reencode(req);
+  EXPECT_EQ(reqOut.tuple, sampleTuple());
+  EXPECT_FALSE(reqOut.pruneLocal);
+
+  EvaluateResponse resp;
+  resp.survival = 0.123;
+  resp.prunedCount = 9;
+  const auto respOut = reencode(resp);
+  EXPECT_EQ(respOut.survival, 0.123);
+  EXPECT_EQ(respOut.prunedCount, 9u);
+}
+
+TEST(ProtocolTest, ShipAllRoundTrip) {
+  ShipAllResponse msg;
+  msg.tuples = {sampleTuple(), Tuple{1, {0.0, 0.0, 0.0}, 1.0}};
+  const auto out = reencode(msg);
+  EXPECT_EQ(out.tuples, msg.tuples);
+}
+
+TEST(ProtocolTest, ApplyInsertRoundTrip) {
+  ApplyInsertResponse msg;
+  msg.localSkyProb = 0.5;
+  msg.globalUpperBound = 0.25;
+  msg.dominatedReplica = {1, 2, 3};
+  const auto out = reencode(msg);
+  EXPECT_EQ(out.localSkyProb, 0.5);
+  EXPECT_EQ(out.globalUpperBound, 0.25);
+  EXPECT_EQ(out.dominatedReplica, (std::vector<TupleId>{1, 2, 3}));
+}
+
+TEST(ProtocolTest, ApplyDeleteRoundTrip) {
+  ApplyDeleteRequest req;
+  req.id = 99;
+  req.values = {4.0, 5.0};
+  const auto reqOut = reencode(req);
+  EXPECT_EQ(reqOut.id, 99u);
+  EXPECT_EQ(reqOut.values, req.values);
+
+  ApplyDeleteResponse resp;
+  resp.existed = true;
+  resp.prob = 0.75;
+  const auto respOut = reencode(resp);
+  EXPECT_TRUE(respOut.existed);
+  EXPECT_EQ(respOut.prob, 0.75);
+}
+
+TEST(ProtocolTest, RepairDeleteRoundTrip) {
+  RepairDeleteRequest req;
+  req.deleted = sampleTuple();
+  req.origin = 4;
+  const auto reqOut = reencode(req);
+  EXPECT_EQ(reqOut.deleted, sampleTuple());
+  EXPECT_EQ(reqOut.origin, 4u);
+
+  RepairDeleteResponse resp;
+  resp.candidates = {Candidate{1, sampleTuple(), 0.5}};
+  const auto respOut = reencode(resp);
+  ASSERT_EQ(respOut.candidates.size(), 1u);
+  EXPECT_EQ(respOut.candidates[0], resp.candidates[0]);
+}
+
+TEST(ProtocolTest, ReplicaMessagesRoundTrip) {
+  ReplicaAddRequest add;
+  add.entry = Candidate{2, sampleTuple(), 0.5};
+  add.globalSkyProb = 0.4;
+  const auto addOut = reencode(add);
+  EXPECT_EQ(addOut.entry, add.entry);
+  EXPECT_EQ(addOut.globalSkyProb, 0.4);
+
+  ReplicaRemoveRequest remove;
+  remove.id = 1234;
+  EXPECT_EQ(reencode(remove).id, 1234u);
+}
+
+TEST(ProtocolTest, QueryConfigEffectiveMask) {
+  QueryConfig config;
+  EXPECT_EQ(config.effectiveMask(3), fullMask(3));
+  config.mask = 0b01;
+  EXPECT_EQ(config.effectiveMask(3), 0b01u);
+}
+
+// ---------------------------------------------------------------------------
+// SiteServer dispatch
+
+TEST(SiteServerTest, DispatchesPrepareAndCandidates) {
+  const Dataset db = testutil::makeDataset(2, {
+                                                  {1.0, 1.0, 0.9},
+                                                  {2.0, 2.0, 0.9},
+                                              });
+  LocalSite site(0, db);
+  SiteServer server(site);
+
+  PrepareRequest prep;
+  prep.q = 0.3;
+  const Frame prepResp = server.handle(toFrame(MsgType::kPrepare, prep));
+  EXPECT_EQ(fromResponseFrame<PrepareResponse>(prepResp).localSkylineSize, 1u);
+
+  const Frame candResp =
+      server.handle(toFrame(MsgType::kNextCandidate, NextCandidateRequest{}));
+  const auto cand = fromResponseFrame<NextCandidateResponse>(candResp);
+  ASSERT_TRUE(cand.candidate.has_value());
+  EXPECT_EQ(cand.candidate->tuple.values, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(SiteServerTest, UnknownTypeThrows) {
+  const Dataset db = testutil::makeDataset(2, {{1.0, 1.0, 0.5}});
+  LocalSite site(0, db);
+  SiteServer server(site);
+  ByteWriter w;
+  w.putU8(200);  // not a MsgType
+  const Frame bogus = std::move(w).take();
+  EXPECT_THROW(server.handle(bogus), SerializeError);
+}
+
+TEST(SiteServerTest, TrailingGarbageRejected) {
+  const Dataset db = testutil::makeDataset(2, {{1.0, 1.0, 0.5}});
+  LocalSite site(0, db);
+  SiteServer server(site);
+  Frame frame = toFrame(MsgType::kNextCandidate, NextCandidateRequest{});
+  frame.push_back(std::byte{0});
+  EXPECT_THROW(server.handle(frame), SerializeError);
+}
+
+TEST(SiteServerTest, TruncatedBodyRejected) {
+  const Dataset db = testutil::makeDataset(2, {{1.0, 1.0, 0.5}});
+  LocalSite site(0, db);
+  SiteServer server(site);
+  Frame frame = toFrame(MsgType::kPrepare, PrepareRequest{});
+  frame.resize(frame.size() - 2);
+  EXPECT_THROW(server.handle(frame), SerializeError);
+}
+
+}  // namespace
+}  // namespace dsud

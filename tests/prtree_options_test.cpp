@@ -1,0 +1,94 @@
+// PR-tree behaviour across node-capacity configurations: every fanout
+// setting must satisfy the structural invariants and answer queries
+// identically — capacity tunes performance, never results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/synthetic.hpp"
+#include "index/prtree.hpp"
+#include "skyline/bbs.hpp"
+#include "skyline/linear_skyline.hpp"
+#include "test_util.hpp"
+
+namespace dsud {
+namespace {
+
+class PRTreeOptionsTest : public ::testing::TestWithParam<PRTreeOptions> {};
+
+TEST_P(PRTreeOptionsTest, BulkLoadInvariants) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{3000, 3, ValueDistribution::kIndependent, 900});
+  const PRTree tree = PRTree::bulkLoad(data, GetParam());
+  tree.checkInvariants();
+  EXPECT_EQ(tree.size(), data.size());
+}
+
+TEST_P(PRTreeOptionsTest, DynamicBuildInvariants) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{1500, 2, ValueDistribution::kAnticorrelated, 901});
+  PRTree tree(2, GetParam());
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    tree.insert(data.id(row), data.values(row), data.prob(row));
+  }
+  tree.checkInvariants();
+}
+
+TEST_P(PRTreeOptionsTest, QueriesIdenticalAcrossFanouts) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{2000, 3, ValueDistribution::kAnticorrelated, 902});
+  const PRTree tree = PRTree::bulkLoad(data, GetParam());
+
+  // Skyline identical to the fanout-independent reference.
+  EXPECT_EQ(testutil::idsOf(bbsSkyline(tree, 0.3)),
+            testutil::idsOf(linearSkyline(data, 0.3)));
+
+  // Dominance products identical too.
+  Rng rng(903);
+  for (int probe = 0; probe < 20; ++probe) {
+    std::array<double, 3> b{};
+    for (auto& x : b) x = rng.uniform();
+    double brute = 1.0;
+    for (std::size_t row = 0; row < data.size(); ++row) {
+      if (dominates(data.values(row), b)) brute *= 1.0 - data.prob(row);
+    }
+    EXPECT_NEAR(tree.dominanceSurvival(b), brute, 1e-9);
+  }
+}
+
+TEST_P(PRTreeOptionsTest, ChurnKeepsInvariants) {
+  Rng rng(904);
+  PRTree tree(2, GetParam());
+  std::vector<Tuple> live;
+  TupleId next = 0;
+  for (int step = 0; step < 1200; ++step) {
+    if (live.empty() || rng.uniform() < 0.55) {
+      Tuple t{next++, {rng.uniform(), rng.uniform()},
+              rng.existentialUniform()};
+      tree.insert(t);
+      live.push_back(std::move(t));
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      ASSERT_TRUE(tree.erase(live[pick].id, live[pick].values));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  tree.checkInvariants();
+  EXPECT_EQ(tree.size(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fanouts, PRTreeOptionsTest,
+    ::testing::Values(PRTreeOptions{4, 2},     // minimum legal fanout
+                      PRTreeOptions{8, 3},
+                      PRTreeOptions{16, 8},    // max/2 min-fill
+                      PRTreeOptions{32, 12},   // default
+                      PRTreeOptions{64, 26},
+                      PRTreeOptions{128, 51}),
+    [](const ::testing::TestParamInfo<PRTreeOptions>& info) {
+      return "max" + std::to_string(info.param.maxEntries) + "_min" +
+             std::to_string(info.param.minEntries);
+    });
+
+}  // namespace
+}  // namespace dsud

@@ -1,0 +1,133 @@
+// Adversarial-input robustness: the site server must never crash or read out
+// of bounds on malformed frames — every failure surfaces as SerializeError
+// (or a domain exception), and the site remains usable afterwards.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/local_site.hpp"
+#include "test_util.hpp"
+
+namespace dsud {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest()
+      : db_(testutil::makeDataset(2, {{1.0, 2.0, 0.5}, {2.0, 1.0, 0.6}})),
+        site_(0, db_),
+        server_(site_) {}
+
+  Frame validPrepare() {
+    PrepareRequest request;
+    request.q = 0.3;
+    return toFrame(MsgType::kPrepare, request);
+  }
+
+  /// The server must either answer or throw a library exception type.
+  void expectHandled(const Frame& frame) {
+    try {
+      server_.handle(frame);
+    } catch (const SerializeError&) {
+    } catch (const std::invalid_argument&) {
+    } catch (const std::logic_error&) {
+    }
+  }
+
+  Dataset db_;
+  LocalSite site_;
+  SiteServer server_;
+};
+
+TEST_F(RobustnessTest, EmptyFrame) {
+  EXPECT_THROW(server_.handle(Frame{}), SerializeError);
+}
+
+TEST_F(RobustnessTest, EveryTypeByteAlone) {
+  for (int type = 0; type < 256; ++type) {
+    Frame frame{static_cast<std::byte>(type)};
+    expectHandled(frame);
+  }
+  // Site still works.
+  const Frame response = server_.handle(validPrepare());
+  EXPECT_EQ(fromResponseFrame<PrepareResponse>(response).localSkylineSize, 2u);
+}
+
+TEST_F(RobustnessTest, TruncationsOfEveryValidMessage) {
+  std::vector<Frame> frames;
+  frames.push_back(validPrepare());
+  frames.push_back(toFrame(MsgType::kNextCandidate, NextCandidateRequest{}));
+  EvaluateRequest eval;
+  eval.tuple = Tuple{9, {0.5, 0.5}, 0.5};
+  frames.push_back(toFrame(MsgType::kEvaluate, eval));
+  ApplyInsertRequest ins;
+  ins.tuple = Tuple{10, {0.25, 0.25}, 0.5};
+  frames.push_back(toFrame(MsgType::kApplyInsert, ins));
+  ApplyDeleteRequest del;
+  del.id = 0;
+  del.values = {1.0, 2.0};
+  frames.push_back(toFrame(MsgType::kApplyDelete, del));
+  RepairDeleteRequest rep;
+  rep.deleted = Tuple{11, {0.1, 0.1}, 0.5};
+  rep.origin = 1;
+  frames.push_back(toFrame(MsgType::kRepairDelete, rep));
+
+  server_.handle(validPrepare());
+  for (const Frame& frame : frames) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      Frame truncated(frame.begin(),
+                      frame.begin() + static_cast<std::ptrdiff_t>(cut));
+      expectHandled(truncated);
+    }
+  }
+  // Still alive and consistent.
+  const Frame response = server_.handle(validPrepare());
+  EXPECT_GE(fromResponseFrame<PrepareResponse>(response).localSkylineSize, 1u);
+}
+
+TEST_F(RobustnessTest, RandomByteFlips) {
+  Rng rng(31337);
+  EvaluateRequest eval;
+  eval.tuple = Tuple{9, {0.5, 0.5}, 0.5};
+  const Frame base = toFrame(MsgType::kEvaluate, eval);
+  server_.handle(validPrepare());
+  for (int trial = 0; trial < 2000; ++trial) {
+    Frame mutated = base;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<std::byte>(rng.below(256));
+    }
+    expectHandled(mutated);
+  }
+}
+
+TEST_F(RobustnessTest, RandomGarbageFrames) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Frame garbage(rng.below(64));
+    for (auto& b : garbage) b = static_cast<std::byte>(rng.below(256));
+    expectHandled(garbage);
+  }
+}
+
+TEST_F(RobustnessTest, HugeClaimedLengthsDoNotAllocate) {
+  // A ShipAllResponse-style u32 count of ~4 billion must fail fast on the
+  // reader's bounds check rather than attempt the allocation.
+  ByteWriter w;
+  w.putU8(static_cast<std::uint8_t>(MsgType::kApplyDelete));
+  w.putU64(0);
+  w.putU32(0xffffffffu);  // claimed vector length
+  const Frame frame = std::move(w).take();
+  EXPECT_THROW(server_.handle(frame), SerializeError);
+}
+
+TEST_F(RobustnessTest, EvaluateWithWrongDimensionality) {
+  server_.handle(validPrepare());
+  EvaluateRequest eval;
+  eval.tuple = Tuple{9, {0.5, 0.5, 0.5, 0.5}, 0.5};  // 4 dims vs site's 2
+  const Frame frame = toFrame(MsgType::kEvaluate, eval);
+  EXPECT_THROW(server_.handle(frame), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsud

@@ -1,0 +1,99 @@
+#include "skyline/skycube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/synthetic.hpp"
+#include "skyline/bbs.hpp"
+#include "skyline/linear_skyline.hpp"
+#include "test_util.hpp"
+
+namespace dsud {
+namespace {
+
+TEST(SkycubeTest, ValidatesThreshold) {
+  const PRTree tree(2);
+  EXPECT_THROW(Skycube(tree, 0.0), std::invalid_argument);
+  EXPECT_THROW(Skycube(tree, 1.5), std::invalid_argument);
+}
+
+TEST(SkycubeTest, CuboidCountIsTwoToTheDMinusOne) {
+  for (std::size_t d = 1; d <= 4; ++d) {
+    const Dataset data = generateSynthetic(
+        SyntheticSpec{50, d, ValueDistribution::kIndependent, 950 + d});
+    const PRTree tree = PRTree::bulkLoad(data);
+    const Skycube cube(tree, 0.3);
+    EXPECT_EQ(cube.cuboidCount(), (1u << d) - 1);
+  }
+}
+
+TEST(SkycubeTest, EveryCuboidMatchesLinearScan) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{400, 4, ValueDistribution::kAnticorrelated, 955});
+  const PRTree tree = PRTree::bulkLoad(data);
+  const Skycube cube(tree, 0.3);
+  for (DimMask mask = 1; mask <= fullMask(4); ++mask) {
+    EXPECT_EQ(testutil::idsOf(cube.cuboid(mask)),
+              testutil::idsOf(linearSkyline(data, 0.3, mask)))
+        << "mask=" << mask;
+  }
+}
+
+TEST(SkycubeTest, CuboidLookupValidation) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{20, 2, ValueDistribution::kIndependent, 956});
+  const PRTree tree = PRTree::bulkLoad(data);
+  const Skycube cube(tree, 0.3);
+  EXPECT_THROW(cube.cuboid(0), std::out_of_range);
+  EXPECT_THROW(cube.cuboid(0b100), std::out_of_range);  // dim 2 of a 2-D cube
+  EXPECT_NO_THROW(cube.cuboid(0b11));
+}
+
+TEST(SkycubeTest, ForEachVisitsAllMasksInOrder) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{30, 3, ValueDistribution::kIndependent, 957});
+  const PRTree tree = PRTree::bulkLoad(data);
+  const Skycube cube(tree, 0.3);
+  std::vector<DimMask> visited;
+  cube.forEachCuboid([&](DimMask mask, const auto& skyline) {
+    visited.push_back(mask);
+    EXPECT_EQ(skyline.size(), cube.cuboid(mask).size());
+  });
+  ASSERT_EQ(visited.size(), 7u);
+  for (DimMask m = 1; m <= 7; ++m) EXPECT_EQ(visited[m - 1], m);
+}
+
+TEST(SkycubeTest, SingleDimensionCuboidsAreMinChains) {
+  // On one dimension, the most-preferred tuple has P_sky = its own P.
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{200, 3, ValueDistribution::kIndependent, 958});
+  const PRTree tree = PRTree::bulkLoad(data);
+  const Skycube cube(tree, 0.3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const auto& cuboid = cube.cuboid(DimMask{1u} << j);
+    // Find the minimum-value tuple on dimension j.
+    std::size_t bestRow = 0;
+    for (std::size_t row = 1; row < data.size(); ++row) {
+      if (data.values(row)[j] < data.values(bestRow)[j]) bestRow = row;
+    }
+    const bool found =
+        std::any_of(cuboid.begin(), cuboid.end(), [&](const auto& e) {
+          return e.id == data.id(bestRow);
+        });
+    // The minimum is in the cuboid iff its own probability clears q.
+    EXPECT_EQ(found, data.prob(bestRow) >= 0.3);
+  }
+}
+
+TEST(SkycubeTest, FullMaskCuboidEqualsPlainSkyline) {
+  const Dataset data = generateSynthetic(
+      SyntheticSpec{300, 3, ValueDistribution::kAnticorrelated, 959});
+  const PRTree tree = PRTree::bulkLoad(data);
+  const Skycube cube(tree, 0.3);
+  EXPECT_EQ(testutil::idsOf(cube.cuboid(fullMask(3))),
+            testutil::idsOf(bbsSkyline(tree, 0.3)));
+}
+
+}  // namespace
+}  // namespace dsud

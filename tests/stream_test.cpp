@@ -1,0 +1,169 @@
+#include "skyline/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "gen/nyse.hpp"
+#include "gen/synthetic.hpp"
+#include "skyline/linear_skyline.hpp"
+#include "test_util.hpp"
+
+namespace dsud {
+namespace {
+
+/// Window contents as a Dataset (ground truth helper).
+Dataset windowDataset(const std::vector<Tuple>& live, std::size_t dims) {
+  Dataset data(dims);
+  for (const Tuple& t : live) data.add(t.id, t.values, t.prob);
+  return data;
+}
+
+TEST(StreamTest, ValidatesConstruction) {
+  EXPECT_THROW(SlidingWindowSkyline(2, 0, 0.3), std::invalid_argument);
+  EXPECT_THROW(SlidingWindowSkyline(2, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(SlidingWindowSkyline(2, 10, 1.5), std::invalid_argument);
+}
+
+TEST(StreamTest, WarmupPhaseKeepsEverything) {
+  SlidingWindowSkyline stream(2, 3, 0.3);
+  EXPECT_EQ(stream.append(Tuple{0, {1.0, 1.0}, 0.9}),
+            SlidingWindowSkyline::kNoExpiry);
+  EXPECT_EQ(stream.append(Tuple{1, {2.0, 2.0}, 0.9}),
+            SlidingWindowSkyline::kNoExpiry);
+  EXPECT_EQ(stream.append(Tuple{2, {3.0, 3.0}, 0.9}),
+            SlidingWindowSkyline::kNoExpiry);
+  EXPECT_EQ(stream.size(), 3u);
+  // Fourth append expires the oldest.
+  EXPECT_EQ(stream.append(Tuple{3, {4.0, 4.0}, 0.9}), 0u);
+  EXPECT_EQ(stream.size(), 3u);
+}
+
+TEST(StreamTest, ExpiryRaisesSurvivorsProbabilities) {
+  SlidingWindowSkyline stream(2, 2, 0.3);
+  stream.append(Tuple{0, {1.0, 1.0}, 0.6});
+  stream.append(Tuple{1, {2.0, 2.0}, 0.9});
+  // Dominated by the live element 0.
+  EXPECT_NEAR(stream.skylineProbability(1), 0.9 * 0.4, 1e-12);
+  // Slide: element 0 expires; element 1 is free.
+  stream.append(Tuple{2, {3.0, 3.0}, 0.5});
+  EXPECT_NEAR(stream.skylineProbability(1), 0.9, 1e-12);
+  EXPECT_EQ(stream.skylineProbability(0), 0.0);  // expired
+}
+
+TEST(StreamTest, SkylineMatchesLinearScanThroughoutStream) {
+  Rng rng(501);
+  const std::size_t window = 50;
+  SlidingWindowSkyline stream(2, window, 0.3);
+  std::vector<Tuple> live;
+
+  for (TupleId id = 0; id < 300; ++id) {
+    Tuple t{id, {rng.uniform(), rng.uniform()}, rng.existentialUniform()};
+    live.push_back(t);
+    if (live.size() > window) live.erase(live.begin());
+    stream.append(t);
+
+    if (id % 23 != 0) continue;  // spot-check periodically
+    const Dataset ground = windowDataset(live, 2);
+    const auto expected = linearSkyline(ground, 0.3);
+    const auto got = stream.skyline();
+    ASSERT_EQ(testutil::idsOf(got), testutil::idsOf(expected))
+        << "at element " << id;
+  }
+}
+
+TEST(StreamTest, NonCandidatesNeverBecomeAnswers) {
+  // The Zhang-et-al. property: once an element fails the candidate test, it
+  // never enters the skyline for the rest of its lifetime.
+  Rng rng(502);
+  const std::size_t window = 40;
+  SlidingWindowSkyline stream(2, window, 0.3);
+  std::set<TupleId> condemned;  // failed the test at some point, still live
+  std::deque<TupleId> liveIds;
+
+  for (TupleId id = 0; id < 400; ++id) {
+    const TupleId expired = stream.append(
+        Tuple{id, {rng.uniform(), rng.uniform()}, rng.existentialUniform()});
+    liveIds.push_back(id);
+    if (expired != SlidingWindowSkyline::kNoExpiry) {
+      condemned.erase(expired);
+      liveIds.pop_front();
+    }
+    for (const TupleId lid : liveIds) {
+      if (!stream.isCandidate(lid)) condemned.insert(lid);
+    }
+    for (const auto& answer : stream.skyline()) {
+      EXPECT_FALSE(condemned.contains(answer.id))
+          << "non-candidate " << answer.id << " resurfaced at element " << id;
+    }
+  }
+}
+
+TEST(StreamTest, CandidateCountBoundsAnswerCount) {
+  Rng rng(503);
+  SlidingWindowSkyline stream(3, 60, 0.3);
+  for (TupleId id = 0; id < 200; ++id) {
+    stream.append(Tuple{
+        id, {rng.uniform(), rng.uniform(), rng.uniform()},
+        rng.existentialUniform()});
+    EXPECT_GE(stream.candidateCount(), stream.skyline().size());
+    EXPECT_LE(stream.candidateCount(), stream.size());
+  }
+}
+
+TEST(StreamTest, CandidateSetShrinksOnCorrelatedBursts) {
+  // A burst of strong, high-probability elements near the origin condemns
+  // most of the window.
+  Rng rng(504);
+  SlidingWindowSkyline stream(2, 50, 0.3);
+  for (TupleId id = 0; id < 50; ++id) {
+    stream.append(Tuple{id, {0.5 + 0.4 * rng.uniform(),
+                             0.5 + 0.4 * rng.uniform()},
+                        0.9});
+  }
+  const std::size_t before = stream.candidateCount();
+  for (TupleId id = 50; id < 55; ++id) {
+    stream.append(Tuple{id, {0.01 * double(id - 49), 0.05}, 0.99});
+  }
+  EXPECT_LT(stream.candidateCount(), before);
+  EXPECT_LE(stream.candidateCount(), 10u);
+}
+
+TEST(StreamTest, DimensionMismatchRejected) {
+  SlidingWindowSkyline stream(2, 4, 0.3);
+  EXPECT_THROW(stream.append(Tuple{1, {0.5, 0.5, 0.5}, 0.5}),
+               std::invalid_argument);
+  EXPECT_EQ(stream.size(), 0u);
+}
+
+TEST(StreamTest, WindowOfOneAlwaysAnswersItsElement) {
+  SlidingWindowSkyline stream(2, 1, 0.3);
+  for (TupleId id = 0; id < 10; ++id) {
+    stream.append(Tuple{id, {double(id), double(id)}, 0.8});
+    const auto sky = stream.skyline();
+    ASSERT_EQ(sky.size(), 1u);
+    EXPECT_EQ(sky[0].id, id);
+    EXPECT_NEAR(sky[0].skyProb, 0.8, 1e-12);
+  }
+}
+
+TEST(StreamTest, NyseStreamEndToEnd) {
+  // The related work's own evaluation setting: a stock stream.
+  const Dataset trace = generateNyse(NyseSpec{2000, 505});
+  SlidingWindowSkyline stream(2, 256, 0.3);
+  std::vector<Tuple> live;
+  for (std::size_t row = 0; row < trace.size(); ++row) {
+    const Tuple t = trace.tuple(row);
+    live.push_back(t);
+    if (live.size() > 256) live.erase(live.begin());
+    stream.append(t);
+  }
+  const auto got = stream.skyline();
+  const auto expected = linearSkyline(windowDataset(live, 2), 0.3);
+  EXPECT_EQ(testutil::idsOf(got), testutil::idsOf(expected));
+}
+
+}  // namespace
+}  // namespace dsud

@@ -1,0 +1,226 @@
+// dsudctl — command-line driver for the dsud library.
+//
+//   dsudctl generate --out=data.bin [--n=100000] [--d=3] [--seed=1]
+//                    [--dist=independent|correlated|anticorrelated|nyse]
+//                    [--probs=uniform|gaussian] [--mu=0.5] [--sigma=0.2]
+//                    [--format=bin|csv]
+//   dsudctl inspect  --in=data.bin
+//   dsudctl query    --in=data.bin [--algo=edsud|dsud|naive] [--m=10]
+//                    [--q=0.3] [--k=0] [--mask=0] [--seed=1] [--limit=20]
+//   dsudctl convert  --in=data.bin --out=data.csv
+//
+// Files use the binary format of common/io.hpp unless the extension is
+// .csv.  Exit code 0 on success, 1 on usage errors, 2 on runtime errors.
+#include <cstdio>
+#include <string>
+
+#include "common/io.hpp"
+#include "common/options.hpp"
+#include "core/cluster.hpp"
+#include "gen/nyse.hpp"
+#include "gen/synthetic.hpp"
+#include "skyline/cardinality.hpp"
+#include "skyline/linear_skyline.hpp"
+
+namespace {
+
+using namespace dsud;
+
+bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Dataset loadAny(const std::string& path) {
+  return endsWith(path, ".csv") ? loadDatasetCsv(path)
+                                : loadDatasetBinary(path);
+}
+
+void saveAny(const Dataset& data, const std::string& path) {
+  if (endsWith(path, ".csv")) {
+    saveDatasetCsv(data, path);
+  } else {
+    saveDatasetBinary(data, path);
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dsudctl <generate|inspect|query|convert> [--flags]\n"
+               "see the header of tools/dsudctl.cpp for details\n");
+  return 1;
+}
+
+int cmdGenerate(const ArgParser& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out=<path> is required\n");
+    return 1;
+  }
+  const auto n = static_cast<std::size_t>(args.getInt("n", 100000));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const std::string dist = args.get("dist", "independent");
+
+  ProbSampler probs = uniformProbability();
+  if (args.get("probs", "uniform") == "gaussian") {
+    probs = gaussianProbability(args.getDouble("mu", 0.5),
+                                args.getDouble("sigma", 0.2));
+  }
+
+  Dataset data(1);
+  if (dist == "nyse") {
+    NyseSpec spec;
+    spec.n = n;
+    spec.seed = seed;
+    data = generateNyse(spec, probs);
+  } else {
+    SyntheticSpec spec;
+    spec.n = n;
+    spec.dims = static_cast<std::size_t>(args.getInt("d", 3));
+    spec.seed = seed;
+    if (dist == "correlated") {
+      spec.dist = ValueDistribution::kCorrelated;
+    } else if (dist == "anticorrelated") {
+      spec.dist = ValueDistribution::kAnticorrelated;
+    } else if (dist != "independent") {
+      std::fprintf(stderr, "generate: unknown --dist=%s\n", dist.c_str());
+      return 1;
+    }
+    data = generateSynthetic(spec, probs);
+  }
+  saveAny(data, out);
+  std::printf("wrote %zu tuples (%zu dims) to %s\n", data.size(), data.dims(),
+              out.c_str());
+  return 0;
+}
+
+int cmdInspect(const ArgParser& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "inspect: --in=<path> is required\n");
+    return 1;
+  }
+  const Dataset data = loadAny(in);
+  std::printf("%s: %zu tuples, %zu dimensions\n", in.c_str(), data.size(),
+              data.dims());
+  if (data.empty()) return 0;
+
+  std::vector<double> lo(data.dims(), 1e300);
+  std::vector<double> hi(data.dims(), -1e300);
+  double probSum = 0.0;
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    const auto v = data.values(row);
+    for (std::size_t j = 0; j < data.dims(); ++j) {
+      lo[j] = std::min(lo[j], v[j]);
+      hi[j] = std::max(hi[j], v[j]);
+    }
+    probSum += data.prob(row);
+  }
+  for (std::size_t j = 0; j < data.dims(); ++j) {
+    std::printf("  dim %zu: [%g, %g]\n", j, lo[j], hi[j]);
+  }
+  std::printf("  mean existential probability: %.4f\n",
+              probSum / static_cast<double>(data.size()));
+  std::printf("  estimated skyline cardinality H(%zu, %zu) = %.1f\n",
+              data.dims(), data.size(),
+              expectedSkylineCardinality(data.dims(), data.size()));
+  return 0;
+}
+
+int cmdQuery(const ArgParser& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "query: --in=<path> is required\n");
+    return 1;
+  }
+  const Dataset data = loadAny(in);
+  const auto m = static_cast<std::size_t>(args.getInt("m", 10));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const auto k = static_cast<std::size_t>(args.getInt("k", 0));
+  const std::string algo = args.get("algo", "edsud");
+
+  InProcCluster cluster(data, m, seed);
+
+  QueryResult result;
+  if (k > 0) {
+    TopKConfig config;
+    config.k = k;
+    config.floorQ = args.getDouble("q", 1e-3);
+    config.mask = static_cast<DimMask>(args.getInt("mask", 0));
+    result = cluster.coordinator().runTopK(config);
+  } else {
+    QueryConfig config;
+    config.q = args.getDouble("q", 0.3);
+    config.mask = static_cast<DimMask>(args.getInt("mask", 0));
+    if (algo == "edsud") {
+      result = cluster.coordinator().runEdsud(config);
+    } else if (algo == "dsud") {
+      result = cluster.coordinator().runDsud(config);
+    } else if (algo == "naive") {
+      result = cluster.coordinator().runNaive(config);
+    } else {
+      std::fprintf(stderr, "query: unknown --algo=%s\n", algo.c_str());
+      return 1;
+    }
+    sortByGlobalProbability(result.skyline);
+  }
+
+  std::printf("%zu answers; %llu tuples shipped (%llu bytes, %llu RPCs) in "
+              "%.1f ms over %zu sites\n",
+              result.skyline.size(),
+              static_cast<unsigned long long>(result.stats.tuplesShipped),
+              static_cast<unsigned long long>(result.stats.bytesShipped),
+              static_cast<unsigned long long>(result.stats.roundTrips),
+              result.stats.seconds * 1e3, m);
+
+  const auto limit =
+      std::min<std::size_t>(result.skyline.size(),
+                            static_cast<std::size_t>(args.getInt("limit", 20)));
+  for (std::size_t i = 0; i < limit; ++i) {
+    const GlobalSkylineEntry& e = result.skyline[i];
+    std::printf("  #%-4zu id=%-10llu site=%-4u P=%.4f P_gsky=%.6f  (", i + 1,
+                static_cast<unsigned long long>(e.tuple.id), e.site,
+                e.tuple.prob, e.globalSkyProb);
+    for (std::size_t j = 0; j < e.tuple.values.size(); ++j) {
+      std::printf("%s%g", j == 0 ? "" : ", ", e.tuple.values[j]);
+    }
+    std::printf(")\n");
+  }
+  if (limit < result.skyline.size()) {
+    std::printf("  ... %zu more (raise --limit)\n",
+                result.skyline.size() - limit);
+  }
+  return 0;
+}
+
+int cmdConvert(const ArgParser& args) {
+  const std::string in = args.get("in", "");
+  const std::string out = args.get("out", "");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "convert: --in and --out are required\n");
+    return 1;
+  }
+  const Dataset data = loadAny(in);
+  saveAny(data, out);
+  std::printf("converted %zu tuples: %s -> %s\n", data.size(), in.c_str(),
+              out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string& command = args.positional().front();
+  try {
+    if (command == "generate") return cmdGenerate(args);
+    if (command == "inspect") return cmdInspect(args);
+    if (command == "query") return cmdQuery(args);
+    if (command == "convert") return cmdConvert(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dsudctl: %s\n", e.what());
+    return 2;
+  }
+}
