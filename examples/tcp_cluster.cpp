@@ -17,6 +17,7 @@
 #include "gen/partition.hpp"
 #include "gen/synthetic.hpp"
 #include "net/tcp_transport.hpp"
+#include "obs/metrics.hpp"
 
 using namespace dsud;
 
@@ -52,13 +53,18 @@ int main(int argc, char** argv) {
     threads.emplace_back([srv = servers.back().get()] { srv->serve(); });
   }
 
-  // Coordinator side: TCP channels + bandwidth meter.
+  // Coordinator side: TCP channels + bandwidth meter + metrics registry.
+  // bindAccounting makes each channel report wire-level frame/byte counters
+  // and its TCP framing overhead, so the meter reflects real wire bytes.
   BandwidthMeter meter;
+  obs::MetricsRegistry metrics;
   std::vector<std::unique_ptr<SiteHandle>> handles;
   for (std::size_t i = 0; i < m; ++i) {
-    handles.push_back(std::make_unique<RpcSiteHandle>(
-        static_cast<SiteId>(i),
-        std::make_unique<TcpClientChannel>(servers[i]->port()), &meter));
+    const auto id = static_cast<SiteId>(i);
+    auto channel = std::make_unique<TcpClientChannel>(servers[i]->port());
+    channel->bindAccounting(id, &meter, &metrics);
+    handles.push_back(
+        std::make_unique<RpcSiteHandle>(id, std::move(channel), &meter));
   }
   {
     Coordinator coordinator(std::move(handles), &meter, spec.dims);
@@ -78,6 +84,14 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(link.bytesFromSite),
                   static_cast<unsigned long long>(link.calls));
     }
+    std::uint64_t wireBytes = 0;
+    for (const auto& [name, value] : metrics.snapshot().counters) {
+      if (name.rfind("dsud_transport_bytes_total", 0) == 0) {
+        wireBytes += value;
+      }
+    }
+    std::printf("wire bytes incl. frame headers: %llu\n",
+                static_cast<unsigned long long>(wireBytes));
     // Coordinator (and its channels) close here, ending the server loops.
   }
   for (auto& t : threads) t.join();

@@ -9,13 +9,17 @@
 namespace dsud {
 
 InProcCluster::InProcCluster(const Dataset& global, std::size_t m,
-                             std::uint64_t seed, PRTree::Options treeOptions) {
+                             std::uint64_t seed, PRTree::Options treeOptions,
+                             obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) metrics_ = metrics;
   Rng rng(seed);
   build(partitionUniform(global, m, rng), treeOptions);
 }
 
 InProcCluster::InProcCluster(const std::vector<Dataset>& siteData,
-                             PRTree::Options treeOptions) {
+                             PRTree::Options treeOptions,
+                             obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) metrics_ = metrics;
   build(siteData, treeOptions);
 }
 
@@ -35,13 +39,16 @@ void InProcCluster::build(const std::vector<Dataset>& siteData,
     }
     const auto id = static_cast<SiteId>(i);
     sites_.push_back(std::make_unique<LocalSite>(id, siteData[i], options));
+    sites_.back()->setMetrics(metrics_);
     servers_.push_back(std::make_unique<SiteServer>(*sites_.back()));
-    handles.push_back(std::make_unique<RpcSiteHandle>(
-        id, std::make_unique<InProcChannel>(servers_.back()->handler()),
-        &meter_));
+    auto channel = std::make_unique<InProcChannel>(servers_.back()->handler());
+    channel->bindAccounting(id, &meter_, metrics_);
+    handles.push_back(
+        std::make_unique<RpcSiteHandle>(id, std::move(channel), &meter_));
   }
   coordinator_ = std::make_unique<Coordinator>(std::move(handles), &meter_,
                                                dims_);
+  coordinator_->setMetrics(metrics_);
 }
 
 }  // namespace dsud

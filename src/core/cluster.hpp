@@ -12,25 +12,34 @@
 #include "common/dataset.hpp"
 #include "core/coordinator.hpp"
 #include "core/local_site.hpp"
+#include "obs/metrics.hpp"
 
 namespace dsud {
 
 class InProcCluster {
  public:
   /// Partitions `global` uniformly onto `m` sites (paper Sec. 7) and builds
-  /// the whole stack.  `seed` controls the partitioning only.
+  /// the whole stack.  `seed` controls the partitioning only.  When
+  /// `metrics` is non-null it replaces the cluster's own registry — the
+  /// bench harness shares one registry across many clusters this way; it
+  /// must then outlive the cluster.
   InProcCluster(const Dataset& global, std::size_t m, std::uint64_t seed,
-                PRTree::Options treeOptions = {});
+                PRTree::Options treeOptions = {},
+                obs::MetricsRegistry* metrics = nullptr);
 
   /// Builds from pre-partitioned local databases (site ids = positions).
   explicit InProcCluster(const std::vector<Dataset>& siteData,
-                         PRTree::Options treeOptions = {});
+                         PRTree::Options treeOptions = {},
+                         obs::MetricsRegistry* metrics = nullptr);
 
   InProcCluster(const InProcCluster&) = delete;
   InProcCluster& operator=(const InProcCluster&) = delete;
 
   Coordinator& coordinator() noexcept { return *coordinator_; }
   BandwidthMeter& meter() noexcept { return meter_; }
+  /// The registry every layer of this cluster reports into (the external
+  /// one when provided at construction).
+  obs::MetricsRegistry& metricsRegistry() noexcept { return *metrics_; }
   std::size_t siteCount() const noexcept { return sites_.size(); }
   LocalSite& localSite(std::size_t i) noexcept { return *sites_[i]; }
   std::size_t dims() const noexcept { return dims_; }
@@ -40,6 +49,8 @@ class InProcCluster {
 
   std::size_t dims_ = 0;
   BandwidthMeter meter_;
+  obs::MetricsRegistry ownMetrics_;
+  obs::MetricsRegistry* metrics_ = &ownMetrics_;
   std::vector<std::unique_ptr<LocalSite>> sites_;
   std::vector<std::unique_ptr<SiteServer>> servers_;
   std::unique_ptr<Coordinator> coordinator_;

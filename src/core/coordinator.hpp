@@ -24,6 +24,7 @@
 #include "core/result.hpp"
 #include "core/site_handle.hpp"
 #include "net/bandwidth.hpp"
+#include "obs/metrics.hpp"
 
 namespace dsud {
 
@@ -37,6 +38,23 @@ class Coordinator {
   std::size_t siteCount() const noexcept { return sites_.size(); }
   std::size_t dims() const noexcept { return dims_; }
   BandwidthMeter* meter() const noexcept { return meter_; }
+
+  /// Attaches a metrics registry; every query then maintains the
+  /// `dsud_query_*` / `dsud_rounds_*` instrument families (per-algorithm
+  /// labels).  Null detaches.  The registry must outlive the coordinator.
+  void setMetrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+
+  /// Caps the per-query protocol timeline at `maxEvents` spans (0 disables
+  /// tracing; QueryResult::trace comes back empty).  Default: 65536 —
+  /// roughly 16k feedback rounds before events are dropped, ~100 bytes per
+  /// retained span.
+  void setTraceCapacity(std::size_t maxEvents) noexcept {
+    traceCapacity_ = maxEvents;
+  }
+  std::size_t traceCapacity() const noexcept { return traceCapacity_; }
 
   /// Site handle by position (positions are stable; ids may differ).
   SiteHandle& site(std::size_t index) { return *sites_[index]; }
@@ -86,6 +104,8 @@ class Coordinator {
   std::size_t dims_;
   ProgressCallback progress_;
   std::unique_ptr<ThreadPool> broadcastPool_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::size_t traceCapacity_ = 65536;
 };
 
 }  // namespace dsud

@@ -26,36 +26,50 @@ struct LowerLocalProb {
 }  // namespace
 
 QueryResult Coordinator::runDsud(const QueryConfig& config) {
-  internal::QueryRun run(*this);
+  internal::QueryRun run(*this, "dsud");
   QueryStats& stats = run.result.stats;
   const PrepareRequest prep{config.q, config.effectiveMask(dims_),
                             config.prune, config.window};
 
   std::priority_queue<Candidate, std::vector<Candidate>, LowerLocalProb> queue;
-  for (const auto& s : sites_) {
-    s->prepare(prep);
-  }
-  for (const auto& s : sites_) {
-    if (auto response = s->nextCandidate(); response.candidate) {
-      queue.push(std::move(*response.candidate));
-      ++stats.candidatesPulled;
+  {
+    obs::TraceSpan prepare = run.span("prepare");
+    for (const auto& s : sites_) {
+      s->prepare(prep);
+    }
+    for (const auto& s : sites_) {
+      obs::TraceSpan pull = run.span("pull");
+      pull.attr("site", s->siteId());
+      if (auto response = s->nextCandidate(); response.candidate) {
+        queue.push(std::move(*response.candidate));
+        run.countPull(stats);
+      }
     }
   }
 
   while (!queue.empty()) {
+    const auto round = run.roundScope();
     const Candidate c = queue.top();
     queue.pop();
 
     // Corollary 1: nothing still queued or unseen can reach q.
     if (c.localSkyProb < config.q) break;
 
-    const double globalSkyProb =
-        evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+    double globalSkyProb = 0.0;
+    {
+      obs::TraceSpan broadcast = run.span("broadcast");
+      broadcast.attr("site", c.site);
+      broadcast.attr("tuple", static_cast<double>(c.tuple.id));
+      globalSkyProb =
+          evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+    }
     if (globalSkyProb >= config.q) run.emit(c, globalSkyProb, progress_);
 
+    obs::TraceSpan pull = run.span("pull");
+    pull.attr("site", c.site);
     if (auto next = siteById(c.site).nextCandidate(); next.candidate) {
       queue.push(std::move(*next.candidate));
-      ++stats.candidatesPulled;
+      run.countPull(stats);
     }
   }
   return run.finalize();

@@ -25,36 +25,50 @@
 namespace dsud {
 
 QueryResult Coordinator::runEdsud(const QueryConfig& config) {
-  internal::QueryRun run(*this);
+  internal::QueryRun run(*this, "edsud");
   QueryStats& stats = run.result.stats;
   const DimMask mask = config.effectiveMask(dims_);
   const PrepareRequest prep{config.q, mask, config.prune, config.window};
 
-  for (const auto& s : sites_) {
-    s->prepare(prep);
-  }
-
   internal::BoundQueue queue(mask, config.bound);
   const auto pullFrom = [&](SiteId site) {
+    obs::TraceSpan pull = run.span("pull");
+    pull.attr("site", site);
     if (auto next = siteById(site).nextCandidate(); next.candidate) {
       queue.add(std::move(*next.candidate));
-      ++stats.candidatesPulled;
+      run.countPull(stats);
     }
   };
-  for (const auto& s : sites_) {
-    pullFrom(s->siteId());
+  const auto expunge = [&](std::size_t index) {
+    const Candidate victim = queue.take(index);
+    {
+      obs::TraceSpan span = run.span("expunge");
+      span.attr("site", victim.site);
+      span.attr("tuple", static_cast<double>(victim.tuple.id));
+    }
+    run.countExpunge(stats);
+    pullFrom(victim.site);
+  };
+
+  {
+    obs::TraceSpan prepare = run.span("prepare");
+    for (const auto& s : sites_) {
+      s->prepare(prep);
+    }
+    for (const auto& s : sites_) {
+      pullFrom(s->siteId());
+    }
   }
 
   while (!queue.empty()) {
+    const auto round = run.roundScope();
     if (config.expunge == ExpungePolicy::kEager) {
       // Expunge sweep to a fixpoint: replacements pulled for an expunged
       // candidate see all retained witnesses and may be expunged in turn.
       for (std::size_t i = queue.findExpungeable(config.q);
            i != internal::BoundQueue::npos;
            i = queue.findExpungeable(config.q)) {
-        const Candidate victim = queue.take(i);
-        ++stats.expunged;
-        pullFrom(victim.site);
+        expunge(i);
       }
       if (queue.empty()) break;
     }
@@ -62,15 +76,19 @@ QueryResult Coordinator::runEdsud(const QueryConfig& config) {
     const std::size_t best = queue.selectQualified(config.q);
     if (best == internal::BoundQueue::npos) {
       // kPark: every entry is provably unqualified; release one stream.
-      const Candidate parked = queue.take(queue.size() - 1);
-      ++stats.expunged;
-      pullFrom(parked.site);
+      expunge(queue.size() - 1);
       continue;
     }
 
     const Candidate c = queue.take(best);
-    const double globalSkyProb =
-        evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+    double globalSkyProb = 0.0;
+    {
+      obs::TraceSpan broadcast = run.span("broadcast");
+      broadcast.attr("site", c.site);
+      broadcast.attr("tuple", static_cast<double>(c.tuple.id));
+      globalSkyProb =
+          evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+    }
     queue.confirm(c.tuple, globalSkyProb);
     if (globalSkyProb >= config.q) run.emit(c, globalSkyProb, progress_);
     pullFrom(c.site);

@@ -12,6 +12,27 @@ LocalSite::LocalSite(SiteId id, const Dataset& db, PRTree::Options options)
       tree_(PRTree::bulkLoad(db, options)),
       mask_(fullMask(db.dims())) {}
 
+void LocalSite::setMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    nodeAccesses_ = nullptr;
+    pruned_ = nullptr;
+    return;
+  }
+  const std::string site = std::to_string(id_);
+  nodeAccesses_ = &registry->counter(
+      obs::labeled("dsud_site_node_accesses_total", {{"site", site}}));
+  pruned_ = &registry->counter(
+      obs::labeled("dsud_site_pruned_total", {{"site", site}}));
+  flushedAccesses_ = tree_.nodeAccesses();
+}
+
+void LocalSite::flushTreeMetrics() {
+  if (nodeAccesses_ == nullptr) return;
+  const std::uint64_t now = tree_.nodeAccesses();
+  nodeAccesses_->add(now - flushedAccesses_);
+  flushedAccesses_ = now;
+}
+
 PrepareResponse LocalSite::prepare(const PrepareRequest& request) {
   if (!(request.q > 0.0) || request.q > 1.0) {
     throw std::invalid_argument("LocalSite::prepare: q must be in (0, 1]");
@@ -30,6 +51,7 @@ PrepareResponse LocalSite::prepare(const PrepareRequest& request) {
        bbsSkyline(tree_, q_, mask_, /*stats=*/nullptr, clip)) {
     pending_.push_back(PendingEntry{std::move(e), 1.0});
   }
+  flushTreeMetrics();
   return PrepareResponse{pending_.size()};
 }
 
@@ -57,6 +79,7 @@ EvaluateResponse LocalSite::evaluate(const EvaluateRequest& request) {
   const Rect* clip = request.window ? &*request.window : nullptr;
   response.survival =
       tree_.dominanceSurvival(request.tuple.values, mask_, clip);
+  flushTreeMetrics();
 
   if (!request.pruneLocal) return response;
 
@@ -73,6 +96,7 @@ EvaluateResponse LocalSite::evaluate(const EvaluateRequest& request) {
   response.prunedCount =
       static_cast<std::uint32_t>(std::distance(removed, pending_.end()));
   pending_.erase(removed, pending_.end());
+  if (pruned_ != nullptr) pruned_->add(response.prunedCount);
   return response;
 }
 

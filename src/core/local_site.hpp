@@ -10,6 +10,7 @@
 #include "core/protocol.hpp"
 #include "index/prtree.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "skyline/skyline_result.hpp"
 
 namespace dsud {
@@ -24,6 +25,13 @@ class LocalSite {
   SiteId id() const noexcept { return id_; }
   std::size_t size() const noexcept { return tree_.size(); }
   const PRTree& tree() const noexcept { return tree_; }
+
+  /// Attaches a metrics registry (null detaches).  The site then maintains
+  /// per-site instruments: `dsud_site_node_accesses_total{site=...}`
+  /// (PR-tree nodes visited by its query walks) and
+  /// `dsud_site_pruned_total{site=...}` (Local-Pruning victims).  The
+  /// registry must outlive the site.
+  void setMetrics(obs::MetricsRegistry* registry);
 
   // --- Query protocol ------------------------------------------------------
 
@@ -73,6 +81,9 @@ class LocalSite {
   /// Π (1 − P(r)) over replica entries from *other* sites dominating `v`.
   double replicaExternalSurvival(std::span<const double> v) const;
 
+  /// Publishes the PR-tree node-access delta since the last flush.
+  void flushTreeMetrics();
+
   struct PendingEntry {
     ProbSkylineEntry entry;
     /// Running Π (1 − P(t)) over external feedback tuples dominating this
@@ -91,6 +102,11 @@ class LocalSite {
   std::vector<PendingEntry> pending_;  // descending skyProb; front is next
 
   std::vector<ReplicaEntry> replica_;
+
+  // Observability (null when no registry is attached).
+  obs::Counter* nodeAccesses_ = nullptr;
+  obs::Counter* pruned_ = nullptr;
+  std::uint64_t flushedAccesses_ = 0;
 };
 
 /// Frame dispatcher: decodes requests, invokes the site, encodes responses.

@@ -10,23 +10,31 @@
 namespace dsud {
 
 QueryResult Coordinator::runNaive(const QueryConfig& config) {
-  internal::QueryRun run(*this);
+  internal::QueryRun run(*this, "naive");
   const DimMask mask = config.effectiveMask(dims_);
 
   // Collect every tuple, remembering its origin site.
   Dataset unified(dims_);
   std::unordered_map<TupleId, SiteId> origin;
-  for (const auto& s : sites_) {
-    const ShipAllResponse shipment = s->shipAll();
-    origin.reserve(origin.size() + shipment.tuples.size());
-    for (const Tuple& t : shipment.tuples) {
-      unified.add(t);
-      origin.emplace(t.id, s->siteId());
+  {
+    obs::TraceSpan collect = run.span("ship_all");
+    for (const auto& s : sites_) {
+      obs::TraceSpan pull = run.span("pull");
+      pull.attr("site", s->siteId());
+      const ShipAllResponse shipment = s->shipAll();
+      pull.attr("tuples", static_cast<double>(shipment.tuples.size()));
+      origin.reserve(origin.size() + shipment.tuples.size());
+      for (const Tuple& t : shipment.tuples) {
+        unified.add(t);
+        origin.emplace(t.id, s->siteId());
+      }
     }
   }
   run.result.stats.candidatesPulled = unified.size();
+  if (run.pulls != nullptr) run.pulls->add(unified.size());
 
   // Centralised answer, reported progressively in BBS order.
+  obs::TraceSpan answer = run.span("central_bbs");
   const PRTree tree = PRTree::bulkLoad(unified);
   const Rect* clip = config.window ? &*config.window : nullptr;
   bbsSkylineStream(

@@ -1,10 +1,14 @@
 // Internal bookkeeping shared by the query algorithm implementations:
-// stopwatch, bandwidth baseline (the meter is shared across queries), and
-// progressive emission.  Not part of the public API.
+// stopwatch, bandwidth baseline (the meter is shared across queries),
+// progressive emission, and the observability hooks — the per-query
+// protocol timeline (obs::Tracer) and the coordinator-level metric
+// instruments (per-algorithm counters and latency histograms).  Not part of
+// the public API.
 #pragma once
 
 #include "common/stopwatch.hpp"
 #include "core/coordinator.hpp"
+#include "obs/trace.hpp"
 
 namespace dsud::internal {
 
@@ -13,15 +17,78 @@ struct QueryRun {
   QueryResult result;
   Stopwatch watch;
   UsageTotals baseline;
+  obs::Tracer tracer;
+  obs::SpanId root = obs::kNoSpan;
 
-  explicit QueryRun(Coordinator& c) : coord(c) {
+  // Cached instruments (null when the coordinator has no registry).
+  obs::Counter* queries = nullptr;
+  obs::Counter* rounds = nullptr;
+  obs::Counter* answers = nullptr;
+  obs::Counter* pulls = nullptr;
+  obs::Counter* expunges = nullptr;
+  obs::Counter* sitePrunes = nullptr;
+  obs::Histogram* roundLatency = nullptr;
+  obs::Histogram* queryLatency = nullptr;
+
+  /// `algo` labels every instrument ("naive", "dsud", "edsud", "topk") and
+  /// names the root span of the timeline.
+  QueryRun(Coordinator& c, const char* algo)
+      : coord(c), tracer(c.traceCapacity()) {
     if (coord.meter() != nullptr) baseline = coord.meter()->totals();
+    root = tracer.begin(std::string("query.") + algo);
+    if (obs::MetricsRegistry* reg = coord.metrics(); reg != nullptr) {
+      const auto name = [algo](const char* base) {
+        return obs::labeled(base, {{"algo", algo}});
+      };
+      queries = &reg->counter(name("dsud_queries_total"));
+      rounds = &reg->counter(name("dsud_rounds_total"));
+      answers = &reg->counter(name("dsud_answers_total"));
+      pulls = &reg->counter(name("dsud_candidates_pulled_total"));
+      expunges = &reg->counter(name("dsud_expunged_total"));
+      sitePrunes = &reg->counter(name("dsud_pruned_at_sites_total"));
+      roundLatency = &reg->histogram(name("dsud_round_latency_seconds"),
+                                     obs::Histogram::latencyBounds());
+      queryLatency = &reg->histogram(name("dsud_query_latency_seconds"),
+                                     obs::Histogram::latencyBounds());
+    }
   }
 
   std::uint64_t tuplesSoFar() const {
     if (coord.meter() == nullptr) return 0;
     return coord.meter()->totals().tuples - baseline.tuples;
   }
+
+  obs::TraceSpan span(std::string_view name) { return {tracer, name}; }
+
+  /// One To-Server pull that returned a candidate.
+  void countPull(QueryStats& stats) {
+    ++stats.candidatesPulled;
+    if (pulls != nullptr) pulls->inc();
+  }
+
+  /// One candidate killed by the e-DSUD bound (no broadcast spent).
+  void countExpunge(QueryStats& stats) {
+    ++stats.expunged;
+    if (expunges != nullptr) expunges->inc();
+  }
+
+  /// RAII scope for one protocol round: a "round" span in the timeline plus
+  /// a sample in the per-round latency histogram.
+  struct RoundScope {
+    QueryRun* run;
+    obs::TraceSpan span;
+    Stopwatch clock;
+
+    explicit RoundScope(QueryRun& r) : run(&r), span(r.span("round")) {}
+    RoundScope(RoundScope&&) = delete;
+    ~RoundScope() {
+      if (run->rounds != nullptr) run->rounds->inc();
+      if (run->roundLatency != nullptr) {
+        run->roundLatency->observe(clock.elapsedSeconds());
+      }
+    }
+  };
+  RoundScope roundScope() { return RoundScope(*this); }
 
   void emit(const Candidate& c, double globalSkyProb, ProgressCallback& cb) {
     GlobalSkylineEntry entry;
@@ -34,6 +101,14 @@ struct QueryRun {
     point.reported = result.skyline.size() + 1;
     point.tuplesShipped = tuplesSoFar();
     point.seconds = watch.elapsedSeconds();
+
+    {
+      obs::TraceSpan s = span("emit");
+      s.attr("site", entry.site);
+      s.attr("tuple", static_cast<double>(entry.tuple.id));
+      s.attr("p_gsky", globalSkyProb);
+    }
+    if (answers != nullptr) answers->inc();
 
     if (cb) cb(entry, point);
     result.skyline.push_back(std::move(entry));
@@ -48,6 +123,15 @@ struct QueryRun {
       result.stats.bytesShipped = now.bytes - baseline.bytes;
       result.stats.roundTrips = now.calls - baseline.calls;
     }
+    if (queries != nullptr) {
+      queries->inc();
+      // prunedAtSites accumulates inside evaluateGlobally; fold the query's
+      // total into the counter here rather than threading a hook through.
+      sitePrunes->add(result.stats.prunedAtSites);
+      queryLatency->observe(result.stats.seconds);
+    }
+    tracer.end(root);
+    result.trace = tracer.take();
     return std::move(result);
   }
 };

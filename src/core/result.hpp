@@ -7,6 +7,7 @@
 
 #include "common/dataset.hpp"
 #include "core/protocol.hpp"
+#include "obs/trace.hpp"
 
 namespace dsud {
 
@@ -46,6 +47,9 @@ struct QueryResult {
   std::vector<GlobalSkylineEntry> skyline;  ///< in emission order
   QueryStats stats;
   std::vector<ProgressPoint> progress;  ///< one point per emitted answer
+  /// Protocol timeline of this run (prepare, rounds, broadcasts, expunges,
+  /// emits).  Empty when the coordinator's tracing is disabled.
+  obs::QueryTrace trace;
 };
 
 /// Invoked the moment an answer qualifies (progressive reporting).

@@ -29,24 +29,30 @@ QueryResult Coordinator::runTopK(const TopKConfig& config) {
     throw std::invalid_argument("runTopK: floorQ must be in (0, 1]");
   }
 
-  internal::QueryRun run(*this);
+  internal::QueryRun run(*this, "topk");
   QueryStats& stats = run.result.stats;
   const DimMask mask = config.effectiveMask(dims_);
   const PrepareRequest prep{config.floorQ, mask, PruneRule::kThresholdBound,
                             config.window};
-  for (const auto& s : sites_) {
-    s->prepare(prep);
-  }
 
   internal::BoundQueue queue(mask, FeedbackBound::kQueuedAndConfirmed);
   const auto pullFrom = [&](SiteId site) {
+    obs::TraceSpan pull = run.span("pull");
+    pull.attr("site", site);
     if (auto next = siteById(site).nextCandidate(); next.candidate) {
       queue.add(std::move(*next.candidate));
-      ++stats.candidatesPulled;
+      run.countPull(stats);
     }
   };
-  for (const auto& s : sites_) {
-    pullFrom(s->siteId());
+
+  {
+    obs::TraceSpan prepare = run.span("prepare");
+    for (const auto& s : sites_) {
+      s->prepare(prep);
+    }
+    for (const auto& s : sites_) {
+      pullFrom(s->siteId());
+    }
   }
 
   // Current best-k, kept sorted descending by probability (k is small).
@@ -57,12 +63,18 @@ QueryResult Coordinator::runTopK(const TopKConfig& config) {
   };
 
   while (!queue.empty()) {
+    const auto round = run.roundScope();
     // Expunge sweep against the adaptive threshold.
     for (std::size_t i = queue.findExpungeable(threshold());
          i != internal::BoundQueue::npos;
          i = queue.findExpungeable(threshold())) {
       const Candidate victim = queue.take(i);
-      ++stats.expunged;
+      {
+        obs::TraceSpan span = run.span("expunge");
+        span.attr("site", victim.site);
+        span.attr("tuple", static_cast<double>(victim.tuple.id));
+      }
+      run.countExpunge(stats);
       pullFrom(victim.site);
     }
     if (queue.empty()) break;
@@ -73,8 +85,14 @@ QueryResult Coordinator::runTopK(const TopKConfig& config) {
     if (best == internal::BoundQueue::npos) break;
 
     const Candidate c = queue.take(best);
-    const double globalSkyProb =
-        evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+    double globalSkyProb = 0.0;
+    {
+      obs::TraceSpan broadcast = run.span("broadcast");
+      broadcast.attr("site", c.site);
+      broadcast.attr("tuple", static_cast<double>(c.tuple.id));
+      globalSkyProb =
+          evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+    }
     queue.confirm(c.tuple, globalSkyProb);
 
     // Admission: above the floor (the contract's universe) and either the
@@ -101,6 +119,10 @@ QueryResult Coordinator::runTopK(const TopKConfig& config) {
   }
 
   run.result.skyline = std::move(top);
+  // Top-k answers are not streamed through emit(); count them here.
+  if (run.answers != nullptr) {
+    run.answers->add(run.result.skyline.size());
+  }
   return run.finalize();
 }
 

@@ -482,6 +482,7 @@ double PRTree::dominanceSurvival(std::span<const double> b, DimMask mask,
   // Recursive aggregate descent, defined inline to keep Node private.
   const std::function<double(const Node&)> descend =
       [&](const Node& node) -> double {
+    ++nodeAccesses_;
     if (!node.mbr.possiblyDominates(b, mask)) return 1.0;
     if (clip != nullptr && !node.mbr.intersects(*clip)) return 1.0;
     const bool insideClip = clip == nullptr || clip->containsRect(node.mbr);
@@ -510,6 +511,7 @@ void PRTree::forEachDominating(
   }
   if (!root_) return;
   const std::function<void(const Node&)> descend = [&](const Node& node) {
+    ++nodeAccesses_;
     if (!node.mbr.possiblyDominates(b, mask)) return;
     if (node.leaf) {
       for (const LeafEntry& e : node.entries) {
@@ -526,6 +528,7 @@ void PRTree::windowQuery(
     const Rect& window, const std::function<void(const LeafEntry&)>& fn) const {
   if (!root_) return;
   const std::function<void(const Node&)> descend = [&](const Node& node) {
+    ++nodeAccesses_;
     if (!node.mbr.intersects(window)) return;
     if (node.leaf) {
       for (const LeafEntry& e : node.entries) {

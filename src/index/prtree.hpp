@@ -138,6 +138,14 @@ class PRTree {
   /// Height of the tree (0 when empty, 1 for a single leaf root).
   std::size_t height() const noexcept;
 
+  /// Nodes visited by the query walks (dominanceSurvival,
+  /// forEachDominating, windowQuery) since construction or the last
+  /// `resetNodeAccesses()` — the index-side work metric the observability
+  /// layer reports per site.  Plain counter: a PRTree serves one site's
+  /// single-threaded protocol session, so no atomics on this path.
+  std::uint64_t nodeAccesses() const noexcept { return nodeAccesses_; }
+  void resetNodeAccesses() noexcept { nodeAccesses_ = 0; }
+
   /// Verifies every structural invariant (MBR containment, aggregate
   /// correctness, fanout bounds, uniform leaf depth).  Throws
   /// std::logic_error with a description on the first violation.  Intended
@@ -165,6 +173,7 @@ class PRTree {
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
   std::size_t height_ = 0;
+  mutable std::uint64_t nodeAccesses_ = 0;
 };
 
 }  // namespace dsud

@@ -26,6 +26,14 @@ void BandwidthMeter::recordTuples(SiteId site, std::uint64_t toSite,
   links_[site].tuplesFromSite += fromSite;
 }
 
+void BandwidthMeter::recordOverhead(SiteId site, std::uint64_t toSite,
+                                    std::uint64_t fromSite) {
+  std::lock_guard lock(mutex_);
+  ensureSiteLocked(site);
+  links_[site].bytesToSite += toSite;
+  links_[site].bytesFromSite += fromSite;
+}
+
 LinkUsage BandwidthMeter::link(SiteId site) const {
   std::lock_guard lock(mutex_);
   if (site >= links_.size()) return LinkUsage{};

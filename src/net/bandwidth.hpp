@@ -40,6 +40,11 @@ class BandwidthMeter {
                   std::uint64_t responseBytes);
   void recordTuples(SiteId site, std::uint64_t toSite,
                     std::uint64_t fromSite);
+  /// Transport-level framing overhead (length prefixes, ...): bytes that hit
+  /// the wire beyond the payloads `recordCall` accounts.  Adds to the byte
+  /// columns only — overhead is not a round trip.
+  void recordOverhead(SiteId site, std::uint64_t toSite,
+                      std::uint64_t fromSite);
 
   LinkUsage link(SiteId site) const;
   UsageTotals totals() const;

@@ -25,7 +25,10 @@ class InProcChannel final : public ClientChannel {
 
   Frame call(const Frame& request) override {
     if (closed_) throw std::logic_error("InProcChannel: channel closed");
-    return handler_(request);
+    Frame response = handler_(request);
+    // Loopback has no framing: on-wire bytes are exactly the payloads.
+    accountFrames(request.size(), response.size(), 0, 0);
+    return response;
   }
 
   void close() override { closed_ = true; }

@@ -24,7 +24,12 @@ class TcpClientChannel final : public ClientChannel {
 
   Frame call(const Frame& request) override {
     writeFrame(socket_, request);
-    return readFrame(socket_);
+    Frame response = readFrame(socket_);
+    // Real sockets carry the u32 length prefix in each direction; without
+    // this, bytesShipped undercounts by kFrameHeaderBytes per frame.
+    accountFrames(request.size(), response.size(), kFrameHeaderBytes,
+                  kFrameHeaderBytes);
+    return response;
   }
 
   void close() override { socket_.close(); }

@@ -1,0 +1,47 @@
+#include "net/transport.hpp"
+
+#include <string>
+
+#include "net/bandwidth.hpp"
+
+namespace dsud {
+
+void ClientChannel::bindAccounting(SiteId site, BandwidthMeter* meter,
+                                   obs::MetricsRegistry* metrics) {
+  site_ = site;
+  meter_ = meter;
+  if (metrics != nullptr) {
+    const std::string id = std::to_string(site);
+    framesOut_ = &metrics->counter(
+        obs::labeled("dsud_transport_frames_total", {{"site", id},
+                                                     {"dir", "out"}}));
+    framesIn_ = &metrics->counter(
+        obs::labeled("dsud_transport_frames_total", {{"site", id},
+                                                     {"dir", "in"}}));
+    bytesOut_ = &metrics->counter(
+        obs::labeled("dsud_transport_bytes_total", {{"site", id},
+                                                    {"dir", "out"}}));
+    bytesIn_ = &metrics->counter(
+        obs::labeled("dsud_transport_bytes_total", {{"site", id},
+                                                    {"dir", "in"}}));
+  } else {
+    framesOut_ = framesIn_ = bytesOut_ = bytesIn_ = nullptr;
+  }
+}
+
+void ClientChannel::accountFrames(std::size_t payloadOut,
+                                  std::size_t payloadIn,
+                                  std::size_t overheadOut,
+                                  std::size_t overheadIn) {
+  if (meter_ != nullptr && (overheadOut != 0 || overheadIn != 0)) {
+    meter_->recordOverhead(site_, overheadOut, overheadIn);
+  }
+  if (framesOut_ != nullptr) {
+    framesOut_->inc();
+    framesIn_->inc();
+    bytesOut_->add(payloadOut + overheadOut);
+    bytesIn_->add(payloadIn + overheadIn);
+  }
+}
+
+}  // namespace dsud

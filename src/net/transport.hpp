@@ -16,10 +16,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace dsud {
+
+class BandwidthMeter;
+using SiteId = std::uint32_t;  // = common/dataset.hpp's SiteId (checked there)
 
 using Frame = std::vector<std::byte>;
 
@@ -28,6 +34,12 @@ using Frame = std::vector<std::byte>;
 using FrameHandler = std::function<Frame(const Frame&)>;
 
 /// Coordinator-side endpoint of a channel to one site.
+///
+/// Channels own the *wire-level* accounting: after `bindAccounting`, every
+/// `call` reports per-site frame and byte counters to the metrics registry
+/// and its framing overhead (bytes on the wire beyond the payloads the RPC
+/// stub already meters) to the BandwidthMeter.  Unbound channels account
+/// nothing, preserving the zero-dependency construction the tests use.
 class ClientChannel {
  public:
   virtual ~ClientChannel() = default;
@@ -37,6 +49,25 @@ class ClientChannel {
 
   /// Releases the underlying resources; further calls are invalid.
   virtual void close() {}
+
+  /// Enables wire accounting for this channel's site.  Either sink may be
+  /// null.  Call before the first `call`; not thread-safe against it.
+  void bindAccounting(SiteId site, BandwidthMeter* meter,
+                      obs::MetricsRegistry* metrics);
+
+ protected:
+  /// Implementations call this once per round trip with the payload sizes
+  /// and the transport's own framing overhead in each direction.
+  void accountFrames(std::size_t payloadOut, std::size_t payloadIn,
+                     std::size_t overheadOut, std::size_t overheadIn);
+
+ private:
+  SiteId site_ = 0;
+  BandwidthMeter* meter_ = nullptr;
+  obs::Counter* framesOut_ = nullptr;
+  obs::Counter* framesIn_ = nullptr;
+  obs::Counter* bytesOut_ = nullptr;
+  obs::Counter* bytesIn_ = nullptr;
 };
 
 }  // namespace dsud

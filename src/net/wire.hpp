@@ -22,6 +22,10 @@ class NetError : public std::runtime_error {
 /// Largest accepted frame payload (64 MiB).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Bytes the framing itself puts on the wire per frame (the u32 length
+/// prefix) — what transport-level byte accounting adds on top of payloads.
+inline constexpr std::size_t kFrameHeaderBytes = sizeof(std::uint32_t);
+
 /// Owning file-descriptor wrapper.  Move-only.
 class Socket {
  public:

@@ -1,0 +1,34 @@
+// Observability: snapshot and trace serialisation.
+//
+// Two metric formats are produced from the same MetricsSnapshot:
+//
+//   * JSON — machine-friendly dump for the bench harness (one
+//     `<table>.metrics.json` next to each figure CSV) and for tooling;
+//     histograms carry bounds, per-bucket counts, sum/count and
+//     pre-computed p50/p95/p99.
+//   * Prometheus text exposition (version 0.0.4) — what a scrape endpoint
+//     or `dsudctl metrics` prints.  Labeled instrument names
+//     (`base{k="v"}`, built by obs::labeled) are split back into family
+//     and labels; histograms expand into the conventional
+//     `_bucket{le=...}` / `_sum` / `_count` series.
+//
+// Traces export as JSON only (a flat span list; see obs/trace.hpp).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dsud::obs {
+
+std::string metricsToJson(const MetricsSnapshot& snapshot);
+std::string metricsToPrometheus(const MetricsSnapshot& snapshot);
+
+std::string traceToJson(const QueryTrace& trace);
+
+/// Appends `text` with JSON string escaping (quotes, backslashes, control
+/// characters) — shared with anything hand-rolling JSON around the library.
+void appendJsonEscaped(std::string& out, std::string_view text);
+
+}  // namespace dsud::obs

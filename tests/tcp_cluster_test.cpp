@@ -12,6 +12,8 @@
 #include "gen/partition.hpp"
 #include "gen/synthetic.hpp"
 #include "net/tcp_transport.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
 #include "test_util.hpp"
 
 namespace dsud {
@@ -30,10 +32,11 @@ class TcpCluster {
           servers_.back()->handler()));
       threads_.emplace_back(
           [server = tcpServers_.back().get()] { server->serve(); });
-      handles.push_back(std::make_unique<RpcSiteHandle>(
-          id,
-          std::make_unique<TcpClientChannel>(tcpServers_.back()->port()),
-          &meter_));
+      auto channel =
+          std::make_unique<TcpClientChannel>(tcpServers_.back()->port());
+      channel->bindAccounting(id, &meter_, &metrics_);
+      handles.push_back(
+          std::make_unique<RpcSiteHandle>(id, std::move(channel), &meter_));
     }
     coordinator_ = std::make_unique<Coordinator>(std::move(handles), &meter_,
                                                  siteData.front().dims());
@@ -49,9 +52,11 @@ class TcpCluster {
   }
 
   Coordinator& coordinator() { return *coordinator_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
  private:
   BandwidthMeter meter_;
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<LocalSite>> sites_;
   std::vector<std::unique_ptr<SiteServer>> servers_;
   std::vector<std::unique_ptr<TcpSiteServer>> tcpServers_;
@@ -74,15 +79,28 @@ TEST(TcpClusterTest, EdsudOverTcpMatchesInProcess) {
     inproc = cluster.coordinator().runEdsud(config);
   }
   QueryResult tcp;
+  std::uint64_t tcpWireBytes = 0;
   {
     TcpCluster cluster(siteData);
     tcp = cluster.coordinator().runEdsud(config);
+    for (const auto& [name, value] : cluster.metrics().snapshot().counters) {
+      if (name.rfind("dsud_transport_bytes_total", 0) == 0) {
+        tcpWireBytes += value;
+      }
+    }
   }
 
   EXPECT_EQ(testutil::idsOf(tcp.skyline), testutil::idsOf(inproc.skyline));
   EXPECT_EQ(tcp.stats.tuplesShipped, inproc.stats.tuplesShipped);
-  EXPECT_EQ(tcp.stats.bytesShipped, inproc.stats.bytesShipped);
+  EXPECT_EQ(tcp.stats.roundTrips, inproc.stats.roundTrips);
   EXPECT_EQ(tcp.stats.broadcasts, inproc.stats.broadcasts);
+  // The TCP transport now accounts its length-prefix framing: one header per
+  // frame in each direction on top of the payload bytes both transports ship.
+  EXPECT_EQ(tcp.stats.bytesShipped,
+            inproc.stats.bytesShipped +
+                2 * kFrameHeaderBytes * tcp.stats.roundTrips);
+  // And the channel-level wire counters agree with the meter exactly.
+  EXPECT_EQ(tcpWireBytes, tcp.stats.bytesShipped);
 }
 
 TEST(TcpClusterTest, DsudAndNaiveOverTcp) {

@@ -8,6 +8,14 @@
 //   dsudctl query    --in=data.bin [--algo=edsud|dsud|naive] [--m=10]
 //                    [--q=0.3] [--k=0] [--mask=0] [--seed=1] [--limit=20]
 //   dsudctl convert  --in=data.bin --out=data.csv
+//   dsudctl metrics  --in=data.bin [--algo=edsud|dsud|naive] [--m=10]
+//                    [--q=0.3] [--k=0] [--seed=1] [--format=prom|json]
+//                    [--trace-out=trace.json]
+//
+// `metrics` runs one query with full observability enabled and prints the
+// resulting metrics snapshot — Prometheus text exposition by default,
+// JSON with --format=json — to stdout; --trace-out additionally writes the
+// query's protocol timeline as JSON.
 //
 // Files use the binary format of common/io.hpp unless the extension is
 // .csv.  Exit code 0 on success, 1 on usage errors, 2 on runtime errors.
@@ -19,6 +27,7 @@
 #include "core/cluster.hpp"
 #include "gen/nyse.hpp"
 #include "gen/synthetic.hpp"
+#include "obs/export.hpp"
 #include "skyline/cardinality.hpp"
 #include "skyline/linear_skyline.hpp"
 
@@ -45,9 +54,10 @@ void saveAny(const Dataset& data, const std::string& path) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: dsudctl <generate|inspect|query|convert> [--flags]\n"
-               "see the header of tools/dsudctl.cpp for details\n");
+  std::fprintf(
+      stderr,
+      "usage: dsudctl <generate|inspect|query|convert|metrics> [--flags]\n"
+      "see the header of tools/dsudctl.cpp for details\n");
   return 1;
 }
 
@@ -193,6 +203,69 @@ int cmdQuery(const ArgParser& args) {
   return 0;
 }
 
+int cmdMetrics(const ArgParser& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "metrics: --in=<path> is required\n");
+    return 1;
+  }
+  const Dataset data = loadAny(in);
+  const auto m = static_cast<std::size_t>(args.getInt("m", 10));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const auto k = static_cast<std::size_t>(args.getInt("k", 0));
+  const std::string algo = args.get("algo", "edsud");
+  const std::string format = args.get("format", "prom");
+  if (format != "prom" && format != "json") {
+    std::fprintf(stderr, "metrics: unknown --format=%s\n", format.c_str());
+    return 1;
+  }
+
+  InProcCluster cluster(data, m, seed);
+
+  QueryResult result;
+  if (k > 0) {
+    TopKConfig config;
+    config.k = k;
+    config.floorQ = args.getDouble("q", 1e-3);
+    result = cluster.coordinator().runTopK(config);
+  } else {
+    QueryConfig config;
+    config.q = args.getDouble("q", 0.3);
+    if (algo == "edsud") {
+      result = cluster.coordinator().runEdsud(config);
+    } else if (algo == "dsud") {
+      result = cluster.coordinator().runDsud(config);
+    } else if (algo == "naive") {
+      result = cluster.coordinator().runNaive(config);
+    } else {
+      std::fprintf(stderr, "metrics: unknown --algo=%s\n", algo.c_str());
+      return 1;
+    }
+  }
+
+  const obs::MetricsSnapshot snapshot =
+      cluster.metricsRegistry().snapshot();
+  const std::string text = format == "json"
+                               ? obs::metricsToJson(snapshot)
+                               : obs::metricsToPrometheus(snapshot);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+
+  if (const std::string tracePath = args.get("trace-out", "");
+      !tracePath.empty()) {
+    const std::string traceJson = obs::traceToJson(result.trace);
+    std::FILE* f = std::fopen(tracePath.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "metrics: cannot open %s\n", tracePath.c_str());
+      return 2;
+    }
+    std::fwrite(traceJson.data(), 1, traceJson.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 result.trace.events.size(), tracePath.c_str());
+  }
+  return 0;
+}
+
 int cmdConvert(const ArgParser& args) {
   const std::string in = args.get("in", "");
   const std::string out = args.get("out", "");
@@ -218,6 +291,7 @@ int main(int argc, char** argv) {
     if (command == "inspect") return cmdInspect(args);
     if (command == "query") return cmdQuery(args);
     if (command == "convert") return cmdConvert(args);
+    if (command == "metrics") return cmdMetrics(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dsudctl: %s\n", e.what());
