@@ -53,7 +53,8 @@ inline Scale defaultScale() {
   return s;
 }
 
-enum class Algo { kNaive, kDsud, kEdsud };
+// The bench harness dispatches on the library's own algorithm selector.
+using Algo = dsud::Algo;
 
 inline const char* algoName(Algo a) {
   switch (a) {
@@ -67,17 +68,10 @@ inline const char* algoName(Algo a) {
   return "?";
 }
 
-inline QueryResult runAlgo(Coordinator& coordinator, Algo algo,
-                           const QueryConfig& config) {
-  switch (algo) {
-    case Algo::kNaive:
-      return coordinator.runNaive(config);
-    case Algo::kDsud:
-      return coordinator.runDsud(config);
-    case Algo::kEdsud:
-      return coordinator.runEdsud(config);
-  }
-  return {};
+inline QueryResult runAlgo(QueryEngine& engine, Algo algo,
+                           const QueryConfig& config,
+                           const QueryOptions& options = {}) {
+  return engine.run(algo, config, options);
 }
 
 /// One averaged measurement point.
@@ -103,7 +97,7 @@ inline Point averagePoint(const Dataset& global, std::size_t m,
   Point p;
   for (std::size_t r = 0; r < repeats; ++r) {
     InProcCluster cluster(global, m, seed + r * 7919, {}, &metricsRegistry());
-    const QueryResult result = runAlgo(cluster.coordinator(), algo, config);
+    const QueryResult result = runAlgo(cluster.engine(), algo, config);
     p.tuples += static_cast<double>(result.stats.tuplesShipped);
     p.seconds += result.stats.seconds;
     p.skyline += static_cast<double>(result.skyline.size());

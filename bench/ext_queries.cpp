@@ -40,7 +40,7 @@ void constrainedPanel(const Scale& scale) {
     config.window = window;
 
     InProcCluster cluster(global, scale.m, scale.seed);
-    const QueryResult result = cluster.coordinator().runEdsud(config);
+    const QueryResult result = cluster.engine().runEdsud(config);
     printRow(std::string(w.name),
              static_cast<double>(result.stats.tuplesShipped),
              static_cast<double>(result.skyline.size()));
@@ -57,13 +57,13 @@ void topkPanel(const Scale& scale) {
 
   QueryConfig floorConfig;
   floorConfig.q = 0.05;
-  const QueryResult exhaustive = cluster.coordinator().runEdsud(floorConfig);
+  const QueryResult exhaustive = cluster.engine().runEdsud(floorConfig);
 
   for (const std::size_t k : {1u, 5u, 10u, 50u, 200u}) {
     TopKConfig config;
     config.k = k;
     config.floorQ = 0.05;
-    const QueryResult result = cluster.coordinator().runTopK(config);
+    const QueryResult result = cluster.engine().runTopK(config);
     const double saving =
         100.0 * (1.0 - static_cast<double>(result.stats.tuplesShipped) /
                            static_cast<double>(exhaustive.stats.tuplesShipped));
@@ -108,8 +108,8 @@ void skewPanel(const Scale& scale) {
     InProcCluster edsudCluster(sites);
     QueryConfig config;
     config.q = scale.q;
-    const QueryResult dsud = dsudCluster.coordinator().runDsud(config);
-    const QueryResult edsud = edsudCluster.coordinator().runEdsud(config);
+    const QueryResult dsud = dsudCluster.engine().runDsud(config);
+    const QueryResult edsud = edsudCluster.engine().runEdsud(config);
     printRow(name, static_cast<double>(dsud.stats.tuplesShipped),
              static_cast<double>(edsud.stats.tuplesShipped),
              static_cast<double>(edsud.skyline.size()));

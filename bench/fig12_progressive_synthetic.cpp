@@ -44,8 +44,8 @@ void runPanel(const Scale& scale, ValueDistribution dist) {
   config.q = scale.q;
 
   InProcCluster cluster(global, scale.m, scale.seed + 121);
-  const QueryResult dsud = cluster.coordinator().runDsud(config);
-  const QueryResult edsud = cluster.coordinator().runEdsud(config);
+  const QueryResult dsud = cluster.engine().runDsud(config);
+  const QueryResult edsud = cluster.engine().runEdsud(config);
   printCurves(dsud, edsud);
 }
 

@@ -44,8 +44,8 @@ void runPanel(const Scale& scale, const ProbSampler& probs,
   config.q = scale.q;
 
   InProcCluster cluster(trace, scale.m, scale.seed + 131);
-  const QueryResult dsud = cluster.coordinator().runDsud(config);
-  const QueryResult edsud = cluster.coordinator().runEdsud(config);
+  const QueryResult dsud = cluster.engine().runDsud(config);
+  const QueryResult edsud = cluster.engine().runEdsud(config);
   printCurves(dsud, edsud);
 }
 

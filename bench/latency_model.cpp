@@ -8,7 +8,7 @@
 //   sequential — every RPC waits for the previous one:
 //                  T = roundTrips · RTT
 //   pipelined  — the m−1 evaluate RPCs of one feedback phase run in
-//                parallel (Coordinator::setParallelBroadcast), prepares and
+//                parallel (QueryOptions::broadcastThreads), prepares and
 //                initial pulls batch likewise:
 //                  T ≈ (2 + candidatesPulled + broadcasts) · RTT
 //                (one RTT per To-Server pull, one per feedback phase, plus
@@ -30,9 +30,9 @@ struct Model {
   double tuples;
 };
 
-Model measure(Coordinator& coordinator, Algo algo, const QueryConfig& config,
+Model measure(QueryEngine& engine, Algo algo, const QueryConfig& config,
               std::size_t m) {
-  const QueryResult result = runAlgo(coordinator, algo, config);
+  const QueryResult result = runAlgo(engine, algo, config);
   Model model;
   model.tuples = static_cast<double>(result.stats.tuplesShipped);
   model.sequentialRounds = static_cast<double>(result.stats.roundTrips);
@@ -67,7 +67,7 @@ int main() {
     InProcCluster cluster(global, scale.m, scale.seed);
     QueryConfig config;
     config.q = scale.q;
-    const Model model = measure(cluster.coordinator(), algo, config, scale.m);
+    const Model model = measure(cluster.engine(), algo, config, scale.m);
     printRow(std::string(algoName(algo)), model.tuples,
              model.sequentialRounds, model.pipelinedRounds,
              model.sequentialRounds * 0.010, model.pipelinedRounds * 0.010);
@@ -83,7 +83,7 @@ int main() {
       QueryConfig config;
       config.q = scale.q;
       rounds[i++] =
-          measure(cluster.coordinator(), algo, config, scale.m).pipelinedRounds;
+          measure(cluster.engine(), algo, config, scale.m).pipelinedRounds;
     }
   }
   for (const double rttMs : {1.0, 10.0, 50.0, 200.0}) {

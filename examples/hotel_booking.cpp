@@ -68,17 +68,18 @@ int main() {
   config.q = 0.3;
   config.expunge = ExpungePolicy::kPark;  // the paper's Sec. 5.3 schedule
 
-  cluster.coordinator().setProgressCallback(
+  QueryOptions options;
+  options.progress =
       [](const GlobalSkylineEntry& entry, const ProgressPoint&) {
         std::printf("  -> skyline hotel (%.1f, %.1f) in %s: confidence %.2f, "
                     "global skyline probability %.3f\n",
                     entry.tuple.values[0], entry.tuple.values[1],
                     cityOf(entry.site), entry.tuple.prob,
                     entry.globalSkyProb);
-      });
+      };
 
   std::printf("running e-DSUD...\n");
-  const QueryResult result = cluster.coordinator().runEdsud(config);
+  const QueryResult result = cluster.engine().runEdsud(config, options);
 
   std::printf("\nSKY(H) holds %zu hotels.\n", result.skyline.size());
   std::printf("message bill: %zu To-Server tuples + %zu broadcasts x "

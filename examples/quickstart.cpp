@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   InProcCluster cluster(global, m, spec.seed + 1);
 
   std::printf("running e-DSUD with threshold q = %.2f\n\n", config.q);
-  cluster.coordinator().setProgressCallback(
+  QueryOptions options;
+  options.progress =
       [](const GlobalSkylineEntry& entry, const ProgressPoint& point) {
         std::printf("  #%-3zu tuple %-8llu from site %-3u  P_gsky = %.4f  "
                     "(%llu tuples shipped so far)\n",
@@ -49,8 +50,8 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(entry.tuple.id),
                     entry.site, entry.globalSkyProb,
                     static_cast<unsigned long long>(point.tuplesShipped));
-      });
-  const QueryResult result = cluster.coordinator().runEdsud(config);
+      };
+  const QueryResult result = cluster.engine().runEdsud(config, options);
 
   std::printf("\n%zu global skyline tuples in %.1f ms\n",
               result.skyline.size(), result.stats.seconds * 1e3);

@@ -13,6 +13,7 @@
 #include "common/options.hpp"
 #include "core/cluster.hpp"
 #include "core/local_site.hpp"
+#include "core/query_engine.hpp"
 #include "core/site_handle.hpp"
 #include "gen/partition.hpp"
 #include "gen/synthetic.hpp"
@@ -68,9 +69,10 @@ int main(int argc, char** argv) {
   }
   {
     Coordinator coordinator(std::move(handles), &meter, spec.dims);
+    QueryEngine engine(coordinator);
 
     std::printf("\nrunning e-DSUD over TCP, q = %.2f...\n", config.q);
-    const QueryResult result = coordinator.runEdsud(config);
+    const QueryResult result = engine.runEdsud(config);
     std::printf("%zu skyline tuples in %.1f ms\n", result.skyline.size(),
                 result.stats.seconds * 1e3);
     std::printf("bandwidth: %llu tuples / %llu bytes over %llu RPCs\n",

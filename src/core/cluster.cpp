@@ -4,9 +4,17 @@
 
 #include "common/rng.hpp"
 #include "gen/partition.hpp"
+#include "net/channel_pool.hpp"
 #include "net/inproc_transport.hpp"
 
 namespace dsud {
+namespace {
+
+/// Channels per site: enough that a handful of concurrent sessions rarely
+/// block on a lease, small enough to stay negligible per site.
+constexpr std::size_t kChannelsPerSite = 4;
+
+}  // namespace
 
 InProcCluster::InProcCluster(const Dataset& global, std::size_t m,
                              std::uint64_t seed, PRTree::Options treeOptions,
@@ -41,14 +49,20 @@ void InProcCluster::build(const std::vector<Dataset>& siteData,
     sites_.push_back(std::make_unique<LocalSite>(id, siteData[i], options));
     sites_.back()->setMetrics(metrics_);
     servers_.push_back(std::make_unique<SiteServer>(*sites_.back()));
-    auto channel = std::make_unique<InProcChannel>(servers_.back()->handler());
-    channel->bindAccounting(id, &meter_, metrics_);
+    auto pool = std::make_shared<ChannelPool>(
+        [id, server = servers_.back().get(), meter = &meter_,
+         metrics = metrics_] {
+          auto channel = std::make_unique<InProcChannel>(server->handler());
+          channel->bindAccounting(id, meter, metrics);
+          return channel;
+        },
+        kChannelsPerSite);
     handles.push_back(
-        std::make_unique<RpcSiteHandle>(id, std::move(channel), &meter_));
+        std::make_unique<RpcSiteHandle>(id, std::move(pool), &meter_));
   }
   coordinator_ = std::make_unique<Coordinator>(std::move(handles), &meter_,
-                                               dims_);
-  coordinator_->setMetrics(metrics_);
+                                               dims_, metrics_);
+  engine_ = std::make_unique<QueryEngine>(*coordinator_);
 }
 
 }  // namespace dsud

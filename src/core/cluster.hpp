@@ -1,8 +1,10 @@
 // One-call construction of a complete in-process cluster: m LocalSites over
-// a partitioned global database, wired to a Coordinator through the
-// in-process transport with a shared BandwidthMeter.  This is the harness
-// used by tests, benches, and most examples; the TCP example wires the same
-// pieces over sockets instead.
+// a partitioned global database, wired to a Coordinator + QueryEngine
+// through the in-process transport with a shared BandwidthMeter.  Each site
+// gets a small channel pool, so concurrent query sessions broadcast to the
+// same site without interleaving frames.  This is the harness used by
+// tests, benches, and most examples; the TCP example wires the same pieces
+// over sockets instead.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +14,7 @@
 #include "common/dataset.hpp"
 #include "core/coordinator.hpp"
 #include "core/local_site.hpp"
+#include "core/query_engine.hpp"
 #include "obs/metrics.hpp"
 
 namespace dsud {
@@ -36,6 +39,9 @@ class InProcCluster {
   InProcCluster& operator=(const InProcCluster&) = delete;
 
   Coordinator& coordinator() noexcept { return *coordinator_; }
+  /// The query entry point: immutable per-query sessions, safe for any
+  /// number of concurrent run*/submit* calls.
+  QueryEngine& engine() noexcept { return *engine_; }
   BandwidthMeter& meter() noexcept { return meter_; }
   /// The registry every layer of this cluster reports into (the external
   /// one when provided at construction).
@@ -54,6 +60,7 @@ class InProcCluster {
   std::vector<std::unique_ptr<LocalSite>> sites_;
   std::vector<std::unique_ptr<SiteServer>> servers_;
   std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<QueryEngine> engine_;
 };
 
 }  // namespace dsud

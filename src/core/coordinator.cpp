@@ -17,8 +17,10 @@ void sortByGlobalProbability(std::vector<GlobalSkylineEntry>& entries) {
 }
 
 Coordinator::Coordinator(std::vector<std::unique_ptr<SiteHandle>> sites,
-                         BandwidthMeter* meter, std::size_t dims)
-    : sites_(std::move(sites)), meter_(meter), dims_(dims) {
+                         BandwidthMeter* meter, std::size_t dims,
+                         obs::MetricsRegistry* metrics)
+    : sites_(std::move(sites)), meter_(meter), dims_(dims),
+      metrics_(metrics) {
   if (sites_.empty()) {
     throw std::invalid_argument("Coordinator: at least one site required");
   }
@@ -35,40 +37,16 @@ SiteHandle& Coordinator::siteById(SiteId id) {
                           std::to_string(id));
 }
 
-void Coordinator::setParallelBroadcast(std::size_t threads) {
-  broadcastPool_ = threads == 0 ? nullptr
-                                : std::make_unique<ThreadPool>(threads);
-}
-
 double Coordinator::evaluateGlobally(const Candidate& c, bool pruneLocal,
-                                     QueryStats& stats,
+                                     QueryStats& stats, DimMask mask,
                                      const std::optional<Rect>& window) {
   double globalSkyProb = c.localSkyProb;
-  const EvaluateRequest request{c.tuple, pruneLocal, window};
-
-  if (broadcastPool_ != nullptr && sites_.size() > 2) {
-    // Fan the m−1 independent RPCs across the pool; reduce in site order so
-    // the floating-point product (and thus every downstream decision) is
-    // identical to the sequential path.
-    std::vector<std::future<EvaluateResponse>> responses;
-    responses.reserve(sites_.size());
-    for (const auto& s : sites_) {
-      if (s->siteId() == c.site) continue;
-      responses.push_back(broadcastPool_->submit(
-          [&site = *s, &request] { return site.evaluate(request); }));
-    }
-    for (auto& future : responses) {
-      const EvaluateResponse r = future.get();
-      globalSkyProb *= r.survival;
-      stats.prunedAtSites += r.prunedCount;
-    }
-  } else {
-    for (const auto& s : sites_) {
-      if (s->siteId() == c.site) continue;
-      const EvaluateResponse r = s->evaluate(request);
-      globalSkyProb *= r.survival;
-      stats.prunedAtSites += r.prunedCount;
-    }
+  const EvaluateRequest request{kNoQuery, c.tuple, mask, pruneLocal, window};
+  for (const auto& s : sites_) {
+    if (s->siteId() == c.site) continue;
+    const EvaluateResponse r = s->evaluate(request);
+    globalSkyProb *= r.survival;
+    stats.prunedAtSites += r.prunedCount;
   }
   ++stats.broadcasts;
   return globalSkyProb;

@@ -1,26 +1,25 @@
 // The central server H (paper Sec. 3–5).
 //
-// A Coordinator owns handles to m sites and runs the three query algorithms:
+// A Coordinator owns the handles to the m sites plus the cluster-wide
+// services every query shares: the bandwidth meter, the metrics registry,
+// and the query-id allocator.  Queries themselves run through QueryEngine
+// (core/query_engine.hpp), which opens an immutable per-query session over
+// these shared handles — N sessions execute concurrently without touching
+// coordinator state.
 //
-//   * runNaive  — the Sec. 3.2 baseline: ship every local database to H,
-//                 answer centrally;
-//   * runDsud   — Sec. 5.1: sorted To-Server access by local skyline
-//                 probability, every candidate broadcast for exact global
-//                 evaluation (priority queue L);
-//   * runEdsud  — Sec. 5.2: additionally maintains the global-probability
-//                 upper bound P*_gsky for every queued candidate (queue G);
-//                 candidates whose bound falls below q are expunged without
-//                 the (m−1)-tuple broadcast — the source of e-DSUD's
-//                 bandwidth advantage.
-//
-// All three report answers progressively through an optional callback and
-// return the per-query statistics used by the benchmarks.
+// Thread-safety contract: after construction the coordinator is effectively
+// immutable — `site()`, `siteById()`, `meter()`, `metrics()`, `dims()`, and
+// `nextQueryId()` may be called from any number of query sessions
+// concurrently.  The deprecated `set*` mutators and `run*` entry points are
+// the pre-session API; they mutate the legacy defaults without locking and
+// therefore keep the old single-query-at-a-time restriction.  New code uses
+// QueryEngine and never calls them.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
-#include "common/thread_pool.hpp"
 #include "core/result.hpp"
 #include "core/site_handle.hpp"
 #include "net/bandwidth.hpp"
@@ -30,82 +29,87 @@ namespace dsud {
 
 class Coordinator {
  public:
-  /// `meter` may be null (no bandwidth accounting).  `dims` is the global
-  /// dimensionality (identical across sites).
+  /// `meter` and `metrics` may be null (no bandwidth accounting / no
+  /// instruments).  `dims` is the global dimensionality (identical across
+  /// sites).  Both sinks must outlive the coordinator.
   Coordinator(std::vector<std::unique_ptr<SiteHandle>> sites,
-              BandwidthMeter* meter, std::size_t dims);
+              BandwidthMeter* meter, std::size_t dims,
+              obs::MetricsRegistry* metrics = nullptr);
 
   std::size_t siteCount() const noexcept { return sites_.size(); }
   std::size_t dims() const noexcept { return dims_; }
   BandwidthMeter* meter() const noexcept { return meter_; }
-
-  /// Attaches a metrics registry; every query then maintains the
-  /// `dsud_query_*` / `dsud_rounds_*` instrument families (per-algorithm
-  /// labels).  Null detaches.  The registry must outlive the coordinator.
-  void setMetrics(obs::MetricsRegistry* metrics) noexcept {
-    metrics_ = metrics;
-  }
   obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
-
-  /// Caps the per-query protocol timeline at `maxEvents` spans (0 disables
-  /// tracing; QueryResult::trace comes back empty).  Default: 65536 —
-  /// roughly 16k feedback rounds before events are dropped, ~100 bytes per
-  /// retained span.
-  void setTraceCapacity(std::size_t maxEvents) noexcept {
-    traceCapacity_ = maxEvents;
-  }
-  std::size_t traceCapacity() const noexcept { return traceCapacity_; }
 
   /// Site handle by position (positions are stable; ids may differ).
   SiteHandle& site(std::size_t index) { return *sites_[index]; }
   /// Site handle by id; throws std::out_of_range when unknown.
   SiteHandle& siteById(SiteId id);
 
-  /// Registers a callback invoked the moment each answer qualifies.
-  void setProgressCallback(ProgressCallback callback) {
-    progress_ = std::move(callback);
+  /// Allocates the next session id (thread-safe; ids start at 1 — 0 is the
+  /// wire protocol's session-less id).
+  QueryId nextQueryId() noexcept {
+    return nextId_.fetch_add(1, std::memory_order_relaxed);
   }
-
-  /// Runs feedback broadcasts with `threads` workers instead of
-  /// sequentially.  Requires every site handle to tolerate concurrent calls
-  /// to *different* sites (both shipped transports do: in-process sites are
-  /// independent objects; TCP sites own separate sockets).  Survival factors
-  /// are still reduced in site order, so results stay bit-for-bit
-  /// deterministic.  `threads == 0` restores sequential broadcasting.
-  void setParallelBroadcast(std::size_t threads);
-
-  QueryResult runNaive(const QueryConfig& config);
-  QueryResult runDsud(const QueryConfig& config);
-  QueryResult runEdsud(const QueryConfig& config);
-
-  /// Top-k extension (cf. the "selecting stars" line of work the paper
-  /// cites as [4]): the k tuples with the *largest* global skyline
-  /// probability, found with e-DSUD's bound machinery driven by an adaptive
-  /// threshold — the running k-th best confirmed probability.  Exact
-  /// whenever at least k tuples satisfy P_gsky >= floorQ (the site-side
-  /// enumeration floor); answers are returned sorted by descending
-  /// probability, not streamed (top-k membership is only final at the end).
-  QueryResult runTopK(const TopKConfig& config);
 
   /// Broadcasts `c.tuple` to every site except its origin and multiplies the
   /// returned survival factors onto the local probability (Lemma 1).
-  /// Returns the exact P_gsky; accumulates prune counts into `stats`.  A
-  /// `window` restricts the survival products to in-window dominators
-  /// (constrained queries).
+  /// Returns the exact P_gsky; accumulates prune counts into `stats`.
+  /// `mask` selects the dominance subspace (0 = all dimensions); a `window`
+  /// restricts the survival products to in-window dominators.
+  ///
+  /// Session-less (QueryId 0) and sequential: this is the update-maintenance
+  /// path (core/updates.hpp).  Queries evaluate through their own session
+  /// (internal::QueryRun), which fans out over per-query workers.
   double evaluateGlobally(const Candidate& c, bool pruneLocal,
-                          QueryStats& stats,
+                          QueryStats& stats, DimMask mask = 0,
                           const std::optional<Rect>& window = std::nullopt);
 
- private:
-  friend struct QueryRun;
+  // --- Deprecated pre-session API ------------------------------------------
+  //
+  // Shims kept for one release so downstream call sites migrate at leisure;
+  // they delegate to a QueryEngine seeded with the legacy defaults below.
+  // None of them is safe to call concurrently with a running query.
 
+  [[deprecated("construct the Coordinator with a metrics registry instead")]]
+  void setMetrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
+  [[deprecated("use QueryOptions::traceCapacity")]]
+  void setTraceCapacity(std::size_t maxEvents) noexcept {
+    legacyOptions_.traceCapacity = maxEvents;
+  }
+  std::size_t traceCapacity() const noexcept {
+    return legacyOptions_.traceCapacity;
+  }
+
+  [[deprecated("use QueryOptions::progress")]]
+  void setProgressCallback(ProgressCallback callback) {
+    legacyOptions_.progress = std::move(callback);
+  }
+
+  [[deprecated("use QueryOptions::broadcastThreads")]]
+  void setParallelBroadcast(std::size_t threads) {
+    legacyOptions_.broadcastThreads = threads;
+  }
+
+  [[deprecated("use QueryEngine::runNaive")]]
+  QueryResult runNaive(const QueryConfig& config);
+  [[deprecated("use QueryEngine::runDsud")]]
+  QueryResult runDsud(const QueryConfig& config);
+  [[deprecated("use QueryEngine::runEdsud")]]
+  QueryResult runEdsud(const QueryConfig& config);
+  [[deprecated("use QueryEngine::runTopK")]]
+  QueryResult runTopK(const TopKConfig& config);
+
+ private:
   std::vector<std::unique_ptr<SiteHandle>> sites_;
   BandwidthMeter* meter_;
   std::size_t dims_;
-  ProgressCallback progress_;
-  std::unique_ptr<ThreadPool> broadcastPool_;
   obs::MetricsRegistry* metrics_ = nullptr;
-  std::size_t traceCapacity_ = 65536;
+  std::atomic<QueryId> nextId_{1};
+  QueryOptions legacyOptions_;  ///< defaults the deprecated shims run with
 };
 
 }  // namespace dsud

@@ -8,7 +8,7 @@
 // P_sky) lets the loop stop as soon as the head of L falls below q.
 #include <queue>
 
-#include "core/coordinator.hpp"
+#include "core/query_engine.hpp"
 #include "core/query_run.hpp"
 
 namespace dsud {
@@ -25,22 +25,23 @@ struct LowerLocalProb {
 
 }  // namespace
 
-QueryResult Coordinator::runDsud(const QueryConfig& config) {
-  internal::QueryRun run(*this, "dsud");
+QueryResult QueryEngine::dsudImpl(const QueryConfig& config,
+                                  const QueryOptions& options, QueryId id) {
+  internal::QueryRun run(*coord_, "dsud", options, id);
   QueryStats& stats = run.result.stats;
-  const PrepareRequest prep{config.q, config.effectiveMask(dims_),
-                            config.prune, config.window};
+  const DimMask mask = config.effectiveMask(coord_->dims());
+  const PrepareRequest prep{run.id, config.q, mask, config.prune,
+                            config.window};
+  const NextCandidateRequest cursor{run.id};
 
   std::priority_queue<Candidate, std::vector<Candidate>, LowerLocalProb> queue;
   {
     obs::TraceSpan prepare = run.span("prepare");
-    for (const auto& s : sites_) {
-      s->prepare(prep);
-    }
-    for (const auto& s : sites_) {
+    run.prepareAll(prep);
+    for (const auto& s : run.sessions) {
       obs::TraceSpan pull = run.span("pull");
       pull.attr("site", s->siteId());
-      if (auto response = s->nextCandidate(); response.candidate) {
+      if (auto response = s->nextCandidate(cursor); response.candidate) {
         queue.push(std::move(*response.candidate));
         run.countPull(stats);
       }
@@ -61,13 +62,14 @@ QueryResult Coordinator::runDsud(const QueryConfig& config) {
       broadcast.attr("site", c.site);
       broadcast.attr("tuple", static_cast<double>(c.tuple.id));
       globalSkyProb =
-          evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+          run.evaluateGlobally(c, /*pruneLocal=*/true, mask, config.window);
     }
-    if (globalSkyProb >= config.q) run.emit(c, globalSkyProb, progress_);
+    if (globalSkyProb >= config.q) run.emit(c, globalSkyProb);
 
     obs::TraceSpan pull = run.span("pull");
     pull.attr("site", c.site);
-    if (auto next = siteById(c.site).nextCandidate(); next.candidate) {
+    if (auto next = run.siteById(c.site).nextCandidate(cursor);
+        next.candidate) {
       queue.push(std::move(*next.candidate));
       run.countPull(stats);
     }

@@ -19,22 +19,26 @@
 // probability (the strongest pruners first); see DESIGN.md 3.4 and the A2
 // ablation for why this beats selection by the bound itself.
 #include "core/bound_queue.hpp"
-#include "core/coordinator.hpp"
+#include "core/query_engine.hpp"
 #include "core/query_run.hpp"
 
 namespace dsud {
 
-QueryResult Coordinator::runEdsud(const QueryConfig& config) {
-  internal::QueryRun run(*this, "edsud");
+QueryResult QueryEngine::edsudImpl(const QueryConfig& config,
+                                   const QueryOptions& options, QueryId id) {
+  internal::QueryRun run(*coord_, "edsud", options, id);
   QueryStats& stats = run.result.stats;
-  const DimMask mask = config.effectiveMask(dims_);
-  const PrepareRequest prep{config.q, mask, config.prune, config.window};
+  const DimMask mask = config.effectiveMask(coord_->dims());
+  const PrepareRequest prep{run.id, config.q, mask, config.prune,
+                            config.window};
+  const NextCandidateRequest cursor{run.id};
 
   internal::BoundQueue queue(mask, config.bound);
   const auto pullFrom = [&](SiteId site) {
     obs::TraceSpan pull = run.span("pull");
     pull.attr("site", site);
-    if (auto next = siteById(site).nextCandidate(); next.candidate) {
+    if (auto next = run.siteById(site).nextCandidate(cursor);
+        next.candidate) {
       queue.add(std::move(*next.candidate));
       run.countPull(stats);
     }
@@ -52,10 +56,8 @@ QueryResult Coordinator::runEdsud(const QueryConfig& config) {
 
   {
     obs::TraceSpan prepare = run.span("prepare");
-    for (const auto& s : sites_) {
-      s->prepare(prep);
-    }
-    for (const auto& s : sites_) {
+    run.prepareAll(prep);
+    for (const auto& s : run.sessions) {
       pullFrom(s->siteId());
     }
   }
@@ -87,10 +89,10 @@ QueryResult Coordinator::runEdsud(const QueryConfig& config) {
       broadcast.attr("site", c.site);
       broadcast.attr("tuple", static_cast<double>(c.tuple.id));
       globalSkyProb =
-          evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+          run.evaluateGlobally(c, /*pruneLocal=*/true, mask, config.window);
     }
     queue.confirm(c.tuple, globalSkyProb);
-    if (globalSkyProb >= config.q) run.emit(c, globalSkyProb, progress_);
+    if (globalSkyProb >= config.q) run.emit(c, globalSkyProb);
     pullFrom(c.site);
   }
   return run.finalize();

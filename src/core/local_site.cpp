@@ -10,9 +10,10 @@ namespace dsud {
 LocalSite::LocalSite(SiteId id, const Dataset& db, PRTree::Options options)
     : id_(id),
       tree_(PRTree::bulkLoad(db, options)),
-      mask_(fullMask(db.dims())) {}
+      fullMask_(fullMask(db.dims())) {}
 
 void LocalSite::setMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard lock(mutex_);
   if (registry == nullptr) {
     nodeAccesses_ = nullptr;
     pruned_ = nullptr;
@@ -26,7 +27,7 @@ void LocalSite::setMetrics(obs::MetricsRegistry* registry) {
   flushedAccesses_ = tree_.nodeAccesses();
 }
 
-void LocalSite::flushTreeMetrics() {
+void LocalSite::flushTreeMetricsLocked() {
   if (nodeAccesses_ == nullptr) return;
   const std::uint64_t now = tree_.nodeAccesses();
   nodeAccesses_->add(now - flushedAccesses_);
@@ -37,30 +38,39 @@ PrepareResponse LocalSite::prepare(const PrepareRequest& request) {
   if (!(request.q > 0.0) || request.q > 1.0) {
     throw std::invalid_argument("LocalSite::prepare: q must be in (0, 1]");
   }
-  q_ = request.q;
-  mask_ = request.mask == 0 ? fullMask(tree_.dims()) : request.mask;
-  prune_ = request.prune;
   if (request.window && request.window->dims() != tree_.dims()) {
     throw std::invalid_argument("LocalSite::prepare: window dims mismatch");
   }
-  window_ = request.window;
 
-  pending_.clear();
-  const Rect* clip = window_ ? &*window_ : nullptr;
+  std::lock_guard lock(mutex_);
+  Session session;
+  session.q = request.q;
+  session.mask = request.mask == 0 ? fullMask_ : request.mask;
+  session.prune = request.prune;
+  session.window = request.window;
+
+  const Rect* clip = session.window ? &*session.window : nullptr;
   for (ProbSkylineEntry& e :
-       bbsSkyline(tree_, q_, mask_, /*stats=*/nullptr, clip)) {
-    pending_.push_back(PendingEntry{std::move(e), 1.0});
+       bbsSkyline(tree_, session.q, session.mask, /*stats=*/nullptr, clip)) {
+    session.pending.push_back(PendingEntry{std::move(e), 1.0});
   }
-  flushTreeMetrics();
-  return PrepareResponse{pending_.size()};
+  flushTreeMetricsLocked();
+
+  const std::uint64_t size = session.pending.size();
+  sessions_[request.query] = std::move(session);
+  return PrepareResponse{size};
 }
 
-NextCandidateResponse LocalSite::nextCandidate() {
+NextCandidateResponse LocalSite::nextCandidate(
+    const NextCandidateRequest& request) {
+  std::lock_guard lock(mutex_);
   NextCandidateResponse response;
-  if (pending_.empty()) return response;
+  const auto it = sessions_.find(request.query);
+  if (it == sessions_.end() || it->second.pending.empty()) return response;
 
-  PendingEntry head = std::move(pending_.front());
-  pending_.erase(pending_.begin());
+  std::vector<PendingEntry>& pending = it->second.pending;
+  PendingEntry head = std::move(pending.front());
+  pending.erase(pending.begin());
 
   Candidate c;
   c.site = id_;
@@ -75,32 +85,39 @@ EvaluateResponse LocalSite::evaluate(const EvaluateRequest& request) {
   if (request.window && request.window->dims() != tree_.dims()) {
     throw std::invalid_argument("LocalSite::evaluate: window dims mismatch");
   }
+  std::lock_guard lock(mutex_);
+  const DimMask mask = request.mask == 0 ? fullMask_ : request.mask;
   EvaluateResponse response;
   const Rect* clip = request.window ? &*request.window : nullptr;
   response.survival =
-      tree_.dominanceSurvival(request.tuple.values, mask_, clip);
-  flushTreeMetrics();
+      tree_.dominanceSurvival(request.tuple.values, mask, clip);
+  flushTreeMetricsLocked();
 
   if (!request.pruneLocal) return response;
+  const auto it = sessions_.find(request.query);
+  if (it == sessions_.end()) return response;
+  Session& session = it->second;
 
   const Tuple& t = request.tuple;
   auto doomed = [&](PendingEntry& p) {
-    if (!dominates(t.values, p.entry.values, mask_)) return false;
-    if (prune_ == PruneRule::kDominance) return true;
+    if (!dominates(t.values, p.entry.values, session.mask)) return false;
+    if (session.prune == PruneRule::kDominance) return true;
     // Threshold rule: accumulate the external factor and prune only when
     // the provable upper bound falls below q.
     p.extSurvival *= 1.0 - t.prob;
-    return p.entry.skyProb * p.extSurvival < q_;
+    return p.entry.skyProb * p.extSurvival < session.q;
   };
-  const auto removed = std::remove_if(pending_.begin(), pending_.end(), doomed);
-  response.prunedCount =
-      static_cast<std::uint32_t>(std::distance(removed, pending_.end()));
-  pending_.erase(removed, pending_.end());
+  const auto removed =
+      std::remove_if(session.pending.begin(), session.pending.end(), doomed);
+  response.prunedCount = static_cast<std::uint32_t>(
+      std::distance(removed, session.pending.end()));
+  session.pending.erase(removed, session.pending.end());
   if (pruned_ != nullptr) pruned_->add(response.prunedCount);
   return response;
 }
 
 ShipAllResponse LocalSite::shipAll() const {
+  std::lock_guard lock(mutex_);
   ShipAllResponse response;
   response.tuples.reserve(tree_.size());
   tree_.forEach([&](const PRTree::LeafEntry& e) {
@@ -114,14 +131,36 @@ ShipAllResponse LocalSite::shipAll() const {
   return response;
 }
 
+void LocalSite::finishQuery(const FinishQueryRequest& request) {
+  std::lock_guard lock(mutex_);
+  sessions_.erase(request.query);
+}
+
+std::size_t LocalSite::pendingCount(QueryId query) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(query);
+  return it == sessions_.end() ? 0 : it->second.pending.size();
+}
+
+std::size_t LocalSite::sessionCount() const {
+  std::lock_guard lock(mutex_);
+  return sessions_.size();
+}
+
+std::vector<LocalSite::ReplicaEntry> LocalSite::replica() const {
+  std::lock_guard lock(mutex_);
+  return replica_;
+}
+
 // ---------------------------------------------------------------------------
 // Update maintenance
 
-double LocalSite::replicaExternalSurvival(std::span<const double> v) const {
+double LocalSite::replicaExternalSurvivalLocked(std::span<const double> v,
+                                                DimMask mask) const {
   double survival = 1.0;
   for (const ReplicaEntry& r : replica_) {
     if (r.entry.site == id_) continue;  // already counted in the local tree
-    if (dominates(r.entry.tuple.values, v, mask_)) {
+    if (dominates(r.entry.tuple.values, v, mask)) {
       survival *= 1.0 - r.entry.tuple.prob;
     }
   }
@@ -129,16 +168,18 @@ double LocalSite::replicaExternalSurvival(std::span<const double> v) const {
 }
 
 ApplyInsertResponse LocalSite::applyInsert(const ApplyInsertRequest& request) {
+  std::lock_guard lock(mutex_);
   const Tuple& t = request.tuple;
   tree_.insert(t);
 
   ApplyInsertResponse response;
   response.localSkyProb =
-      t.prob * tree_.dominanceSurvival(t.values, mask_);
+      t.prob * tree_.dominanceSurvival(t.values, fullMask_);
   response.globalUpperBound =
-      response.localSkyProb * replicaExternalSurvival(t.values);
+      response.localSkyProb * replicaExternalSurvivalLocked(t.values,
+                                                            fullMask_);
   for (const ReplicaEntry& r : replica_) {
-    if (dominates(t.values, r.entry.tuple.values, mask_)) {
+    if (dominates(t.values, r.entry.tuple.values, fullMask_)) {
       response.dominatedReplica.push_back(r.entry.tuple.id);
     }
   }
@@ -149,6 +190,7 @@ ApplyDeleteResponse LocalSite::applyDelete(const ApplyDeleteRequest& request) {
   if (request.values.size() != tree_.dims()) {
     throw std::invalid_argument("LocalSite::applyDelete: bad dimensionality");
   }
+  std::lock_guard lock(mutex_);
   ApplyDeleteResponse response;
   // Recover the probability before erasing (needed by the coordinator to
   // rescale cached global probabilities).
@@ -173,15 +215,18 @@ RepairDeleteResponse LocalSite::repairDelete(
   if (request.deleted.values.size() != tree_.dims()) {
     throw std::invalid_argument("LocalSite::repairDelete: bad dimensionality");
   }
+  std::lock_guard lock(mutex_);
   RepairDeleteResponse response;
   const Tuple& deleted = request.deleted;
+  const double q = request.q;
+  const DimMask mask = request.mask == 0 ? fullMask_ : request.mask;
 
   // Region-restricted skyline search: tuples dominated by the deleted tuple
   // whose exact local probability passes q and whose replica-based global
   // upper bound passes q as well.
   std::vector<ProbSkylineEntry> regional;
-  bbsSkylineStream(tree_, q_, mask_, [&](const ProbSkylineEntry& e) {
-    if (dominates(deleted.values, e.values, mask_)) regional.push_back(e);
+  bbsSkylineStream(tree_, q, mask, [&](const ProbSkylineEntry& e) {
+    if (dominates(deleted.values, e.values, mask)) regional.push_back(e);
     return true;
   });
 
@@ -192,7 +237,9 @@ RepairDeleteResponse LocalSite::repairDelete(
                       return r.entry.tuple.id == e.id;
                     });
     if (inReplica) continue;
-    if (e.skyProb * replicaExternalSurvival(e.values) < q_) continue;
+    if (e.skyProb * replicaExternalSurvivalLocked(e.values, mask) < q) {
+      continue;
+    }
     Candidate c;
     c.site = id_;
     c.localSkyProb = e.skyProb;
@@ -206,6 +253,7 @@ void LocalSite::replicaAdd(const ReplicaAddRequest& request) {
   if (request.entry.tuple.values.size() != tree_.dims()) {
     throw std::invalid_argument("LocalSite::replicaAdd: bad dimensionality");
   }
+  std::lock_guard lock(mutex_);
   // Replace a stale copy if present (re-confirmation after updates).
   for (ReplicaEntry& r : replica_) {
     if (r.entry.tuple.id == request.entry.tuple.id) {
@@ -218,6 +266,7 @@ void LocalSite::replicaAdd(const ReplicaAddRequest& request) {
 }
 
 void LocalSite::replicaRemove(const ReplicaRemoveRequest& request) {
+  std::lock_guard lock(mutex_);
   std::erase_if(replica_, [&](const ReplicaEntry& r) {
     return r.entry.tuple.id == request.id;
   });
@@ -236,9 +285,9 @@ Frame SiteServer::handle(const Frame& request) {
       return toResponseFrame(site_->prepare(msg));
     }
     case MsgType::kNextCandidate: {
-      NextCandidateRequest::decode(r);
+      const auto msg = NextCandidateRequest::decode(r);
       r.expectEnd();
-      return toResponseFrame(site_->nextCandidate());
+      return toResponseFrame(site_->nextCandidate(msg));
     }
     case MsgType::kEvaluate: {
       const auto msg = EvaluateRequest::decode(r);
@@ -249,6 +298,12 @@ Frame SiteServer::handle(const Frame& request) {
       ShipAllRequest::decode(r);
       r.expectEnd();
       return toResponseFrame(site_->shipAll());
+    }
+    case MsgType::kFinishQuery: {
+      const auto msg = FinishQueryRequest::decode(r);
+      r.expectEnd();
+      site_->finishQuery(msg);
+      return toResponseFrame(AckResponse{});
     }
     case MsgType::kApplyInsert: {
       const auto msg = ApplyInsertRequest::decode(r);

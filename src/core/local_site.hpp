@@ -1,9 +1,11 @@
 // A local site S_i: owns the uncertain database D_i, its PR-tree, the
-// remaining local skyline of the active query session, and the replica of
-// SKY(H) used by update maintenance (paper Secs. 4–6).
+// per-query sessions of every in-flight query, and the replica of SKY(H)
+// used by update maintenance (paper Secs. 4–6).
 #pragma once
 
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/dataset.hpp"
@@ -15,8 +17,17 @@
 
 namespace dsud {
 
-/// Site-side protocol engine.  Not thread-safe; one protocol session at a
-/// time (matching the strictly sequential coordinator).
+/// Site-side protocol engine.
+///
+/// Thread-safety contract: every protocol method is internally synchronised
+/// by one site-wide mutex, so any number of query sessions (and their
+/// broadcast workers) may call concurrently — calls serialise per site but
+/// proceed in parallel across sites.  Query state is keyed by QueryId, so
+/// interleaved sessions never observe each other's cursors or pruning.
+/// Update maintenance (applyInsert/applyDelete/...) mutates the PR-tree;
+/// individual calls are safe against concurrent queries, but a query that
+/// spans an update observes a half-applied database — run updates only
+/// while no query is in flight (see docs/ARCHITECTURE.md §9).
 class LocalSite {
  public:
   /// Builds the PR-tree over `db` by STR bulk load.
@@ -30,27 +41,33 @@ class LocalSite {
   /// per-site instruments: `dsud_site_node_accesses_total{site=...}`
   /// (PR-tree nodes visited by its query walks) and
   /// `dsud_site_pruned_total{site=...}` (Local-Pruning victims).  The
-  /// registry must outlive the site.
+  /// registry must outlive the site.  Wiring-time only: must not race with
+  /// protocol calls.
   void setMetrics(obs::MetricsRegistry* registry);
 
   // --- Query protocol ------------------------------------------------------
 
   /// Local computing phase (framework step 1): computes SKY(D_i) = {t :
-  /// P_sky(t, D_i) >= q} sorted by descending probability.  Resets any
-  /// previous session state.
+  /// P_sky(t, D_i) >= q} sorted by descending probability and stores it as
+  /// the session state of `request.query` (replacing any previous session
+  /// with that id).
   PrepareResponse prepare(const PrepareRequest& request);
 
-  /// To-Server phase: the best remaining local-skyline tuple, or empty when
-  /// the site is exhausted.
-  NextCandidateResponse nextCandidate();
+  /// To-Server phase: the best remaining local-skyline tuple of the
+  /// requested session, or empty when it is exhausted (or unknown).
+  NextCandidateResponse nextCandidate(const NextCandidateRequest& request);
 
   /// Server-Delivery + Local-Pruning phases: returns Π (1 − P(t')) over the
-  /// local dominators of the delivered tuple (Observation 1) and, when
-  /// requested, prunes the remaining local skyline with the configured rule.
+  /// local dominators of the delivered tuple (Observation 1) in the
+  /// requested subspace and, when requested, prunes the remaining local
+  /// skyline of `request.query` with that session's configured rule.
   EvaluateResponse evaluate(const EvaluateRequest& request);
 
   /// Naive baseline: the whole local database.
   ShipAllResponse shipAll() const;
+
+  /// Drops the session state of one query (idempotent).
+  void finishQuery(const FinishQueryRequest& request);
 
   // --- Update maintenance (Sec. 5.4) ---------------------------------------
 
@@ -59,7 +76,7 @@ class LocalSite {
 
   /// After a delete elsewhere: search the region dominated by the deleted
   /// tuple for local tuples that may now qualify globally (not already in
-  /// the replica, provable upper bound >= q).
+  /// the replica, provable upper bound >= request.q).
   RepairDeleteResponse repairDelete(const RepairDeleteRequest& request);
 
   void replicaAdd(const ReplicaAddRequest& request);
@@ -70,19 +87,21 @@ class LocalSite {
     Candidate entry;
     double globalSkyProb = 0.0;
   };
-  const std::vector<ReplicaEntry>& replica() const noexcept {
-    return replica_;
-  }
+  std::vector<ReplicaEntry> replica() const;
 
-  /// Remaining (unshipped, unpruned) local skyline size of the session.
-  std::size_t pendingCount() const noexcept { return pending_.size(); }
+  /// Remaining (unshipped, unpruned) local skyline size of one session
+  /// (0 for unknown ids).
+  std::size_t pendingCount(QueryId query) const;
+  /// Number of query sessions currently holding state at this site.
+  std::size_t sessionCount() const;
 
  private:
   /// Π (1 − P(r)) over replica entries from *other* sites dominating `v`.
-  double replicaExternalSurvival(std::span<const double> v) const;
+  double replicaExternalSurvivalLocked(std::span<const double> v,
+                                       DimMask mask) const;
 
   /// Publishes the PR-tree node-access delta since the last flush.
-  void flushTreeMetrics();
+  void flushTreeMetricsLocked();
 
   struct PendingEntry {
     ProbSkylineEntry entry;
@@ -91,16 +110,22 @@ class LocalSite {
     double extSurvival = 1.0;
   };
 
+  /// State of one query at this site — the session the coordinator opens
+  /// with kPrepare and releases with kFinishQuery.
+  struct Session {
+    double q = 0.3;
+    DimMask mask = 0;
+    PruneRule prune = PruneRule::kThresholdBound;
+    std::optional<Rect> window;          // constrained-query session window
+    std::vector<PendingEntry> pending;   // descending skyProb; front is next
+  };
+
   SiteId id_;
   PRTree tree_;
+  DimMask fullMask_;
 
-  // Active query session.
-  double q_ = 0.3;
-  DimMask mask_;
-  PruneRule prune_ = PruneRule::kThresholdBound;
-  std::optional<Rect> window_;         // constrained-query session window
-  std::vector<PendingEntry> pending_;  // descending skyProb; front is next
-
+  mutable std::mutex mutex_;  // guards sessions_, replica_, tree_ walks
+  std::unordered_map<QueryId, Session> sessions_;
   std::vector<ReplicaEntry> replica_;
 
   // Observability (null when no registry is attached).
@@ -110,7 +135,9 @@ class LocalSite {
 };
 
 /// Frame dispatcher: decodes requests, invokes the site, encodes responses.
-/// The returned handler is what both transports plug into.
+/// The returned handler is what both transports plug into.  Stateless apart
+/// from the site pointer, so one server may back any number of channels —
+/// thread-safety is the site's (see LocalSite).
 class SiteServer {
  public:
   explicit SiteServer(LocalSite& site) : site_(&site) {}

@@ -3,22 +3,24 @@
 // bulk-loaded PR-tree).  Communication cost is |D| = Σ |D_i| tuples — the
 // upper bound both DSUD algorithms are measured against.
 #include "common/dataset.hpp"
-#include "core/coordinator.hpp"
+#include "core/query_engine.hpp"
 #include "core/query_run.hpp"
 #include "skyline/bbs.hpp"
 
 namespace dsud {
 
-QueryResult Coordinator::runNaive(const QueryConfig& config) {
-  internal::QueryRun run(*this, "naive");
-  const DimMask mask = config.effectiveMask(dims_);
+QueryResult QueryEngine::naiveImpl(const QueryConfig& config,
+                                   const QueryOptions& options, QueryId id) {
+  internal::QueryRun run(*coord_, "naive", options, id);
+  const DimMask mask = config.effectiveMask(coord_->dims());
 
-  // Collect every tuple, remembering its origin site.
-  Dataset unified(dims_);
+  // Collect every tuple, remembering its origin site.  No kPrepare is sent,
+  // so the sites hold no session state to release afterwards.
+  Dataset unified(coord_->dims());
   std::unordered_map<TupleId, SiteId> origin;
   {
     obs::TraceSpan collect = run.span("ship_all");
-    for (const auto& s : sites_) {
+    for (const auto& s : run.sessions) {
       obs::TraceSpan pull = run.span("pull");
       pull.attr("site", s->siteId());
       const ShipAllResponse shipment = s->shipAll();
@@ -44,7 +46,7 @@ QueryResult Coordinator::runNaive(const QueryConfig& config) {
         c.site = origin.at(e.id);
         c.tuple = Tuple(e.id, e.values, e.prob);
         c.localSkyProb = e.skyProb;  // over the unified database == global
-        run.emit(c, e.skyProb, progress_);
+        run.emit(c, e.skyProb);
         return true;
       },
       clip);

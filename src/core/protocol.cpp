@@ -55,6 +55,7 @@ Candidate Candidate::decode(ByteReader& r) {
 }
 
 void PrepareRequest::encode(ByteWriter& w) const {
+  w.putU64(query);
   w.putF64(q);
   w.putU32(mask);
   w.putU8(static_cast<std::uint8_t>(prune));
@@ -63,10 +64,19 @@ void PrepareRequest::encode(ByteWriter& w) const {
 
 PrepareRequest PrepareRequest::decode(ByteReader& r) {
   PrepareRequest msg;
+  msg.query = r.getU64();
   msg.q = r.getF64();
   msg.mask = r.getU32();
   msg.prune = static_cast<PruneRule>(r.getU8());
   msg.window = decodeOptionalRect(r);
+  return msg;
+}
+
+void NextCandidateRequest::encode(ByteWriter& w) const { w.putU64(query); }
+
+NextCandidateRequest NextCandidateRequest::decode(ByteReader& r) {
+  NextCandidateRequest msg;
+  msg.query = r.getU64();
   return msg;
 }
 
@@ -92,14 +102,18 @@ NextCandidateResponse NextCandidateResponse::decode(ByteReader& r) {
 }
 
 void EvaluateRequest::encode(ByteWriter& w) const {
+  w.putU64(query);
   encodeTuple(w, tuple);
+  w.putU32(mask);
   w.putBool(pruneLocal);
   encodeOptionalRect(w, window);
 }
 
 EvaluateRequest EvaluateRequest::decode(ByteReader& r) {
   EvaluateRequest msg;
+  msg.query = r.getU64();
   msg.tuple = decodeTuple(r);
+  msg.mask = r.getU32();
   msg.pruneLocal = r.getBool();
   msg.window = decodeOptionalRect(r);
   return msg;
@@ -182,12 +196,24 @@ ApplyDeleteResponse ApplyDeleteResponse::decode(ByteReader& r) {
 void RepairDeleteRequest::encode(ByteWriter& w) const {
   encodeTuple(w, deleted);
   w.putU32(origin);
+  w.putF64(q);
+  w.putU32(mask);
 }
 
 RepairDeleteRequest RepairDeleteRequest::decode(ByteReader& r) {
   RepairDeleteRequest msg;
   msg.deleted = decodeTuple(r);
   msg.origin = r.getU32();
+  msg.q = r.getF64();
+  msg.mask = r.getU32();
+  return msg;
+}
+
+void FinishQueryRequest::encode(ByteWriter& w) const { w.putU64(query); }
+
+FinishQueryRequest FinishQueryRequest::decode(ByteReader& r) {
+  FinishQueryRequest msg;
+  msg.query = r.getU64();
   return msg;
 }
 

@@ -10,8 +10,15 @@
 //   kEvaluate       — Server-Delivery + Local-Pruning phases: deliver a
 //                     candidate, get back P_sky(t, D_x), prune local skyline
 //   kShipAll        — the naive baseline: ship the whole local database
+//   kFinishQuery    — release the site-side state of one query session
 //   kApplyInsert / kApplyDelete / kRepairDelete / kReplicaAdd /
 //   kReplicaRemove  — update maintenance
+//
+// Sessions: every query-protocol message (kPrepare, kNextCandidate,
+// kEvaluate, kFinishQuery) carries a QueryId, so one site serves any number
+// of concurrent queries without their cursors or pruning state interfering.
+// QueryId 0 is reserved for session-less traffic (update maintenance);
+// coordinator-issued ids start at 1.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +32,12 @@
 #include "net/transport.hpp"
 
 namespace dsud {
+
+/// Identifies one query session across the coordinator and every site.
+/// 0 = session-less traffic (update maintenance); queries get ids >= 1 from
+/// Coordinator::nextQueryId().
+using QueryId = std::uint64_t;
+inline constexpr QueryId kNoQuery = 0;
 
 // ---------------------------------------------------------------------------
 // Query configuration
@@ -127,9 +140,11 @@ enum class MsgType : std::uint8_t {
   kRepairDelete = 7,
   kReplicaAdd = 8,
   kReplicaRemove = 9,
+  kFinishQuery = 10,
 };
 
 struct PrepareRequest {
+  QueryId query = kNoQuery;  ///< session to open (replaces any previous state)
   double q = 0.3;
   DimMask mask = 0;
   PruneRule prune = PruneRule::kThresholdBound;
@@ -147,8 +162,10 @@ struct PrepareResponse {
 };
 
 struct NextCandidateRequest {
-  void encode(ByteWriter&) const {}
-  static NextCandidateRequest decode(ByteReader&) { return {}; }
+  QueryId query = kNoQuery;  ///< session whose cursor advances
+
+  void encode(ByteWriter& w) const;
+  static NextCandidateRequest decode(ByteReader& r);
 };
 
 struct NextCandidateResponse {
@@ -159,7 +176,9 @@ struct NextCandidateResponse {
 };
 
 struct EvaluateRequest {
+  QueryId query = kNoQuery;  ///< session whose pending skyline gets pruned
   Tuple tuple;
+  DimMask mask = 0;            ///< dominance subspace; 0 = all dimensions
   bool pruneLocal = true;      ///< false during update maintenance
   std::optional<Rect> window;  ///< survival restricted to this window
 
@@ -178,6 +197,16 @@ struct EvaluateResponse {
 struct ShipAllRequest {
   void encode(ByteWriter&) const {}
   static ShipAllRequest decode(ByteReader&) { return {}; }
+};
+
+/// Releases one query session's site-side state (pending skyline, window,
+/// thresholds).  Unknown ids are ignored — finish is idempotent and safe to
+/// send after a failed query.
+struct FinishQueryRequest {
+  QueryId query = kNoQuery;
+
+  void encode(ByteWriter& w) const;
+  static FinishQueryRequest decode(ByteReader& r);
 };
 
 struct ShipAllResponse {
@@ -227,10 +256,14 @@ struct ApplyDeleteResponse {
 };
 
 /// Broadcast after a delete: each site searches the region dominated by the
-/// deleted tuple for local candidates that may now qualify globally.
+/// deleted tuple for local candidates that may now qualify globally.  The
+/// request is self-contained: it carries the maintained query's threshold
+/// and subspace instead of relying on whatever session a site prepared last.
 struct RepairDeleteRequest {
   Tuple deleted;
   SiteId origin = kNoSite;  ///< site the delete happened at (already knows t)
+  double q = 0.3;           ///< maintained query's probability threshold
+  DimMask mask = 0;         ///< maintained query's subspace; 0 = all dims
 
   void encode(ByteWriter& w) const;
   static RepairDeleteRequest decode(ByteReader& r);

@@ -1,0 +1,140 @@
+#include "core/query_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace dsud {
+
+QueryEngine::QueryEngine(Coordinator& coordinator, std::size_t workers)
+    : coord_(&coordinator), workers_(workers) {}
+
+QueryResult QueryEngine::run(Algo algo, const QueryConfig& config,
+                             const QueryOptions& options) {
+  switch (algo) {
+    case Algo::kNaive:
+      return naiveImpl(config, options, coord_->nextQueryId());
+    case Algo::kDsud:
+      return dsudImpl(config, options, coord_->nextQueryId());
+    case Algo::kEdsud:
+      return edsudImpl(config, options, coord_->nextQueryId());
+  }
+  throw std::invalid_argument("QueryEngine::run: unknown algorithm");
+}
+
+QueryResult QueryEngine::runNaive(const QueryConfig& config,
+                                  const QueryOptions& options) {
+  return naiveImpl(config, options, coord_->nextQueryId());
+}
+
+QueryResult QueryEngine::runDsud(const QueryConfig& config,
+                                 const QueryOptions& options) {
+  return dsudImpl(config, options, coord_->nextQueryId());
+}
+
+QueryResult QueryEngine::runEdsud(const QueryConfig& config,
+                                  const QueryOptions& options) {
+  return edsudImpl(config, options, coord_->nextQueryId());
+}
+
+QueryResult QueryEngine::runTopK(const TopKConfig& config,
+                                 const QueryOptions& options) {
+  return topkImpl(config, options, coord_->nextQueryId());
+}
+
+ThreadPool& QueryEngine::pool() {
+  std::lock_guard lock(poolMutex_);
+  if (pool_ == nullptr) {
+    std::size_t workers = workers_;
+    if (workers == 0) {
+      workers = std::min<std::size_t>(
+          std::max<std::size_t>(std::thread::hardware_concurrency(), 1), 8);
+    }
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return *pool_;
+}
+
+template <typename Fn>
+QueryTicket QueryEngine::enqueue(QueryId id, Fn task) {
+  inFlight_.fetch_add(1, std::memory_order_relaxed);
+  std::future<QueryResult> future;
+  try {
+    future = pool().submit([this, task = std::move(task)]() mutable {
+      try {
+        QueryResult result = task();
+        inFlight_.fetch_sub(1, std::memory_order_relaxed);
+        return result;
+      } catch (...) {
+        inFlight_.fetch_sub(1, std::memory_order_relaxed);
+        throw;
+      }
+    });
+  } catch (...) {
+    inFlight_.fetch_sub(1, std::memory_order_relaxed);
+    throw;
+  }
+  return QueryTicket(id, std::move(future));
+}
+
+QueryTicket QueryEngine::submit(Algo algo, QueryConfig config,
+                                QueryOptions options) {
+  const QueryId id = coord_->nextQueryId();
+  return enqueue(id, [this, algo, config = std::move(config),
+                      options = std::move(options), id] {
+    switch (algo) {
+      case Algo::kNaive:
+        return naiveImpl(config, options, id);
+      case Algo::kDsud:
+        return dsudImpl(config, options, id);
+      case Algo::kEdsud:
+        return edsudImpl(config, options, id);
+    }
+    throw std::invalid_argument("QueryEngine::submit: unknown algorithm");
+  });
+}
+
+QueryTicket QueryEngine::submitTopK(TopKConfig config, QueryOptions options) {
+  const QueryId id = coord_->nextQueryId();
+  return enqueue(id, [this, config = std::move(config),
+                      options = std::move(options), id] {
+    return topkImpl(config, options, id);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated Coordinator shims (one release of API compatibility).
+
+// The shims intentionally call each other's deprecated world; silence the
+// self-deprecation warnings locally.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+QueryResult Coordinator::runNaive(const QueryConfig& config) {
+  QueryEngine engine(*this);
+  return engine.runNaive(config, legacyOptions_);
+}
+
+QueryResult Coordinator::runDsud(const QueryConfig& config) {
+  QueryEngine engine(*this);
+  return engine.runDsud(config, legacyOptions_);
+}
+
+QueryResult Coordinator::runEdsud(const QueryConfig& config) {
+  QueryEngine engine(*this);
+  return engine.runEdsud(config, legacyOptions_);
+}
+
+QueryResult Coordinator::runTopK(const TopKConfig& config) {
+  QueryEngine engine(*this);
+  return engine.runTopK(config, legacyOptions_);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace dsud

@@ -1,0 +1,115 @@
+// QueryEngine: the session-per-query entry point for all distributed
+// skyline algorithms.
+//
+// Every run opens an immutable session: a QueryId, a copy of the
+// QueryOptions, per-query site views (SiteHandle::openSession), a
+// session-owned monotonic clock, tracer, and bandwidth scope, and — when
+// requested — a session-private broadcast pool.  Because no query touches
+// coordinator-global state, any number of queries may execute concurrently
+// over one cluster, and each is bit-for-bit identical to the same query run
+// alone (survival factors reduce in site order; site sessions are keyed by
+// QueryId).
+//
+// Thread-safety contract: all run*/submit* methods may be called
+// concurrently from any thread.  The coordinator must outlive the engine
+// and every outstanding QueryTicket.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+#include "core/coordinator.hpp"
+#include "core/result.hpp"
+
+namespace dsud {
+
+/// Handle to one submitted (asynchronous) query.
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  /// Session id the engine assigned (known before the query starts).
+  QueryId id() const noexcept { return id_; }
+
+  /// Blocks until the query completes and returns its result (once);
+  /// rethrows any exception the query raised.
+  QueryResult get() { return future_.get(); }
+
+  bool valid() const noexcept { return future_.valid(); }
+  void wait() const { future_.wait(); }
+
+ private:
+  friend class QueryEngine;
+  QueryTicket(QueryId id, std::future<QueryResult> future)
+      : id_(id), future_(std::move(future)) {}
+
+  QueryId id_ = kNoQuery;
+  std::future<QueryResult> future_;
+};
+
+class QueryEngine {
+ public:
+  /// `workers` sizes the pool that executes submitted queries (0 = one
+  /// worker per hardware thread, capped at 8).  The pool is created lazily
+  /// on the first submit; synchronous runs never start it.
+  explicit QueryEngine(Coordinator& coordinator, std::size_t workers = 0);
+
+  Coordinator& coordinator() noexcept { return *coord_; }
+
+  // --- Synchronous execution ----------------------------------------------
+
+  /// Runs one threshold query on the calling thread.
+  QueryResult run(Algo algo, const QueryConfig& config,
+                  const QueryOptions& options = {});
+
+  QueryResult runNaive(const QueryConfig& config,
+                       const QueryOptions& options = {});
+  QueryResult runDsud(const QueryConfig& config,
+                      const QueryOptions& options = {});
+  QueryResult runEdsud(const QueryConfig& config,
+                       const QueryOptions& options = {});
+  /// Top-k extension (see topk.cpp for the adaptive-threshold machinery).
+  QueryResult runTopK(const TopKConfig& config,
+                      const QueryOptions& options = {});
+
+  // --- Asynchronous execution ---------------------------------------------
+
+  /// Enqueues the query on the engine's pool and returns immediately.  The
+  /// config and options are copied into the session, so the caller's may
+  /// go out of scope.  Broadcast workers (options.broadcastThreads) are
+  /// session-private and never borrowed from the submit pool, so submitted
+  /// queries cannot deadlock it.
+  QueryTicket submit(Algo algo, QueryConfig config, QueryOptions options = {});
+  QueryTicket submitTopK(TopKConfig config, QueryOptions options = {});
+
+  /// Queries currently executing or queued on this engine's pool.
+  std::size_t inFlight() const noexcept {
+    return inFlight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  QueryResult naiveImpl(const QueryConfig& config, const QueryOptions& options,
+                        QueryId id);
+  QueryResult dsudImpl(const QueryConfig& config, const QueryOptions& options,
+                       QueryId id);
+  QueryResult edsudImpl(const QueryConfig& config, const QueryOptions& options,
+                        QueryId id);
+  QueryResult topkImpl(const TopKConfig& config, const QueryOptions& options,
+                       QueryId id);
+
+  ThreadPool& pool();
+
+  template <typename Fn>
+  QueryTicket enqueue(QueryId id, Fn task);
+
+  Coordinator* coord_;
+  std::size_t workers_;
+  std::mutex poolMutex_;            // guards lazy pool creation
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<std::size_t> inFlight_{0};
+};
+
+}  // namespace dsud

@@ -1,12 +1,21 @@
-// Internal bookkeeping shared by the query algorithm implementations:
-// stopwatch, bandwidth baseline (the meter is shared across queries),
-// progressive emission, and the observability hooks — the per-query
-// protocol timeline (obs::Tracer) and the coordinator-level metric
-// instruments (per-algorithm counters and latency histograms).  Not part of
-// the public API.
+// Internal per-query session state shared by the algorithm implementations.
+//
+// One QueryRun is one session: it owns everything that was once
+// coordinator-global — the monotonic clock, the bandwidth scope, the
+// protocol timeline, the progress callback, the broadcast workers, and the
+// per-query site views — so N runs execute concurrently over one cluster
+// without sharing mutable state.  Construction opens the session (per-query
+// SiteHandle views, in-flight gauge); finalize() (or unwinding) releases the
+// site-side state with kFinishQuery.  Not part of the public API.
 #pragma once
 
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "core/coordinator.hpp"
 #include "obs/trace.hpp"
 
@@ -14,11 +23,20 @@ namespace dsud::internal {
 
 struct QueryRun {
   Coordinator& coord;
+  QueryId id;
+  QueryOptions options;  ///< immutable for the run
   QueryResult result;
-  Stopwatch watch;
-  UsageTotals baseline;
+  QueryUsage usage;  ///< session-scoped bandwidth (sums into the meter too)
+  Stopwatch watch;   ///< session-owned monotonic clock
   obs::Tracer tracer;
   obs::SpanId root = obs::kNoSpan;
+  /// Per-query views of the shared sites; all session traffic flows through
+  /// these so it lands in `usage`.
+  std::vector<std::unique_ptr<SiteHandle>> sessions;
+  /// Session-private broadcast workers (never the engine's submit pool, so
+  /// submitted queries cannot starve each other).
+  std::unique_ptr<ThreadPool> broadcastPool;
+  bool sessionsOpen = false;  ///< prepare sent; sites hold state under `id`
 
   // Cached instruments (null when the coordinator has no registry).
   obs::Counter* queries = nullptr;
@@ -29,12 +47,21 @@ struct QueryRun {
   obs::Counter* sitePrunes = nullptr;
   obs::Histogram* roundLatency = nullptr;
   obs::Histogram* queryLatency = nullptr;
+  obs::Gauge* inflight = nullptr;
 
   /// `algo` labels every instrument ("naive", "dsud", "edsud", "topk") and
   /// names the root span of the timeline.
-  QueryRun(Coordinator& c, const char* algo)
-      : coord(c), tracer(c.traceCapacity()) {
-    if (coord.meter() != nullptr) baseline = coord.meter()->totals();
+  QueryRun(Coordinator& c, const char* algo, const QueryOptions& opts,
+           QueryId qid)
+      : coord(c), id(qid), options(opts), tracer(opts.traceCapacity) {
+    result.id = id;
+    sessions.reserve(c.siteCount());
+    for (std::size_t i = 0; i < c.siteCount(); ++i) {
+      sessions.push_back(c.site(i).openSession(&usage));
+    }
+    if (options.broadcastThreads > 0 && sessions.size() > 2) {
+      broadcastPool = std::make_unique<ThreadPool>(options.broadcastThreads);
+    }
     root = tracer.begin(std::string("query.") + algo);
     if (obs::MetricsRegistry* reg = coord.metrics(); reg != nullptr) {
       const auto name = [algo](const char* base) {
@@ -50,13 +77,88 @@ struct QueryRun {
                                      obs::Histogram::latencyBounds());
       queryLatency = &reg->histogram(name("dsud_query_latency_seconds"),
                                      obs::Histogram::latencyBounds());
+      inflight = &reg->gauge(name("dsud_queries_inflight"));
+      inflight->add(1);
     }
   }
 
-  std::uint64_t tuplesSoFar() const {
-    if (coord.meter() == nullptr) return 0;
-    return coord.meter()->totals().tuples - baseline.tuples;
+  ~QueryRun() {
+    finish();  // best-effort when unwinding; no-op after finalize()
+    if (inflight != nullptr) inflight->sub(1);
   }
+
+  QueryRun(const QueryRun&) = delete;
+  QueryRun& operator=(const QueryRun&) = delete;
+
+  /// Session view of the site by id; throws std::out_of_range when unknown.
+  SiteHandle& siteById(SiteId site) {
+    for (const auto& s : sessions) {
+      if (s->siteId() == site) return *s;
+    }
+    throw std::out_of_range("QueryRun: unknown site id " +
+                            std::to_string(site));
+  }
+
+  /// Opens the site-side sessions: kPrepare to every site.  Marks the
+  /// session open first so a mid-prepare failure still releases the sites
+  /// that did prepare.
+  void prepareAll(const PrepareRequest& request) {
+    sessionsOpen = true;
+    for (const auto& s : sessions) s->prepare(request);
+  }
+
+  /// Releases the site-side session state (kFinishQuery, idempotent).
+  /// Exceptions are swallowed: finish is cleanup, and the sites drop
+  /// unknown ids anyway.
+  void finish() noexcept {
+    if (!sessionsOpen) return;
+    sessionsOpen = false;
+    const FinishQueryRequest request{id};
+    for (const auto& s : sessions) {
+      try {
+        s->finishQuery(request);
+      } catch (...) {
+      }
+    }
+  }
+
+  /// Broadcasts `c.tuple` to every site except its origin and multiplies
+  /// the returned survival factors onto the local probability (Lemma 1).
+  /// With a broadcast pool, the m−1 RPCs fan out in parallel; factors are
+  /// still reduced in site order, so the floating-point product (and every
+  /// downstream decision) is identical to the sequential path.
+  double evaluateGlobally(const Candidate& c, bool pruneLocal, DimMask mask,
+                          const std::optional<Rect>& window) {
+    QueryStats& stats = result.stats;
+    double globalSkyProb = c.localSkyProb;
+    const EvaluateRequest request{id, c.tuple, mask, pruneLocal, window};
+
+    if (broadcastPool != nullptr) {
+      std::vector<std::future<EvaluateResponse>> responses;
+      responses.reserve(sessions.size());
+      for (const auto& s : sessions) {
+        if (s->siteId() == c.site) continue;
+        responses.push_back(broadcastPool->submit(
+            [&site = *s, &request] { return site.evaluate(request); }));
+      }
+      for (auto& future : responses) {
+        const EvaluateResponse r = future.get();
+        globalSkyProb *= r.survival;
+        stats.prunedAtSites += r.prunedCount;
+      }
+    } else {
+      for (const auto& s : sessions) {
+        if (s->siteId() == c.site) continue;
+        const EvaluateResponse r = s->evaluate(request);
+        globalSkyProb *= r.survival;
+        stats.prunedAtSites += r.prunedCount;
+      }
+    }
+    ++stats.broadcasts;
+    return globalSkyProb;
+  }
+
+  std::uint64_t tuplesSoFar() const { return usage.totals().tuples; }
 
   obs::TraceSpan span(std::string_view name) { return {tracer, name}; }
 
@@ -90,7 +192,7 @@ struct QueryRun {
   };
   RoundScope roundScope() { return RoundScope(*this); }
 
-  void emit(const Candidate& c, double globalSkyProb, ProgressCallback& cb) {
+  void emit(const Candidate& c, double globalSkyProb) {
     GlobalSkylineEntry entry;
     entry.site = c.site;
     entry.tuple = c.tuple;
@@ -110,19 +212,20 @@ struct QueryRun {
     }
     if (answers != nullptr) answers->inc();
 
-    if (cb) cb(entry, point);
+    if (options.progress) options.progress(entry, point);
     result.skyline.push_back(std::move(entry));
     result.progress.push_back(point);
   }
 
   QueryResult finalize() {
+    // Release the site sessions before reading the totals so the finish
+    // round trips land in this query's stats deterministically.
+    finish();
     result.stats.seconds = watch.elapsedSeconds();
-    if (coord.meter() != nullptr) {
-      const UsageTotals now = coord.meter()->totals();
-      result.stats.tuplesShipped = now.tuples - baseline.tuples;
-      result.stats.bytesShipped = now.bytes - baseline.bytes;
-      result.stats.roundTrips = now.calls - baseline.calls;
-    }
+    const UsageTotals totals = usage.totals();
+    result.stats.tuplesShipped = totals.tuples;
+    result.stats.bytesShipped = totals.bytes;
+    result.stats.roundTrips = totals.calls;
     if (queries != nullptr) {
       queries->inc();
       // prunedAtSites accumulates inside evaluateGlobally; fold the query's

@@ -44,17 +44,46 @@ struct QueryStats {
 };
 
 struct QueryResult {
+  QueryId id = kNoQuery;  ///< session id the engine assigned to this query
   std::vector<GlobalSkylineEntry> skyline;  ///< in emission order
   QueryStats stats;
   std::vector<ProgressPoint> progress;  ///< one point per emitted answer
   /// Protocol timeline of this run (prepare, rounds, broadcasts, expunges,
-  /// emits).  Empty when the coordinator's tracing is disabled.
+  /// emits).  Empty when the session's tracing is disabled.
   obs::QueryTrace trace;
 };
 
 /// Invoked the moment an answer qualifies (progressive reporting).
 using ProgressCallback =
     std::function<void(const GlobalSkylineEntry&, const ProgressPoint&)>;
+
+/// The threshold algorithms QueryEngine::run dispatches over (runTopK is
+/// separate: it takes a TopKConfig).
+enum class Algo {
+  kNaive,  ///< Sec. 3.2 baseline: ship everything, answer centrally
+  kDsud,   ///< Sec. 5.1: sorted access + exact broadcast evaluation
+  kEdsud,  ///< Sec. 5.2: + global-probability upper bounds and expunging
+};
+
+/// Per-query execution options, immutable for the lifetime of the query.
+/// Everything that was once mutable coordinator-wide state (progress
+/// callback, trace capacity, broadcast parallelism) lives here so N queries
+/// can run concurrently with independent settings.
+struct QueryOptions {
+  /// Invoked from the running query's thread as each answer qualifies.
+  ProgressCallback progress;
+
+  /// Caps the query's protocol timeline at this many spans (0 disables
+  /// tracing; QueryResult::trace comes back empty).  Default: 65536 —
+  /// roughly 16k feedback rounds before events are dropped, ~100 bytes per
+  /// retained span.
+  std::size_t traceCapacity = 65536;
+
+  /// Feedback broadcasts fan out over this many session-private workers
+  /// instead of sequentially (0 = sequential).  Survival factors are still
+  /// reduced in site order, so results stay bit-for-bit deterministic.
+  std::size_t broadcastThreads = 0;
+};
 
 /// Sorts answers by descending global skyline probability (ties: id) — the
 /// canonical order used when comparing algorithm outputs.

@@ -5,27 +5,119 @@
 
 namespace dsud {
 
-RpcSiteHandle::RpcSiteHandle(SiteId site,
-                             std::unique_ptr<ClientChannel> channel,
-                             BandwidthMeter* meter)
-    : site_(site), channel_(std::move(channel)), meter_(meter) {
-  if (!channel_) {
-    throw std::invalid_argument("RpcSiteHandle: null channel");
+namespace {
+
+/// Default per-query view: forwards to the parent handle and records round
+/// trips and tuple counts into the scope (byte counts are transport detail
+/// only RpcSiteHandle can see).
+class SessionView final : public SiteHandle {
+ public:
+  SessionView(SiteHandle& parent, QueryUsage* scope)
+      : parent_(&parent), scope_(scope) {}
+
+  SiteId siteId() const noexcept override { return parent_->siteId(); }
+
+  PrepareResponse prepare(const PrepareRequest& request) override {
+    auto msg = parent_->prepare(request);
+    count(0);
+    return msg;
+  }
+  NextCandidateResponse nextCandidate(
+      const NextCandidateRequest& request) override {
+    auto msg = parent_->nextCandidate(request);
+    count(msg.candidate.has_value() ? 1 : 0);
+    return msg;
+  }
+  EvaluateResponse evaluate(const EvaluateRequest& request) override {
+    auto msg = parent_->evaluate(request);
+    count(1);
+    return msg;
+  }
+  ShipAllResponse shipAll() override {
+    auto msg = parent_->shipAll();
+    count(msg.tuples.size());
+    return msg;
+  }
+  void finishQuery(const FinishQueryRequest& request) override {
+    parent_->finishQuery(request);
+    count(0);
+  }
+
+  ApplyInsertResponse applyInsert(const ApplyInsertRequest& r) override {
+    return parent_->applyInsert(r);
+  }
+  ApplyDeleteResponse applyDelete(const ApplyDeleteRequest& r) override {
+    return parent_->applyDelete(r);
+  }
+  RepairDeleteResponse repairDelete(const RepairDeleteRequest& r) override {
+    return parent_->repairDelete(r);
+  }
+  void replicaAdd(const ReplicaAddRequest& r) override {
+    parent_->replicaAdd(r);
+  }
+  void replicaRemove(const ReplicaRemoveRequest& r) override {
+    parent_->replicaRemove(r);
+  }
+
+  std::unique_ptr<SiteHandle> openSession(QueryUsage* scope) override {
+    return parent_->openSession(scope);
+  }
+
+ private:
+  void count(std::uint64_t tuples) {
+    if (scope_ == nullptr) return;
+    scope_->recordCall(0, 0);
+    if (tuples != 0) scope_->recordTuples(tuples);
+  }
+
+  SiteHandle* parent_;
+  QueryUsage* scope_;
+};
+
+}  // namespace
+
+std::unique_ptr<SiteHandle> SiteHandle::openSession(QueryUsage* scope) {
+  return std::make_unique<SessionView>(*this, scope);
+}
+
+RpcSiteHandle::RpcSiteHandle(SiteId site, std::shared_ptr<ChannelPool> pool,
+                             BandwidthMeter* meter, QueryUsage* scope)
+    : site_(site), pool_(std::move(pool)), meter_(meter), scope_(scope) {
+  if (!pool_) {
+    throw std::invalid_argument("RpcSiteHandle: null channel pool");
   }
 }
 
+RpcSiteHandle::RpcSiteHandle(SiteId site,
+                             std::unique_ptr<ClientChannel> channel,
+                             BandwidthMeter* meter)
+    : RpcSiteHandle(site, std::make_shared<ChannelPool>(std::move(channel)),
+                    meter) {}
+
+std::unique_ptr<SiteHandle> RpcSiteHandle::openSession(QueryUsage* scope) {
+  return std::make_unique<RpcSiteHandle>(site_, pool_, meter_, scope);
+}
+
 Frame RpcSiteHandle::roundTrip(const Frame& request) {
-  Frame response = channel_->call(request);
+  Frame response;
+  {
+    ChannelPool::Lease lease = pool_->acquire();
+    lease->setUsageScope(scope_);
+    response = lease->call(request);
+  }  // lease destructor clears the scope and returns the channel
   if (meter_ != nullptr) {
     meter_->recordCall(site_, request.size(), response.size());
+  }
+  if (scope_ != nullptr) {
+    scope_->recordCall(request.size(), response.size());
   }
   return response;
 }
 
 void RpcSiteHandle::countTuples(std::uint64_t toSite, std::uint64_t fromSite) {
-  if (meter_ != nullptr && (toSite != 0 || fromSite != 0)) {
-    meter_->recordTuples(site_, toSite, fromSite);
-  }
+  if (toSite == 0 && fromSite == 0) return;
+  if (meter_ != nullptr) meter_->recordTuples(site_, toSite, fromSite);
+  if (scope_ != nullptr) scope_->recordTuples(toSite + fromSite);
 }
 
 PrepareResponse RpcSiteHandle::prepare(const PrepareRequest& request) {
@@ -33,9 +125,10 @@ PrepareResponse RpcSiteHandle::prepare(const PrepareRequest& request) {
   return fromResponseFrame<PrepareResponse>(response);
 }
 
-NextCandidateResponse RpcSiteHandle::nextCandidate() {
+NextCandidateResponse RpcSiteHandle::nextCandidate(
+    const NextCandidateRequest& request) {
   const Frame response =
-      roundTrip(toFrame(MsgType::kNextCandidate, NextCandidateRequest{}));
+      roundTrip(toFrame(MsgType::kNextCandidate, request));
   auto msg = fromResponseFrame<NextCandidateResponse>(response);
   countTuples(0, msg.candidate.has_value() ? 1 : 0);
   return msg;
@@ -52,6 +145,12 @@ ShipAllResponse RpcSiteHandle::shipAll() {
   auto msg = fromResponseFrame<ShipAllResponse>(response);
   countTuples(0, msg.tuples.size());
   return msg;
+}
+
+void RpcSiteHandle::finishQuery(const FinishQueryRequest& request) {
+  // Control traffic: releases session state, ships no tuples.
+  const Frame response = roundTrip(toFrame(MsgType::kFinishQuery, request));
+  fromResponseFrame<AckResponse>(response);
 }
 
 ApplyInsertResponse RpcSiteHandle::applyInsert(

@@ -2,19 +2,27 @@
 //
 // `SiteHandle` is the typed RPC surface the algorithms program against;
 // `RpcSiteHandle` is the production implementation that serialises protocol
-// messages onto a ClientChannel (in-process or TCP) and meters both bytes
-// and the paper's tuple-count bandwidth.
+// messages onto a per-site ChannelPool (in-process or TCP) and meters both
+// bytes and the paper's tuple-count bandwidth.
 #pragma once
 
 #include <memory>
 
 #include "core/protocol.hpp"
 #include "net/bandwidth.hpp"
+#include "net/channel_pool.hpp"
 #include "net/transport.hpp"
 
 namespace dsud {
 
 /// Typed operations the coordinator performs on one site.
+///
+/// Thread-safety contract: a SiteHandle instance is session-confined — one
+/// query session (and its broadcast workers, which call sequentially per
+/// handle) uses one instance.  Concurrent queries each call `openSession`
+/// to get their own view; the returned handles may be used from different
+/// threads simultaneously because they share only thread-safe state (the
+/// channel pool, the meter, the site itself).
 class SiteHandle {
  public:
   virtual ~SiteHandle() = default;
@@ -22,35 +30,57 @@ class SiteHandle {
   virtual SiteId siteId() const noexcept = 0;
 
   virtual PrepareResponse prepare(const PrepareRequest& request) = 0;
-  virtual NextCandidateResponse nextCandidate() = 0;
+  virtual NextCandidateResponse nextCandidate(
+      const NextCandidateRequest& request) = 0;
   virtual EvaluateResponse evaluate(const EvaluateRequest& request) = 0;
   virtual ShipAllResponse shipAll() = 0;
+  virtual void finishQuery(const FinishQueryRequest& request) = 0;
 
   virtual ApplyInsertResponse applyInsert(const ApplyInsertRequest&) = 0;
   virtual ApplyDeleteResponse applyDelete(const ApplyDeleteRequest&) = 0;
   virtual RepairDeleteResponse repairDelete(const RepairDeleteRequest&) = 0;
   virtual void replicaAdd(const ReplicaAddRequest&) = 0;
   virtual void replicaRemove(const ReplicaRemoveRequest&) = 0;
+
+  /// Opens a per-query view of this site whose traffic is additionally
+  /// recorded into `scope` (may be null).  The default implementation wraps
+  /// `*this` and counts round trips and tuples (bytes are transport detail
+  /// it cannot see); RpcSiteHandle returns a clone sharing its channel pool
+  /// that accounts bytes exactly.  The parent handle must outlive the view.
+  virtual std::unique_ptr<SiteHandle> openSession(QueryUsage* scope);
 };
 
-/// SiteHandle over a ClientChannel with bandwidth accounting.
+/// SiteHandle over a per-site ChannelPool with bandwidth accounting.
 ///
 /// Tuple accounting follows the paper (Sec. 3.2): one tuple per shipped
 /// Candidate or Tuple payload in either direction; probability scalars,
 /// flags, and replica-removal ids are control traffic (bytes only).  Update
 /// *injections* (ApplyInsert/ApplyDelete requests) are not counted — they
 /// model events that originate at the site itself.
+///
+/// Every round trip leases a channel from the pool, so concurrent sessions
+/// sharing the pool never interleave frames.  When constructed with a
+/// per-query scope (via openSession), the leased channel's framing overhead
+/// and this handle's payload/tuple counts are recorded into the scope as
+/// well as the global meter.
 class RpcSiteHandle final : public SiteHandle {
  public:
+  RpcSiteHandle(SiteId site, std::shared_ptr<ChannelPool> pool,
+                BandwidthMeter* meter, QueryUsage* scope = nullptr);
+
+  /// Wraps one pre-built channel in a private capacity-1 pool (serialising
+  /// all sessions on it).
   RpcSiteHandle(SiteId site, std::unique_ptr<ClientChannel> channel,
                 BandwidthMeter* meter);
 
   SiteId siteId() const noexcept override { return site_; }
 
   PrepareResponse prepare(const PrepareRequest& request) override;
-  NextCandidateResponse nextCandidate() override;
+  NextCandidateResponse nextCandidate(
+      const NextCandidateRequest& request) override;
   EvaluateResponse evaluate(const EvaluateRequest& request) override;
   ShipAllResponse shipAll() override;
+  void finishQuery(const FinishQueryRequest& request) override;
 
   ApplyInsertResponse applyInsert(const ApplyInsertRequest&) override;
   ApplyDeleteResponse applyDelete(const ApplyDeleteRequest&) override;
@@ -58,13 +88,16 @@ class RpcSiteHandle final : public SiteHandle {
   void replicaAdd(const ReplicaAddRequest&) override;
   void replicaRemove(const ReplicaRemoveRequest&) override;
 
+  std::unique_ptr<SiteHandle> openSession(QueryUsage* scope) override;
+
  private:
   Frame roundTrip(const Frame& request);
   void countTuples(std::uint64_t toSite, std::uint64_t fromSite);
 
   SiteId site_;
-  std::unique_ptr<ClientChannel> channel_;
-  BandwidthMeter* meter_;  // may be null (no accounting)
+  std::shared_ptr<ChannelPool> pool_;
+  BandwidthMeter* meter_;   // may be null (no accounting)
+  QueryUsage* scope_;       // may be null (no per-query accounting)
 };
 
 }  // namespace dsud

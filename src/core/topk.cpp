@@ -16,12 +16,13 @@
 #include <algorithm>
 
 #include "core/bound_queue.hpp"
-#include "core/coordinator.hpp"
+#include "core/query_engine.hpp"
 #include "core/query_run.hpp"
 
 namespace dsud {
 
-QueryResult Coordinator::runTopK(const TopKConfig& config) {
+QueryResult QueryEngine::topkImpl(const TopKConfig& config,
+                                  const QueryOptions& options, QueryId id) {
   if (config.k == 0) {
     throw std::invalid_argument("runTopK: k must be >= 1");
   }
@@ -29,17 +30,19 @@ QueryResult Coordinator::runTopK(const TopKConfig& config) {
     throw std::invalid_argument("runTopK: floorQ must be in (0, 1]");
   }
 
-  internal::QueryRun run(*this, "topk");
+  internal::QueryRun run(*coord_, "topk", options, id);
   QueryStats& stats = run.result.stats;
-  const DimMask mask = config.effectiveMask(dims_);
-  const PrepareRequest prep{config.floorQ, mask, PruneRule::kThresholdBound,
-                            config.window};
+  const DimMask mask = config.effectiveMask(coord_->dims());
+  const PrepareRequest prep{run.id, config.floorQ, mask,
+                            PruneRule::kThresholdBound, config.window};
+  const NextCandidateRequest cursor{run.id};
 
   internal::BoundQueue queue(mask, FeedbackBound::kQueuedAndConfirmed);
   const auto pullFrom = [&](SiteId site) {
     obs::TraceSpan pull = run.span("pull");
     pull.attr("site", site);
-    if (auto next = siteById(site).nextCandidate(); next.candidate) {
+    if (auto next = run.siteById(site).nextCandidate(cursor);
+        next.candidate) {
       queue.add(std::move(*next.candidate));
       run.countPull(stats);
     }
@@ -47,10 +50,8 @@ QueryResult Coordinator::runTopK(const TopKConfig& config) {
 
   {
     obs::TraceSpan prepare = run.span("prepare");
-    for (const auto& s : sites_) {
-      s->prepare(prep);
-    }
-    for (const auto& s : sites_) {
+    run.prepareAll(prep);
+    for (const auto& s : run.sessions) {
       pullFrom(s->siteId());
     }
   }
@@ -91,7 +92,7 @@ QueryResult Coordinator::runTopK(const TopKConfig& config) {
       broadcast.attr("site", c.site);
       broadcast.attr("tuple", static_cast<double>(c.tuple.id));
       globalSkyProb =
-          evaluateGlobally(c, /*pruneLocal=*/true, stats, config.window);
+          run.evaluateGlobally(c, /*pruneLocal=*/true, mask, config.window);
     }
     queue.confirm(c.tuple, globalSkyProb);
 

@@ -9,7 +9,9 @@
 namespace dsud {
 namespace {
 
-/// Meter/clock bracket for one update.
+/// Meter/clock bracket for one update.  Measures cost as a global-meter
+/// delta, which is only exact while nothing else uses the links — part of
+/// the maintainer's no-concurrent-queries contract.
 class UpdateScope {
  public:
   UpdateScope(Coordinator& coordinator, UpdateStats& stats)
@@ -40,8 +42,8 @@ class UpdateScope {
 SkylineMaintainer::SkylineMaintainer(Coordinator& coordinator,
                                      QueryConfig config,
                                      MaintenanceStrategy strategy)
-    : coordinator_(coordinator), config_(std::move(config)),
-      strategy_(strategy) {
+    : coordinator_(coordinator), engine_(coordinator),
+      config_(std::move(config)), strategy_(strategy) {
   if (config_.window.has_value()) {
     throw std::invalid_argument(
         "SkylineMaintainer: constrained (windowed) queries are one-shot; "
@@ -50,7 +52,7 @@ SkylineMaintainer::SkylineMaintainer(Coordinator& coordinator,
 }
 
 QueryResult SkylineMaintainer::initialize() {
-  QueryResult result = coordinator_.runEdsud(config_);
+  QueryResult result = engine_.runEdsud(config_);
   sky_.clear();
   for (const GlobalSkylineEntry& e : result.skyline) {
     sky_.emplace(e.tuple.id, e);
@@ -93,7 +95,7 @@ UpdateStats SkylineMaintainer::applyNaive(const UpdateEvent& event) {
         ApplyDeleteRequest{event.tuple.id, event.tuple.values});
   }
 
-  const QueryResult result = coordinator_.runEdsud(config_);
+  const QueryResult result = engine_.runEdsud(config_);
   std::unordered_map<TupleId, GlobalSkylineEntry> fresh;
   for (const GlobalSkylineEntry& e : result.skyline) {
     fresh.emplace(e.tuple.id, e);
@@ -163,8 +165,9 @@ void SkylineMaintainer::incrementalInsert(const UpdateEvent& event,
   if (response.globalUpperBound >= config_.q) {
     QueryStats evalStats;
     const Candidate c{event.site, t, response.localSkyProb};
-    const double globalSkyProb =
-        coordinator_.evaluateGlobally(c, /*pruneLocal=*/false, evalStats);
+    const double globalSkyProb = coordinator_.evaluateGlobally(
+        c, /*pruneLocal=*/false, evalStats,
+        config_.effectiveMask(coordinator_.dims()));
     stats.broadcasts += evalStats.broadcasts;
     if (globalSkyProb >= config_.q) {
       addSkyline(c, globalSkyProb);
@@ -205,7 +208,7 @@ void SkylineMaintainer::incrementalDelete(const UpdateEvent& event,
   std::unordered_set<TupleId> seen;
   for (std::size_t i = 0; i < coordinator_.siteCount(); ++i) {
     RepairDeleteResponse repair = coordinator_.site(i).repairDelete(
-        RepairDeleteRequest{deleted, event.site});
+        RepairDeleteRequest{deleted, event.site, config_.q, mask});
     ++stats.broadcasts;
     for (Candidate& c : repair.candidates) {
       if (sky_.contains(c.tuple.id)) continue;
@@ -215,8 +218,8 @@ void SkylineMaintainer::incrementalDelete(const UpdateEvent& event,
   }
   for (const Candidate& c : candidates) {
     QueryStats evalStats;
-    const double globalSkyProb =
-        coordinator_.evaluateGlobally(c, /*pruneLocal=*/false, evalStats);
+    const double globalSkyProb = coordinator_.evaluateGlobally(
+        c, /*pruneLocal=*/false, evalStats, mask);
     stats.broadcasts += evalStats.broadcasts;
     if (globalSkyProb >= config_.q) {
       addSkyline(c, globalSkyProb);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/coordinator.hpp"
+#include "core/query_engine.hpp"
 
 namespace dsud {
 
@@ -48,6 +49,11 @@ struct UpdateStats {
 };
 
 /// Keeps SKY(H) correct across an update stream.
+///
+/// Thread-safety contract: not thread-safe, and updates must not overlap
+/// in-flight queries — maintenance mutates the site databases mid-protocol
+/// and measures its cost as a global-meter delta, both of which assume a
+/// quiet cluster (see docs/ARCHITECTURE.md §9).
 class SkylineMaintainer {
  public:
   SkylineMaintainer(Coordinator& coordinator, QueryConfig config,
@@ -80,6 +86,7 @@ class SkylineMaintainer {
   void installReplicas();
 
   Coordinator& coordinator_;
+  QueryEngine engine_;  ///< runs the initial / recompute e-DSUD queries
   QueryConfig config_;
   MaintenanceStrategy strategy_;
   bool initialized_ = false;

@@ -1,0 +1,61 @@
+#include "net/channel_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dsud {
+
+ChannelPool::ChannelPool(Factory factory, std::size_t capacity)
+    : factory_(std::move(factory)), capacity_(capacity == 0 ? 1 : capacity) {
+  if (!factory_) {
+    throw std::invalid_argument("ChannelPool: null factory");
+  }
+}
+
+ChannelPool::ChannelPool(std::unique_ptr<ClientChannel> channel)
+    : capacity_(1) {
+  if (channel == nullptr) {
+    throw std::invalid_argument("ChannelPool: null channel");
+  }
+  idle_.push_back(channel.get());
+  channels_.push_back(std::move(channel));
+}
+
+ChannelPool::~ChannelPool() {
+  for (auto& channel : channels_) channel->close();
+}
+
+ChannelPool::Lease ChannelPool::acquire() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (!idle_.empty()) {
+      ClientChannel* channel = idle_.back();
+      idle_.pop_back();
+      return Lease(this, channel);
+    }
+    if (channels_.size() < capacity_) {
+      channels_.push_back(factory_());
+      return Lease(this, channels_.back().get());
+    }
+    available_.wait(lock);
+  }
+}
+
+void ChannelPool::put(ClientChannel* channel) {
+  {
+    std::lock_guard lock(mutex_);
+    idle_.push_back(channel);
+  }
+  available_.notify_one();
+}
+
+void ChannelPool::Lease::release() {
+  if (pool_ != nullptr && channel_ != nullptr) {
+    channel_->setUsageScope(nullptr);
+    pool_->put(channel_);
+  }
+  pool_ = nullptr;
+  channel_ = nullptr;
+}
+
+}  // namespace dsud

@@ -1,0 +1,95 @@
+// A small pool of ClientChannels to one site, so N concurrent queries can
+// talk to the same site without interleaving frames on one connection.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace dsud {
+
+/// Pool of channels to one site.
+///
+/// Channels are created lazily by the factory, up to `capacity`; once every
+/// channel is out on lease, `acquire` blocks until one is returned.  A
+/// capacity-1 pool therefore *serialises* all traffic on its single channel —
+/// the correct mode for transports that only support one connection per site
+/// (TcpSiteServer accepts exactly one).
+///
+/// Thread-safety contract: `acquire` and lease release are internally
+/// synchronised; any number of query sessions may share one pool.  A leased
+/// channel is exclusively owned until the lease is destroyed — callers may
+/// freely `setUsageScope`/`call` on it without further locking.
+class ChannelPool {
+ public:
+  using Factory = std::function<std::unique_ptr<ClientChannel>()>;
+
+  /// Lazy pool: channels are made by `factory` on demand, at most `capacity`.
+  ChannelPool(Factory factory, std::size_t capacity);
+
+  /// Fixed pool over one pre-built channel (capacity 1).
+  explicit ChannelPool(std::unique_ptr<ClientChannel> channel);
+
+  ~ChannelPool();
+
+  ChannelPool(const ChannelPool&) = delete;
+  ChannelPool& operator=(const ChannelPool&) = delete;
+
+  /// RAII lease of one channel; returns it to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ChannelPool* pool, ClientChannel* channel)
+        : pool_(pool), channel_(channel) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), channel_(other.channel_) {
+      other.pool_ = nullptr;
+      other.channel_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        channel_ = other.channel_;
+        other.pool_ = nullptr;
+        other.channel_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { release(); }
+
+    ClientChannel& operator*() const { return *channel_; }
+    ClientChannel* operator->() const { return channel_; }
+    explicit operator bool() const { return channel_ != nullptr; }
+
+   private:
+    void release();
+
+    ChannelPool* pool_ = nullptr;
+    ClientChannel* channel_ = nullptr;
+  };
+
+  /// Blocks until a channel is free (or can be created) and leases it.
+  Lease acquire();
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  friend class Lease;
+  void put(ClientChannel* channel);
+
+  Factory factory_;
+  std::size_t capacity_ = 1;
+
+  std::mutex mutex_;
+  std::condition_variable available_;
+  std::vector<std::unique_ptr<ClientChannel>> channels_;  // all ever created
+  std::vector<ClientChannel*> idle_;
+};
+
+}  // namespace dsud

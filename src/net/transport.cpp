@@ -33,8 +33,9 @@ void ClientChannel::accountFrames(std::size_t payloadOut,
                                   std::size_t payloadIn,
                                   std::size_t overheadOut,
                                   std::size_t overheadIn) {
-  if (meter_ != nullptr && (overheadOut != 0 || overheadIn != 0)) {
-    meter_->recordOverhead(site_, overheadOut, overheadIn);
+  if (overheadOut != 0 || overheadIn != 0) {
+    if (meter_ != nullptr) meter_->recordOverhead(site_, overheadOut, overheadIn);
+    if (scope_ != nullptr) scope_->recordOverhead(overheadOut + overheadIn);
   }
   if (framesOut_ != nullptr) {
     framesOut_->inc();

@@ -25,6 +25,7 @@
 namespace dsud {
 
 class BandwidthMeter;
+class QueryUsage;
 using SiteId = std::uint32_t;  // = common/dataset.hpp's SiteId (checked there)
 
 using Frame = std::vector<std::byte>;
@@ -55,6 +56,12 @@ class ClientChannel {
   void bindAccounting(SiteId site, BandwidthMeter* meter,
                       obs::MetricsRegistry* metrics);
 
+  /// Attributes this channel's framing overhead to a per-query usage scope
+  /// (null detaches).  Thread-safety contract: a channel is used by one
+  /// caller at a time (ChannelPool leases are exclusive), so set the scope
+  /// while holding the lease, before `call`, and clear it before releasing.
+  void setUsageScope(QueryUsage* scope) noexcept { scope_ = scope; }
+
  protected:
   /// Implementations call this once per round trip with the payload sizes
   /// and the transport's own framing overhead in each direction.
@@ -64,6 +71,7 @@ class ClientChannel {
  private:
   SiteId site_ = 0;
   BandwidthMeter* meter_ = nullptr;
+  QueryUsage* scope_ = nullptr;
   obs::Counter* framesOut_ = nullptr;
   obs::Counter* framesIn_ = nullptr;
   obs::Counter* bytesOut_ = nullptr;

@@ -49,10 +49,19 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-write-wins instantaneous value.
+/// Last-write-wins instantaneous value.  `add`/`sub` make it usable as an
+/// up-down counter (e.g. in-flight queries); they are lock-free CAS loops so
+/// concurrent sessions never lose an update.
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void sub(double delta) noexcept { add(-delta); }
   double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
@@ -147,6 +156,11 @@ std::string labeled(
 /// returned references stay valid (and lock-free to update) for the
 /// registry's lifetime.  Re-registering a name returns the existing
 /// instrument; registering it as a different kind throws std::logic_error.
+///
+/// Thread-safety contract: registration, instrument updates, and
+/// `snapshot()` may all race freely — concurrent query sessions share one
+/// registry without coordination.  Only `reset()` is exempt: it assumes no
+/// active writers (bench-harness use between tables).
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);

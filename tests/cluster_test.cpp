@@ -87,7 +87,7 @@ TEST(ClusterTest, MeterSeesEveryByteOfEveryCall) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 2, ValueDistribution::kIndependent, 98});
   InProcCluster cluster(global, 4, 99);
-  const QueryResult result = cluster.coordinator().runEdsud(QueryConfig{});
+  const QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   const UsageTotals totals = cluster.meter().totals();
   EXPECT_EQ(totals.tuples, result.stats.tuplesShipped);
   EXPECT_EQ(totals.bytes, result.stats.bytesShipped);
@@ -99,8 +99,8 @@ TEST(ClusterTest, BackToBackQueriesUseMeterDeltas) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 2, ValueDistribution::kIndependent, 100});
   InProcCluster cluster(global, 4, 101);
-  const QueryResult first = cluster.coordinator().runEdsud(QueryConfig{});
-  const QueryResult second = cluster.coordinator().runEdsud(QueryConfig{});
+  const QueryResult first = cluster.engine().runEdsud(QueryConfig{});
+  const QueryResult second = cluster.engine().runEdsud(QueryConfig{});
   // The shared meter keeps accumulating, but per-query stats are deltas.
   EXPECT_EQ(first.stats.tuplesShipped, second.stats.tuplesShipped);
   EXPECT_EQ(cluster.meter().totals().tuples,

@@ -1,0 +1,216 @@
+// Concurrent multi-query execution: N in-flight sessions over ONE shared
+// cluster must each produce bit-for-bit the result of the same query run
+// alone — answers, bandwidth stats, and protocol timelines — with no state
+// bleeding between sessions, and all site/coordinator/gauge state must
+// return to idle once the last ticket is redeemed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/query_engine.hpp"
+#include "gen/synthetic.hpp"
+#include "test_util.hpp"
+
+namespace dsud {
+namespace {
+
+std::vector<std::string> spanNames(const obs::QueryTrace& trace) {
+  std::vector<std::string> names;
+  names.reserve(trace.events.size());
+  for (const auto& e : trace.events) names.push_back(e.name);
+  return names;
+}
+
+void expectSameAnswer(const QueryResult& got, const QueryResult& want) {
+  ASSERT_EQ(got.skyline.size(), want.skyline.size());
+  for (std::size_t i = 0; i < got.skyline.size(); ++i) {
+    EXPECT_EQ(got.skyline[i].tuple.id, want.skyline[i].tuple.id) << "rank " << i;
+    // Bit-for-bit: survival factors reduce in site order regardless of how
+    // many sessions (or broadcast workers) ran at the same time.
+    EXPECT_EQ(got.skyline[i].globalSkyProb, want.skyline[i].globalSkyProb)
+        << "rank " << i;
+  }
+}
+
+/// Every stats field except wall time, which legitimately varies.
+void expectSameStats(const QueryStats& got, const QueryStats& want) {
+  EXPECT_EQ(got.tuplesShipped, want.tuplesShipped);
+  EXPECT_EQ(got.bytesShipped, want.bytesShipped);
+  EXPECT_EQ(got.roundTrips, want.roundTrips);
+  EXPECT_EQ(got.candidatesPulled, want.candidatesPulled);
+  EXPECT_EQ(got.broadcasts, want.broadcasts);
+  EXPECT_EQ(got.expunged, want.expunged);
+  EXPECT_EQ(got.prunedAtSites, want.prunedAtSites);
+}
+
+void expectSameRun(const QueryResult& got, const QueryResult& want) {
+  expectSameAnswer(got, want);
+  expectSameStats(got.stats, want.stats);
+  // Same protocol decisions => same timeline, span for span.
+  EXPECT_EQ(spanNames(got.trace), spanNames(want.trace));
+  EXPECT_EQ(got.trace.droppedEvents, want.trace.droppedEvents);
+}
+
+void expectIdle(InProcCluster& cluster) {
+  EXPECT_EQ(cluster.engine().inFlight(), 0u);
+  for (std::size_t i = 0; i < cluster.siteCount(); ++i) {
+    EXPECT_EQ(cluster.localSite(i).sessionCount(), 0u) << "site " << i;
+  }
+  for (const auto& [name, value] : cluster.metricsRegistry().snapshot().gauges) {
+    if (name.rfind("dsud_queries_inflight", 0) == 0) {
+      EXPECT_EQ(value, 0.0) << name;
+    }
+  }
+}
+
+TEST(ConcurrentQueriesTest, MixedSubmitsMatchSequentialBitForBit) {
+  const Dataset global = generateSynthetic(
+      SyntheticSpec{3000, 3, ValueDistribution::kAnticorrelated, 2200});
+  InProcCluster shared(global, 8, 2201);
+  InProcCluster reference(global, 8, 2201);
+
+  QueryConfig q03;
+  QueryConfig q05;
+  q05.q = 0.5;
+  TopKConfig topk;
+  topk.k = 10;
+
+  // One session at a time on an identical cluster: the ground truth for
+  // answers, stats, and timelines.
+  const QueryResult refNaive = reference.engine().runNaive(q03);
+  const QueryResult refDsud = reference.engine().runDsud(q03);
+  const QueryResult refEdsud = reference.engine().runEdsud(q03);
+  const QueryResult refEdsud5 = reference.engine().runEdsud(q05);
+  const QueryResult refTopK = reference.engine().runTopK(topk);
+
+  // Five mixed sessions in flight at once over the shared sites.  A wide
+  // pool guarantees they genuinely overlap even on small machines.
+  QueryEngine engine(shared.coordinator(), 5);
+  QueryTicket tickets[5] = {
+      engine.submit(Algo::kNaive, q03),   engine.submit(Algo::kDsud, q03),
+      engine.submit(Algo::kEdsud, q03),   engine.submit(Algo::kEdsud, q05),
+      engine.submitTopK(topk),
+  };
+
+  // Session ids are allocated up front and unique.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NE(tickets[i].id(), kNoQuery);
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_NE(tickets[i].id(), tickets[j].id());
+    }
+  }
+
+  const QueryResult naive = tickets[0].get();
+  const QueryResult dsud = tickets[1].get();
+  const QueryResult edsud = tickets[2].get();
+  const QueryResult edsud5 = tickets[3].get();
+  const QueryResult topkResult = tickets[4].get();
+
+  expectSameRun(naive, refNaive);
+  expectSameRun(dsud, refDsud);
+  expectSameRun(edsud, refEdsud);
+  expectSameRun(edsud5, refEdsud5);
+  expectSameRun(topkResult, refTopK);
+
+  // Each result is stamped with its own session id.
+  EXPECT_EQ(naive.id, tickets[0].id());
+  EXPECT_EQ(topkResult.id, tickets[4].id());
+
+  EXPECT_EQ(engine.inFlight(), 0u);
+  expectIdle(shared);
+}
+
+TEST(ConcurrentQueriesTest, ThreadsHammeringOneClusterSeeNoBleed) {
+  const Dataset global = generateSynthetic(
+      SyntheticSpec{1500, 2, ValueDistribution::kAnticorrelated, 2210});
+  InProcCluster shared(global, 6, 2211);
+  InProcCluster reference(global, 6, 2211);
+
+  QueryConfig config;
+  TopKConfig topk;
+  topk.k = 5;
+  const QueryResult refEdsud = reference.engine().runEdsud(config);
+  const QueryResult refTopK = reference.engine().runTopK(topk);
+
+  // 4 threads x 3 iterations of synchronous runs through the shared engine;
+  // every single run must be indistinguishable from running alone.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 3; ++i) {
+        if ((t + i) % 2 == 0) {
+          expectSameRun(shared.engine().runEdsud(config), refEdsud);
+        } else {
+          expectSameRun(shared.engine().runTopK(topk), refTopK);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  expectIdle(shared);
+}
+
+TEST(ConcurrentQueriesTest, PerQueryOptionsStayPerQuery) {
+  // One session traces and fans its broadcasts out over 4 workers, the
+  // other runs silent and sequential — concurrently, over the same sites.
+  const Dataset global = generateSynthetic(
+      SyntheticSpec{1200, 3, ValueDistribution::kIndependent, 2220});
+  InProcCluster shared(global, 6, 2221);
+  InProcCluster reference(global, 6, 2221);
+
+  QueryConfig config;
+  QueryOptions traced;
+  traced.broadcastThreads = 4;
+  QueryOptions silent;
+  silent.traceCapacity = 0;
+
+  const QueryResult refA = reference.engine().runEdsud(config, traced);
+  const QueryResult refB = reference.engine().runEdsud(config, silent);
+
+  QueryTicket a = shared.engine().submit(Algo::kEdsud, config, traced);
+  QueryTicket b = shared.engine().submit(Algo::kEdsud, config, silent);
+  const QueryResult gotA = a.get();
+  const QueryResult gotB = b.get();
+
+  expectSameRun(gotA, refA);
+  expectSameRun(gotB, refB);
+  EXPECT_FALSE(gotA.trace.empty());
+  EXPECT_TRUE(gotB.trace.empty());
+  expectIdle(shared);
+}
+
+TEST(ConcurrentQueriesTest, ProgressCallbacksDoNotCrossSessions) {
+  const Dataset global = generateSynthetic(
+      SyntheticSpec{1000, 2, ValueDistribution::kAnticorrelated, 2230});
+  InProcCluster shared(global, 5, 2231);
+
+  QueryConfig config;
+  std::atomic<std::size_t> callsA{0};
+  std::atomic<std::size_t> callsB{0};
+  QueryOptions optionsA;
+  optionsA.progress = [&](const GlobalSkylineEntry&, const ProgressPoint&) {
+    ++callsA;
+  };
+  QueryOptions optionsB;
+  optionsB.progress = [&](const GlobalSkylineEntry&, const ProgressPoint&) {
+    ++callsB;
+  };
+
+  QueryTicket a = shared.engine().submit(Algo::kEdsud, config, optionsA);
+  QueryTicket b = shared.engine().submit(Algo::kDsud, config, optionsB);
+  const QueryResult resultA = a.get();
+  const QueryResult resultB = b.get();
+
+  // Each callback fired exactly once per answer of ITS query.
+  EXPECT_EQ(callsA.load(), resultA.skyline.size());
+  EXPECT_EQ(callsB.load(), resultB.skyline.size());
+  expectIdle(shared);
+}
+
+}  // namespace
+}  // namespace dsud

@@ -90,9 +90,9 @@ TEST_P(ConstrainedDistributedTest, AllAlgorithmsMatchFilteredGroundTruth) {
   const auto expected =
       linearSkylineConstrained(global, config.q, fullMask(2), *config.window);
 
-  for (QueryResult result : {cluster.coordinator().runNaive(config),
-                             cluster.coordinator().runDsud(config),
-                             cluster.coordinator().runEdsud(config)}) {
+  for (QueryResult result : {cluster.engine().runNaive(config),
+                             cluster.engine().runDsud(config),
+                             cluster.engine().runEdsud(config)}) {
     sortByGlobalProbability(result.skyline);
     ASSERT_EQ(result.skyline.size(), expected.size());
     for (std::size_t i = 0; i < expected.size(); ++i) {
@@ -131,8 +131,8 @@ TEST(ConstrainedTest, FullSpaceWindowEqualsUnconstrained) {
   QueryConfig windowed;
   windowed.window = makeWindow({-1.0, -1.0}, {2.0, 2.0});
 
-  QueryResult a = cluster.coordinator().runEdsud(unconstrained);
-  QueryResult b = cluster.coordinator().runEdsud(windowed);
+  QueryResult a = cluster.engine().runEdsud(unconstrained);
+  QueryResult b = cluster.engine().runEdsud(windowed);
   sortByGlobalProbability(a.skyline);
   sortByGlobalProbability(b.skyline);
   EXPECT_EQ(testutil::idsOf(a.skyline), testutil::idsOf(b.skyline));
@@ -149,8 +149,8 @@ TEST(ConstrainedTest, TightWindowIsCheap) {
   QueryConfig tight;
   tight.window = makeWindow({0.45, 0.45}, {0.55, 0.55});
 
-  const QueryResult a = cluster.coordinator().runEdsud(full);
-  const QueryResult b = cluster.coordinator().runEdsud(tight);
+  const QueryResult a = cluster.engine().runEdsud(full);
+  const QueryResult b = cluster.engine().runEdsud(tight);
   EXPECT_LT(b.stats.tuplesShipped, a.stats.tuplesShipped);
 }
 
@@ -170,7 +170,7 @@ TEST(ConstrainedTest, SubspaceAndWindowCompose) {
 
   const auto expected = linearSkylineConstrained(global, config.q,
                                                  config.mask, window);
-  QueryResult result = cluster.coordinator().runEdsud(config);
+  QueryResult result = cluster.engine().runEdsud(config);
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline), testutil::idsOf(expected));
 }

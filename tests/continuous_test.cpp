@@ -128,7 +128,7 @@ TEST(ContinuousTest, PerEventCostIsFarBelowRequery) {
                                       setup.windows);
 
   // Cost of one full re-query on the same cluster state.
-  const QueryResult requery = cluster.coordinator().runEdsud(config);
+  const QueryResult requery = cluster.engine().runEdsud(config);
 
   Rng rng(806);
   TupleId next = 200000;

@@ -47,13 +47,13 @@ TEST_P(DistributedParamTest, AllAlgorithmsMatchCentralisedAnswer) {
   QueryConfig config;
   config.q = c.q;
 
-  const QueryResult naive = cluster.coordinator().runNaive(config);
+  const QueryResult naive = cluster.engine().runNaive(config);
   expectMatchesGroundTruth(naive, global, c.q);
 
-  const QueryResult dsud = cluster.coordinator().runDsud(config);
+  const QueryResult dsud = cluster.engine().runDsud(config);
   expectMatchesGroundTruth(dsud, global, c.q);
 
-  const QueryResult edsud = cluster.coordinator().runEdsud(config);
+  const QueryResult edsud = cluster.engine().runEdsud(config);
   expectMatchesGroundTruth(edsud, global, c.q);
 }
 
@@ -82,7 +82,7 @@ TEST(DsudTest, NaiveBandwidthEqualsDatabaseSize) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{400, 2, ValueDistribution::kIndependent, 11});
   InProcCluster cluster(global, 4, 12);
-  const QueryResult result = cluster.coordinator().runNaive(QueryConfig{});
+  const QueryResult result = cluster.engine().runNaive(QueryConfig{});
   // The baseline ships |D| tuples, nothing else (paper Sec. 3.2).
   EXPECT_EQ(result.stats.tuplesShipped, global.size());
 }
@@ -91,8 +91,8 @@ TEST(DsudTest, DsudShipsFarLessThanNaive) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{5000, 2, ValueDistribution::kIndependent, 13});
   InProcCluster cluster(global, 10, 14);
-  const QueryResult naive = cluster.coordinator().runNaive(QueryConfig{});
-  const QueryResult dsud = cluster.coordinator().runDsud(QueryConfig{});
+  const QueryResult naive = cluster.engine().runNaive(QueryConfig{});
+  const QueryResult dsud = cluster.engine().runDsud(QueryConfig{});
   EXPECT_LT(dsud.stats.tuplesShipped, naive.stats.tuplesShipped / 2);
 }
 
@@ -100,7 +100,7 @@ TEST(DsudTest, ProgressPointsAreMonotone) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{2000, 3, ValueDistribution::kAnticorrelated, 15});
   InProcCluster cluster(global, 8, 16);
-  const QueryResult result = cluster.coordinator().runDsud(QueryConfig{});
+  const QueryResult result = cluster.engine().runDsud(QueryConfig{});
   ASSERT_EQ(result.progress.size(), result.skyline.size());
   for (std::size_t i = 1; i < result.progress.size(); ++i) {
     EXPECT_EQ(result.progress[i].reported, i + 1);
@@ -120,22 +120,22 @@ TEST(DsudTest, ProgressCallbackFiresPerAnswer) {
       SyntheticSpec{1000, 2, ValueDistribution::kAnticorrelated, 17});
   InProcCluster cluster(global, 5, 18);
   std::size_t calls = 0;
-  cluster.coordinator().setProgressCallback(
+  QueryOptions options;
+  options.progress =
       [&](const GlobalSkylineEntry& entry, const ProgressPoint& point) {
         ++calls;
         EXPECT_EQ(point.reported, calls);
         EXPECT_GE(entry.globalSkyProb, 0.3);
-      });
-  const QueryResult result = cluster.coordinator().runDsud(QueryConfig{});
+      };
+  const QueryResult result = cluster.engine().runDsud(QueryConfig{}, options);
   EXPECT_EQ(calls, result.skyline.size());
-  cluster.coordinator().setProgressCallback(nullptr);
 }
 
 TEST(DsudTest, StatsCountersAreConsistent) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1500, 2, ValueDistribution::kIndependent, 19});
   InProcCluster cluster(global, 6, 20);
-  const QueryResult result = cluster.coordinator().runDsud(QueryConfig{});
+  const QueryResult result = cluster.engine().runDsud(QueryConfig{});
   // DSUD broadcasts every pulled candidate; each broadcast ships m-1 tuples.
   EXPECT_EQ(result.stats.broadcasts, result.stats.candidatesPulled);
   EXPECT_EQ(result.stats.tuplesShipped,
@@ -150,7 +150,7 @@ TEST(DsudTest, LocalPruningReducesCandidatePulls) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{4000, 2, ValueDistribution::kIndependent, 21});
   InProcCluster cluster(global, 8, 22);
-  const QueryResult result = cluster.coordinator().runDsud(QueryConfig{});
+  const QueryResult result = cluster.engine().runDsud(QueryConfig{});
   // Total local skyline size: what would ship without any pruning.
   std::size_t totalLocalSkyline = result.stats.prunedAtSites;
   totalLocalSkyline += result.stats.candidatesPulled;
@@ -163,8 +163,8 @@ TEST(DsudTest, RepeatedQueriesAreDeterministic) {
       SyntheticSpec{800, 3, ValueDistribution::kIndependent, 23});
   InProcCluster clusterA(global, 7, 24);
   InProcCluster clusterB(global, 7, 24);
-  const QueryResult a = clusterA.coordinator().runDsud(QueryConfig{});
-  const QueryResult b = clusterB.coordinator().runDsud(QueryConfig{});
+  const QueryResult a = clusterA.engine().runDsud(QueryConfig{});
+  const QueryResult b = clusterB.engine().runDsud(QueryConfig{});
   EXPECT_EQ(testutil::idsOf(a.skyline), testutil::idsOf(b.skyline));
   EXPECT_EQ(a.stats.tuplesShipped, b.stats.tuplesShipped);
 }
@@ -178,7 +178,7 @@ TEST(DsudTest, ThresholdMonotonicityDistributed) {
   for (double q : {0.3, 0.5, 0.7, 0.9}) {
     QueryConfig config;
     config.q = q;
-    const QueryResult result = cluster.coordinator().runDsud(config);
+    const QueryResult result = cluster.engine().runDsud(config);
     bandwidth.push_back(result.stats.tuplesShipped);
     sizes.push_back(result.skyline.size());
   }

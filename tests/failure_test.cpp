@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/cluster.hpp"
+#include "core/query_engine.hpp"
 #include "core/local_site.hpp"
 #include "core/site_handle.hpp"
 #include "gen/partition.hpp"
@@ -40,6 +41,7 @@ struct FailingCluster {
   std::vector<std::unique_ptr<SiteServer>> servers;
   std::unique_ptr<BandwidthMeter> meter = std::make_unique<BandwidthMeter>();
   std::unique_ptr<Coordinator> coordinator;
+  std::unique_ptr<QueryEngine> engine;
 };
 
 /// Builds a cluster where site `victim` fails after `healthyCalls` RPCs.
@@ -70,51 +72,61 @@ FailingCluster makeCluster(std::size_t m, SiteId victim,
   }
   cluster.coordinator =
       std::make_unique<Coordinator>(std::move(handles), cluster.meter.get(), 2);
+  cluster.engine = std::make_unique<QueryEngine>(*cluster.coordinator);
   return cluster;
 }
 
 TEST(FailureTest, DeathDuringPrepareSurfaces) {
   FailingCluster cluster = makeCluster(4, 2, 0);
-  EXPECT_THROW(cluster.coordinator->runEdsud(QueryConfig{}), NetError);
+  EXPECT_THROW(cluster.engine->runEdsud(QueryConfig{}), NetError);
 }
 
 TEST(FailureTest, DeathMidQuerySurfacesFromEveryAlgorithm) {
   // Calibrate: how many RPCs does the victim serve in a healthy run?  Then
   // give the flaky link only part of that budget so it dies mid-protocol.
   FailingCluster healthy = makeCluster(4, 1, std::size_t(-1));
-  healthy.coordinator->runEdsud(QueryConfig{});
+  healthy.engine->runEdsud(QueryConfig{});
   const std::uint64_t victimCalls = healthy.meter->link(1).calls;
   ASSERT_GT(victimCalls, 4u);
 
+  // The last frame on every link is the best-effort kFinishQuery teardown
+  // (see below), so the largest mid-protocol budget is victimCalls - 2.
   for (const std::size_t healthyCalls :
        {std::size_t{3}, static_cast<std::size_t>(victimCalls / 2),
-        static_cast<std::size_t>(victimCalls - 1)}) {
+        static_cast<std::size_t>(victimCalls - 2)}) {
     FailingCluster edsud = makeCluster(4, 1, healthyCalls);
-    EXPECT_THROW(edsud.coordinator->runEdsud(QueryConfig{}), NetError)
+    EXPECT_THROW(edsud.engine->runEdsud(QueryConfig{}), NetError)
         << "budget " << healthyCalls;
 
     FailingCluster dsud = makeCluster(4, 1, healthyCalls);
-    EXPECT_THROW(dsud.coordinator->runDsud(QueryConfig{}), NetError)
+    EXPECT_THROW(dsud.engine->runDsud(QueryConfig{}), NetError)
         << "budget " << healthyCalls;
   }
   FailingCluster naive = makeCluster(4, 3, 0);
-  EXPECT_THROW(naive.coordinator->runNaive(QueryConfig{}), NetError);
+  EXPECT_THROW(naive.engine->runNaive(QueryConfig{}), NetError);
+
+  // Losing only the final kFinishQuery teardown frame must NOT fail the
+  // query: session release is best-effort and carries no answer data.
+  FailingCluster teardown = makeCluster(4, 1, victimCalls - 1);
+  const QueryResult result = teardown.engine->runEdsud(QueryConfig{});
+  EXPECT_FALSE(result.skyline.empty());
 }
 
 TEST(FailureTest, DeathSurfacesThroughParallelBroadcast) {
   FailingCluster cluster = makeCluster(6, 2, 8);
-  cluster.coordinator->setParallelBroadcast(3);
-  EXPECT_THROW(cluster.coordinator->runEdsud(QueryConfig{}), NetError);
+  QueryOptions fanOut;
+  fanOut.broadcastThreads = 3;
+  EXPECT_THROW(cluster.engine->runEdsud(QueryConfig{}, fanOut), NetError);
 }
 
 TEST(FailureTest, HealthyRunAfterRebuildingIsUnaffected) {
   // The failure is per-cluster state; a fresh cluster over the same data
   // answers normally (no global/static state was poisoned).
   FailingCluster broken = makeCluster(4, 1, 5);
-  EXPECT_THROW(broken.coordinator->runEdsud(QueryConfig{}), NetError);
+  EXPECT_THROW(broken.engine->runEdsud(QueryConfig{}), NetError);
 
   FailingCluster healthy = makeCluster(4, 1, std::size_t(-1));
-  const QueryResult result = healthy.coordinator->runEdsud(QueryConfig{});
+  const QueryResult result = healthy.engine->runEdsud(QueryConfig{});
   EXPECT_FALSE(result.skyline.empty());
 }
 

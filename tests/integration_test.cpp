@@ -67,7 +67,7 @@ TEST(IntegrationTest, MaxDimensionalityEndToEnd) {
   InProcCluster cluster(global, 4, 1003);
   QueryConfig config;
   config.q = 0.5;
-  QueryResult result = cluster.coordinator().runEdsud(config);
+  QueryResult result = cluster.engine().runEdsud(config);
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline),
             testutil::idsOf(linearSkyline(global, config.q)));
@@ -77,7 +77,7 @@ TEST(IntegrationTest, MoreSitesThanTuples) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{5, 2, ValueDistribution::kIndependent, 1004});
   InProcCluster cluster(global, 16, 1005);  // 11 sites end up empty
-  QueryResult result = cluster.coordinator().runEdsud(QueryConfig{});
+  QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline),
             testutil::idsOf(linearSkyline(global, 0.3)));
@@ -93,7 +93,7 @@ TEST(IntegrationTest, IdenticalCoordinatesEverywhere) {
   InProcCluster cluster(global, 4, 1006);
   QueryConfig config;
   config.q = 0.4;
-  const QueryResult result = cluster.coordinator().runEdsud(config);
+  const QueryResult result = cluster.engine().runEdsud(config);
   std::size_t expected = 0;
   for (std::size_t row = 0; row < global.size(); ++row) {
     if (global.prob(row) >= config.q) ++expected;
@@ -112,7 +112,7 @@ TEST(IntegrationTest, TinyThresholdReturnsEveryPositiveProbability) {
   InProcCluster cluster(global, 3, 1008);
   QueryConfig config;
   config.q = 1e-9;
-  QueryResult result = cluster.coordinator().runEdsud(config);
+  QueryResult result = cluster.engine().runEdsud(config);
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline),
             testutil::idsOf(linearSkyline(global, config.q)));
@@ -135,7 +135,7 @@ TEST(IntegrationTest, RepeatedSessionsResetCleanly) {
     QueryConfig config;
     config.q = s.q;
     config.mask = s.mask;
-    QueryResult result = cluster.coordinator().runEdsud(config);
+    QueryResult result = cluster.engine().runEdsud(config);
     sortByGlobalProbability(result.skyline);
     const DimMask mask = config.effectiveMask(3);
     EXPECT_EQ(testutil::idsOf(result.skyline),
@@ -154,7 +154,7 @@ TEST(IntegrationTest, GaussianProbabilityMeanSweepKeepsExactness) {
                                         ValueDistribution::kIndependent, 1011},
                           gaussianProbability(mu, 0.2));
     InProcCluster cluster(global, 5, 1012);
-    QueryResult result = cluster.coordinator().runEdsud(QueryConfig{});
+    QueryResult result = cluster.engine().runEdsud(QueryConfig{});
     sortByGlobalProbability(result.skyline);
     EXPECT_EQ(testutil::idsOf(result.skyline),
               testutil::idsOf(linearSkyline(global, 0.3)))

@@ -42,7 +42,7 @@ TEST(LocalSiteTest, CandidatesComeInDescendingLocalProbability) {
   double last = 2.0;
   std::size_t count = 0;
   while (true) {
-    const auto response = site.nextCandidate();
+    const auto response = site.nextCandidate(NextCandidateRequest{});
     if (!response.candidate) break;
     EXPECT_LE(response.candidate->localSkyProb, last);
     EXPECT_GE(response.candidate->localSkyProb, 0.3);
@@ -52,7 +52,7 @@ TEST(LocalSiteTest, CandidatesComeInDescendingLocalProbability) {
   }
   EXPECT_EQ(count, linearSkyline(db, 0.3).size());
   // Exhausted site keeps answering empty.
-  EXPECT_FALSE(site.nextCandidate().candidate.has_value());
+  EXPECT_FALSE(site.nextCandidate(NextCandidateRequest{}).candidate.has_value());
 }
 
 TEST(LocalSiteTest, EvaluateReturnsExternalSurvival) {
@@ -81,7 +81,7 @@ TEST(LocalSiteTest, ThresholdPruneNeedsAccumulatedEvidence) {
   const Dataset db = makeDataset(2, {{5.0, 5.0, 0.9}});
   LocalSite site(0, db);
   site.prepare(prep(0.3));
-  ASSERT_EQ(site.pendingCount(), 1u);
+  ASSERT_EQ(site.pendingCount(kNoQuery), 1u);
 
   EvaluateRequest request;
   request.pruneLocal = true;
@@ -91,7 +91,7 @@ TEST(LocalSiteTest, ThresholdPruneNeedsAccumulatedEvidence) {
   EXPECT_EQ(site.evaluate(request).prunedCount, 0u);
   request.tuple = Tuple{102, {3.0, 3.0}, 0.4};
   EXPECT_EQ(site.evaluate(request).prunedCount, 1u);
-  EXPECT_EQ(site.pendingCount(), 0u);
+  EXPECT_EQ(site.pendingCount(kNoQuery), 0u);
 }
 
 TEST(LocalSiteTest, DominancePruneDropsImmediately) {
@@ -103,7 +103,7 @@ TEST(LocalSiteTest, DominancePruneDropsImmediately) {
   request.pruneLocal = true;
   request.tuple = Tuple{100, {1.0, 1.0}, 0.01};  // tiny probability!
   EXPECT_EQ(site.evaluate(request).prunedCount, 1u);
-  EXPECT_EQ(site.pendingCount(), 0u);
+  EXPECT_EQ(site.pendingCount(kNoQuery), 0u);
 }
 
 TEST(LocalSiteTest, NonDominatingFeedbackPrunesNothing) {
@@ -114,7 +114,7 @@ TEST(LocalSiteTest, NonDominatingFeedbackPrunesNothing) {
   request.pruneLocal = true;
   request.tuple = Tuple{100, {5.0, 1.0}, 0.99};  // incomparable
   EXPECT_EQ(site.evaluate(request).prunedCount, 0u);
-  EXPECT_EQ(site.pendingCount(), 1u);
+  EXPECT_EQ(site.pendingCount(kNoQuery), 1u);
 }
 
 TEST(LocalSiteTest, ShipAllReturnsWholeDatabase) {

@@ -84,7 +84,7 @@ TEST(MiscTest, PolicyRuleMatrixExactOnCertainData) {
         config.prune = prune;
         config.bound = bound;
         config.expunge = expunge;
-        QueryResult result = cluster.coordinator().runEdsud(config);
+        QueryResult result = cluster.engine().runEdsud(config);
         sortByGlobalProbability(result.skyline);
         EXPECT_EQ(testutil::idsOf(result.skyline), expected)
             << "prune=" << static_cast<int>(prune)
@@ -99,7 +99,7 @@ TEST(MiscTest, SessionCallsWithoutPrepareAreSafe) {
   const Dataset db = testutil::makeDataset(2, {{1.0, 2.0, 0.5}});
   LocalSite site(0, db);
   // No prepare yet: no pending candidates, evaluation uses full mask.
-  EXPECT_FALSE(site.nextCandidate().candidate.has_value());
+  EXPECT_FALSE(site.nextCandidate(NextCandidateRequest{}).candidate.has_value());
   EvaluateRequest eval;
   eval.tuple = Tuple{9, {2.0, 3.0}, 0.5};
   EXPECT_NEAR(site.evaluate(eval).survival, 0.5, 1e-12);
@@ -110,12 +110,13 @@ TEST(MiscTest, TopKUnderParallelBroadcastMatchesSequential) {
       SyntheticSpec{2000, 3, ValueDistribution::kAnticorrelated, 1105});
   InProcCluster seq(global, 8, 1106);
   InProcCluster par(global, 8, 1106);
-  par.coordinator().setParallelBroadcast(4);
+  QueryOptions parallel;
+  parallel.broadcastThreads = 4;
 
   TopKConfig config;
   config.k = 7;
-  const QueryResult a = seq.coordinator().runTopK(config);
-  const QueryResult b = par.coordinator().runTopK(config);
+  const QueryResult a = seq.engine().runTopK(config);
+  const QueryResult b = par.engine().runTopK(config, parallel);
   EXPECT_EQ(testutil::idsOf(a.skyline), testutil::idsOf(b.skyline));
   EXPECT_EQ(a.stats.tuplesShipped, b.stats.tuplesShipped);
 }
@@ -125,12 +126,12 @@ TEST(MiscTest, NaiveIsProgressiveToo) {
       SyntheticSpec{2000, 2, ValueDistribution::kAnticorrelated, 1107});
   InProcCluster cluster(global, 4, 1108);
   std::size_t callbacks = 0;
-  cluster.coordinator().setProgressCallback(
-      [&](const GlobalSkylineEntry&, const ProgressPoint& point) {
-        ++callbacks;
-        EXPECT_EQ(point.reported, callbacks);
-      });
-  const QueryResult result = cluster.coordinator().runNaive(QueryConfig{});
+  QueryOptions options;
+  options.progress = [&](const GlobalSkylineEntry&, const ProgressPoint& point) {
+    ++callbacks;
+    EXPECT_EQ(point.reported, callbacks);
+  };
+  const QueryResult result = cluster.engine().runNaive(QueryConfig{}, options);
   EXPECT_EQ(callbacks, result.skyline.size());
   EXPECT_GT(callbacks, 0u);
   // The naive baseline ships everything up front, so every progress point
@@ -143,7 +144,7 @@ TEST(MiscTest, MeterLinksAttributeTrafficToTheRightSites) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 2, ValueDistribution::kIndependent, 1109});
   InProcCluster cluster(global, 3, 1110);
-  cluster.coordinator().runEdsud(QueryConfig{});
+  cluster.engine().runEdsud(QueryConfig{});
   std::uint64_t total = 0;
   for (SiteId s = 0; s < 3; ++s) {
     const LinkUsage link = cluster.meter().link(s);

@@ -436,7 +436,7 @@ TEST(ObsIntegrationTest, DsudRunProducesTraceAndMatchingByteCounters) {
   QueryConfig config;
   config.q = 0.3;
 
-  const QueryResult result = cluster.coordinator().runDsud(config);
+  const QueryResult result = cluster.engine().runDsud(config);
 
   ASSERT_FALSE(result.trace.empty());
   EXPECT_EQ(result.trace.events.front().name, "query.dsud");
@@ -493,7 +493,7 @@ TEST(ObsIntegrationTest, EdsudRunProducesTraceAndMatchingByteCounters) {
   QueryConfig config;
   config.q = 0.3;
 
-  const QueryResult result = cluster.coordinator().runEdsud(config);
+  const QueryResult result = cluster.engine().runEdsud(config);
 
   ASSERT_FALSE(result.trace.empty());
   EXPECT_EQ(result.trace.events.front().name, "query.edsud");
@@ -511,8 +511,9 @@ TEST(ObsIntegrationTest, TraceCapacityZeroDisablesTracing) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{200, 2, ValueDistribution::kIndependent, 7});
   InProcCluster cluster(global, 3, 8);
-  cluster.coordinator().setTraceCapacity(0);
-  const QueryResult result = cluster.coordinator().runEdsud(QueryConfig{});
+  QueryOptions options;
+  options.traceCapacity = 0;
+  const QueryResult result = cluster.engine().runEdsud(QueryConfig{}, options);
   EXPECT_TRUE(result.trace.empty());
   EXPECT_EQ(result.trace.droppedEvents, 0u);
 }

@@ -112,8 +112,8 @@ TEST_P(SkewedClusterTest, AlgorithmsStayExactUnderSkew) {
 
   InProcCluster cluster(sites);
   const auto expected = testutil::idsOf(linearSkyline(global, 0.3));
-  for (QueryResult result : {cluster.coordinator().runDsud(QueryConfig{}),
-                             cluster.coordinator().runEdsud(QueryConfig{})}) {
+  for (QueryResult result : {cluster.engine().runDsud(QueryConfig{}),
+                             cluster.engine().runEdsud(QueryConfig{})}) {
     sortByGlobalProbability(result.skyline);
     EXPECT_EQ(testutil::idsOf(result.skyline), expected) << strategy;
   }
@@ -136,7 +136,7 @@ TEST(SkewedClusterTest, RangePartitioningConcentratesLocalSkylines) {
       SyntheticSpec{2000, 2, ValueDistribution::kIndependent, 992});
   const auto sites = partitionByRange(global, 4, 0);
   InProcCluster cluster(sites);
-  const QueryResult result = cluster.coordinator().runEdsud(QueryConfig{});
+  const QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   std::size_t fromFirst = 0;
   for (const auto& e : result.skyline) {
     if (e.site == 0) ++fromFirst;

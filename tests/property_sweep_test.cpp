@@ -86,9 +86,9 @@ TEST(PropertySweepTest, RandomConfigurationsAllMatchGroundTruth) {
     std::sort(expectedIds.begin(), expectedIds.end());
 
     InProcCluster cluster(global, c.m, rng.next());
-    for (QueryResult result : {cluster.coordinator().runNaive(c.query),
-                               cluster.coordinator().runDsud(c.query),
-                               cluster.coordinator().runEdsud(c.query)}) {
+    for (QueryResult result : {cluster.engine().runNaive(c.query),
+                               cluster.engine().runDsud(c.query),
+                               cluster.engine().runEdsud(c.query)}) {
       auto ids = testutil::idsOf(result.skyline);
       std::sort(ids.begin(), ids.end());
       ASSERT_EQ(ids, expectedIds)
@@ -129,7 +129,7 @@ TEST(PropertySweepTest, TopKConsistentWithThresholdSweep) {
     TopKConfig config;
     config.k = k;
     config.floorQ = 0.02 + 0.2 * rng.uniform();
-    const QueryResult result = cluster.coordinator().runTopK(config);
+    const QueryResult result = cluster.engine().runTopK(config);
 
     auto truth = linearSkyline(global, config.floorQ);
     if (truth.size() > k) truth.resize(k);

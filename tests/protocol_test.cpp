@@ -41,13 +41,27 @@ TEST(ProtocolTest, CandidateRoundTrip) {
 
 TEST(ProtocolTest, PrepareRequestRoundTrip) {
   PrepareRequest msg;
+  msg.query = 77;
   msg.q = 0.45;
   msg.mask = 0b101;
   msg.prune = PruneRule::kDominance;
   const PrepareRequest out = reencode(msg);
+  EXPECT_EQ(out.query, 77u);
   EXPECT_EQ(out.q, 0.45);
   EXPECT_EQ(out.mask, 0b101u);
   EXPECT_EQ(out.prune, PruneRule::kDominance);
+}
+
+TEST(ProtocolTest, NextCandidateRequestCarriesQueryId) {
+  NextCandidateRequest msg;
+  msg.query = 12345;
+  EXPECT_EQ(reencode(msg).query, 12345u);
+}
+
+TEST(ProtocolTest, FinishQueryRoundTrip) {
+  FinishQueryRequest msg;
+  msg.query = 9;
+  EXPECT_EQ(reencode(msg).query, 9u);
 }
 
 TEST(ProtocolTest, NextCandidateResponseEmptyAndFull) {
@@ -63,10 +77,14 @@ TEST(ProtocolTest, NextCandidateResponseEmptyAndFull) {
 
 TEST(ProtocolTest, EvaluateRoundTrip) {
   EvaluateRequest req;
+  req.query = 5;
   req.tuple = sampleTuple();
+  req.mask = 0b011;
   req.pruneLocal = false;
   const auto reqOut = reencode(req);
+  EXPECT_EQ(reqOut.query, 5u);
   EXPECT_EQ(reqOut.tuple, sampleTuple());
+  EXPECT_EQ(reqOut.mask, 0b011u);
   EXPECT_FALSE(reqOut.pruneLocal);
 
   EvaluateResponse resp;
@@ -115,9 +133,13 @@ TEST(ProtocolTest, RepairDeleteRoundTrip) {
   RepairDeleteRequest req;
   req.deleted = sampleTuple();
   req.origin = 4;
+  req.q = 0.4;
+  req.mask = 0b110;
   const auto reqOut = reencode(req);
   EXPECT_EQ(reqOut.deleted, sampleTuple());
   EXPECT_EQ(reqOut.origin, 4u);
+  EXPECT_EQ(reqOut.q, 0.4);
+  EXPECT_EQ(reqOut.mask, 0b110u);
 
   RepairDeleteResponse resp;
   resp.candidates = {Candidate{1, sampleTuple(), 0.5}};
@@ -167,6 +189,60 @@ TEST(SiteServerTest, DispatchesPrepareAndCandidates) {
   const auto cand = fromResponseFrame<NextCandidateResponse>(candResp);
   ASSERT_TRUE(cand.candidate.has_value());
   EXPECT_EQ(cand.candidate->tuple.values, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(SiteServerTest, DispatchesFinishQueryAndReleasesSession) {
+  const Dataset db = testutil::makeDataset(2, {{1.0, 1.0, 0.9}});
+  LocalSite site(0, db);
+  SiteServer server(site);
+
+  PrepareRequest prep;
+  prep.query = 42;
+  prep.q = 0.3;
+  server.handle(toFrame(MsgType::kPrepare, prep));
+  EXPECT_EQ(site.sessionCount(), 1u);
+
+  FinishQueryRequest finish;
+  finish.query = 42;
+  server.handle(toFrame(MsgType::kFinishQuery, finish));
+  EXPECT_EQ(site.sessionCount(), 0u);
+  // Idempotent: finishing an unknown query is a no-op.
+  server.handle(toFrame(MsgType::kFinishQuery, finish));
+  EXPECT_EQ(site.sessionCount(), 0u);
+}
+
+TEST(SiteServerTest, InterleavedSessionsKeepIndependentCursors) {
+  const Dataset db = testutil::makeDataset(2, {
+                                                  {1.0, 4.0, 0.9},
+                                                  {4.0, 1.0, 0.9},
+                                              });
+  LocalSite site(0, db);
+
+  PrepareRequest a;
+  a.query = 1;
+  a.q = 0.3;
+  PrepareRequest b;
+  b.query = 2;
+  b.q = 0.3;
+  site.prepare(a);
+  site.prepare(b);
+  EXPECT_EQ(site.sessionCount(), 2u);
+
+  NextCandidateRequest pullA;
+  pullA.query = 1;
+  NextCandidateRequest pullB;
+  pullB.query = 2;
+  // Draining session 1 must not move session 2's cursor.
+  ASSERT_TRUE(site.nextCandidate(pullA).candidate.has_value());
+  ASSERT_TRUE(site.nextCandidate(pullA).candidate.has_value());
+  EXPECT_FALSE(site.nextCandidate(pullA).candidate.has_value());
+  EXPECT_EQ(site.pendingCount(1), 0u);
+  EXPECT_EQ(site.pendingCount(2), 2u);
+  ASSERT_TRUE(site.nextCandidate(pullB).candidate.has_value());
+
+  site.finishQuery(FinishQueryRequest{1});
+  site.finishQuery(FinishQueryRequest{2});
+  EXPECT_EQ(site.sessionCount(), 0u);
 }
 
 TEST(SiteServerTest, UnknownTypeThrows) {

@@ -8,6 +8,7 @@
 
 #include "core/cluster.hpp"
 #include "core/local_site.hpp"
+#include "core/query_engine.hpp"
 #include "core/site_handle.hpp"
 #include "gen/partition.hpp"
 #include "gen/synthetic.hpp"
@@ -40,6 +41,7 @@ class TcpCluster {
     }
     coordinator_ = std::make_unique<Coordinator>(std::move(handles), &meter_,
                                                  siteData.front().dims());
+    engine_ = std::make_unique<QueryEngine>(*coordinator_);
   }
 
   ~TcpCluster() {
@@ -47,11 +49,13 @@ class TcpCluster {
     for (std::size_t i = 0; i < coordinator_->siteCount(); ++i) {
       // Coordinator owns the channels; destroy it first.
     }
+    engine_.reset();
     coordinator_.reset();
     for (auto& t : threads_) t.join();
   }
 
   Coordinator& coordinator() { return *coordinator_; }
+  QueryEngine& engine() { return *engine_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
 
  private:
@@ -62,6 +66,7 @@ class TcpCluster {
   std::vector<std::unique_ptr<TcpSiteServer>> tcpServers_;
   std::vector<std::thread> threads_;
   std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<QueryEngine> engine_;
 };
 
 TEST(TcpClusterTest, EdsudOverTcpMatchesInProcess) {
@@ -76,13 +81,13 @@ TEST(TcpClusterTest, EdsudOverTcpMatchesInProcess) {
   QueryResult inproc;
   {
     InProcCluster cluster(siteData);
-    inproc = cluster.coordinator().runEdsud(config);
+    inproc = cluster.engine().runEdsud(config);
   }
   QueryResult tcp;
   std::uint64_t tcpWireBytes = 0;
   {
     TcpCluster cluster(siteData);
-    tcp = cluster.coordinator().runEdsud(config);
+    tcp = cluster.engine().runEdsud(config);
     for (const auto& [name, value] : cluster.metrics().snapshot().counters) {
       if (name.rfind("dsud_transport_bytes_total", 0) == 0) {
         tcpWireBytes += value;
@@ -112,10 +117,10 @@ TEST(TcpClusterTest, DsudAndNaiveOverTcp) {
   TcpCluster cluster(siteData);
   QueryConfig config;
 
-  QueryResult naive = cluster.coordinator().runNaive(config);
+  QueryResult naive = cluster.engine().runNaive(config);
   EXPECT_EQ(naive.stats.tuplesShipped, global.size());
 
-  QueryResult dsud = cluster.coordinator().runDsud(config);
+  QueryResult dsud = cluster.engine().runDsud(config);
   sortByGlobalProbability(dsud.skyline);
   EXPECT_EQ(testutil::idsOf(dsud.skyline),
             testutil::idsOf(linearSkyline(global, config.q)));

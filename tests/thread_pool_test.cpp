@@ -88,10 +88,11 @@ TEST(ParallelBroadcastTest, MatchesSequentialExactly) {
 
   InProcCluster sequential(global, 16, 751);
   InProcCluster parallel(global, 16, 751);
-  parallel.coordinator().setParallelBroadcast(4);
+  QueryOptions fanOut;
+  fanOut.broadcastThreads = 4;
 
-  const QueryResult a = sequential.coordinator().runEdsud(QueryConfig{});
-  const QueryResult b = parallel.coordinator().runEdsud(QueryConfig{});
+  const QueryResult a = sequential.engine().runEdsud(QueryConfig{});
+  const QueryResult b = parallel.engine().runEdsud(QueryConfig{}, fanOut);
 
   ASSERT_EQ(a.skyline.size(), b.skyline.size());
   for (std::size_t i = 0; i < a.skyline.size(); ++i) {
@@ -107,16 +108,16 @@ TEST(ParallelBroadcastTest, WorksForDsudAndUpdatesToo) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1000, 2, ValueDistribution::kIndependent, 752});
   InProcCluster cluster(global, 8, 753);
-  cluster.coordinator().setParallelBroadcast(3);
+  QueryOptions fanOut;
+  fanOut.broadcastThreads = 3;
 
-  QueryResult dsud = cluster.coordinator().runDsud(QueryConfig{});
+  QueryResult dsud = cluster.engine().runDsud(QueryConfig{}, fanOut);
   sortByGlobalProbability(dsud.skyline);
   EXPECT_EQ(testutil::idsOf(dsud.skyline),
             testutil::idsOf(linearSkyline(global, 0.3)));
 
-  // Disable again: back to the sequential path.
-  cluster.coordinator().setParallelBroadcast(0);
-  QueryResult again = cluster.coordinator().runDsud(QueryConfig{});
+  // Default options: back to the sequential path.
+  QueryResult again = cluster.engine().runDsud(QueryConfig{});
   sortByGlobalProbability(again.skyline);
   EXPECT_EQ(testutil::idsOf(again.skyline), testutil::idsOf(dsud.skyline));
 }

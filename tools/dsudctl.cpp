@@ -157,17 +157,17 @@ int cmdQuery(const ArgParser& args) {
     config.k = k;
     config.floorQ = args.getDouble("q", 1e-3);
     config.mask = static_cast<DimMask>(args.getInt("mask", 0));
-    result = cluster.coordinator().runTopK(config);
+    result = cluster.engine().runTopK(config);
   } else {
     QueryConfig config;
     config.q = args.getDouble("q", 0.3);
     config.mask = static_cast<DimMask>(args.getInt("mask", 0));
     if (algo == "edsud") {
-      result = cluster.coordinator().runEdsud(config);
+      result = cluster.engine().runEdsud(config);
     } else if (algo == "dsud") {
-      result = cluster.coordinator().runDsud(config);
+      result = cluster.engine().runDsud(config);
     } else if (algo == "naive") {
-      result = cluster.coordinator().runNaive(config);
+      result = cluster.engine().runNaive(config);
     } else {
       std::fprintf(stderr, "query: unknown --algo=%s\n", algo.c_str());
       return 1;
@@ -227,16 +227,16 @@ int cmdMetrics(const ArgParser& args) {
     TopKConfig config;
     config.k = k;
     config.floorQ = args.getDouble("q", 1e-3);
-    result = cluster.coordinator().runTopK(config);
+    result = cluster.engine().runTopK(config);
   } else {
     QueryConfig config;
     config.q = args.getDouble("q", 0.3);
     if (algo == "edsud") {
-      result = cluster.coordinator().runEdsud(config);
+      result = cluster.engine().runEdsud(config);
     } else if (algo == "dsud") {
-      result = cluster.coordinator().runDsud(config);
+      result = cluster.engine().runDsud(config);
     } else if (algo == "naive") {
-      result = cluster.coordinator().runNaive(config);
+      result = cluster.engine().runNaive(config);
     } else {
       std::fprintf(stderr, "metrics: unknown --algo=%s\n", algo.c_str());
       return 1;
