@@ -5,6 +5,8 @@
 // run bit for bit.
 //
 // Flags: --n=<tuples> --m=<sites> --q=<threshold> --seed=<seed>
+//        --deadline-ms=<per-RPC deadline> --retries=<extra attempts>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -57,12 +59,18 @@ int main(int argc, char** argv) {
   // Coordinator side: TCP channels + bandwidth meter + metrics registry.
   // bindAccounting makes each channel report wire-level frame/byte counters
   // and its TCP framing overhead, so the meter reflects real wire bytes.
+  // The socket knobs come from TransportConfig — the same config surface
+  // InProcCluster consumes — so TCP_NODELAY and the connect timeout are set
+  // in one place.
+  TransportConfig transport;
+  transport.socket.connectTimeout = std::chrono::milliseconds{2000};
   BandwidthMeter meter;
   obs::MetricsRegistry metrics;
   std::vector<std::unique_ptr<SiteHandle>> handles;
   for (std::size_t i = 0; i < m; ++i) {
     const auto id = static_cast<SiteId>(i);
-    auto channel = std::make_unique<TcpClientChannel>(servers[i]->port());
+    auto channel = std::make_unique<TcpClientChannel>(servers[i]->port(),
+                                                      transport.socket);
     channel->bindAccounting(id, &meter, &metrics);
     handles.push_back(
         std::make_unique<RpcSiteHandle>(id, std::move(channel), &meter));
@@ -71,8 +79,21 @@ int main(int argc, char** argv) {
     Coordinator coordinator(std::move(handles), &meter, spec.dims);
     QueryEngine engine(coordinator);
 
-    std::printf("\nrunning e-DSUD over TCP, q = %.2f...\n", config.q);
-    const QueryResult result = engine.runEdsud(config);
+    // Per-query fault handling: every RPC is bounded by the deadline
+    // (SO_RCVTIMEO on the socket) and transient failures are retried with
+    // exponential backoff before the query gives up.
+    QueryOptions options;
+    options.fault.deadline =
+        std::chrono::milliseconds{args.getInt("deadline-ms", 5000)};
+    options.fault.retry.maxAttempts =
+        1 + static_cast<std::uint32_t>(args.getInt("retries", 2));
+
+    std::printf("\nrunning e-DSUD over TCP, q = %.2f "
+                "(deadline %lld ms, %u attempts)...\n",
+                config.q,
+                static_cast<long long>(options.fault.deadline.count()),
+                options.fault.retry.maxAttempts);
+    const QueryResult result = engine.runEdsud(config, options);
     std::printf("%zu skyline tuples in %.1f ms\n", result.skyline.size(),
                 result.stats.seconds * 1e3);
     std::printf("bandwidth: %llu tuples / %llu bytes over %llu RPCs\n",

@@ -1,6 +1,7 @@
 #include "core/cluster.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "gen/partition.hpp"
@@ -8,31 +9,34 @@
 #include "net/inproc_transport.hpp"
 
 namespace dsud {
-namespace {
-
-/// Channels per site: enough that a handful of concurrent sessions rarely
-/// block on a lease, small enough to stay negligible per site.
-constexpr std::size_t kChannelsPerSite = 4;
-
-}  // namespace
 
 InProcCluster::InProcCluster(const Dataset& global, std::size_t m,
                              std::uint64_t seed, PRTree::Options treeOptions,
-                             obs::MetricsRegistry* metrics) {
-  if (metrics != nullptr) metrics_ = metrics;
-  Rng rng(seed);
-  build(partitionUniform(global, m, rng), treeOptions);
-}
+                             obs::MetricsRegistry* metrics)
+    : InProcCluster(global, m, seed,
+                    ClusterConfig{.tree = treeOptions, .metrics = metrics}) {}
 
 InProcCluster::InProcCluster(const std::vector<Dataset>& siteData,
                              PRTree::Options treeOptions,
-                             obs::MetricsRegistry* metrics) {
-  if (metrics != nullptr) metrics_ = metrics;
-  build(siteData, treeOptions);
+                             obs::MetricsRegistry* metrics)
+    : InProcCluster(siteData,
+                    ClusterConfig{.tree = treeOptions, .metrics = metrics}) {}
+
+InProcCluster::InProcCluster(const Dataset& global, std::size_t m,
+                             std::uint64_t seed, const ClusterConfig& config) {
+  if (config.metrics != nullptr) metrics_ = config.metrics;
+  Rng rng(seed);
+  build(partitionUniform(global, m, rng), config);
+}
+
+InProcCluster::InProcCluster(const std::vector<Dataset>& siteData,
+                             const ClusterConfig& config) {
+  if (config.metrics != nullptr) metrics_ = config.metrics;
+  build(siteData, config);
 }
 
 void InProcCluster::build(const std::vector<Dataset>& siteData,
-                          PRTree::Options options) {
+                          const ClusterConfig& config) {
   if (siteData.empty()) {
     throw std::invalid_argument("InProcCluster: at least one site required");
   }
@@ -40,28 +44,37 @@ void InProcCluster::build(const std::vector<Dataset>& siteData,
 
   std::vector<std::unique_ptr<SiteHandle>> handles;
   handles.reserve(siteData.size());
+  chaos_.resize(siteData.size());
   for (std::size_t i = 0; i < siteData.size(); ++i) {
     if (siteData[i].dims() != dims_) {
       throw std::invalid_argument(
           "InProcCluster: sites must share dimensionality");
     }
     const auto id = static_cast<SiteId>(i);
-    sites_.push_back(std::make_unique<LocalSite>(id, siteData[i], options));
+    sites_.push_back(std::make_unique<LocalSite>(id, siteData[i], config.tree));
     sites_.back()->setMetrics(metrics_);
     servers_.push_back(std::make_unique<SiteServer>(*sites_.back()));
+    if (config.chaos) {
+      chaos_[i] = std::make_shared<ChaosState>(*config.chaos, id);
+    }
     auto pool = std::make_shared<ChannelPool>(
         [id, server = servers_.back().get(), meter = &meter_,
-         metrics = metrics_] {
+         metrics = metrics_, chaos = chaos_[i]] {
           auto channel = std::make_unique<InProcChannel>(server->handler());
           channel->bindAccounting(id, meter, metrics);
-          return channel;
+          std::unique_ptr<ClientChannel> out = std::move(channel);
+          if (chaos != nullptr) {
+            out = std::make_unique<ChaosChannel>(std::move(out), chaos,
+                                                 metrics);
+          }
+          return out;
         },
-        kChannelsPerSite);
+        config.transport.inprocChannelsPerSite);
     handles.push_back(
         std::make_unique<RpcSiteHandle>(id, std::move(pool), &meter_));
   }
   coordinator_ = std::make_unique<Coordinator>(std::move(handles), &meter_,
-                                               dims_, metrics_);
+                                               dims_, metrics_, config.breaker);
   engine_ = std::make_unique<QueryEngine>(*coordinator_);
 }
 

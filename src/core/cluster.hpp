@@ -9,15 +9,36 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/dataset.hpp"
 #include "core/coordinator.hpp"
 #include "core/local_site.hpp"
 #include "core/query_engine.hpp"
+#include "net/chaos.hpp"
+#include "net/transport.hpp"
 #include "obs/metrics.hpp"
 
 namespace dsud {
+
+/// Everything configurable about a cluster, in one immutable bag.
+struct ClusterConfig {
+  PRTree::Options tree;
+  /// Channel-pool capacities and socket options (the in-process cluster
+  /// uses `transport.inprocChannelsPerSite`; the TCP wiring in
+  /// examples/tcp_cluster.cpp consumes the rest).
+  TransportConfig transport;
+  /// Per-site circuit breakers shared by every query session.
+  CircuitBreakerConfig breaker;
+  /// When set, every channel is wrapped in a ChaosChannel driven by one
+  /// shared per-site ChaosState — deterministic fault injection for tests
+  /// and the chaos bench.
+  std::optional<ChaosSpec> chaos;
+  /// Replaces the cluster's own metrics registry (must then outlive the
+  /// cluster).  Null keeps the internal registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
 
 class InProcCluster {
  public:
@@ -35,6 +56,12 @@ class InProcCluster {
                          PRTree::Options treeOptions = {},
                          obs::MetricsRegistry* metrics = nullptr);
 
+  /// Fully configured construction (transport capacities, breakers, chaos).
+  InProcCluster(const Dataset& global, std::size_t m, std::uint64_t seed,
+                const ClusterConfig& config);
+  InProcCluster(const std::vector<Dataset>& siteData,
+                const ClusterConfig& config);
+
   InProcCluster(const InProcCluster&) = delete;
   InProcCluster& operator=(const InProcCluster&) = delete;
 
@@ -50,8 +77,12 @@ class InProcCluster {
   LocalSite& localSite(std::size_t i) noexcept { return *sites_[i]; }
   std::size_t dims() const noexcept { return dims_; }
 
+  /// Per-site chaos state when ClusterConfig::chaos is set (null otherwise)
+  /// — lets tests inspect injected-fault counts and kill status.
+  ChaosState* chaosState(std::size_t i) noexcept { return chaos_[i].get(); }
+
  private:
-  void build(const std::vector<Dataset>& siteData, PRTree::Options options);
+  void build(const std::vector<Dataset>& siteData, const ClusterConfig& config);
 
   std::size_t dims_ = 0;
   BandwidthMeter meter_;
@@ -59,6 +90,7 @@ class InProcCluster {
   obs::MetricsRegistry* metrics_ = &ownMetrics_;
   std::vector<std::unique_ptr<LocalSite>> sites_;
   std::vector<std::unique_ptr<SiteServer>> servers_;
+  std::vector<std::shared_ptr<ChaosState>> chaos_;  // null entries w/o chaos
   std::unique_ptr<Coordinator> coordinator_;
   std::unique_ptr<QueryEngine> engine_;
 };

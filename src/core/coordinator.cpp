@@ -18,7 +18,8 @@ void sortByGlobalProbability(std::vector<GlobalSkylineEntry>& entries) {
 
 Coordinator::Coordinator(std::vector<std::unique_ptr<SiteHandle>> sites,
                          BandwidthMeter* meter, std::size_t dims,
-                         obs::MetricsRegistry* metrics)
+                         obs::MetricsRegistry* metrics,
+                         CircuitBreakerConfig breaker)
     : sites_(std::move(sites)), meter_(meter), dims_(dims),
       metrics_(metrics) {
   if (sites_.empty()) {
@@ -26,6 +27,11 @@ Coordinator::Coordinator(std::vector<std::unique_ptr<SiteHandle>> sites,
   }
   for (const auto& s : sites_) {
     if (!s) throw std::invalid_argument("Coordinator: null site handle");
+  }
+  health_.reserve(sites_.size());
+  for (const auto& s : sites_) {
+    health_.push_back(
+        std::make_unique<SiteHealth>(s->siteId(), breaker, metrics_));
   }
 }
 

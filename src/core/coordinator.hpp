@@ -8,18 +8,16 @@
 // coordinator state.
 //
 // Thread-safety contract: after construction the coordinator is effectively
-// immutable — `site()`, `siteById()`, `meter()`, `metrics()`, `dims()`, and
-// `nextQueryId()` may be called from any number of query sessions
-// concurrently.  The deprecated `set*` mutators and `run*` entry points are
-// the pre-session API; they mutate the legacy defaults without locking and
-// therefore keep the old single-query-at-a-time restriction.  New code uses
-// QueryEngine and never calls them.
+// immutable — `site()`, `siteById()`, `meter()`, `metrics()`, `dims()`,
+// `health()`, and `nextQueryId()` may be called from any number of query
+// sessions concurrently (SiteHealth is internally synchronised).
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <vector>
 
+#include "core/health.hpp"
 #include "core/result.hpp"
 #include "core/site_handle.hpp"
 #include "net/bandwidth.hpp"
@@ -31,10 +29,12 @@ class Coordinator {
  public:
   /// `meter` and `metrics` may be null (no bandwidth accounting / no
   /// instruments).  `dims` is the global dimensionality (identical across
-  /// sites).  Both sinks must outlive the coordinator.
+  /// sites).  Both sinks must outlive the coordinator.  `breaker` configures
+  /// the per-site circuit breakers shared by every query session.
   Coordinator(std::vector<std::unique_ptr<SiteHandle>> sites,
               BandwidthMeter* meter, std::size_t dims,
-              obs::MetricsRegistry* metrics = nullptr);
+              obs::MetricsRegistry* metrics = nullptr,
+              CircuitBreakerConfig breaker = {});
 
   std::size_t siteCount() const noexcept { return sites_.size(); }
   std::size_t dims() const noexcept { return dims_; }
@@ -45,6 +45,11 @@ class Coordinator {
   SiteHandle& site(std::size_t index) { return *sites_[index]; }
   /// Site handle by id; throws std::out_of_range when unknown.
   SiteHandle& siteById(SiteId id);
+
+  /// Circuit-breaker state of the site at `index` — one breaker per site,
+  /// shared by every query session so consecutive failures accumulate
+  /// across queries.  Thread-safe.
+  SiteHealth& health(std::size_t index) { return *health_[index]; }
 
   /// Allocates the next session id (thread-safe; ids start at 1 — 0 is the
   /// wire protocol's session-less id).
@@ -65,51 +70,13 @@ class Coordinator {
                           QueryStats& stats, DimMask mask = 0,
                           const std::optional<Rect>& window = std::nullopt);
 
-  // --- Deprecated pre-session API ------------------------------------------
-  //
-  // Shims kept for one release so downstream call sites migrate at leisure;
-  // they delegate to a QueryEngine seeded with the legacy defaults below.
-  // None of them is safe to call concurrently with a running query.
-
-  [[deprecated("construct the Coordinator with a metrics registry instead")]]
-  void setMetrics(obs::MetricsRegistry* metrics) noexcept {
-    metrics_ = metrics;
-  }
-
-  [[deprecated("use QueryOptions::traceCapacity")]]
-  void setTraceCapacity(std::size_t maxEvents) noexcept {
-    legacyOptions_.traceCapacity = maxEvents;
-  }
-  std::size_t traceCapacity() const noexcept {
-    return legacyOptions_.traceCapacity;
-  }
-
-  [[deprecated("use QueryOptions::progress")]]
-  void setProgressCallback(ProgressCallback callback) {
-    legacyOptions_.progress = std::move(callback);
-  }
-
-  [[deprecated("use QueryOptions::broadcastThreads")]]
-  void setParallelBroadcast(std::size_t threads) {
-    legacyOptions_.broadcastThreads = threads;
-  }
-
-  [[deprecated("use QueryEngine::runNaive")]]
-  QueryResult runNaive(const QueryConfig& config);
-  [[deprecated("use QueryEngine::runDsud")]]
-  QueryResult runDsud(const QueryConfig& config);
-  [[deprecated("use QueryEngine::runEdsud")]]
-  QueryResult runEdsud(const QueryConfig& config);
-  [[deprecated("use QueryEngine::runTopK")]]
-  QueryResult runTopK(const TopKConfig& config);
-
  private:
   std::vector<std::unique_ptr<SiteHandle>> sites_;
+  std::vector<std::unique_ptr<SiteHealth>> health_;  ///< parallel to sites_
   BandwidthMeter* meter_;
   std::size_t dims_;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::atomic<QueryId> nextId_{1};
-  QueryOptions legacyOptions_;  ///< defaults the deprecated shims run with
 };
 
 }  // namespace dsud

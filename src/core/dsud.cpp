@@ -39,11 +39,8 @@ QueryResult QueryEngine::dsudImpl(const QueryConfig& config,
     obs::TraceSpan prepare = run.span("prepare");
     run.prepareAll(prep);
     for (const auto& s : run.sessions) {
-      obs::TraceSpan pull = run.span("pull");
-      pull.attr("site", s->siteId());
-      if (auto response = s->nextCandidate(cursor); response.candidate) {
-        queue.push(std::move(*response.candidate));
-        run.countPull(stats);
+      if (auto c = run.pull(s->siteId(), cursor, stats)) {
+        queue.push(std::move(*c));
       }
     }
   }
@@ -52,6 +49,11 @@ QueryResult QueryEngine::dsudImpl(const QueryConfig& config,
     const auto round = run.roundScope();
     const Candidate c = queue.top();
     queue.pop();
+
+    // A site that died mid-query may leave its last candidate queued; it
+    // can no longer be evaluated or replaced, so drop it (the answer is
+    // the survivors' skyline).
+    if (run.isDead(c.site)) continue;
 
     // Corollary 1: nothing still queued or unseen can reach q.
     if (c.localSkyProb < config.q) break;
@@ -66,12 +68,8 @@ QueryResult QueryEngine::dsudImpl(const QueryConfig& config,
     }
     if (globalSkyProb >= config.q) run.emit(c, globalSkyProb);
 
-    obs::TraceSpan pull = run.span("pull");
-    pull.attr("site", c.site);
-    if (auto next = run.siteById(c.site).nextCandidate(cursor);
-        next.candidate) {
-      queue.push(std::move(*next.candidate));
-      run.countPull(stats);
+    if (auto next = run.pull(c.site, cursor, stats)) {
+      queue.push(std::move(*next));
     }
   }
   return run.finalize();

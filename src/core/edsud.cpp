@@ -35,12 +35,8 @@ QueryResult QueryEngine::edsudImpl(const QueryConfig& config,
 
   internal::BoundQueue queue(mask, config.bound);
   const auto pullFrom = [&](SiteId site) {
-    obs::TraceSpan pull = run.span("pull");
-    pull.attr("site", site);
-    if (auto next = run.siteById(site).nextCandidate(cursor);
-        next.candidate) {
-      queue.add(std::move(*next.candidate));
-      run.countPull(stats);
+    if (auto next = run.pull(site, cursor, stats)) {
+      queue.add(std::move(*next));
     }
   };
   const auto expunge = [&](std::size_t index) {
@@ -64,6 +60,22 @@ QueryResult QueryEngine::edsudImpl(const QueryConfig& config,
 
   while (!queue.empty()) {
     const auto round = run.roundScope();
+
+    // Purge candidates whose site died mid-query: they can no longer be
+    // broadcast or replaced.  Removing an entry only loses a *witness*,
+    // which can only raise the surviving bounds — every expunge after the
+    // purge stays provably safe.
+    if (!run.dead.empty()) {
+      for (std::size_t i = 0; i < queue.size();) {
+        if (run.isDead(queue.candidate(i).site)) {
+          queue.take(i);
+        } else {
+          ++i;
+        }
+      }
+      if (queue.empty()) break;
+    }
+
     if (config.expunge == ExpungePolicy::kEager) {
       // Expunge sweep to a fixpoint: replacements pulled for an expunged
       // candidate see all retained witnesses and may be expunged in turn.

@@ -1,0 +1,86 @@
+#include "core/health.hpp"
+
+#include <string>
+
+namespace dsud {
+
+SiteHealth::SiteHealth(SiteId site, CircuitBreakerConfig config,
+                       obs::MetricsRegistry* metrics)
+    : site_(site), config_(config) {
+  if (config_.failureThreshold == 0) config_.failureThreshold = 1;
+  if (config_.probeAfter == 0) config_.probeAfter = 1;
+  if (metrics != nullptr) {
+    const std::string id = std::to_string(site_);
+    healthGauge_ =
+        &metrics->gauge(obs::labeled("dsud_site_health", {{"site", id}}));
+    tripCounter_ = &metrics->counter(
+        obs::labeled("dsud_breaker_trips_total", {{"site", id}}));
+    healthGauge_->set(1.0);
+  }
+}
+
+void SiteHealth::setStateLocked(State next) {
+  if (state_ == next) return;
+  state_ = next;
+  if (healthGauge_ != nullptr) {
+    switch (next) {
+      case State::kClosed:
+        healthGauge_->set(1.0);
+        break;
+      case State::kHalfOpen:
+        healthGauge_->set(0.5);
+        break;
+      case State::kOpen:
+        healthGauge_->set(0.0);
+        break;
+    }
+  }
+}
+
+bool SiteHealth::admit() {
+  std::lock_guard lock(mutex_);
+  if (state_ != State::kOpen) return true;
+  if (++rejections_ >= config_.probeAfter) {
+    rejections_ = 0;
+    setStateLocked(State::kHalfOpen);
+    return true;  // the probe
+  }
+  return false;
+}
+
+void SiteHealth::recordSuccess() {
+  std::lock_guard lock(mutex_);
+  consecutiveFailures_ = 0;
+  rejections_ = 0;
+  setStateLocked(State::kClosed);
+}
+
+void SiteHealth::recordFailure() {
+  std::lock_guard lock(mutex_);
+  ++consecutiveFailures_;
+  const bool shouldOpen = state_ == State::kHalfOpen ||  // failed probe
+                          consecutiveFailures_ >= config_.failureThreshold;
+  if (shouldOpen && state_ != State::kOpen) {
+    ++trips_;
+    if (tripCounter_ != nullptr) tripCounter_->inc();
+    rejections_ = 0;
+    setStateLocked(State::kOpen);
+  }
+}
+
+SiteHealth::State SiteHealth::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+std::uint32_t SiteHealth::consecutiveFailures() const {
+  std::lock_guard lock(mutex_);
+  return consecutiveFailures_;
+}
+
+std::uint64_t SiteHealth::trips() const {
+  std::lock_guard lock(mutex_);
+  return trips_;
+}
+
+}  // namespace dsud

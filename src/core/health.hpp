@@ -1,0 +1,77 @@
+// Per-site health tracking: a consecutive-failure circuit breaker with a
+// deterministic half-open probe.
+//
+// The breaker counts *operations* (one retried RPC, however many attempts
+// the RetryPolicy spent on it), not individual attempts — retries are the
+// first line of defence, the breaker the second.  States:
+//
+//   Closed    — healthy: every operation admitted;
+//   Open      — `failureThreshold` consecutive operations failed: admissions
+//               are rejected outright (callers fail fast with SiteFailure
+//               instead of burning their retry budget on a dead site);
+//   Half-open — after `probeAfter` rejected admissions, one probe operation
+//               is let through: success closes the breaker, failure re-opens
+//               it and the rejection count starts over.
+//
+// The half-open transition is driven by the *number of rejections*, not by
+// wall time, so breaker behaviour in tests and benchmarks is a pure
+// function of the call sequence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+
+namespace dsud {
+
+struct CircuitBreakerConfig {
+  /// Consecutive failed operations that open the breaker.
+  std::uint32_t failureThreshold = 3;
+  /// Rejected admissions while open before one half-open probe is allowed.
+  std::uint32_t probeAfter = 8;
+};
+
+/// Health of one site, shared by every query session talking to it.
+/// Thread-safe; one instance per site lives on the Coordinator.
+class SiteHealth {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  /// `metrics` (nullable) receives dsud_site_health{site} (1 closed, 0.5
+  /// half-open, 0 open) and dsud_breaker_trips_total{site}.
+  explicit SiteHealth(SiteId site, CircuitBreakerConfig config = {},
+                      obs::MetricsRegistry* metrics = nullptr);
+
+  /// Whether the next operation may proceed.  Closed/half-open admit; open
+  /// rejects until `probeAfter` rejections have accumulated, then flips to
+  /// half-open and admits the probe.
+  bool admit();
+
+  /// Outcome of one admitted operation.
+  void recordSuccess();
+  void recordFailure();
+
+  SiteId site() const noexcept { return site_; }
+  State state() const;
+  std::uint32_t consecutiveFailures() const;
+  std::uint64_t trips() const;
+
+ private:
+  void setStateLocked(State next);
+
+  SiteId site_;
+  CircuitBreakerConfig config_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  std::uint32_t consecutiveFailures_ = 0;
+  std::uint32_t rejections_ = 0;  ///< admissions rejected since opening
+  std::uint64_t trips_ = 0;
+  obs::Gauge* healthGauge_ = nullptr;
+  obs::Counter* tripCounter_ = nullptr;
+};
+
+}  // namespace dsud

@@ -66,18 +66,28 @@ NextCandidateResponse LocalSite::nextCandidate(
   std::lock_guard lock(mutex_);
   NextCandidateResponse response;
   const auto it = sessions_.find(request.query);
-  if (it == sessions_.end() || it->second.pending.empty()) return response;
+  if (it == sessions_.end()) return response;
+  Session& session = it->second;
+  // Duplicate delivery (retry after a lost response): replay, don't advance.
+  if (request.seq != 0 && request.seq == session.lastNextSeq) {
+    return session.lastNext;
+  }
+  if (!session.pending.empty()) {
+    std::vector<PendingEntry>& pending = session.pending;
+    PendingEntry head = std::move(pending.front());
+    pending.erase(pending.begin());
 
-  std::vector<PendingEntry>& pending = it->second.pending;
-  PendingEntry head = std::move(pending.front());
-  pending.erase(pending.begin());
-
-  Candidate c;
-  c.site = id_;
-  c.tuple = Tuple(head.entry.id, std::move(head.entry.values),
-                  head.entry.prob);
-  c.localSkyProb = head.entry.skyProb;
-  response.candidate = std::move(c);
+    Candidate c;
+    c.site = id_;
+    c.tuple = Tuple(head.entry.id, std::move(head.entry.values),
+                    head.entry.prob);
+    c.localSkyProb = head.entry.skyProb;
+    response.candidate = std::move(c);
+  }
+  if (request.seq != 0) {
+    session.lastNextSeq = request.seq;
+    session.lastNext = response;
+  }
   return response;
 }
 
@@ -86,6 +96,14 @@ EvaluateResponse LocalSite::evaluate(const EvaluateRequest& request) {
     throw std::invalid_argument("LocalSite::evaluate: window dims mismatch");
   }
   std::lock_guard lock(mutex_);
+  // Duplicate delivery: replay the cached response — re-executing would fold
+  // the feedback factor into extSurvival a second time (threshold rule).
+  if (request.seq != 0) {
+    if (const auto it = sessions_.find(request.query);
+        it != sessions_.end() && request.seq == it->second.lastEvalSeq) {
+      return it->second.lastEval;
+    }
+  }
   const DimMask mask = request.mask == 0 ? fullMask_ : request.mask;
   EvaluateResponse response;
   const Rect* clip = request.window ? &*request.window : nullptr;
@@ -113,6 +131,10 @@ EvaluateResponse LocalSite::evaluate(const EvaluateRequest& request) {
       std::distance(removed, session.pending.end()));
   session.pending.erase(removed, session.pending.end());
   if (pruned_ != nullptr) pruned_->add(response.prunedCount);
+  if (request.seq != 0) {
+    session.lastEvalSeq = request.seq;
+    session.lastEval = response;
+  }
   return response;
 }
 

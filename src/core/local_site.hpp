@@ -112,12 +112,24 @@ class LocalSite {
 
   /// State of one query at this site — the session the coordinator opens
   /// with kPrepare and releases with kFinishQuery.
+  ///
+  /// The replay caches give retried kNextCandidate/kEvaluate exactly-once
+  /// semantics: the coordinator numbers each logical operation (seq, per
+  /// session and direction), and a request repeating the last seen seq is
+  /// answered with the cached response instead of re-executing — cursor
+  /// advancement and extSurvival accumulation are not idempotent.  One slot
+  /// each suffices because the RPC layer never pipelines: a new seq is only
+  /// issued once the previous operation succeeded or was abandoned.
   struct Session {
     double q = 0.3;
     DimMask mask = 0;
     PruneRule prune = PruneRule::kThresholdBound;
     std::optional<Rect> window;          // constrained-query session window
     std::vector<PendingEntry> pending;   // descending skyProb; front is next
+    std::uint64_t lastNextSeq = 0;       // replay cache: kNextCandidate
+    NextCandidateResponse lastNext;
+    std::uint64_t lastEvalSeq = 0;       // replay cache: kEvaluate
+    EvaluateResponse lastEval;
   };
 
   SiteId id_;

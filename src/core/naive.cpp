@@ -23,13 +23,23 @@ QueryResult QueryEngine::naiveImpl(const QueryConfig& config,
     for (const auto& s : run.sessions) {
       obs::TraceSpan pull = run.span("pull");
       pull.attr("site", s->siteId());
-      const ShipAllResponse shipment = s->shipAll();
+      ShipAllResponse shipment;
+      try {
+        shipment = s->shipAll();
+      } catch (const NetError&) {
+        if (!run.degradeOk()) throw;
+        run.markDead(s->siteId());
+        continue;
+      }
       pull.attr("tuples", static_cast<double>(shipment.tuples.size()));
       origin.reserve(origin.size() + shipment.tuples.size());
       for (const Tuple& t : shipment.tuples) {
         unified.add(t);
         origin.emplace(t.id, s->siteId());
       }
+    }
+    if (run.dead.size() == run.sessions.size()) {
+      throw NetError("runNaive: all sites unavailable");
     }
   }
   run.result.stats.candidatesPulled = unified.size();

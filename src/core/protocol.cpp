@@ -72,11 +72,15 @@ PrepareRequest PrepareRequest::decode(ByteReader& r) {
   return msg;
 }
 
-void NextCandidateRequest::encode(ByteWriter& w) const { w.putU64(query); }
+void NextCandidateRequest::encode(ByteWriter& w) const {
+  w.putU64(query);
+  w.putU64(seq);
+}
 
 NextCandidateRequest NextCandidateRequest::decode(ByteReader& r) {
   NextCandidateRequest msg;
   msg.query = r.getU64();
+  msg.seq = r.getU64();
   return msg;
 }
 
@@ -103,6 +107,7 @@ NextCandidateResponse NextCandidateResponse::decode(ByteReader& r) {
 
 void EvaluateRequest::encode(ByteWriter& w) const {
   w.putU64(query);
+  w.putU64(seq);
   encodeTuple(w, tuple);
   w.putU32(mask);
   w.putBool(pruneLocal);
@@ -112,6 +117,7 @@ void EvaluateRequest::encode(ByteWriter& w) const {
 EvaluateRequest EvaluateRequest::decode(ByteReader& r) {
   EvaluateRequest msg;
   msg.query = r.getU64();
+  msg.seq = r.getU64();
   msg.tuple = decodeTuple(r);
   msg.mask = r.getU32();
   msg.pruneLocal = r.getBool();

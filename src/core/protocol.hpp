@@ -88,7 +88,7 @@ struct QueryConfig {
   }
 };
 
-/// Configuration of the top-k extension (Coordinator::runTopK).
+/// Configuration of the top-k extension (QueryEngine::runTopK).
 struct TopKConfig {
   std::size_t k = 10;
   /// Site-side enumeration floor: tuples with local skyline probability
@@ -163,6 +163,11 @@ struct PrepareResponse {
 
 struct NextCandidateRequest {
   QueryId query = kNoQuery;  ///< session whose cursor advances
+  /// Retry-safe replay: cursor advancement is NOT idempotent, so the RPC
+  /// layer numbers each logical pull (per session and site, starting at 1)
+  /// and the site answers a repeated seq from its replay cache instead of
+  /// advancing again.  0 = no replay protection (legacy/sessionless).
+  std::uint64_t seq = 0;
 
   void encode(ByteWriter& w) const;
   static NextCandidateRequest decode(ByteReader& r);
@@ -181,6 +186,11 @@ struct EvaluateRequest {
   DimMask mask = 0;            ///< dominance subspace; 0 = all dimensions
   bool pruneLocal = true;      ///< false during update maintenance
   std::optional<Rect> window;  ///< survival restricted to this window
+  /// Retry-safe replay (see NextCandidateRequest::seq): under the
+  /// threshold-bound prune rule a duplicated evaluate would fold the
+  /// feedback factor into extSurvival twice, so repeated seqs are answered
+  /// from the site's replay cache.  0 = no replay protection.
+  std::uint64_t seq = 0;
 
   void encode(ByteWriter& w) const;
   static EvaluateRequest decode(ByteReader& r);

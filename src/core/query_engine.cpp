@@ -103,38 +103,4 @@ QueryTicket QueryEngine::submitTopK(TopKConfig config, QueryOptions options) {
   });
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated Coordinator shims (one release of API compatibility).
-
-// The shims intentionally call each other's deprecated world; silence the
-// self-deprecation warnings locally.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-QueryResult Coordinator::runNaive(const QueryConfig& config) {
-  QueryEngine engine(*this);
-  return engine.runNaive(config, legacyOptions_);
-}
-
-QueryResult Coordinator::runDsud(const QueryConfig& config) {
-  QueryEngine engine(*this);
-  return engine.runDsud(config, legacyOptions_);
-}
-
-QueryResult Coordinator::runEdsud(const QueryConfig& config) {
-  QueryEngine engine(*this);
-  return engine.runEdsud(config, legacyOptions_);
-}
-
-QueryResult Coordinator::runTopK(const TopKConfig& config) {
-  QueryEngine engine(*this);
-  return engine.runTopK(config, legacyOptions_);
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 }  // namespace dsud

@@ -9,9 +9,13 @@
 // site-side state with kFinishQuery.  Not part of the public API.
 #pragma once
 
+#include <algorithm>
+#include <exception>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.hpp"
@@ -37,6 +41,10 @@ struct QueryRun {
   /// submitted queries cannot starve each other).
   std::unique_ptr<ThreadPool> broadcastPool;
   bool sessionsOpen = false;  ///< prepare sent; sites hold state under `id`
+  /// Sites excluded from this run after exhausting their retry budget
+  /// (QueryOptions::fault.onSiteFailure == kDegrade only; under kFail the
+  /// first SiteFailure aborts the query instead).  Order = detection order.
+  std::vector<SiteId> dead;
 
   // Cached instruments (null when the coordinator has no registry).
   obs::Counter* queries = nullptr;
@@ -45,6 +53,7 @@ struct QueryRun {
   obs::Counter* pulls = nullptr;
   obs::Counter* expunges = nullptr;
   obs::Counter* sitePrunes = nullptr;
+  obs::Counter* degradedQueries = nullptr;
   obs::Histogram* roundLatency = nullptr;
   obs::Histogram* queryLatency = nullptr;
   obs::Gauge* inflight = nullptr;
@@ -57,7 +66,8 @@ struct QueryRun {
     result.id = id;
     sessions.reserve(c.siteCount());
     for (std::size_t i = 0; i < c.siteCount(); ++i) {
-      sessions.push_back(c.site(i).openSession(&usage));
+      sessions.push_back(c.site(i).openSession(&usage, options.fault,
+                                               &c.health(i), c.metrics()));
     }
     if (options.broadcastThreads > 0 && sessions.size() > 2) {
       broadcastPool = std::make_unique<ThreadPool>(options.broadcastThreads);
@@ -73,6 +83,7 @@ struct QueryRun {
       pulls = &reg->counter(name("dsud_candidates_pulled_total"));
       expunges = &reg->counter(name("dsud_expunged_total"));
       sitePrunes = &reg->counter(name("dsud_pruned_at_sites_total"));
+      degradedQueries = &reg->counter(name("dsud_degraded_queries_total"));
       roundLatency = &reg->histogram(name("dsud_round_latency_seconds"),
                                      obs::Histogram::latencyBounds());
       queryLatency = &reg->histogram(name("dsud_query_latency_seconds"),
@@ -99,22 +110,60 @@ struct QueryRun {
                             std::to_string(site));
   }
 
+  // --- Degraded-mode bookkeeping ------------------------------------------
+
+  bool degradeOk() const noexcept {
+    return options.fault.onSiteFailure == OnSiteFailure::kDegrade;
+  }
+
+  bool isDead(SiteId site) const noexcept {
+    return std::find(dead.begin(), dead.end(), site) != dead.end();
+  }
+
+  /// Excludes `site` from the rest of the run (idempotent).  From here on
+  /// the answer is the skyline of the surviving sites' union — exact over
+  /// what stayed reachable, silent about the dead site's data.
+  void markDead(SiteId site) {
+    if (isDead(site)) return;
+    dead.push_back(site);
+    result.degraded = true;
+    result.excludedSites.push_back(site);
+    if (degradedQueries != nullptr && dead.size() == 1) {
+      degradedQueries->inc();
+    }
+    obs::TraceSpan s = span("site.dead");
+    s.attr("site", site);
+  }
+
   /// Opens the site-side sessions: kPrepare to every site.  Marks the
   /// session open first so a mid-prepare failure still releases the sites
-  /// that did prepare.
+  /// that did prepare.  In degraded mode an unreachable site is excluded
+  /// instead of failing the query; only losing *every* site is fatal.
   void prepareAll(const PrepareRequest& request) {
     sessionsOpen = true;
-    for (const auto& s : sessions) s->prepare(request);
+    for (const auto& s : sessions) {
+      try {
+        s->prepare(request);
+      } catch (const NetError&) {
+        if (!degradeOk()) throw;
+        markDead(s->siteId());
+      }
+    }
+    if (dead.size() == sessions.size()) {
+      throw NetError("prepareAll: all sites unavailable");
+    }
   }
 
   /// Releases the site-side session state (kFinishQuery, idempotent).
   /// Exceptions are swallowed: finish is cleanup, and the sites drop
-  /// unknown ids anyway.
+  /// unknown ids anyway.  Dead sites are skipped — their retry budget was
+  /// already spent detecting the failure.
   void finish() noexcept {
     if (!sessionsOpen) return;
     sessionsOpen = false;
     const FinishQueryRequest request{id};
     for (const auto& s : sessions) {
+      if (isDead(s->siteId())) continue;
       try {
         s->finishQuery(request);
       } catch (...) {
@@ -127,6 +176,10 @@ struct QueryRun {
   /// With a broadcast pool, the m−1 RPCs fan out in parallel; factors are
   /// still reduced in site order, so the floating-point product (and every
   /// downstream decision) is identical to the sequential path.
+  ///
+  /// In degraded mode a site failing its broadcast is excluded and its
+  /// survival factor skipped — the candidate's probability is then exact
+  /// over the survivors.  Under kFail the SiteFailure propagates.
   double evaluateGlobally(const Candidate& c, bool pruneLocal, DimMask mask,
                           const std::optional<Rect>& window) {
     QueryStats& stats = result.stats;
@@ -134,28 +187,76 @@ struct QueryRun {
     const EvaluateRequest request{id, c.tuple, mask, pruneLocal, window};
 
     if (broadcastPool != nullptr) {
-      std::vector<std::future<EvaluateResponse>> responses;
+      std::vector<std::pair<SiteId, std::future<EvaluateResponse>>> responses;
       responses.reserve(sessions.size());
       for (const auto& s : sessions) {
-        if (s->siteId() == c.site) continue;
-        responses.push_back(broadcastPool->submit(
-            [&site = *s, &request] { return site.evaluate(request); }));
+        if (s->siteId() == c.site || isDead(s->siteId())) continue;
+        responses.emplace_back(
+            s->siteId(), broadcastPool->submit([&site = *s, &request] {
+              return site.evaluate(request);
+            }));
       }
-      for (auto& future : responses) {
-        const EvaluateResponse r = future.get();
-        globalSkyProb *= r.survival;
-        stats.prunedAtSites += r.prunedCount;
+      // Drain every future before any rethrow: the workers capture the
+      // stack-allocated request by reference.
+      std::vector<SiteId> failed;
+      std::exception_ptr fatal;
+      for (auto& [site, future] : responses) {
+        try {
+          const EvaluateResponse r = future.get();
+          globalSkyProb *= r.survival;
+          stats.prunedAtSites += r.prunedCount;
+        } catch (const NetError&) {
+          if (degradeOk()) {
+            failed.push_back(site);
+          } else if (!fatal) {
+            fatal = std::current_exception();
+          }
+        } catch (...) {
+          if (!fatal) fatal = std::current_exception();
+        }
       }
+      if (fatal) std::rethrow_exception(fatal);
+      for (const SiteId site : failed) markDead(site);
     } else {
       for (const auto& s : sessions) {
-        if (s->siteId() == c.site) continue;
-        const EvaluateResponse r = s->evaluate(request);
-        globalSkyProb *= r.survival;
-        stats.prunedAtSites += r.prunedCount;
+        if (s->siteId() == c.site || isDead(s->siteId())) continue;
+        try {
+          const EvaluateResponse r = s->evaluate(request);
+          globalSkyProb *= r.survival;
+          stats.prunedAtSites += r.prunedCount;
+        } catch (const NetError&) {
+          if (!degradeOk()) throw;
+          markDead(s->siteId());
+        }
       }
     }
     ++stats.broadcasts;
     return globalSkyProb;
+  }
+
+  /// One To-Server pull from `site`: traces the round trip (with the
+  /// attempt count when retries happened), counts the candidate, and — in
+  /// degraded mode — excludes a site that stays unreachable instead of
+  /// failing the query.  Dead sites return nothing.
+  std::optional<Candidate> pull(SiteId site, const NextCandidateRequest& cursor,
+                                QueryStats& stats) {
+    if (isDead(site)) return std::nullopt;
+    SiteHandle& handle = siteById(site);
+    obs::TraceSpan pullSpan = span("pull");
+    pullSpan.attr("site", site);
+    try {
+      auto response = handle.nextCandidate(cursor);
+      if (const std::uint32_t attempts = handle.lastAttempts(); attempts > 1) {
+        pullSpan.attr("attempts", attempts);
+      }
+      if (!response.candidate) return std::nullopt;
+      countPull(stats);
+      return std::move(response.candidate);
+    } catch (const NetError&) {
+      if (!degradeOk()) throw;
+      markDead(site);
+      return std::nullopt;
+    }
   }
 
   std::uint64_t tuplesSoFar() const { return usage.totals().tuples; }

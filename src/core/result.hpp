@@ -7,6 +7,7 @@
 
 #include "common/dataset.hpp"
 #include "core/protocol.hpp"
+#include "net/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace dsud {
@@ -51,6 +52,14 @@ struct QueryResult {
   /// Protocol timeline of this run (prepare, rounds, broadcasts, expunges,
   /// emits).  Empty when the session's tracing is disabled.
   obs::QueryTrace trace;
+  /// True when one or more sites became unreachable mid-query and the run
+  /// completed over the survivors (QueryOptions::fault.onSiteFailure ==
+  /// kDegrade).  The answer then equals the skyline of the surviving sites'
+  /// union — exact over what was reachable, silent about the rest.
+  bool degraded = false;
+  /// Sites excluded from a degraded run, in the order their failures were
+  /// detected.  Empty when `degraded` is false.
+  std::vector<SiteId> excludedSites;
 };
 
 /// Invoked the moment an answer qualifies (progressive reporting).
@@ -83,6 +92,12 @@ struct QueryOptions {
   /// instead of sequentially (0 = sequential).  Survival factors are still
   /// reduced in site order, so results stay bit-for-bit deterministic.
   std::size_t broadcastThreads = 0;
+
+  /// Fault handling for this query: per-call deadline, retry budget, and
+  /// what to do when a site stays unreachable after retries.  The defaults
+  /// (no deadline, single attempt, kFail) reproduce fail-fast behaviour:
+  /// the first transport error aborts the query with SiteFailure.
+  FaultOptions fault;
 };
 
 /// Sorts answers by descending global skyline probability (ties: id) — the

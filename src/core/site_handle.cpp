@@ -1,6 +1,9 @@
 #include "core/site_handle.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <utility>
 
 namespace dsud {
@@ -62,6 +65,15 @@ class SessionView final : public SiteHandle {
   std::unique_ptr<SiteHandle> openSession(QueryUsage* scope) override {
     return parent_->openSession(scope);
   }
+  std::unique_ptr<SiteHandle> openSession(
+      QueryUsage* scope, const FaultOptions& fault, SiteHealth* health,
+      obs::MetricsRegistry* metrics) override {
+    return parent_->openSession(scope, fault, health, metrics);
+  }
+
+  std::uint32_t lastAttempts() const noexcept override {
+    return parent_->lastAttempts();
+  }
 
  private:
   void count(std::uint64_t tuples) {
@@ -80,11 +92,39 @@ std::unique_ptr<SiteHandle> SiteHandle::openSession(QueryUsage* scope) {
   return std::make_unique<SessionView>(*this, scope);
 }
 
+std::unique_ptr<SiteHandle> SiteHandle::openSession(QueryUsage* scope,
+                                                    const FaultOptions&,
+                                                    SiteHealth*,
+                                                    obs::MetricsRegistry*) {
+  // Default: no transport underneath, so there is nothing to retry.
+  return openSession(scope);
+}
+
 RpcSiteHandle::RpcSiteHandle(SiteId site, std::shared_ptr<ChannelPool> pool,
                              BandwidthMeter* meter, QueryUsage* scope)
-    : site_(site), pool_(std::move(pool)), meter_(meter), scope_(scope) {
+    : site_(site),
+      pool_(std::move(pool)),
+      meter_(meter),
+      scope_(scope),
+      backoffRng_(Rng(0x6a77c0ffULL).split(site)) {
   if (!pool_) {
     throw std::invalid_argument("RpcSiteHandle: null channel pool");
+  }
+}
+
+RpcSiteHandle::RpcSiteHandle(SiteId site, std::shared_ptr<ChannelPool> pool,
+                             BandwidthMeter* meter, QueryUsage* scope,
+                             const FaultOptions& fault, SiteHealth* health,
+                             obs::MetricsRegistry* metrics)
+    : RpcSiteHandle(site, std::move(pool), meter, scope) {
+  fault_ = fault;
+  health_ = health;
+  if (metrics != nullptr) {
+    const std::string label = std::to_string(site);
+    retries_ = &metrics->counter(
+        obs::labeled("dsud_retries_total", {{"site", label}}));
+    timeouts_ = &metrics->counter(
+        obs::labeled("dsud_timeouts_total", {{"site", label}}));
   }
 }
 
@@ -98,13 +138,21 @@ std::unique_ptr<SiteHandle> RpcSiteHandle::openSession(QueryUsage* scope) {
   return std::make_unique<RpcSiteHandle>(site_, pool_, meter_, scope);
 }
 
+std::unique_ptr<SiteHandle> RpcSiteHandle::openSession(
+    QueryUsage* scope, const FaultOptions& fault, SiteHealth* health,
+    obs::MetricsRegistry* metrics) {
+  return std::unique_ptr<SiteHandle>(
+      new RpcSiteHandle(site_, pool_, meter_, scope, fault, health, metrics));
+}
+
 Frame RpcSiteHandle::roundTrip(const Frame& request) {
   Frame response;
   {
     ChannelPool::Lease lease = pool_->acquire();
     lease->setUsageScope(scope_);
+    lease->setDeadline(fault_.deadline);
     response = lease->call(request);
-  }  // lease destructor clears the scope and returns the channel
+  }  // lease destructor clears the scope/deadline and returns the channel
   if (meter_ != nullptr) {
     meter_->recordCall(site_, request.size(), response.size());
   }
@@ -114,6 +162,39 @@ Frame RpcSiteHandle::roundTrip(const Frame& request) {
   return response;
 }
 
+Frame RpcSiteHandle::retryingRoundTrip(const Frame& request) {
+  if (health_ != nullptr && !health_->admit()) {
+    throw SiteFailure(site_, 0, "circuit breaker open");
+  }
+  const std::uint32_t maxAttempts =
+      std::max<std::uint32_t>(fault_.retry.maxAttempts, 1);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    std::string why;
+    try {
+      Frame response = roundTrip(request);
+      lastAttempts_ = attempt;
+      if (health_ != nullptr) health_->recordSuccess();
+      return response;
+    } catch (const SiteFailure&) {
+      throw;  // already classified by a nested layer
+    } catch (const NetTimeout& e) {
+      if (timeouts_ != nullptr) timeouts_->inc();
+      why = e.what();
+    } catch (const NetError& e) {
+      // Transport failure only; application errors (SerializeError,
+      // std::logic_error, ...) propagate — retrying cannot fix them.
+      why = e.what();
+    }
+    if (attempt >= maxAttempts) {
+      if (health_ != nullptr) health_->recordFailure();
+      throw SiteFailure(site_, attempt, why);
+    }
+    if (retries_ != nullptr) retries_->inc();
+    const auto delay = fault_.retry.backoff(attempt, backoffRng_);
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+}
+
 void RpcSiteHandle::countTuples(std::uint64_t toSite, std::uint64_t fromSite) {
   if (toSite == 0 && fromSite == 0) return;
   if (meter_ != nullptr) meter_->recordTuples(site_, toSite, fromSite);
@@ -121,35 +202,53 @@ void RpcSiteHandle::countTuples(std::uint64_t toSite, std::uint64_t fromSite) {
 }
 
 PrepareResponse RpcSiteHandle::prepare(const PrepareRequest& request) {
-  const Frame response = roundTrip(toFrame(MsgType::kPrepare, request));
+  // Idempotent: a replayed kPrepare replaces the session wholesale.
+  const Frame response = retryingRoundTrip(toFrame(MsgType::kPrepare, request));
   return fromResponseFrame<PrepareResponse>(response);
 }
 
 NextCandidateResponse RpcSiteHandle::nextCandidate(
     const NextCandidateRequest& request) {
+  // Number the operation so the site can deduplicate a retried delivery
+  // (cursor advancement is not idempotent).  All attempts replay the same
+  // frame, hence the same seq.
+  NextCandidateRequest numbered = request;
+  numbered.seq = ++nextSeq_;
   const Frame response =
-      roundTrip(toFrame(MsgType::kNextCandidate, request));
+      retryingRoundTrip(toFrame(MsgType::kNextCandidate, numbered));
   auto msg = fromResponseFrame<NextCandidateResponse>(response);
   countTuples(0, msg.candidate.has_value() ? 1 : 0);
   return msg;
 }
 
 EvaluateResponse RpcSiteHandle::evaluate(const EvaluateRequest& request) {
-  const Frame response = roundTrip(toFrame(MsgType::kEvaluate, request));
+  // Numbered like nextCandidate: under kThresholdBound the site folds the
+  // delivered tuple into every pending entry's extSurvival, which must
+  // happen exactly once per logical delivery.
+  EvaluateRequest numbered = request;
+  numbered.seq = ++evalSeq_;
+  const Frame response =
+      retryingRoundTrip(toFrame(MsgType::kEvaluate, numbered));
   countTuples(1, 0);
   return fromResponseFrame<EvaluateResponse>(response);
 }
 
 ShipAllResponse RpcSiteHandle::shipAll() {
-  const Frame response = roundTrip(toFrame(MsgType::kShipAll, ShipAllRequest{}));
+  // Pure read: safe to replay.
+  const Frame response =
+      retryingRoundTrip(toFrame(MsgType::kShipAll, ShipAllRequest{}));
   auto msg = fromResponseFrame<ShipAllResponse>(response);
   countTuples(0, msg.tuples.size());
   return msg;
 }
 
 void RpcSiteHandle::finishQuery(const FinishQueryRequest& request) {
-  // Control traffic: releases session state, ships no tuples.
-  const Frame response = roundTrip(toFrame(MsgType::kFinishQuery, request));
+  // Control traffic: releases session state, ships no tuples.  Finish is
+  // idempotent (sites drop unknown ids), so it shares the retry budget —
+  // otherwise a transient fault on the final frame would silently leak the
+  // site-side session and skew the run's round-trip accounting.
+  const Frame response =
+      retryingRoundTrip(toFrame(MsgType::kFinishQuery, request));
   fromResponseFrame<AckResponse>(response);
 }
 

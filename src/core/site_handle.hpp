@@ -6,11 +6,15 @@
 // bytes and the paper's tuple-count bandwidth.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
+#include "common/rng.hpp"
+#include "core/health.hpp"
 #include "core/protocol.hpp"
 #include "net/bandwidth.hpp"
 #include "net/channel_pool.hpp"
+#include "net/fault.hpp"
 #include "net/transport.hpp"
 
 namespace dsud {
@@ -48,6 +52,22 @@ class SiteHandle {
   /// it cannot see); RpcSiteHandle returns a clone sharing its channel pool
   /// that accounts bytes exactly.  The parent handle must outlive the view.
   virtual std::unique_ptr<SiteHandle> openSession(QueryUsage* scope);
+
+  /// Fault-tolerant per-query view: the returned handle applies `fault`
+  /// (deadline on every call; retry with backoff around the query-phase
+  /// operations prepare / nextCandidate / evaluate / shipAll) and consults
+  /// `health` (may be null) as a per-site circuit breaker.  When the retry
+  /// budget is exhausted — or the breaker rejects the operation outright —
+  /// the handle throws SiteFailure.  The default implementation ignores the
+  /// fault configuration and delegates to openSession(scope).
+  virtual std::unique_ptr<SiteHandle> openSession(
+      QueryUsage* scope, const FaultOptions& fault, SiteHealth* health,
+      obs::MetricsRegistry* metrics);
+
+  /// Number of transport attempts the last successful query-phase operation
+  /// on this handle took (1 = no retries).  Implementations without a retry
+  /// layer always report 1.
+  virtual std::uint32_t lastAttempts() const noexcept { return 1; }
 };
 
 /// SiteHandle over a per-site ChannelPool with bandwidth accounting.
@@ -89,15 +109,41 @@ class RpcSiteHandle final : public SiteHandle {
   void replicaRemove(const ReplicaRemoveRequest&) override;
 
   std::unique_ptr<SiteHandle> openSession(QueryUsage* scope) override;
+  std::unique_ptr<SiteHandle> openSession(QueryUsage* scope,
+                                          const FaultOptions& fault,
+                                          SiteHealth* health,
+                                          obs::MetricsRegistry* metrics) override;
+
+  std::uint32_t lastAttempts() const noexcept override { return lastAttempts_; }
 
  private:
+  RpcSiteHandle(SiteId site, std::shared_ptr<ChannelPool> pool,
+                BandwidthMeter* meter, QueryUsage* scope,
+                const FaultOptions& fault, SiteHealth* health,
+                obs::MetricsRegistry* metrics);
+
   Frame roundTrip(const Frame& request);
+  /// roundTrip wrapped in the retry/breaker policy.  Only used for the
+  /// query-phase operations, whose replay semantics are safe: kPrepare is
+  /// idempotent (full session replace), kShipAll is pure, and
+  /// kNextCandidate/kEvaluate carry a seq number the site deduplicates on.
+  Frame retryingRoundTrip(const Frame& request);
   void countTuples(std::uint64_t toSite, std::uint64_t fromSite);
 
   SiteId site_;
   std::shared_ptr<ChannelPool> pool_;
   BandwidthMeter* meter_;   // may be null (no accounting)
   QueryUsage* scope_;       // may be null (no per-query accounting)
+
+  // Fault-tolerance state (session-confined, like the handle itself).
+  FaultOptions fault_;
+  SiteHealth* health_ = nullptr;  // shared breaker, owned by the coordinator
+  Rng backoffRng_;                // jitter source, seeded per site
+  std::uint64_t nextSeq_ = 0;     // kNextCandidate operation numbering
+  std::uint64_t evalSeq_ = 0;     // kEvaluate operation numbering
+  std::uint32_t lastAttempts_ = 1;
+  obs::Counter* retries_ = nullptr;   // dsud_retries_total{site}
+  obs::Counter* timeouts_ = nullptr;  // dsud_timeouts_total{site}
 };
 
 }  // namespace dsud

@@ -39,12 +39,8 @@ QueryResult QueryEngine::topkImpl(const TopKConfig& config,
 
   internal::BoundQueue queue(mask, FeedbackBound::kQueuedAndConfirmed);
   const auto pullFrom = [&](SiteId site) {
-    obs::TraceSpan pull = run.span("pull");
-    pull.attr("site", site);
-    if (auto next = run.siteById(site).nextCandidate(cursor);
-        next.candidate) {
-      queue.add(std::move(*next.candidate));
-      run.countPull(stats);
+    if (auto next = run.pull(site, cursor, stats)) {
+      queue.add(std::move(*next));
     }
   };
 
@@ -65,6 +61,19 @@ QueryResult QueryEngine::topkImpl(const TopKConfig& config,
 
   while (!queue.empty()) {
     const auto round = run.roundScope();
+
+    // Purge candidates from sites that died mid-query (see edsud.cpp).
+    if (!run.dead.empty()) {
+      for (std::size_t i = 0; i < queue.size();) {
+        if (run.isDead(queue.candidate(i).site)) {
+          queue.take(i);
+        } else {
+          ++i;
+        }
+      }
+      if (queue.empty()) break;
+    }
+
     // Expunge sweep against the adaptive threshold.
     for (std::size_t i = queue.findExpungeable(threshold());
          i != internal::BoundQueue::npos;

@@ -52,6 +52,7 @@ void ChannelPool::put(ClientChannel* channel) {
 void ChannelPool::Lease::release() {
   if (pool_ != nullptr && channel_ != nullptr) {
     channel_->setUsageScope(nullptr);
+    channel_->setDeadline(std::chrono::milliseconds{0});
     pool_->put(channel_);
   }
   pool_ = nullptr;

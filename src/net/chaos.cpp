@@ -1,0 +1,125 @@
+#include "net/chaos.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace dsud {
+
+QueryId frameQueryId(const Frame& frame) noexcept {
+  // MsgType byte + u64 session id, little-endian (core/protocol.hpp): the
+  // session-bearing types are kPrepare=1, kNextCandidate=2, kEvaluate=3,
+  // kFinishQuery=10.
+  if (frame.size() < 9) return 0;
+  const auto type = std::to_integer<std::uint8_t>(frame[0]);
+  if (type != 1 && type != 2 && type != 3 && type != 10) return 0;
+  QueryId id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<QueryId>(
+              std::to_integer<std::uint8_t>(frame[1 + static_cast<std::size_t>(i)]))
+          << (8 * i);
+  }
+  return id;
+}
+
+ChaosState::ChaosState(const ChaosSpec& spec, SiteId site)
+    : spec_(spec),
+      site_(site),
+      active_(spec.onlySite == kNoSite || spec.onlySite == site),
+      rng_(Rng(spec.seed).split(site)) {
+  if (spec_.dropRate + spec_.errorRate + spec_.delayRate > 1.0) {
+    throw std::invalid_argument("ChaosSpec: fault rates sum past 1.0");
+  }
+}
+
+ChaosState::Fault ChaosState::next(QueryId query) {
+  if (!active_) return Fault::kNone;
+  std::lock_guard lock(mutex_);
+  if (spec_.onlyQuery != 0 && query != spec_.onlyQuery) return Fault::kNone;
+  if (killed_) return Fault::kKilled;
+  ++matched_;
+  if (spec_.killAfter != 0 && matched_ > spec_.killAfter) {
+    killed_ = true;
+    ++faults_;
+    return Fault::kKilled;
+  }
+  // Exactly one uniform draw per matched call, so the fault sequence is a
+  // pure function of (seed, site, matched-call index).
+  const double u = rng_.uniform();
+  Fault fault = Fault::kNone;
+  if (u < spec_.dropRate) {
+    fault = Fault::kDrop;
+  } else if (u < spec_.dropRate + spec_.errorRate) {
+    fault = Fault::kError;
+  } else if (u < spec_.dropRate + spec_.errorRate + spec_.delayRate) {
+    fault = Fault::kDelay;
+  }
+  if (fault != Fault::kNone) ++faults_;
+  return fault;
+}
+
+bool ChaosState::killed() const {
+  std::lock_guard lock(mutex_);
+  return killed_;
+}
+
+std::uint64_t ChaosState::faultsInjected() const {
+  std::lock_guard lock(mutex_);
+  return faults_;
+}
+
+ChaosChannel::ChaosChannel(std::unique_ptr<ClientChannel> inner,
+                           std::shared_ptr<ChaosState> state,
+                           obs::MetricsRegistry* metrics)
+    : inner_(std::move(inner)), state_(std::move(state)) {
+  if (!inner_) throw std::invalid_argument("ChaosChannel: null inner channel");
+  if (!state_) throw std::invalid_argument("ChaosChannel: null state");
+  if (metrics != nullptr) {
+    const std::string site = std::to_string(state_->site());
+    const auto counter = [&](const char* kind) {
+      return &metrics->counter(obs::labeled(
+          "dsud_chaos_faults_total", {{"site", site}, {"kind", kind}}));
+    };
+    drops_ = counter("drop");
+    errors_ = counter("error");
+    delays_ = counter("delay");
+    kills_ = counter("killed");
+  }
+}
+
+Frame ChaosChannel::call(const Frame& request) {
+  switch (state_->next(frameQueryId(request))) {
+    case ChaosState::Fault::kNone:
+      return inner_->call(request);
+    case ChaosState::Fault::kKilled:
+      if (kills_ != nullptr) kills_->inc();
+      throw NetError("chaos: site " + std::to_string(state_->site()) +
+                     " is dead");
+    case ChaosState::Fault::kDrop:
+      // Never delivered: indistinguishable from a lost request.
+      if (drops_ != nullptr) drops_->inc();
+      throw NetTimeout("chaos: request dropped");
+    case ChaosState::Fault::kError:
+      // Delivered, response lost: the site state HAS advanced — a retry
+      // duplicates the delivery (the replay-cache test vector).
+      if (errors_ != nullptr) errors_->inc();
+      inner_->call(request);
+      throw NetError("chaos: response lost");
+    case ChaosState::Fault::kDelay: {
+      if (delays_ != nullptr) delays_->inc();
+      if (deadline().count() > 0) {
+        // Slow site: the reply exists but missed the caller's deadline.
+        inner_->call(request);
+        throw NetTimeout("chaos: reply missed deadline");
+      }
+      if (state_->spec().delay.count() > 0) {
+        std::this_thread::sleep_for(state_->spec().delay);
+      }
+      return inner_->call(request);
+    }
+  }
+  throw std::logic_error("ChaosChannel: unreachable");
+}
+
+}  // namespace dsud

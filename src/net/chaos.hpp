@@ -1,0 +1,124 @@
+// Deterministic fault injection at the transport layer.
+//
+// `ChaosChannel` decorates any ClientChannel and injects faults drawn from a
+// seeded RNG: dropped requests (NetTimeout, never delivered), lost responses
+// (delivered, then NetError — the duplicate-delivery case idempotent replay
+// exists for), slow replies, and a site that dies for good after its N-th
+// call.  All channels to one site share one `ChaosState`, so the fault
+// sequence depends only on the seed and the order of calls that *match* the
+// spec — not on which pooled channel carried them — which is what makes
+// chaos tests repeatable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/dataset.hpp"  // SiteId / kNoSite
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+
+namespace dsud {
+
+using QueryId = std::uint64_t;  // = core/protocol.hpp's QueryId
+
+/// What to inject, with what probability.  Rates are per matched call and
+/// drawn in the listed order from one uniform sample, so a spec is a
+/// partition of [0, 1).
+struct ChaosSpec {
+  /// Request vanishes: the site never sees it; the caller gets NetTimeout.
+  double dropRate = 0.0;
+  /// Response lost: the site processes the request, the caller gets
+  /// NetError.  A retry therefore *duplicates* the delivery — the scenario
+  /// the protocol's sequence-number replay exists for.
+  double errorRate = 0.0;
+  /// Slow reply: the call succeeds but, when a deadline is set on the
+  /// channel, surfaces as NetTimeout after delivery (reply missed the
+  /// deadline); without a deadline the reply is delayed by `delay`.
+  double delayRate = 0.0;
+  std::chrono::milliseconds delay{0};
+
+  /// Site dies for good after this many matched calls succeeded (0 =
+  /// never): every later call fails with NetError without delivery.
+  std::uint32_t killAfter = 0;
+
+  /// Restrict faults to frames of one query session (0 = all traffic).
+  /// Frames without a session id (kShipAll, update maintenance) never match
+  /// a nonzero onlyQuery.
+  QueryId onlyQuery = 0;
+  /// Restrict faults to one site (kNoSite = all sites); applied by whoever
+  /// builds the per-site ChaosState (InProcCluster checks it in build()).
+  SiteId onlySite = kNoSite;
+
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Session id carried by a query-protocol frame (kPrepare, kNextCandidate,
+/// kEvaluate, kFinishQuery): the u64 right after the type byte.  Frames of
+/// other types have no session and return kNoQuery.
+QueryId frameQueryId(const Frame& frame) noexcept;
+
+/// Shared per-site fault schedule.  Thread-safe; one instance backs every
+/// pooled channel to the site so fault decisions are lease-independent.
+class ChaosState {
+ public:
+  enum class Fault : std::uint8_t { kNone, kDrop, kError, kDelay, kKilled };
+
+  /// `site` is the decorated site; a spec whose onlySite names a different
+  /// site yields an inert state (every call passes through).
+  ChaosState(const ChaosSpec& spec, SiteId site);
+
+  /// Fault decision for the next call carrying `query`.  Non-matching calls
+  /// (inert state, onlyQuery mismatch) never fault and consume no
+  /// randomness.
+  Fault next(QueryId query);
+
+  const ChaosSpec& spec() const noexcept { return spec_; }
+  SiteId site() const noexcept { return site_; }
+  bool killed() const;
+  std::uint64_t faultsInjected() const;
+
+ private:
+  ChaosSpec spec_;
+  SiteId site_;
+  bool active_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::uint64_t matched_ = 0;
+  std::uint64_t faults_ = 0;
+  bool killed_ = false;
+};
+
+/// Transport decorator injecting the shared state's faults ahead of the
+/// inner channel.  Accounting stays on the inner channel (the decorator
+/// forwards the usage scope and deadline), so byte/tuple attribution is
+/// identical to an un-decorated run when no fault fires.
+class ChaosChannel final : public ClientChannel {
+ public:
+  /// `metrics` (nullable) receives dsud_chaos_faults_total{site,kind}.
+  ChaosChannel(std::unique_ptr<ClientChannel> inner,
+               std::shared_ptr<ChaosState> state,
+               obs::MetricsRegistry* metrics = nullptr);
+
+  Frame call(const Frame& request) override;
+  void close() override { inner_->close(); }
+  void setUsageScope(QueryUsage* scope) noexcept override {
+    inner_->setUsageScope(scope);
+  }
+
+ protected:
+  void onDeadlineChanged() override { inner_->setDeadline(deadline()); }
+
+ private:
+  std::unique_ptr<ClientChannel> inner_;
+  std::shared_ptr<ChaosState> state_;
+  obs::Counter* drops_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Counter* delays_ = nullptr;
+  obs::Counter* kills_ = nullptr;
+};
+
+}  // namespace dsud

@@ -1,0 +1,30 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsud {
+
+std::chrono::milliseconds RetryPolicy::backoff(std::uint32_t retry,
+                                               Rng& rng) const {
+  if (retry == 0) retry = 1;
+  const double factor =
+      std::pow(std::max(backoffMultiplier, 1.0), retry - 1);
+  const double capped =
+      std::min(static_cast<double>(initialBackoff.count()) * factor,
+               static_cast<double>(maxBackoff.count()));
+  const auto base = static_cast<std::int64_t>(capped);
+  // Decile jitter: base + uniform{0..9}/10 of base.
+  const auto jitter =
+      base / 10 * static_cast<std::int64_t>(rng.below(10));
+  return std::chrono::milliseconds{base + jitter};
+}
+
+SiteFailure::SiteFailure(SiteId site, std::uint32_t attempts,
+                         const std::string& why)
+    : NetError("site " + std::to_string(site) + " failed after " +
+               std::to_string(attempts) + " attempt(s): " + why),
+      site_(site),
+      attempts_(attempts) {}
+
+}  // namespace dsud

@@ -1,0 +1,79 @@
+// Fault-tolerance knobs of the coordinator→site RPC layer.
+//
+// Three cooperating mechanisms (docs/ARCHITECTURE.md §10):
+//
+//   * deadlines   — per-call bound enforced by the transport
+//                   (ClientChannel::setDeadline); expiry is NetTimeout;
+//   * RetryPolicy — bounded re-send with exponential backoff + decile
+//                   jitter, applied per operation at the SiteHandle layer
+//                   (safe because retried requests carry a sequence number
+//                   the site uses for exactly-once replay);
+//   * SiteFailure — what the retry layer throws once an operation exhausts
+//                   its budget (or the site's circuit breaker is open):
+//                   still a NetError, but carrying the site and attempt
+//                   count so degraded-mode execution can exclude the site.
+//
+// Everything rides the immutable QueryOptions surface via FaultOptions;
+// defaults preserve the pre-fault-tolerance behaviour exactly (no deadline,
+// one attempt, fail the query).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "net/wire.hpp"
+
+namespace dsud {
+
+/// Bounded retry with exponential backoff.  The default (1 attempt) means
+/// no retries at all — fault tolerance is strictly opt-in.
+struct RetryPolicy {
+  /// Total attempts per operation, first try included (>= 1).
+  std::uint32_t maxAttempts = 1;
+  /// Sleep before the first retry; doubles (backoffMultiplier) per further
+  /// retry, capped at maxBackoff.  0 retries immediately.
+  std::chrono::milliseconds initialBackoff{10};
+  double backoffMultiplier = 2.0;
+  std::chrono::milliseconds maxBackoff{1000};
+
+  /// Backoff before retry number `retry` (1-based), with decile jitter: the
+  /// base delay plus a uniformly drawn number of tenths of it, so synchronised
+  /// retry storms from concurrent sessions spread out.  Deterministic given
+  /// the RNG state.
+  std::chrono::milliseconds backoff(std::uint32_t retry, Rng& rng) const;
+};
+
+/// What a query does when one site fails for good (retry budget exhausted
+/// or breaker open).
+enum class OnSiteFailure : std::uint8_t {
+  kFail = 0,     ///< propagate the SiteFailure; the query throws
+  kDegrade = 1,  ///< exclude the site and complete over the survivors
+};
+
+/// Per-query fault-tolerance options (immutable once the query starts),
+/// carried on QueryOptions::fault.
+struct FaultOptions {
+  /// Per-call transport deadline; 0 = none.
+  std::chrono::milliseconds deadline{0};
+  RetryPolicy retry;
+  OnSiteFailure onSiteFailure = OnSiteFailure::kFail;
+};
+
+/// One site is unreachable for good: every attempt the policy allowed has
+/// failed, or the circuit breaker refused the operation outright.
+class SiteFailure : public NetError {
+ public:
+  SiteFailure(SiteId site, std::uint32_t attempts, const std::string& why);
+
+  SiteId site() const noexcept { return site_; }
+  /// Attempts actually made (0 when the breaker rejected the operation).
+  std::uint32_t attempts() const noexcept { return attempts_; }
+
+ private:
+  SiteId site_;
+  std::uint32_t attempts_;
+};
+
+}  // namespace dsud

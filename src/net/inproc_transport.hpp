@@ -6,10 +6,12 @@
 // identical to the TCP transport — only latency and concurrency differ.
 #pragma once
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "net/transport.hpp"
+#include "net/wire.hpp"
 
 namespace dsud {
 
@@ -25,7 +27,15 @@ class InProcChannel final : public ClientChannel {
 
   Frame call(const Frame& request) override {
     if (closed_) throw std::logic_error("InProcChannel: channel closed");
+    // A synchronous handler cannot be preempted, so the deadline is honoured
+    // post-hoc: a handler that overran it fails the call with NetTimeout,
+    // exactly as the reply missing the deadline would over a socket.
+    const auto start = std::chrono::steady_clock::now();
     Frame response = handler_(request);
+    if (const auto deadline = this->deadline(); deadline.count() > 0 &&
+        std::chrono::steady_clock::now() - start > deadline) {
+      throw NetTimeout("inproc call: deadline exceeded");
+    }
     // Loopback has no framing: on-wire bytes are exactly the payloads.
     accountFrames(request.size(), response.size(), 0, 0);
     return response;

@@ -19,20 +19,34 @@ namespace dsud {
 /// Coordinator-side TCP channel to one site.
 class TcpClientChannel final : public ClientChannel {
  public:
-  /// Connects to a site server on 127.0.0.1:`port`.
-  explicit TcpClientChannel(std::uint16_t port) : socket_(connectTo(port)) {}
+  /// Connects to a site server on 127.0.0.1:`port`.  `options` controls
+  /// TCP_NODELAY and the connect timeout; a per-call deadline set later via
+  /// setDeadline maps onto SO_RCVTIMEO/SO_SNDTIMEO.
+  explicit TcpClientChannel(std::uint16_t port, TcpSocketOptions options = {})
+      : socket_(connectTo(port, options.connectTimeout, options.noDelay)) {}
 
   Frame call(const Frame& request) override {
-    writeFrame(socket_, request);
-    Frame response = readFrame(socket_);
-    // Real sockets carry the u32 length prefix in each direction; without
-    // this, bytesShipped undercounts by kFrameHeaderBytes per frame.
-    accountFrames(request.size(), response.size(), kFrameHeaderBytes,
-                  kFrameHeaderBytes);
-    return response;
+    try {
+      writeFrame(socket_, request);
+      Frame response = readFrame(socket_);
+      // Real sockets carry the u32 length prefix in each direction; without
+      // this, bytesShipped undercounts by kFrameHeaderBytes per frame.
+      accountFrames(request.size(), response.size(), kFrameHeaderBytes,
+                    kFrameHeaderBytes);
+      return response;
+    } catch (const NetTimeout&) {
+      // The stream is desynchronised (the late reply could be misread as a
+      // later call's response); poison the connection so every further call
+      // fails loudly instead of silently mixing frames.
+      socket_.close();
+      throw;
+    }
   }
 
   void close() override { socket_.close(); }
+
+ protected:
+  void onDeadlineChanged() override { setSocketTimeouts(socket_, deadline()); }
 
  private:
   Socket socket_;

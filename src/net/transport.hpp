@@ -15,6 +15,7 @@
 // defines their contents.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -60,7 +61,20 @@ class ClientChannel {
   /// (null detaches).  Thread-safety contract: a channel is used by one
   /// caller at a time (ChannelPool leases are exclusive), so set the scope
   /// while holding the lease, before `call`, and clear it before releasing.
-  void setUsageScope(QueryUsage* scope) noexcept { scope_ = scope; }
+  /// Virtual so decorators (net/chaos.hpp) can forward it to the channel
+  /// that actually does the accounting.
+  virtual void setUsageScope(QueryUsage* scope) noexcept { scope_ = scope; }
+
+  /// Per-call deadline: a `call` issued after this takes effect must fail
+  /// with NetTimeout instead of blocking past the deadline (0 = none, the
+  /// default).  Same leasing contract as setUsageScope — set while holding
+  /// the lease; the lease clears it on release.
+  void setDeadline(std::chrono::milliseconds deadline) {
+    if (deadline == deadline_) return;
+    deadline_ = deadline;
+    onDeadlineChanged();
+  }
+  std::chrono::milliseconds deadline() const noexcept { return deadline_; }
 
  protected:
   /// Implementations call this once per round trip with the payload sizes
@@ -68,14 +82,43 @@ class ClientChannel {
   void accountFrames(std::size_t payloadOut, std::size_t payloadIn,
                      std::size_t overheadOut, std::size_t overheadIn);
 
+  /// Hook invoked when setDeadline changes the deadline — e.g. the TCP
+  /// channel pushes it into SO_RCVTIMEO/SO_SNDTIMEO, a decorator forwards
+  /// it to its inner channel.
+  virtual void onDeadlineChanged() {}
+
  private:
   SiteId site_ = 0;
   BandwidthMeter* meter_ = nullptr;
   QueryUsage* scope_ = nullptr;
+  std::chrono::milliseconds deadline_{0};
   obs::Counter* framesOut_ = nullptr;
   obs::Counter* framesIn_ = nullptr;
   obs::Counter* bytesOut_ = nullptr;
   obs::Counter* bytesIn_ = nullptr;
+};
+
+/// Socket knobs of the TCP transport (TcpClientChannel / examples).
+struct TcpSocketOptions {
+  /// TCP_NODELAY on every connection — the request/response protocol sends
+  /// one small frame per round trip, so Nagle costs tens of ms per RPC.
+  bool noDelay = true;
+  /// Bound on connect(2); 0 blocks indefinitely.  Expiry throws NetTimeout.
+  std::chrono::milliseconds connectTimeout{0};
+};
+
+/// Transport sizing and socket knobs, carried on ClusterConfig so
+/// deadline/retry/pool settings share one config surface.
+struct TransportConfig {
+  /// Channels per site for the in-process transport: enough that a handful
+  /// of concurrent sessions rarely block on a lease, small enough to stay
+  /// negligible per site.
+  std::size_t inprocChannelsPerSite = 4;
+  /// Channels per site over TCP.  TcpSiteServer accepts exactly one
+  /// connection, so the compatible default is 1 (the pool then serialises
+  /// all sessions on it).
+  std::size_t tcpChannelsPerSite = 1;
+  TcpSocketOptions socket;
 };
 
 }  // namespace dsud

@@ -3,9 +3,12 @@
 #include <vector>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -24,6 +27,10 @@ void writeAll(int fd, const std::byte* data, std::size_t n) {
     const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      // SO_SNDTIMEO expiry: the kernel reports the would-block errno.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetTimeout("send: timed out");
+      }
       throwErrno("send");
     }
     sent += static_cast<std::size_t>(rc);
@@ -36,6 +43,10 @@ void readAll(int fd, std::byte* data, std::size_t n) {
     const ssize_t rc = ::recv(fd, data + got, n - got, 0);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      // SO_RCVTIMEO expiry: the kernel reports the would-block errno.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetTimeout("recv: timed out");
+      }
       throwErrno("recv");
     }
     if (rc == 0) throw NetError("recv: connection closed by peer");
@@ -109,22 +120,64 @@ Socket acceptFrom(const Socket& listener) {
   }
 }
 
-Socket connectTo(std::uint16_t port) {
+Socket connectTo(std::uint16_t port, std::chrono::milliseconds timeout,
+                 bool noDelay) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) throwErrno("socket");
 
-  const int enable = 1;
-  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  if (noDelay) {
+    const int enable = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    throwErrno("connect");
+
+  if (timeout.count() <= 0) {
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      throwErrno("connect");
+    }
+    return sock;
   }
+
+  // Bounded connect: non-blocking connect raced against poll.
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  if (flags < 0) throwErrno("fcntl(F_GETFL)");
+  if (::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    throwErrno("fcntl(F_SETFL)");
+  }
+  const int rc =
+      ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) throwErrno("connect");
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready < 0) throwErrno("poll");
+    if (ready == 0) throw NetTimeout("connect: timed out");
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &soError, &len) != 0) {
+      throwErrno("getsockopt(SO_ERROR)");
+    }
+    if (soError != 0) {
+      throw NetError(std::string("connect: ") + std::strerror(soError));
+    }
+  }
+  if (::fcntl(sock.fd(), F_SETFL, flags) != 0) throwErrno("fcntl(F_SETFL)");
   return sock;
+}
+
+void setSocketTimeouts(const Socket& socket, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  if (timeout.count() > 0) {
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  }
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void writeFrame(const Socket& socket, const Frame& frame) {

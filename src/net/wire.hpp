@@ -5,6 +5,7 @@
 // unbounded allocation.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -17,6 +18,14 @@ namespace dsud {
 class NetError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// A call (or connect) that exceeded its deadline.  Subtype of NetError so
+/// existing "any transport failure" handling keeps working; retry layers
+/// distinguish it for metrics.
+class NetTimeout : public NetError {
+ public:
+  using NetError::NetError;
 };
 
 /// Largest accepted frame payload (64 MiB).
@@ -52,8 +61,17 @@ Socket listenOn(std::uint16_t port, std::uint16_t* boundPort = nullptr);
 /// Blocking accept.
 Socket acceptFrom(const Socket& listener);
 
-/// Blocking connect to 127.0.0.1:`port`.
-Socket connectTo(std::uint16_t port);
+/// Connect to 127.0.0.1:`port`.  A zero `timeout` blocks indefinitely;
+/// otherwise the connect races a poll and throws NetTimeout on expiry.
+/// `noDelay` controls TCP_NODELAY on the new socket.
+Socket connectTo(std::uint16_t port,
+                 std::chrono::milliseconds timeout = std::chrono::milliseconds{0},
+                 bool noDelay = true);
+
+/// Applies SO_RCVTIMEO/SO_SNDTIMEO to the socket (0 clears both).  Blocking
+/// reads/writes past the timeout then surface as NetTimeout from
+/// readFrame/writeFrame.
+void setSocketTimeouts(const Socket& socket, std::chrono::milliseconds timeout);
 
 /// Writes one length-prefixed frame; throws NetError on failure.
 void writeFrame(const Socket& socket, const Frame& frame);

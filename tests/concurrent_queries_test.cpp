@@ -11,8 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/cluster.hpp"
 #include "core/query_engine.hpp"
+#include "gen/partition.hpp"
 #include "gen/synthetic.hpp"
 #include "test_util.hpp"
 
@@ -182,6 +184,89 @@ TEST(ConcurrentQueriesTest, PerQueryOptionsStayPerQuery) {
   EXPECT_FALSE(gotA.trace.empty());
   EXPECT_TRUE(gotB.trace.empty());
   expectIdle(shared);
+}
+
+TEST(ConcurrentQueriesTest, OneOfFiveDegradesWhileTheRestStayBitIdentical) {
+  const Dataset global = generateSynthetic(
+      SyntheticSpec{1500, 2, ValueDistribution::kAnticorrelated, 2240});
+  Rng rng(2241);
+  const auto siteData = partitionUniform(global, 5, rng);
+  const SiteId victim = 2;
+
+  // Query ids are allocated synchronously in submit order starting at 1, so
+  // the third submit below is session 3 — the only traffic chaos touches:
+  // its prepare at the victim succeeds (killAfter = 1), its first pull
+  // there fails for good.
+  ClusterConfig chaoticConfig;
+  chaoticConfig.chaos =
+      ChaosSpec{.killAfter = 1, .onlyQuery = 3, .onlySite = victim};
+  InProcCluster shared(siteData, chaoticConfig);
+  InProcCluster reference(siteData);
+
+  std::vector<Dataset> survivorData;
+  for (std::size_t i = 0; i < siteData.size(); ++i) {
+    if (i != victim) survivorData.push_back(siteData[i]);
+  }
+  InProcCluster survivors(survivorData);
+
+  QueryConfig config;
+  const QueryResult refDsud = reference.engine().runDsud(config);
+  const QueryResult refEdsud = reference.engine().runEdsud(config);
+  const QueryResult refNaive = reference.engine().runNaive(config);
+  const QueryResult refDegraded = survivors.engine().runEdsud(config);
+
+  QueryOptions degrade;
+  degrade.fault.onSiteFailure = OnSiteFailure::kDegrade;
+
+  QueryEngine engine(shared.coordinator(), 5);
+  QueryTicket tickets[5] = {
+      engine.submit(Algo::kDsud, config),
+      engine.submit(Algo::kEdsud, config),
+      engine.submit(Algo::kEdsud, config, degrade),  // session 3
+      engine.submit(Algo::kNaive, config),
+      engine.submit(Algo::kDsud, config),
+  };
+  ASSERT_EQ(tickets[2].id(), QueryId{3});
+
+  const QueryResult dsudA = tickets[0].get();
+  const QueryResult edsud = tickets[1].get();
+  const QueryResult degraded = tickets[2].get();
+  const QueryResult naive = tickets[3].get();
+  const QueryResult dsudB = tickets[4].get();
+
+  // The four untouched sessions are indistinguishable from running alone on
+  // a healthy cluster — a concurrent session degrading must not bleed.
+  expectSameRun(dsudA, refDsud);
+  expectSameRun(edsud, refEdsud);
+  expectSameRun(naive, refNaive);
+  expectSameRun(dsudB, refDsud);
+  for (const QueryResult* r : {&dsudA, &edsud, &naive, &dsudB}) {
+    EXPECT_FALSE(r->degraded);
+    EXPECT_TRUE(r->excludedSites.empty());
+  }
+
+  // Session 3 lost the victim before it contributed anything, so its answer
+  // is exactly the 4-site survivor cluster's (origin sites renumber, hence
+  // the field-wise comparison).
+  EXPECT_TRUE(degraded.degraded);
+  ASSERT_EQ(degraded.excludedSites, std::vector<SiteId>{victim});
+  ASSERT_EQ(degraded.skyline.size(), refDegraded.skyline.size());
+  for (std::size_t i = 0; i < refDegraded.skyline.size(); ++i) {
+    EXPECT_EQ(degraded.skyline[i].tuple.id, refDegraded.skyline[i].tuple.id);
+    EXPECT_EQ(degraded.skyline[i].localSkyProb,
+              refDegraded.skyline[i].localSkyProb);
+    EXPECT_EQ(degraded.skyline[i].globalSkyProb,
+              refDegraded.skyline[i].globalSkyProb);
+  }
+
+  // Everything drains except the victim's session-3 state: finish() skips
+  // dead sites by design (their retry budget was already spent), so the
+  // site-side session is only reclaimed when the site rejoins.
+  EXPECT_EQ(engine.inFlight(), 0u);
+  for (std::size_t i = 0; i < shared.siteCount(); ++i) {
+    EXPECT_EQ(shared.localSite(i).sessionCount(), i == victim ? 1u : 0u)
+        << "site " << i;
+  }
 }
 
 TEST(ConcurrentQueriesTest, ProgressCallbacksDoNotCrossSessions) {

@@ -3,6 +3,7 @@
 // silently wrong answer.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <thread>
 
@@ -144,6 +145,40 @@ TEST(FailureTest, TcpPeerDisconnectSurfacesAsNetError) {
   serverThread.join();
   // ...and further calls on the closed channel fail loudly.
   EXPECT_THROW(channel->call(ping), NetError);
+}
+
+TEST(FailureTest, HungTcpPeerFailsAtDeadlineInsteadOfHanging) {
+  // A peer that accepts the connection and reads the request but does not
+  // reply within the caller's deadline.  Without SO_RCVTIMEO this call
+  // blocks for the peer's full think time; with a deadline it must fail
+  // fast with NetTimeout.
+  TcpSiteServer server([](const Frame& f) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{500});
+    return f;
+  });
+  std::thread serverThread([&server] {
+    try {
+      server.serve();
+    } catch (const NetError&) {
+      // Writing the late reply to the poisoned connection may fail; either
+      // way the loop ends on the client's disconnect.
+    }
+  });
+
+  TcpClientChannel channel(server.port());
+  channel.setDeadline(std::chrono::milliseconds{50});
+  const Frame ping(4, std::byte{1});
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(channel.call(ping), NetTimeout);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(waited, std::chrono::milliseconds{450})
+      << "the deadline must bound the wait, not the peer's think time";
+
+  // The timed-out stream is desynchronised (the late reply could be misread
+  // as a later call's response), so the channel is poisoned: further calls
+  // fail loudly instead of silently mixing frames.
+  EXPECT_THROW(channel.call(ping), NetError);
+  serverThread.join();
 }
 
 }  // namespace

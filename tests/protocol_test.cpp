@@ -58,6 +58,17 @@ TEST(ProtocolTest, NextCandidateRequestCarriesQueryId) {
   EXPECT_EQ(reencode(msg).query, 12345u);
 }
 
+TEST(ProtocolTest, NextCandidateRequestCarriesReplaySeq) {
+  NextCandidateRequest msg;
+  msg.query = 12345;
+  msg.seq = 77;
+  const auto out = reencode(msg);
+  EXPECT_EQ(out.query, 12345u);
+  EXPECT_EQ(out.seq, 77u);
+  // seq 0 = no replay protection; must survive the wire unchanged.
+  EXPECT_EQ(reencode(NextCandidateRequest{}).seq, 0u);
+}
+
 TEST(ProtocolTest, FinishQueryRoundTrip) {
   FinishQueryRequest msg;
   msg.query = 9;
@@ -81,11 +92,13 @@ TEST(ProtocolTest, EvaluateRoundTrip) {
   req.tuple = sampleTuple();
   req.mask = 0b011;
   req.pruneLocal = false;
+  req.seq = 4096;
   const auto reqOut = reencode(req);
   EXPECT_EQ(reqOut.query, 5u);
   EXPECT_EQ(reqOut.tuple, sampleTuple());
   EXPECT_EQ(reqOut.mask, 0b011u);
   EXPECT_FALSE(reqOut.pruneLocal);
+  EXPECT_EQ(reqOut.seq, 4096u);
 
   EvaluateResponse resp;
   resp.survival = 0.123;

@@ -1,4 +1,4 @@
-// Top-k probabilistic skyline (Coordinator::runTopK): the k tuples with the
+// Top-k probabilistic skyline (QueryEngine::runTopK): the k tuples with the
 // largest global skyline probability, verified against the sorted
 // centralised ground truth.
 #include <gtest/gtest.h>

@@ -7,6 +7,8 @@
 //   dsudctl inspect  --in=data.bin
 //   dsudctl query    --in=data.bin [--algo=edsud|dsud|naive] [--m=10]
 //                    [--q=0.3] [--k=0] [--mask=0] [--seed=1] [--limit=20]
+//                    [--deadline-ms=0] [--retries=0]
+//                    [--on-failure=fail|degrade] [--chaos-kill=<site>]
 //   dsudctl convert  --in=data.bin --out=data.csv
 //   dsudctl metrics  --in=data.bin [--algo=edsud|dsud|naive] [--m=10]
 //                    [--q=0.3] [--k=0] [--seed=1] [--format=prom|json]
@@ -17,8 +19,16 @@
 // JSON with --format=json — to stdout; --trace-out additionally writes the
 // query's protocol timeline as JSON.
 //
+// Fault tolerance (`query`): --deadline-ms bounds every RPC, --retries adds
+// that many retry attempts on top of the first try, and
+// --on-failure=degrade completes over the surviving sites when a site stays
+// unreachable (--chaos-kill injects exactly that: the named site dies after
+// its first call).
+//
 // Files use the binary format of common/io.hpp unless the extension is
-// .csv.  Exit code 0 on success, 1 on usage errors, 2 on runtime errors.
+// .csv.  Exit code 0 on success, 1 on usage errors, 2 on runtime errors,
+// 3 when the query completed degraded (one or more sites excluded).
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -149,7 +159,25 @@ int cmdQuery(const ArgParser& args) {
   const auto k = static_cast<std::size_t>(args.getInt("k", 0));
   const std::string algo = args.get("algo", "edsud");
 
-  InProcCluster cluster(data, m, seed);
+  QueryOptions options;
+  options.fault.deadline =
+      std::chrono::milliseconds{args.getInt("deadline-ms", 0)};
+  options.fault.retry.maxAttempts =
+      1 + static_cast<std::uint32_t>(args.getInt("retries", 0));
+  const std::string onFailure = args.get("on-failure", "fail");
+  if (onFailure == "degrade") {
+    options.fault.onSiteFailure = OnSiteFailure::kDegrade;
+  } else if (onFailure != "fail") {
+    std::fprintf(stderr, "query: unknown --on-failure=%s\n", onFailure.c_str());
+    return 1;
+  }
+
+  ClusterConfig clusterConfig;
+  if (const std::int64_t kill = args.getInt("chaos-kill", -1); kill >= 0) {
+    clusterConfig.chaos =
+        ChaosSpec{.killAfter = 1, .onlySite = static_cast<SiteId>(kill)};
+  }
+  InProcCluster cluster(data, m, seed, clusterConfig);
 
   QueryResult result;
   if (k > 0) {
@@ -157,17 +185,17 @@ int cmdQuery(const ArgParser& args) {
     config.k = k;
     config.floorQ = args.getDouble("q", 1e-3);
     config.mask = static_cast<DimMask>(args.getInt("mask", 0));
-    result = cluster.engine().runTopK(config);
+    result = cluster.engine().runTopK(config, options);
   } else {
     QueryConfig config;
     config.q = args.getDouble("q", 0.3);
     config.mask = static_cast<DimMask>(args.getInt("mask", 0));
     if (algo == "edsud") {
-      result = cluster.engine().runEdsud(config);
+      result = cluster.engine().runEdsud(config, options);
     } else if (algo == "dsud") {
-      result = cluster.engine().runDsud(config);
+      result = cluster.engine().runDsud(config, options);
     } else if (algo == "naive") {
-      result = cluster.engine().runNaive(config);
+      result = cluster.engine().runNaive(config, options);
     } else {
       std::fprintf(stderr, "query: unknown --algo=%s\n", algo.c_str());
       return 1;
@@ -199,6 +227,14 @@ int cmdQuery(const ArgParser& args) {
   if (limit < result.skyline.size()) {
     std::printf("  ... %zu more (raise --limit)\n",
                 result.skyline.size() - limit);
+  }
+  if (result.degraded) {
+    std::fprintf(stderr, "warning: degraded result — excluded site(s):");
+    for (const SiteId site : result.excludedSites) {
+      std::fprintf(stderr, " %u", site);
+    }
+    std::fprintf(stderr, "\n");
+    return 3;
   }
   return 0;
 }
