@@ -1,0 +1,75 @@
+// Tracing overhead (acceptance gate for the cross-site tracing work): wall
+// time of the fig09-style workload with tracing fully off, with the default
+// coordinator-only trace, and with each site-trace shipping mode.  The
+// "off" and "coord" columns must stay within noise of each other — the
+// disabled path is one branch per protocol step — while "piggyback" and
+// "fetch" show the real cost of recording and shipping site spans.
+//
+// Columns are mean seconds per query; "spans" is the merged span count of
+// the last piggyback run (0 until site tracing is on).
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dsud;
+using namespace dsud::bench;
+
+struct Mode {
+  const char* label;
+  std::size_t traceCapacity;
+  SiteTraceMode siteTrace;
+};
+
+constexpr Mode kModes[] = {
+    {"off", 0, SiteTraceMode::kOff},
+    {"coord", 65536, SiteTraceMode::kOff},
+    {"piggyback", 65536, SiteTraceMode::kPiggyback},
+    {"fetch", 65536, SiteTraceMode::kFetch},
+};
+
+double meanSeconds(const Dataset& global, std::size_t m, std::size_t repeats,
+                   Algo algo, const QueryConfig& config, const Mode& mode,
+                   std::uint64_t seed, std::size_t* spans) {
+  QueryOptions options;
+  options.traceCapacity = mode.traceCapacity;
+  options.siteTrace = mode.siteTrace;
+  double seconds = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    InProcCluster cluster(global, m, seed + r * 7919, {}, &metricsRegistry());
+    const QueryResult result = runAlgo(cluster.engine(), algo, config, options);
+    seconds += result.stats.seconds;
+    *spans = result.trace.events.size();
+  }
+  return seconds / static_cast<double>(repeats);
+}
+
+void runPanel(const Scale& scale, Algo algo) {
+  printTitle(std::string("Tracing overhead: ") + algoName(algo) +
+             " wall time by trace mode");
+  printHeader({"mode", "ms", "vs off %", "spans"});
+
+  QueryConfig config;
+  config.q = scale.q;
+  const Dataset global = generateSynthetic(SyntheticSpec{
+      scale.n, 3, ValueDistribution::kAnticorrelated, scale.seed + 90});
+
+  double baseline = 0.0;
+  for (const Mode& mode : kModes) {
+    std::size_t spans = 0;
+    const double seconds = meanSeconds(global, scale.m, scale.repeats, algo,
+                                       config, mode, scale.seed, &spans);
+    if (mode.traceCapacity == 0) baseline = seconds;
+    const double pct = baseline > 0.0 ? 100.0 * seconds / baseline : 100.0;
+    printRow(mode.label, seconds * 1e3, pct, static_cast<double>(spans));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = defaultScale();
+  printScale(scale);
+  runPanel(scale, Algo::kDsud);
+  runPanel(scale, Algo::kEdsud);
+  return 0;
+}

@@ -101,7 +101,8 @@ QueryResult QueryEngine::edsudImpl(const QueryConfig& config,
       broadcast.attr("site", c.site);
       broadcast.attr("tuple", static_cast<double>(c.tuple.id));
       globalSkyProb =
-          run.evaluateGlobally(c, /*pruneLocal=*/true, mask, config.window);
+          run.evaluateGlobally(c, /*pruneLocal=*/true, mask, config.window,
+                               broadcast.id());
     }
     queue.confirm(c.tuple, globalSkyProb);
     if (globalSkyProb >= config.q) run.emit(c, globalSkyProb);

@@ -34,6 +34,26 @@ void LocalSite::flushTreeMetricsLocked() {
   flushedAccesses_ = now;
 }
 
+void LocalSite::setMaintenanceTrace(std::size_t maxEvents) {
+  std::lock_guard lock(mutex_);
+  maintTracer_ = maxEvents > 0 ? std::make_unique<obs::Tracer>(maxEvents)
+                               : nullptr;
+}
+
+obs::SpanId LocalSite::maintBeginLocked(std::string_view name) {
+  return maintTracer_ != nullptr ? maintTracer_->begin(name, obs::kNoSpan)
+                                 : obs::kNoSpan;
+}
+
+void LocalSite::maintAttrLocked(obs::SpanId span, std::string_view key,
+                                double value) {
+  if (maintTracer_ != nullptr) maintTracer_->attr(span, key, value);
+}
+
+void LocalSite::maintEndLocked(obs::SpanId span) {
+  if (maintTracer_ != nullptr) maintTracer_->end(span);
+}
+
 PrepareResponse LocalSite::prepare(const PrepareRequest& request) {
   if (!(request.q > 0.0) || request.q > 1.0) {
     throw std::invalid_argument("LocalSite::prepare: q must be in (0, 1]");
@@ -48,7 +68,15 @@ PrepareResponse LocalSite::prepare(const PrepareRequest& request) {
   session.mask = request.mask == 0 ? fullMask_ : request.mask;
   session.prune = request.prune;
   session.window = request.window;
+  if (request.traceCapacity > 0) {
+    session.tracer = std::make_unique<obs::Tracer>(request.traceCapacity);
+    session.piggyback = request.tracePiggyback;
+  }
 
+  const std::uint64_t nodesBefore = tree_.nodeAccesses();
+  const obs::SpanId span =
+      session.tracer ? session.tracer->begin("site.prepare", obs::kNoSpan)
+                     : obs::kNoSpan;
   const Rect* clip = session.window ? &*session.window : nullptr;
   for (ProbSkylineEntry& e :
        bbsSkyline(tree_, session.q, session.mask, /*stats=*/nullptr, clip)) {
@@ -57,6 +85,13 @@ PrepareResponse LocalSite::prepare(const PrepareRequest& request) {
   flushTreeMetricsLocked();
 
   const std::uint64_t size = session.pending.size();
+  if (session.tracer) {
+    session.tracer->attr(span, "nodes",
+                         static_cast<double>(tree_.nodeAccesses() -
+                                             nodesBefore));
+    session.tracer->attr(span, "candidates", static_cast<double>(size));
+    session.tracer->end(span);
+  }
   sessions_[request.query] = std::move(session);
   return PrepareResponse{size};
 }
@@ -68,10 +103,20 @@ NextCandidateResponse LocalSite::nextCandidate(
   const auto it = sessions_.find(request.query);
   if (it == sessions_.end()) return response;
   Session& session = it->second;
+  obs::Tracer* tracer = session.tracer.get();
   // Duplicate delivery (retry after a lost response): replay, don't advance.
   if (request.seq != 0 && request.seq == session.lastNextSeq) {
+    if (tracer != nullptr) {
+      const obs::SpanId span = tracer->begin("site.next", obs::kNoSpan);
+      tracer->attr(span, "seq", static_cast<double>(request.seq));
+      tracer->attr(span, "replay", 1.0);
+      tracer->end(span);
+    }
     return session.lastNext;
   }
+  const obs::SpanId span =
+      tracer != nullptr ? tracer->begin("site.next", obs::kNoSpan)
+                        : obs::kNoSpan;
   if (!session.pending.empty()) {
     std::vector<PendingEntry>& pending = session.pending;
     PendingEntry head = std::move(pending.front());
@@ -88,6 +133,13 @@ NextCandidateResponse LocalSite::nextCandidate(
     session.lastNextSeq = request.seq;
     session.lastNext = response;
   }
+  if (tracer != nullptr) {
+    tracer->attr(span, "seq", static_cast<double>(request.seq));
+    tracer->attr(span, "returned", response.candidate ? 1.0 : 0.0);
+    tracer->attr(span, "pending",
+                 static_cast<double>(session.pending.size()));
+    tracer->end(span);
+  }
   return response;
 }
 
@@ -96,44 +148,64 @@ EvaluateResponse LocalSite::evaluate(const EvaluateRequest& request) {
     throw std::invalid_argument("LocalSite::evaluate: window dims mismatch");
   }
   std::lock_guard lock(mutex_);
+  const auto sessionIt = sessions_.find(request.query);
+  Session* sess = sessionIt == sessions_.end() ? nullptr : &sessionIt->second;
+  obs::Tracer* tracer =
+      (sess != nullptr && sess->tracer) ? sess->tracer.get() : nullptr;
   // Duplicate delivery: replay the cached response — re-executing would fold
   // the feedback factor into extSurvival a second time (threshold rule).
-  if (request.seq != 0) {
-    if (const auto it = sessions_.find(request.query);
-        it != sessions_.end() && request.seq == it->second.lastEvalSeq) {
-      return it->second.lastEval;
+  if (request.seq != 0 && sess != nullptr &&
+      request.seq == sess->lastEvalSeq) {
+    if (tracer != nullptr) {
+      const obs::SpanId span = tracer->begin("site.evaluate", obs::kNoSpan);
+      tracer->attr(span, "seq", static_cast<double>(request.seq));
+      tracer->attr(span, "replay", 1.0);
+      tracer->end(span);
     }
+    return sess->lastEval;
   }
   const DimMask mask = request.mask == 0 ? fullMask_ : request.mask;
+  const std::uint64_t nodesBefore = tree_.nodeAccesses();
+  const obs::SpanId span =
+      tracer != nullptr ? tracer->begin("site.evaluate", obs::kNoSpan)
+                        : obs::kNoSpan;
   EvaluateResponse response;
   const Rect* clip = request.window ? &*request.window : nullptr;
   response.survival =
       tree_.dominanceSurvival(request.tuple.values, mask, clip);
   flushTreeMetricsLocked();
 
-  if (!request.pruneLocal) return response;
-  const auto it = sessions_.find(request.query);
-  if (it == sessions_.end()) return response;
-  Session& session = it->second;
-
-  const Tuple& t = request.tuple;
-  auto doomed = [&](PendingEntry& p) {
-    if (!dominates(t.values, p.entry.values, session.mask)) return false;
-    if (session.prune == PruneRule::kDominance) return true;
-    // Threshold rule: accumulate the external factor and prune only when
-    // the provable upper bound falls below q.
-    p.extSurvival *= 1.0 - t.prob;
-    return p.entry.skyProb * p.extSurvival < session.q;
-  };
-  const auto removed =
-      std::remove_if(session.pending.begin(), session.pending.end(), doomed);
-  response.prunedCount = static_cast<std::uint32_t>(
-      std::distance(removed, session.pending.end()));
-  session.pending.erase(removed, session.pending.end());
-  if (pruned_ != nullptr) pruned_->add(response.prunedCount);
-  if (request.seq != 0) {
-    session.lastEvalSeq = request.seq;
-    session.lastEval = response;
+  if (request.pruneLocal && sess != nullptr) {
+    Session& session = *sess;
+    const Tuple& t = request.tuple;
+    auto doomed = [&](PendingEntry& p) {
+      if (!dominates(t.values, p.entry.values, session.mask)) return false;
+      if (session.prune == PruneRule::kDominance) return true;
+      // Threshold rule: accumulate the external factor and prune only when
+      // the provable upper bound falls below q.
+      p.extSurvival *= 1.0 - t.prob;
+      return p.entry.skyProb * p.extSurvival < session.q;
+    };
+    const auto removed =
+        std::remove_if(session.pending.begin(), session.pending.end(),
+                       doomed);
+    response.prunedCount = static_cast<std::uint32_t>(
+        std::distance(removed, session.pending.end()));
+    session.pending.erase(removed, session.pending.end());
+    if (pruned_ != nullptr) pruned_->add(response.prunedCount);
+    if (request.seq != 0) {
+      session.lastEvalSeq = request.seq;
+      session.lastEval = response;
+    }
+  }
+  if (tracer != nullptr) {
+    tracer->attr(span, "seq", static_cast<double>(request.seq));
+    tracer->attr(span, "nodes",
+                 static_cast<double>(tree_.nodeAccesses() - nodesBefore));
+    tracer->attr(span, "pruned", static_cast<double>(response.prunedCount));
+    tracer->attr(span, "pending",
+                 static_cast<double>(sess->pending.size()));
+    tracer->end(span);
   }
   return response;
 }
@@ -156,6 +228,30 @@ ShipAllResponse LocalSite::shipAll() const {
 void LocalSite::finishQuery(const FinishQueryRequest& request) {
   std::lock_guard lock(mutex_);
   sessions_.erase(request.query);
+}
+
+FetchTraceResponse LocalSite::fetchTrace(
+    const FetchTraceRequest& request) const {
+  std::lock_guard lock(mutex_);
+  FetchTraceResponse response;
+  if (request.query == kNoQuery) {
+    if (maintTracer_ != nullptr) response.trace = maintTracer_->snapshot();
+    return response;
+  }
+  const auto it = sessions_.find(request.query);
+  if (it != sessions_.end() && it->second.tracer) {
+    response.trace = it->second.tracer->snapshot();
+  }
+  return response;
+}
+
+std::optional<obs::QueryTrace> LocalSite::takePiggybackDelta(QueryId query) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(query);
+  if (it == sessions_.end() || !it->second.tracer || !it->second.piggyback) {
+    return std::nullopt;
+  }
+  return it->second.tracer->take();
 }
 
 std::size_t LocalSite::pendingCount(QueryId query) const {
@@ -191,6 +287,7 @@ double LocalSite::replicaExternalSurvivalLocked(std::span<const double> v,
 
 ApplyInsertResponse LocalSite::applyInsert(const ApplyInsertRequest& request) {
   std::lock_guard lock(mutex_);
+  const obs::SpanId span = maintBeginLocked("site.insert");
   const Tuple& t = request.tuple;
   tree_.insert(t);
 
@@ -205,6 +302,9 @@ ApplyInsertResponse LocalSite::applyInsert(const ApplyInsertRequest& request) {
       response.dominatedReplica.push_back(r.entry.tuple.id);
     }
   }
+  maintAttrLocked(span, "dominated_replica",
+                  static_cast<double>(response.dominatedReplica.size()));
+  maintEndLocked(span);
   return response;
 }
 
@@ -213,6 +313,7 @@ ApplyDeleteResponse LocalSite::applyDelete(const ApplyDeleteRequest& request) {
     throw std::invalid_argument("LocalSite::applyDelete: bad dimensionality");
   }
   std::lock_guard lock(mutex_);
+  const obs::SpanId span = maintBeginLocked("site.delete");
   ApplyDeleteResponse response;
   // Recover the probability before erasing (needed by the coordinator to
   // rescale cached global probabilities).
@@ -225,10 +326,12 @@ ApplyDeleteResponse LocalSite::applyDelete(const ApplyDeleteRequest& request) {
       found = true;
     }
   });
-  if (!found) return response;
-
-  response.existed = tree_.erase(request.id, request.values);
-  response.prob = response.existed ? prob : 0.0;
+  if (found) {
+    response.existed = tree_.erase(request.id, request.values);
+    response.prob = response.existed ? prob : 0.0;
+  }
+  maintAttrLocked(span, "existed", response.existed ? 1.0 : 0.0);
+  maintEndLocked(span);
   return response;
 }
 
@@ -238,6 +341,8 @@ RepairDeleteResponse LocalSite::repairDelete(
     throw std::invalid_argument("LocalSite::repairDelete: bad dimensionality");
   }
   std::lock_guard lock(mutex_);
+  const obs::SpanId span = maintBeginLocked("site.repair");
+  const std::uint64_t nodesBefore = tree_.nodeAccesses();
   RepairDeleteResponse response;
   const Tuple& deleted = request.deleted;
   const double q = request.q;
@@ -268,6 +373,11 @@ RepairDeleteResponse LocalSite::repairDelete(
     c.tuple = Tuple(e.id, std::move(e.values), e.prob);
     response.candidates.push_back(std::move(c));
   }
+  maintAttrLocked(span, "nodes",
+                  static_cast<double>(tree_.nodeAccesses() - nodesBefore));
+  maintAttrLocked(span, "candidates",
+                  static_cast<double>(response.candidates.size()));
+  maintEndLocked(span);
   return response;
 }
 
@@ -276,26 +386,50 @@ void LocalSite::replicaAdd(const ReplicaAddRequest& request) {
     throw std::invalid_argument("LocalSite::replicaAdd: bad dimensionality");
   }
   std::lock_guard lock(mutex_);
+  const obs::SpanId span = maintBeginLocked("site.replica_add");
   // Replace a stale copy if present (re-confirmation after updates).
   for (ReplicaEntry& r : replica_) {
     if (r.entry.tuple.id == request.entry.tuple.id) {
       r.entry = request.entry;
       r.globalSkyProb = request.globalSkyProb;
+      maintAttrLocked(span, "replica", static_cast<double>(replica_.size()));
+      maintEndLocked(span);
       return;
     }
   }
   replica_.push_back(ReplicaEntry{request.entry, request.globalSkyProb});
+  maintAttrLocked(span, "replica", static_cast<double>(replica_.size()));
+  maintEndLocked(span);
 }
 
 void LocalSite::replicaRemove(const ReplicaRemoveRequest& request) {
   std::lock_guard lock(mutex_);
+  const obs::SpanId span = maintBeginLocked("site.replica_remove");
   std::erase_if(replica_, [&](const ReplicaEntry& r) {
     return r.entry.tuple.id == request.id;
   });
+  maintAttrLocked(span, "replica", static_cast<double>(replica_.size()));
+  maintEndLocked(span);
 }
 
 // ---------------------------------------------------------------------------
 // SiteServer dispatch
+
+namespace {
+
+/// Encodes a query response plus, when the session piggybacks, the trailer
+/// carrying the spans it recorded while serving this request.
+template <typename Msg>
+Frame toTracedResponseFrame(LocalSite& site, QueryId query, const Msg& msg) {
+  ByteWriter w;
+  msg.encode(w);
+  if (auto delta = site.takePiggybackDelta(query)) {
+    encodeTraceBlock(w, *delta);
+  }
+  return std::move(w).take();
+}
+
+}  // namespace
 
 Frame SiteServer::handle(const Frame& request) {
   ByteReader r(request);
@@ -304,17 +438,23 @@ Frame SiteServer::handle(const Frame& request) {
     case MsgType::kPrepare: {
       const auto msg = PrepareRequest::decode(r);
       r.expectEnd();
-      return toResponseFrame(site_->prepare(msg));
+      return toTracedResponseFrame(*site_, msg.query, site_->prepare(msg));
     }
     case MsgType::kNextCandidate: {
       const auto msg = NextCandidateRequest::decode(r);
       r.expectEnd();
-      return toResponseFrame(site_->nextCandidate(msg));
+      return toTracedResponseFrame(*site_, msg.query,
+                                   site_->nextCandidate(msg));
     }
     case MsgType::kEvaluate: {
       const auto msg = EvaluateRequest::decode(r);
       r.expectEnd();
-      return toResponseFrame(site_->evaluate(msg));
+      return toTracedResponseFrame(*site_, msg.query, site_->evaluate(msg));
+    }
+    case MsgType::kFetchTrace: {
+      const auto msg = FetchTraceRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->fetchTrace(msg));
     }
     case MsgType::kShipAll: {
       ShipAllRequest::decode(r);

@@ -3,8 +3,10 @@
 // used by update maintenance (paper Secs. 4–6).
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "index/prtree.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "skyline/skyline_result.hpp"
 
 namespace dsud {
@@ -45,6 +48,12 @@ class LocalSite {
   /// protocol calls.
   void setMetrics(obs::MetricsRegistry* registry);
 
+  /// Enables a site-level tracer (capped at `maxEvents` spans; 0 disables)
+  /// for session-less update-maintenance traffic — applyInsert, applyDelete,
+  /// repairDelete, replica ops.  Fetchable with kFetchTrace{query == 0}.
+  /// Wiring-time only: must not race with protocol calls.
+  void setMaintenanceTrace(std::size_t maxEvents);
+
   // --- Query protocol ------------------------------------------------------
 
   /// Local computing phase (framework step 1): computes SKY(D_i) = {t :
@@ -68,6 +77,16 @@ class LocalSite {
 
   /// Drops the session state of one query (idempotent).
   void finishQuery(const FinishQueryRequest& request);
+
+  /// Snapshot of one session's span timeline (or of the maintenance
+  /// timeline for query == kNoQuery).  Non-clearing, so a retried fetch is
+  /// idempotent; spans are released by finishQuery with the session.
+  FetchTraceResponse fetchTrace(const FetchTraceRequest& request) const;
+
+  /// Moves the spans recorded since the last call out of `query`'s session
+  /// tracer — the piggyback trailer SiteServer appends to query responses.
+  /// nullopt when the session doesn't exist or doesn't piggyback.
+  std::optional<obs::QueryTrace> takePiggybackDelta(QueryId query);
 
   // --- Update maintenance (Sec. 5.4) ---------------------------------------
 
@@ -130,7 +149,16 @@ class LocalSite {
     NextCandidateResponse lastNext;
     std::uint64_t lastEvalSeq = 0;       // replay cache: kEvaluate
     EvaluateResponse lastEval;
+    /// Session span timeline (null when the query doesn't trace).  Spans
+    /// are flat (no nesting) so piggyback deltas need no id translation.
+    std::unique_ptr<obs::Tracer> tracer;
+    bool piggyback = false;  // ship spans as response trailers vs kFetchTrace
   };
+
+  // Maintenance-tracer helpers (no-ops when setMaintenanceTrace is off).
+  obs::SpanId maintBeginLocked(std::string_view name);
+  void maintAttrLocked(obs::SpanId span, std::string_view key, double value);
+  void maintEndLocked(obs::SpanId span);
 
   SiteId id_;
   PRTree tree_;
@@ -139,6 +167,7 @@ class LocalSite {
   mutable std::mutex mutex_;  // guards sessions_, replica_, tree_ walks
   std::unordered_map<QueryId, Session> sessions_;
   std::vector<ReplicaEntry> replica_;
+  std::unique_ptr<obs::Tracer> maintTracer_;  // session-less maintenance ops
 
   // Observability (null when no registry is attached).
   obs::Counter* nodeAccesses_ = nullptr;

@@ -40,6 +40,45 @@ std::optional<Rect> decodeOptionalRect(ByteReader& r) {
   return rect;
 }
 
+void encodeTraceBlock(ByteWriter& w, const obs::QueryTrace& trace) {
+  w.putU32(static_cast<std::uint32_t>(trace.events.size()));
+  for (const obs::TraceEvent& e : trace.events) {
+    w.putString(e.name);
+    w.putU32(e.parent);
+    w.putU64(e.startNs);
+    w.putU64(e.endNs);
+    w.putU32(static_cast<std::uint32_t>(e.attrs.size()));
+    for (const auto& [key, value] : e.attrs) {
+      w.putString(key);
+      w.putF64(value);
+    }
+  }
+  w.putU64(trace.droppedEvents);
+}
+
+obs::QueryTrace decodeTraceBlock(ByteReader& r) {
+  obs::QueryTrace trace;
+  const std::uint32_t n = r.getU32();
+  trace.events.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    obs::TraceEvent e;
+    e.name = r.getString();
+    e.parent = r.getU32();
+    e.startNs = r.getU64();
+    e.endNs = r.getU64();
+    const std::uint32_t nattrs = r.getU32();
+    e.attrs.reserve(nattrs);
+    for (std::uint32_t j = 0; j < nattrs; ++j) {
+      std::string key = r.getString();
+      const double value = r.getF64();
+      e.attrs.emplace_back(std::move(key), value);
+    }
+    trace.events.push_back(std::move(e));
+  }
+  trace.droppedEvents = r.getU64();
+  return trace;
+}
+
 void Candidate::encode(ByteWriter& w) const {
   w.putU32(site);
   w.putF64(localSkyProb);
@@ -60,6 +99,8 @@ void PrepareRequest::encode(ByteWriter& w) const {
   w.putU32(mask);
   w.putU8(static_cast<std::uint8_t>(prune));
   encodeOptionalRect(w, window);
+  w.putU32(traceCapacity);
+  w.putBool(tracePiggyback);
 }
 
 PrepareRequest PrepareRequest::decode(ByteReader& r) {
@@ -69,6 +110,8 @@ PrepareRequest PrepareRequest::decode(ByteReader& r) {
   msg.mask = r.getU32();
   msg.prune = static_cast<PruneRule>(r.getU8());
   msg.window = decodeOptionalRect(r);
+  msg.traceCapacity = r.getU32();
+  msg.tracePiggyback = r.getBool();
   return msg;
 }
 
@@ -220,6 +263,24 @@ void FinishQueryRequest::encode(ByteWriter& w) const { w.putU64(query); }
 FinishQueryRequest FinishQueryRequest::decode(ByteReader& r) {
   FinishQueryRequest msg;
   msg.query = r.getU64();
+  return msg;
+}
+
+void FetchTraceRequest::encode(ByteWriter& w) const { w.putU64(query); }
+
+FetchTraceRequest FetchTraceRequest::decode(ByteReader& r) {
+  FetchTraceRequest msg;
+  msg.query = r.getU64();
+  return msg;
+}
+
+void FetchTraceResponse::encode(ByteWriter& w) const {
+  encodeTraceBlock(w, trace);
+}
+
+FetchTraceResponse FetchTraceResponse::decode(ByteReader& r) {
+  FetchTraceResponse msg;
+  msg.trace = decodeTraceBlock(r);
   return msg;
 }
 

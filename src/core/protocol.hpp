@@ -11,6 +11,7 @@
 //                     candidate, get back P_sky(t, D_x), prune local skyline
 //   kShipAll        — the naive baseline: ship the whole local database
 //   kFinishQuery    — release the site-side state of one query session
+//   kFetchTrace     — pull the site-side span timeline of one session
 //   kApplyInsert / kApplyDelete / kRepairDelete / kReplicaAdd /
 //   kReplicaRemove  — update maintenance
 //
@@ -22,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <optional>
 #include <vector>
 
@@ -30,6 +32,7 @@
 #include "geometry/dominance.hpp"
 #include "geometry/rect.hpp"
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 
 namespace dsud {
 
@@ -127,6 +130,12 @@ Tuple decodeTuple(ByteReader& r);
 void encodeOptionalRect(ByteWriter& w, const std::optional<Rect>& rect);
 std::optional<Rect> decodeOptionalRect(ByteReader& r);
 
+/// Trace block: the wire form of a site-side span list.  Used both as the
+/// kFetchTrace response body and as the optional piggyback trailer appended
+/// after query-response bodies (u32 count, the events, u64 dropped).
+void encodeTraceBlock(ByteWriter& w, const obs::QueryTrace& trace);
+obs::QueryTrace decodeTraceBlock(ByteReader& r);
+
 // ---------------------------------------------------------------------------
 // Messages
 
@@ -141,6 +150,7 @@ enum class MsgType : std::uint8_t {
   kReplicaAdd = 8,
   kReplicaRemove = 9,
   kFinishQuery = 10,
+  kFetchTrace = 11,
 };
 
 struct PrepareRequest {
@@ -149,6 +159,14 @@ struct PrepareRequest {
   DimMask mask = 0;
   PruneRule prune = PruneRule::kThresholdBound;
   std::optional<Rect> window;  ///< constrained-query window
+  /// Site-side tracing for this session: 0 leaves the session tracer
+  /// disabled (responses stay byte-identical to untraced runs); otherwise
+  /// the site records up to this many spans.
+  std::uint32_t traceCapacity = 0;
+  /// When true (and traceCapacity > 0) the site appends its newly recorded
+  /// spans as a trace-block trailer on every query response of this session;
+  /// when false they accumulate until a kFetchTrace.
+  bool tracePiggyback = false;
 
   void encode(ByteWriter& w) const;
   static PrepareRequest decode(ByteReader& r);
@@ -224,6 +242,24 @@ struct ShipAllResponse {
 
   void encode(ByteWriter& w) const;
   static ShipAllResponse decode(ByteReader& r);
+};
+
+/// Pulls one session's site-side span timeline.  The read is a snapshot —
+/// it does not clear the site tracer — so a retried fetch is idempotent;
+/// kFinishQuery releases the tracer with the rest of the session state.
+/// `query == kNoQuery` fetches the site-level maintenance timeline instead.
+struct FetchTraceRequest {
+  QueryId query = kNoQuery;
+
+  void encode(ByteWriter& w) const;
+  static FetchTraceRequest decode(ByteReader& r);
+};
+
+struct FetchTraceResponse {
+  obs::QueryTrace trace;
+
+  void encode(ByteWriter& w) const;
+  static FetchTraceResponse decode(ByteReader& r);
 };
 
 // --- Update maintenance ----------------------------------------------------
@@ -327,6 +363,27 @@ Msg fromResponseFrame(const Frame& frame) {
   ByteReader r(frame);
   Msg msg = Msg::decode(r);
   r.expectEnd();
+  return msg;
+}
+
+/// Decodes a response frame that may carry a piggybacked trace-block
+/// trailer (query responses of a session prepared with tracePiggyback).
+/// The trailer's spans are appended to `*sink`; a frame without a trailer
+/// (e.g. the session is gone at the site) decodes like fromResponseFrame.
+template <typename Msg>
+Msg fromResponseFrameWithTrace(const Frame& frame, obs::QueryTrace* sink) {
+  ByteReader r(frame);
+  Msg msg = Msg::decode(r);
+  if (!r.atEnd()) {
+    obs::QueryTrace delta = decodeTraceBlock(r);
+    r.expectEnd();
+    if (sink != nullptr) {
+      sink->events.insert(sink->events.end(),
+                          std::make_move_iterator(delta.events.begin()),
+                          std::make_move_iterator(delta.events.end()));
+      sink->droppedEvents += delta.droppedEvents;
+    }
+  }
   return msg;
 }
 

@@ -11,6 +11,9 @@
 
 #include <algorithm>
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -21,6 +24,8 @@
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "core/coordinator.hpp"
+#include "obs/export.hpp"
+#include "obs/merge.hpp"
 #include "obs/trace.hpp"
 
 namespace dsud::internal {
@@ -37,6 +42,12 @@ struct QueryRun {
   /// Per-query views of the shared sites; all session traffic flows through
   /// these so it lands in `usage`.
   std::vector<std::unique_ptr<SiteHandle>> sessions;
+  /// Site-side span timelines, parallel to `sessions` (empty when site
+  /// tracing is off).  Piggyback mode streams into these via the handles'
+  /// trace sinks; fetch mode fills them at finish() time.  Addresses must
+  /// stay stable — sized once in the constructor, never resized.
+  std::vector<obs::QueryTrace> siteTraces;
+  const char* algo;  ///< instrument label; also names slow-query dumps
   /// Session-private broadcast workers (never the engine's submit pool, so
   /// submitted queries cannot starve each other).
   std::unique_ptr<ThreadPool> broadcastPool;
@@ -54,6 +65,7 @@ struct QueryRun {
   obs::Counter* expunges = nullptr;
   obs::Counter* sitePrunes = nullptr;
   obs::Counter* degradedQueries = nullptr;
+  obs::Counter* slowQueries = nullptr;
   obs::Histogram* roundLatency = nullptr;
   obs::Histogram* queryLatency = nullptr;
   obs::Gauge* inflight = nullptr;
@@ -62,12 +74,25 @@ struct QueryRun {
   /// names the root span of the timeline.
   QueryRun(Coordinator& c, const char* algo, const QueryOptions& opts,
            QueryId qid)
-      : coord(c), id(qid), options(opts), tracer(opts.traceCapacity) {
+      : coord(c), id(qid), options(opts), tracer(opts.traceCapacity),
+        algo(algo) {
     result.id = id;
     sessions.reserve(c.siteCount());
     for (std::size_t i = 0; i < c.siteCount(); ++i) {
       sessions.push_back(c.site(i).openSession(&usage, options.fault,
                                                &c.health(i), c.metrics()));
+    }
+    // Site tracing needs a coordinator trace to merge into; piggybacked
+    // spans stream into per-site sinks while the query runs, fetched spans
+    // arrive in one kFetchTrace per site at finish() time.
+    if (options.traceCapacity > 0 &&
+        options.siteTrace != SiteTraceMode::kOff) {
+      siteTraces.resize(sessions.size());
+      if (options.siteTrace == SiteTraceMode::kPiggyback) {
+        for (std::size_t i = 0; i < sessions.size(); ++i) {
+          sessions[i]->setTraceSink(&siteTraces[i]);
+        }
+      }
     }
     if (options.broadcastThreads > 0 && sessions.size() > 2) {
       broadcastPool = std::make_unique<ThreadPool>(options.broadcastThreads);
@@ -84,6 +109,7 @@ struct QueryRun {
       expunges = &reg->counter(name("dsud_expunged_total"));
       sitePrunes = &reg->counter(name("dsud_pruned_at_sites_total"));
       degradedQueries = &reg->counter(name("dsud_degraded_queries_total"));
+      slowQueries = &reg->counter(name("dsud_slow_queries_total"));
       roundLatency = &reg->histogram(name("dsud_round_latency_seconds"),
                                      obs::Histogram::latencyBounds());
       queryLatency = &reg->histogram(name("dsud_query_latency_seconds"),
@@ -103,11 +129,33 @@ struct QueryRun {
 
   /// Session view of the site by id; throws std::out_of_range when unknown.
   SiteHandle& siteById(SiteId site) {
-    for (const auto& s : sessions) {
-      if (s->siteId() == site) return *s;
+    return *sessions[sessionIndexOf(site)];
+  }
+
+  /// Position of `site` in `sessions` (== its Coordinator index, so it also
+  /// addresses coord.health()); throws std::out_of_range when unknown.
+  std::size_t sessionIndexOf(SiteId site) const {
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      if (sessions[i]->siteId() == site) return i;
     }
     throw std::out_of_range("QueryRun: unknown site id " +
                             std::to_string(site));
+  }
+
+  bool siteTracing() const noexcept { return !siteTraces.empty(); }
+
+  /// Marks an RPC span that needed transport retries: the attempt count and
+  /// the site breaker's state (0 closed, 1 open, 2 half-open).  Clean RPCs
+  /// stay unannotated, so a faulty run's trace differs from a clean one
+  /// only by these attrs.
+  void annotateRetries(obs::TraceSpan& rpc, const SiteHandle& handle,
+                       std::size_t index) {
+    if (const std::uint32_t attempts = handle.lastAttempts(); attempts > 1) {
+      rpc.attr("attempts", attempts);
+      rpc.attr("breaker_state",
+               static_cast<double>(
+                   static_cast<int>(coord.health(index).state())));
+    }
   }
 
   // --- Degraded-mode bookkeeping ------------------------------------------
@@ -139,11 +187,24 @@ struct QueryRun {
   /// session open first so a mid-prepare failure still releases the sites
   /// that did prepare.  In degraded mode an unreachable site is excluded
   /// instead of failing the query; only losing *every* site is fatal.
-  void prepareAll(const PrepareRequest& request) {
+  /// When site tracing is on, the request is stamped with the session's
+  /// trace capacity and shipping mode before it goes out.
+  void prepareAll(PrepareRequest request) {
+    if (siteTracing()) {
+      request.traceCapacity = static_cast<std::uint32_t>(std::min<
+          std::size_t>(options.siteTraceCapacity,
+                       std::numeric_limits<std::uint32_t>::max()));
+      request.tracePiggyback =
+          options.siteTrace == SiteTraceMode::kPiggyback;
+    }
     sessionsOpen = true;
-    for (const auto& s : sessions) {
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      const auto& s = sessions[i];
+      obs::TraceSpan rpc = span("rpc.prepare");
+      rpc.attr("site", s->siteId());
       try {
         s->prepare(request);
+        annotateRetries(rpc, *s, i);
       } catch (const NetError&) {
         if (!degradeOk()) throw;
         markDead(s->siteId());
@@ -157,10 +218,26 @@ struct QueryRun {
   /// Releases the site-side session state (kFinishQuery, idempotent).
   /// Exceptions are swallowed: finish is cleanup, and the sites drop
   /// unknown ids anyway.  Dead sites are skipped — their retry budget was
-  /// already spent detecting the failure.
+  /// already spent detecting the failure.  In fetch-mode site tracing this
+  /// is the last chance to read the site-side spans (kFinishQuery destroys
+  /// the session tracer with the rest of the session), so every live site
+  /// gets one best-effort kFetchTrace first.
   void finish() noexcept {
     if (!sessionsOpen) return;
     sessionsOpen = false;
+    if (options.siteTrace == SiteTraceMode::kFetch && siteTracing()) {
+      const FetchTraceRequest fetch{id};
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        if (isDead(sessions[i]->siteId())) continue;
+        obs::TraceSpan rpc = span("rpc.fetch_trace");
+        rpc.attr("site", sessions[i]->siteId());
+        try {
+          siteTraces[i] = sessions[i]->fetchTrace(fetch).trace;
+        } catch (...) {
+          // A site whose trace cannot be read still answers the query.
+        }
+      }
+    }
     const FinishQueryRequest request{id};
     for (const auto& s : sessions) {
       if (isDead(s->siteId())) continue;
@@ -180,34 +257,59 @@ struct QueryRun {
   /// In degraded mode a site failing its broadcast is excluded and its
   /// survival factor skipped — the candidate's probability is then exact
   /// over the survivors.  Under kFail the SiteFailure propagates.
+  ///
+  /// Each per-site round trip gets an "rpc.evaluate" span hung off
+  /// `broadcastSpan` (the caller's "broadcast" span).  The explicit parent
+  /// matters on the pooled path: spans are begun on *this* thread in site
+  /// order — so the timeline is deterministic — while the RPCs complete on
+  /// workers in any order, and an implicit parent would be whichever span
+  /// happened to be open.  A pooled span brackets submit-to-drain rather
+  /// than the wire time alone; the merge's min-delay offset sampling
+  /// discounts such inflated samples automatically.
   double evaluateGlobally(const Candidate& c, bool pruneLocal, DimMask mask,
-                          const std::optional<Rect>& window) {
+                          const std::optional<Rect>& window,
+                          obs::SpanId broadcastSpan = obs::kNoSpan) {
     QueryStats& stats = result.stats;
     double globalSkyProb = c.localSkyProb;
     const EvaluateRequest request{id, c.tuple, mask, pruneLocal, window};
 
     if (broadcastPool != nullptr) {
-      std::vector<std::pair<SiteId, std::future<EvaluateResponse>>> responses;
+      struct Pending {
+        std::size_t index;
+        SiteId site;
+        obs::TraceSpan rpc;
+        std::future<EvaluateResponse> future;
+      };
+      std::vector<Pending> responses;
       responses.reserve(sessions.size());
-      for (const auto& s : sessions) {
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        const auto& s = sessions[i];
         if (s->siteId() == c.site || isDead(s->siteId())) continue;
-        responses.emplace_back(
-            s->siteId(), broadcastPool->submit([&site = *s, &request] {
-              return site.evaluate(request);
-            }));
+        obs::TraceSpan rpc(tracer, "rpc.evaluate", broadcastSpan);
+        rpc.attr("site", s->siteId());
+        responses.push_back(Pending{
+            i, s->siteId(), std::move(rpc),
+            broadcastPool->submit(
+                [&site = *s, &request] { return site.evaluate(request); })});
       }
       // Drain every future before any rethrow: the workers capture the
       // stack-allocated request by reference.
       std::vector<SiteId> failed;
       std::exception_ptr fatal;
-      for (auto& [site, future] : responses) {
+      for (auto& p : responses) {
         try {
-          const EvaluateResponse r = future.get();
+          const EvaluateResponse r = p.future.get();
+          if (siteTracing()) {
+            p.rpc.attr("seq",
+                       static_cast<double>(sessions[p.index]->lastEvalSeq()));
+          }
+          annotateRetries(p.rpc, *sessions[p.index], p.index);
+          p.rpc.close();
           globalSkyProb *= r.survival;
           stats.prunedAtSites += r.prunedCount;
         } catch (const NetError&) {
           if (degradeOk()) {
-            failed.push_back(site);
+            failed.push_back(p.site);
           } else if (!fatal) {
             fatal = std::current_exception();
           }
@@ -218,10 +320,17 @@ struct QueryRun {
       if (fatal) std::rethrow_exception(fatal);
       for (const SiteId site : failed) markDead(site);
     } else {
-      for (const auto& s : sessions) {
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        const auto& s = sessions[i];
         if (s->siteId() == c.site || isDead(s->siteId())) continue;
+        obs::TraceSpan rpc(tracer, "rpc.evaluate", broadcastSpan);
+        rpc.attr("site", s->siteId());
         try {
           const EvaluateResponse r = s->evaluate(request);
+          if (siteTracing()) {
+            rpc.attr("seq", static_cast<double>(s->lastEvalSeq()));
+          }
+          annotateRetries(rpc, *s, i);
           globalSkyProb *= r.survival;
           stats.prunedAtSites += r.prunedCount;
         } catch (const NetError&) {
@@ -241,14 +350,18 @@ struct QueryRun {
   std::optional<Candidate> pull(SiteId site, const NextCandidateRequest& cursor,
                                 QueryStats& stats) {
     if (isDead(site)) return std::nullopt;
-    SiteHandle& handle = siteById(site);
+    const std::size_t index = sessionIndexOf(site);
+    SiteHandle& handle = *sessions[index];
     obs::TraceSpan pullSpan = span("pull");
     pullSpan.attr("site", site);
     try {
       auto response = handle.nextCandidate(cursor);
-      if (const std::uint32_t attempts = handle.lastAttempts(); attempts > 1) {
-        pullSpan.attr("attempts", attempts);
+      if (siteTracing()) {
+        // Matches this round trip to the site-side "site.next" span carrying
+        // the same sequence number (see obs::mergeSiteTraces).
+        pullSpan.attr("seq", static_cast<double>(handle.lastNextSeq()));
       }
+      annotateRetries(pullSpan, handle, index);
       if (!response.candidate) return std::nullopt;
       countPull(stats);
       return std::move(response.candidate);
@@ -336,7 +449,42 @@ struct QueryRun {
     }
     tracer.end(root);
     result.trace = tracer.take();
+    if (siteTracing()) {
+      std::vector<obs::SiteTraceInput> inputs;
+      inputs.reserve(sessions.size());
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        inputs.push_back({sessions[i]->siteId(), &siteTraces[i]});
+      }
+      obs::mergeSiteTraces(result.trace, inputs);
+    }
+    maybeDumpSlowQuery();
     return std::move(result);
+  }
+
+  /// Slow-query log: when the run exceeded QueryOptions::slowQueryThreshold,
+  /// count it and — if a dump directory is configured — write the merged
+  /// trace as `<algo>-q<id>-<ms>ms.trace.json` (Perfetto-loadable).
+  /// Best-effort: an unwritable directory never fails the query.
+  void maybeDumpSlowQuery() {
+    if (options.slowQueryThreshold <= 0.0 ||
+        result.stats.seconds < options.slowQueryThreshold) {
+      return;
+    }
+    if (slowQueries != nullptr) slowQueries->inc();
+    if (options.slowQueryDir.empty()) return;
+    try {
+      std::filesystem::create_directories(options.slowQueryDir);
+      const auto ms =
+          static_cast<long long>(result.stats.seconds * 1e3);
+      const std::filesystem::path file =
+          std::filesystem::path(options.slowQueryDir) /
+          (std::string(algo) + "-q" + std::to_string(id) + "-" +
+           std::to_string(ms) + "ms.trace.json");
+      std::ofstream out(file, std::ios::trunc);
+      out << obs::traceToPerfetto(result.trace);
+    } catch (...) {
+      // Losing a dump is acceptable; losing the query result is not.
+    }
   }
 };
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/dataset.hpp"
@@ -74,6 +75,19 @@ enum class Algo {
   kEdsud,  ///< Sec. 5.2: + global-probability upper bounds and expunging
 };
 
+/// How site-side spans travel back to the coordinator.  kOff keeps the wire
+/// encoding byte-identical to untraced runs (the default, so bandwidth
+/// comparisons between transports stay exact).  kPiggyback appends each
+/// session's new spans as a trailer on every query response — cheap for
+/// in-process channels, adds per-response bytes on TCP.  kFetch leaves
+/// responses untouched and pulls the whole site trace with one kFetchTrace
+/// RPC per site at finishQuery time.
+enum class SiteTraceMode {
+  kOff,
+  kPiggyback,
+  kFetch,
+};
+
 /// Per-query execution options, immutable for the lifetime of the query.
 /// Everything that was once mutable coordinator-wide state (progress
 /// callback, trace capacity, broadcast parallelism) lives here so N queries
@@ -98,6 +112,22 @@ struct QueryOptions {
   /// (no deadline, single attempt, kFail) reproduce fail-fast behaviour:
   /// the first transport error aborts the query with SiteFailure.
   FaultOptions fault;
+
+  /// Site-side span collection (see SiteTraceMode).  Ignored when
+  /// `traceCapacity == 0` — without a coordinator trace there is nothing to
+  /// merge site spans into.
+  SiteTraceMode siteTrace = SiteTraceMode::kOff;
+
+  /// Caps each site session's tracer (same semantics as traceCapacity).
+  std::size_t siteTraceCapacity = 65536;
+
+  /// When > 0 and the query's wall time exceeds this many seconds, the
+  /// merged trace is dumped as Perfetto JSON into `slowQueryDir`.
+  double slowQueryThreshold = 0.0;
+
+  /// Directory for slow-query trace dumps (created on first use).  Empty
+  /// disables dumping even when the threshold trips.
+  std::string slowQueryDir;
 };
 
 /// Sorts answers by descending global skyline probability (ties: id) — the

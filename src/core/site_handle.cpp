@@ -62,6 +62,13 @@ class SessionView final : public SiteHandle {
     parent_->replicaRemove(r);
   }
 
+  FetchTraceResponse fetchTrace(const FetchTraceRequest& r) override {
+    return parent_->fetchTrace(r);
+  }
+  void setTraceSink(obs::QueryTrace* sink) override {
+    parent_->setTraceSink(sink);
+  }
+
   std::unique_ptr<SiteHandle> openSession(QueryUsage* scope) override {
     return parent_->openSession(scope);
   }
@@ -73,6 +80,12 @@ class SessionView final : public SiteHandle {
 
   std::uint32_t lastAttempts() const noexcept override {
     return parent_->lastAttempts();
+  }
+  std::uint64_t lastNextSeq() const noexcept override {
+    return parent_->lastNextSeq();
+  }
+  std::uint64_t lastEvalSeq() const noexcept override {
+    return parent_->lastEvalSeq();
   }
 
  private:
@@ -201,10 +214,18 @@ void RpcSiteHandle::countTuples(std::uint64_t toSite, std::uint64_t fromSite) {
   if (scope_ != nullptr) scope_->recordTuples(toSite + fromSite);
 }
 
+template <typename Msg>
+Msg RpcSiteHandle::decodeResponse(const Frame& frame) {
+  if (traceSink_ != nullptr) {
+    return fromResponseFrameWithTrace<Msg>(frame, traceSink_);
+  }
+  return fromResponseFrame<Msg>(frame);
+}
+
 PrepareResponse RpcSiteHandle::prepare(const PrepareRequest& request) {
   // Idempotent: a replayed kPrepare replaces the session wholesale.
   const Frame response = retryingRoundTrip(toFrame(MsgType::kPrepare, request));
-  return fromResponseFrame<PrepareResponse>(response);
+  return decodeResponse<PrepareResponse>(response);
 }
 
 NextCandidateResponse RpcSiteHandle::nextCandidate(
@@ -216,7 +237,7 @@ NextCandidateResponse RpcSiteHandle::nextCandidate(
   numbered.seq = ++nextSeq_;
   const Frame response =
       retryingRoundTrip(toFrame(MsgType::kNextCandidate, numbered));
-  auto msg = fromResponseFrame<NextCandidateResponse>(response);
+  auto msg = decodeResponse<NextCandidateResponse>(response);
   countTuples(0, msg.candidate.has_value() ? 1 : 0);
   return msg;
 }
@@ -230,7 +251,7 @@ EvaluateResponse RpcSiteHandle::evaluate(const EvaluateRequest& request) {
   const Frame response =
       retryingRoundTrip(toFrame(MsgType::kEvaluate, numbered));
   countTuples(1, 0);
-  return fromResponseFrame<EvaluateResponse>(response);
+  return decodeResponse<EvaluateResponse>(response);
 }
 
 ShipAllResponse RpcSiteHandle::shipAll() {
@@ -240,6 +261,14 @@ ShipAllResponse RpcSiteHandle::shipAll() {
   auto msg = fromResponseFrame<ShipAllResponse>(response);
   countTuples(0, msg.tuples.size());
   return msg;
+}
+
+FetchTraceResponse RpcSiteHandle::fetchTrace(
+    const FetchTraceRequest& request) {
+  // Snapshot read (the site does not clear on fetch): safe to replay.
+  const Frame response =
+      retryingRoundTrip(toFrame(MsgType::kFetchTrace, request));
+  return fromResponseFrame<FetchTraceResponse>(response);
 }
 
 void RpcSiteHandle::finishQuery(const FinishQueryRequest& request) {

@@ -46,6 +46,19 @@ class SiteHandle {
   virtual void replicaAdd(const ReplicaAddRequest&) = 0;
   virtual void replicaRemove(const ReplicaRemoveRequest&) = 0;
 
+  /// Pulls the site-side span timeline of one session (SiteTraceMode::
+  /// kFetch).  Non-transport implementations have no remote timeline and
+  /// return an empty trace.
+  virtual FetchTraceResponse fetchTrace(const FetchTraceRequest&) {
+    return {};
+  }
+
+  /// Directs piggybacked site spans into `sink` (null detaches): when set,
+  /// query responses are decoded expecting the optional trace-block trailer
+  /// and its spans are appended to the sink.  Session-confined, like the
+  /// handle: the sink is read by the owning query only after its last RPC.
+  virtual void setTraceSink(obs::QueryTrace* /*sink*/) {}
+
   /// Opens a per-query view of this site whose traffic is additionally
   /// recorded into `scope` (may be null).  The default implementation wraps
   /// `*this` and counts round trips and tuples (bytes are transport detail
@@ -68,6 +81,12 @@ class SiteHandle {
   /// on this handle took (1 = no retries).  Implementations without a retry
   /// layer always report 1.
   virtual std::uint32_t lastAttempts() const noexcept { return 1; }
+
+  /// Sequence numbers assigned to the most recent kNextCandidate/kEvaluate
+  /// operations (0 before the first).  The coordinator stamps these on its
+  /// RPC spans so merged site spans can be matched back by (site, op, seq).
+  virtual std::uint64_t lastNextSeq() const noexcept { return 0; }
+  virtual std::uint64_t lastEvalSeq() const noexcept { return 0; }
 };
 
 /// SiteHandle over a per-site ChannelPool with bandwidth accounting.
@@ -108,6 +127,9 @@ class RpcSiteHandle final : public SiteHandle {
   void replicaAdd(const ReplicaAddRequest&) override;
   void replicaRemove(const ReplicaRemoveRequest&) override;
 
+  FetchTraceResponse fetchTrace(const FetchTraceRequest& request) override;
+  void setTraceSink(obs::QueryTrace* sink) override { traceSink_ = sink; }
+
   std::unique_ptr<SiteHandle> openSession(QueryUsage* scope) override;
   std::unique_ptr<SiteHandle> openSession(QueryUsage* scope,
                                           const FaultOptions& fault,
@@ -115,6 +137,8 @@ class RpcSiteHandle final : public SiteHandle {
                                           obs::MetricsRegistry* metrics) override;
 
   std::uint32_t lastAttempts() const noexcept override { return lastAttempts_; }
+  std::uint64_t lastNextSeq() const noexcept override { return nextSeq_; }
+  std::uint64_t lastEvalSeq() const noexcept override { return evalSeq_; }
 
  private:
   RpcSiteHandle(SiteId site, std::shared_ptr<ChannelPool> pool,
@@ -130,6 +154,11 @@ class RpcSiteHandle final : public SiteHandle {
   Frame retryingRoundTrip(const Frame& request);
   void countTuples(std::uint64_t toSite, std::uint64_t fromSite);
 
+  /// Decodes a query response, consuming a piggyback trailer into the trace
+  /// sink when one is attached and the frame carries one.
+  template <typename Msg>
+  Msg decodeResponse(const Frame& frame);
+
   SiteId site_;
   std::shared_ptr<ChannelPool> pool_;
   BandwidthMeter* meter_;   // may be null (no accounting)
@@ -144,6 +173,7 @@ class RpcSiteHandle final : public SiteHandle {
   std::uint32_t lastAttempts_ = 1;
   obs::Counter* retries_ = nullptr;   // dsud_retries_total{site}
   obs::Counter* timeouts_ = nullptr;  // dsud_timeouts_total{site}
+  obs::QueryTrace* traceSink_ = nullptr;  // piggybacked site spans land here
 };
 
 }  // namespace dsud

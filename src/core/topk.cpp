@@ -101,7 +101,8 @@ QueryResult QueryEngine::topkImpl(const TopKConfig& config,
       broadcast.attr("site", c.site);
       broadcast.attr("tuple", static_cast<double>(c.tuple.id));
       globalSkyProb =
-          run.evaluateGlobally(c, /*pruneLocal=*/true, mask, config.window);
+          run.evaluateGlobally(c, /*pruneLocal=*/true, mask, config.window,
+                               broadcast.id());
     }
     queue.confirm(c.tuple, globalSkyProb);
 

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <string_view>
 
 namespace dsud::obs {
 namespace {
@@ -245,6 +247,75 @@ std::string traceToJson(const QueryTrace& trace) {
     out += '}';
   }
   out += trace.events.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+namespace {
+
+/// Track of one event: 0 = coordinator, site + 1 for merged site spans.
+/// "site.dead" is the coordinator *observing* a site failure, so it stays
+/// on the coordinator track despite the prefix.
+std::uint32_t perfettoTid(const TraceEvent& e) {
+  const std::string_view name = e.name;
+  if (!name.starts_with("site.") || name == "site.dead") return 0;
+  for (const auto& [key, value] : e.attrs) {
+    if (key == "site") return static_cast<std::uint32_t>(value) + 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string traceToPerfetto(const QueryTrace& trace) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"otherData\": "
+                    "{\"droppedEvents\": ";
+  appendU64(out, trace.droppedEvents);
+  out += "}, \"traceEvents\": [";
+
+  // Name the process and every track up front (metadata events).
+  std::map<std::uint32_t, std::string> tracks;
+  tracks.emplace(0, "coordinator");
+  for (const TraceEvent& e : trace.events) {
+    const std::uint32_t tid = perfettoTid(e);
+    if (tid != 0) {
+      tracks.emplace(tid, "site " + std::to_string(tid - 1));
+    }
+  }
+  out += "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": 0, \"args\": {\"name\": \"dsud\"}}";
+  for (const auto& [tid, label] : tracks) {
+    out += ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": ";
+    appendU64(out, tid);
+    out += ", \"args\": {\"name\": \"";
+    appendJsonEscaped(out, label);
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& e : trace.events) {
+    out += ",\n  {\"name\": \"";
+    appendJsonEscaped(out, e.name);
+    out += "\", \"cat\": \"dsud\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    appendU64(out, perfettoTid(e));
+    out += ", \"ts\": ";
+    appendDouble(out, static_cast<double>(e.startNs) / 1e3);
+    out += ", \"dur\": ";
+    const std::uint64_t end = e.endNs == 0 ? e.startNs : e.endNs;
+    appendDouble(out, static_cast<double>(end - e.startNs) / 1e3);
+    if (!e.attrs.empty()) {
+      out += ", \"args\": {";
+      for (std::size_t j = 0; j < e.attrs.size(); ++j) {
+        if (j != 0) out += ", ";
+        out += '"';
+        appendJsonEscaped(out, e.attrs[j].first);
+        out += "\": ";
+        appendDouble(out, e.attrs[j].second);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
   return out;
 }
 

@@ -27,6 +27,14 @@ std::string metricsToPrometheus(const MetricsSnapshot& snapshot);
 
 std::string traceToJson(const QueryTrace& trace);
 
+/// Chrome trace_event JSON (the "JSON Array Format" Perfetto and
+/// chrome://tracing load): one complete ("ph":"X") event per span, one
+/// track (tid) per site plus tid 0 for the coordinator — merged site spans
+/// (names starting "site.", placed by obs::mergeSiteTraces) land on their
+/// site's track, everything else on the coordinator's.  Timestamps convert
+/// to microseconds as the format requires.
+std::string traceToPerfetto(const QueryTrace& trace);
+
 /// Appends `text` with JSON string escaping (quotes, backslashes, control
 /// characters) — shared with anything hand-rolling JSON around the library.
 void appendJsonEscaped(std::string& out, std::string_view text);

@@ -1,0 +1,201 @@
+#include "obs/merge.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dsud::obs {
+
+namespace {
+
+std::optional<double> findAttr(const TraceEvent& e, std::string_view key) {
+  for (const auto& [k, v] : e.attrs) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+/// Coordinator RPC span names and the site span each one parents.
+std::string_view siteSpanFor(std::string_view rpcName) {
+  if (rpcName == "rpc.prepare") return "site.prepare";
+  if (rpcName == "pull") return "site.next";
+  if (rpcName == "rpc.evaluate") return "site.evaluate";
+  return {};
+}
+
+struct RpcSpan {
+  SpanId id = kNoSpan;
+  std::uint64_t startNs = 0;
+  std::uint64_t endNs = 0;
+  bool retried = false;  // attempts > 1: midpoint spans several attempts
+};
+
+/// The coordinator spans addressing one site, keyed for matching.
+struct SiteRpcIndex {
+  std::vector<RpcSpan> prepare;                       // usually exactly one
+  std::unordered_map<std::uint64_t, RpcSpan> nexts;   // by seq
+  std::unordered_map<std::uint64_t, RpcSpan> evals;   // by seq
+};
+
+std::int64_t midpoint2x(std::uint64_t startNs, std::uint64_t endNs) {
+  // Twice the midpoint, in ns, to stay integral.
+  return static_cast<std::int64_t>(startNs) +
+         static_cast<std::int64_t>(endNs);
+}
+
+}  // namespace
+
+void mergeSiteTraces(QueryTrace& trace, std::span<const SiteTraceInput> sites) {
+  if (trace.events.empty()) return;
+  const SpanId rootId = 0;  // events are in span-start order; 0 is the root
+
+  // Index the coordinator's RPC spans by (site, kind, seq).
+  std::unordered_map<SiteId, SiteRpcIndex> rpcIndex;
+  for (SpanId id = 0; id < trace.events.size(); ++id) {
+    const TraceEvent& e = trace.events[id];
+    if (siteSpanFor(e.name).empty()) continue;
+    const auto site = findAttr(e, "site");
+    if (!site) continue;
+    RpcSpan rpc{id, e.startNs, e.endNs,
+                findAttr(e, "attempts").value_or(1.0) > 1.0};
+    SiteRpcIndex& index = rpcIndex[static_cast<SiteId>(*site)];
+    if (e.name == "rpc.prepare") {
+      index.prepare.push_back(rpc);
+    } else if (e.name == "pull") {
+      if (const auto seq = findAttr(e, "seq")) {
+        index.nexts.emplace(static_cast<std::uint64_t>(*seq), rpc);
+      }
+    } else if (e.name == "rpc.evaluate") {
+      if (const auto seq = findAttr(e, "seq")) {
+        index.evals.emplace(static_cast<std::uint64_t>(*seq), rpc);
+      }
+    }
+  }
+
+  for (const SiteTraceInput& input : sites) {
+    if (input.trace == nullptr || input.trace->events.empty()) continue;
+    const SiteRpcIndex* index = nullptr;
+    if (const auto it = rpcIndex.find(input.site); it != rpcIndex.end()) {
+      index = &it->second;
+    }
+
+    // Match every site span to its RPC span, remembering the pairing so the
+    // offset chosen below applies to all of them.
+    struct Match {
+      const TraceEvent* event;
+      const RpcSpan* rpc;  // null = unmatched, attach under root
+    };
+    std::vector<Match> matches;
+    matches.reserve(input.trace->events.size());
+    std::size_t nextPrepare = 0;
+    for (const TraceEvent& e : input.trace->events) {
+      const RpcSpan* rpc = nullptr;
+      if (index != nullptr) {
+        if (e.name == "site.prepare") {
+          if (nextPrepare < index->prepare.size()) {
+            rpc = &index->prepare[nextPrepare++];
+          }
+        } else if (const auto seq = findAttr(e, "seq")) {
+          const auto key = static_cast<std::uint64_t>(*seq);
+          const auto& map =
+              e.name == "site.next" ? index->nexts : index->evals;
+          if (e.name == "site.next" || e.name == "site.evaluate") {
+            if (const auto it = map.find(key); it != map.end()) {
+              rpc = &it->second;
+            }
+          }
+        }
+      }
+      matches.push_back(Match{&e, rpc});
+    }
+
+    // NTP-style offset: over the clean matched pairs, keep the sample with
+    // the smallest round-trip overhead.
+    std::int64_t offsetNs = 0;
+    std::int64_t bestDelayNs = std::numeric_limits<std::int64_t>::max();
+    std::size_t samples = 0;
+    for (const Match& m : matches) {
+      if (m.rpc == nullptr || m.rpc->retried) continue;
+      const TraceEvent& e = *m.event;
+      if (e.endNs == 0 || findAttr(e, "replay").has_value()) continue;
+      const std::int64_t rpcDur =
+          static_cast<std::int64_t>(m.rpc->endNs - m.rpc->startNs);
+      const std::int64_t siteDur =
+          static_cast<std::int64_t>(e.endNs - e.startNs);
+      const std::int64_t delay = rpcDur - siteDur;
+      ++samples;
+      if (delay < bestDelayNs) {
+        bestDelayNs = delay;
+        offsetNs = (midpoint2x(m.rpc->startNs, m.rpc->endNs) -
+                    midpoint2x(e.startNs, e.endNs)) /
+                   2;
+      }
+    }
+
+    // Copy the root bounds: the push_backs below may reallocate events.
+    const std::uint64_t rootStart = trace.events[rootId].startNs;
+    const std::uint64_t rootEnd = trace.events[rootId].endNs;
+    std::size_t matched = 0;
+    std::size_t unmatched = 0;
+    std::size_t clamped = 0;
+    for (const Match& m : matches) {
+      const TraceEvent& e = *m.event;
+      TraceEvent merged;
+      merged.name = e.name;
+      merged.attrs = e.attrs;
+      merged.attrs.emplace_back("site", static_cast<double>(input.site));
+
+      // Map into coordinator time, then clamp into the parent's bounds —
+      // the site provably worked inside the RPC window, so any excursion is
+      // residual clock error.
+      const std::uint64_t loBound = m.rpc != nullptr ? m.rpc->startNs
+                                                     : rootStart;
+      const std::uint64_t hiBound = m.rpc != nullptr ? m.rpc->endNs
+                                                     : rootEnd;
+      const auto map = [&](std::uint64_t siteNs) {
+        const std::int64_t mapped =
+            static_cast<std::int64_t>(siteNs) + offsetNs;
+        return static_cast<std::uint64_t>(
+            std::clamp(mapped, static_cast<std::int64_t>(loBound),
+                       static_cast<std::int64_t>(hiBound)));
+      };
+      const std::uint64_t rawStart =
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(e.startNs) +
+                                     offsetNs);
+      merged.startNs = map(e.startNs);
+      merged.endNs = std::max(map(e.endNs == 0 ? e.startNs : e.endNs),
+                              merged.startNs);
+      if (merged.startNs != rawStart) ++clamped;
+      if (m.rpc != nullptr) {
+        merged.parent = m.rpc->id;
+        ++matched;
+      } else {
+        merged.parent = rootId;
+        ++unmatched;
+      }
+      trace.events.push_back(std::move(merged));
+    }
+    trace.droppedEvents += input.trace->droppedEvents;
+
+    TraceEvent summary;
+    summary.name = "merge.site";
+    summary.parent = rootId;
+    summary.startNs = rootStart;
+    summary.endNs = rootStart;
+    summary.attrs = {
+        {"site", static_cast<double>(input.site)},
+        {"offset_ns", static_cast<double>(offsetNs)},
+        {"delay_ns", samples > 0 ? static_cast<double>(bestDelayNs) : 0.0},
+        {"samples", static_cast<double>(samples)},
+        {"matched", static_cast<double>(matched)},
+        {"unmatched", static_cast<double>(unmatched)},
+        {"clamped", static_cast<double>(clamped)},
+    };
+    trace.events.push_back(std::move(summary));
+  }
+}
+
+}  // namespace dsud::obs

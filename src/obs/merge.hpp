@@ -1,0 +1,46 @@
+// Merging site-side span timelines into the coordinator's QueryTrace.
+//
+// Under TCP the sites are separate processes whose tracers run on unrelated
+// steady_clock epochs, so site timestamps cannot be compared with the
+// coordinator's directly.  The merge estimates one clock offset per site
+// NTP-style: every (coordinator RPC span, site handling span) pair yields
+//
+//   offset = midpoint(rpc) − midpoint(site)
+//   delay  = duration(rpc) − duration(site)   (the round-trip overhead)
+//
+// and the pair with the smallest delay is the most trustworthy sample — the
+// request and response legs were the most symmetric there, exactly the NTP
+// argument.  Retried RPCs (attempts > 1) and replayed site ops are excluded:
+// their coordinator span covers several transport attempts, so the midpoint
+// is meaningless.  After mapping, each site span is clamped into its parent
+// RPC span's bounds, which the true timeline must satisfy anyway (the site
+// did the work between request arrival and response departure).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/dataset.hpp"
+#include "obs/trace.hpp"
+
+namespace dsud::obs {
+
+/// One site's timeline to merge: the id the coordinator's RPC spans carry in
+/// their "site" attr, plus the spans shipped back from that site.
+struct SiteTraceInput {
+  SiteId site = kNoSite;
+  const QueryTrace* trace = nullptr;
+};
+
+/// Appends every site span to `trace` as a child of its matching RPC span —
+/// "site.prepare" under "rpc.prepare", "site.next" under the "pull" with the
+/// same seq, "site.evaluate" under the "rpc.evaluate" with the same seq —
+/// with timestamps mapped by the estimated per-site clock offset and clamped
+/// into the parent's bounds.  Site spans without a matching RPC span (span
+/// cap overflow, maintenance ops) attach under the root span instead.  Each
+/// merged span gains a "site" attr; per site, one "merge.site" span records
+/// the estimation diagnostics (offset_ns, delay_ns, samples, matched,
+/// unmatched, clamped).
+void mergeSiteTraces(QueryTrace& trace, std::span<const SiteTraceInput> sites);
+
+}  // namespace dsud::obs

@@ -63,12 +63,24 @@ class Tracer {
 
   /// Opens a span; returns kNoSpan when disabled or past the cap.
   SpanId begin(std::string_view name);
+
+  /// Opens a span under an explicit parent.  Unlike `begin(name)`, the new
+  /// span does NOT become the implicit parent of later spans (it never joins
+  /// the open-span stack) — this is what concurrent broadcast workers need:
+  /// each worker's span hangs off the broadcast span regardless of which
+  /// other spans happen to be open when the worker runs.
+  SpanId begin(std::string_view name, SpanId parent);
+
   void end(SpanId id);
   void attr(SpanId id, std::string_view key, double value);
 
   /// Closes any still-open spans at the current time and moves the trace
   /// out; the tracer is empty (but still enabled) afterwards.
   QueryTrace take();
+
+  /// Copies the trace as-is without clearing it; still-open spans keep
+  /// endNs == 0.  Used for idempotent reads (retryable kFetchTrace).
+  QueryTrace snapshot() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -94,6 +106,10 @@ class TraceSpan {
   TraceSpan(Tracer& tracer, std::string_view name)
       : tracer_(&tracer), id_(tracer.begin(name)) {}
 
+  /// Explicit-parent span (see Tracer::begin(name, parent)).
+  TraceSpan(Tracer& tracer, std::string_view name, SpanId parent)
+      : tracer_(&tracer), id_(tracer.begin(name, parent)) {}
+
   TraceSpan(TraceSpan&& other) noexcept
       : tracer_(std::exchange(other.tracer_, nullptr)),
         id_(std::exchange(other.id_, kNoSpan)) {}
@@ -113,6 +129,10 @@ class TraceSpan {
   void attr(std::string_view key, double value) {
     if (tracer_ != nullptr) tracer_->attr(id_, key, value);
   }
+
+  /// The underlying span id (kNoSpan when tracing is disabled) — pass it as
+  /// the explicit parent of spans opened on other threads.
+  SpanId id() const noexcept { return id_; }
 
   /// Ends the span now (idempotent; the destructor becomes a no-op).
   void close() {

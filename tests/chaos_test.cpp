@@ -6,10 +6,12 @@
 // (DSUD_CHAOS_SEED) — CI runs a small seed matrix.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -22,6 +24,7 @@
 #include "net/chaos.hpp"
 #include "net/fault.hpp"
 #include "net/inproc_transport.hpp"
+#include "obs/trace.hpp"
 
 namespace dsud {
 namespace {
@@ -50,6 +53,19 @@ std::uint64_t counterSum(const obs::MetricsSnapshot& snapshot,
     if (name.rfind(base + "{", 0) == 0 || name == base) sum += value;
   }
   return sum;
+}
+
+/// Gauge hygiene: however a query ends — clean, degraded, or aborted by a
+/// SiteFailure — every in-flight gauge must be back at zero.
+void expectInflightZero(const obs::MetricsSnapshot& snapshot) {
+  bool sawGauge = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name.rfind("dsud_queries_inflight", 0) == 0) {
+      sawGauge = true;
+      EXPECT_EQ(value, 0.0) << name;
+    }
+  }
+  EXPECT_TRUE(sawGauge);
 }
 
 // --- RetryPolicy -----------------------------------------------------------
@@ -264,6 +280,68 @@ TEST(ChaosTest, TransientFaultsBelowRetryBudgetAreBitIdentical) {
   EXPECT_EQ(counterSum(snapshot, "dsud_breaker_trips_total"), 0u)
       << "transient faults below the retry budget must never trip a breaker";
   EXPECT_GT(counterSum(snapshot, "dsud_chaos_faults_total"), 0u);
+  expectInflightZero(snapshot);
+}
+
+TEST(ChaosTest, RetriedRpcSpansDifferFromCleanOnlyByRetryAttrs) {
+  // Tracing under transient faults: the protocol timeline is the same span
+  // tree as the clean run — retries replay whole operations — and the ONLY
+  // difference is the `attempts` / `breaker_state` annotations on the RPC
+  // spans that had to retry.  The clean trace carries neither attribute.
+  const Dataset global = testGlobal();
+  Rng rng(99);
+  const auto siteData = partitionUniform(global, 5, rng);
+
+  InProcCluster clean(siteData);
+  ClusterConfig chaotic;
+  chaotic.chaos = ChaosSpec{.dropRate = 0.1, .errorRate = 0.1,
+                            .seed = chaosSeed()};
+  InProcCluster noisy(siteData, chaotic);
+
+  QueryOptions options;  // default traceCapacity: tracing on, site tracing off
+  options.fault.retry.maxAttempts = 8;
+  options.fault.retry.initialBackoff = std::chrono::milliseconds{0};
+
+  const auto isRetryAttr = [](const std::pair<std::string, double>& a) {
+    return a.first == "attempts" || a.first == "breaker_state";
+  };
+
+  for (const Algo algo : {Algo::kDsud, Algo::kEdsud}) {
+    const QueryResult reference = clean.engine().run(algo, QueryConfig{},
+                                                     options);
+    const QueryResult faulty = noisy.engine().run(algo, QueryConfig{},
+                                                  options);
+    ASSERT_FALSE(faulty.degraded);
+    ASSERT_EQ(faulty.skyline, reference.skyline);
+
+    const auto& cleanEvents = reference.trace.events;
+    const auto& faultyEvents = faulty.trace.events;
+    ASSERT_EQ(faultyEvents.size(), cleanEvents.size())
+        << "algo " << static_cast<int>(algo);
+
+    std::size_t retried = 0;
+    for (std::size_t i = 0; i < cleanEvents.size(); ++i) {
+      const obs::TraceEvent& c = cleanEvents[i];
+      const obs::TraceEvent& f = faultyEvents[i];
+      EXPECT_EQ(f.name, c.name) << "span " << i;
+      EXPECT_EQ(f.parent, c.parent) << "span " << i << " (" << c.name << ")";
+
+      EXPECT_TRUE(std::none_of(c.attrs.begin(), c.attrs.end(), isRetryAttr))
+          << "clean span " << i << " (" << c.name
+          << ") must not carry retry attrs";
+
+      auto stripped = f.attrs;
+      const auto tail =
+          std::remove_if(stripped.begin(), stripped.end(), isRetryAttr);
+      if (tail != stripped.end()) {
+        ++retried;
+        stripped.erase(tail, stripped.end());
+      }
+      EXPECT_EQ(stripped, c.attrs) << "span " << i << " (" << c.name << ")";
+    }
+    EXPECT_GT(retried, 0u)
+        << "a 20% fault rate must force at least one annotated retry";
+  }
 }
 
 // --- Degraded mode: a killed site -------------------------------------------
@@ -318,6 +396,7 @@ TEST(ChaosTest, KilledSiteDegradesBitIdenticallyToSurvivorCluster) {
                                                    {{"site", "2"},
                                                     {"kind", "killed"}})),
               nullptr);
+    expectInflightZero(snapshot);
   }
 }
 
@@ -338,6 +417,7 @@ TEST(ChaosTest, KilledSiteUnderFailPolicyThrowsSiteFailure) {
     EXPECT_EQ(failure.site(), 2u);
     EXPECT_GE(failure.attempts(), 1u);
   }
+  expectInflightZero(cluster.metricsRegistry().snapshot());
 }
 
 TEST(ChaosTest, NaiveDegradesOverSurvivors) {

@@ -269,6 +269,46 @@ TEST(ConcurrentQueriesTest, OneOfFiveDegradesWhileTheRestStayBitIdentical) {
   }
 }
 
+TEST(ConcurrentQueriesTest, TransportCountersMatchSummedSessionUsage) {
+  // Frame/byte accounting under concurrency: the per-site wire counters must
+  // equal the sum of the per-session QueryUsage totals — every byte belongs
+  // to exactly one session, none double-counted, none dropped.
+  const Dataset global = generateSynthetic(
+      SyntheticSpec{1200, 3, ValueDistribution::kAnticorrelated, 2250});
+  InProcCluster shared(global, 6, 2251);
+
+  QueryConfig config;
+  QueryEngine engine(shared.coordinator(), 4);
+  QueryTicket tickets[4] = {
+      engine.submit(Algo::kDsud, config),
+      engine.submit(Algo::kEdsud, config),
+      engine.submit(Algo::kNaive, config),
+      engine.submit(Algo::kEdsud, config),
+  };
+  std::uint64_t bytes = 0;
+  std::uint64_t roundTrips = 0;
+  for (auto& ticket : tickets) {
+    const QueryResult result = ticket.get();
+    bytes += result.stats.bytesShipped;
+    roundTrips += result.stats.roundTrips;
+  }
+
+  std::uint64_t counterBytes = 0;
+  std::uint64_t counterFrames = 0;
+  for (const auto& [name, value] :
+       shared.metricsRegistry().snapshot().counters) {
+    if (name.rfind("dsud_transport_bytes_total", 0) == 0) {
+      counterBytes += value;
+    } else if (name.rfind("dsud_transport_frames_total", 0) == 0) {
+      counterFrames += value;
+    }
+  }
+  EXPECT_EQ(counterBytes, bytes);
+  // One frame out + one frame in per round trip on a clean transport.
+  EXPECT_EQ(counterFrames, 2 * roundTrips);
+  expectIdle(shared);
+}
+
 TEST(ConcurrentQueriesTest, ProgressCallbacksDoNotCrossSessions) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1000, 2, ValueDistribution::kAnticorrelated, 2230});

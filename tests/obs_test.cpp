@@ -216,24 +216,28 @@ TEST(ObsTraceTest, DisabledTracerIsNoOp) {
 
 struct PromSample {
   std::string family;
+  std::string suffix;  // "", "_bucket", "_sum" or "_count"
   std::map<std::string, std::string> labels;
   double value = 0.0;
 };
 
 struct PromExposition {
   std::map<std::string, std::string> types;  // family -> counter|gauge|...
+  std::vector<std::string> typeOrder;        // TYPE lines as encountered
   std::vector<PromSample> samples;
 };
 
 /// Strips the histogram series suffix so samples map back to their family.
-std::string promFamily(const std::string& name) {
-  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
-    const std::string s = suffix;
+std::string promFamily(const std::string& name, std::string* suffix = nullptr) {
+  for (const char* candidate : {"_bucket", "_sum", "_count"}) {
+    const std::string s = candidate;
     if (name.size() > s.size() &&
         name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      if (suffix != nullptr) *suffix = s;
       return name.substr(0, name.size() - s.size());
     }
   }
+  if (suffix != nullptr) suffix->clear();
   return name;
 }
 
@@ -251,7 +255,9 @@ void parsePrometheus(const std::string& text, PromExposition& out) {
       if (line.rfind("# TYPE ", 0) == 0) {
         const std::size_t space = line.find(' ', 7);
         ASSERT_NE(space, std::string::npos) << line;
-        out.types[line.substr(7, space - 7)] = line.substr(space + 1);
+        std::string family = line.substr(7, space - 7);
+        out.types[family] = line.substr(space + 1);
+        out.typeOrder.push_back(std::move(family));
       }
       continue;
     }
@@ -288,7 +294,7 @@ void parsePrometheus(const std::string& text, PromExposition& out) {
     char* end = nullptr;
     sample.value = std::strtod(valueText.c_str(), &end);
     ASSERT_EQ(*end, '\0') << "bad sample value in: " << line;
-    sample.family = promFamily(name);
+    sample.family = promFamily(name, &sample.suffix);
     out.samples.push_back(std::move(sample));
   }
 }
@@ -302,21 +308,42 @@ void expectValidExposition(const std::string& text) {
     EXPECT_TRUE(exp.types.count(s.family))
         << "sample without # TYPE line: " << s.family;
   }
-  // Histogram families: cumulative buckets ending in le="+Inf".
+  // Exactly one TYPE line per family — Prometheus rejects duplicates, and
+  // the exporter must group a family's labeled series together.
+  std::map<std::string, int> typeLines;
+  for (const std::string& family : exp.typeOrder) {
+    EXPECT_EQ(++typeLines[family], 1) << "duplicate # TYPE line: " << family;
+  }
+  // Histogram families: cumulative buckets ending in le="+Inf", with the
+  // +Inf bucket equal to `_count` and a `_sum` series per label set.
   for (const auto& [family, type] : exp.types) {
     if (type != "histogram") continue;
-    std::map<std::string, std::vector<std::pair<double, double>>> buckets;
-    for (const PromSample& s : exp.samples) {
-      if (s.family != family || !s.labels.count("le")) continue;
-      auto key = s.labels;
-      key.erase("le");
+    const auto flatten = [](std::map<std::string, std::string> labels) {
+      labels.erase("le");
       std::string flat;
-      for (const auto& [k, v] : key) flat += k + "=" + v + ";";
-      const std::string& le = s.labels.at("le");
-      const double bound = le == "+Inf"
-                               ? std::numeric_limits<double>::infinity()
-                               : std::strtod(le.c_str(), nullptr);
-      buckets[flat].emplace_back(bound, s.value);
+      for (const auto& [k, v] : labels) flat += k + "=" + v + ";";
+      return flat;
+    };
+    std::map<std::string, std::vector<std::pair<double, double>>> buckets;
+    std::map<std::string, double> counts;
+    std::map<std::string, double> sums;
+    for (const PromSample& s : exp.samples) {
+      if (s.family != family) continue;
+      if (s.suffix == "_bucket") {
+        EXPECT_TRUE(s.labels.count("le"))
+            << family << " bucket sample without an le label";
+        const std::string& le = s.labels.at("le");
+        const double bound = le == "+Inf"
+                                 ? std::numeric_limits<double>::infinity()
+                                 : std::strtod(le.c_str(), nullptr);
+        buckets[flatten(s.labels)].emplace_back(bound, s.value);
+      } else if (s.suffix == "_count") {
+        counts[flatten(s.labels)] = s.value;
+      } else if (s.suffix == "_sum") {
+        sums[flatten(s.labels)] = s.value;
+      } else {
+        ADD_FAILURE() << family << ": bare sample in a histogram family";
+      }
     }
     EXPECT_FALSE(buckets.empty()) << family;
     for (auto& [flat, series] : buckets) {
@@ -328,6 +355,12 @@ void expectValidExposition(const std::string& text) {
       }
       EXPECT_TRUE(std::isinf(series.back().first))
           << family << " must end with le=\"+Inf\"";
+      ASSERT_TRUE(counts.count(flat))
+          << family << "{" << flat << "} has buckets but no _count";
+      EXPECT_EQ(series.back().second, counts[flat])
+          << family << " +Inf bucket must equal _count";
+      EXPECT_TRUE(sums.count(flat))
+          << family << "{" << flat << "} has buckets but no _sum";
     }
   }
 }
@@ -505,6 +538,40 @@ TEST(ObsIntegrationTest, EdsudRunProducesTraceAndMatchingByteCounters) {
   ASSERT_NE(expunged, nullptr);
   EXPECT_EQ(*expunged, result.stats.expunged);
   expectValidExposition(obs::metricsToPrometheus(snapshot));
+}
+
+TEST(ObsIntegrationTest, GaugesReturnToIdleAndPerSiteCountersMatchUsage) {
+  const Dataset global = generateSynthetic(
+      SyntheticSpec{700, 3, ValueDistribution::kAnticorrelated, 77});
+  InProcCluster cluster(global, 4, 78);
+  QueryConfig config;
+  config.q = 0.3;
+
+  const QueryResult dsud = cluster.engine().runDsud(config);
+  const QueryResult edsud = cluster.engine().runEdsud(config);
+
+  const obs::MetricsSnapshot snapshot = cluster.metricsRegistry().snapshot();
+  // Gauge hygiene: every in-flight gauge is back to zero once the last
+  // session finalized — a leak here means a session skipped its teardown.
+  bool sawInflight = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name.rfind("dsud_queries_inflight", 0) == 0) {
+      sawInflight = true;
+      EXPECT_EQ(value, 0.0) << name;
+    }
+  }
+  EXPECT_TRUE(sawInflight);
+
+  // The per-site wire counters must agree with the per-query usage sums:
+  // in-process frames carry no overhead, so bytes match exactly, and every
+  // round trip is one frame out plus one frame in.
+  std::uint64_t frames = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("dsud_transport_frames_total", 0) == 0) frames += value;
+  }
+  EXPECT_EQ(transportBytes(snapshot),
+            dsud.stats.bytesShipped + edsud.stats.bytesShipped);
+  EXPECT_EQ(frames, 2 * (dsud.stats.roundTrips + edsud.stats.roundTrips));
 }
 
 TEST(ObsIntegrationTest, TraceCapacityZeroDisablesTracing) {

@@ -52,6 +52,116 @@ TEST(ProtocolTest, PrepareRequestRoundTrip) {
   EXPECT_EQ(out.prune, PruneRule::kDominance);
 }
 
+TEST(ProtocolTest, PrepareRequestCarriesTraceSettings) {
+  PrepareRequest msg;
+  msg.query = 9;
+  msg.traceCapacity = 4096;
+  msg.tracePiggyback = true;
+  const PrepareRequest out = reencode(msg);
+  EXPECT_EQ(out.traceCapacity, 4096u);
+  EXPECT_TRUE(out.tracePiggyback);
+  // The defaults (tracing off) must survive the wire too.
+  const PrepareRequest off = reencode(PrepareRequest{});
+  EXPECT_EQ(off.traceCapacity, 0u);
+  EXPECT_FALSE(off.tracePiggyback);
+}
+
+obs::QueryTrace sampleTrace() {
+  obs::QueryTrace trace;
+  obs::TraceEvent prepare;
+  prepare.name = "site.prepare";
+  prepare.startNs = 1'000;
+  prepare.endNs = 2'500;
+  prepare.attrs = {{"tuples", 400.0}, {"pruned", 123.0}};
+  obs::TraceEvent next;
+  next.name = "site.next";
+  next.parent = 0;
+  next.startNs = 3'000;
+  next.endNs = 0;  // still open: snapshot semantics
+  next.attrs = {{"seq", 1.0}};
+  trace.events = {prepare, next};
+  trace.droppedEvents = 7;
+  return trace;
+}
+
+void expectTraceEq(const obs::QueryTrace& out, const obs::QueryTrace& in) {
+  EXPECT_EQ(out.droppedEvents, in.droppedEvents);
+  ASSERT_EQ(out.events.size(), in.events.size());
+  for (std::size_t i = 0; i < in.events.size(); ++i) {
+    EXPECT_EQ(out.events[i].name, in.events[i].name);
+    EXPECT_EQ(out.events[i].parent, in.events[i].parent);
+    EXPECT_EQ(out.events[i].startNs, in.events[i].startNs);
+    EXPECT_EQ(out.events[i].endNs, in.events[i].endNs);
+    EXPECT_EQ(out.events[i].attrs, in.events[i].attrs);
+  }
+}
+
+TEST(ProtocolTest, TraceBlockRoundTrip) {
+  const obs::QueryTrace trace = sampleTrace();
+  ByteWriter w;
+  encodeTraceBlock(w, trace);
+  ByteReader r(w.bytes());
+  const obs::QueryTrace out = decodeTraceBlock(r);
+  r.expectEnd();
+  expectTraceEq(out, trace);
+
+  ByteWriter empty;
+  encodeTraceBlock(empty, obs::QueryTrace{});
+  ByteReader re(empty.bytes());
+  const obs::QueryTrace none = decodeTraceBlock(re);
+  re.expectEnd();
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.droppedEvents, 0u);
+}
+
+TEST(ProtocolTest, FetchTraceMessagesRoundTrip) {
+  FetchTraceRequest req;
+  req.query = 321;
+  EXPECT_EQ(reencode(req).query, 321u);
+
+  FetchTraceResponse resp;
+  resp.trace = sampleTrace();
+  ByteWriter w;
+  resp.encode(w);
+  ByteReader r(w.bytes());
+  const FetchTraceResponse out = FetchTraceResponse::decode(r);
+  r.expectEnd();
+  expectTraceEq(out.trace, resp.trace);
+}
+
+TEST(ProtocolTest, ResponseFrameWithAndWithoutTraceTrailer) {
+  NextCandidateResponse msg;
+  msg.candidate = Candidate{3, sampleTuple(), 0.5};
+
+  // No trailer: decodes exactly like fromResponseFrame; sink untouched.
+  const Frame bare = toResponseFrame(msg);
+  obs::QueryTrace sink;
+  const auto plain = fromResponseFrameWithTrace<NextCandidateResponse>(
+      bare, &sink);
+  ASSERT_TRUE(plain.candidate.has_value());
+  EXPECT_EQ(plain.candidate->tuple, sampleTuple());
+  EXPECT_TRUE(sink.empty());
+
+  // Trailer: spans append to the sink, dropped counts accumulate.
+  ByteWriter w;
+  msg.encode(w);
+  encodeTraceBlock(w, sampleTrace());
+  const Frame traced{w.bytes().begin(), w.bytes().end()};
+  const auto decoded = fromResponseFrameWithTrace<NextCandidateResponse>(
+      traced, &sink);
+  ASSERT_TRUE(decoded.candidate.has_value());
+  expectTraceEq(sink, sampleTrace());
+  const auto again = fromResponseFrameWithTrace<NextCandidateResponse>(
+      traced, &sink);
+  EXPECT_EQ(sink.events.size(), 4u);
+  EXPECT_EQ(sink.droppedEvents, 14u);
+
+  // A null sink discards the trailer without failing the decode.
+  const auto dropped = fromResponseFrameWithTrace<NextCandidateResponse>(
+      traced, nullptr);
+  EXPECT_TRUE(dropped.candidate.has_value());
+}
+
 TEST(ProtocolTest, NextCandidateRequestCarriesQueryId) {
   NextCandidateRequest msg;
   msg.query = 12345;

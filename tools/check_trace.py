@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validates a dsudctl trace dump (Chrome trace_event JSON).
+
+Usage: check_trace.py FILE.trace.json [--expect-sites=N] [--min-events=N]
+
+Checks the structural invariants Perfetto relies on:
+
+  * top-level object with displayTimeUnit, otherData.droppedEvents and a
+    traceEvents array;
+  * every event has name/ph/pid/tid, complete ("X") events carry numeric
+    ts >= 0 and dur >= 0;
+  * process_name / thread_name metadata exists for every tid in use;
+  * site spans (names starting "site.", except the coordinator-side
+    "site.dead" marker) sit on site tracks (tid >= 1), everything else on
+    the coordinator track (tid 0);
+  * with --expect-sites=N: at least N distinct site tracks carry spans.
+
+Exits 0 when the file passes, 1 with a diagnostic on the first failure.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    path = None
+    expect_sites = 0
+    min_events = 1
+    for arg in argv[1:]:
+        if arg.startswith("--expect-sites="):
+            expect_sites = int(arg.split("=", 1)[1])
+        elif arg.startswith("--min-events="):
+            min_events = int(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            fail(f"unknown flag {arg}")
+        else:
+            path = arg
+    if path is None:
+        fail("usage: check_trace.py FILE.trace.json [--expect-sites=N]")
+
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(trace, dict):
+        fail("top level must be an object (JSON Object Format)")
+    if trace.get("displayTimeUnit") not in ("ms", "ns"):
+        fail("displayTimeUnit must be 'ms' or 'ns'")
+    if "droppedEvents" not in trace.get("otherData", {}):
+        fail("otherData.droppedEvents missing")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents must be an array")
+
+    named_tids = set()
+    spans = 0
+    site_tids = set()
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail(f"event {i} missing '{key}': {e}")
+        if e["ph"] == "M":
+            if e["name"] == "thread_name":
+                named_tids.add(e["tid"])
+            continue
+        if e["ph"] != "X":
+            fail(f"event {i}: unexpected phase {e['ph']!r}")
+        ts, dur = e.get("ts"), e.get("dur")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i} ({e['name']}): bad ts {ts!r}")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(f"event {i} ({e['name']}): bad dur {dur!r}")
+        is_site_span = e["name"].startswith("site.") and e["name"] != "site.dead"
+        if is_site_span and e["tid"] == 0:
+            fail(f"event {i} ({e['name']}): site span on coordinator track")
+        if not is_site_span and e["tid"] != 0:
+            fail(f"event {i} ({e['name']}): coordinator span on site track")
+        if e["tid"] != 0:
+            site_tids.add(e["tid"])
+        spans += 1
+
+    used_tids = {e["tid"] for e in events}
+    unnamed = used_tids - named_tids
+    if unnamed:
+        fail(f"tracks without thread_name metadata: {sorted(unnamed)}")
+    if spans < min_events:
+        fail(f"only {spans} spans, expected at least {min_events}")
+    if len(site_tids) < expect_sites:
+        fail(f"spans on {len(site_tids)} site tracks, expected {expect_sites}")
+
+    print(f"check_trace: OK: {path}: {spans} spans on "
+          f"{len(site_tids)} site track(s), "
+          f"{trace['otherData']['droppedEvents']} dropped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,11 +13,26 @@
 //   dsudctl metrics  --in=data.bin [--algo=edsud|dsud|naive] [--m=10]
 //                    [--q=0.3] [--k=0] [--seed=1] [--format=prom|json]
 //                    [--trace-out=trace.json]
+//   dsudctl trace    --in=data.bin --out=query.trace.json
+//                    [--algo=edsud|dsud|naive] [--m=6] [--q=0.3] [--seed=1]
+//                    [--transport=inproc|tcp] [--site-trace=piggyback|fetch|off]
+//                    [--trace-capacity=65536] [--slow-threshold=0]
+//                    [--slow-dir=<dir>]
 //
 // `metrics` runs one query with full observability enabled and prints the
 // resulting metrics snapshot — Prometheus text exposition by default,
 // JSON with --format=json — to stdout; --trace-out additionally writes the
 // query's protocol timeline as JSON.
+//
+// `trace` runs one query with distributed tracing on — the sites record
+// their own spans, ship them to the coordinator (piggybacked on responses,
+// or via kFetchTrace with --site-trace=fetch), and the merged, clock-aligned
+// timeline is written as Chrome trace_event JSON that loads directly in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.  --transport=tcp
+// runs the cluster over real loopback sockets (one server thread per site)
+// so the trace shows genuine wire latencies.  --slow-threshold/--slow-dir
+// exercise the slow-query log: queries slower than the threshold (seconds)
+// also dump their trace into the directory.
 //
 // Fault tolerance (`query`): --deadline-ms bounds every RPC, --retries adds
 // that many retry attempts on top of the first try, and
@@ -30,13 +45,20 @@
 // 3 when the query completed degraded (one or more sites excluded).
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/io.hpp"
 #include "common/options.hpp"
+#include "common/rng.hpp"
 #include "core/cluster.hpp"
 #include "gen/nyse.hpp"
+#include "gen/partition.hpp"
 #include "gen/synthetic.hpp"
+#include "net/tcp_transport.hpp"
 #include "obs/export.hpp"
 #include "skyline/cardinality.hpp"
 #include "skyline/linear_skyline.hpp"
@@ -66,7 +88,8 @@ void saveAny(const Dataset& data, const std::string& path) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: dsudctl <generate|inspect|query|convert|metrics> [--flags]\n"
+      "usage: dsudctl <generate|inspect|query|convert|metrics|trace> "
+      "[--flags]\n"
       "see the header of tools/dsudctl.cpp for details\n");
   return 1;
 }
@@ -302,6 +325,117 @@ int cmdMetrics(const ArgParser& args) {
   return 0;
 }
 
+/// One query by algorithm name; used by `trace` for both transports.
+QueryResult runTracedQuery(QueryEngine& engine, const std::string& algo,
+                           const QueryConfig& config,
+                           const QueryOptions& options) {
+  if (algo == "edsud") return engine.runEdsud(config, options);
+  if (algo == "dsud") return engine.runDsud(config, options);
+  if (algo == "naive") return engine.runNaive(config, options);
+  throw std::runtime_error("trace: unknown --algo=" + algo);
+}
+
+int cmdTrace(const ArgParser& args) {
+  const std::string in = args.get("in", "");
+  const std::string out = args.get("out", "");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "trace: --in=<path> and --out=<path> are required\n");
+    return 1;
+  }
+  const Dataset data = loadAny(in);
+  const auto m = static_cast<std::size_t>(args.getInt("m", 6));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const std::string algo = args.get("algo", "edsud");
+  const std::string transportKind = args.get("transport", "inproc");
+
+  QueryOptions options;
+  options.traceCapacity =
+      static_cast<std::size_t>(args.getInt("trace-capacity", 65536));
+  options.siteTraceCapacity = options.traceCapacity;
+  const std::string mode = args.get("site-trace", "piggyback");
+  if (mode == "piggyback") {
+    options.siteTrace = SiteTraceMode::kPiggyback;
+  } else if (mode == "fetch") {
+    options.siteTrace = SiteTraceMode::kFetch;
+  } else if (mode == "off") {
+    options.siteTrace = SiteTraceMode::kOff;
+  } else {
+    std::fprintf(stderr, "trace: unknown --site-trace=%s\n", mode.c_str());
+    return 1;
+  }
+  options.slowQueryThreshold = args.getDouble("slow-threshold", 0.0);
+  options.slowQueryDir = args.get("slow-dir", "");
+
+  QueryConfig config;
+  config.q = args.getDouble("q", 0.3);
+
+  QueryResult result;
+  if (transportKind == "tcp") {
+    // Real loopback sockets: one server thread per site, the coordinator
+    // talking through TcpClientChannel (the examples/tcp_cluster.cpp wiring).
+    Rng partitionRng(seed + 1);
+    const auto siteData = partitionUniform(data, m, partitionRng);
+    std::vector<std::unique_ptr<LocalSite>> sites;
+    std::vector<std::unique_ptr<SiteServer>> dispatchers;
+    std::vector<std::unique_ptr<TcpSiteServer>> servers;
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < m; ++i) {
+      sites.push_back(
+          std::make_unique<LocalSite>(static_cast<SiteId>(i), siteData[i]));
+      dispatchers.push_back(std::make_unique<SiteServer>(*sites.back()));
+      servers.push_back(
+          std::make_unique<TcpSiteServer>(dispatchers.back()->handler()));
+      threads.emplace_back([srv = servers.back().get()] { srv->serve(); });
+    }
+    TransportConfig transport;
+    transport.socket.connectTimeout = std::chrono::milliseconds{2000};
+    BandwidthMeter meter;
+    std::vector<std::unique_ptr<SiteHandle>> handles;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto id = static_cast<SiteId>(i);
+      auto channel = std::make_unique<TcpClientChannel>(servers[i]->port(),
+                                                        transport.socket);
+      channel->bindAccounting(id, &meter, nullptr);
+      handles.push_back(
+          std::make_unique<RpcSiteHandle>(id, std::move(channel), &meter));
+    }
+    {
+      Coordinator coordinator(std::move(handles), &meter, data.dims());
+      QueryEngine engine(coordinator);
+      result = runTracedQuery(engine, algo, config, options);
+      // Coordinator (and its channels) close here, ending the server loops.
+    }
+    for (auto& t : threads) t.join();
+  } else if (transportKind == "inproc") {
+    InProcCluster cluster(data, m, seed);
+    result = runTracedQuery(cluster.engine(), algo, config, options);
+  } else {
+    std::fprintf(stderr, "trace: unknown --transport=%s\n",
+                 transportKind.c_str());
+    return 1;
+  }
+
+  const std::string json = obs::traceToPerfetto(result.trace);
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s\n", out.c_str());
+    return 2;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+
+  std::size_t siteSpans = 0;
+  for (const obs::TraceEvent& e : result.trace.events) {
+    if (e.name.rfind("site.", 0) == 0 && e.name != "site.dead") ++siteSpans;
+  }
+  std::printf("%zu answers; wrote %zu spans (%zu from sites, %llu dropped) "
+              "to %s — load it at https://ui.perfetto.dev\n",
+              result.skyline.size(), result.trace.events.size(), siteSpans,
+              static_cast<unsigned long long>(result.trace.droppedEvents),
+              out.c_str());
+  return 0;
+}
+
 int cmdConvert(const ArgParser& args) {
   const std::string in = args.get("in", "");
   const std::string out = args.get("out", "");
@@ -328,6 +462,7 @@ int main(int argc, char** argv) {
     if (command == "query") return cmdQuery(args);
     if (command == "convert") return cmdConvert(args);
     if (command == "metrics") return cmdMetrics(args);
+    if (command == "trace") return cmdTrace(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dsudctl: %s\n", e.what());
