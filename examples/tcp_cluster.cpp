@@ -4,9 +4,17 @@
 // algorithms are transport-agnostic — tuple counts match the in-process
 // run bit for bit.
 //
+// SIGINT/SIGTERM shut down gracefully: the handler flips the query's
+// cancellation token (a lock-free atomic — async-signal-safe), the engine
+// raises QueryCancelled at the next round boundary, and teardown proceeds
+// in the normal order — channels close, site servers stop, threads join —
+// instead of the process dying mid-stream with sites still listening.
+//
 // Flags: --n=<tuples> --m=<sites> --q=<threshold> --seed=<seed>
 //        --deadline-ms=<per-RPC deadline> --retries=<extra attempts>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -16,6 +24,7 @@
 #include "core/cluster.hpp"
 #include "core/local_site.hpp"
 #include "core/query_engine.hpp"
+#include "core/result.hpp"
 #include "core/site_handle.hpp"
 #include "gen/partition.hpp"
 #include "gen/synthetic.hpp"
@@ -23,6 +32,18 @@
 #include "obs/metrics.hpp"
 
 using namespace dsud;
+
+namespace {
+
+// The handler may only perform async-signal-safe operations: a store to a
+// lock-free atomic qualifies, and it is all cooperative cancellation needs.
+std::atomic<bool>* g_cancel = nullptr;
+
+void onSignal(int) {
+  if (g_cancel != nullptr) g_cancel->store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
@@ -87,36 +108,57 @@ int main(int argc, char** argv) {
         std::chrono::milliseconds{args.getInt("deadline-ms", 5000)};
     options.fault.retry.maxAttempts =
         1 + static_cast<std::uint32_t>(args.getInt("retries", 2));
+    options.cancel = std::make_shared<std::atomic<bool>>(false);
+
+    // SA_RESTART so blocked socket calls resume after the handler runs;
+    // the cancellation token — not an interrupted syscall — ends the query.
+    g_cancel = options.cancel.get();
+    struct sigaction action = {};
+    action.sa_handler = onSignal;
+    ::sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
 
     std::printf("\nrunning e-DSUD over TCP, q = %.2f "
                 "(deadline %lld ms, %u attempts)...\n",
                 config.q,
                 static_cast<long long>(options.fault.deadline.count()),
                 options.fault.retry.maxAttempts);
-    const QueryResult result = engine.runEdsud(config, options);
-    std::printf("%zu skyline tuples in %.1f ms\n", result.skyline.size(),
-                result.stats.seconds * 1e3);
-    std::printf("bandwidth: %llu tuples / %llu bytes over %llu RPCs\n",
-                static_cast<unsigned long long>(result.stats.tuplesShipped),
-                static_cast<unsigned long long>(result.stats.bytesShipped),
-                static_cast<unsigned long long>(result.stats.roundTrips));
-    for (std::size_t i = 0; i < m && i < 3; ++i) {
-      const LinkUsage link = meter.link(static_cast<SiteId>(i));
-      std::printf("  link to site %zu: %llu B up / %llu B down, %llu calls\n",
-                  i, static_cast<unsigned long long>(link.bytesToSite),
-                  static_cast<unsigned long long>(link.bytesFromSite),
-                  static_cast<unsigned long long>(link.calls));
-    }
-    std::uint64_t wireBytes = 0;
-    for (const auto& [name, value] : metrics.snapshot().counters) {
-      if (name.rfind("dsud_transport_bytes_total", 0) == 0) {
-        wireBytes += value;
+    try {
+      const QueryResult result = engine.runEdsud(config, options);
+      std::printf("%zu skyline tuples in %.1f ms\n", result.skyline.size(),
+                  result.stats.seconds * 1e3);
+      std::printf("bandwidth: %llu tuples / %llu bytes over %llu RPCs\n",
+                  static_cast<unsigned long long>(result.stats.tuplesShipped),
+                  static_cast<unsigned long long>(result.stats.bytesShipped),
+                  static_cast<unsigned long long>(result.stats.roundTrips));
+      for (std::size_t i = 0; i < m && i < 3; ++i) {
+        const LinkUsage link = meter.link(static_cast<SiteId>(i));
+        std::printf(
+            "  link to site %zu: %llu B up / %llu B down, %llu calls\n", i,
+            static_cast<unsigned long long>(link.bytesToSite),
+            static_cast<unsigned long long>(link.bytesFromSite),
+            static_cast<unsigned long long>(link.calls));
       }
+      std::uint64_t wireBytes = 0;
+      for (const auto& [name, value] : metrics.snapshot().counters) {
+        if (name.rfind("dsud_transport_bytes_total", 0) == 0) {
+          wireBytes += value;
+        }
+      }
+      std::printf("wire bytes incl. frame headers: %llu\n",
+                  static_cast<unsigned long long>(wireBytes));
+    } catch (const QueryCancelled&) {
+      std::printf("query cancelled by signal — draining site servers...\n");
     }
-    std::printf("wire bytes incl. frame headers: %llu\n",
-                static_cast<unsigned long long>(wireBytes));
+    g_cancel = nullptr;
     // Coordinator (and its channels) close here, ending the server loops.
   }
+  // Belt and braces: the channel close above already ends each serve()
+  // loop; stop() additionally guarantees a return after the in-flight
+  // request even if a peer lingered, so the joins below cannot hang.
+  for (auto& srv : servers) srv->stop();
   for (auto& t : threads) t.join();
   std::printf("all site servers shut down cleanly.\n");
   return 0;

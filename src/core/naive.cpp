@@ -21,6 +21,7 @@ QueryResult QueryEngine::naiveImpl(const QueryConfig& config,
   {
     obs::TraceSpan collect = run.span("ship_all");
     for (const auto& s : run.sessions) {
+      run.throwIfCancelled();  // no rounds here; check per site instead
       obs::TraceSpan pull = run.span("pull");
       pull.attr("site", s->siteId());
       ShipAllResponse shipment;
@@ -52,6 +53,7 @@ QueryResult QueryEngine::naiveImpl(const QueryConfig& config,
   bbsSkylineStream(
       tree, config.q, mask,
       [&](const ProbSkylineEntry& e) {
+        run.throwIfCancelled();
         Candidate c;
         c.site = origin.at(e.id);
         c.tuple = Tuple(e.id, e.values, e.prob);

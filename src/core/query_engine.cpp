@@ -43,6 +43,24 @@ QueryResult QueryEngine::runTopK(const TopKConfig& config,
   return topkImpl(config, options, coord_->nextQueryId());
 }
 
+QueryResult QueryEngine::run(Algo algo, const QueryConfig& config,
+                             const QueryOptions& options, QueryId id) {
+  switch (algo) {
+    case Algo::kNaive:
+      return naiveImpl(config, options, id);
+    case Algo::kDsud:
+      return dsudImpl(config, options, id);
+    case Algo::kEdsud:
+      return edsudImpl(config, options, id);
+  }
+  throw std::invalid_argument("QueryEngine::run: unknown algorithm");
+}
+
+QueryResult QueryEngine::runTopK(const TopKConfig& config,
+                                 const QueryOptions& options, QueryId id) {
+  return topkImpl(config, options, id);
+}
+
 ThreadPool& QueryEngine::pool() {
   std::lock_guard lock(poolMutex_);
   if (pool_ == nullptr) {

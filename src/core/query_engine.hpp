@@ -75,6 +75,15 @@ class QueryEngine {
   QueryResult runTopK(const TopKConfig& config,
                       const QueryOptions& options = {});
 
+  /// Variants that run under a caller-provided session id (from
+  /// coordinator().nextQueryId()), so a front end can advertise the id
+  /// before execution starts — e.g. the daemon's `ack` line, which must
+  /// carry the id that the query's traces and site sessions will use.
+  QueryResult run(Algo algo, const QueryConfig& config,
+                  const QueryOptions& options, QueryId id);
+  QueryResult runTopK(const TopKConfig& config, const QueryOptions& options,
+                      QueryId id);
+
   // --- Asynchronous execution ---------------------------------------------
 
   /// Enqueues the query on the engine's pool and returns immediately.  The

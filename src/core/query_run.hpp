@@ -374,6 +374,18 @@ struct QueryRun {
 
   std::uint64_t tuplesSoFar() const { return usage.totals().tuples; }
 
+  /// Cooperative cancellation: aborts the run with QueryCancelled once the
+  /// shared flag (QueryOptions::cancel) has been set.  Checked at every
+  /// round boundary (roundScope) and per site in the naive baseline, so a
+  /// cancelled query stops within one protocol round; unwinding releases
+  /// the site sessions through finish() as usual.
+  void throwIfCancelled() const {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      throw QueryCancelled(id);
+    }
+  }
+
   obs::TraceSpan span(std::string_view name) { return {tracer, name}; }
 
   /// One To-Server pull that returned a candidate.
@@ -395,7 +407,9 @@ struct QueryRun {
     obs::TraceSpan span;
     Stopwatch clock;
 
-    explicit RoundScope(QueryRun& r) : run(&r), span(r.span("round")) {}
+    explicit RoundScope(QueryRun& r) : run(&r), span(r.span("round")) {
+      r.throwIfCancelled();
+    }
     RoundScope(RoundScope&&) = delete;
     ~RoundScope() {
       if (run->rounds != nullptr) run->rounds->inc();

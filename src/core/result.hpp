@@ -1,8 +1,11 @@
 // Query result and statistics types shared by all distributed algorithms.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,6 +46,8 @@ struct QueryStats {
   std::size_t expunged = 0;          ///< e-DSUD: candidates killed by bound
   std::size_t prunedAtSites = 0;     ///< Local-Pruning victims
   double seconds = 0.0;
+
+  friend bool operator==(const QueryStats&, const QueryStats&) = default;
 };
 
 struct QueryResult {
@@ -66,6 +71,22 @@ struct QueryResult {
 /// Invoked the moment an answer qualifies (progressive reporting).
 using ProgressCallback =
     std::function<void(const GlobalSkylineEntry&, const ProgressPoint&)>;
+
+/// Thrown by a run whose QueryOptions::cancel flag was set.  Cancellation
+/// is cooperative: the flag is checked at every protocol round boundary
+/// (and per site in the naive baseline), so an abandoned query stops within
+/// one round, releases its site sessions, and never delivers a partial
+/// result as if it were complete.
+class QueryCancelled : public std::runtime_error {
+ public:
+  explicit QueryCancelled(QueryId id)
+      : std::runtime_error("query " + std::to_string(id) + " cancelled"),
+        id_(id) {}
+  QueryId id() const noexcept { return id_; }
+
+ private:
+  QueryId id_;
+};
 
 /// The threshold algorithms QueryEngine::run dispatches over (runTopK is
 /// separate: it takes a TopKConfig).
@@ -95,6 +116,12 @@ enum class SiteTraceMode {
 struct QueryOptions {
   /// Invoked from the running query's thread as each answer qualifies.
   ProgressCallback progress;
+
+  /// Cooperative cancellation flag, shared with whoever may abort the query
+  /// (e.g. the dsudd daemon when its client disconnects).  Null = never
+  /// cancelled.  Once another thread stores true, the run throws
+  /// QueryCancelled at its next round boundary.
+  std::shared_ptr<std::atomic<bool>> cancel;
 
   /// Caps the query's protocol timeline at this many spans (0 disables
   /// tracing; QueryResult::trace comes back empty).  Default: 65536 —

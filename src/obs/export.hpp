@@ -22,6 +22,11 @@
 
 namespace dsud::obs {
 
+/// Content-Type a scrape endpoint should answer with when serving
+/// metricsToPrometheus output (text exposition format 0.0.4).
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
 std::string metricsToJson(const MetricsSnapshot& snapshot);
 std::string metricsToPrometheus(const MetricsSnapshot& snapshot);
 

@@ -1,0 +1,199 @@
+#include "server/admission.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace dsud::server {
+
+namespace {
+
+double steadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         obs::MetricsRegistry* metrics,
+                                         Clock clock)
+    : config_(std::move(config)),
+      clock_(clock ? std::move(clock) : Clock(steadySeconds)),
+      metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    admittedCounter_ = &metrics_->counter("dsud_server_admitted_total");
+    queuedCounter_ = &metrics_->counter("dsud_server_queued_total");
+    activeGauge_ = &metrics_->gauge("dsud_server_active");
+    queueDepthGauge_ = &metrics_->gauge("dsud_server_queue_depth");
+    // Pre-register every shed reason so the /metrics exposition shows the
+    // zero series from the first scrape (dashboards alert on absence).
+    for (const char* reason : {"tenant_quota", "cluster_degraded", "capacity"}) {
+      metrics_->counter(
+          obs::labeled("dsud_server_shed_total", {{"reason", reason}}));
+    }
+  }
+}
+
+const TenantQuota& AdmissionController::quotaFor(
+    const std::string& tenant) const {
+  const auto it = config_.tenants.find(tenant);
+  return it != config_.tenants.end() ? it->second : config_.defaultQuota;
+}
+
+bool AdmissionController::takeToken(const std::string& tenant, double now,
+                                    std::uint32_t* retryAfterMs) {
+  const TenantQuota& quota = quotaFor(tenant);
+  if (quota.ratePerSec <= 0.0) return true;  // unlimited
+  Bucket& bucket = buckets_[tenant];
+  if (!bucket.initialised) {
+    bucket.tokens = quota.burst;
+    bucket.lastRefill = now;
+    bucket.initialised = true;
+  }
+  const double elapsed = std::max(0.0, now - bucket.lastRefill);
+  bucket.tokens =
+      std::min(quota.burst, bucket.tokens + elapsed * quota.ratePerSec);
+  bucket.lastRefill = now;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  // Time until one full token accumulates, rounded up to a whole ms so the
+  // client never retries a hair too early.  Clamped to the protocol's
+  // retry_after_ms ceiling (one hour) — a near-zero refill rate would
+  // otherwise overflow the cast and be rejected by conforming decoders.
+  const double deficit = 1.0 - bucket.tokens;
+  const double ms = std::ceil(deficit / quota.ratePerSec * 1e3);
+  *retryAfterMs = static_cast<std::uint32_t>(std::clamp(ms, 1.0, 3600e3));
+  return false;
+}
+
+void AdmissionController::recordShed(const char* reason) {
+  ++shedTotal_;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter(obs::labeled("dsud_server_shed_total", {{"reason", reason}}))
+        .inc();
+  }
+}
+
+AdmissionController::Outcome AdmissionController::submit(
+    const std::string& tenant, Priority priority, std::function<void()> start,
+    Shed* shed) {
+  {
+    std::lock_guard lock(mutex_);
+
+    std::uint32_t retryAfterMs = 0;
+    if (!takeToken(tenant, clock_(), &retryAfterMs)) {
+      recordShed("tenant_quota");
+      if (shed != nullptr) {
+        *shed = Shed{ErrorCode::kOverloaded, "tenant_quota", retryAfterMs};
+      }
+      return Outcome::kShed;
+    }
+
+    if (breakerProbe_ && config_.breakerShedFraction <= 1.0 &&
+        breakerProbe_() >= config_.breakerShedFraction) {
+      recordShed("cluster_degraded");
+      if (shed != nullptr) {
+        *shed = Shed{ErrorCode::kUnavailable, "cluster_degraded",
+                     config_.retryAfterMs};
+      }
+      return Outcome::kShed;
+    }
+
+    // The effective in-flight count is the max of this controller's own
+    // admissions and the engine-wide gauge: co-located direct engine use
+    // (or a second front end over the same coordinator) consumes the same
+    // worker and site capacity this cap protects.
+    std::size_t inflight = active_;
+    if (inflightProbe_) {
+      const double probed = inflightProbe_();
+      if (probed > 0) {
+        inflight = std::max(inflight, static_cast<std::size_t>(probed));
+      }
+    }
+    if (config_.maxInFlight == 0 || inflight < config_.maxInFlight) {
+      ++active_;
+      ++admittedTotal_;
+      if (admittedCounter_ != nullptr) admittedCounter_->inc();
+      if (activeGauge_ != nullptr) {
+        activeGauge_->set(static_cast<double>(active_));
+      }
+      // fall through to invoke start() outside the lock
+    } else {
+      const std::size_t depth =
+          queues_[0].size() + queues_[1].size() + queues_[2].size();
+      if (depth < config_.maxQueued) {
+        queues_[static_cast<std::size_t>(priority)].push_back(std::move(start));
+        if (queuedCounter_ != nullptr) queuedCounter_->inc();
+        if (queueDepthGauge_ != nullptr) {
+          queueDepthGauge_->set(static_cast<double>(depth + 1));
+        }
+        return Outcome::kQueue;
+      }
+      recordShed("capacity");
+      if (shed != nullptr) {
+        *shed =
+            Shed{ErrorCode::kOverloaded, "capacity", config_.retryAfterMs};
+      }
+      return Outcome::kShed;
+    }
+  }
+  start();
+  return Outcome::kAdmit;
+}
+
+void AdmissionController::release() {
+  std::function<void()> next;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& queue : queues_) {
+      if (!queue.empty()) {
+        next = std::move(queue.front());
+        queue.pop_front();
+        break;
+      }
+    }
+    if (next) {
+      // The freed slot transfers to the dequeued request: `active_` is
+      // unchanged and the admission is counted now.
+      ++admittedTotal_;
+      if (admittedCounter_ != nullptr) admittedCounter_->inc();
+      if (queueDepthGauge_ != nullptr) {
+        queueDepthGauge_->set(static_cast<double>(
+            queues_[0].size() + queues_[1].size() + queues_[2].size()));
+      }
+    } else {
+      if (active_ > 0) --active_;
+      if (activeGauge_ != nullptr) {
+        activeGauge_->set(static_cast<double>(active_));
+      }
+    }
+  }
+  if (next) next();
+}
+
+std::size_t AdmissionController::active() const {
+  std::lock_guard lock(mutex_);
+  return active_;
+}
+
+std::size_t AdmissionController::queued() const {
+  std::lock_guard lock(mutex_);
+  return queues_[0].size() + queues_[1].size() + queues_[2].size();
+}
+
+std::uint64_t AdmissionController::admittedTotal() const {
+  std::lock_guard lock(mutex_);
+  return admittedTotal_;
+}
+
+std::uint64_t AdmissionController::shedTotal() const {
+  std::lock_guard lock(mutex_);
+  return shedTotal_;
+}
+
+}  // namespace dsud::server

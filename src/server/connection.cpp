@@ -1,0 +1,133 @@
+#include "server/connection.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dsud::server {
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw NetError(std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+  }
+}
+
+Connection::Connection(std::uint64_t id, Socket socket,
+                       std::size_t maxLineBytes, std::size_t maxOutboxBytes)
+    : id_(id),
+      socket_(std::move(socket)),
+      maxLineBytes_(maxLineBytes),
+      maxOutboxBytes_(maxOutboxBytes) {
+  setNonBlocking(socket_.fd());
+}
+
+Connection::IoResult Connection::onReadable() {
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      std::size_t start = 0;
+      if (skippingOversized_) {
+        // Discard up to and including the next newline, then resume normal
+        // framing with whatever follows it.
+        const char* nl = static_cast<const char*>(
+            std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+        if (nl == nullptr) continue;
+        skippingOversized_ = false;
+        start = static_cast<std::size_t>(nl - chunk) + 1;
+      }
+      inbox_.append(chunk + start, static_cast<std::size_t>(n) - start);
+
+      std::size_t lineStart = 0;
+      for (;;) {
+        const std::size_t nl = inbox_.find('\n', lineStart);
+        if (nl == std::string::npos) break;
+        std::string_view line(inbox_.data() + lineStart, nl - lineStart);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        if (line.size() > maxLineBytes_) {
+          // A complete-but-oversized line (arrived within one read burst).
+          if (onOversize_) onOversize_();
+        } else if (onLine_) {
+          onLine_(line);
+        }
+        lineStart = nl + 1;
+      }
+      inbox_.erase(0, lineStart);
+
+      if (inbox_.size() > maxLineBytes_) {
+        inbox_.clear();
+        skippingOversized_ = true;
+        if (onOversize_) onOversize_();
+      }
+      continue;
+    }
+    if (n == 0) return IoResult::kClosed;  // peer EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+    if (errno == EINTR) continue;
+    return IoResult::kClosed;
+  }
+}
+
+Connection::IoResult Connection::onWritable() {
+  while (outboxOffset_ < outbox_.size()) {
+    const ssize_t n =
+        ::send(socket_.fd(), outbox_.data() + outboxOffset_,
+               outbox_.size() - outboxOffset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      outboxOffset_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return IoResult::kClosed;
+  }
+  if (outboxOffset_ == outbox_.size()) {
+    outbox_.clear();
+    outboxOffset_ = 0;
+  } else if (outboxOffset_ > (64u << 10)) {
+    // Compact occasionally so a slow reader does not pin flushed bytes.
+    outbox_.erase(0, outboxOffset_);
+    outboxOffset_ = 0;
+  }
+  return IoResult::kOk;
+}
+
+Connection::IoResult Connection::send(std::string_view line) {
+  outbox_.append(line);
+  outbox_.push_back('\n');
+  if (onWritable() == IoResult::kClosed) return IoResult::kClosed;
+  if (outbox_.size() - outboxOffset_ > maxOutboxBytes_) {
+    return IoResult::kClosed;  // peer is not draining; cut it loose
+  }
+  return IoResult::kOk;
+}
+
+std::shared_ptr<std::atomic<bool>> Connection::registerQuery(
+    const std::string& clientId) {
+  auto [it, inserted] =
+      queries_.try_emplace(clientId, std::make_shared<std::atomic<bool>>(false));
+  if (!inserted) return nullptr;
+  return it->second;
+}
+
+std::shared_ptr<std::atomic<bool>> Connection::findQuery(
+    const std::string& clientId) const {
+  const auto it = queries_.find(clientId);
+  return it != queries_.end() ? it->second : nullptr;
+}
+
+void Connection::unregisterQuery(const std::string& clientId) {
+  queries_.erase(clientId);
+}
+
+void Connection::cancelAll() {
+  for (auto& [clientId, token] : queries_) {
+    token->store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dsud::server

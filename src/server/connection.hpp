@@ -1,0 +1,114 @@
+// Per-client connection state machine for the dsudd daemon.
+//
+// A Connection owns one accepted socket (switched to non-blocking) and the
+// two buffers around it: the input buffer that reassembles '\n'-terminated
+// request lines, and the outbox that absorbs response lines faster than the
+// peer drains them.  It knows nothing about JSON or queries — the server
+// feeds it events and consumes complete lines.
+//
+// Two protective behaviours:
+//
+//   * Oversized lines — when the input buffer exceeds the line cap without
+//     a newline, the oversize handler fires once (the server answers with
+//     an `oversized` error) and every byte up to and including the next
+//     '\n' is discarded, so the connection resynchronises cleanly instead
+//     of dying or buffering without bound.
+//   * Outbox cap — a peer that stops reading while streaming a large
+//     result would otherwise grow the outbox indefinitely; past the cap,
+//     send() reports failure and the server closes the connection.
+//
+// The connection also tracks cancellation tokens of its in-flight queries
+// (client id -> shared flag); closing the connection flips every token so
+// abandoned queries abort at their next round boundary.
+//
+// Thread-safety contract: everything here runs on the event-loop thread.
+// Worker threads only ever touch the shared_ptr<atomic<bool>> tokens.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/wire.hpp"
+
+namespace dsud::server {
+
+/// Puts `fd` into non-blocking mode; throws NetError on failure.
+void setNonBlocking(int fd);
+
+class Connection {
+ public:
+  /// Invoked once per complete request line (without its '\n').
+  using LineHandler = std::function<void(std::string_view line)>;
+  /// Invoked once when a line exceeds the cap (resync is automatic).
+  using OversizeHandler = std::function<void()>;
+
+  /// Takes ownership of `socket` and switches it to non-blocking.
+  Connection(std::uint64_t id, Socket socket, std::size_t maxLineBytes,
+             std::size_t maxOutboxBytes);
+
+  std::uint64_t id() const noexcept { return id_; }
+  int fd() const noexcept { return socket_.fd(); }
+
+  void setLineHandler(LineHandler handler) { onLine_ = std::move(handler); }
+  void setOversizeHandler(OversizeHandler handler) {
+    onOversize_ = std::move(handler);
+  }
+
+  enum class IoResult : std::uint8_t {
+    kOk,      ///< connection still healthy
+    kClosed,  ///< peer EOF, fatal error, or outbox overflow — drop it
+  };
+
+  /// Reads until EAGAIN, dispatching every complete line.
+  IoResult onReadable();
+
+  /// Flushes as much of the outbox as the socket accepts.
+  IoResult onWritable();
+
+  /// Queues `line` (a '\n' is appended) and flushes opportunistically.
+  /// Returns kClosed when the outbox exceeded its cap — the peer is not
+  /// keeping up and the server should drop the connection.
+  IoResult send(std::string_view line);
+
+  /// True while the outbox holds unflushed bytes (caller arms EPOLLOUT).
+  bool wantsWrite() const noexcept { return !outbox_.empty(); }
+
+  // --- In-flight query tokens ---------------------------------------------
+
+  /// Registers a query under its client-chosen id and returns its fresh
+  /// cancellation token; null when the id is already active (duplicate).
+  std::shared_ptr<std::atomic<bool>> registerQuery(const std::string& clientId);
+
+  /// Token for an active query, or null.
+  std::shared_ptr<std::atomic<bool>> findQuery(const std::string& clientId) const;
+
+  /// Drops the registration (the token itself stays alive with the query).
+  void unregisterQuery(const std::string& clientId);
+
+  /// Flips every active token (connection going away).
+  void cancelAll();
+
+  std::size_t activeQueries() const noexcept { return queries_.size(); }
+
+ private:
+  std::uint64_t id_;
+  Socket socket_;
+  std::size_t maxLineBytes_;
+  std::size_t maxOutboxBytes_;
+  LineHandler onLine_;
+  OversizeHandler onOversize_;
+
+  std::string inbox_;
+  bool skippingOversized_ = false;
+  std::string outbox_;
+  std::size_t outboxOffset_ = 0;  ///< bytes of outbox_ already written
+
+  std::map<std::string, std::shared_ptr<std::atomic<bool>>> queries_;
+};
+
+}  // namespace dsud::server

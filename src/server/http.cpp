@@ -1,0 +1,102 @@
+#include "server/http.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/connection.hpp"
+
+namespace dsud::server {
+
+namespace {
+
+/// Headers may not exceed this; a probe or scraper never comes close.
+constexpr std::size_t kMaxRequestBytes = 16u << 10;
+
+}  // namespace
+
+std::string makeHttpResponse(int status, std::string_view reason,
+                             std::string_view contentType,
+                             std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += contentType;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+HttpConnection::HttpConnection(std::uint64_t id, Socket socket)
+    : id_(id), socket_(std::move(socket)) {
+  setNonBlocking(socket_.fd());
+}
+
+HttpConnection::IoResult HttpConnection::onReadable(const Handler& handler) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      if (responded_) continue;  // drain and ignore anything after request 1
+      request_.append(chunk, static_cast<std::size_t>(n));
+      if (request_.size() > kMaxRequestBytes) return IoResult::kClosed;
+
+      const std::size_t headerEnd = request_.find("\r\n\r\n") !=
+                                            std::string::npos
+                                        ? request_.find("\r\n\r\n")
+                                        : request_.find("\n\n");
+      if (headerEnd == std::string::npos) continue;
+
+      // Request line: METHOD SP PATH SP VERSION
+      std::string_view line(request_);
+      line = line.substr(0, line.find_first_of("\r\n"));
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+      if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+        response_ = makeHttpResponse(400, "Bad Request", "text/plain",
+                                     "bad request\n");
+      } else {
+        const std::string_view method = line.substr(0, sp1);
+        std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        path = path.substr(0, path.find('?'));
+        response_ = handler(method, path);
+      }
+      responded_ = true;
+      return flush();
+    }
+    if (n == 0) return IoResult::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+    if (errno == EINTR) continue;
+    return IoResult::kClosed;
+  }
+}
+
+HttpConnection::IoResult HttpConnection::onWritable() { return flush(); }
+
+HttpConnection::IoResult HttpConnection::flush() {
+  while (offset_ < response_.size()) {
+    const ssize_t n = ::send(socket_.fd(), response_.data() + offset_,
+                             response_.size() - offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      offset_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoResult::kOk;  // EPOLLOUT will resume the flush
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return IoResult::kClosed;
+  }
+  // Fully flushed: the one-shot exchange is over.
+  return responded_ ? IoResult::kClosed : IoResult::kOk;
+}
+
+}  // namespace dsud::server

@@ -1,0 +1,61 @@
+// Minimal HTTP/1.1 responder for the daemon's /metrics and /healthz
+// endpoints.
+//
+// This is deliberately not a web server: every request is answered with
+// `Connection: close` and the socket shut down once the response drains,
+// which is exactly the lifecycle of a Prometheus scrape or a health probe.
+// Only the request line is interpreted (method + path); headers are read to
+// the blank line and discarded.  Runs on the event-loop thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/wire.hpp"
+
+namespace dsud::server {
+
+/// Serialises one full HTTP/1.1 response (status line, minimal headers with
+/// Content-Length and Connection: close, body).
+std::string makeHttpResponse(int status, std::string_view reason,
+                             std::string_view contentType,
+                             std::string_view body);
+
+class HttpConnection {
+ public:
+  /// Maps a request to the full response byte string.  `method` is the
+  /// verb from the request line; `path` excludes any query string.
+  using Handler =
+      std::function<std::string(std::string_view method, std::string_view path)>;
+
+  HttpConnection(std::uint64_t id, Socket socket);
+
+  std::uint64_t id() const noexcept { return id_; }
+  int fd() const noexcept { return socket_.fd(); }
+
+  enum class IoResult : std::uint8_t { kOk, kClosed };
+
+  /// Accumulates request bytes; once the header block is complete, invokes
+  /// `handler` and starts flushing its response.
+  IoResult onReadable(const Handler& handler);
+
+  /// Continues flushing the response.  Returns kClosed once it is fully
+  /// written (the connection's job is done) or on error.
+  IoResult onWritable();
+
+  bool wantsWrite() const noexcept { return !response_.empty(); }
+
+ private:
+  IoResult flush();
+
+  std::uint64_t id_;
+  Socket socket_;
+  std::string request_;
+  std::string response_;
+  std::size_t offset_ = 0;
+  bool responded_ = false;
+};
+
+}  // namespace dsud::server

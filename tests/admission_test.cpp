@@ -1,0 +1,255 @@
+// AdmissionController semantics (src/server/admission.hpp): token-bucket
+// quotas with an injected clock (no sleeps, exact refill arithmetic),
+// priority-ordered queueing, the breaker and external-in-flight probes, and
+// the metric invariants the daemon's dashboards depend on — in particular
+// that the active gauge returns to zero after a shed burst drains.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "server/admission.hpp"
+
+namespace dsud::server {
+namespace {
+
+using Outcome = AdmissionController::Outcome;
+
+/// Clock the test advances by hand.
+struct FakeClock {
+  double now = 1000.0;
+  AdmissionController::Clock fn() {
+    return [this] { return now; };
+  }
+};
+
+TEST(AdmissionTest, AdmitsImmediatelyUnderEveryLimit) {
+  AdmissionConfig config;
+  AdmissionController controller(config);
+  bool started = false;
+  AdmissionController::Shed shed;
+  EXPECT_EQ(controller.submit("default", Priority::kNormal,
+                              [&] { started = true; }, &shed),
+            Outcome::kAdmit);
+  EXPECT_TRUE(started);  // start runs before submit returns
+  EXPECT_EQ(controller.active(), 1u);
+  controller.release();
+  EXPECT_EQ(controller.active(), 0u);
+}
+
+TEST(AdmissionTest, QuotaExhaustionShedsWithoutStarting) {
+  FakeClock clock;
+  AdmissionConfig config;
+  config.defaultQuota.ratePerSec = 1.0;
+  config.defaultQuota.burst = 2.0;
+  AdmissionController controller(config, nullptr, clock.fn());
+
+  int started = 0;
+  const auto submit = [&] {
+    AdmissionController::Shed shed;
+    const Outcome outcome = controller.submit(
+        "default", Priority::kNormal, [&] { ++started; }, &shed);
+    if (outcome == Outcome::kShed) {
+      EXPECT_EQ(shed.code, ErrorCode::kOverloaded);
+      EXPECT_EQ(shed.reason, "tenant_quota");
+      EXPECT_GT(shed.retryAfterMs, 0u);
+    }
+    return outcome;
+  };
+
+  // The burst allows two, then the bucket is dry.
+  EXPECT_EQ(submit(), Outcome::kAdmit);
+  EXPECT_EQ(submit(), Outcome::kAdmit);
+  EXPECT_EQ(submit(), Outcome::kShed);
+  EXPECT_EQ(started, 2);  // the shed request never ran
+  EXPECT_EQ(controller.shedTotal(), 1u);
+  // Quota sheds cost no capacity and owe no release().
+  EXPECT_EQ(controller.active(), 2u);
+
+  // Half a second refills half a token — still dry.
+  clock.now += 0.5;
+  EXPECT_EQ(submit(), Outcome::kShed);
+  // A full second's worth in total refills one token.
+  clock.now += 0.5;
+  EXPECT_EQ(submit(), Outcome::kAdmit);
+  EXPECT_EQ(started, 3);
+}
+
+TEST(AdmissionTest, PerTenantBucketsAreIndependent) {
+  FakeClock clock;
+  AdmissionConfig config;
+  config.defaultQuota.ratePerSec = 1.0;
+  config.defaultQuota.burst = 1.0;
+  config.tenants["vip"] = TenantQuota{0.0, 32.0};  // 0 rate = unlimited
+  AdmissionController controller(config, nullptr, clock.fn());
+
+  AdmissionController::Shed shed;
+  EXPECT_EQ(controller.submit("a", Priority::kNormal, [] {}, &shed),
+            Outcome::kAdmit);
+  EXPECT_EQ(controller.submit("a", Priority::kNormal, [] {}, &shed),
+            Outcome::kShed);
+  // Tenant b has its own bucket, vip has no quota at all.
+  EXPECT_EQ(controller.submit("b", Priority::kNormal, [] {}, &shed),
+            Outcome::kAdmit);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(controller.submit("vip", Priority::kNormal, [] {}, &shed),
+              Outcome::kAdmit);
+  }
+}
+
+TEST(AdmissionTest, CapacityQueuesThenSheds) {
+  AdmissionConfig config;
+  config.maxInFlight = 2;
+  config.maxQueued = 2;
+  config.retryAfterMs = 150;
+  AdmissionController controller(config);
+
+  int started = 0;
+  AdmissionController::Shed shed;
+  const auto start = [&] { ++started; };
+  EXPECT_EQ(controller.submit("t", Priority::kNormal, start, &shed),
+            Outcome::kAdmit);
+  EXPECT_EQ(controller.submit("t", Priority::kNormal, start, &shed),
+            Outcome::kAdmit);
+  EXPECT_EQ(started, 2);
+  // Beyond the cap: queued, not started.
+  EXPECT_EQ(controller.submit("t", Priority::kNormal, start, &shed),
+            Outcome::kQueue);
+  EXPECT_EQ(controller.submit("t", Priority::kNormal, start, &shed),
+            Outcome::kQueue);
+  EXPECT_EQ(started, 2);
+  EXPECT_EQ(controller.queued(), 2u);
+  // Beyond the queue: shed with the configured hint.
+  EXPECT_EQ(controller.submit("t", Priority::kNormal, start, &shed),
+            Outcome::kShed);
+  EXPECT_EQ(shed.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(shed.reason, "capacity");
+  EXPECT_EQ(shed.retryAfterMs, 150u);
+
+  // Each release hands its slot to one queued start.
+  controller.release();
+  EXPECT_EQ(started, 3);
+  EXPECT_EQ(controller.queued(), 1u);
+  EXPECT_EQ(controller.active(), 2u);
+  controller.release();
+  EXPECT_EQ(started, 4);
+  controller.release();
+  controller.release();
+  EXPECT_EQ(controller.active(), 0u);
+}
+
+TEST(AdmissionTest, PrioritiesDrainInOrderFifoWithinClass) {
+  AdmissionConfig config;
+  config.maxInFlight = 1;
+  config.maxQueued = 8;
+  AdmissionController controller(config);
+
+  std::vector<std::string> order;
+  AdmissionController::Shed shed;
+  EXPECT_EQ(controller.submit("t", Priority::kNormal,
+                              [&] { order.push_back("first"); }, &shed),
+            Outcome::kAdmit);
+  // Queue in deliberately shuffled priority order.
+  const auto queue = [&](const char* name, Priority p) {
+    EXPECT_EQ(controller.submit(
+                  "t", p, [&order, name] { order.push_back(name); }, &shed),
+              Outcome::kQueue);
+  };
+  queue("low-1", Priority::kLow);
+  queue("normal-1", Priority::kNormal);
+  queue("high-1", Priority::kHigh);
+  queue("normal-2", Priority::kNormal);
+  queue("high-2", Priority::kHigh);
+
+  for (std::size_t i = 0; i < 5; ++i) controller.release();
+  controller.release();  // the last running query
+
+  const std::vector<std::string> expected = {"first",    "high-1",   "high-2",
+                                             "normal-1", "normal-2", "low-1"};
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(controller.active(), 0u);
+  EXPECT_EQ(controller.queued(), 0u);
+}
+
+TEST(AdmissionTest, BreakerProbeShedsAsUnavailable) {
+  AdmissionConfig config;
+  config.breakerShedFraction = 0.5;
+  AdmissionController controller(config);
+  double openFraction = 0.0;
+  controller.setBreakerProbe([&] { return openFraction; });
+
+  AdmissionController::Shed shed;
+  EXPECT_EQ(controller.submit("t", Priority::kNormal, [] {}, &shed),
+            Outcome::kAdmit);
+  openFraction = 0.75;
+  EXPECT_EQ(controller.submit("t", Priority::kNormal, [] {}, &shed),
+            Outcome::kShed);
+  EXPECT_EQ(shed.code, ErrorCode::kUnavailable);
+  EXPECT_EQ(shed.reason, "cluster_degraded");
+  // Recovered breakers admit again.
+  openFraction = 0.0;
+  EXPECT_EQ(controller.submit("t", Priority::kNormal, [] {}, &shed),
+            Outcome::kAdmit);
+}
+
+TEST(AdmissionTest, InflightProbeCountsExternalQueries) {
+  AdmissionConfig config;
+  config.maxInFlight = 4;
+  config.maxQueued = 0;  // shed instead of queueing, for a crisp assertion
+  AdmissionController controller(config);
+  controller.setInflightProbe([] { return 4.0; });  // direct engine users
+
+  AdmissionController::Shed shed;
+  EXPECT_EQ(controller.submit("t", Priority::kNormal, [] {}, &shed),
+            Outcome::kShed);
+  EXPECT_EQ(shed.reason, "capacity");
+}
+
+TEST(AdmissionTest, MetricsTrackShedBurstAndReturnToZero) {
+  obs::MetricsRegistry metrics;
+  AdmissionConfig config;
+  config.maxInFlight = 2;
+  config.maxQueued = 1;
+  AdmissionController controller(config, &metrics);
+
+  AdmissionController::Shed shed;
+  for (int i = 0; i < 8; ++i) {
+    controller.submit("t", Priority::kNormal, [] {}, &shed);
+  }
+  // 2 admitted, 1 queued, 5 shed.
+  EXPECT_EQ(controller.active(), 2u);
+  EXPECT_EQ(controller.queued(), 1u);
+  EXPECT_EQ(controller.shedTotal(), 5u);
+  EXPECT_EQ(metrics.counter(obs::labeled("dsud_server_shed_total",
+                                         {{"reason", "capacity"}}))
+                .value(),
+            5u);
+  EXPECT_EQ(metrics.gauge("dsud_server_active").value(), 2.0);
+  EXPECT_EQ(metrics.gauge("dsud_server_queue_depth").value(), 1.0);
+
+  // Draining the burst returns both gauges to zero exactly.
+  controller.release();  // slot goes to the queued request
+  EXPECT_EQ(metrics.gauge("dsud_server_queue_depth").value(), 0.0);
+  controller.release();
+  controller.release();
+  EXPECT_EQ(controller.active(), 0u);
+  EXPECT_EQ(metrics.gauge("dsud_server_active").value(), 0.0);
+  EXPECT_EQ(controller.admittedTotal(), 3u);
+  EXPECT_EQ(metrics.counter("dsud_server_admitted_total").value(), 3u);
+  EXPECT_EQ(metrics.counter("dsud_server_queued_total").value(), 1u);
+}
+
+TEST(AdmissionTest, ZeroMaxInFlightDisablesTheCap) {
+  AdmissionConfig config;
+  config.maxInFlight = 0;
+  AdmissionController controller(config);
+  AdmissionController::Shed shed;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(controller.submit("t", Priority::kNormal, [] {}, &shed),
+              Outcome::kAdmit);
+  }
+}
+
+}  // namespace
+}  // namespace dsud::server

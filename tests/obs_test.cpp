@@ -17,6 +17,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "prom_util.hpp"
 
 namespace dsud {
 namespace {
@@ -209,159 +210,13 @@ TEST(ObsTraceTest, DisabledTracerIsNoOp) {
 // ---------------------------------------------------------------------------
 // Exporters
 //
-// The Prometheus check is a real (if small) parser for the text exposition
-// format: every sample line must be `name[{labels}] value`, every family
-// must be typed before its first sample, and histogram bucket series must be
-// cumulative and end in le="+Inf" matching `_count`.
-
-struct PromSample {
-  std::string family;
-  std::string suffix;  // "", "_bucket", "_sum" or "_count"
-  std::map<std::string, std::string> labels;
-  double value = 0.0;
-};
-
-struct PromExposition {
-  std::map<std::string, std::string> types;  // family -> counter|gauge|...
-  std::vector<std::string> typeOrder;        // TYPE lines as encountered
-  std::vector<PromSample> samples;
-};
-
-/// Strips the histogram series suffix so samples map back to their family.
-std::string promFamily(const std::string& name, std::string* suffix = nullptr) {
-  for (const char* candidate : {"_bucket", "_sum", "_count"}) {
-    const std::string s = candidate;
-    if (name.size() > s.size() &&
-        name.compare(name.size() - s.size(), s.size(), s) == 0) {
-      if (suffix != nullptr) *suffix = s;
-      return name.substr(0, name.size() - s.size());
-    }
-  }
-  if (suffix != nullptr) suffix->clear();
-  return name;
-}
-
-/// Parses `text` into `out`; reports malformed lines as test failures.
-/// (void so the gtest ASSERT macros are usable.)
-void parsePrometheus(const std::string& text, PromExposition& out) {
-  std::size_t pos = 0;
-  while (pos < text.size()) {
-    std::size_t eol = text.find('\n', pos);
-    if (eol == std::string::npos) eol = text.size();
-    const std::string line = text.substr(pos, eol - pos);
-    pos = eol + 1;
-    if (line.empty()) continue;
-    if (line[0] == '#') {
-      if (line.rfind("# TYPE ", 0) == 0) {
-        const std::size_t space = line.find(' ', 7);
-        ASSERT_NE(space, std::string::npos) << line;
-        std::string family = line.substr(7, space - 7);
-        out.types[family] = line.substr(space + 1);
-        out.typeOrder.push_back(std::move(family));
-      }
-      continue;
-    }
-
-    PromSample sample;
-    std::size_t i = 0;
-    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
-    std::string name = line.substr(0, i);
-    ASSERT_FALSE(name.empty()) << line;
-    if (i < line.size() && line[i] == '{') {
-      ++i;
-      while (i < line.size() && line[i] != '}') {
-        const std::size_t eq = line.find('=', i);
-        ASSERT_NE(eq, std::string::npos) << line;
-        ASSERT_EQ(line[eq + 1], '"') << line;
-        std::string value;
-        std::size_t j = eq + 2;
-        while (j < line.size() && line[j] != '"') {
-          if (line[j] == '\\') ++j;  // escaped char
-          ASSERT_LT(j, line.size()) << line;
-          value += line[j++];
-        }
-        ASSERT_LT(j, line.size()) << line;  // closing quote
-        sample.labels[line.substr(i, eq - i)] = value;
-        i = j + 1;
-        if (i < line.size() && line[i] == ',') ++i;
-      }
-      ASSERT_LT(i, line.size()) << line;  // closing brace
-      ++i;
-    }
-    ASSERT_LT(i, line.size()) << line;
-    ASSERT_EQ(line[i], ' ') << line;
-    const std::string valueText = line.substr(i + 1);
-    char* end = nullptr;
-    sample.value = std::strtod(valueText.c_str(), &end);
-    ASSERT_EQ(*end, '\0') << "bad sample value in: " << line;
-    sample.family = promFamily(name, &sample.suffix);
-    out.samples.push_back(std::move(sample));
-  }
-}
+// The Prometheus conformance rules (typed families, cumulative histogram
+// buckets ending in le="+Inf", ...) live in tests/prom_util.hpp, shared
+// with server_test and the prom_lint CLI; here they surface as failures.
 
 void expectValidExposition(const std::string& text) {
-  PromExposition exp;
-  parsePrometheus(text, exp);
-  if (::testing::Test::HasFatalFailure()) return;
-  EXPECT_FALSE(exp.samples.empty());
-  for (const PromSample& s : exp.samples) {
-    EXPECT_TRUE(exp.types.count(s.family))
-        << "sample without # TYPE line: " << s.family;
-  }
-  // Exactly one TYPE line per family — Prometheus rejects duplicates, and
-  // the exporter must group a family's labeled series together.
-  std::map<std::string, int> typeLines;
-  for (const std::string& family : exp.typeOrder) {
-    EXPECT_EQ(++typeLines[family], 1) << "duplicate # TYPE line: " << family;
-  }
-  // Histogram families: cumulative buckets ending in le="+Inf", with the
-  // +Inf bucket equal to `_count` and a `_sum` series per label set.
-  for (const auto& [family, type] : exp.types) {
-    if (type != "histogram") continue;
-    const auto flatten = [](std::map<std::string, std::string> labels) {
-      labels.erase("le");
-      std::string flat;
-      for (const auto& [k, v] : labels) flat += k + "=" + v + ";";
-      return flat;
-    };
-    std::map<std::string, std::vector<std::pair<double, double>>> buckets;
-    std::map<std::string, double> counts;
-    std::map<std::string, double> sums;
-    for (const PromSample& s : exp.samples) {
-      if (s.family != family) continue;
-      if (s.suffix == "_bucket") {
-        EXPECT_TRUE(s.labels.count("le"))
-            << family << " bucket sample without an le label";
-        const std::string& le = s.labels.at("le");
-        const double bound = le == "+Inf"
-                                 ? std::numeric_limits<double>::infinity()
-                                 : std::strtod(le.c_str(), nullptr);
-        buckets[flatten(s.labels)].emplace_back(bound, s.value);
-      } else if (s.suffix == "_count") {
-        counts[flatten(s.labels)] = s.value;
-      } else if (s.suffix == "_sum") {
-        sums[flatten(s.labels)] = s.value;
-      } else {
-        ADD_FAILURE() << family << ": bare sample in a histogram family";
-      }
-    }
-    EXPECT_FALSE(buckets.empty()) << family;
-    for (auto& [flat, series] : buckets) {
-      ASSERT_FALSE(series.empty());
-      for (std::size_t i = 1; i < series.size(); ++i) {
-        EXPECT_LE(series[i - 1].first, series[i].first) << family;
-        EXPECT_LE(series[i - 1].second, series[i].second)
-            << family << " buckets must be cumulative";
-      }
-      EXPECT_TRUE(std::isinf(series.back().first))
-          << family << " must end with le=\"+Inf\"";
-      ASSERT_TRUE(counts.count(flat))
-          << family << "{" << flat << "} has buckets but no _count";
-      EXPECT_EQ(series.back().second, counts[flat])
-          << family << " +Inf bucket must equal _count";
-      EXPECT_TRUE(sums.count(flat))
-          << family << "{" << flat << "} has buckets but no _sum";
-    }
+  for (const std::string& error : promtest::lintExposition(text)) {
+    ADD_FAILURE() << error;
   }
 }
 

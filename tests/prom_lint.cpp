@@ -1,0 +1,55 @@
+// prom_lint — standalone Prometheus text-exposition validator.
+//
+//   prom_lint [file]        # reads stdin when no file is given
+//
+// Applies the same conformance rules as the test suite (tests/prom_util.hpp):
+// typed families, one TYPE line each, well-formed sample lines, cumulative
+// histogram buckets ending in le="+Inf" that agree with _count/_sum.  The CI
+// server-smoke job pipes `curl /metrics` output through this to catch
+// exposition regressions a mere curl | grep would miss.
+//
+// Exit 0: conformant (prints a one-line summary).
+// Exit 1: violations found (one per line on stderr).
+// Exit 2: usage or I/O error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "prom_util.hpp"
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: prom_lint [file]\n");
+    return 2;
+  }
+  std::string text;
+  if (argc == 2) {
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "prom_lint: cannot read %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  dsud::promtest::PromExposition exposition;
+  const auto errors = dsud::promtest::lintExposition(text, &exposition);
+  for (const std::string& error : errors) {
+    std::fprintf(stderr, "prom_lint: %s\n", error.c_str());
+  }
+  if (!errors.empty()) {
+    std::fprintf(stderr, "prom_lint: %zu violation(s)\n", errors.size());
+    return 1;
+  }
+  std::printf("prom_lint: ok — %zu samples across %zu families\n",
+              exposition.samples.size(), exposition.types.size());
+  return 0;
+}

@@ -1,0 +1,224 @@
+// Prometheus text-exposition (version 0.0.4) parser and linter shared by
+// obs_test, server_test, and the prom_lint CLI the CI server-smoke job runs
+// against a live /metrics endpoint.
+//
+// Deliberately gtest-free: every check reports by appending a human-readable
+// message to an error list instead of asserting, so the same core backs both
+// EXPECT-style test failures and a standalone validator's exit code.
+//
+// What it enforces: every sample line is `name[{labels}] value`, every
+// family is typed by exactly one `# TYPE` line before use, and histogram
+// families have cumulative buckets ending in le="+Inf" whose value equals
+// `_count`, with a `_sum` series per label set.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dsud::promtest {
+
+struct PromSample {
+  std::string family;
+  std::string suffix;  // "", "_bucket", "_sum" or "_count"
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+struct PromExposition {
+  std::map<std::string, std::string> types;  // family -> counter|gauge|...
+  std::vector<std::string> typeOrder;        // TYPE lines as encountered
+  std::vector<PromSample> samples;
+};
+
+/// Strips the histogram series suffix so samples map back to their family.
+inline std::string promFamily(const std::string& name,
+                              std::string* suffix = nullptr) {
+  for (const char* candidate : {"_bucket", "_sum", "_count"}) {
+    const std::string s = candidate;
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      if (suffix != nullptr) *suffix = s;
+      return name.substr(0, name.size() - s.size());
+    }
+  }
+  if (suffix != nullptr) suffix->clear();
+  return name;
+}
+
+/// Parses `text` into `out`, appending a message per malformed line to
+/// `errors`.  Parsing continues past errors so one bad line does not hide
+/// the rest of the report.
+inline void parsePrometheus(const std::string& text, PromExposition& out,
+                            std::vector<std::string>& errors) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::size_t space = line.find(' ', 7);
+        if (space == std::string::npos) {
+          errors.push_back("malformed TYPE line: " + line);
+          continue;
+        }
+        std::string family = line.substr(7, space - 7);
+        out.types[family] = line.substr(space + 1);
+        out.typeOrder.push_back(std::move(family));
+      }
+      continue;
+    }
+
+    PromSample sample;
+    bool bad = false;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    std::string name = line.substr(0, i);
+    if (name.empty()) {
+      errors.push_back("sample line without a metric name: " + line);
+      continue;
+    }
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        const std::size_t eq = line.find('=', i);
+        if (eq == std::string::npos || eq + 1 >= line.size() ||
+            line[eq + 1] != '"') {
+          errors.push_back("malformed label in: " + line);
+          bad = true;
+          break;
+        }
+        std::string value;
+        std::size_t j = eq + 2;
+        while (j < line.size() && line[j] != '"') {
+          if (line[j] == '\\') ++j;  // escaped char
+          if (j >= line.size()) break;
+          value += line[j++];
+        }
+        if (j >= line.size()) {  // ran off the line inside the value
+          errors.push_back("unterminated label value in: " + line);
+          bad = true;
+          break;
+        }
+        sample.labels[line.substr(i, eq - i)] = value;
+        i = j + 1;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (bad) continue;
+      if (i >= line.size()) {
+        errors.push_back("missing closing brace in: " + line);
+        continue;
+      }
+      ++i;  // closing brace
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      errors.push_back("missing value separator in: " + line);
+      continue;
+    }
+    const std::string valueText = line.substr(i + 1);
+    char* end = nullptr;
+    sample.value = std::strtod(valueText.c_str(), &end);
+    if (end == valueText.c_str() || *end != '\0') {
+      errors.push_back("bad sample value in: " + line);
+      continue;
+    }
+    sample.family = promFamily(name, &sample.suffix);
+    out.samples.push_back(std::move(sample));
+  }
+}
+
+/// Full conformance lint: parse plus the structural rules above.  Returns
+/// every violation found (empty = conformant).  `out`, when given, receives
+/// the parsed exposition for further shape checks by the caller.
+inline std::vector<std::string> lintExposition(const std::string& text,
+                                               PromExposition* out = nullptr) {
+  PromExposition local;
+  PromExposition& exp = out != nullptr ? *out : local;
+  std::vector<std::string> errors;
+  parsePrometheus(text, exp, errors);
+  if (exp.samples.empty()) {
+    errors.push_back("exposition has no samples");
+  }
+  for (const PromSample& s : exp.samples) {
+    if (exp.types.count(s.family) == 0) {
+      errors.push_back("sample without # TYPE line: " + s.family);
+    }
+  }
+  // Exactly one TYPE line per family — Prometheus rejects duplicates, and
+  // the exporter must group a family's labeled series together.
+  std::map<std::string, int> typeLines;
+  for (const std::string& family : exp.typeOrder) {
+    if (++typeLines[family] == 2) {
+      errors.push_back("duplicate # TYPE line: " + family);
+    }
+  }
+  // Histogram families: cumulative buckets ending in le="+Inf", with the
+  // +Inf bucket equal to `_count` and a `_sum` series per label set.
+  for (const auto& [family, type] : exp.types) {
+    if (type != "histogram") continue;
+    const auto flatten = [](std::map<std::string, std::string> labels) {
+      labels.erase("le");
+      std::string flat;
+      for (const auto& [k, v] : labels) flat += k + "=" + v + ";";
+      return flat;
+    };
+    std::map<std::string, std::vector<std::pair<double, double>>> buckets;
+    std::map<std::string, double> counts;
+    std::map<std::string, double> sums;
+    for (const PromSample& s : exp.samples) {
+      if (s.family != family) continue;
+      if (s.suffix == "_bucket") {
+        if (s.labels.count("le") == 0) {
+          errors.push_back(family + ": bucket sample without an le label");
+          continue;
+        }
+        const std::string& le = s.labels.at("le");
+        const double bound = le == "+Inf"
+                                 ? std::numeric_limits<double>::infinity()
+                                 : std::strtod(le.c_str(), nullptr);
+        buckets[flatten(s.labels)].emplace_back(bound, s.value);
+      } else if (s.suffix == "_count") {
+        counts[flatten(s.labels)] = s.value;
+      } else if (s.suffix == "_sum") {
+        sums[flatten(s.labels)] = s.value;
+      } else {
+        errors.push_back(family + ": bare sample in a histogram family");
+      }
+    }
+    if (buckets.empty()) {
+      errors.push_back(family + ": histogram family without bucket samples");
+    }
+    for (auto& [flat, series] : buckets) {
+      for (std::size_t i = 1; i < series.size(); ++i) {
+        if (series[i - 1].first > series[i].first) {
+          errors.push_back(family + ": bucket bounds out of order");
+        }
+        if (series[i - 1].second > series[i].second) {
+          errors.push_back(family + ": buckets must be cumulative");
+        }
+      }
+      if (!std::isinf(series.back().first)) {
+        errors.push_back(family + ": must end with le=\"+Inf\"");
+        continue;
+      }
+      if (counts.count(flat) == 0) {
+        errors.push_back(family + "{" + flat + "} has buckets but no _count");
+      } else if (series.back().second != counts[flat]) {
+        errors.push_back(family + ": +Inf bucket must equal _count");
+      }
+      if (sums.count(flat) == 0) {
+        errors.push_back(family + "{" + flat + "} has buckets but no _sum");
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace dsud::promtest

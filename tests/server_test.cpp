@@ -1,0 +1,513 @@
+// End-to-end tests for the query-serving daemon (src/server/server.hpp):
+// real sockets against a QueryServer running on its own thread.  Covers the
+// acceptance bar for the subsystem — concurrent clients receive answers
+// bit-identical to direct QueryEngine runs, overload sheds explicitly
+// instead of hanging, malformed and oversized input leave the connection
+// usable, /metrics is a conformant Prometheus exposition, and drain flips
+// /healthz to 503 while refusing new queries.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "gen/synthetic.hpp"
+#include "net/wire.hpp"
+#include "prom_util.hpp"
+#include "server/server.hpp"
+
+namespace dsud::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Harness: a server on its own thread plus a tiny blocking client.
+
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerConfig config = {}, std::size_t n = 4000,
+                         std::size_t dims = 3) {
+    SyntheticSpec spec;
+    spec.n = n;
+    spec.dims = dims;
+    spec.dist = ValueDistribution::kAnticorrelated;
+    spec.seed = 1;
+    cluster_ = std::make_unique<InProcCluster>(
+        generateSynthetic(spec, uniformProbability()), 4, 1);
+    server_ = std::make_unique<QueryServer>(
+        cluster_->engine(), cluster_->metricsRegistry(), config);
+    server_->start();  // ports are known after this
+    thread_ = std::thread([this] {
+      server_->run();
+      exited_.store(true, std::memory_order_relaxed);
+    });
+  }
+
+  ~ServerFixture() {
+    server_->stop();
+    thread_.join();
+  }
+
+  QueryServer& server() { return *server_; }
+  QueryEngine& engine() { return cluster_->engine(); }
+
+  bool waitForExit(double seconds) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(static_cast<int>(seconds * 1e3));
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (exited_.load(std::memory_order_relaxed)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return exited_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<InProcCluster> cluster_;
+  std::unique_ptr<QueryServer> server_;
+  std::thread thread_;
+  std::atomic<bool> exited_{false};
+};
+
+/// Blocking NDJSON client with a receive timeout so a server bug surfaces
+/// as a test failure, not a hang.
+class Client {
+ public:
+  explicit Client(std::uint16_t port)
+      : sock_(connectTo(port, std::chrono::milliseconds{2000})) {
+    setSocketTimeouts(sock_, std::chrono::milliseconds{10'000});
+  }
+
+  void send(const std::string& text) {
+    const std::string line = text + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const auto n = ::send(sock_.fd(), line.data() + off, line.size() - off,
+                            MSG_NOSIGNAL);
+      if (n <= 0) throw NetError("client send failed");
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string readLine() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const auto n = ::recv(sock_.fd(), chunk, sizeof chunk, 0);
+      if (n <= 0) throw NetError("client recv failed (timeout or close)");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  Response read() { return decodeResponse(readLine()); }
+
+ private:
+  Socket sock_;
+  std::string buffer_;
+};
+
+/// Everything the server streamed for one query id, in order.
+struct QueryOutcome {
+  AckResponse ack;
+  std::vector<AnswerResponse> answers;
+  DoneResponse done;
+  ErrorResponse error;
+  bool failed = false;
+};
+
+/// Demultiplexes the connection's response stream into per-id outcomes,
+/// reading until every requested id has its terminal line.  Pipelined
+/// queries interleave freely and terminals arrive in any order, so a
+/// read-one-id-at-a-time loop would discard another id's terminal.
+std::map<std::string, QueryOutcome> collectMany(
+    Client& client, const std::vector<std::string>& ids) {
+  std::map<std::string, QueryOutcome> out;
+  for (const std::string& id : ids) out[id];
+  std::size_t remaining = out.size();
+  while (remaining > 0) {
+    const Response response = client.read();
+    if (const auto* ack = std::get_if<AckResponse>(&response)) {
+      const auto it = out.find(ack->id);
+      if (it != out.end()) it->second.ack = *ack;
+    } else if (const auto* answer = std::get_if<AnswerResponse>(&response)) {
+      const auto it = out.find(answer->id);
+      if (it != out.end()) it->second.answers.push_back(*answer);
+    } else if (const auto* done = std::get_if<DoneResponse>(&response)) {
+      const auto it = out.find(done->id);
+      if (it != out.end()) {
+        it->second.done = *done;
+        --remaining;
+      }
+    } else if (const auto* error = std::get_if<ErrorResponse>(&response)) {
+      const auto it = out.find(error->id);
+      if (it != out.end()) {
+        it->second.error = *error;
+        it->second.failed = true;
+        --remaining;
+      }
+    }
+  }
+  return out;
+}
+
+QueryOutcome collect(Client& client, const std::string& id) {
+  return collectMany(client, {id})[id];
+}
+
+/// Streamed answers must be byte-exact against a direct engine run: same
+/// order, same tuples, same probabilities (doubles survive the JSON codec
+/// bit-exactly via %.17g).
+void expectBitIdentical(const QueryOutcome& out, const QueryResult& direct) {
+  ASSERT_FALSE(out.failed) << out.error.message;
+  ASSERT_EQ(out.answers.size(), direct.skyline.size());
+  for (std::size_t i = 0; i < out.answers.size(); ++i) {
+    EXPECT_EQ(out.answers[i].seq, i + 1);
+    EXPECT_EQ(out.answers[i].entry, direct.skyline[i]) << "answer " << i;
+  }
+  EXPECT_EQ(out.done.answers, direct.skyline.size());
+  EXPECT_EQ(out.done.stats.tuplesShipped, direct.stats.tuplesShipped);
+  EXPECT_EQ(out.done.stats.roundTrips, direct.stats.roundTrips);
+}
+
+// ---------------------------------------------------------------------------
+// Basic protocol flow
+
+TEST(ServerTest, PingAndStats) {
+  ServerFixture fx({}, 500);
+  Client client(fx.server().port());
+  client.send(R"({"op":"ping"})");
+  EXPECT_TRUE(std::holds_alternative<PongResponse>(client.read()));
+  client.send(R"({"op":"stats"})");
+  const Response response = client.read();
+  ASSERT_TRUE(std::holds_alternative<StatsResponse>(response));
+  EXPECT_EQ(std::get<StatsResponse>(response).active, 0u);
+}
+
+TEST(ServerTest, QueryStreamsBitIdenticalToDirectRun) {
+  ServerFixture fx;
+  QueryConfig config;
+  config.q = 0.3;
+  const QueryResult direct = fx.engine().runEdsud(config);
+  ASSERT_FALSE(direct.skyline.empty());
+
+  Client client(fx.server().port());
+  client.send(R"({"op":"query","id":"q1","algo":"edsud","q":0.3})");
+  const QueryOutcome out = collect(client, "q1");
+  EXPECT_EQ(out.ack.id, "q1");
+  EXPECT_NE(out.ack.query, kNoQuery);
+  expectBitIdentical(out, direct);
+}
+
+TEST(ServerTest, TopKSubspaceAndConstrainedRouteCorrectly) {
+  ServerFixture fx;
+  Client client(fx.server().port());
+
+  TopKConfig topk;
+  topk.k = 5;
+  topk.floorQ = 1e-3;
+  const QueryResult directTopK = fx.engine().runTopK(topk);
+  client.send(R"({"op":"query","id":"tk","k":5,"floor_q":0.001})");
+  expectBitIdentical(collect(client, "tk"), directTopK);
+
+  QueryConfig sub;
+  sub.q = 0.3;
+  sub.mask = 0b011;
+  const QueryResult directSub = fx.engine().runEdsud(sub);
+  client.send(R"({"op":"query","id":"sub","q":0.3,"mask":3})");
+  expectBitIdentical(collect(client, "sub"), directSub);
+
+  QueryConfig win;
+  win.q = 0.2;
+  Rect window(3);
+  window.expand(std::vector<double>{0.0, 0.0, 0.0});
+  window.expand(std::vector<double>{0.5, 0.5, 0.5});
+  win.window = window;
+  const QueryResult directWin = fx.engine().runEdsud(win);
+  client.send(
+      R"({"op":"query","id":"win","q":0.2,"window":{"lo":[0,0,0],"hi":[0.5,0.5,0.5]}})");
+  expectBitIdentical(collect(client, "win"), directWin);
+}
+
+TEST(ServerTest, NonProgressiveAndLimitedQueries) {
+  ServerFixture fx;
+  QueryConfig config;
+  config.q = 0.3;
+  const QueryResult direct = fx.engine().runEdsud(config);
+  ASSERT_GT(direct.skyline.size(), 3u);
+
+  Client client(fx.server().port());
+  // progressive=false: no answer lines, done still reports the full count.
+  client.send(R"({"op":"query","id":"np","q":0.3,"progressive":false})");
+  const QueryOutcome np = collect(client, "np");
+  ASSERT_FALSE(np.failed);
+  EXPECT_TRUE(np.answers.empty());
+  EXPECT_EQ(np.done.answers, direct.skyline.size());
+
+  // limit=3: exactly the first three answers stream, count stays total.
+  client.send(R"({"op":"query","id":"lim","q":0.3,"limit":3})");
+  const QueryOutcome lim = collect(client, "lim");
+  ASSERT_FALSE(lim.failed);
+  ASSERT_EQ(lim.answers.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(lim.answers[i].entry, direct.skyline[i]);
+  }
+  EXPECT_EQ(lim.done.answers, direct.skyline.size());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: the subsystem's acceptance bar
+
+TEST(ServerTest, SixtyFourConcurrentClientsBitIdentical) {
+  ServerFixture fx({}, 2000);
+  QueryConfig config;
+  config.q = 0.3;
+  const QueryResult direct = fx.engine().runEdsud(config);
+  ASSERT_FALSE(direct.skyline.empty());
+
+  constexpr std::size_t kClients = 64;
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<Client>(fx.server().port()));
+  }
+  // All queries go out before any response is read: the server must hold 64
+  // concurrent sessions without mixing their streams.
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients[i]->send(R"({"op":"query","id":"c)" + std::to_string(i) +
+                     R"(","algo":"edsud","q":0.3})");
+  }
+  for (std::size_t i = 0; i < kClients; ++i) {
+    const QueryOutcome out = collect(*clients[i], "c" + std::to_string(i));
+    expectBitIdentical(out, direct);
+  }
+}
+
+TEST(ServerTest, QuotaShedBurstNeverHangsAndDrainsToZero) {
+  ServerConfig config;
+  config.admission.defaultQuota.ratePerSec = 1e-6;  // effectively no refill
+  config.admission.defaultQuota.burst = 2.0;
+  ServerFixture fx(config, 1000);
+
+  Client client(fx.server().port());
+  constexpr int kBurst = 8;
+  std::vector<std::string> ids;
+  for (int i = 0; i < kBurst; ++i) {
+    ids.push_back("b" + std::to_string(i));
+    client.send(R"({"op":"query","id":")" + ids.back() + R"(","q":0.3})");
+  }
+  int completed = 0;
+  int shed = 0;
+  for (auto& [id, out] : collectMany(client, ids)) {
+    if (out.failed) {
+      EXPECT_EQ(out.error.code, ErrorCode::kOverloaded) << id;
+      EXPECT_GE(out.error.retryAfterMs, 1u) << id;
+      ++shed;
+    } else {
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(shed, kBurst - 2);
+
+  // Every shed was refused without a session; after the two admitted
+  // queries finish the in-flight accounting is exactly zero again.
+  client.send(R"({"op":"stats"})");
+  const Response response = client.read();
+  ASSERT_TRUE(std::holds_alternative<StatsResponse>(response));
+  const auto& stats = std::get<StatsResponse>(response);
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(kBurst - 2));
+}
+
+TEST(ServerTest, CancelAbortsQueuedQuery) {
+  ServerConfig config;
+  config.admission.maxInFlight = 1;
+  ServerFixture fx(config, 4000);
+
+  Client client(fx.server().port());
+  // One TCP write carries all three lines, so the loop queues `b` behind
+  // the slow `a` and flips b's cancel flag in the same dispatch batch —
+  // deterministically before `b` could ever start.
+  client.send(
+      std::string(R"({"op":"query","id":"a","algo":"naive","q":0.001})") +
+      "\n" + R"({"op":"query","id":"b","q":0.3})" + "\n" +
+      R"({"op":"cancel","id":"b"})");
+  auto outcomes = collectMany(client, {"a", "b"});
+  EXPECT_FALSE(outcomes["a"].failed);
+  ASSERT_TRUE(outcomes["b"].failed);
+  EXPECT_EQ(outcomes["b"].error.code, ErrorCode::kCancelled);
+
+  // Cancel for an unknown id is a silent no-op; the connection lives on.
+  client.send(R"({"op":"cancel","id":"ghost"})");
+  client.send(R"({"op":"ping"})");
+  EXPECT_TRUE(std::holds_alternative<PongResponse>(client.read()));
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input
+
+TEST(ServerTest, MalformedLinesGetCleanErrorsAndConnectionSurvives) {
+  ServerFixture fx({}, 500);
+  Client client(fx.server().port());
+
+  client.send("this is not json");
+  Response response = client.read();
+  ASSERT_TRUE(std::holds_alternative<ErrorResponse>(response));
+  EXPECT_EQ(std::get<ErrorResponse>(response).code, ErrorCode::kBadRequest);
+  EXPECT_TRUE(std::get<ErrorResponse>(response).id.empty());
+
+  client.send(R"({"op":"warp"})");
+  response = client.read();
+  ASSERT_TRUE(std::holds_alternative<ErrorResponse>(response));
+  EXPECT_EQ(std::get<ErrorResponse>(response).code, ErrorCode::kUnknownOp);
+
+  std::string badUtf8 = R"({"op":"ping","x":")";
+  badUtf8 += "\xff\xfe\"}";
+  client.send(badUtf8);
+  response = client.read();
+  ASSERT_TRUE(std::holds_alternative<ErrorResponse>(response));
+  EXPECT_EQ(std::get<ErrorResponse>(response).code, ErrorCode::kBadRequest);
+
+  // After all that abuse the connection still serves queries.
+  client.send(R"({"op":"ping"})");
+  EXPECT_TRUE(std::holds_alternative<PongResponse>(client.read()));
+}
+
+TEST(ServerTest, OversizedLineIsRejectedAndStreamResyncs) {
+  ServerConfig config;
+  config.maxLineBytes = 256;
+  ServerFixture fx(config, 500);
+  Client client(fx.server().port());
+
+  client.send(std::string(2000, 'x'));  // one giant junk line
+  const Response response = client.read();
+  ASSERT_TRUE(std::holds_alternative<ErrorResponse>(response));
+  EXPECT_EQ(std::get<ErrorResponse>(response).code, ErrorCode::kOversized);
+
+  // The parser resynchronised at the newline: the next request works.
+  client.send(R"({"op":"ping"})");
+  EXPECT_TRUE(std::holds_alternative<PongResponse>(client.read()));
+}
+
+// ---------------------------------------------------------------------------
+// HTTP endpoints
+
+/// One-shot HTTP GET; returns the status line and body.
+std::pair<std::string, std::string> httpGet(std::uint16_t port,
+                                            const std::string& request) {
+  Socket sock = connectTo(port, std::chrono::milliseconds{2000});
+  setSocketTimeouts(sock, std::chrono::milliseconds{5000});
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const auto n = ::send(sock.fd(), request.data() + off,
+                          request.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) throw NetError("http send failed");
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {  // the server closes after one response
+    const auto n = ::recv(sock.fd(), chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = response.find("\r\n");
+  const std::size_t split = response.find("\r\n\r\n");
+  if (eol == std::string::npos || split == std::string::npos) {
+    throw NetError("malformed http response");
+  }
+  return {response.substr(0, eol), response.substr(split + 4)};
+}
+
+TEST(ServerTest, HealthzAndMetricsEndpoints) {
+  ServerFixture fx({}, 500);
+  const std::uint16_t http = fx.server().httpPort();
+
+  const auto [healthStatus, healthBody] =
+      httpGet(http, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(healthStatus.find("200"), std::string::npos);
+  EXPECT_EQ(healthBody, "ok\n");
+
+  // Run one query first so engine series carry non-zero values.
+  Client client(fx.server().port());
+  client.send(R"({"op":"query","id":"q1","q":0.3})");
+  collect(client, "q1");
+
+  const auto [status, body] =
+      httpGet(http, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(status.find("200"), std::string::npos);
+  // The exposition must be conformant and contain both server and engine
+  // families — one registry, one page.
+  for (const std::string& error : promtest::lintExposition(body)) {
+    ADD_FAILURE() << error;
+  }
+  EXPECT_NE(body.find("dsud_server_requests_total"), std::string::npos);
+  EXPECT_NE(body.find("dsud_server_active"), std::string::npos);
+  EXPECT_NE(body.find("dsud_queries_total"), std::string::npos);
+
+  const auto [notFound, nfBody] =
+      httpGet(http, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(notFound.find("404"), std::string::npos);
+  const auto [notAllowed, naBody] =
+      httpGet(http, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(notAllowed.find("405"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+
+TEST(ServerTest, DrainRefusesQueriesFlipsHealthzAndStops) {
+  // A drain with nothing in flight completes instantly and run() returns,
+  // taking the HTTP listener with it.  Hold the drain open with a slow
+  // in-flight query (naive at q=0.001 over a large 5-d set takes hundreds
+  // of milliseconds) so the degraded /healthz and the refusal of late
+  // queries are observable mid-drain.
+  ServerFixture fx({}, 40'000, 5);
+  Client client(fx.server().port());  // connected before the drain
+  client.send(R"({"op":"query","id":"a","algo":"naive","q":0.001})");
+  const Response ackResponse = client.read();
+  ASSERT_TRUE(std::holds_alternative<AckResponse>(ackResponse));
+  EXPECT_EQ(std::get<AckResponse>(ackResponse).id, "a");
+
+  fx.server().requestDrain();
+  // The drain begins asynchronously on the loop thread; /healthz flips once
+  // it has.  Poll briefly rather than assuming scheduling order.
+  std::string status;
+  for (int i = 0; i < 100; ++i) {
+    status = httpGet(fx.server().httpPort(),
+                     "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                 .first;
+    if (status.find("503") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_NE(status.find("503"), std::string::npos);
+
+  // Established connections get an explicit refusal, not silence — while
+  // the in-flight query keeps streaming to completion.
+  client.send(R"({"op":"query","id":"late","q":0.3})");
+  auto outcomes = collectMany(client, {"a", "late"});
+  ASSERT_TRUE(outcomes["late"].failed);
+  EXPECT_EQ(outcomes["late"].error.code, ErrorCode::kUnavailable);
+  EXPECT_FALSE(outcomes["a"].failed);
+  EXPECT_GT(outcomes["a"].done.answers, 0u);
+
+  // Once the in-flight query finished, the drain completes and run()
+  // returns on its own — no stop() needed.
+  EXPECT_TRUE(fx.waitForExit(5.0));
+}
+
+}  // namespace
+}  // namespace dsud::server

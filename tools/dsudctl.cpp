@@ -9,6 +9,10 @@
 //                    [--q=0.3] [--k=0] [--mask=0] [--seed=1] [--limit=20]
 //                    [--deadline-ms=0] [--retries=0]
 //                    [--on-failure=fail|degrade] [--chaos-kill=<site>]
+//   dsudctl query    --connect=<port> [--algo=...] [--q=...] [--k=...]
+//                    [--mask=0] [--limit=20] [--deadline-ms=0] [--retries=0]
+//                    [--on-failure=fail|degrade] [--tenant=default]
+//                    [--priority=high|normal|low] [--id=q1]
 //   dsudctl convert  --in=data.bin --out=data.csv
 //   dsudctl metrics  --in=data.bin [--algo=edsud|dsud|naive] [--m=10]
 //                    [--q=0.3] [--k=0] [--seed=1] [--format=prom|json]
@@ -40,6 +44,14 @@
 // unreachable (--chaos-kill injects exactly that: the named site dies after
 // its first call).
 //
+// Client mode (`query --connect=<port>`): instead of building a local
+// cluster, speak the dsudd line-delimited JSON protocol (docs/PROTOCOL.md,
+// "Client protocol") to a running daemon on 127.0.0.1.  Streamed `answer`
+// lines print as they arrive; `done` prints the same summary as a local
+// run.  Exit codes match local mode — 3 when the daemon reports a degraded
+// result, 2 on any protocol `error` (including load shedding, whose
+// retry-after hint is printed).
+//
 // Files use the binary format of common/io.hpp unless the extension is
 // .csv.  Exit code 0 on success, 1 on usage errors, 2 on runtime errors,
 // 3 when the query completed degraded (one or more sites excluded).
@@ -51,6 +63,8 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+
 #include "common/io.hpp"
 #include "common/options.hpp"
 #include "common/rng.hpp"
@@ -60,6 +74,7 @@
 #include "gen/synthetic.hpp"
 #include "net/tcp_transport.hpp"
 #include "obs/export.hpp"
+#include "server/proto.hpp"
 #include "skyline/cardinality.hpp"
 #include "skyline/linear_skyline.hpp"
 
@@ -170,7 +185,141 @@ int cmdInspect(const ArgParser& args) {
   return 0;
 }
 
+void printEntry(std::size_t rank, const GlobalSkylineEntry& e) {
+  std::printf("  #%-4zu id=%-10llu site=%-4u P=%.4f P_gsky=%.6f  (", rank,
+              static_cast<unsigned long long>(e.tuple.id), e.site,
+              e.tuple.prob, e.globalSkyProb);
+  for (std::size_t j = 0; j < e.tuple.values.size(); ++j) {
+    std::printf("%s%g", j == 0 ? "" : ", ", e.tuple.values[j]);
+  }
+  std::printf(")\n");
+}
+
+/// Reads one '\n'-terminated line from a blocking socket.  Returns false on
+/// EOF with nothing buffered.
+bool readLine(const Socket& socket, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer, 0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(socket.fd(), chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void writeAll(const Socket& socket, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::send(socket.fd(), text.data() + sent,
+                             text.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) throw NetError("connect mode: send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// `query --connect=<port>`: run the query through a dsudd daemon instead
+/// of a local cluster.
+int cmdQueryConnect(const ArgParser& args) {
+  // The server's protocol names (AckResponse, QueryRequest, ...) collide
+  // with the site protocol's under a using-directive; alias instead.
+  namespace srv = dsud::server;
+
+  srv::QueryRequest request;
+  request.id = args.get("id", "q1");
+  const std::string algo = args.get("algo", "edsud");
+  if (algo == "edsud") {
+    request.algo = Algo::kEdsud;
+  } else if (algo == "dsud") {
+    request.algo = Algo::kDsud;
+  } else if (algo == "naive") {
+    request.algo = Algo::kNaive;
+  } else {
+    std::fprintf(stderr, "query: unknown --algo=%s\n", algo.c_str());
+    return 1;
+  }
+  request.k = static_cast<std::size_t>(args.getInt("k", 0));
+  request.q = args.getDouble("q", request.k > 0 ? 1e-3 : 0.3);
+  request.mask = static_cast<DimMask>(args.getInt("mask", 0));
+  request.tenant = args.get("tenant", "default");
+  const std::string priority = args.get("priority", "normal");
+  if (priority == "high") {
+    request.priority = srv::Priority::kHigh;
+  } else if (priority == "low") {
+    request.priority = srv::Priority::kLow;
+  } else if (priority != "normal") {
+    std::fprintf(stderr, "query: unknown --priority=%s\n", priority.c_str());
+    return 1;
+  }
+  request.deadlineMs = static_cast<std::uint32_t>(args.getInt("deadline-ms", 0));
+  request.retries = static_cast<std::uint32_t>(args.getInt("retries", 0));
+  const std::string onFailure = args.get("on-failure", "fail");
+  if (onFailure == "degrade") {
+    request.degrade = true;
+  } else if (onFailure != "fail") {
+    std::fprintf(stderr, "query: unknown --on-failure=%s\n", onFailure.c_str());
+    return 1;
+  }
+  request.limit = static_cast<std::uint64_t>(args.getInt("limit", 20));
+
+  const auto port = static_cast<std::uint16_t>(args.getInt("connect", 0));
+  const Socket socket = connectTo(port, std::chrono::milliseconds{2000});
+  writeAll(socket, srv::encodeRequest(request) + "\n");
+
+  std::string buffer;
+  std::string line;
+  std::uint64_t streamed = 0;
+  while (readLine(socket, buffer, line)) {
+    if (line.empty()) continue;
+    const srv::Response response = srv::decodeResponse(line);
+    if (const auto* ack = std::get_if<srv::AckResponse>(&response)) {
+      std::fprintf(stderr, "accepted as engine query %llu\n",
+                   static_cast<unsigned long long>(ack->query));
+    } else if (const auto* answer = std::get_if<srv::AnswerResponse>(&response)) {
+      ++streamed;
+      printEntry(answer->seq, answer->entry);
+    } else if (const auto* done = std::get_if<srv::DoneResponse>(&response)) {
+      std::printf("%llu answers; %llu tuples shipped (%llu bytes, %llu RPCs) "
+                  "in %.1f ms\n",
+                  static_cast<unsigned long long>(done->answers),
+                  static_cast<unsigned long long>(done->stats.tuplesShipped),
+                  static_cast<unsigned long long>(done->stats.bytesShipped),
+                  static_cast<unsigned long long>(done->stats.roundTrips),
+                  done->stats.seconds * 1e3);
+      if (done->answers > streamed) {
+        std::printf("  ... %llu more (raise --limit)\n",
+                    static_cast<unsigned long long>(done->answers - streamed));
+      }
+      if (done->degraded) {
+        std::fprintf(stderr, "warning: degraded result — excluded site(s):");
+        for (const SiteId site : done->excluded) {
+          std::fprintf(stderr, " %u", site);
+        }
+        std::fprintf(stderr, "\n");
+        return 3;
+      }
+      return 0;
+    } else if (const auto* error = std::get_if<srv::ErrorResponse>(&response)) {
+      std::fprintf(stderr, "query failed: %s: %s", srv::errorCodeName(error->code),
+                   error->message.c_str());
+      if (error->retryAfterMs > 0) {
+        std::fprintf(stderr, " (retry after %u ms)", error->retryAfterMs);
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    // pong/stats cannot arrive for a query id; ignore defensively.
+  }
+  std::fprintf(stderr, "query: connection closed before a terminal response\n");
+  return 2;
+}
+
 int cmdQuery(const ArgParser& args) {
+  if (args.has("connect")) return cmdQueryConnect(args);
   const std::string in = args.get("in", "");
   if (in.empty()) {
     std::fprintf(stderr, "query: --in=<path> is required\n");
@@ -238,14 +387,7 @@ int cmdQuery(const ArgParser& args) {
       std::min<std::size_t>(result.skyline.size(),
                             static_cast<std::size_t>(args.getInt("limit", 20)));
   for (std::size_t i = 0; i < limit; ++i) {
-    const GlobalSkylineEntry& e = result.skyline[i];
-    std::printf("  #%-4zu id=%-10llu site=%-4u P=%.4f P_gsky=%.6f  (", i + 1,
-                static_cast<unsigned long long>(e.tuple.id), e.site,
-                e.tuple.prob, e.globalSkyProb);
-    for (std::size_t j = 0; j < e.tuple.values.size(); ++j) {
-      std::printf("%s%g", j == 0 ? "" : ", ", e.tuple.values[j]);
-    }
-    std::printf(")\n");
+    printEntry(i + 1, result.skyline[i]);
   }
   if (limit < result.skyline.size()) {
     std::printf("  ... %zu more (raise --limit)\n",

@@ -1,0 +1,168 @@
+// dsudd — the long-running query-serving daemon.
+//
+//   dsudd [--in=data.bin] [--n=20000] [--d=3] [--seed=1]
+//         [--dist=independent|correlated|anticorrelated|nyse]
+//         [--m=10] [--port=7411] [--http-port=7412] [--workers=4]
+//         [--max-inflight=64] [--max-queued=256]
+//         [--rate=0] [--burst=32] [--breaker-shed=0.5]
+//         [--drain-ms=5000] [--port-file=<path>]
+//
+// Hosts one in-process cluster (loaded from --in, or synthetic when absent)
+// behind a persistent coordinator: any number of clients connect to the
+// query port and speak the line-delimited JSON protocol of
+// docs/PROTOCOL.md ("Client protocol"); `dsudctl query --connect=<port>`
+// is the reference client.  The HTTP port serves GET /metrics (Prometheus
+// text exposition of the shared registry — engine, transport, and server
+// series on one page) and GET /healthz (200 "ok", 503 "draining").
+//
+// Admission control: --max-inflight bounds concurrently executing queries
+// (the engine-wide in-flight gauges count too), --max-queued bounds the
+// priority-ordered wait queue, --rate/--burst set the default per-tenant
+// token bucket (0 rate = unlimited), and --breaker-shed sheds new queries
+// outright once that fraction of site circuit breakers is open.  Beyond
+// every limit the server answers `overloaded`/`unavailable` with a
+// retry-after hint — explicit load shedding, never an unbounded queue.
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight
+// queries within --drain-ms, then cancel stragglers.  A second signal
+// stops immediately.  --port-file writes "<port> <http-port>\n" once both
+// listeners are bound, so scripts (the CI server-smoke job) can use
+// --port=0 and discover the chosen ports race-free.
+//
+// Exit code 0 on a clean shutdown, 1 on usage errors, 2 on runtime errors.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "common/io.hpp"
+#include "common/options.hpp"
+#include "core/cluster.hpp"
+#include "gen/nyse.hpp"
+#include "gen/synthetic.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace dsud;
+
+// Signal handlers may only touch these and write(2) to the wake fd.
+volatile sig_atomic_t g_signals = 0;
+int g_wakeFd = -1;
+
+void onSignal(int) {
+  g_signals = g_signals + 1;
+  if (g_wakeFd >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(g_wakeFd, &one, sizeof one);
+  }
+}
+
+bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Dataset loadOrGenerate(const ArgParser& args) {
+  if (const std::string in = args.get("in", ""); !in.empty()) {
+    return endsWith(in, ".csv") ? loadDatasetCsv(in) : loadDatasetBinary(in);
+  }
+  const auto n = static_cast<std::size_t>(args.getInt("n", 20000));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const std::string dist = args.get("dist", "independent");
+  if (dist == "nyse") {
+    NyseSpec spec;
+    spec.n = n;
+    spec.seed = seed;
+    return generateNyse(spec, uniformProbability());
+  }
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dims = static_cast<std::size_t>(args.getInt("d", 3));
+  spec.seed = seed;
+  if (dist == "correlated") {
+    spec.dist = ValueDistribution::kCorrelated;
+  } else if (dist == "anticorrelated") {
+    spec.dist = ValueDistribution::kAnticorrelated;
+  } else if (dist != "independent") {
+    throw std::runtime_error("dsudd: unknown --dist=" + dist);
+  }
+  return generateSynthetic(spec, uniformProbability());
+}
+
+int run(const ArgParser& args) {
+  const Dataset data = loadOrGenerate(args);
+  const auto m = static_cast<std::size_t>(args.getInt("m", 10));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+  InProcCluster cluster(data, m, seed);
+
+  server::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(args.getInt("port", 7411));
+  config.httpPort = static_cast<std::uint16_t>(args.getInt("http-port", 7412));
+  config.workers = static_cast<std::size_t>(args.getInt("workers", 4));
+  config.drainSeconds = args.getDouble("drain-ms", 5000.0) / 1e3;
+  config.admission.maxInFlight =
+      static_cast<std::size_t>(args.getInt("max-inflight", 64));
+  config.admission.maxQueued =
+      static_cast<std::size_t>(args.getInt("max-queued", 256));
+  config.admission.defaultQuota.ratePerSec = args.getDouble("rate", 0.0);
+  config.admission.defaultQuota.burst = args.getDouble("burst", 32.0);
+  config.admission.breakerShedFraction = args.getDouble("breaker-shed", 0.5);
+
+  server::QueryServer server(cluster.engine(), cluster.metricsRegistry(),
+                             config);
+  server.start();
+
+  if (const std::string portFile = args.get("port-file", "");
+      !portFile.empty()) {
+    std::FILE* f = std::fopen(portFile.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "dsudd: cannot write %s\n", portFile.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%u %u\n", server.port(), server.httpPort());
+    std::fclose(f);
+  }
+
+  // Graceful shutdown: the handler writes to the loop's eventfd
+  // (async-signal-safe), the wake handler runs on the loop thread and
+  // translates the count into drain / immediate stop.
+  g_wakeFd = server.loop().wakeFd();
+  struct sigaction action = {};
+  action.sa_handler = onSignal;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // peers may vanish mid-write
+  server.loop().setWakeHandler([&server] {
+    if (g_signals >= 2) {
+      server.stop();
+    } else if (g_signals == 1) {
+      server.requestDrain();  // idempotent
+    }
+  });
+
+  std::fprintf(stderr,
+               "dsudd: serving %zu tuples over %zu sites — query port %u, "
+               "http port %u (%zu workers, max %zu in flight)\n",
+               data.size(), m, server.port(), server.httpPort(),
+               config.workers, config.admission.maxInFlight);
+  server.run();
+  std::fprintf(stderr, "dsudd: shut down cleanly\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dsudd: %s\n", e.what());
+    return 2;
+  }
+}
