@@ -28,6 +28,7 @@ Connection::Connection(std::uint64_t id, Socket socket,
 Connection::IoResult Connection::onReadable() {
   char chunk[16384];
   for (;;) {
+    if (defunct_) return IoResult::kOk;  // teardown posted; stop reading
     const ssize_t n = ::recv(socket_.fd(), chunk, sizeof chunk, 0);
     if (n > 0) {
       std::size_t start = 0;
@@ -55,13 +56,18 @@ Connection::IoResult Connection::onReadable() {
           onLine_(line);
         }
         lineStart = nl + 1;
+        // A handler may have dropped this connection (send failure); the
+        // remaining pipelined lines belong to a dead peer.
+        if (defunct_) break;
       }
       inbox_.erase(0, lineStart);
+      if (defunct_) return IoResult::kOk;
 
       if (inbox_.size() > maxLineBytes_) {
         inbox_.clear();
         skippingOversized_ = true;
         if (onOversize_) onOversize_();
+        if (defunct_) return IoResult::kOk;
       }
       continue;
     }
@@ -97,6 +103,7 @@ Connection::IoResult Connection::onWritable() {
 }
 
 Connection::IoResult Connection::send(std::string_view line) {
+  if (defunct_) return IoResult::kOk;  // already being torn down; drop it
   outbox_.append(line);
   outbox_.push_back('\n');
   if (onWritable() == IoResult::kClosed) return IoResult::kClosed;

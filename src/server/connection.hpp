@@ -78,6 +78,18 @@ class Connection {
   /// True while the outbox holds unflushed bytes (caller arms EPOLLOUT).
   bool wantsWrite() const noexcept { return !outbox_.empty(); }
 
+  // --- Deferred teardown ----------------------------------------------------
+  //
+  // send() can report kClosed from inside this connection's own
+  // onReadable() frame (line handler -> server sendLine -> send), so the
+  // server must never destroy the Connection right there.  Instead it marks
+  // the connection defunct — onReadable() stops dispatching lines and
+  // returns — and posts the actual erase to run after the IO callback has
+  // unwound.
+
+  bool defunct() const noexcept { return defunct_; }
+  void markDefunct() noexcept { defunct_ = true; }
+
   // --- In-flight query tokens ---------------------------------------------
 
   /// Registers a query under its client-chosen id and returns its fresh
@@ -104,6 +116,7 @@ class Connection {
   OversizeHandler onOversize_;
 
   std::string inbox_;
+  bool defunct_ = false;
   bool skippingOversized_ = false;
   std::string outbox_;
   std::size_t outboxOffset_ = 0;  ///< bytes of outbox_ already written

@@ -20,6 +20,13 @@ double nowSeconds() {
       .count();
 }
 
+/// epoll_event.data layout: fd in the low 32 bits, registration generation
+/// in the high 32 (see EventLoop::Handler).
+std::uint64_t packEvent(int fd, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
 }  // namespace
 
 EventLoop::EventLoop() {
@@ -36,7 +43,7 @@ EventLoop::EventLoop() {
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = wakeFd_;
+  ev.data.u64 = packEvent(wakeFd_, 0);  // the wake fd never closes; gen 0
   if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev) != 0) {
     const int err = errno;
     ::close(wakeFd_);
@@ -52,19 +59,24 @@ EventLoop::~EventLoop() {
 }
 
 void EventLoop::add(int fd, std::uint32_t events, IoCallback callback) {
+  const std::uint32_t gen = nextGen_++;
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = packEvent(fd, gen);
   if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
     throw NetError(std::string("epoll_ctl(add): ") + std::strerror(errno));
   }
-  handlers_[fd] = std::make_shared<IoCallback>(std::move(callback));
+  handlers_[fd] = Handler{gen, std::make_shared<IoCallback>(std::move(callback))};
 }
 
 void EventLoop::modify(int fd, std::uint32_t events) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) {
+    throw NetError("epoll_ctl(mod): fd not registered");
+  }
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = packEvent(fd, it->second.gen);
   if (::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
     throw NetError(std::string("epoll_ctl(mod): ") + std::strerror(errno));
   }
@@ -161,7 +173,9 @@ void EventLoop::run() {
       throw NetError(std::string("epoll_wait: ") + std::strerror(errno));
     }
     for (int i = 0; i < n && !stopRequested_; ++i) {
-      const int fd = events[i].data.fd;
+      const std::uint64_t key = events[i].data.u64;
+      const int fd = static_cast<int>(key & 0xffffffffu);
+      const std::uint32_t gen = static_cast<std::uint32_t>(key >> 32);
       if (fd == wakeFd_) {
         drainWake();
         if (wakeHandler_) wakeHandler_();
@@ -170,7 +184,8 @@ void EventLoop::run() {
       // Hold a reference: the callback may remove (even close) its own fd.
       const auto it = handlers_.find(fd);
       if (it == handlers_.end()) continue;  // removed by an earlier callback
-      const std::shared_ptr<IoCallback> handler = it->second;
+      if (it->second.gen != gen) continue;  // fd reused; event is stale
+      const std::shared_ptr<IoCallback> handler = it->second.callback;
       (*handler)(events[i].events);
     }
     runPosted();

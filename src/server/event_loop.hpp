@@ -85,11 +85,21 @@ class EventLoop {
   int msUntilNextTimer() const;
   void runDueTimers();
 
+  /// A registration is (fd, generation): the generation rides along in
+  /// epoll_event.data and is re-checked at dispatch, so a queued event for
+  /// an fd that was closed and reused by a later accept() within the same
+  /// epoll_wait batch is dropped instead of reaching the new registration.
+  struct Handler {
+    std::uint32_t gen = 0;
+    std::shared_ptr<IoCallback> callback;
+  };
+
   int epollFd_ = -1;
   int wakeFd_ = -1;
   bool running_ = false;
   bool stopRequested_ = false;
-  std::map<int, std::shared_ptr<IoCallback>> handlers_;
+  std::uint32_t nextGen_ = 1;
+  std::map<int, Handler> handlers_;
   std::function<void()> wakeHandler_;
   std::vector<Timer> timers_;
   std::uint64_t nextTimerToken_ = 1;

@@ -59,7 +59,12 @@ std::uint64_t getUint(const Json& obj, std::string_view key,
   if (v == nullptr) return fallback;
   if (!v->isNumber()) bad("'" + std::string(key) + "' must be a number");
   const double d = v->asNumber();
-  if (d < 0 || d != std::floor(d) || d > static_cast<double>(hi)) {
+  // Order matters: static_cast<double>(hi) rounds UINT64_MAX up to 2^64, so
+  // a plain `d > (double)hi` would accept exactly 18446744073709551616 and
+  // make the cast below undefined.  Rejecting everything >= 2^64 first keeps
+  // the cast defined; the final compare then runs exactly, in integer space.
+  if (d < 0 || d != std::floor(d) || d >= std::ldexp(1.0, 64) ||
+      static_cast<std::uint64_t>(d) > hi) {
     bad("'" + std::string(key) + "' must be an integer in [0, " +
         std::to_string(hi) + "]");
   }

@@ -153,6 +153,7 @@ void QueryServer::handleClientEvent(std::uint64_t connId,
   const auto it = conns_.find(connId);
   if (it == conns_.end()) return;
   Connection& conn = *it->second;
+  if (conn.defunct()) return;  // close already posted; ignore stale events
   if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
     closeConnection(connId);
     return;
@@ -169,12 +170,26 @@ void QueryServer::handleClientEvent(std::uint64_t connId,
   }
   // The line handler may itself have dropped the connection.
   const auto again = conns_.find(connId);
-  if (again != conns_.end()) updateInterest(*again->second);
+  if (again != conns_.end() && !again->second->defunct()) {
+    updateInterest(*again->second);
+  }
 }
 
 void QueryServer::updateInterest(Connection& conn) {
   loop_.modify(conn.fd(),
                EPOLLIN | (conn.wantsWrite() ? EPOLLOUT : 0u));
+}
+
+void QueryServer::dropConnection(std::uint64_t connId) {
+  const auto it = conns_.find(connId);
+  if (it == conns_.end() || it->second->defunct()) return;
+  // This can run with the connection's own onReadable() frame on the stack
+  // (line handler -> sendLine -> send() == kClosed), so never destroy the
+  // Connection here: flag it so every handler skips it and defer the erase
+  // until the dispatch loop has unwound.
+  it->second->markDefunct();
+  it->second->cancelAll();
+  loop_.post([this, connId] { closeConnection(connId); });
 }
 
 void QueryServer::closeConnection(std::uint64_t connId) {
@@ -189,9 +204,11 @@ void QueryServer::closeConnection(std::uint64_t connId) {
 
 void QueryServer::sendLine(std::uint64_t connId, const std::string& line) {
   const auto it = conns_.find(connId);
-  if (it == conns_.end()) return;  // client went away; drop the response
+  if (it == conns_.end() || it->second->defunct()) {
+    return;  // client went away; drop the response
+  }
   if (it->second->send(line) == Connection::IoResult::kClosed) {
-    closeConnection(connId);
+    dropConnection(connId);
     return;
   }
   updateInterest(*it->second);
@@ -252,7 +269,7 @@ void QueryServer::handleQuery(std::uint64_t connId, QueryRequest request) {
     return;
   }
   const auto it = conns_.find(connId);
-  if (it == conns_.end()) return;
+  if (it == conns_.end() || it->second->defunct()) return;
   auto token = it->second->registerQuery(request.id);
   if (token == nullptr) {
     sendError(connId, request.id, ErrorCode::kBadRequest,
@@ -273,9 +290,17 @@ void QueryServer::handleQuery(std::uint64_t connId, QueryRequest request) {
   const auto outcome = admission_.submit(
       tenant, priority,
       [this, job = std::move(job)]() mutable {
-        pool_->submit([this, job = std::move(job)]() mutable {
-          runQuery(std::move(job));
-        });
+        try {
+          pool_->submit([this, job = std::move(job)]() mutable {
+            runQuery(std::move(job));
+          });
+        } catch (const std::exception&) {
+          // Shutdown race: a queued start dequeued by release() can land on
+          // a pool whose destructor has already set stopping_.  Drop the
+          // job and free its slot so the queue keeps draining instead of
+          // the exception unwinding through release().
+          admission_.release();
+        }
       },
       &shed);
   if (outcome == AdmissionController::Outcome::kShed) {

@@ -109,6 +109,11 @@ class QueryServer {
                  ErrorCode code, const std::string& message,
                  std::uint32_t retryAfterMs = 0);
   void updateInterest(Connection& conn);
+  /// Marks the connection defunct and posts the real close.  Safe from any
+  /// loop-thread frame, including inside the connection's own IO callback.
+  void dropConnection(std::uint64_t connId);
+  /// Destroys the connection.  Only from frames where no handler of this
+  /// connection is on the stack (event dispatch top level or a posted task).
   void closeConnection(std::uint64_t connId);
   void closeHttp(std::uint64_t connId);
 

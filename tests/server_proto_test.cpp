@@ -279,6 +279,23 @@ TEST(ProtoResponseTest, PongAndStatsRoundTrip) {
   EXPECT_EQ(std::get<StatsResponse>(decoded), r);
 }
 
+TEST(ProtoResponseTest, UintFieldAtTwoToTheSixtyFourIsRejected) {
+  // static_cast<double>(UINT64_MAX) rounds up to exactly 2^64, so a naive
+  // `d > (double)hi` range check would let 18446744073709551616 through
+  // into an undefined uint64 cast.  It must be a clean decode error.
+  for (const char* line :
+       {R"({"type":"done","id":"q1","answers":18446744073709551616})",
+        R"({"type":"done","id":"q1","answers":18446744073709551615})",
+        R"({"type":"done","id":"q1","answers":1e300})"}) {
+    EXPECT_THROW(decodeResponse(line), ProtoError) << line;
+  }
+  // Large-but-representable values still decode exactly.
+  const Response decoded =
+      decodeResponse(R"({"type":"done","id":"q1","answers":9007199254740992})");
+  ASSERT_TRUE(std::holds_alternative<DoneResponse>(decoded));
+  EXPECT_EQ(std::get<DoneResponse>(decoded).answers, 9007199254740992u);
+}
+
 TEST(ProtoResponseTest, MalformedResponsesThrow) {
   for (const char* line :
        {"", "{", R"({"type":"telemetry"})", R"({"id":"q1"})",

@@ -402,6 +402,60 @@ TEST(ServerTest, OversizedLineIsRejectedAndStreamResyncs) {
   EXPECT_TRUE(std::holds_alternative<PongResponse>(client.read()));
 }
 
+TEST(ServerTest, AbruptResetMidPipelineDoesNotCorruptServer) {
+  // A client pipelines a burst of requests and slams the door with an RST:
+  // the server's response send() then fails inside the connection's own
+  // onReadable() frame, with more pipelined lines still buffered.  The
+  // teardown must be deferred (never a synchronous erase under the live
+  // handler frame), and the server must keep serving other clients.
+  ServerFixture fx({}, 500);
+  {
+    Socket sock = connectTo(fx.server().port(), std::chrono::milliseconds{2000});
+    std::string burst;
+    for (int i = 0; i < 64; ++i) burst += "{\"op\":\"ping\"}\n";
+    std::size_t off = 0;
+    while (off < burst.size()) {
+      const auto n = ::send(sock.fd(), burst.data() + off, burst.size() - off,
+                            MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+    struct linger hard{};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+  }  // close with linger 0 -> RST races the server's reads and writes
+
+  // Regardless of how the race lands, a fresh connection works.
+  Client client(fx.server().port());
+  client.send(R"({"op":"ping"})");
+  EXPECT_TRUE(std::holds_alternative<PongResponse>(client.read()));
+}
+
+// ---------------------------------------------------------------------------
+// Connection teardown mechanics
+
+TEST(ConnectionTest, DefunctStopsLineDispatchWithoutDestruction) {
+  // The server reacts to a failed send by marking the connection defunct
+  // from inside the line handler; onReadable() must stop dispatching the
+  // remaining pipelined lines and return normally (the erase is deferred).
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Connection conn(1, Socket(fds[0]), 1024, 4096);
+  std::vector<std::string> lines;
+  conn.setLineHandler([&](std::string_view line) {
+    lines.emplace_back(line);
+    conn.markDefunct();
+  });
+  ASSERT_EQ(::send(fds[1], "first\nsecond\n", 13, MSG_NOSIGNAL), 13);
+  EXPECT_EQ(conn.onReadable(), Connection::IoResult::kOk);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "first");
+  // Defunct connections also drop writes instead of reporting failures.
+  EXPECT_EQ(conn.send("late response"), Connection::IoResult::kOk);
+  ::close(fds[1]);
+}
+
 // ---------------------------------------------------------------------------
 // HTTP endpoints
 
@@ -474,8 +528,13 @@ TEST(ServerTest, DrainRefusesQueriesFlipsHealthzAndStops) {
   // taking the HTTP listener with it.  Hold the drain open with a slow
   // in-flight query (naive at q=0.001 over a large 5-d set takes hundreds
   // of milliseconds) so the degraded /healthz and the refusal of late
-  // queries are observable mid-drain.
-  ServerFixture fx({}, 40'000, 5);
+  // queries are observable mid-drain.  The drain deadline is raised well
+  // past any sanitizer slowdown: this test is about the held-open drain
+  // completing on its own, and the default 5 s deadline would cancel the
+  // in-flight query under ASan instead.
+  ServerConfig config;
+  config.drainSeconds = 60.0;
+  ServerFixture fx(config, 40'000, 5);
   Client client(fx.server().port());  // connected before the drain
   client.send(R"({"op":"query","id":"a","algo":"naive","q":0.001})");
   const Response ackResponse = client.read();
