@@ -57,7 +57,7 @@ int main() {
         generateSynthetic(SyntheticSpec{scale.n, 3, dist, scale.seed + 150});
     // Indexed ground truth (the O(N²) scan would dominate the bench).
     const std::size_t truth =
-        bbsSkyline(PRTree::bulkLoad(global), scale.q).size();
+        bbsSkyline(PRTree::bulkLoad(global), {.q = scale.q}).size();
     const Outcome exact =
         measure(global, scale, PruneRule::kThresholdBound, truth);
     const Outcome paper = measure(global, scale, PruneRule::kDominance, truth);

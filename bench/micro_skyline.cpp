@@ -18,7 +18,7 @@ void BM_LinearSkyline(benchmark::State& state) {
   const Dataset data = makeData(static_cast<std::size_t>(state.range(0)),
                                 ValueDistribution::kIndependent);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(linearSkyline(data, 0.3).size());
+    benchmark::DoNotOptimize(linearSkyline(data, {.q = 0.3}).size());
   }
 }
 BENCHMARK(BM_LinearSkyline)->Arg(1000)->Arg(4000)->Arg(8000);
@@ -28,7 +28,7 @@ void BM_BbsSkylineIndependent(benchmark::State& state) {
                                 ValueDistribution::kIndependent);
   const PRTree tree = PRTree::bulkLoad(data);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bbsSkyline(tree, 0.3).size());
+    benchmark::DoNotOptimize(bbsSkyline(tree, {.q = 0.3}).size());
   }
 }
 BENCHMARK(BM_BbsSkylineIndependent)
@@ -42,7 +42,7 @@ void BM_BbsSkylineAnticorrelated(benchmark::State& state) {
                                 ValueDistribution::kAnticorrelated);
   const PRTree tree = PRTree::bulkLoad(data);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bbsSkyline(tree, 0.3).size());
+    benchmark::DoNotOptimize(bbsSkyline(tree, {.q = 0.3}).size());
   }
 }
 BENCHMARK(BM_BbsSkylineAnticorrelated)->Arg(16000)->Arg(100000);
@@ -52,7 +52,7 @@ void BM_BbsThresholdSweep(benchmark::State& state) {
   const PRTree tree = PRTree::bulkLoad(data);
   const double q = static_cast<double>(state.range(0)) / 10.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bbsSkyline(tree, q).size());
+    benchmark::DoNotOptimize(bbsSkyline(tree, {.q = q}).size());
   }
 }
 BENCHMARK(BM_BbsThresholdSweep)->Arg(3)->Arg(5)->Arg(7)->Arg(9);

@@ -1,10 +1,63 @@
 #include "common/dataset.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <new>
 #include <stdexcept>
 #include <string>
 
 namespace dsud {
+
+// ---------------------------------------------------------------------------
+// DatasetView
+
+void DatasetView::AlignedFree::operator()(double* p) const noexcept {
+  std::free(p);
+}
+
+DatasetView::DatasetView(const Dataset& data)
+    : dims_(data.dims()), size_(data.size()) {
+  // Round the column extent up so every column is both a whole number of
+  // kBlock SIMD groups and kAlign bytes long (8 doubles = 64 bytes).
+  constexpr std::size_t kRowRound = kAlign / sizeof(double);
+  static_assert(kRowRound % kBlock == 0);
+  padded_ = (size_ + kRowRound - 1) / kRowRound * kRowRound;
+  if (padded_ == 0) padded_ = kRowRound;  // keep col()/prob() dereferenceable
+
+  const std::size_t doubles = (dims_ + 2) * padded_;
+  void* raw = std::aligned_alloc(kAlign, doubles * sizeof(double));
+  if (raw == nullptr) throw std::bad_alloc();
+  buffer_.reset(static_cast<double*>(raw));
+
+  constexpr double kPad = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < dims_; ++j) {
+    double* column = buffer_.get() + j * padded_;
+    for (std::size_t row = 0; row < size_; ++row) {
+      column[row] = data.values(row)[j];
+    }
+    std::fill(column + size_, column + padded_, kPad);
+  }
+  double* probCol = buffer_.get() + dims_ * padded_;
+  double* logCol = buffer_.get() + (dims_ + 1) * padded_;
+  for (std::size_t row = 0; row < size_; ++row) {
+    const double p = data.prob(row);
+    probCol[row] = p;
+    // -inf when P == 1: a certain dominator zeroes the survival product.
+    logCol[row] = std::log1p(-p);
+  }
+  std::fill(probCol + size_, probCol + padded_, 0.0);
+  std::fill(logCol + size_, logCol + padded_, 0.0);
+
+  colPtrs_.resize(dims_);
+  for (std::size_t j = 0; j < dims_; ++j) colPtrs_[j] = col(j);
+  ids_.resize(size_);
+  for (std::size_t row = 0; row < size_; ++row) ids_[row] = data.id(row);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset
 
 Dataset::Dataset(std::size_t dims) : dims_(dims) {
   if (dims == 0) throw std::invalid_argument("Dataset: dims must be >= 1");

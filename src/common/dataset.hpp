@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -45,6 +46,64 @@ struct Tuple {
       : id(ref.id), values(ref.values.begin(), ref.values.end()), prob(ref.prob) {}
 
   friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+class Dataset;
+
+/// Column-major (structure-of-arrays) snapshot of a Dataset, shaped for the
+/// `kernel/` dominance and survival-product primitives.
+///
+/// Each dimension is one contiguous, 64-byte-aligned `double` array padded to
+/// a multiple of `kBlock` rows; the existential probabilities and the derived
+/// `log1p(-P)` column share the layout.  Padding rows carry +infinity
+/// coordinates (they can never dominate anything) and zero probability /
+/// log-survival, so kernels may always process whole blocks with no tail
+/// handling.  The view is an immutable copy: mutating the source Dataset
+/// afterwards does not invalidate it.
+class DatasetView {
+ public:
+  /// Rows per SIMD block (4 doubles = one AVX2 vector).
+  static constexpr std::size_t kBlock = 4;
+  /// Alignment of every column, in bytes (one cache line).
+  static constexpr std::size_t kAlign = 64;
+
+  DatasetView() = default;
+  explicit DatasetView(const Dataset& data);
+
+  std::size_t dims() const noexcept { return dims_; }
+  std::size_t size() const noexcept { return size_; }
+  /// size() rounded up to a kBlock multiple; the extent of every column.
+  std::size_t paddedSize() const noexcept { return padded_; }
+
+  /// Column of dimension `j` (aligned, paddedSize() entries).
+  const double* col(std::size_t j) const noexcept {
+    return buffer_.get() + j * padded_;
+  }
+  /// Array of dims() column pointers (the kernel-facing handle).
+  const double* const* cols() const noexcept { return colPtrs_.data(); }
+  /// Existential probabilities (aligned, padding entries are 0).
+  const double* prob() const noexcept { return buffer_.get() + dims_ * padded_; }
+  /// log1p(-P(t)) per row (-inf where P == 1; padding entries are 0) — the
+  /// log-space survival summand.
+  const double* logSurv() const noexcept {
+    return buffer_.get() + (dims_ + 1) * padded_;
+  }
+  std::span<const TupleId> ids() const noexcept { return ids_; }
+
+ private:
+  struct AlignedFree {
+    void operator()(double* p) const noexcept;
+  };
+
+  std::size_t dims_ = 0;
+  std::size_t size_ = 0;
+  std::size_t padded_ = 0;
+  // One aligned allocation holding dims_ value columns, then prob, then
+  // logSurv (each padded_ doubles; padded_ * 8 is a kAlign multiple, so every
+  // column stays aligned).
+  std::unique_ptr<double[], AlignedFree> buffer_;
+  std::vector<const double*> colPtrs_;
+  std::vector<TupleId> ids_;
 };
 
 /// Flat row-major uncertain database.
@@ -90,6 +149,10 @@ class Dataset {
 
   /// Reserves capacity for `n` tuples.
   void reserve(std::size_t n);
+
+  /// Builds a column-major kernel-ready snapshot of the current contents.
+  /// O(N · d); the view stays valid after the Dataset mutates or dies.
+  DatasetView view() const { return DatasetView(*this); }
 
  private:
   std::size_t dims_;

@@ -78,8 +78,8 @@ PrepareResponse LocalSite::prepare(const PrepareRequest& request) {
       session.tracer ? session.tracer->begin("site.prepare", obs::kNoSpan)
                      : obs::kNoSpan;
   const Rect* clip = session.window ? &*session.window : nullptr;
-  for (ProbSkylineEntry& e :
-       bbsSkyline(tree_, session.q, session.mask, /*stats=*/nullptr, clip)) {
+  for (ProbSkylineEntry& e : bbsSkyline(
+           tree_, {.mask = session.mask, .q = session.q, .clip = clip})) {
     session.pending.push_back(PendingEntry{std::move(e), 1.0});
   }
   flushTreeMetricsLocked();
@@ -352,10 +352,13 @@ RepairDeleteResponse LocalSite::repairDelete(
   // whose exact local probability passes q and whose replica-based global
   // upper bound passes q as well.
   std::vector<ProbSkylineEntry> regional;
-  bbsSkylineStream(tree_, q, mask, [&](const ProbSkylineEntry& e) {
-    if (dominates(deleted.values, e.values, mask)) regional.push_back(e);
-    return true;
-  });
+  bbsSkylineStream(tree_, {.mask = mask, .q = q},
+                   [&](const ProbSkylineEntry& e) {
+                     if (dominates(deleted.values, e.values, mask)) {
+                       regional.push_back(e);
+                     }
+                     return true;
+                   });
 
   for (ProbSkylineEntry& e : regional) {
     const bool inReplica =

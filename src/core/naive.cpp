@@ -51,7 +51,7 @@ QueryResult QueryEngine::naiveImpl(const QueryConfig& config,
   const PRTree tree = PRTree::bulkLoad(unified);
   const Rect* clip = config.window ? &*config.window : nullptr;
   bbsSkylineStream(
-      tree, config.q, mask,
+      tree, {.mask = mask, .q = config.q, .clip = clip},
       [&](const ProbSkylineEntry& e) {
         run.throwIfCancelled();
         Candidate c;
@@ -60,8 +60,7 @@ QueryResult QueryEngine::naiveImpl(const QueryConfig& config,
         c.localSkyProb = e.skyProb;  // over the unified database == global
         run.emit(c, e.skyProb);
         return true;
-      },
-      clip);
+      });
   return run.finalize();
 }
 

@@ -6,6 +6,8 @@
 // comparison to a caller-chosen subset of dimensions, encoded as a bitmask.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -18,19 +20,27 @@ using DimMask = std::uint32_t;
 /// Maximum supported dimensionality (bounded so MBRs can use inline storage).
 inline constexpr std::size_t kMaxDims = 8;
 
-/// Mask selecting all of the first `dims` dimensions.
+/// Mask value meaning "every dimension of the operand" — the default of
+/// SkylineSpec and the wire protocol's unset-mask convention.
+inline constexpr DimMask kAllDims = 0;
+
+/// Mask selecting all of the first `dims` dimensions.  `dims` must be in
+/// [0, kMaxDims]; larger values fail the assert (and fail to compile in a
+/// constant-evaluated context) instead of silently shifting past the mask
+/// width.
 constexpr DimMask fullMask(std::size_t dims) noexcept {
+  assert(dims <= kMaxDims && "fullMask: dims exceeds kMaxDims");
   return static_cast<DimMask>((1u << dims) - 1u);
+}
+
+/// Resolves the kAllDims sentinel against a concrete dimensionality.
+constexpr DimMask effectiveMask(DimMask mask, std::size_t dims) noexcept {
+  return mask == kAllDims ? fullMask(dims) : mask;
 }
 
 /// Number of dimensions selected by `mask`.
 constexpr std::size_t maskSize(DimMask mask) noexcept {
-  std::size_t n = 0;
-  while (mask != 0) {
-    n += mask & 1u;
-    mask >>= 1u;
-  }
-  return n;
+  return static_cast<std::size_t>(std::popcount(mask));
 }
 
 /// Mutual relation of two tuples under a dimension mask.

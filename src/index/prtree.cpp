@@ -2,27 +2,181 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <new>
 #include <numeric>
 #include <stdexcept>
 #include <string>
 
+#include "kernel/kernel.hpp"
+
 namespace dsud {
 
+namespace {
+
+constexpr std::size_t kExtentBytes = 64 * 1024;
+constexpr std::size_t kNodeAlign = 64;
+
+constexpr std::size_t roundUp(std::size_t v, std::size_t a) noexcept {
+  return (v + a - 1) / a * a;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Node layout
+// Arena
 
-struct PRTree::Node {
-  Rect mbr;
-  double pMin = 1.0;      // paper's P1
-  double pMax = 0.0;      // paper's P2
-  double survival = 1.0;  // Π (1 − P) over the subtree
-  std::size_t count = 0;
-  bool leaf = true;
-  std::vector<std::unique_ptr<Node>> children;  // internal nodes
-  std::vector<LeafEntry> entries;               // leaf nodes
+void PRTree::ExtentFree::operator()(std::byte* p) const noexcept {
+  std::free(p);
+}
 
-  explicit Node(std::size_t dims, bool isLeaf) : mbr(dims), leaf(isLeaf) {}
-};
+std::byte* PRTree::at(std::uint32_t node) noexcept {
+  return extents_[node / nodesPerExtent_].get() +
+         (node % nodesPerExtent_) * stride_;
+}
+const std::byte* PRTree::at(std::uint32_t node) const noexcept {
+  return extents_[node / nodesPerExtent_].get() +
+         (node % nodesPerExtent_) * stride_;
+}
+PRTree::NodeHeader& PRTree::header(std::uint32_t node) noexcept {
+  return *reinterpret_cast<NodeHeader*>(at(node));
+}
+const PRTree::NodeHeader& PRTree::header(std::uint32_t node) const noexcept {
+  return *reinterpret_cast<const NodeHeader*>(at(node));
+}
+
+std::uint32_t PRTree::allocNode(bool leaf) {
+  std::uint32_t idx;
+  if (!freeList_.empty()) {
+    idx = freeList_.back();
+    freeList_.pop_back();
+  } else {
+    if (allocated_ == extents_.size() * nodesPerExtent_) {
+      // stride_ is a 64-byte multiple, so the size honours the
+      // aligned_alloc size-multiple-of-alignment requirement.
+      void* raw = std::aligned_alloc(kNodeAlign, nodesPerExtent_ * stride_);
+      if (raw == nullptr) throw std::bad_alloc();
+      extents_.emplace_back(static_cast<std::byte*>(raw));
+    }
+    idx = allocated_++;
+  }
+  NodeHeader& h = *new (at(idx)) NodeHeader;
+  h.mbr = Rect(dims_);
+  h.leaf = leaf ? 1 : 0;
+  if (leaf) padLeafSlots(idx, 0);
+  return idx;
+}
+
+void PRTree::freeNode(std::uint32_t node) { freeList_.push_back(node); }
+
+void PRTree::freeSubtree(std::uint32_t node) {
+  if (!header(node).leaf) {
+    const std::uint32_t* kids = childArray(node);
+    const std::size_t n = header(node).fanout;
+    for (std::size_t i = 0; i < n; ++i) freeSubtree(kids[i]);
+  }
+  freeNode(node);
+}
+
+// ---------------------------------------------------------------------------
+// Payload access
+
+std::uint32_t* PRTree::childArray(std::uint32_t node) noexcept {
+  return reinterpret_cast<std::uint32_t*>(at(node) + childOff_);
+}
+const std::uint32_t* PRTree::childArray(std::uint32_t node) const noexcept {
+  return reinterpret_cast<const std::uint32_t*>(at(node) + childOff_);
+}
+double* PRTree::leafCol(std::uint32_t node, std::size_t j) noexcept {
+  return reinterpret_cast<double*>(at(node) + colOff_) + j * padCap_;
+}
+const double* PRTree::leafCol(std::uint32_t node, std::size_t j) const noexcept {
+  return reinterpret_cast<const double*>(at(node) + colOff_) + j * padCap_;
+}
+double* PRTree::leafProb(std::uint32_t node) noexcept {
+  return reinterpret_cast<double*>(at(node) + probOff_);
+}
+const double* PRTree::leafProb(std::uint32_t node) const noexcept {
+  return reinterpret_cast<const double*>(at(node) + probOff_);
+}
+double* PRTree::leafLogSurv(std::uint32_t node) noexcept {
+  return reinterpret_cast<double*>(at(node) + logOff_);
+}
+const double* PRTree::leafLogSurv(std::uint32_t node) const noexcept {
+  return reinterpret_cast<const double*>(at(node) + logOff_);
+}
+TupleId* PRTree::leafIds(std::uint32_t node) noexcept {
+  return reinterpret_cast<TupleId*>(at(node) + idsOff_);
+}
+const TupleId* PRTree::leafIds(std::uint32_t node) const noexcept {
+  return reinterpret_cast<const TupleId*>(at(node) + idsOff_);
+}
+
+// ---------------------------------------------------------------------------
+// Leaf slots
+
+void PRTree::padLeafSlots(std::uint32_t node, std::size_t from) noexcept {
+  // Padding rows must stay kernel-neutral: +inf coordinates never dominate,
+  // prob 0 / logSurv 0 are identities under product and sum accumulation.
+  constexpr double kPad = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < dims_; ++j) {
+    double* col = leafCol(node, j);
+    std::fill(col + from, col + padCap_, kPad);
+  }
+  double* prob = leafProb(node);
+  double* log = leafLogSurv(node);
+  std::fill(prob + from, prob + padCap_, 0.0);
+  std::fill(log + from, log + padCap_, 0.0);
+}
+
+void PRTree::appendLeafEntry(std::uint32_t node, const LeafEntry& e) noexcept {
+  NodeHeader& h = header(node);
+  const std::size_t slot = h.fanout;
+  for (std::size_t j = 0; j < dims_; ++j) leafCol(node, j)[slot] = e.values[j];
+  leafProb(node)[slot] = e.prob;
+  // -inf when P == 1: a certain dominator zeroes the survival product.
+  leafLogSurv(node)[slot] = std::log1p(-e.prob);
+  leafIds(node)[slot] = e.id;
+  h.fanout = static_cast<std::uint16_t>(slot + 1);
+}
+
+void PRTree::removeLeafSlot(std::uint32_t node, std::size_t i) noexcept {
+  NodeHeader& h = header(node);
+  const std::size_t last = h.fanout - std::size_t{1};
+  if (i != last) {
+    for (std::size_t j = 0; j < dims_; ++j) {
+      leafCol(node, j)[i] = leafCol(node, j)[last];
+    }
+    leafProb(node)[i] = leafProb(node)[last];
+    leafLogSurv(node)[i] = leafLogSurv(node)[last];
+    leafIds(node)[i] = leafIds(node)[last];
+  }
+  h.fanout = static_cast<std::uint16_t>(last);
+  padLeafSlots(node, last);
+}
+
+PRTree::LeafEntry PRTree::leafEntry(std::uint32_t node,
+                                    std::size_t i) const noexcept {
+  LeafEntry e;
+  for (std::size_t j = 0; j < dims_; ++j) e.values[j] = leafCol(node, j)[i];
+  e.prob = leafProb(node)[i];
+  e.id = leafIds(node)[i];
+  return e;
+}
+
+bool PRTree::leafSlotDominates(std::uint32_t node, std::size_t i,
+                               std::span<const double> b,
+                               DimMask mask) const noexcept {
+  bool strict = false;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    if ((mask & (DimMask{1} << j)) == 0) continue;
+    const double a = leafCol(node, j)[i];
+    if (a > b[j]) return false;
+    if (a < b[j]) strict = true;
+  }
+  return strict;
+}
 
 // ---------------------------------------------------------------------------
 // Construction
@@ -44,6 +198,23 @@ PRTree::PRTree(std::size_t dims, Options options)
     throw std::invalid_argument(
         "PRTree: minEntries must be in [2, maxEntries/2]");
   }
+
+  // Node slot layout: header, then either the child-index array (internal)
+  // or the column-major leaf block (dims value columns + prob + logSurv +
+  // ids).  One extra slot beyond maxEntries absorbs the transient overflow
+  // between insertion and split.
+  capSlots_ = options_.maxEntries + 1;
+  padCap_ = roundUp(capSlots_, kernel::kBlock);
+  const std::size_t payloadOff = roundUp(sizeof(NodeHeader), sizeof(double));
+  childOff_ = payloadOff;
+  colOff_ = payloadOff;
+  probOff_ = colOff_ + dims_ * padCap_ * sizeof(double);
+  logOff_ = probOff_ + padCap_ * sizeof(double);
+  idsOff_ = logOff_ + padCap_ * sizeof(double);
+  const std::size_t leafEnd = idsOff_ + capSlots_ * sizeof(TupleId);
+  const std::size_t internalEnd = childOff_ + capSlots_ * sizeof(std::uint32_t);
+  stride_ = roundUp(std::max(leafEnd, internalEnd), kNodeAlign);
+  nodesPerExtent_ = std::max<std::size_t>(1, kExtentBytes / stride_);
 }
 
 PRTree::LeafEntry PRTree::makeEntry(TupleId id, std::span<const double> values,
@@ -61,27 +232,35 @@ PRTree::LeafEntry PRTree::makeEntry(TupleId id, std::span<const double> values,
   return e;
 }
 
-void PRTree::recomputeAggregates(Node& node) const {
-  node.mbr = Rect(dims_);
-  node.pMin = 1.0;
-  node.pMax = 0.0;
-  node.survival = 1.0;
-  node.count = 0;
-  if (node.leaf) {
-    for (const LeafEntry& e : node.entries) {
-      node.mbr.expand(e.valueSpan(dims_));
-      node.pMin = std::min(node.pMin, e.prob);
-      node.pMax = std::max(node.pMax, e.prob);
-      node.survival *= 1.0 - e.prob;
-      ++node.count;
+void PRTree::recomputeAggregates(std::uint32_t node) {
+  NodeHeader& h = header(node);
+  h.mbr = Rect(dims_);
+  h.pMin = 1.0;
+  h.pMax = 0.0;
+  h.survival = 1.0;
+  h.count = 0;
+  if (h.leaf) {
+    // Scalar-sequential in slot order: node aggregates are maintained
+    // identically in SIMD and scalar builds.
+    for (std::size_t i = 0; i < h.fanout; ++i) {
+      double point[kMaxDims];
+      for (std::size_t j = 0; j < dims_; ++j) point[j] = leafCol(node, j)[i];
+      h.mbr.expand(std::span<const double>(point, dims_));
+      const double p = leafProb(node)[i];
+      h.pMin = std::min(h.pMin, p);
+      h.pMax = std::max(h.pMax, p);
+      h.survival *= 1.0 - p;
+      ++h.count;
     }
   } else {
-    for (const auto& child : node.children) {
-      node.mbr.expand(child->mbr);
-      node.pMin = std::min(node.pMin, child->pMin);
-      node.pMax = std::max(node.pMax, child->pMax);
-      node.survival *= child->survival;
-      node.count += child->count;
+    const std::uint32_t* kids = childArray(node);
+    for (std::size_t i = 0; i < h.fanout; ++i) {
+      const NodeHeader& c = header(kids[i]);
+      h.mbr.expand(c.mbr);
+      h.pMin = std::min(h.pMin, c.pMin);
+      h.pMax = std::max(h.pMax, c.pMax);
+      h.survival *= c.survival;
+      h.count += c.count;
     }
   }
 }
@@ -170,14 +349,13 @@ PRTree PRTree::bulkLoad(const Dataset& data, Options options) {
           [](const LeafEntry& e, std::size_t dim) { return e.values[dim]; },
           groups);
 
-  std::vector<std::unique_ptr<Node>> level;
+  std::vector<std::uint32_t> level;
   level.reserve(groups.size());
   for (const auto& [b, e] : groups) {
-    auto node = std::make_unique<Node>(dims, /*isLeaf=*/true);
-    node->entries.assign(items.begin() + static_cast<std::ptrdiff_t>(b),
-                         items.begin() + static_cast<std::ptrdiff_t>(e));
-    tree.recomputeAggregates(*node);
-    level.push_back(std::move(node));
+    const std::uint32_t node = tree.allocNode(/*leaf=*/true);
+    for (std::size_t i = b; i < e; ++i) tree.appendLeafEntry(node, items[i]);
+    tree.recomputeAggregates(node);
+    level.push_back(node);
   }
   tree.height_ = 1;
 
@@ -185,26 +363,28 @@ PRTree PRTree::bulkLoad(const Dataset& data, Options options) {
   while (level.size() > 1) {
     std::vector<std::pair<std::size_t, std::size_t>> nodeGroups;
     strPack(level, 0, level.size(), 0, dims, cap, options.minEntries,
-            [](const std::unique_ptr<Node>& n, std::size_t dim) {
-              return 0.5 * (n->mbr.lo(dim) + n->mbr.hi(dim));
+            [&tree](std::uint32_t n, std::size_t dim) {
+              const Rect& mbr = tree.header(n).mbr;
+              return 0.5 * (mbr.lo(dim) + mbr.hi(dim));
             },
             nodeGroups);
-    std::vector<std::unique_ptr<Node>> parents;
+    std::vector<std::uint32_t> parents;
     parents.reserve(nodeGroups.size());
     for (const auto& [b, e] : nodeGroups) {
-      auto parent = std::make_unique<Node>(dims, /*isLeaf=*/false);
-      parent->children.reserve(e - b);
+      const std::uint32_t parent = tree.allocNode(/*leaf=*/false);
+      NodeHeader& h = tree.header(parent);
+      std::uint32_t* kids = tree.childArray(parent);
       for (std::size_t i = b; i < e; ++i) {
-        parent->children.push_back(std::move(level[i]));
+        kids[h.fanout++] = level[i];
       }
-      tree.recomputeAggregates(*parent);
-      parents.push_back(std::move(parent));
+      tree.recomputeAggregates(parent);
+      parents.push_back(parent);
     }
     level = std::move(parents);
     ++tree.height_;
   }
 
-  tree.root_ = std::move(level.front());
+  tree.root_ = level.front();
   tree.size_ = data.size();
   return tree;
 }
@@ -212,27 +392,27 @@ PRTree PRTree::bulkLoad(const Dataset& data, Options options) {
 // ---------------------------------------------------------------------------
 // Insert
 
-namespace {
-
-/// Rect of the i-th routing item of `node` (leaf entry point box or child
-/// MBR); shared by the split heuristics.
-Rect itemRect(const PRTree::LeafEntry& e, std::size_t dims) {
-  return Rect::point(e.valueSpan(dims));
-}
-
-}  // namespace
-
-std::unique_ptr<PRTree::Node> PRTree::split(Node& node) {
-  const std::size_t total =
-      node.leaf ? node.entries.size() : node.children.size();
+std::uint32_t PRTree::split(std::uint32_t node) {
+  NodeHeader& h = header(node);
+  const std::size_t total = h.fanout;
   const std::size_t minE = options_.minEntries;
+  const bool leaf = h.leaf != 0;
 
+  // Snapshot the routing items (leaf rows or child indices) so the node can
+  // be rebuilt in place below.
+  std::vector<LeafEntry> entries;
+  std::vector<std::uint32_t> kids;
   std::vector<Rect> rects;
   rects.reserve(total);
-  if (node.leaf) {
-    for (const LeafEntry& e : node.entries) rects.push_back(itemRect(e, dims_));
+  if (leaf) {
+    entries.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      entries.push_back(leafEntry(node, i));
+      rects.push_back(Rect::point(entries.back().valueSpan(dims_)));
+    }
   } else {
-    for (const auto& c : node.children) rects.push_back(c->mbr);
+    kids.assign(childArray(node), childArray(node) + total);
+    for (std::uint32_t c : kids) rects.push_back(header(c).mbr);
   }
 
   // R*-style: pick the axis with the smallest margin sum over all valid
@@ -243,7 +423,6 @@ std::unique_ptr<PRTree::Node> PRTree::split(Node& node) {
   double bestOverlap = std::numeric_limits<double>::infinity();
   double bestArea = std::numeric_limits<double>::infinity();
   double bestMarginSum = std::numeric_limits<double>::infinity();
-  std::size_t bestAxis = 0;
 
   std::vector<std::size_t> order(total);
   std::vector<Rect> prefix(total, Rect(dims_));
@@ -273,7 +452,6 @@ std::unique_ptr<PRTree::Node> PRTree::split(Node& node) {
     }
     if (marginSum < bestMarginSum) {
       bestMarginSum = marginSum;
-      bestAxis = axis;
       bestOrder = order;
     }
   }
@@ -291,7 +469,6 @@ std::unique_ptr<PRTree::Node> PRTree::split(Node& node) {
       suffix[i] = acc;
     }
   }
-  (void)bestAxis;
   for (std::size_t k = minE; k + minE <= total; ++k) {
     const double overlap = prefix[k - 1].overlapArea(suffix[k]);
     const double area = prefix[k - 1].area() + suffix[k].area();
@@ -303,127 +480,144 @@ std::unique_ptr<PRTree::Node> PRTree::split(Node& node) {
     }
   }
 
-  auto sibling = std::make_unique<Node>(dims_, node.leaf);
-  if (node.leaf) {
-    std::vector<LeafEntry> left;
-    left.reserve(bestIndex);
+  const std::uint32_t sibling = allocNode(leaf);
+  // allocNode may grow the arena; re-fetch the header reference.
+  NodeHeader& hh = header(node);
+  if (leaf) {
+    hh.fanout = 0;
+    padLeafSlots(node, 0);
     for (std::size_t i = 0; i < bestIndex; ++i) {
-      left.push_back(node.entries[bestOrder[i]]);
+      appendLeafEntry(node, entries[bestOrder[i]]);
     }
     for (std::size_t i = bestIndex; i < total; ++i) {
-      sibling->entries.push_back(node.entries[bestOrder[i]]);
+      appendLeafEntry(sibling, entries[bestOrder[i]]);
     }
-    node.entries = std::move(left);
   } else {
-    std::vector<std::unique_ptr<Node>> left;
-    left.reserve(bestIndex);
+    std::uint32_t* left = childArray(node);
+    std::uint32_t* right = childArray(sibling);
     for (std::size_t i = 0; i < bestIndex; ++i) {
-      left.push_back(std::move(node.children[bestOrder[i]]));
+      left[i] = kids[bestOrder[i]];
     }
+    hh.fanout = static_cast<std::uint16_t>(bestIndex);
+    NodeHeader& sh = header(sibling);
     for (std::size_t i = bestIndex; i < total; ++i) {
-      sibling->children.push_back(std::move(node.children[bestOrder[i]]));
+      right[sh.fanout++] = kids[bestOrder[i]];
     }
-    node.children = std::move(left);
   }
   recomputeAggregates(node);
-  recomputeAggregates(*sibling);
+  recomputeAggregates(sibling);
   return sibling;
 }
 
-std::unique_ptr<PRTree::Node> PRTree::insertRecurse(Node& node,
-                                                    const LeafEntry& e) {
-  if (node.leaf) {
-    node.entries.push_back(e);
+std::uint32_t PRTree::insertRecurse(std::uint32_t node, const LeafEntry& e) {
+  if (header(node).leaf) {
+    appendLeafEntry(node, e);
   } else {
     // Choose the child needing the least enlargement (ties: smaller area,
     // then fewer tuples).
     const Rect point = Rect::point(e.valueSpan(dims_));
-    Node* best = nullptr;
+    std::uint32_t best = kNoNode;
     double bestEnlargement = std::numeric_limits<double>::infinity();
     double bestArea = std::numeric_limits<double>::infinity();
     std::size_t bestCount = 0;
-    for (const auto& child : node.children) {
-      const double enlargement = child->mbr.enlargement(point);
-      const double area = child->mbr.area();
+    const std::uint32_t* kids = childArray(node);
+    const std::size_t n = header(node).fanout;
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeHeader& c = header(kids[i]);
+      const double enlargement = c.mbr.enlargement(point);
+      const double area = c.mbr.area();
       if (enlargement < bestEnlargement ||
           (enlargement == bestEnlargement &&
            (area < bestArea ||
-            (area == bestArea && child->count < bestCount)))) {
-        best = child.get();
+            (area == bestArea && c.count < bestCount)))) {
+        best = kids[i];
         bestEnlargement = enlargement;
         bestArea = area;
-        bestCount = child->count;
+        bestCount = c.count;
       }
     }
-    if (auto sibling = insertRecurse(*best, e)) {
-      node.children.push_back(std::move(sibling));
+    const std::uint32_t sibling = insertRecurse(best, e);
+    if (sibling != kNoNode) {
+      NodeHeader& h = header(node);
+      childArray(node)[h.fanout++] = sibling;
     }
   }
-  const std::size_t fanout =
-      node.leaf ? node.entries.size() : node.children.size();
-  if (fanout > options_.maxEntries) {
+  if (header(node).fanout > options_.maxEntries) {
     return split(node);  // split() recomputes both halves
   }
   recomputeAggregates(node);
-  return nullptr;
+  return kNoNode;
 }
 
-void PRTree::growRootIfSplit(std::unique_ptr<Node> sibling) {
-  if (!sibling) return;
-  auto newRoot = std::make_unique<Node>(dims_, /*isLeaf=*/false);
-  newRoot->children.push_back(std::move(root_));
-  newRoot->children.push_back(std::move(sibling));
-  recomputeAggregates(*newRoot);
-  root_ = std::move(newRoot);
+void PRTree::growRootIfSplit(std::uint32_t sibling) {
+  if (sibling == kNoNode) return;
+  const std::uint32_t newRoot = allocNode(/*leaf=*/false);
+  NodeHeader& h = header(newRoot);
+  std::uint32_t* kids = childArray(newRoot);
+  kids[0] = root_;
+  kids[1] = sibling;
+  h.fanout = 2;
+  recomputeAggregates(newRoot);
+  root_ = newRoot;
   ++height_;
 }
 
 void PRTree::insert(TupleId id, std::span<const double> values, double prob) {
   const LeafEntry e = makeEntry(id, values, prob);
-  if (!root_) {
-    root_ = std::make_unique<Node>(dims_, /*isLeaf=*/true);
+  if (root_ == kNoNode) {
+    root_ = allocNode(/*leaf=*/true);
     height_ = 1;
   }
-  growRootIfSplit(insertRecurse(*root_, e));
+  growRootIfSplit(insertRecurse(root_, e));
   ++size_;
 }
 
 // ---------------------------------------------------------------------------
 // Delete
 
-void PRTree::collectEntries(const Node& node, std::vector<LeafEntry>& out) {
-  if (node.leaf) {
-    out.insert(out.end(), node.entries.begin(), node.entries.end());
+void PRTree::collectEntries(std::uint32_t node,
+                            std::vector<LeafEntry>& out) const {
+  const NodeHeader& h = header(node);
+  if (h.leaf) {
+    for (std::size_t i = 0; i < h.fanout; ++i) out.push_back(leafEntry(node, i));
   } else {
-    for (const auto& child : node.children) collectEntries(*child, out);
+    const std::uint32_t* kids = childArray(node);
+    for (std::size_t i = 0; i < h.fanout; ++i) collectEntries(kids[i], out);
   }
 }
 
-bool PRTree::eraseRecurse(Node& node, TupleId id,
+bool PRTree::eraseRecurse(std::uint32_t node, TupleId id,
                           std::span<const double> values,
                           std::vector<LeafEntry>& orphans) {
-  if (node.leaf) {
-    for (std::size_t i = 0; i < node.entries.size(); ++i) {
-      const LeafEntry& e = node.entries[i];
-      if (e.id != id) continue;
-      if (!std::equal(values.begin(), values.end(), e.values.begin())) continue;
-      node.entries.erase(node.entries.begin() + static_cast<std::ptrdiff_t>(i));
+  NodeHeader& h = header(node);
+  if (h.leaf) {
+    for (std::size_t i = 0; i < h.fanout; ++i) {
+      if (leafIds(node)[i] != id) continue;
+      bool match = true;
+      for (std::size_t j = 0; j < dims_; ++j) {
+        if (leafCol(node, j)[i] != values[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      removeLeafSlot(node, i);
       recomputeAggregates(node);
       return true;
     }
     return false;
   }
-  for (std::size_t i = 0; i < node.children.size(); ++i) {
-    Node& child = *node.children[i];
-    if (!child.mbr.containsPoint(values)) continue;
+  std::uint32_t* kids = childArray(node);
+  for (std::size_t i = 0; i < h.fanout; ++i) {
+    const std::uint32_t child = kids[i];
+    if (!header(child).mbr.containsPoint(values)) continue;
     if (!eraseRecurse(child, id, values, orphans)) continue;
-    const std::size_t fanout =
-        child.leaf ? child.entries.size() : child.children.size();
-    if (fanout < options_.minEntries) {
+    if (header(child).fanout < options_.minEntries) {
       // Condense: orphan the whole subtree for reinsertion.
       collectEntries(child, orphans);
-      node.children.erase(node.children.begin() +
-                          static_cast<std::ptrdiff_t>(i));
+      freeSubtree(child);
+      kids[i] = kids[h.fanout - 1];
+      --h.fanout;
     }
     recomputeAggregates(node);
     return true;
@@ -435,36 +629,40 @@ bool PRTree::erase(TupleId id, std::span<const double> values) {
   if (values.size() != dims_) {
     throw std::invalid_argument("PRTree::erase: dimensionality mismatch");
   }
-  if (!root_) return false;
+  if (root_ == kNoNode) return false;
   std::vector<LeafEntry> orphans;
-  if (!eraseRecurse(*root_, id, values, orphans)) return false;
+  if (!eraseRecurse(root_, id, values, orphans)) return false;
   --size_;
 
   // Shrink the root while it is an internal node with a single child.
-  while (!root_->leaf && root_->children.size() == 1) {
-    root_ = std::move(root_->children.front());
+  while (!header(root_).leaf && header(root_).fanout == 1) {
+    const std::uint32_t old = root_;
+    root_ = childArray(old)[0];
+    freeNode(old);
     --height_;
   }
-  if (root_->leaf && root_->entries.empty() && orphans.empty()) {
-    root_.reset();
+  if (header(root_).leaf && header(root_).fanout == 0 && orphans.empty()) {
+    freeNode(root_);
+    root_ = kNoNode;
     height_ = 0;
   }
 
-  // Reinsert orphaned tuples (their subtree was dissolved).  size_ already
-  // excludes the erased tuple; orphans were counted before removal, so
-  // adjust around insert()'s increment.
+  // Reinsert orphaned tuples (their subtree was dissolved).
   for (const LeafEntry& e : orphans) {
-    if (!root_) {
-      root_ = std::make_unique<Node>(dims_, /*isLeaf=*/true);
+    if (root_ == kNoNode) {
+      root_ = allocNode(/*leaf=*/true);
       height_ = 1;
     }
-    growRootIfSplit(insertRecurse(*root_, e));
+    growRootIfSplit(insertRecurse(root_, e));
   }
   return true;
 }
 
 void PRTree::clear() {
-  root_.reset();
+  extents_.clear();
+  freeList_.clear();
+  allocated_ = 0;
+  root_ = kNoNode;
   size_ = 0;
   height_ = 0;
 }
@@ -472,35 +670,42 @@ void PRTree::clear() {
 // ---------------------------------------------------------------------------
 // Queries
 
+double PRTree::survivalDescend(std::uint32_t node, std::span<const double> b,
+                               DimMask mask, const Rect* clip) const {
+  ++nodeAccesses_;
+  const NodeHeader& h = header(node);
+  if (!h.mbr.possiblyDominates(b, mask)) return 1.0;
+  if (clip != nullptr && !h.mbr.intersects(*clip)) return 1.0;
+  const bool insideClip = clip == nullptr || clip->containsRect(h.mbr);
+  if (insideClip && h.mbr.fullyDominates(b, mask)) return h.survival;
+  if (h.leaf) {
+    // Partially dominating leaf: resolve per-row via the blocked kernel.
+    // The columns already carry kernel-neutral padding, so whole blocks run
+    // with no tail handling.
+    std::array<const double*, kMaxDims> cols;
+    for (std::size_t j = 0; j < dims_; ++j) cols[j] = leafCol(node, j);
+    const kernel::SoaBlock block{cols.data(), leafProb(node),
+                                 leafLogSurv(node),  h.fanout,
+                                 padCap_,            dims_};
+    const double* lo = insideClip ? nullptr : clip->loSpan().data();
+    const double* hi = insideClip ? nullptr : clip->hiSpan().data();
+    return kernel::blockSurvival(block, b.data(), mask, lo, hi);
+  }
+  double product = 1.0;
+  const std::uint32_t* kids = childArray(node);
+  for (std::size_t i = 0; i < h.fanout; ++i) {
+    product *= survivalDescend(kids[i], b, mask, clip);
+  }
+  return product;
+}
+
 double PRTree::dominanceSurvival(std::span<const double> b, DimMask mask,
                                  const Rect* clip) const {
   if (b.size() != dims_) {
     throw std::invalid_argument("PRTree::dominanceSurvival: bad query dims");
   }
-  if (!root_) return 1.0;
-
-  // Recursive aggregate descent, defined inline to keep Node private.
-  const std::function<double(const Node&)> descend =
-      [&](const Node& node) -> double {
-    ++nodeAccesses_;
-    if (!node.mbr.possiblyDominates(b, mask)) return 1.0;
-    if (clip != nullptr && !node.mbr.intersects(*clip)) return 1.0;
-    const bool insideClip = clip == nullptr || clip->containsRect(node.mbr);
-    if (insideClip && node.mbr.fullyDominates(b, mask)) return node.survival;
-    double product = 1.0;
-    if (node.leaf) {
-      for (const LeafEntry& e : node.entries) {
-        if (clip != nullptr && !clip->containsPoint(e.valueSpan(dims_))) {
-          continue;
-        }
-        if (dominates(e.valueSpan(dims_), b, mask)) product *= 1.0 - e.prob;
-      }
-    } else {
-      for (const auto& child : node.children) product *= descend(*child);
-    }
-    return product;
-  };
-  return descend(*root_);
+  if (root_ == kNoNode) return 1.0;
+  return survivalDescend(root_, b, mask, clip);
 }
 
 void PRTree::forEachDominating(
@@ -509,83 +714,96 @@ void PRTree::forEachDominating(
   if (b.size() != dims_) {
     throw std::invalid_argument("PRTree::forEachDominating: bad query dims");
   }
-  if (!root_) return;
-  const std::function<void(const Node&)> descend = [&](const Node& node) {
+  if (root_ == kNoNode) return;
+  const std::function<void(std::uint32_t)> descend = [&](std::uint32_t node) {
     ++nodeAccesses_;
-    if (!node.mbr.possiblyDominates(b, mask)) return;
-    if (node.leaf) {
-      for (const LeafEntry& e : node.entries) {
-        if (dominates(e.valueSpan(dims_), b, mask)) fn(e);
+    const NodeHeader& h = header(node);
+    if (!h.mbr.possiblyDominates(b, mask)) return;
+    if (h.leaf) {
+      for (std::size_t i = 0; i < h.fanout; ++i) {
+        if (leafSlotDominates(node, i, b, mask)) fn(leafEntry(node, i));
       }
     } else {
-      for (const auto& child : node.children) descend(*child);
+      const std::uint32_t* kids = childArray(node);
+      for (std::size_t i = 0; i < h.fanout; ++i) descend(kids[i]);
     }
   };
-  descend(*root_);
+  descend(root_);
 }
 
 void PRTree::windowQuery(
     const Rect& window, const std::function<void(const LeafEntry&)>& fn) const {
-  if (!root_) return;
-  const std::function<void(const Node&)> descend = [&](const Node& node) {
+  if (root_ == kNoNode) return;
+  const std::function<void(std::uint32_t)> descend = [&](std::uint32_t node) {
     ++nodeAccesses_;
-    if (!node.mbr.intersects(window)) return;
-    if (node.leaf) {
-      for (const LeafEntry& e : node.entries) {
-        if (window.containsPoint(e.valueSpan(dims_))) fn(e);
+    const NodeHeader& h = header(node);
+    if (!h.mbr.intersects(window)) return;
+    if (h.leaf) {
+      for (std::size_t i = 0; i < h.fanout; ++i) {
+        bool inside = true;
+        for (std::size_t j = 0; j < dims_; ++j) {
+          const double v = leafCol(node, j)[i];
+          if (v < window.lo(j) || v > window.hi(j)) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) fn(leafEntry(node, i));
       }
     } else {
-      for (const auto& child : node.children) descend(*child);
+      const std::uint32_t* kids = childArray(node);
+      for (std::size_t i = 0; i < h.fanout; ++i) descend(kids[i]);
     }
   };
-  descend(*root_);
+  descend(root_);
 }
 
 void PRTree::forEach(const std::function<void(const LeafEntry&)>& fn) const {
-  if (!root_) return;
-  const std::function<void(const Node&)> descend = [&](const Node& node) {
-    if (node.leaf) {
-      for (const LeafEntry& e : node.entries) fn(e);
+  if (root_ == kNoNode) return;
+  const std::function<void(std::uint32_t)> descend = [&](std::uint32_t node) {
+    const NodeHeader& h = header(node);
+    if (h.leaf) {
+      for (std::size_t i = 0; i < h.fanout; ++i) fn(leafEntry(node, i));
     } else {
-      for (const auto& child : node.children) descend(*child);
+      const std::uint32_t* kids = childArray(node);
+      for (std::size_t i = 0; i < h.fanout; ++i) descend(kids[i]);
     }
   };
-  descend(*root_);
+  descend(root_);
 }
 
 // ---------------------------------------------------------------------------
 // NodeRef
 
 bool PRTree::NodeRef::isLeaf() const noexcept {
-  return static_cast<const Node*>(node_)->leaf;
+  return tree_->header(node_).leaf != 0;
 }
 const Rect& PRTree::NodeRef::mbr() const noexcept {
-  return static_cast<const Node*>(node_)->mbr;
+  return tree_->header(node_).mbr;
 }
 double PRTree::NodeRef::pMin() const noexcept {
-  return static_cast<const Node*>(node_)->pMin;
+  return tree_->header(node_).pMin;
 }
 double PRTree::NodeRef::pMax() const noexcept {
-  return static_cast<const Node*>(node_)->pMax;
+  return tree_->header(node_).pMax;
 }
 double PRTree::NodeRef::survival() const noexcept {
-  return static_cast<const Node*>(node_)->survival;
+  return tree_->header(node_).survival;
 }
 std::size_t PRTree::NodeRef::count() const noexcept {
-  return static_cast<const Node*>(node_)->count;
+  return tree_->header(node_).count;
 }
 std::size_t PRTree::NodeRef::fanout() const noexcept {
-  const Node* n = static_cast<const Node*>(node_);
-  return n->leaf ? n->entries.size() : n->children.size();
+  return tree_->header(node_).fanout;
 }
 PRTree::NodeRef PRTree::NodeRef::child(std::size_t i) const noexcept {
-  return NodeRef(static_cast<const Node*>(node_)->children[i].get());
+  return NodeRef(tree_, tree_->childArray(node_)[i]);
 }
-const PRTree::LeafEntry& PRTree::NodeRef::entry(std::size_t i) const noexcept {
-  return static_cast<const Node*>(node_)->entries[i];
+PRTree::LeafEntry PRTree::NodeRef::entry(std::size_t i) const noexcept {
+  return tree_->leafEntry(node_, i);
 }
 
-PRTree::NodeRef PRTree::root() const noexcept { return NodeRef(root_.get()); }
+PRTree::NodeRef PRTree::root() const noexcept { return NodeRef(this, root_); }
 
 std::size_t PRTree::height() const noexcept { return height_; }
 
@@ -593,7 +811,7 @@ std::size_t PRTree::height() const noexcept { return height_; }
 // Invariant checking
 
 void PRTree::checkInvariants() const {
-  if (!root_) {
+  if (root_ == kNoNode) {
     if (size_ != 0 || height_ != 0) {
       throw std::logic_error("PRTree: empty tree with nonzero size/height");
     }
@@ -606,33 +824,34 @@ void PRTree::checkInvariants() const {
 
   std::size_t tuples = 0;
   // Returns subtree depth.
-  const std::function<std::size_t(const Node&, bool)> check =
-      [&](const Node& node, bool isRoot) -> std::size_t {
-    const std::size_t fanout =
-        node.leaf ? node.entries.size() : node.children.size();
+  const std::function<std::size_t(std::uint32_t, bool)> check =
+      [&](std::uint32_t node, bool isRoot) -> std::size_t {
+    const NodeHeader& h = header(node);
+    const std::size_t fanout = h.fanout;
     if (!isRoot && fanout < options_.minEntries) {
       throw std::logic_error("PRTree: underfull non-root node");
     }
     if (fanout > options_.maxEntries) {
       throw std::logic_error("PRTree: overfull node");
     }
-    if (isRoot && !node.leaf && fanout < 2) {
+    if (isRoot && !h.leaf && fanout < 2) {
       throw std::logic_error("PRTree: internal root with < 2 children");
     }
 
     std::size_t depth = 1;
-    if (node.leaf) {
-      tuples += node.entries.size();
+    if (h.leaf) {
+      tuples += fanout;
     } else {
       std::size_t childDepth = 0;
-      for (const auto& child : node.children) {
-        const std::size_t d = check(*child, false);
+      const std::uint32_t* kids = childArray(node);
+      for (std::size_t i = 0; i < fanout; ++i) {
+        const std::size_t d = check(kids[i], false);
         if (childDepth == 0) {
           childDepth = d;
         } else if (childDepth != d) {
           throw std::logic_error("PRTree: leaves at different depths");
         }
-        if (!node.mbr.containsRect(child->mbr)) {
+        if (!h.mbr.containsRect(header(kids[i]).mbr)) {
           throw std::logic_error("PRTree: child MBR escapes parent MBR");
         }
       }
@@ -645,40 +864,58 @@ void PRTree::checkInvariants() const {
     double pMax = 0.0;
     double survival = 1.0;
     std::size_t count = 0;
-    if (node.leaf) {
-      for (const LeafEntry& e : node.entries) {
+    if (h.leaf) {
+      for (std::size_t i = 0; i < fanout; ++i) {
+        const LeafEntry e = leafEntry(node, i);
         mbr.expand(e.valueSpan(dims_));
         pMin = std::min(pMin, e.prob);
         pMax = std::max(pMax, e.prob);
         survival *= 1.0 - e.prob;
         ++count;
+        if (leafLogSurv(node)[i] != std::log1p(-e.prob)) {
+          throw std::logic_error("PRTree: stale logSurv column");
+        }
+      }
+      // Padding slots must stay kernel-neutral.
+      for (std::size_t i = fanout; i < padCap_; ++i) {
+        for (std::size_t j = 0; j < dims_; ++j) {
+          if (leafCol(node, j)[i] !=
+              std::numeric_limits<double>::infinity()) {
+            throw std::logic_error("PRTree: leaf padding coordinate not +inf");
+          }
+        }
+        if (leafProb(node)[i] != 0.0 || leafLogSurv(node)[i] != 0.0) {
+          throw std::logic_error("PRTree: leaf padding prob/logSurv not 0");
+        }
       }
     } else {
-      for (const auto& child : node.children) {
-        mbr.expand(child->mbr);
-        pMin = std::min(pMin, child->pMin);
-        pMax = std::max(pMax, child->pMax);
-        survival *= child->survival;
-        count += child->count;
+      const std::uint32_t* kids = childArray(node);
+      for (std::size_t i = 0; i < fanout; ++i) {
+        const NodeHeader& c = header(kids[i]);
+        mbr.expand(c.mbr);
+        pMin = std::min(pMin, c.pMin);
+        pMax = std::max(pMax, c.pMax);
+        survival *= c.survival;
+        count += c.count;
       }
     }
-    if (!(mbr == node.mbr)) {
+    if (!(mbr == h.mbr)) {
       throw std::logic_error("PRTree: stale MBR aggregate");
     }
-    if (count != node.count) {
+    if (count != h.count) {
       throw std::logic_error("PRTree: stale count aggregate");
     }
-    if (count > 0 && (!closeEnough(pMin, node.pMin) ||
-                      !closeEnough(pMax, node.pMax))) {
+    if (count > 0 && (!closeEnough(pMin, h.pMin) ||
+                      !closeEnough(pMax, h.pMax))) {
       throw std::logic_error("PRTree: stale probability aggregates");
     }
-    if (!closeEnough(survival, node.survival)) {
+    if (!closeEnough(survival, h.survival)) {
       throw std::logic_error("PRTree: stale survival aggregate");
     }
     return depth;
   };
 
-  const std::size_t depth = check(*root_, true);
+  const std::size_t depth = check(root_, true);
   if (depth != height_) {
     throw std::logic_error("PRTree: height bookkeeping mismatch");
   }

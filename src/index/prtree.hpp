@@ -12,12 +12,23 @@
 // region of a query point contributes its cached product in O(1).  Both query
 // styles are provided and cross-checked in tests.
 //
+// Storage is an arena of fixed-stride nodes (in the spirit of tarantool's
+// salad/rtree): every node occupies one `nodeStride()`-byte slot inside a
+// 64-byte-aligned extent, children are referenced by 32-bit index, and leaf
+// payloads are stored column-major (per-dimension value columns plus prob and
+// log1p(-P) columns, padded to a whole number of kernel blocks) so the
+// partially-dominating leaf case of dominance queries runs through
+// kernel::blockSurvival.  No per-node malloc; freed slots are recycled
+// through a free list; extents never move, so node addresses are stable
+// across inserts.
+//
 // Construction is STR bulk load (sort-tile-recursive); maintenance is
 // Guttman/R*-style insert with margin-driven splits and condense-tree
 // deletion, as required by the paper's update protocols (Sec. 5.4).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -42,7 +53,9 @@ class PRTree {
   using Options = PRTreeOptions;
 
   /// Tuple stored at a leaf.  Values use inline storage so leaves never
-  /// allocate per entry.
+  /// allocate per entry.  Inside the tree the fields live in column-major
+  /// node slots; a LeafEntry is the row-major value type assembled at the
+  /// API boundary (bulk-load input, query callbacks, NodeRef::entry).
   struct LeafEntry {
     std::array<double, kMaxDims> values{};
     double prob = 0.0;
@@ -70,6 +83,9 @@ class PRTree {
   bool empty() const noexcept { return size_ == 0; }
   const Options& options() const noexcept { return options_; }
 
+  /// Bytes per arena node slot (header + column payload, 64-byte rounded).
+  std::size_t nodeStride() const noexcept { return stride_; }
+
   /// Inserts one tuple.  Throws std::invalid_argument on bad dims/prob.
   void insert(TupleId id, std::span<const double> values, double prob);
   void insert(const Tuple& t) { insert(t.id, t.values, t.prob); }
@@ -85,7 +101,8 @@ class PRTree {
   /// Π (1 − P(t')) over every stored tuple t' that dominates `b` on the
   /// selected dimensions.  This is the paper's local skyline probability
   /// P_sky(b, D) *without* the P(b) factor (Observation 1); exact, via
-  /// aggregate descent.
+  /// aggregate descent; partially-dominating leaves are resolved by the
+  /// blocked SIMD/scalar kernel.
   ///
   /// When `clip` is non-null only dominators inside the clip rectangle
   /// count — the constrained-skyline semantics (Wu et al., reviewed in the
@@ -113,7 +130,7 @@ class PRTree {
   // --- Structure access (BBS traversal, tests) -----------------------------
 
   /// Read-only handle to a tree node.  Valid only while the tree is not
-  /// modified.
+  /// modified or moved.
   class NodeRef {
    public:
     bool isLeaf() const noexcept;
@@ -123,13 +140,17 @@ class PRTree {
     double survival() const noexcept;
     std::size_t count() const noexcept;
     std::size_t fanout() const noexcept;
-    NodeRef child(std::size_t i) const noexcept;          ///< internal nodes
-    const LeafEntry& entry(std::size_t i) const noexcept; ///< leaf nodes
+    NodeRef child(std::size_t i) const noexcept;  ///< internal nodes
+    /// Row-major copy of leaf slot `i` (leaves store columns, so this
+    /// assembles a value — it cannot return a reference).
+    LeafEntry entry(std::size_t i) const noexcept;
 
    private:
     friend class PRTree;
-    explicit NodeRef(const void* node) noexcept : node_(node) {}
-    const void* node_;
+    NodeRef(const PRTree* tree, std::uint32_t node) noexcept
+        : tree_(tree), node_(node) {}
+    const PRTree* tree_;
+    std::uint32_t node_;
   };
 
   /// Root handle; only meaningful when !empty().
@@ -147,30 +168,99 @@ class PRTree {
   void resetNodeAccesses() noexcept { nodeAccesses_ = 0; }
 
   /// Verifies every structural invariant (MBR containment, aggregate
-  /// correctness, fanout bounds, uniform leaf depth).  Throws
-  /// std::logic_error with a description on the first violation.  Intended
-  /// for tests; O(N).
+  /// correctness, fanout bounds, uniform leaf depth, leaf padding-slot
+  /// neutrality).  Throws std::logic_error with a description on the first
+  /// violation.  Intended for tests; O(N).
   void checkInvariants() const;
 
  private:
-  struct Node;
+  /// Fixed-size node header at the start of every arena slot.  The payload
+  /// that follows is either a child-index array (internal nodes) or the
+  /// column-major leaf block.
+  struct NodeHeader {
+    Rect mbr;
+    double pMin = 1.0;      // paper's P1
+    double pMax = 0.0;      // paper's P2
+    double survival = 1.0;  // Π (1 − P) over the subtree
+    std::uint32_t count = 0;
+    std::uint16_t fanout = 0;
+    std::uint8_t leaf = 1;
+  };
 
-  void recomputeAggregates(Node& node) const;
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+  struct ExtentFree {
+    void operator()(std::byte* p) const noexcept;
+  };
+
+  // --- Arena --------------------------------------------------------------
+  std::byte* at(std::uint32_t node) noexcept;
+  const std::byte* at(std::uint32_t node) const noexcept;
+  NodeHeader& header(std::uint32_t node) noexcept;
+  const NodeHeader& header(std::uint32_t node) const noexcept;
+  std::uint32_t allocNode(bool leaf);
+  void freeNode(std::uint32_t node);
+  void freeSubtree(std::uint32_t node);
+
+  // --- Payload access -----------------------------------------------------
+  std::uint32_t* childArray(std::uint32_t node) noexcept;
+  const std::uint32_t* childArray(std::uint32_t node) const noexcept;
+  double* leafCol(std::uint32_t node, std::size_t j) noexcept;
+  const double* leafCol(std::uint32_t node, std::size_t j) const noexcept;
+  double* leafProb(std::uint32_t node) noexcept;
+  const double* leafProb(std::uint32_t node) const noexcept;
+  double* leafLogSurv(std::uint32_t node) noexcept;
+  const double* leafLogSurv(std::uint32_t node) const noexcept;
+  TupleId* leafIds(std::uint32_t node) noexcept;
+  const TupleId* leafIds(std::uint32_t node) const noexcept;
+
+  // --- Leaf slot manipulation ---------------------------------------------
+  /// Resets slots [from, padCap) to padding values (+inf coords, 0 prob/log).
+  void padLeafSlots(std::uint32_t node, std::size_t from) noexcept;
+  void appendLeafEntry(std::uint32_t node, const LeafEntry& e) noexcept;
+  /// Swap-removes leaf slot `i`, restoring the vacated slot to padding.
+  void removeLeafSlot(std::uint32_t node, std::size_t i) noexcept;
+  LeafEntry leafEntry(std::uint32_t node, std::size_t i) const noexcept;
+  bool leafSlotDominates(std::uint32_t node, std::size_t i,
+                         std::span<const double> b, DimMask mask) const noexcept;
+
+  // --- Maintenance --------------------------------------------------------
+  void recomputeAggregates(std::uint32_t node);
   LeafEntry makeEntry(TupleId id, std::span<const double> values,
                       double prob) const;
-  /// Inserts into the subtree; returns a new sibling if `node` split.
-  std::unique_ptr<Node> insertRecurse(Node& node, const LeafEntry& e);
+  /// Inserts into the subtree; returns the index of a new sibling if `node`
+  /// split, kNoNode otherwise.
+  std::uint32_t insertRecurse(std::uint32_t node, const LeafEntry& e);
   /// Splits an overfull node (R*-style margin/overlap split); returns the
   /// new right sibling.  Aggregates of both halves are recomputed.
-  std::unique_ptr<Node> split(Node& node);
-  bool eraseRecurse(Node& node, TupleId id, std::span<const double> values,
+  std::uint32_t split(std::uint32_t node);
+  bool eraseRecurse(std::uint32_t node, TupleId id,
+                    std::span<const double> values,
                     std::vector<LeafEntry>& orphans);
-  static void collectEntries(const Node& node, std::vector<LeafEntry>& out);
-  void growRootIfSplit(std::unique_ptr<Node> sibling);
+  void collectEntries(std::uint32_t node, std::vector<LeafEntry>& out) const;
+  void growRootIfSplit(std::uint32_t sibling);
+  double survivalDescend(std::uint32_t node, std::span<const double> b,
+                         DimMask mask, const Rect* clip) const;
 
   std::size_t dims_;
   Options options_;
-  std::unique_ptr<Node> root_;
+
+  // Layout metrics, fixed at construction (see prtree.cpp).
+  std::size_t stride_ = 0;        // bytes per node slot (64-byte multiple)
+  std::size_t capSlots_ = 0;      // maxEntries + 1 (transient overflow slot)
+  std::size_t padCap_ = 0;        // capSlots_ rounded up to the kernel block
+  std::size_t colOff_ = 0;        // first value column, bytes from node start
+  std::size_t probOff_ = 0;
+  std::size_t logOff_ = 0;
+  std::size_t idsOff_ = 0;
+  std::size_t childOff_ = 0;
+  std::size_t nodesPerExtent_ = 0;
+
+  std::vector<std::unique_ptr<std::byte[], ExtentFree>> extents_;
+  std::vector<std::uint32_t> freeList_;
+  std::uint32_t allocated_ = 0;  // slot high-water mark
+
+  std::uint32_t root_ = kNoNode;
   std::size_t size_ = 0;
   std::size_t height_ = 0;
   mutable std::uint64_t nodeAccesses_ = 0;

@@ -33,10 +33,13 @@ double nodeUpperBound(const PRTree& tree, const PRTree::NodeRef& node,
 }
 
 template <typename Emit>
-void traverse(const PRTree& tree, double q, DimMask mask, BbsStats* stats,
-              const Rect* clip, const Emit& emit) {
+void traverse(const PRTree& tree, const SkylineSpec& spec, BbsStats* stats,
+              const Emit& emit) {
   if (tree.empty()) return;
   const std::size_t dims = tree.dims();
+  const DimMask mask = effectiveMask(spec.mask, dims);
+  const double q = spec.q;
+  const Rect* clip = spec.clip;
 
   std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCompare> heap;
   heap.push(HeapItem{tree.root().mbr().l1Key(), tree.root()});
@@ -75,7 +78,7 @@ void traverse(const PRTree& tree, double q, DimMask mask, BbsStats* stats,
     }
     if (node.isLeaf()) {
       for (std::size_t i = 0; i < node.fanout(); ++i) {
-        const PRTree::LeafEntry& e = node.entry(i);
+        const PRTree::LeafEntry e = node.entry(i);
         if (clip != nullptr && !clip->containsPoint(e.valueSpan(dims))) {
           continue;  // outside the constraint window: not a candidate
         }
@@ -94,11 +97,11 @@ void traverse(const PRTree& tree, double q, DimMask mask, BbsStats* stats,
 
 }  // namespace
 
-std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree, double q,
-                                         DimMask mask, BbsStats* stats,
-                                         const Rect* clip) {
+std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree,
+                                         const SkylineSpec& spec,
+                                         BbsStats* stats) {
   std::vector<ProbSkylineEntry> result;
-  traverse(tree, q, mask, stats, clip, [&](const ProbSkylineEntry& e) {
+  traverse(tree, spec, stats, [&](const ProbSkylineEntry& e) {
     result.push_back(e);
     return true;
   });
@@ -106,15 +109,10 @@ std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree, double q,
   return result;
 }
 
-std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree, double q) {
-  return bbsSkyline(tree, q, fullMask(tree.dims()));
-}
-
 void bbsSkylineStream(
-    const PRTree& tree, double q, DimMask mask,
-    const std::function<bool(const ProbSkylineEntry&)>& emit,
-    const Rect* clip) {
-  traverse(tree, q, mask, nullptr, clip, emit);
+    const PRTree& tree, const SkylineSpec& spec,
+    const std::function<bool(const ProbSkylineEntry&)>& emit) {
+  traverse(tree, spec, nullptr, emit);
 }
 
 }  // namespace dsud

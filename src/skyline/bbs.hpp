@@ -15,9 +15,9 @@
 
 #include <functional>
 
-#include "geometry/dominance.hpp"
 #include "index/prtree.hpp"
 #include "skyline/skyline_result.hpp"
+#include "skyline/spec.hpp"
 
 namespace dsud {
 
@@ -30,21 +30,18 @@ struct BbsStats {
 };
 
 /// Qualified probabilistic skyline of the indexed database, sorted by
-/// descending skyline probability.  A non-null `clip` restricts the query
-/// to the window (constrained skyline, Wu et al.): only tuples inside the
-/// window are candidates AND only in-window dominators count.
-std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree, double q,
-                                         DimMask mask,
-                                         BbsStats* stats = nullptr,
-                                         const Rect* clip = nullptr);
-std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree, double q);
+/// descending skyline probability.  A non-null `spec.clip` restricts the
+/// query to the window (constrained skyline, Wu et al.): only tuples inside
+/// the window are candidates AND only in-window dominators count.
+std::vector<ProbSkylineEntry> bbsSkyline(const PRTree& tree,
+                                         const SkylineSpec& spec = {},
+                                         BbsStats* stats = nullptr);
 
 /// Streaming variant: invokes `emit` for each qualified tuple in ascending
 /// L1-key order (the BBS progressive order).  Returning false from `emit`
 /// stops the traversal early.
 void bbsSkylineStream(
-    const PRTree& tree, double q, DimMask mask,
-    const std::function<bool(const ProbSkylineEntry&)>& emit,
-    const Rect* clip = nullptr);
+    const PRTree& tree, const SkylineSpec& spec,
+    const std::function<bool(const ProbSkylineEntry&)>& emit);
 
 }  // namespace dsud

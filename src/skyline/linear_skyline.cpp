@@ -1,6 +1,9 @@
 #include "skyline/linear_skyline.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "kernel/kernel.hpp"
 
 namespace dsud {
 
@@ -12,32 +15,57 @@ void sortBySkylineProbability(std::vector<ProbSkylineEntry>& entries) {
             });
 }
 
-std::vector<double> skylineProbabilitiesLinear(const Dataset& data,
-                                               DimMask mask) {
-  std::vector<double> probs(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    double survival = 1.0;
-    for (std::size_t j = 0; j < data.size(); ++j) {
-      if (j == i) continue;
-      if (dominates(data.values(j), data.values(i), mask)) {
-        survival *= 1.0 - data.prob(j);
-      }
-    }
-    probs[i] = data.prob(i) * survival;
+namespace {
+
+/// Kernel sweep over an unconstrained dataset: exponents via the blocked
+/// kernel, then P_sky(i) = P(i) · exp(Σ log1p(−P(dominator))).
+std::vector<double> probabilitiesUnclipped(const Dataset& data, DimMask mask) {
+  const DatasetView view = data.view();
+  const kernel::SoaBlock block{view.cols(),       view.prob(),
+                               view.logSurv(),    view.size(),
+                               view.paddedSize(), view.dims()};
+  std::vector<double> exponents(view.size());
+  kernel::survivalExponents(block, mask, exponents.data());
+  std::vector<double> probs(view.size());
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    probs[i] = data.prob(i) * std::exp(exponents[i]);
   }
   return probs;
 }
 
-std::vector<double> skylineProbabilitiesLinear(const Dataset& data) {
-  return skylineProbabilitiesLinear(data, fullMask(data.dims()));
+}  // namespace
+
+std::vector<double> skylineProbabilitiesLinear(const Dataset& data,
+                                               const SkylineSpec& spec) {
+  const DimMask mask = effectiveMask(spec.mask, data.dims());
+  if (spec.clip == nullptr) return probabilitiesUnclipped(data, mask);
+
+  // Constrained semantics: the database is first filtered to the window, so
+  // out-of-window rows neither qualify nor dominate.  Compute on the
+  // filtered copy and scatter back to the caller's row indexing.
+  Dataset filtered(data.dims());
+  std::vector<std::size_t> rows;
+  for (std::size_t row = 0; row < data.size(); ++row) {
+    if (spec.clip->containsPoint(data.values(row))) {
+      filtered.add(data.id(row), data.values(row), data.prob(row));
+      rows.push_back(row);
+    }
+  }
+  const std::vector<double> inner = probabilitiesUnclipped(filtered, mask);
+  std::vector<double> probs(data.size(), 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) probs[rows[i]] = inner[i];
+  return probs;
 }
 
-std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data, double q,
-                                            DimMask mask) {
-  const std::vector<double> probs = skylineProbabilitiesLinear(data, mask);
+std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data,
+                                            const SkylineSpec& spec) {
+  const std::vector<double> probs = skylineProbabilitiesLinear(data, spec);
   std::vector<ProbSkylineEntry> result;
   for (std::size_t row = 0; row < data.size(); ++row) {
-    if (probs[row] >= q) {
+    if (spec.clip != nullptr && !spec.clip->containsPoint(data.values(row))) {
+      continue;  // outside the window: not a candidate even when q == 0
+    }
+    if (probs[row] >= spec.q) {
       const TupleRef ref = data.at(row);
       result.push_back(ProbSkylineEntry{
           ref.id,
@@ -47,22 +75,6 @@ std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data, double q,
   }
   sortBySkylineProbability(result);
   return result;
-}
-
-std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data, double q) {
-  return linearSkyline(data, q, fullMask(data.dims()));
-}
-
-std::vector<ProbSkylineEntry> linearSkylineConstrained(const Dataset& data,
-                                                       double q, DimMask mask,
-                                                       const Rect& window) {
-  Dataset filtered(data.dims());
-  for (std::size_t row = 0; row < data.size(); ++row) {
-    if (window.containsPoint(data.values(row))) {
-      filtered.add(data.id(row), data.values(row), data.prob(row));
-    }
-  }
-  return linearSkyline(filtered, q, mask);
 }
 
 }  // namespace dsud

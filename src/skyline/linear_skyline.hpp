@@ -3,33 +3,31 @@
 //
 // This is the paper's "basic linear scan method" (Sec. 6): simple, exact, and
 // the reference implementation every indexed algorithm is tested against.
+// The scan runs on the column-major DatasetView through the blocked
+// SIMD/scalar kernel, with the survival product accumulated in log space
+// (Σ log1p(−P), one exp per candidate) so it cannot underflow at large
+// dominator counts.
 #pragma once
 
 #include <vector>
 
 #include "common/dataset.hpp"
-#include "geometry/dominance.hpp"
-#include "geometry/rect.hpp"
 #include "skyline/skyline_result.hpp"
+#include "skyline/spec.hpp"
 
 namespace dsud {
 
-/// P_sky(row, data) for every row, on the selected dimensions.  O(N²).
+/// P_sky(row, data) for every row, on the selected dimensions.  Rows outside
+/// `spec.clip` (when set) get probability 0 and do not dominate anything.
+/// `spec.q` is not applied — every row's probability is reported.  O(N²/B)
+/// kernel blocks.
 std::vector<double> skylineProbabilitiesLinear(const Dataset& data,
-                                               DimMask mask);
-std::vector<double> skylineProbabilitiesLinear(const Dataset& data);
+                                               const SkylineSpec& spec = {});
 
-/// Qualified probabilistic skyline {t : P_sky(t, D) >= q}, sorted by
-/// descending skyline probability.  O(N²).
-std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data, double q,
-                                            DimMask mask);
-std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data, double q);
-
-/// Constrained variant (Wu et al.): only tuples inside `window` participate,
-/// both as candidates and as dominators.  Reference implementation for the
-/// indexed constrained queries.  O(N²).
-std::vector<ProbSkylineEntry> linearSkylineConstrained(const Dataset& data,
-                                                       double q, DimMask mask,
-                                                       const Rect& window);
+/// Qualified probabilistic skyline {t : P_sky(t, D) >= spec.q}, sorted by
+/// descending skyline probability.  Honours spec.mask and spec.clip
+/// (constrained skyline, Wu et al.).
+std::vector<ProbSkylineEntry> linearSkyline(const Dataset& data,
+                                            const SkylineSpec& spec = {});
 
 }  // namespace dsud

@@ -15,13 +15,13 @@ WorldSampler independentWorlds() {
 }
 
 std::vector<double> skylineProbabilitiesMonteCarlo(
-    const Dataset& data, std::size_t worlds, Rng& rng, DimMask mask,
+    const Dataset& data, std::size_t worlds, Rng& rng, const SkylineSpec& spec,
     const WorldSampler& sampler) {
   if (worlds == 0) {
     throw std::invalid_argument(
         "skylineProbabilitiesMonteCarlo: need at least one world");
   }
-  const DimMask effective = mask == 0 ? fullMask(data.dims()) : mask;
+  const DimMask effective = effectiveMask(spec.mask, data.dims());
 
   // Sort rows by coordinate sum once: dominators precede dominated rows, so
   // each world's skyline is computable in one forward sweep against the

@@ -16,7 +16,7 @@
 
 #include "common/dataset.hpp"
 #include "common/rng.hpp"
-#include "geometry/dominance.hpp"
+#include "skyline/spec.hpp"
 
 namespace dsud {
 
@@ -30,9 +30,11 @@ WorldSampler independentWorlds();
 
 /// Estimated P_sky(t, D) for every row from `worlds` sampled possible
 /// worlds.  Standard error of each estimate is <= 0.5 / sqrt(worlds).
+/// Honours spec.mask; spec.q/spec.clip are not applied (the estimator
+/// reports every row).
 std::vector<double> skylineProbabilitiesMonteCarlo(
     const Dataset& data, std::size_t worlds, Rng& rng,
-    DimMask mask = 0,  // 0 = all dimensions
+    const SkylineSpec& spec = {},
     const WorldSampler& sampler = independentWorlds());
 
 }  // namespace dsud

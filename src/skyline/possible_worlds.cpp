@@ -36,10 +36,28 @@ std::vector<std::size_t> skylineOfWorld(const Dataset& data,
 }
 
 std::vector<double> skylineProbabilitiesByEnumeration(const Dataset& data,
-                                                      DimMask mask) {
+                                                      const SkylineSpec& spec) {
   if (data.size() > kMaxEnumerableTuples) {
     throw std::invalid_argument(
         "skylineProbabilitiesByEnumeration: dataset too large to enumerate");
+  }
+  const DimMask mask = effectiveMask(spec.mask, data.dims());
+  if (spec.clip != nullptr) {
+    // Constrained semantics: enumerate the filtered database, then scatter
+    // back to the caller's row indexing.
+    Dataset filtered(data.dims());
+    std::vector<std::size_t> rows;
+    for (std::size_t row = 0; row < data.size(); ++row) {
+      if (spec.clip->containsPoint(data.values(row))) {
+        filtered.add(data.id(row), data.values(row), data.prob(row));
+        rows.push_back(row);
+      }
+    }
+    const std::vector<double> inner =
+        skylineProbabilitiesByEnumeration(filtered, {.mask = spec.mask});
+    std::vector<double> probs(data.size(), 0.0);
+    for (std::size_t i = 0; i < rows.size(); ++i) probs[rows[i]] = inner[i];
+    return probs;
   }
   std::vector<double> probs(data.size(), 0.0);
   const std::uint32_t worlds = 1u << data.size();
@@ -51,10 +69,6 @@ std::vector<double> skylineProbabilitiesByEnumeration(const Dataset& data,
     }
   }
   return probs;
-}
-
-std::vector<double> skylineProbabilitiesByEnumeration(const Dataset& data) {
-  return skylineProbabilitiesByEnumeration(data, fullMask(data.dims()));
 }
 
 }  // namespace dsud

@@ -14,6 +14,7 @@
 
 #include "common/dataset.hpp"
 #include "geometry/dominance.hpp"
+#include "skyline/spec.hpp"
 
 namespace dsud {
 
@@ -29,10 +30,10 @@ std::vector<std::size_t> skylineOfWorld(const Dataset& data,
                                         std::uint32_t memberBits, DimMask mask);
 
 /// Skyline probability of every row by full possible-world enumeration
-/// (Eq. 2).  Throws std::invalid_argument when the dataset exceeds
-/// kMaxEnumerableTuples.
-std::vector<double> skylineProbabilitiesByEnumeration(const Dataset& data,
-                                                      DimMask mask);
-std::vector<double> skylineProbabilitiesByEnumeration(const Dataset& data);
+/// (Eq. 2).  Honours spec.mask and spec.clip (out-of-window rows get
+/// probability 0 and never dominate); spec.q is not applied.  Throws
+/// std::invalid_argument when the dataset exceeds kMaxEnumerableTuples.
+std::vector<double> skylineProbabilitiesByEnumeration(
+    const Dataset& data, const SkylineSpec& spec = {});
 
 }  // namespace dsud

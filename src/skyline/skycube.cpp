@@ -13,7 +13,7 @@ Skycube::Skycube(const PRTree& tree, double q) : dims_(tree.dims()), q_(q) {
   const DimMask full = fullMask(dims_);
   cuboids_.reserve(full);
   for (DimMask mask = 1; mask <= full; ++mask) {
-    cuboids_.push_back(bbsSkyline(tree, q_, mask));
+    cuboids_.push_back(bbsSkyline(tree, {.mask = mask, .q = q_}));
   }
 }
 

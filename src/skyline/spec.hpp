@@ -1,0 +1,32 @@
+// The one query descriptor shared by every probabilistic-skyline entry point.
+//
+// Replaces the historical with-mask/without-mask overload pairs: each
+// algorithm takes a `SkylineSpec` with defaults that mean "full space, no
+// threshold, no window", and callers name only what they change, e.g.
+//
+//     linearSkyline(data, {.q = 0.3});
+//     bbsSkyline(tree, {.mask = DimMask{0b011}, .q = 0.5, .clip = &window});
+#pragma once
+
+#include "geometry/dominance.hpp"
+#include "geometry/rect.hpp"
+
+namespace dsud {
+
+/// Parameters of one probabilistic-skyline query.
+struct SkylineSpec {
+  /// Subspace selector; kAllDims (the default) means every dimension of the
+  /// operand, resolved via effectiveMask() against its dimensionality.
+  DimMask mask = kAllDims;
+
+  /// Qualification threshold: the answer set is {t : P_sky(t, D) >= q}.
+  /// 0 keeps every tuple with positive skyline probability.
+  double q = 0.0;
+
+  /// Optional constraint window (Wu et al., paper Sec. 2.1): when non-null,
+  /// only tuples inside the closed box participate, both as candidates and
+  /// as dominators.  Non-owning; must outlive the call.
+  const Rect* clip = nullptr;
+};
+
+}  // namespace dsud

@@ -37,7 +37,7 @@ TupleId SlidingWindowSkyline::append(const Tuple& t) {
 }
 
 std::vector<ProbSkylineEntry> SlidingWindowSkyline::skyline() const {
-  return bbsSkyline(tree_, q_);
+  return bbsSkyline(tree_, {.q = q_});
 }
 
 double SlidingWindowSkyline::skylineProbability(TupleId id) const {

@@ -14,16 +14,16 @@ namespace {
 
 TEST(BbsTest, EmptyTree) {
   const PRTree tree(2);
-  EXPECT_TRUE(bbsSkyline(tree, 0.3).empty());
+  EXPECT_TRUE(bbsSkyline(tree, {.q = 0.3}).empty());
 }
 
 TEST(BbsTest, SingleTuple) {
   Dataset data = testutil::makeDataset(2, {{0.5, 0.5, 0.7}});
   const PRTree tree = PRTree::bulkLoad(data);
-  const auto sky = bbsSkyline(tree, 0.3);
+  const auto sky = bbsSkyline(tree, {.q = 0.3});
   ASSERT_EQ(sky.size(), 1u);
   EXPECT_DOUBLE_EQ(sky[0].skyProb, 0.7);
-  EXPECT_TRUE(bbsSkyline(tree, 0.8).empty());
+  EXPECT_TRUE(bbsSkyline(tree, {.q = 0.8}).empty());
 }
 
 struct BbsCase {
@@ -42,8 +42,8 @@ TEST_P(BbsParamTest, MatchesLinearScanExactly) {
       generateSynthetic(SyntheticSpec{c.n, c.dims, c.dist, c.seed});
   const PRTree tree = PRTree::bulkLoad(data);
 
-  const auto expected = linearSkyline(data, c.q);
-  const auto got = bbsSkyline(tree, c.q);
+  const auto expected = linearSkyline(data, {.q = c.q});
+  const auto got = bbsSkyline(tree, {.q = c.q});
 
   ASSERT_EQ(got.size(), expected.size());
   for (std::size_t i = 0; i < got.size(); ++i) {
@@ -79,8 +79,8 @@ TEST(BbsTest, SubspaceMatchesLinearScan) {
   const PRTree tree = PRTree::bulkLoad(data);
   for (const DimMask mask :
        {DimMask{0b011}, DimMask{0b101}, DimMask{0b110}, DimMask{0b001}}) {
-    const auto expected = linearSkyline(data, 0.3, mask);
-    const auto got = bbsSkyline(tree, 0.3, mask);
+    const auto expected = linearSkyline(data, {.mask = mask, .q = 0.3});
+    const auto got = bbsSkyline(tree, {.mask = mask, .q = 0.3});
     EXPECT_EQ(testutil::idsOf(got), testutil::idsOf(expected))
         << "mask=" << mask;
   }
@@ -91,7 +91,7 @@ TEST(BbsTest, PruningActuallyHappens) {
       SyntheticSpec{5000, 2, ValueDistribution::kIndependent, 33});
   const PRTree tree = PRTree::bulkLoad(data);
   BbsStats stats;
-  bbsSkyline(tree, 0.3, fullMask(2), &stats);
+  bbsSkyline(tree, {.q = 0.3}, &stats);
   EXPECT_GT(stats.nodesPruned, 0u);
   // Far fewer tuples evaluated than stored: the point of the index.
   EXPECT_LT(stats.tuplesEvaluated, data.size() / 2);
@@ -103,8 +103,8 @@ TEST(BbsTest, HigherThresholdPrunesMore) {
   const PRTree tree = PRTree::bulkLoad(data);
   BbsStats low;
   BbsStats high;
-  bbsSkyline(tree, 0.3, fullMask(3), &low);
-  bbsSkyline(tree, 0.9, fullMask(3), &high);
+  bbsSkyline(tree, {.q = 0.3}, &low);
+  bbsSkyline(tree, {.q = 0.9}, &high);
   EXPECT_LE(high.tuplesEvaluated, low.tuplesEvaluated);
 }
 
@@ -114,14 +114,14 @@ TEST(BbsTest, StreamEmitsInAscendingL1Order) {
   const PRTree tree = PRTree::bulkLoad(data);
   double lastKey = -1e300;
   std::size_t count = 0;
-  bbsSkylineStream(tree, 0.3, fullMask(2), [&](const ProbSkylineEntry& e) {
+  bbsSkylineStream(tree, {.q = 0.3}, [&](const ProbSkylineEntry& e) {
     const double key = e.values[0] + e.values[1];
     EXPECT_GE(key, lastKey);
     lastKey = key;
     ++count;
     return true;
   });
-  EXPECT_EQ(count, bbsSkyline(tree, 0.3).size());
+  EXPECT_EQ(count, bbsSkyline(tree, {.q = 0.3}).size());
 }
 
 TEST(BbsTest, StreamEarlyExitStops) {
@@ -129,7 +129,7 @@ TEST(BbsTest, StreamEarlyExitStops) {
       SyntheticSpec{1000, 2, ValueDistribution::kAnticorrelated, 36});
   const PRTree tree = PRTree::bulkLoad(data);
   std::size_t count = 0;
-  bbsSkylineStream(tree, 0.3, fullMask(2), [&](const ProbSkylineEntry&) {
+  bbsSkylineStream(tree, {.q = 0.3}, [&](const ProbSkylineEntry&) {
     return ++count < 3;
   });
   EXPECT_EQ(count, 3u);
@@ -145,7 +145,7 @@ TEST(BbsTest, CertainDataGivesClassicSkyline) {
     }
   }
   const PRTree tree = PRTree::bulkLoad(data);
-  const auto sky = bbsSkyline(tree, 0.5);
+  const auto sky = bbsSkyline(tree, {.q = 0.5});
   // Only (0, 0) is undominated in a full grid.
   ASSERT_EQ(sky.size(), 1u);
   EXPECT_EQ(sky[0].values, (std::vector<double>{0.0, 0.0}));
@@ -158,8 +158,8 @@ TEST(BbsTest, WorksOnDynamicallyBuiltTree) {
   for (std::size_t row = 0; row < data.size(); ++row) {
     tree.insert(data.id(row), data.values(row), data.prob(row));
   }
-  EXPECT_EQ(testutil::idsOf(bbsSkyline(tree, 0.3)),
-            testutil::idsOf(linearSkyline(data, 0.3)));
+  EXPECT_EQ(testutil::idsOf(bbsSkyline(tree, {.q = 0.3})),
+            testutil::idsOf(linearSkyline(data, {.q = 0.3})));
 }
 
 }  // namespace

@@ -57,7 +57,7 @@ TEST(CardinalityTest, RoughlyPredictsMeasuredSkylineSizes) {
       SyntheticSpec{n, 2, ValueDistribution::kIndependent, 71});
   // Count tuples undominated among the full dataset (certain-data skyline of
   // the expected world scale).
-  const auto sky = linearSkyline(data, 1e-9);
+  const auto sky = linearSkyline(data, {.q = 1e-9});
   const double predicted = expectedSkylineCardinality(2, n);
   EXPECT_GT(predicted, 1.0);
   // Same order of magnitude as ln(n): allow a factor of 4 either way.

@@ -49,9 +49,9 @@ TEST(ConstrainedTest, BbsMatchesFilteredGroundTruth) {
     const Rect window = makeWindow({0.2, 0.3}, {0.7, 0.8});
     const PRTree tree = PRTree::bulkLoad(data);
     const auto got =
-        bbsSkyline(tree, 0.3, fullMask(2), nullptr, &window);
+        bbsSkyline(tree, {.q = 0.3, .clip = &window});
     const auto expected =
-        linearSkylineConstrained(data, 0.3, fullMask(2), window);
+        linearSkyline(data, {.q = 0.3, .clip = &window});
     EXPECT_EQ(testutil::idsOf(got), testutil::idsOf(expected))
         << "seed=" << seed;
   }
@@ -62,7 +62,7 @@ TEST(ConstrainedTest, EmptyWindowYieldsNothing) {
       SyntheticSpec{500, 2, ValueDistribution::kIndependent, 306});
   const Rect window = makeWindow({2.0, 2.0}, {3.0, 3.0});  // off the data
   const PRTree tree = PRTree::bulkLoad(data);
-  EXPECT_TRUE(bbsSkyline(tree, 0.3, fullMask(2), nullptr, &window).empty());
+  EXPECT_TRUE(bbsSkyline(tree, {.q = 0.3, .clip = &window}).empty());
 }
 
 struct ConstrainedCase {
@@ -88,7 +88,7 @@ TEST_P(ConstrainedDistributedTest, AllAlgorithmsMatchFilteredGroundTruth) {
   config.window = makeWindow({c.lo[0], c.lo[1]}, {c.hi[0], c.hi[1]});
 
   const auto expected =
-      linearSkylineConstrained(global, config.q, fullMask(2), *config.window);
+      linearSkyline(global, {.q = config.q, .clip = &*config.window});
 
   for (QueryResult result : {cluster.engine().runNaive(config),
                              cluster.engine().runDsud(config),
@@ -168,8 +168,7 @@ TEST(ConstrainedTest, SubspaceAndWindowCompose) {
   window.expand(hi);
   config.window = window;
 
-  const auto expected = linearSkylineConstrained(global, config.q,
-                                                 config.mask, window);
+  const auto expected = linearSkyline(global, {.mask = config.mask, .q = config.q, .clip = &window});
   QueryResult result = cluster.engine().runEdsud(config);
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline), testutil::idsOf(expected));

@@ -43,7 +43,7 @@ std::vector<TupleId> truthIds(
   for (const auto& window : liveWindows) {
     for (const Tuple& t : window) global.add(t.id, t.values, t.prob);
   }
-  auto ids = testutil::idsOf(linearSkyline(global, kQ));
+  auto ids = testutil::idsOf(linearSkyline(global, {.q = kQ}));
   std::sort(ids.begin(), ids.end());
   return ids;
 }

@@ -24,7 +24,7 @@ struct DistCase {
 
 void expectMatchesGroundTruth(const QueryResult& result, const Dataset& global,
                               double q) {
-  const auto expected = linearSkyline(global, q);
+  const auto expected = linearSkyline(global, {.q = q});
   auto got = result.skyline;
   sortByGlobalProbability(got);
 

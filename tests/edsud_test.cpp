@@ -57,7 +57,7 @@ TEST(EdsudTest, FeedbackBoundAblationAllCorrect) {
       SyntheticSpec{1500, 3, ValueDistribution::kAnticorrelated, 51});
   InProcCluster cluster(global, 10, 52);
   const auto expected =
-      testutil::idsOf(linearSkyline(global, 0.3));
+      testutil::idsOf(linearSkyline(global, {.q = 0.3}));
 
   std::vector<std::uint64_t> bandwidth;
   for (const FeedbackBound bound :
@@ -83,7 +83,7 @@ TEST(EdsudTest, BothExpungePoliciesReturnExactAnswers) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1500, 3, ValueDistribution::kAnticorrelated, 46});
   InProcCluster cluster(global, 10, 146);
-  const auto expected = testutil::idsOf(linearSkyline(global, 0.3));
+  const auto expected = testutil::idsOf(linearSkyline(global, {.q = 0.3}));
   for (const ExpungePolicy policy :
        {ExpungePolicy::kEager, ExpungePolicy::kPark}) {
     QueryConfig config;
@@ -159,7 +159,7 @@ TEST(EdsudTest, DominancePruneStillCorrectOnCertainData) {
   QueryResult result = cluster.engine().runEdsud(config);
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline),
-            testutil::idsOf(linearSkyline(global, config.q)));
+            testutil::idsOf(linearSkyline(global, {.q = config.q})));
 }
 
 TEST(EdsudTest, ProgressiveEmissionProperties) {
@@ -191,7 +191,7 @@ TEST(EdsudTest, SingleSiteDegeneratesToLocalSkyline) {
   QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline),
-            testutil::idsOf(linearSkyline(global, 0.3)));
+            testutil::idsOf(linearSkyline(global, {.q = 0.3})));
   // One site: no broadcasts possible (m - 1 = 0 targets), only pulls.
   EXPECT_EQ(result.stats.tuplesShipped, result.stats.candidatesPulled);
 }

@@ -140,8 +140,8 @@ TEST(SyntheticTest, AnticorrelatedSkylineIsMuchLarger) {
       SyntheticSpec{n, 2, ValueDistribution::kIndependent, 10});
   const Dataset anti = generateSynthetic(
       SyntheticSpec{n, 2, ValueDistribution::kAnticorrelated, 10});
-  const auto indepSky = linearSkyline(indep, 0.3);
-  const auto antiSky = linearSkyline(anti, 0.3);
+  const auto indepSky = linearSkyline(indep, {.q = 0.3});
+  const auto antiSky = linearSkyline(anti, {.q = 0.3});
   EXPECT_GT(antiSky.size(), 2 * indepSky.size());
 }
 
@@ -150,7 +150,7 @@ TEST(SyntheticTest, DimensionalityGrowsSkyline) {
   for (std::size_t d = 2; d <= 5; ++d) {
     const Dataset data = generateSynthetic(
         SyntheticSpec{3000, d, ValueDistribution::kIndependent, 11});
-    const std::size_t size = linearSkyline(data, 0.3).size();
+    const std::size_t size = linearSkyline(data, {.q = 0.3}).size();
     EXPECT_GE(size, prev) << "d=" << d;
     prev = size;
   }
@@ -245,7 +245,7 @@ TEST(NyseTest, TinySkylineLikeRealStockData) {
   // its cardinality — the property that makes the paper's NYSE experiments
   // cheap on bandwidth.
   const Dataset data = generateNyse(NyseSpec{50000, 14});
-  const auto sky = linearSkyline(data, 0.3);
+  const auto sky = linearSkyline(data, {.q = 0.3});
   EXPECT_LT(sky.size(), 100u);
   EXPECT_GT(sky.size(), 0u);
 }

@@ -36,7 +36,7 @@ TEST(IntegrationTest, FullLifecycleThroughDisk) {
                                MaintenanceStrategy::kIncremental);
   const QueryResult initial = maintainer.initialize();
   EXPECT_EQ(testutil::idsOf(initial.skyline).size(),
-            linearSkyline(data, config.q).size());
+            linearSkyline(data, {.q = config.q}).size());
 
   // A dominating insert reshapes the skyline; a delete restores it.
   UpdateEvent insert;
@@ -54,7 +54,7 @@ TEST(IntegrationTest, FullLifecycleThroughDisk) {
 
   auto ids = testutil::idsOf(maintainer.skyline());
   std::sort(ids.begin(), ids.end());
-  auto want = testutil::idsOf(linearSkyline(data, config.q));
+  auto want = testutil::idsOf(linearSkyline(data, {.q = config.q}));
   std::sort(want.begin(), want.end());
   EXPECT_EQ(ids, want);
 
@@ -70,7 +70,7 @@ TEST(IntegrationTest, MaxDimensionalityEndToEnd) {
   QueryResult result = cluster.engine().runEdsud(config);
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline),
-            testutil::idsOf(linearSkyline(global, config.q)));
+            testutil::idsOf(linearSkyline(global, {.q = config.q})));
 }
 
 TEST(IntegrationTest, MoreSitesThanTuples) {
@@ -80,7 +80,7 @@ TEST(IntegrationTest, MoreSitesThanTuples) {
   QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline),
-            testutil::idsOf(linearSkyline(global, 0.3)));
+            testutil::idsOf(linearSkyline(global, {.q = 0.3})));
 }
 
 TEST(IntegrationTest, IdenticalCoordinatesEverywhere) {
@@ -115,7 +115,7 @@ TEST(IntegrationTest, TinyThresholdReturnsEveryPositiveProbability) {
   QueryResult result = cluster.engine().runEdsud(config);
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline),
-            testutil::idsOf(linearSkyline(global, config.q)));
+            testutil::idsOf(linearSkyline(global, {.q = config.q})));
 }
 
 TEST(IntegrationTest, RepeatedSessionsResetCleanly) {
@@ -139,7 +139,7 @@ TEST(IntegrationTest, RepeatedSessionsResetCleanly) {
     sortByGlobalProbability(result.skyline);
     const DimMask mask = config.effectiveMask(3);
     EXPECT_EQ(testutil::idsOf(result.skyline),
-              testutil::idsOf(linearSkyline(global, s.q, mask)))
+              testutil::idsOf(linearSkyline(global, {.mask = mask, .q = s.q})))
         << "q=" << s.q << " mask=" << s.mask;
   }
 }
@@ -157,7 +157,7 @@ TEST(IntegrationTest, GaussianProbabilityMeanSweepKeepsExactness) {
     QueryResult result = cluster.engine().runEdsud(QueryConfig{});
     sortByGlobalProbability(result.skyline);
     EXPECT_EQ(testutil::idsOf(result.skyline),
-              testutil::idsOf(linearSkyline(global, 0.3)))
+              testutil::idsOf(linearSkyline(global, {.q = 0.3})))
         << "mu=" << mu;
     counts.push_back(result.skyline.size());
   }

@@ -15,14 +15,14 @@ using testutil::makeDataset;
 TEST(LinearSkylineTest, EmptyDataset) {
   const Dataset data(2);
   EXPECT_TRUE(skylineProbabilitiesLinear(data).empty());
-  EXPECT_TRUE(linearSkyline(data, 0.3).empty());
+  EXPECT_TRUE(linearSkyline(data, {.q = 0.3}).empty());
 }
 
 TEST(LinearSkylineTest, SingleTupleIsItsOwnSkyline) {
   const Dataset data = makeDataset(2, {{1.0, 2.0, 0.7}});
   const auto probs = skylineProbabilitiesLinear(data);
   EXPECT_DOUBLE_EQ(probs[0], 0.7);
-  const auto sky = linearSkyline(data, 0.5);
+  const auto sky = linearSkyline(data, {.q = 0.5});
   ASSERT_EQ(sky.size(), 1u);
   EXPECT_EQ(sky[0].id, 0u);
   EXPECT_DOUBLE_EQ(sky[0].skyProb, 0.7);
@@ -47,7 +47,7 @@ TEST(LinearSkylineTest, ThresholdFiltersAndSortsDescending) {
                                           {5.0, 1.0, 0.4},
                                           {2.0, 6.0, 0.5},  // dominated by t0
                                       });
-  const auto sky = linearSkyline(data, 0.3);
+  const auto sky = linearSkyline(data, {.q = 0.3});
   ASSERT_EQ(sky.size(), 2u);
   EXPECT_EQ(sky[0].id, 0u);
   EXPECT_EQ(sky[1].id, 1u);
@@ -59,7 +59,7 @@ TEST(LinearSkylineTest, ThresholdMonotonicity) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{300, 3, ValueDistribution::kIndependent, 42});
   auto idsAt = [&](double q) {
-    auto ids = testutil::idsOf(linearSkyline(data, q));
+    auto ids = testutil::idsOf(linearSkyline(data, {.q = q}));
     std::sort(ids.begin(), ids.end());
     return ids;
   };
@@ -84,7 +84,7 @@ TEST(LinearSkylineTest, CertainDataReducesToClassicSkyline) {
                                           {6.0, 7.0, 1.0},
                                           {9.0, 2.0, 1.0},
                                       });
-  const auto sky = linearSkyline(data, 0.5);
+  const auto sky = linearSkyline(data, {.q = 0.5});
   auto ids = testutil::idsOf(sky);
   std::sort(ids.begin(), ids.end());
   EXPECT_EQ(ids, (std::vector<TupleId>{0, 2, 4}));
@@ -97,20 +97,20 @@ TEST(LinearSkylineTest, SubspaceProjectionChangesAnswer) {
                                           {2.0, 1.0, 1.0},
                                       });
   // Full space: both in skyline.
-  EXPECT_EQ(linearSkyline(data, 0.5).size(), 2u);
+  EXPECT_EQ(linearSkyline(data, {.q = 0.5}).size(), 2u);
   // Dim 0 only: tuple 0 dominates tuple 1.
-  const auto sky0 = linearSkyline(data, 0.5, DimMask{0b01});
+  const auto sky0 = linearSkyline(data, {.mask = DimMask{0b01}, .q = 0.5});
   ASSERT_EQ(sky0.size(), 1u);
   EXPECT_EQ(sky0[0].id, 0u);
   // Dim 1 only: tuple 1 wins.
-  const auto sky1 = linearSkyline(data, 0.5, DimMask{0b10});
+  const auto sky1 = linearSkyline(data, {.mask = DimMask{0b10}, .q = 0.5});
   ASSERT_EQ(sky1.size(), 1u);
   EXPECT_EQ(sky1[0].id, 1u);
 }
 
 TEST(LinearSkylineTest, EntriesCarryValuesAndProb) {
   const Dataset data = makeDataset(2, {{3.0, 4.0, 0.8}});
-  const auto sky = linearSkyline(data, 0.1);
+  const auto sky = linearSkyline(data, {.q = 0.1});
   ASSERT_EQ(sky.size(), 1u);
   EXPECT_EQ(sky[0].values, (std::vector<double>{3.0, 4.0}));
   EXPECT_DOUBLE_EQ(sky[0].prob, 0.8);

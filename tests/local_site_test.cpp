@@ -24,7 +24,7 @@ TEST(LocalSiteTest, PrepareComputesQualifiedLocalSkyline) {
       SyntheticSpec{300, 2, ValueDistribution::kIndependent, 51});
   LocalSite site(0, db);
   const auto response = site.prepare(prep(0.3));
-  EXPECT_EQ(response.localSkylineSize, linearSkyline(db, 0.3).size());
+  EXPECT_EQ(response.localSkylineSize, linearSkyline(db, {.q = 0.3}).size());
 }
 
 TEST(LocalSiteTest, PrepareRejectsBadThreshold) {
@@ -50,7 +50,7 @@ TEST(LocalSiteTest, CandidatesComeInDescendingLocalProbability) {
     last = response.candidate->localSkyProb;
     ++count;
   }
-  EXPECT_EQ(count, linearSkyline(db, 0.3).size());
+  EXPECT_EQ(count, linearSkyline(db, {.q = 0.3}).size());
   // Exhausted site keeps answering empty.
   EXPECT_FALSE(site.nextCandidate(NextCandidateRequest{}).candidate.has_value());
 }

@@ -71,7 +71,7 @@ TEST(MiscTest, PolicyRuleMatrixExactOnCertainData) {
     global.add(std::vector<double>{rng.uniform(), rng.uniform()}, 1.0);
   }
   InProcCluster cluster(global, 5, 1104);
-  const auto expected = testutil::idsOf(linearSkyline(global, 0.3));
+  const auto expected = testutil::idsOf(linearSkyline(global, {.q = 0.3}));
 
   for (const PruneRule prune :
        {PruneRule::kThresholdBound, PruneRule::kDominance}) {

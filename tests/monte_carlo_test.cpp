@@ -57,8 +57,8 @@ TEST(MonteCarloTest, SubspaceMaskRespected) {
       SyntheticSpec{40, 3, ValueDistribution::kAnticorrelated, 702});
   Rng rng(703);
   const DimMask mask = 0b011;
-  const auto est = skylineProbabilitiesMonteCarlo(data, 60000, rng, mask);
-  const auto exact = skylineProbabilitiesLinear(data, mask);
+  const auto est = skylineProbabilitiesMonteCarlo(data, 60000, rng, {.mask = mask});
+  const auto exact = skylineProbabilitiesLinear(data, {.mask = mask});
   for (std::size_t row = 0; row < data.size(); ++row) {
     EXPECT_NEAR(est[row], exact[row], 0.02) << "row " << row;
   }
@@ -80,9 +80,7 @@ TEST(MonteCarloTest, CustomWorldSamplerIsUsed) {
                                                     {2.0, 2.0, 0.9},
                                                 });
   Rng rng(706);
-  const auto none = skylineProbabilitiesMonteCarlo(
-      data, 100, rng, 0,
-      [](const Dataset&, Rng&, std::vector<bool>& present) {
+  const auto none = skylineProbabilitiesMonteCarlo(data, 100, rng, {}, [](const Dataset&, Rng&, std::vector<bool>& present) {
         std::fill(present.begin(), present.end(), false);
       });
   EXPECT_EQ(none[0], 0.0);
@@ -90,9 +88,7 @@ TEST(MonteCarloTest, CustomWorldSamplerIsUsed) {
 
   // A fully-correlated sampler: both exist or neither (NOT the paper's
   // independent model) — the dominated tuple then never wins.
-  const auto correlated = skylineProbabilitiesMonteCarlo(
-      data, 20000, rng, 0,
-      [](const Dataset& d, Rng& r, std::vector<bool>& present) {
+  const auto correlated = skylineProbabilitiesMonteCarlo(data, 20000, rng, {}, [](const Dataset& d, Rng& r, std::vector<bool>& present) {
         const bool all = r.uniform() < d.prob(0);
         std::fill(present.begin(), present.end(), all);
       });

@@ -58,7 +58,7 @@ std::vector<Dataset> hotelSites() {
 TEST(PaperExampleTest, LocalSkylinesMatchTable2a) {
   const auto sites = hotelSites();
   {
-    const auto sky = linearSkyline(sites[0], kQ);
+    const auto sky = linearSkyline(sites[0], {.q = kQ});
     ASSERT_EQ(sky.size(), 3u);
     EXPECT_EQ(sky[0].id, 10u);
     EXPECT_NEAR(sky[0].skyProb, 0.65, 1e-12);
@@ -68,7 +68,7 @@ TEST(PaperExampleTest, LocalSkylinesMatchTable2a) {
     EXPECT_NEAR(sky[2].skyProb, 0.5, 1e-12);
   }
   {
-    const auto sky = linearSkyline(sites[1], kQ);
+    const auto sky = linearSkyline(sites[1], {.q = kQ});
     ASSERT_EQ(sky.size(), 3u);
     EXPECT_EQ(sky[0].id, 20u);
     EXPECT_NEAR(sky[0].skyProb, 0.65, 1e-12);
@@ -78,7 +78,7 @@ TEST(PaperExampleTest, LocalSkylinesMatchTable2a) {
     EXPECT_NEAR(sky[2].skyProb, 0.6, 1e-12);
   }
   {
-    const auto sky = linearSkyline(sites[2], kQ);
+    const auto sky = linearSkyline(sites[2], {.q = kQ});
     ASSERT_EQ(sky.size(), 3u);
     EXPECT_EQ(sky[0].id, 30u);
     EXPECT_NEAR(sky[0].skyProb, 0.8, 1e-12);

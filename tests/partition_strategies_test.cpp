@@ -111,7 +111,7 @@ TEST_P(SkewedClusterTest, AlgorithmsStayExactUnderSkew) {
   }
 
   InProcCluster cluster(sites);
-  const auto expected = testutil::idsOf(linearSkyline(global, 0.3));
+  const auto expected = testutil::idsOf(linearSkyline(global, {.q = 0.3}));
   for (QueryResult result : {cluster.engine().runDsud(QueryConfig{}),
                              cluster.engine().runEdsud(QueryConfig{})}) {
     sortByGlobalProbability(result.skyline);

@@ -132,8 +132,8 @@ TEST(PossibleWorldsTest, SubspaceEnumerationMatchesClosedForm) {
     const Dataset data = generateSynthetic(
         SyntheticSpec{10, 3, ValueDistribution::kIndependent, seed});
     for (const DimMask mask : {DimMask{0b011}, DimMask{0b101}, DimMask{0b100}}) {
-      const auto enumerated = skylineProbabilitiesByEnumeration(data, mask);
-      const auto closedForm = skylineProbabilitiesLinear(data, mask);
+      const auto enumerated = skylineProbabilitiesByEnumeration(data, {.mask = mask});
+      const auto closedForm = skylineProbabilitiesLinear(data, {.mask = mask});
       for (std::size_t i = 0; i < enumerated.size(); ++i) {
         EXPECT_NEAR(enumerated[i], closedForm[i], 1e-9);
       }

@@ -79,9 +79,8 @@ TEST(PropertySweepTest, RandomConfigurationsAllMatchGroundTruth) {
     const DimMask mask = c.query.effectiveMask(global.dims());
     const auto expected =
         c.query.window
-            ? linearSkylineConstrained(global, c.query.q, mask,
-                                       *c.query.window)
-            : linearSkyline(global, c.query.q, mask);
+            ? linearSkyline(global, {.mask = mask, .q = c.query.q, .clip = &*c.query.window})
+            : linearSkyline(global, {.mask = mask, .q = c.query.q});
     auto expectedIds = testutil::idsOf(expected);
     std::sort(expectedIds.begin(), expectedIds.end());
 
@@ -131,7 +130,7 @@ TEST(PropertySweepTest, TopKConsistentWithThresholdSweep) {
     config.floorQ = 0.02 + 0.2 * rng.uniform();
     const QueryResult result = cluster.engine().runTopK(config);
 
-    auto truth = linearSkyline(global, config.floorQ);
+    auto truth = linearSkyline(global, {.q = config.floorQ});
     if (truth.size() > k) truth.resize(k);
     ASSERT_EQ(testutil::idsOf(result.skyline), testutil::idsOf(truth))
         << "trial " << trial << " k=" << k << " floor=" << config.floorQ;

@@ -40,8 +40,8 @@ TEST_P(PRTreeOptionsTest, QueriesIdenticalAcrossFanouts) {
   const PRTree tree = PRTree::bulkLoad(data, GetParam());
 
   // Skyline identical to the fanout-independent reference.
-  EXPECT_EQ(testutil::idsOf(bbsSkyline(tree, 0.3)),
-            testutil::idsOf(linearSkyline(data, 0.3)));
+  EXPECT_EQ(testutil::idsOf(bbsSkyline(tree, {.q = 0.3})),
+            testutil::idsOf(linearSkyline(data, {.q = 0.3})));
 
   // Dominance products identical too.
   Rng rng(903);

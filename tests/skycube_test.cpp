@@ -35,7 +35,7 @@ TEST(SkycubeTest, EveryCuboidMatchesLinearScan) {
   const Skycube cube(tree, 0.3);
   for (DimMask mask = 1; mask <= fullMask(4); ++mask) {
     EXPECT_EQ(testutil::idsOf(cube.cuboid(mask)),
-              testutil::idsOf(linearSkyline(data, 0.3, mask)))
+              testutil::idsOf(linearSkyline(data, {.mask = mask, .q = 0.3})))
         << "mask=" << mask;
   }
 }
@@ -92,7 +92,7 @@ TEST(SkycubeTest, FullMaskCuboidEqualsPlainSkyline) {
   const PRTree tree = PRTree::bulkLoad(data);
   const Skycube cube(tree, 0.3);
   EXPECT_EQ(testutil::idsOf(cube.cuboid(fullMask(3))),
-            testutil::idsOf(bbsSkyline(tree, 0.3)));
+            testutil::idsOf(bbsSkyline(tree, {.q = 0.3})));
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ TEST(StreamTest, SkylineMatchesLinearScanThroughoutStream) {
 
     if (id % 23 != 0) continue;  // spot-check periodically
     const Dataset ground = windowDataset(live, 2);
-    const auto expected = linearSkyline(ground, 0.3);
+    const auto expected = linearSkyline(ground, {.q = 0.3});
     const auto got = stream.skyline();
     ASSERT_EQ(testutil::idsOf(got), testutil::idsOf(expected))
         << "at element " << id;
@@ -161,7 +161,7 @@ TEST(StreamTest, NyseStreamEndToEnd) {
     stream.append(t);
   }
   const auto got = stream.skyline();
-  const auto expected = linearSkyline(windowDataset(live, 2), 0.3);
+  const auto expected = linearSkyline(windowDataset(live, 2), {.q = 0.3});
   EXPECT_EQ(testutil::idsOf(got), testutil::idsOf(expected));
 }
 

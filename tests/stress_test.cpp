@@ -20,7 +20,7 @@ namespace {
 
 std::vector<TupleId> indexedTruth(const Dataset& global, double q) {
   const PRTree tree = PRTree::bulkLoad(global);
-  auto ids = testutil::idsOf(bbsSkyline(tree, q));
+  auto ids = testutil::idsOf(bbsSkyline(tree, {.q = q}));
   std::sort(ids.begin(), ids.end());
   return ids;
 }

@@ -25,7 +25,7 @@ TEST_P(SubspaceParamTest, DistributedMatchesCentralisedProjection) {
   config.q = 0.3;
   config.mask = mask;
 
-  const auto expected = linearSkyline(global, config.q, mask);
+  const auto expected = linearSkyline(global, {.mask = mask, .q = config.q});
   for (QueryResult result : {cluster.engine().runDsud(config),
                              cluster.engine().runEdsud(config),
                              cluster.engine().runNaive(config)}) {

@@ -123,7 +123,7 @@ TEST(TcpClusterTest, DsudAndNaiveOverTcp) {
   QueryResult dsud = cluster.engine().runDsud(config);
   sortByGlobalProbability(dsud.skyline);
   EXPECT_EQ(testutil::idsOf(dsud.skyline),
-            testutil::idsOf(linearSkyline(global, config.q)));
+            testutil::idsOf(linearSkyline(global, {.q = config.q})));
 }
 
 }  // namespace

@@ -38,7 +38,7 @@ inline std::vector<ProbSkylineEntry> groundTruth(
     const std::vector<Dataset>& sites, double q, DimMask mask = 0) {
   const Dataset global = unionOf(sites);
   const DimMask effective = mask == 0 ? fullMask(global.dims()) : mask;
-  return linearSkyline(global, q, effective);
+  return linearSkyline(global, {.mask = effective, .q = q});
 }
 
 /// Ids of a centralised answer set.

@@ -114,7 +114,7 @@ TEST(ParallelBroadcastTest, WorksForDsudAndUpdatesToo) {
   QueryResult dsud = cluster.engine().runDsud(QueryConfig{}, fanOut);
   sortByGlobalProbability(dsud.skyline);
   EXPECT_EQ(testutil::idsOf(dsud.skyline),
-            testutil::idsOf(linearSkyline(global, 0.3)));
+            testutil::idsOf(linearSkyline(global, {.q = 0.3})));
 
   // Default options: back to the sequential path.
   QueryResult again = cluster.engine().runDsud(QueryConfig{});

@@ -15,7 +15,7 @@ namespace {
 /// Ground truth: ids of the k most probable skyline tuples above the floor.
 std::vector<TupleId> topKTruth(const Dataset& global, std::size_t k,
                                double floorQ) {
-  auto all = linearSkyline(global, floorQ);  // sorted desc by probability
+  auto all = linearSkyline(global, {.q = floorQ});  // sorted desc by probability
   if (all.size() > k) all.resize(k);
   return testutil::idsOf(all);
 }
@@ -117,7 +117,7 @@ TEST(TopKTest, SubspaceTopK) {
   config.mask = 0b011;
   const QueryResult result = cluster.engine().runTopK(config);
 
-  auto truth = linearSkyline(global, config.floorQ, config.mask);
+  auto truth = linearSkyline(global, {.mask = config.mask, .q = config.floorQ});
   if (truth.size() > 8) truth.resize(8);
   EXPECT_EQ(testutil::idsOf(result.skyline), testutil::idsOf(truth));
 }
@@ -139,7 +139,7 @@ TEST(TopKTest, WindowedTopK) {
   const QueryResult result = cluster.engine().runTopK(config);
 
   auto truth =
-      linearSkylineConstrained(global, config.floorQ, fullMask(2), window);
+      linearSkyline(global, {.q = config.floorQ, .clip = &window});
   if (truth.size() > 5) truth.resize(5);
   EXPECT_EQ(testutil::idsOf(result.skyline), testutil::idsOf(truth));
 }
