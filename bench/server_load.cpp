@@ -21,8 +21,20 @@
 //   DSUD_LOAD_MAX_QUEUED    server admission queue        (default 16)
 //   DSUD_JSON               also write a JSON summary to this path
 //
+// A second, closed-loop section measures the shared-work layer: bursts of
+// concurrent clients issuing threshold queries with the result cache and
+// batch executor off, then on, for an identical mix (every client the same
+// query) and a banded mix (thresholds spread across four q bands).  Its
+// knobs:
+//
+//   DSUD_BURST_CLIENTS      concurrent burst clients      (default 64)
+//   DSUD_BURST_PER_CLIENT   pipelined queries per client  (default 4)
+//   DSUD_BATCH_WINDOW_MS    batching window when sharing  (default 5)
+//   DSUD_BATCH_JSON         write the burst comparison to this path
+//
 // The committed BENCH_dsudd_baseline.json was produced by running this
-// binary with defaults and DSUD_JSON pointed at the repo root.
+// binary with defaults and DSUD_JSON pointed at the repo root;
+// BENCH_batch_baseline.json the same way via DSUD_BATCH_JSON.
 
 #include <algorithm>
 #include <atomic>
@@ -282,6 +294,184 @@ LevelResult runLevel(std::uint16_t port, const LoadScale& scale, double qps) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Shared-work burst: closed-loop clients, sharing off vs on.
+
+struct BurstSpec {
+  std::size_t clients = 64;
+  std::size_t perClient = 4;
+  double windowMs = 5.0;
+};
+
+BurstSpec burstSpec() {
+  BurstSpec s;
+  s.clients = static_cast<std::size_t>(
+      envOr("DSUD_BURST_CLIENTS", std::int64_t(s.clients)));
+  s.perClient = static_cast<std::size_t>(
+      envOr("DSUD_BURST_PER_CLIENT", std::int64_t(s.perClient)));
+  s.windowMs = envOr("DSUD_BATCH_WINDOW_MS", s.windowMs);
+  return s;
+}
+
+struct BurstResult {
+  std::string mix;       ///< "identical" or "banded"
+  bool sharing = false;  ///< cache + batching enabled?
+  std::uint64_t queries = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  double wallMs = 0;
+  double qps = 0;
+};
+
+/// One burst client: pipelines all its queries on one connection, then
+/// reads until every terminal arrived.  Closed loop — the burst's wall
+/// time is the cost of answering everything, not an arrival schedule.
+void burstClient(std::uint16_t port, const std::string& prefix,
+                 std::size_t perClient, double q, std::uint64_t* completed,
+                 std::uint64_t* failed) {
+  dsud::Socket sock = dsud::connectTo(port, std::chrono::milliseconds{5000});
+  dsud::setSocketTimeouts(sock, std::chrono::milliseconds{120'000});
+  char qbuf[32];
+  std::snprintf(qbuf, sizeof qbuf, "%.3f", q);
+  std::string payload;
+  for (std::size_t i = 0; i < perClient; ++i) {
+    payload += R"({"op":"query","id":")" + prefix + std::to_string(i) +
+               R"(","algo":"edsud","q":)" + qbuf +
+               R"(,"progressive":false})" "\n";
+  }
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const auto n = ::send(sock.fd(), payload.data() + off,
+                          payload.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) throw dsud::NetError("burst send failed");
+    off += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  char chunk[8192];
+  std::uint64_t terminals = 0;
+  while (terminals < perClient) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl == std::string::npos) {
+      const auto n = ::recv(sock.fd(), chunk, sizeof chunk, 0);
+      if (n <= 0) throw dsud::NetError("burst recv failed");
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const server::Response response =
+        server::decodeResponse(buffer.substr(0, nl));
+    buffer.erase(0, nl + 1);
+    if (std::holds_alternative<server::DoneResponse>(response)) {
+      ++(*completed);
+      ++terminals;
+    } else if (std::holds_alternative<server::ErrorResponse>(response)) {
+      ++(*failed);
+      ++terminals;
+    }
+  }
+}
+
+/// Runs one burst scenario against a fresh daemon (fresh so the "on" run
+/// starts with a cold cache — the warm-up it measures is its own).
+BurstResult runBurst(InProcCluster& cluster, const LoadScale& scale,
+                     const BurstSpec& spec, const std::string& mix,
+                     bool sharing) {
+  server::ServerConfig config;
+  // Generous admission: this section measures execution throughput, not
+  // shedding, so nothing may be turned away.
+  config.admission.maxInFlight = spec.clients;
+  config.admission.maxQueued = spec.clients * spec.perClient;
+  if (sharing) {
+    config.batching.enabled = true;
+    config.batching.windowSeconds = spec.windowMs / 1e3;
+  } else {
+    config.cacheCapacity = 0;
+    config.batching.enabled = false;
+  }
+  server::QueryServer daemon(cluster.engine(), metricsRegistry(), config);
+  daemon.start();
+  std::thread loop([&daemon] { daemon.run(); });
+
+  const double bands[4] = {scale.q * 0.67, scale.q, scale.q * 1.33,
+                           scale.q * 1.67};
+  std::vector<std::uint64_t> completed(spec.clients, 0);
+  std::vector<std::uint64_t> failed(spec.clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(spec.clients);
+  const auto t0 = Clock::now();
+  for (std::size_t c = 0; c < spec.clients; ++c) {
+    const double q = mix == "banded" ? bands[c % 4] : scale.q;
+    threads.emplace_back([&, c, q] {
+      burstClient(daemon.port(), "b" + std::to_string(c) + "-",
+                  spec.perClient, q, &completed[c], &failed[c]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wallMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  daemon.stop();
+  loop.join();
+
+  BurstResult r;
+  r.mix = mix;
+  r.sharing = sharing;
+  r.queries = spec.clients * spec.perClient;
+  for (std::size_t c = 0; c < spec.clients; ++c) {
+    r.completed += completed[c];
+    r.failed += failed[c];
+  }
+  r.wallMs = wallMs;
+  r.qps = wallMs > 0 ? static_cast<double>(r.completed) / (wallMs / 1e3) : 0;
+  return r;
+}
+
+void writeBurstJson(const std::string& path, const LoadScale& scale,
+                    const BurstSpec& spec,
+                    const std::vector<BurstResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "server_load: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n \"note\": \"Shared-work burst baseline: closed-loop "
+               "concurrent clients with the result cache and batch executor "
+               "off vs on (bench/server_load.cpp).  speedup_x is aggregate "
+               "QPS on/off per mix.\",\n");
+  std::fprintf(f,
+               " \"environment\": {\n  \"DSUD_N\": %zu,\n  \"DSUD_M\": %zu,\n"
+               "  \"DSUD_Q\": %.3f,\n  \"DSUD_BURST_CLIENTS\": %zu,\n"
+               "  \"DSUD_BURST_PER_CLIENT\": %zu,\n"
+               "  \"DSUD_BATCH_WINDOW_MS\": %.1f\n },\n",
+               scale.n, scale.m, scale.q, spec.clients, spec.perClient,
+               spec.windowMs);
+  std::fprintf(f, " \"bursts\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BurstResult& r = results[i];
+    std::fprintf(f,
+                 "  {\"mix\": \"%s\", \"sharing\": %s, \"queries\": %llu, "
+                 "\"completed\": %llu, \"failed\": %llu, \"wall_ms\": %.1f, "
+                 "\"qps\": %.1f}%s\n",
+                 r.mix.c_str(), r.sharing ? "true" : "false",
+                 static_cast<unsigned long long>(r.queries),
+                 static_cast<unsigned long long>(r.completed),
+                 static_cast<unsigned long long>(r.failed), r.wallMs, r.qps,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, " ],\n \"speedup_x\": {");
+  bool first = true;
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const BurstResult& off = results[i];
+    const BurstResult& on = results[i + 1];
+    if (off.mix != on.mix || off.sharing || !on.sharing) continue;
+    std::fprintf(f, "%s\"%s\": %.2f", first ? "" : ", ", off.mix.c_str(),
+                 off.qps > 0 ? on.qps / off.qps : 0.0);
+    first = false;
+  }
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+}
+
 void writeJson(const std::string& path, const LoadScale& scale,
                const std::vector<LevelResult>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -344,6 +534,11 @@ int main() {
   server::ServerConfig config;
   config.admission.maxInFlight = scale.maxInFlight;
   config.admission.maxQueued = scale.maxQueued;
+  // The open-loop section measures descent queueing and shedding; with the
+  // (default-on) result cache every repeat would be free and the levels
+  // meaningless.  The burst section below measures sharing explicitly.
+  config.cacheCapacity = 0;
+  config.batching.enabled = false;
   server::QueryServer daemon(cluster.engine(), metricsRegistry(), config);
   daemon.start();
   std::thread loop([&daemon] { daemon.run(); });
@@ -368,5 +563,32 @@ int main() {
 
   daemon.stop();
   loop.join();
+
+  // Shared-work burst comparison: same cluster, fresh daemon per scenario.
+  const BurstSpec burst = burstSpec();
+  printTitle("shared-work burst (closed loop)");
+  printHeader({"mix", "sharing", "queries", "completed", "failed", "wall_ms",
+               "qps"});
+  std::vector<BurstResult> bursts;
+  for (const std::string mix : {"identical", "banded"}) {
+    for (const bool sharing : {false, true}) {
+      const BurstResult r = runBurst(cluster, scale, burst, mix, sharing);
+      bursts.push_back(r);
+      printRow(r.mix.c_str(), r.sharing ? "on" : "off", r.queries, r.completed,
+               r.failed, r.wallMs, r.qps);
+      if (r.failed != 0) {
+        std::fprintf(stderr, "server_load: %llu burst errors (%s, sharing %s)\n",
+                     static_cast<unsigned long long>(r.failed), r.mix.c_str(),
+                     r.sharing ? "on" : "off");
+      }
+    }
+  }
+  for (std::size_t i = 0; i + 1 < bursts.size(); i += 2) {
+    std::printf("  %s speedup: %.2fx\n", bursts[i].mix.c_str(),
+                bursts[i].qps > 0 ? bursts[i + 1].qps / bursts[i].qps : 0.0);
+  }
+
+  const std::string batchJson = envOr("DSUD_BATCH_JSON", std::string{});
+  if (!batchJson.empty()) writeBurstJson(batchJson, scale, burst, bursts);
   return 0;
 }

@@ -1,0 +1,247 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "skyline/spec.hpp"
+
+namespace dsud {
+
+namespace {
+
+bool sameFaultHandling(const FaultOptions& a, const FaultOptions& b) {
+  return a.deadline == b.deadline &&
+         a.retry.maxAttempts == b.retry.maxAttempts &&
+         a.retry.initialBackoff == b.retry.initialBackoff &&
+         a.retry.backoffMultiplier == b.retry.backoffMultiplier &&
+         a.retry.maxBackoff == b.retry.maxBackoff &&
+         a.onSiteFailure == b.onSiteFailure;
+}
+
+}  // namespace
+
+BatchExecutor::BatchExecutor(QueryEngine& engine,
+                             obs::MetricsRegistry* metrics)
+    : engine_(&engine) {
+  if (metrics != nullptr) {
+    merged_ = &metrics->counter("dsud_batch_merged_total");
+    flushes_ = &metrics->counter("dsud_batch_flushes_total");
+    width_ = &metrics->histogram("dsud_batch_width",
+                                 {1, 2, 4, 8, 16, 32, 64, 128});
+  }
+  timer_ = std::thread([this] { timerLoop(); });
+}
+
+BatchExecutor::~BatchExecutor() {
+  std::list<std::shared_ptr<Group>> leftovers;
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    leftovers.swap(pending_);
+  }
+  cv_.notify_all();
+  timer_.join();
+  // Groups still waiting for their window run inline: every ticket resolves
+  // before the executor (and with it the engine) goes away.
+  for (const auto& group : leftovers) launchFlush(group, /*inlineRun=*/true);
+}
+
+bool BatchExecutor::compatible(const Group& group, Algo algo,
+                               const QueryConfig& config,
+                               const QueryOptions& options) const {
+  if (group.algo != algo) return false;
+  const std::size_t dims = engine_->coordinator().dims();
+  if (group.config.effectiveMask(dims) != config.effectiveMask(dims)) {
+    return false;
+  }
+  if (group.config.prune != config.prune ||
+      group.config.bound != config.bound ||
+      group.config.expunge != config.expunge) {
+    return false;
+  }
+  const SkylineSpec mine{0, 0.0,
+                         group.config.window ? &*group.config.window : nullptr};
+  const SkylineSpec theirs{0, 0.0,
+                           config.window ? &*config.window : nullptr};
+  if (!mine.compatibleWith(theirs)) return false;
+  // Members share one leader session, so its failure semantics must be
+  // everyone's failure semantics.
+  return sameFaultHandling(group.options.fault, options.fault);
+}
+
+QueryTicket BatchExecutor::submit(Algo algo, QueryConfig config,
+                                  QueryOptions options, QueryId id) {
+  Member member;
+  member.id = id;
+  member.q = config.q;
+  member.progress = options.progress;
+  member.cancel = options.cancel;
+  std::future<QueryResult> future = member.promise.get_future();
+
+  engine_->inFlight_.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<Group> full;
+  {
+    std::lock_guard lock(mutex_);
+    Group* target = nullptr;
+    std::shared_ptr<Group> targetRef;
+    for (auto& group : pending_) {
+      if (group->members.size() < group->maxMerge &&
+          compatible(*group, algo, config, options)) {
+        target = group.get();
+        targetRef = group;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      auto group = std::make_shared<Group>();
+      group->algo = algo;
+      group->config = std::move(config);
+      group->options = std::move(options);
+      group->deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(std::max(
+                                 group->options.batching.windowSeconds, 0.0)));
+      group->maxMerge = std::max<std::size_t>(group->options.batching.maxMerge,
+                                              1);
+      pending_.push_back(group);
+      target = group.get();
+      targetRef = std::move(group);
+    }
+    target->members.push_back(std::move(member));
+    if (target->members.size() >= target->maxMerge) {
+      pending_.remove(targetRef);
+      full = std::move(targetRef);
+    }
+  }
+  if (full != nullptr) {
+    launchFlush(std::move(full));
+  } else {
+    cv_.notify_one();  // the timer may need to re-arm for a nearer deadline
+  }
+  return QueryTicket(id, std::move(future));
+}
+
+void BatchExecutor::timerLoop() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    if (pending_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      continue;
+    }
+    Clock::time_point next = pending_.front()->deadline;
+    for (const auto& group : pending_) next = std::min(next, group->deadline);
+    cv_.wait_until(lock, next,
+                   [this, next] { return stopping_ || Clock::now() >= next; });
+    if (stopping_) break;
+
+    const Clock::time_point now = Clock::now();
+    std::vector<std::shared_ptr<Group>> due;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if ((*it)->deadline <= now) {
+        due.push_back(std::move(*it));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!due.empty()) {
+      lock.unlock();
+      for (auto& group : due) launchFlush(std::move(group));
+      lock.lock();
+    }
+  }
+}
+
+void BatchExecutor::launchFlush(std::shared_ptr<Group> group, bool inlineRun) {
+  const std::size_t width = group->members.size();
+  if (flushes_ != nullptr) flushes_->inc();
+  if (width_ != nullptr) width_->observe(static_cast<double>(width));
+  if (merged_ != nullptr && width > 1) merged_->add(width - 1);
+  QueryEngine* engine = engine_;
+  if (inlineRun) {
+    runGroup(*engine, *group);
+    return;
+  }
+  try {
+    engine->pool().submit(
+        [engine, group = std::move(group)] { runGroup(*engine, *group); });
+  } catch (const std::exception&) {
+    // Pool already shut down (teardown race): run on the calling thread so
+    // the members' tickets still resolve.
+    runGroup(*engine, *group);
+  }
+}
+
+void BatchExecutor::runGroup(QueryEngine& engine, Group& group) {
+  // Members cancelled while parked observe QueryCancelled exactly like a
+  // cancelled queued submit; they must not hold the group's threshold down.
+  std::vector<Member*> live;
+  live.reserve(group.members.size());
+  for (Member& m : group.members) {
+    if (m.cancel != nullptr && m.cancel->load(std::memory_order_relaxed)) {
+      // Decrement before resolving the ticket: a caller returning from
+      // get() must already see this query gone from inFlight().
+      engine.inFlight_.fetch_sub(1, std::memory_order_relaxed);
+      m.promise.set_exception(std::make_exception_ptr(QueryCancelled(m.id)));
+    } else {
+      live.push_back(&m);
+    }
+  }
+  if (live.empty()) return;
+
+  QueryConfig config = group.config;
+  config.q = live.front()->q;
+  for (const Member* m : live) config.q = std::min(config.q, m->q);
+  const QueryId leaderId = live.front()->id;
+
+  QueryOptions options = group.options;
+  options.batching = {};
+  options.cancel = nullptr;  // members may outlive any one client's interest
+  options.traceCapacity = 0;
+  std::vector<std::uint64_t> seq(live.size(), 0);
+  options.progress = [&](const GlobalSkylineEntry& entry,
+                         const ProgressPoint& point) {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Member& m = *live[i];
+      if (entry.globalSkyProb < m.q || !m.progress) continue;
+      ProgressPoint mine = point;
+      mine.reported = ++seq[i];
+      m.progress(entry, mine);
+    }
+  };
+
+  QueryResult leader;
+  try {
+    leader = engine.dispatch(group.algo, config, options, leaderId);
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Member* m : live) {
+      engine.inFlight_.fetch_sub(1, std::memory_order_relaxed);
+      m->promise.set_exception(error);
+    }
+    return;
+  }
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Member& m = *live[i];
+    QueryResult result;
+    result.id = m.id;
+    result.stats = leader.stats;  // the shared descent's totals
+    result.degraded = leader.degraded;
+    result.excludedSites = leader.excludedSites;
+    for (std::size_t j = 0; j < leader.skyline.size(); ++j) {
+      const GlobalSkylineEntry& entry = leader.skyline[j];
+      if (entry.globalSkyProb < m.q) continue;
+      result.skyline.push_back(entry);
+      ProgressPoint point =
+          j < leader.progress.size() ? leader.progress[j] : ProgressPoint{};
+      point.reported = result.skyline.size();
+      result.progress.push_back(point);
+    }
+    engine.inFlight_.fetch_sub(1, std::memory_order_relaxed);
+    m.promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace dsud

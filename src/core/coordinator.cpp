@@ -43,6 +43,28 @@ SiteHandle& Coordinator::siteById(SiteId id) {
                           std::to_string(id));
 }
 
+void Coordinator::noteSiteVersion(SiteId site, std::uint64_t version) {
+  std::lock_guard lock(versionMutex_);
+  std::uint64_t& seen = siteVersions_[site];
+  if (version <= seen) return;  // replayed or stale stamp
+  datasetVersion_.fetch_add(version - seen, std::memory_order_acq_rel);
+  seen = version;
+}
+
+ApplyInsertResponse Coordinator::applyInsert(SiteId site,
+                                             const ApplyInsertRequest& r) {
+  ApplyInsertResponse response = siteById(site).applyInsert(r);
+  noteSiteVersion(site, response.datasetVersion);
+  return response;
+}
+
+ApplyDeleteResponse Coordinator::applyDelete(SiteId site,
+                                             const ApplyDeleteRequest& r) {
+  ApplyDeleteResponse response = siteById(site).applyDelete(r);
+  noteSiteVersion(site, response.datasetVersion);
+  return response;
+}
+
 double Coordinator::evaluateGlobally(const Candidate& c, bool pruneLocal,
                                      QueryStats& stats, DimMask mask,
                                      const std::optional<Rect>& window) {

@@ -15,6 +15,8 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/health.hpp"
@@ -57,6 +59,30 @@ class Coordinator {
     return nextId_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // --- Dataset versioning (result-cache invalidation) -----------------------
+
+  /// Combined dataset version of the cluster as last reported by the sites:
+  /// the sum of the per-site mutation counters piggybacked on maintenance
+  /// responses (Sec. 5.4 traffic).  0 until the first update; monotone
+  /// thereafter.  The result cache keys on this value, so any insert/delete
+  /// routed through the coordinator's apply wrappers retires every cached
+  /// verdict computed over the previous database.  Thread-safe.
+  std::uint64_t datasetVersion() const noexcept {
+    return datasetVersion_.load(std::memory_order_acquire);
+  }
+
+  /// Folds a per-site version stamp into the combined dataset version.
+  /// Idempotent per (site, version): replaying a stamp never double-counts.
+  /// Thread-safe, though maintenance itself is sequential by contract.
+  void noteSiteVersion(SiteId site, std::uint64_t version);
+
+  /// Maintenance ops routed through the coordinator so the response's
+  /// version stamp is folded in before the caller acts on it — use these
+  /// instead of siteById(id).applyInsert/applyDelete whenever a result
+  /// cache may be attached to an engine over this coordinator.
+  ApplyInsertResponse applyInsert(SiteId site, const ApplyInsertRequest& r);
+  ApplyDeleteResponse applyDelete(SiteId site, const ApplyDeleteRequest& r);
+
   /// Broadcasts `c.tuple` to every site except its origin and multiplies the
   /// returned survival factors onto the local probability (Lemma 1).
   /// Returns the exact P_gsky; accumulates prune counts into `stats`.
@@ -77,6 +103,10 @@ class Coordinator {
   std::size_t dims_;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::atomic<QueryId> nextId_{1};
+
+  std::atomic<std::uint64_t> datasetVersion_{0};
+  std::mutex versionMutex_;  // guards siteVersions_
+  std::unordered_map<SiteId, std::uint64_t> siteVersions_;
 };
 
 }  // namespace dsud

@@ -290,8 +290,10 @@ ApplyInsertResponse LocalSite::applyInsert(const ApplyInsertRequest& request) {
   const obs::SpanId span = maintBeginLocked("site.insert");
   const Tuple& t = request.tuple;
   tree_.insert(t);
+  ++datasetVersion_;
 
   ApplyInsertResponse response;
+  response.datasetVersion = datasetVersion_;
   response.localSkyProb =
       t.prob * tree_.dominanceSurvival(t.values, fullMask_);
   response.globalUpperBound =
@@ -329,10 +331,17 @@ ApplyDeleteResponse LocalSite::applyDelete(const ApplyDeleteRequest& request) {
   if (found) {
     response.existed = tree_.erase(request.id, request.values);
     response.prob = response.existed ? prob : 0.0;
+    if (response.existed) ++datasetVersion_;
   }
+  response.datasetVersion = datasetVersion_;
   maintAttrLocked(span, "existed", response.existed ? 1.0 : 0.0);
   maintEndLocked(span);
   return response;
+}
+
+std::uint64_t LocalSite::datasetVersion() const {
+  std::lock_guard lock(mutex_);
+  return datasetVersion_;
 }
 
 RepairDeleteResponse LocalSite::repairDelete(

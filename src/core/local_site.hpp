@@ -93,6 +93,13 @@ class LocalSite {
   ApplyInsertResponse applyInsert(const ApplyInsertRequest& request);
   ApplyDeleteResponse applyDelete(const ApplyDeleteRequest& request);
 
+  /// Monotone mutation counter of this site's database: 0 at construction,
+  /// bumped by every applyInsert and every applyDelete that actually erased
+  /// a tuple.  Stamped on the maintenance responses so the coordinator's
+  /// combined dataset version (and with it the result cache) tracks the
+  /// cluster state without extra RPCs.
+  std::uint64_t datasetVersion() const;
+
   /// After a delete elsewhere: search the region dominated by the deleted
   /// tuple for local tuples that may now qualify globally (not already in
   /// the replica, provable upper bound >= request.q).
@@ -167,6 +174,7 @@ class LocalSite {
   mutable std::mutex mutex_;  // guards sessions_, replica_, tree_ walks
   std::unordered_map<QueryId, Session> sessions_;
   std::vector<ReplicaEntry> replica_;
+  std::uint64_t datasetVersion_ = 0;  // mutations applied to tree_
   std::unique_ptr<obs::Tracer> maintTracer_;  // session-less maintenance ops
 
   // Observability (null when no registry is attached).

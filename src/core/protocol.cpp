@@ -206,6 +206,7 @@ void ApplyInsertResponse::encode(ByteWriter& w) const {
   w.putF64(globalUpperBound);
   w.putU32(static_cast<std::uint32_t>(dominatedReplica.size()));
   for (const TupleId id : dominatedReplica) w.putU64(id);
+  w.putU64(datasetVersion);
 }
 
 ApplyInsertResponse ApplyInsertResponse::decode(ByteReader& r) {
@@ -215,6 +216,7 @@ ApplyInsertResponse ApplyInsertResponse::decode(ByteReader& r) {
   const std::uint32_t n = r.getU32();
   msg.dominatedReplica.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) msg.dominatedReplica.push_back(r.getU64());
+  msg.datasetVersion = r.getU64();
   return msg;
 }
 
@@ -233,12 +235,14 @@ ApplyDeleteRequest ApplyDeleteRequest::decode(ByteReader& r) {
 void ApplyDeleteResponse::encode(ByteWriter& w) const {
   w.putBool(existed);
   w.putF64(prob);
+  w.putU64(datasetVersion);
 }
 
 ApplyDeleteResponse ApplyDeleteResponse::decode(ByteReader& r) {
   ApplyDeleteResponse msg;
   msg.existed = r.getBool();
   msg.prob = r.getF64();
+  msg.datasetVersion = r.getU64();
   return msg;
 }
 

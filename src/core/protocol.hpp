@@ -280,6 +280,10 @@ struct ApplyInsertResponse {
   /// Replica members the inserted tuple dominates (their cached global
   /// probabilities shrink by (1 − P(t))).
   std::vector<TupleId> dominatedReplica;
+  /// The site's dataset version after this insert (monotone per-site counter
+  /// bumped by every mutation).  The coordinator folds the stamp into its
+  /// combined dataset version, invalidating the result cache.
+  std::uint64_t datasetVersion = 0;
 
   void encode(ByteWriter& w) const;
   static ApplyInsertResponse decode(ByteReader& r);
@@ -296,6 +300,9 @@ struct ApplyDeleteRequest {
 struct ApplyDeleteResponse {
   bool existed = false;
   double prob = 0.0;  ///< P(t) of the deleted tuple (0 when !existed)
+  /// The site's dataset version after this delete (unchanged when the tuple
+  /// did not exist).  See ApplyInsertResponse::datasetVersion.
+  std::uint64_t datasetVersion = 0;
 
   void encode(ByteWriter& w) const;
   static ApplyDeleteResponse decode(ByteReader& r);

@@ -5,37 +5,52 @@
 #include <thread>
 #include <utility>
 
+#include "common/stopwatch.hpp"
+#include "core/batch.hpp"
+#include "core/result_cache.hpp"
+
 namespace dsud {
+
+bool shareEligible(Algo algo, const QueryConfig& config) noexcept {
+  // kDominance feedback pruning is lossy and feedback-order dependent: what
+  // a site drops depends on which candidates the coordinator broadcast,
+  // which depends on q.  kThresholdBound only ever drops candidates whose
+  // provable bound is below the session threshold, so a looser run's answer
+  // stream is a superset of every tighter run's, in the same order.
+  if (config.prune != PruneRule::kThresholdBound) return false;
+  // e-DSUD's kPark stalls a site stream while its head is unqualified; how
+  // long it stalls depends on q, so the emission order is not q-invariant.
+  // kEager keeps every stream flowing and preserves the descending
+  // local-probability order regardless of threshold.
+  if (algo == Algo::kEdsud && config.expunge == ExpungePolicy::kPark) {
+    return false;
+  }
+  return true;
+}
 
 QueryEngine::QueryEngine(Coordinator& coordinator, std::size_t workers)
     : coord_(&coordinator), workers_(workers) {}
 
+QueryEngine::~QueryEngine() = default;
+
 QueryResult QueryEngine::run(Algo algo, const QueryConfig& config,
                              const QueryOptions& options) {
-  switch (algo) {
-    case Algo::kNaive:
-      return naiveImpl(config, options, coord_->nextQueryId());
-    case Algo::kDsud:
-      return dsudImpl(config, options, coord_->nextQueryId());
-    case Algo::kEdsud:
-      return edsudImpl(config, options, coord_->nextQueryId());
-  }
-  throw std::invalid_argument("QueryEngine::run: unknown algorithm");
+  return dispatch(algo, config, options, coord_->nextQueryId());
 }
 
 QueryResult QueryEngine::runNaive(const QueryConfig& config,
                                   const QueryOptions& options) {
-  return naiveImpl(config, options, coord_->nextQueryId());
+  return dispatch(Algo::kNaive, config, options, coord_->nextQueryId());
 }
 
 QueryResult QueryEngine::runDsud(const QueryConfig& config,
                                  const QueryOptions& options) {
-  return dsudImpl(config, options, coord_->nextQueryId());
+  return dispatch(Algo::kDsud, config, options, coord_->nextQueryId());
 }
 
 QueryResult QueryEngine::runEdsud(const QueryConfig& config,
                                   const QueryOptions& options) {
-  return edsudImpl(config, options, coord_->nextQueryId());
+  return dispatch(Algo::kEdsud, config, options, coord_->nextQueryId());
 }
 
 QueryResult QueryEngine::runTopK(const TopKConfig& config,
@@ -45,6 +60,16 @@ QueryResult QueryEngine::runTopK(const TopKConfig& config,
 
 QueryResult QueryEngine::run(Algo algo, const QueryConfig& config,
                              const QueryOptions& options, QueryId id) {
+  return dispatch(algo, config, options, id);
+}
+
+QueryResult QueryEngine::runTopK(const TopKConfig& config,
+                                 const QueryOptions& options, QueryId id) {
+  return topkImpl(config, options, id);
+}
+
+QueryResult QueryEngine::execute(Algo algo, const QueryConfig& config,
+                                 const QueryOptions& options, QueryId id) {
   switch (algo) {
     case Algo::kNaive:
       return naiveImpl(config, options, id);
@@ -53,12 +78,66 @@ QueryResult QueryEngine::run(Algo algo, const QueryConfig& config,
     case Algo::kEdsud:
       return edsudImpl(config, options, id);
   }
-  throw std::invalid_argument("QueryEngine::run: unknown algorithm");
+  throw std::invalid_argument("QueryEngine: unknown algorithm");
 }
 
-QueryResult QueryEngine::runTopK(const TopKConfig& config,
-                                 const QueryOptions& options, QueryId id) {
-  return topkImpl(config, options, id);
+QueryResult QueryEngine::dispatch(Algo algo, const QueryConfig& config,
+                                  const QueryOptions& options, QueryId id) {
+  ResultCache* cache = cache_;
+  if (cache == nullptr || !shareEligible(algo, config)) {
+    return execute(algo, config, options, id);
+  }
+
+  ResultCache::Key key;
+  key.datasetVersion = coord_->datasetVersion();
+  key.algo = algo;
+  key.mask = config.effectiveMask(coord_->dims());
+  key.prune = config.prune;
+  key.bound = config.bound;
+  key.expunge = config.expunge;
+  key.window = config.window;
+
+  if (auto hit = cache->lookup(key, config.q)) {
+    return fromCache(std::move(*hit), options, id);
+  }
+  QueryResult result = execute(algo, config, options, id);
+  // Degraded answers describe a survivor subset, not the cluster; and if
+  // maintenance landed mid-run the answer may straddle two versions.
+  // Neither is a safe verdict to replay.
+  if (!result.degraded && coord_->datasetVersion() == key.datasetVersion) {
+    cache->insert(key, config.q, result.skyline);
+  }
+  return result;
+}
+
+QueryResult QueryEngine::fromCache(std::vector<GlobalSkylineEntry> entries,
+                                   const QueryOptions& options, QueryId id) {
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    throw QueryCancelled(id);
+  }
+  Stopwatch watch;
+  obs::Tracer tracer(options.traceCapacity);
+  const obs::SpanId span = tracer.begin("cache_hit");
+
+  QueryResult result;
+  result.id = id;
+  result.skyline = std::move(entries);
+  result.progress.reserve(result.skyline.size());
+  for (std::size_t i = 0; i < result.skyline.size(); ++i) {
+    // Replayed answers ship no tuples; the progress curve is flat at zero
+    // bandwidth, which is exactly the cache's value proposition.
+    ProgressPoint point;
+    point.reported = i + 1;
+    point.seconds = watch.elapsedSeconds();
+    result.progress.push_back(point);
+    if (options.progress) options.progress(result.skyline[i], point);
+  }
+  tracer.attr(span, "answers", static_cast<double>(result.skyline.size()));
+  tracer.end(span);
+  result.trace = tracer.take();
+  result.stats.seconds = watch.elapsedSeconds();
+  return result;
 }
 
 ThreadPool& QueryEngine::pool() {
@@ -72,6 +151,15 @@ ThreadPool& QueryEngine::pool() {
     pool_ = std::make_unique<ThreadPool>(workers);
   }
   return *pool_;
+}
+
+BatchExecutor& QueryEngine::batch() {
+  pool();  // created first so member order tears the executor down first
+  std::lock_guard lock(poolMutex_);
+  if (batch_ == nullptr) {
+    batch_ = std::make_unique<BatchExecutor>(*this, coord_->metrics());
+  }
+  return *batch_;
 }
 
 template <typename Fn>
@@ -101,15 +189,7 @@ QueryTicket QueryEngine::submit(Algo algo, QueryConfig config,
   const QueryId id = coord_->nextQueryId();
   return enqueue(id, [this, algo, config = std::move(config),
                       options = std::move(options), id] {
-    switch (algo) {
-      case Algo::kNaive:
-        return naiveImpl(config, options, id);
-      case Algo::kDsud:
-        return dsudImpl(config, options, id);
-      case Algo::kEdsud:
-        return edsudImpl(config, options, id);
-    }
-    throw std::invalid_argument("QueryEngine::submit: unknown algorithm");
+    return dispatch(algo, config, options, id);
   });
 }
 
@@ -119,6 +199,23 @@ QueryTicket QueryEngine::submitTopK(TopKConfig config, QueryOptions options) {
                       options = std::move(options), id] {
     return topkImpl(config, options, id);
   });
+}
+
+QueryTicket QueryEngine::submitBatched(Algo algo, QueryConfig config,
+                                       QueryOptions options) {
+  return submitBatched(algo, std::move(config), std::move(options),
+                       coord_->nextQueryId());
+}
+
+QueryTicket QueryEngine::submitBatched(Algo algo, QueryConfig config,
+                                       QueryOptions options, QueryId id) {
+  if (!options.batching.enabled || !shareEligible(algo, config)) {
+    return enqueue(id, [this, algo, config = std::move(config),
+                        options = std::move(options), id] {
+      return dispatch(algo, config, options, id);
+    });
+  }
+  return batch().submit(algo, std::move(config), std::move(options), id);
 }
 
 }  // namespace dsud

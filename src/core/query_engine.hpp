@@ -26,6 +26,9 @@
 
 namespace dsud {
 
+class BatchExecutor;
+class ResultCache;
+
 /// Handle to one submitted (asynchronous) query.
 class QueryTicket {
  public:
@@ -43,6 +46,7 @@ class QueryTicket {
 
  private:
   friend class QueryEngine;
+  friend class BatchExecutor;
   QueryTicket(QueryId id, std::future<QueryResult> future)
       : id_(id), future_(std::move(future)) {}
 
@@ -56,8 +60,17 @@ class QueryEngine {
   /// worker per hardware thread, capped at 8).  The pool is created lazily
   /// on the first submit; synchronous runs never start it.
   explicit QueryEngine(Coordinator& coordinator, std::size_t workers = 0);
+  ~QueryEngine();
 
   Coordinator& coordinator() noexcept { return *coord_; }
+
+  /// Attaches a shared result cache consulted before any descent (null
+  /// detaches).  The cache must outlive the engine.  Wiring-time only: must
+  /// not race with running queries.  Only share-eligible configurations
+  /// (see the .cpp's shareEligible) ever touch the cache; everything else
+  /// runs exactly as before.
+  void setResultCache(ResultCache* cache) noexcept { cache_ = cache; }
+  ResultCache* resultCache() const noexcept { return cache_; }
 
   // --- Synchronous execution ----------------------------------------------
 
@@ -94,12 +107,28 @@ class QueryEngine {
   QueryTicket submit(Algo algo, QueryConfig config, QueryOptions options = {});
   QueryTicket submitTopK(TopKConfig config, QueryOptions options = {});
 
-  /// Queries currently executing or queued on this engine's pool.
+  /// Shared-work submission: when `options.batching.enabled`, compatible
+  /// queries submitted inside one batching window (same algorithm, subspace,
+  /// window, and execution knobs — any thresholds) merge into ONE site-side
+  /// descent at the loosest threshold, split back out per query.  Each
+  /// ticket's answer is bit-identical to a solo run of its query; stats
+  /// describe the shared descent.  Ineligible or unbatched queries fall
+  /// back to the ordinary submit path.  The explicit-id overload serves
+  /// front ends that advertise the session id before execution (dsudd).
+  QueryTicket submitBatched(Algo algo, QueryConfig config,
+                            QueryOptions options = {});
+  QueryTicket submitBatched(Algo algo, QueryConfig config,
+                            QueryOptions options, QueryId id);
+
+  /// Queries currently executing or queued on this engine's pool (batched
+  /// queries count from submission to ticket fulfilment).
   std::size_t inFlight() const noexcept {
     return inFlight_.load(std::memory_order_relaxed);
   }
 
  private:
+  friend class BatchExecutor;
+
   QueryResult naiveImpl(const QueryConfig& config, const QueryOptions& options,
                         QueryId id);
   QueryResult dsudImpl(const QueryConfig& config, const QueryOptions& options,
@@ -109,16 +138,44 @@ class QueryEngine {
   QueryResult topkImpl(const TopKConfig& config, const QueryOptions& options,
                        QueryId id);
 
+  /// Cache-aware execution: consult the attached result cache, run the
+  /// algorithm on a miss, store share-eligible answers.  All run/submit
+  /// paths funnel through here.
+  QueryResult dispatch(Algo algo, const QueryConfig& config,
+                       const QueryOptions& options, QueryId id);
+  /// Raw algorithm switch (no cache).
+  QueryResult execute(Algo algo, const QueryConfig& config,
+                      const QueryOptions& options, QueryId id);
+  /// Synthesises a QueryResult from cached entries: progress callbacks
+  /// replay per entry, stats report zero shipped work.
+  QueryResult fromCache(std::vector<GlobalSkylineEntry> entries,
+                        const QueryOptions& options, QueryId id);
+
   ThreadPool& pool();
+  BatchExecutor& batch();
 
   template <typename Fn>
   QueryTicket enqueue(QueryId id, Fn task);
 
   Coordinator* coord_;
   std::size_t workers_;
-  std::mutex poolMutex_;            // guards lazy pool creation
+  ResultCache* cache_ = nullptr;
+  std::mutex poolMutex_;            // guards lazy pool/batch creation
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<std::size_t> inFlight_{0};
+  // After pool_ so it is destroyed first: pending groups flush onto the
+  // pool during the executor's teardown.
+  std::unique_ptr<BatchExecutor> batch_;
 };
+
+/// True when answers of a run at a looser threshold can be filtered down to
+/// any tighter threshold bit for bit — the predicate gating both the result
+/// cache and batch merging.  Requires a q-invariant emission order:
+/// kThresholdBound pruning is exact (feedback never removes qualified
+/// answers) and every algorithm emits in an order independent of q — naive
+/// in ascending BBS key order, DSUD in descending local-probability order,
+/// e-DSUD likewise under kEager (a kPark stall reorders streams depending
+/// on q, so parked configurations are excluded).
+bool shareEligible(Algo algo, const QueryConfig& config) noexcept;
 
 }  // namespace dsud

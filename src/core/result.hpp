@@ -109,6 +109,22 @@ enum class SiteTraceMode {
   kFetch,
 };
 
+/// Opt-in shared-work execution (QueryEngine::submitBatched): a submitted
+/// query waits up to `windowSeconds` for compatible queries — same
+/// algorithm, subspace, window, and execution knobs; any thresholds — and
+/// the whole group runs as ONE site-side descent at the loosest threshold,
+/// split back out per query at the coordinator.  Answers are bit-identical
+/// to solo runs; stats describe the shared descent (see docs/ARCHITECTURE
+/// "Shared-work execution & result cache").
+struct BatchingOptions {
+  bool enabled = false;
+  /// How long a submitted query may wait to be merged.  0 still merges
+  /// queries that arrive while a flush is pending but adds no delay.
+  double windowSeconds = 0.002;
+  /// Flush early once this many queries merged into one group.
+  std::size_t maxMerge = 64;
+};
+
 /// Per-query execution options, immutable for the lifetime of the query.
 /// Everything that was once mutable coordinator-wide state (progress
 /// callback, trace capacity, broadcast parallelism) lives here so N queries
@@ -155,6 +171,10 @@ struct QueryOptions {
   /// Directory for slow-query trace dumps (created on first use).  Empty
   /// disables dumping even when the threshold trips.
   std::string slowQueryDir;
+
+  /// Shared-work batching window (QueryEngine::submitBatched only;
+  /// synchronous run* paths ignore it).
+  BatchingOptions batching;
 };
 
 /// Sorts answers by descending global skyline probability (ties: id) — the

@@ -1,0 +1,118 @@
+#include "core/result_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dsud {
+
+bool ResultCache::Key::operator==(const Key& other) const noexcept {
+  if (datasetVersion != other.datasetVersion || algo != other.algo ||
+      mask != other.mask || prune != other.prune || bound != other.bound ||
+      expunge != other.expunge) {
+    return false;
+  }
+  // Windows compare by value through SkylineSpec (null == null).
+  const SkylineSpec mine{mask, 0.0, window ? &*window : nullptr};
+  const SkylineSpec theirs{other.mask, 0.0,
+                           other.window ? &*other.window : nullptr};
+  return mine == theirs;
+}
+
+std::size_t ResultCache::KeyHash::operator()(const Key& key) const noexcept {
+  // Reuse the SkylineSpec hash for the (mask, window) part, then mix in the
+  // version and the run knobs.
+  const SkylineSpec spec{key.mask, 0.0, key.window ? &*key.window : nullptr};
+  std::size_t seed = std::hash<SkylineSpec>{}(spec);
+  detail::hashCombine(seed, std::hash<std::uint64_t>{}(key.datasetVersion));
+  detail::hashCombine(seed, static_cast<std::size_t>(key.algo));
+  detail::hashCombine(seed, (static_cast<std::size_t>(key.prune) << 16) ^
+                                (static_cast<std::size_t>(key.bound) << 8) ^
+                                static_cast<std::size_t>(key.expunge));
+  return seed;
+}
+
+ResultCache::ResultCache(ResultCacheConfig config,
+                         obs::MetricsRegistry* metrics)
+    : config_(config) {
+  const std::size_t shards = std::max<std::size_t>(config_.shards, 1);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Per-shard budget, rounded up so capacity 1 still caches somewhere.
+  perShardCapacity_ = (config_.capacity + shards - 1) / shards;
+  if (metrics != nullptr) {
+    hits_ = &metrics->counter("dsud_cache_hits_total");
+    misses_ = &metrics->counter("dsud_cache_misses_total");
+    insertions_ = &metrics->counter("dsud_cache_insertions_total");
+    evictions_ = &metrics->counter("dsud_cache_evictions_total");
+  }
+}
+
+std::optional<std::vector<GlobalSkylineEntry>> ResultCache::lookup(
+    const Key& key, double q) {
+  if (config_.capacity == 0) {
+    if (misses_ != nullptr) misses_->inc();
+    return std::nullopt;
+  }
+  Shard& shard = shardFor(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  // An answer computed at qBase enumerates exactly {t : P_gsky >= qBase};
+  // it can only serve thresholds at least that loose.
+  if (it == shard.index.end() || it->second->second.qBase > q) {
+    if (misses_ != nullptr) misses_->inc();
+    return std::nullopt;
+  }
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  const Value& value = it->second->second;
+  std::vector<GlobalSkylineEntry> filtered;
+  filtered.reserve(value.entries.size());
+  for (const GlobalSkylineEntry& e : value.entries) {
+    if (e.globalSkyProb >= q) filtered.push_back(e);
+  }
+  if (hits_ != nullptr) hits_->inc();
+  return filtered;
+}
+
+void ResultCache::insert(const Key& key, double qBase,
+                         std::vector<GlobalSkylineEntry> entries) {
+  if (config_.capacity == 0) return;
+  Shard& shard = shardFor(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Keep whichever answer covers the wider band.
+    if (it->second->second.qBase <= qBase) return;
+    it->second->second = Value{qBase, std::move(entries)};
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  shard.order.emplace_front(key, Value{qBase, std::move(entries)});
+  shard.index.emplace(key, shard.order.begin());
+  if (insertions_ != nullptr) insertions_->inc();
+  while (shard.order.size() > perShardCapacity_) {
+    shard.index.erase(shard.order.back().first);
+    shard.order.pop_back();
+    if (evictions_ != nullptr) evictions_->inc();
+  }
+}
+
+void ResultCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->order.clear();
+    shard->index.clear();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->order.size();
+  }
+  return total;
+}
+
+}  // namespace dsud

@@ -1,0 +1,122 @@
+// Bounded, sharded LRU cache of global-skyline answers, shared by every
+// query session of one engine.
+//
+// Motivation (ROADMAP item 3): after the SoA kernel rewrite the dominant
+// cost of a busy dsudd is running the same descent over and over — N
+// concurrent clients asking the same (or a threshold-banded) query each
+// paid a full distributed round trip.  One answer computed at threshold
+// qBase serves every later query at q >= qBase over the same dataset
+// version, because the qualifying algorithms emit answers in a q-invariant
+// order (see shareEligible in core/query_engine.hpp): filtering the stored
+// entries to globalSkyProb >= q reproduces the tighter run bit for bit.
+//
+// Key: (combined dataset version, algorithm, effective mask, prune/bound/
+// expunge knobs, constraint window) — everything except the threshold,
+// which is the band dimension.  The dataset version comes from
+// Coordinator::datasetVersion(), bumped by the Sec. 5.4 maintenance path
+// via per-site counters piggybacked on applyInsert/applyDelete responses;
+// an update therefore retires every stale verdict without touching the
+// cache (old-version entries simply stop being looked up and age out of
+// the LRU).
+//
+// Thread-safety: fully thread-safe; the table is sharded by key hash so
+// concurrent sessions rarely contend on one mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.hpp"
+#include "obs/metrics.hpp"
+#include "skyline/spec.hpp"
+
+namespace dsud {
+
+struct ResultCacheConfig {
+  /// Total cached answers across all shards (0 disables the cache: every
+  /// lookup misses, inserts are dropped).
+  std::size_t capacity = 256;
+  std::size_t shards = 8;
+};
+
+class ResultCache {
+ public:
+  /// Everything that determines a run's answer list except the threshold.
+  struct Key {
+    std::uint64_t datasetVersion = 0;
+    Algo algo = Algo::kEdsud;
+    DimMask mask = 0;  ///< effective mask (already resolved against dims)
+    PruneRule prune = PruneRule::kThresholdBound;
+    FeedbackBound bound = FeedbackBound::kQueuedAndConfirmed;
+    ExpungePolicy expunge = ExpungePolicy::kEager;
+    std::optional<Rect> window;
+
+    bool operator==(const Key& other) const noexcept;
+  };
+
+  /// `metrics` may be null (no instruments).  The hit/miss/insert/evict
+  /// counters are registered up front so they expose as zero series from
+  /// the first scrape.
+  explicit ResultCache(ResultCacheConfig config = {},
+                       obs::MetricsRegistry* metrics = nullptr);
+
+  /// Answer for `key` at threshold `q`, or nullopt.  A stored answer
+  /// computed at qBase serves any q >= qBase: the returned entries are the
+  /// stored ones filtered to globalSkyProb >= q, preserving emission order.
+  std::optional<std::vector<GlobalSkylineEntry>> lookup(const Key& key,
+                                                        double q);
+
+  /// Stores the answer of a completed run at threshold `qBase`.  When the
+  /// key is already present the entry with the smaller qBase wins (it
+  /// serves a superset of thresholds).
+  void insert(const Key& key, double qBase,
+              std::vector<GlobalSkylineEntry> entries);
+
+  /// Drops every cached answer (all shards).  Mostly for tests and benches;
+  /// normal invalidation happens by version, not by flushing.
+  void clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return config_.capacity; }
+
+ private:
+  struct Value {
+    double qBase = 0.0;
+    std::vector<GlobalSkylineEntry> entries;  ///< emission order of the run
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    /// LRU order, most recent first; the map points into this list.
+    std::list<std::pair<Key, Value>> order;
+    std::unordered_map<Key, std::list<std::pair<Key, Value>>::iterator,
+                       KeyHash>
+        index;
+  };
+
+  Shard& shardFor(const Key& key) noexcept {
+    return *shards_[KeyHash{}(key) % shards_.size()];
+  }
+
+  ResultCacheConfig config_;
+  std::size_t perShardCapacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Null when no registry was given.
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* insertions_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+};
+
+}  // namespace dsud

@@ -88,11 +88,10 @@ UpdateStats SkylineMaintainer::applyNaive(const UpdateEvent& event) {
 
   // Apply the raw update, then recompute from scratch (paper's strawman).
   if (event.kind == UpdateEvent::Kind::kInsert) {
-    coordinator_.siteById(event.site).applyInsert(
-        ApplyInsertRequest{event.tuple});
+    coordinator_.applyInsert(event.site, ApplyInsertRequest{event.tuple});
   } else {
-    coordinator_.siteById(event.site).applyDelete(
-        ApplyDeleteRequest{event.tuple.id, event.tuple.values});
+    coordinator_.applyDelete(
+        event.site, ApplyDeleteRequest{event.tuple.id, event.tuple.values});
   }
 
   const QueryResult result = engine_.runEdsud(config_);
@@ -147,7 +146,7 @@ void SkylineMaintainer::incrementalInsert(const UpdateEvent& event,
                                           UpdateStats& stats) {
   const Tuple& t = event.tuple;
   const ApplyInsertResponse response =
-      coordinator_.siteById(event.site).applyInsert(ApplyInsertRequest{t});
+      coordinator_.applyInsert(event.site, ApplyInsertRequest{t});
 
   // Exact, network-free rescale of dominated skyline members: the new tuple
   // multiplies their global probability by (1 − P(t)).
@@ -178,9 +177,8 @@ void SkylineMaintainer::incrementalInsert(const UpdateEvent& event,
 
 void SkylineMaintainer::incrementalDelete(const UpdateEvent& event,
                                           UpdateStats& stats) {
-  const ApplyDeleteResponse response =
-      coordinator_.siteById(event.site).applyDelete(
-          ApplyDeleteRequest{event.tuple.id, event.tuple.values});
+  const ApplyDeleteResponse response = coordinator_.applyDelete(
+      event.site, ApplyDeleteRequest{event.tuple.id, event.tuple.values});
   if (!response.existed) return;
 
   const Tuple deleted{event.tuple.id, event.tuple.values, response.prob};

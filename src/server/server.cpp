@@ -39,6 +39,22 @@ QueryServer::QueryServer(QueryEngine& engine, obs::MetricsRegistry& metrics,
        {"query", "ping", "cancel", "stats", "invalid", "oversized"}) {
     metrics_.counter(obs::labeled("dsud_server_requests_total", {{"op", op}}));
   }
+  // Likewise for the sharing-layer series: the batch executor is created
+  // lazily on the first batched submit, but scrapes must see its counters
+  // (and the cache's) as zero series from the start.
+  metrics_.counter("dsud_batch_merged_total");
+  metrics_.counter("dsud_batch_flushes_total");
+  if (config_.cacheCapacity > 0) {
+    ResultCacheConfig cacheConfig;
+    cacheConfig.capacity = config_.cacheCapacity;
+    cacheConfig.shards = std::max<std::size_t>(config_.cacheShards, 1);
+    cache_ = std::make_unique<ResultCache>(cacheConfig, &metrics_);
+    engine_.setResultCache(cache_.get());
+  } else {
+    // The series still exist so dashboards and the CI grep see them.
+    metrics_.counter("dsud_cache_hits_total");
+    metrics_.counter("dsud_cache_misses_total");
+  }
 }
 
 QueryServer::~QueryServer() {
@@ -48,6 +64,9 @@ QueryServer::~QueryServer() {
   // the workers' loop_.post() calls only append to the task list.
   for (auto& [id, conn] : conns_) conn->cancelAll();
   pool_.reset();
+  // Workers are joined, so no query can touch the cache any more; detach it
+  // before it is destroyed (the engine outlives the server).
+  if (cache_ != nullptr) engine_.setResultCache(nullptr);
 }
 
 double QueryServer::breakerOpenFraction() {
@@ -330,6 +349,16 @@ QueryResult QueryServer::executeQuery(const QueryRequest& request,
   config.q = request.q;
   config.mask = request.mask;
   config.window = request.window;
+  if (config_.batching.enabled) {
+    // Park in the batching window so concurrent compatible queries share
+    // one descent.  The ticket blocks this worker exactly like a
+    // synchronous run; answers still stream via options.progress.
+    QueryOptions batched = options;
+    batched.batching = config_.batching;
+    return engine_.submitBatched(request.algo, std::move(config),
+                                 std::move(batched), id)
+        .get();
+  }
   return engine_.run(request.algo, config, options, id);
 }
 

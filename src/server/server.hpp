@@ -30,6 +30,7 @@
 #include <string>
 
 #include "core/query_engine.hpp"
+#include "core/result_cache.hpp"
 #include "server/admission.hpp"
 #include "server/connection.hpp"
 #include "server/event_loop.hpp"
@@ -46,6 +47,14 @@ struct ServerConfig {
   double drainSeconds = 5.0;  ///< requestDrain(): grace before cancelling
   std::size_t maxLineBytes = 1u << 20;    ///< request-line cap (1 MiB)
   std::size_t maxOutboxBytes = 8u << 20;  ///< per-connection write buffer cap
+  /// Result-cache entries kept across queries (0 disables the cache).  The
+  /// cache is keyed by dataset version, so Sec. 5.4 maintenance retires
+  /// stale answers automatically.
+  std::size_t cacheCapacity = 256;
+  std::size_t cacheShards = 8;  ///< lock shards for the result cache
+  /// Shared-work batching applied to every threshold query the server runs
+  /// (disabled by default; dsudd's --batch-window-ms turns it on).
+  BatchingOptions batching;
 };
 
 class QueryServer {
@@ -128,6 +137,11 @@ class QueryServer {
   QueryEngine& engine_;
   obs::MetricsRegistry& metrics_;
   ServerConfig config_;
+
+  /// Server-owned global-skyline result cache, attached to the engine for
+  /// the server's lifetime (detached in the destructor after the workers
+  /// join).  Null when cacheCapacity == 0.
+  std::unique_ptr<ResultCache> cache_;
 
   EventLoop loop_;
   AdmissionController admission_;

@@ -8,6 +8,10 @@
 //     bbsSkyline(tree, {.mask = DimMask{0b011}, .q = 0.5, .clip = &window});
 #pragma once
 
+#include <cstddef>
+#include <cstring>
+#include <functional>
+
 #include "geometry/dominance.hpp"
 #include "geometry/rect.hpp"
 
@@ -27,6 +31,68 @@ struct SkylineSpec {
   /// only tuples inside the closed box participate, both as candidates and
   /// as dominators.  Non-owning; must outlive the call.
   const Rect* clip = nullptr;
+
+  /// Value equality: clips compare by pointed-to rectangle (null == null),
+  /// never by pointer identity, so two specs built independently for the
+  /// same query compare equal.
+  friend bool operator==(const SkylineSpec& a, const SkylineSpec& b) noexcept {
+    if (a.mask != b.mask || a.q != b.q) return false;
+    if ((a.clip == nullptr) != (b.clip == nullptr)) return false;
+    return a.clip == nullptr || *a.clip == *b.clip;
+  }
+
+  /// True when `other` answers over the same candidate universe: same
+  /// subspace and same (value-equal) window, any threshold.  Compatible
+  /// specs can share one dominance/survival pass — a run at the looser
+  /// threshold is filterable down to the tighter one, which is what the
+  /// batch executor and the q-band result cache rely on.
+  bool compatibleWith(const SkylineSpec& other) const noexcept {
+    if (mask != other.mask) return false;
+    if ((clip == nullptr) != (other.clip == nullptr)) return false;
+    return clip == nullptr || *clip == *other.clip;
+  }
 };
 
+namespace detail {
+
+/// boost-style mix; good enough for cache sharding and hash buckets.
+inline void hashCombine(std::size_t& seed, std::size_t v) noexcept {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+inline std::size_t hashDouble(double d) noexcept {
+  // 0.0 == -0.0 must hash identically; NaN never appears in specs.
+  if (d == 0.0) d = 0.0;
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  return std::hash<std::uint64_t>{}(bits);
+}
+
+}  // namespace detail
+
+/// Hash of the clipped box contents (empty rects all hash alike).
+inline std::size_t hashRect(const Rect& r) noexcept {
+  std::size_t seed = std::hash<std::size_t>{}(r.dims());
+  if (r.isEmpty()) return seed;
+  for (std::size_t j = 0; j < r.dims(); ++j) {
+    detail::hashCombine(seed, detail::hashDouble(r.lo(j)));
+    detail::hashCombine(seed, detail::hashDouble(r.hi(j)));
+  }
+  return seed;
+}
+
 }  // namespace dsud
+
+/// Hash consistent with SkylineSpec's value equality (clip hashed by
+/// contents), so specs key unordered containers and the result cache.
+template <>
+struct std::hash<dsud::SkylineSpec> {
+  std::size_t operator()(const dsud::SkylineSpec& s) const noexcept {
+    std::size_t seed = std::hash<dsud::DimMask>{}(s.mask);
+    dsud::detail::hashCombine(seed, dsud::detail::hashDouble(s.q));
+    if (s.clip != nullptr) {
+      dsud::detail::hashCombine(seed, dsud::hashRect(*s.clip));
+    }
+    return seed;
+  }
+};

@@ -269,6 +269,44 @@ TEST(ConcurrentQueriesTest, OneOfFiveDegradesWhileTheRestStayBitIdentical) {
   }
 }
 
+TEST(ConcurrentQueriesTest, BatchedSubmitsMatchSoloRunsBitForBit) {
+  // The shared-work path (submitBatched) merges a threshold band into one
+  // descent; every member's answer must still be bit-identical to the same
+  // query run alone — content, order, and probabilities.
+  const Dataset global = generateSynthetic(
+      SyntheticSpec{2000, 3, ValueDistribution::kAnticorrelated, 2260});
+  InProcCluster shared(global, 6, 2261);
+  InProcCluster reference(global, 6, 2261);
+
+  QueryConfig q03, q05, q07;
+  q03.q = 0.3;
+  q05.q = 0.5;
+  q07.q = 0.7;
+  const QueryResult ref03 = reference.engine().runEdsud(q03);
+  const QueryResult ref05 = reference.engine().runEdsud(q05);
+  const QueryResult ref07 = reference.engine().runEdsud(q07);
+
+  QueryOptions batching;
+  batching.batching.enabled = true;
+  batching.batching.windowSeconds = 0.05;
+
+  QueryEngine engine(shared.coordinator(), 4);
+  QueryTicket t07 = engine.submitBatched(Algo::kEdsud, q07, batching);
+  QueryTicket t03 = engine.submitBatched(Algo::kEdsud, q03, batching);
+  QueryTicket t05 = engine.submitBatched(Algo::kEdsud, q05, batching);
+
+  const QueryResult got07 = t07.get();
+  const QueryResult got03 = t03.get();
+  const QueryResult got05 = t05.get();
+
+  expectSameAnswer(got03, ref03);
+  expectSameAnswer(got05, ref05);
+  expectSameAnswer(got07, ref07);
+
+  EXPECT_EQ(engine.inFlight(), 0u);
+  expectIdle(shared);
+}
+
 TEST(ConcurrentQueriesTest, TransportCountersMatchSummedSessionUsage) {
   // Frame/byte accounting under concurrency: the per-site wire counters must
   // equal the sum of the per-session QueryUsage totals — every byte belongs

@@ -230,10 +230,12 @@ TEST(ProtocolTest, ApplyInsertRoundTrip) {
   msg.localSkyProb = 0.5;
   msg.globalUpperBound = 0.25;
   msg.dominatedReplica = {1, 2, 3};
+  msg.datasetVersion = 41;
   const auto out = reencode(msg);
   EXPECT_EQ(out.localSkyProb, 0.5);
   EXPECT_EQ(out.globalUpperBound, 0.25);
   EXPECT_EQ(out.dominatedReplica, (std::vector<TupleId>{1, 2, 3}));
+  EXPECT_EQ(out.datasetVersion, 41u);
 }
 
 TEST(ProtocolTest, ApplyDeleteRoundTrip) {
@@ -247,9 +249,11 @@ TEST(ProtocolTest, ApplyDeleteRoundTrip) {
   ApplyDeleteResponse resp;
   resp.existed = true;
   resp.prob = 0.75;
+  resp.datasetVersion = 7;
   const auto respOut = reencode(resp);
   EXPECT_TRUE(respOut.existed);
   EXPECT_EQ(respOut.prob, 0.75);
+  EXPECT_EQ(respOut.datasetVersion, 7u);
 }
 
 TEST(ProtocolTest, RepairDeleteRoundTrip) {

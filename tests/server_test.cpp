@@ -32,7 +32,14 @@ namespace {
 class ServerFixture {
  public:
   explicit ServerFixture(ServerConfig config = {}, std::size_t n = 4000,
-                         std::size_t dims = 3) {
+                         std::size_t dims = 3, bool shareWork = false) {
+    // Most tests compare server stats strictly against direct engine runs,
+    // which the sharing layer deliberately changes (a cache hit ships
+    // nothing).  Keep it off unless a test opts in.
+    if (!shareWork) {
+      config.cacheCapacity = 0;
+      config.batching.enabled = false;
+    }
     SyntheticSpec spec;
     spec.n = n;
     spec.dims = dims;
@@ -518,6 +525,76 @@ TEST(ServerTest, HealthzAndMetricsEndpoints) {
   const auto [notAllowed, naBody] =
       httpGet(http, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
   EXPECT_NE(notAllowed.find("405"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Shared work: result cache + batch executor over the wire
+
+TEST(ServerTest, SharedWorkServesCachedAnswersBitIdenticalForFree) {
+  ServerConfig config;
+  config.batching.enabled = true;
+  config.batching.windowSeconds = 0.02;
+  ServerFixture fx(config, 2000, 3, /*shareWork=*/true);
+
+  // Warm the shared cache through the engine directly; the same run defines
+  // the reference answers every cached reply must match bit-for-bit.
+  QueryConfig warm;
+  warm.q = 0.3;
+  const QueryResult reference = fx.engine().runEdsud(warm);
+  ASSERT_FALSE(reference.skyline.empty());
+
+  constexpr std::size_t kClients = 16;
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<Client>(fx.server().port()));
+  }
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients[i]->send(R"({"op":"query","id":"s)" + std::to_string(i) +
+                     R"(","algo":"edsud","q":0.3})");
+  }
+  for (std::size_t i = 0; i < kClients; ++i) {
+    const QueryOutcome out = collect(*clients[i], "s" + std::to_string(i));
+    ASSERT_FALSE(out.failed) << out.error.message;
+    ASSERT_EQ(out.answers.size(), reference.skyline.size());
+    for (std::size_t j = 0; j < out.answers.size(); ++j) {
+      EXPECT_EQ(out.answers[j].entry, reference.skyline[j]) << "answer " << j;
+    }
+    // Every burst query resolved from the cache: the sites were not asked
+    // for a single tuple, yet the stream is indistinguishable in content.
+    EXPECT_EQ(out.done.stats.tuplesShipped, 0u);
+    EXPECT_EQ(out.done.stats.roundTrips, 0u);
+  }
+
+  // The sharing layer's counters are on the one metrics page, lint-clean,
+  // and record the burst: one miss from the warm run, a hit per client.
+  const auto [status, body] = httpGet(
+      fx.server().httpPort(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(status.find("200"), std::string::npos);
+  promtest::PromExposition parsed;
+  std::vector<std::string> errors;
+  promtest::parsePrometheus(body, parsed, errors);
+  for (const std::string& error : errors) ADD_FAILURE() << error;
+  for (const std::string& error : promtest::lintExposition(body)) {
+    ADD_FAILURE() << error;
+  }
+  std::map<std::string, double> counters;
+  for (const auto& sample : parsed.samples) {
+    if (sample.suffix.empty()) counters[sample.family] = sample.value;
+  }
+  ASSERT_TRUE(counters.count("dsud_cache_hits_total"));
+  ASSERT_TRUE(counters.count("dsud_cache_misses_total"));
+  ASSERT_TRUE(counters.count("dsud_batch_merged_total"));
+  ASSERT_TRUE(counters.count("dsud_batch_flushes_total"));
+  // One hit resolves a whole batch group, so hits counts groups and merged
+  // counts the members that rode along: together they account for every
+  // client in the burst.
+  EXPECT_GE(counters["dsud_cache_hits_total"], 1.0);
+  EXPECT_EQ(counters["dsud_cache_hits_total"] +
+                counters["dsud_batch_merged_total"],
+            static_cast<double>(kClients));
+  EXPECT_GE(counters["dsud_cache_misses_total"], 1.0);
+  EXPECT_GE(counters["dsud_batch_flushes_total"], 1.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,95 @@
+// SkylineSpec value semantics: operator==, std::hash, and compatibleWith —
+// the predicates the result cache and batch executor key on.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "geometry/rect.hpp"
+#include "skyline/spec.hpp"
+
+namespace dsud {
+namespace {
+
+Rect box(double lo0, double hi0, double lo1, double hi1) {
+  Rect r(2);
+  const double lo[2] = {lo0, lo1};
+  const double hi[2] = {hi0, hi1};
+  r.expand(lo);
+  r.expand(hi);
+  return r;
+}
+
+TEST(SpecTest, EqualityComparesFields) {
+  EXPECT_EQ(SkylineSpec{}, SkylineSpec{});
+  EXPECT_EQ((SkylineSpec{.mask = 0b011, .q = 0.3}),
+            (SkylineSpec{.mask = 0b011, .q = 0.3}));
+  EXPECT_NE((SkylineSpec{.mask = 0b011, .q = 0.3}),
+            (SkylineSpec{.mask = 0b111, .q = 0.3}));
+  EXPECT_NE((SkylineSpec{.q = 0.3}), (SkylineSpec{.q = 0.5}));
+}
+
+TEST(SpecTest, ClipComparesByValueNotPointer) {
+  const Rect a = box(0.0, 1.0, 0.0, 1.0);
+  const Rect sameAsA = box(0.0, 1.0, 0.0, 1.0);
+  const Rect different = box(0.0, 2.0, 0.0, 1.0);
+
+  // Two specs built independently for the same window must compare equal.
+  EXPECT_EQ((SkylineSpec{.q = 0.3, .clip = &a}),
+            (SkylineSpec{.q = 0.3, .clip = &sameAsA}));
+  EXPECT_NE((SkylineSpec{.q = 0.3, .clip = &a}),
+            (SkylineSpec{.q = 0.3, .clip = &different}));
+  // Null clip is its own state, not "any window".
+  EXPECT_NE((SkylineSpec{.q = 0.3, .clip = &a}), (SkylineSpec{.q = 0.3}));
+}
+
+TEST(SpecTest, HashIsConsistentWithEquality) {
+  const Rect a = box(0.0, 1.0, 0.0, 1.0);
+  const Rect sameAsA = box(0.0, 1.0, 0.0, 1.0);
+  const std::hash<SkylineSpec> hash;
+
+  EXPECT_EQ(hash(SkylineSpec{.mask = 0b011, .q = 0.3}),
+            hash(SkylineSpec{.mask = 0b011, .q = 0.3}));
+  EXPECT_EQ(hash(SkylineSpec{.q = 0.3, .clip = &a}),
+            hash(SkylineSpec{.q = 0.3, .clip = &sameAsA}));
+  // Zero threshold hashes like negative zero (both compare equal).
+  EXPECT_EQ(hash(SkylineSpec{.q = 0.0}), hash(SkylineSpec{.q = -0.0}));
+
+  // Unequal specs should (overwhelmingly) hash apart; spot-check the fields
+  // that feed the mix.
+  EXPECT_NE(hash(SkylineSpec{.q = 0.3}), hash(SkylineSpec{.q = 0.5}));
+  EXPECT_NE(hash(SkylineSpec{.mask = 0b011}), hash(SkylineSpec{.mask = 0b101}));
+}
+
+TEST(SpecTest, WorksAsUnorderedSetKey) {
+  const Rect a = box(0.0, 1.0, 0.0, 1.0);
+  const Rect sameAsA = box(0.0, 1.0, 0.0, 1.0);
+  std::unordered_set<SkylineSpec> seen;
+  seen.insert(SkylineSpec{.q = 0.3});
+  seen.insert(SkylineSpec{.q = 0.3});  // duplicate
+  seen.insert(SkylineSpec{.q = 0.3, .clip = &a});
+  seen.insert(SkylineSpec{.q = 0.3, .clip = &sameAsA});  // value-duplicate
+  seen.insert(SkylineSpec{.q = 0.5});
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(SpecTest, CompatibleIgnoresThresholdOnly) {
+  const Rect a = box(0.0, 1.0, 0.0, 1.0);
+  const Rect sameAsA = box(0.0, 1.0, 0.0, 1.0);
+  const Rect different = box(0.0, 2.0, 0.0, 1.0);
+
+  const SkylineSpec loose{.mask = 0b011, .q = 0.1, .clip = &a};
+  const SkylineSpec tight{.mask = 0b011, .q = 0.9, .clip = &sameAsA};
+  EXPECT_TRUE(loose.compatibleWith(tight));
+  EXPECT_TRUE(tight.compatibleWith(loose));
+
+  // Any difference in the candidate universe breaks compatibility.
+  EXPECT_FALSE(loose.compatibleWith(
+      SkylineSpec{.mask = 0b111, .q = 0.1, .clip = &a}));
+  EXPECT_FALSE(loose.compatibleWith(
+      SkylineSpec{.mask = 0b011, .q = 0.1, .clip = &different}));
+  EXPECT_FALSE(loose.compatibleWith(SkylineSpec{.mask = 0b011, .q = 0.1}));
+  EXPECT_TRUE(SkylineSpec{.q = 0.1}.compatibleWith(SkylineSpec{.q = 0.9}));
+}
+
+}  // namespace
+}  // namespace dsud

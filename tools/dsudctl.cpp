@@ -13,6 +13,7 @@
 //                    [--mask=0] [--limit=20] [--deadline-ms=0] [--retries=0]
 //                    [--on-failure=fail|degrade] [--tenant=default]
 //                    [--priority=high|normal|low] [--id=q1]
+//                    [--repeat=1] [--mix=<file>]
 //   dsudctl convert  --in=data.bin --out=data.csv
 //   dsudctl metrics  --in=data.bin [--algo=edsud|dsud|naive] [--m=10]
 //                    [--q=0.3] [--k=0] [--seed=1] [--format=prom|json]
@@ -52,11 +53,20 @@
 // result, 2 on any protocol `error` (including load shedding, whose
 // retry-after hint is printed).
 //
+// Load bursts (connect mode only): --repeat=N pipelines N copies of the
+// flag-built query on one connection with suffixed ids (`q1#1` ... `q1#N`)
+// and prints one aggregate summary — the natural way to exercise the
+// daemon's shared-work batching window.  --mix=<file> reads one JSON query
+// request per line (the wire format of docs/PROTOCOL.md; blank lines and
+// `#` comments skipped) and sends the whole mix, N rounds with --repeat.
+// Exit code is the worst outcome across the burst.
+//
 // Files use the binary format of common/io.hpp unless the extension is
 // .csv.  Exit code 0 on success, 1 on usage errors, 2 on runtime errors,
 // 3 when the query completed degraded (one or more sites excluded).
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -222,6 +232,103 @@ void writeAll(const Socket& socket, const std::string& text) {
   }
 }
 
+/// `query --connect --repeat/--mix`: pipeline a whole burst of queries on
+/// one connection and report one aggregate summary.  `requests` already
+/// carries unique ids.
+int runQueryBurst(const ArgParser& args,
+                  const std::vector<dsud::server::QueryRequest>& requests) {
+  namespace srv = dsud::server;
+
+  const auto port = static_cast<std::uint16_t>(args.getInt("connect", 0));
+  const Socket socket = connectTo(port, std::chrono::milliseconds{2000});
+
+  std::string outbound;
+  for (const srv::QueryRequest& request : requests) {
+    outbound += srv::encodeRequest(request);
+    outbound += '\n';
+  }
+  const auto start = std::chrono::steady_clock::now();
+  writeAll(socket, outbound);
+
+  std::string buffer;
+  std::string line;
+  std::size_t pending = requests.size();
+  std::size_t ok = 0;
+  std::size_t degraded = 0;
+  std::size_t errors = 0;
+  std::uint64_t answers = 0;
+  std::uint64_t shipped = 0;
+  while (pending > 0 && readLine(socket, buffer, line)) {
+    if (line.empty()) continue;
+    const srv::Response response = srv::decodeResponse(line);
+    if (const auto* done = std::get_if<srv::DoneResponse>(&response)) {
+      done->degraded ? ++degraded : ++ok;
+      answers += done->answers;
+      shipped += done->stats.tuplesShipped;
+      --pending;
+    } else if (const auto* error = std::get_if<srv::ErrorResponse>(&response)) {
+      if (++errors <= 3) {  // show the first few, count the rest
+        std::fprintf(stderr, "query %s failed: %s: %s\n", error->id.c_str(),
+                     srv::errorCodeName(error->code), error->message.c_str());
+      }
+      --pending;
+    }
+    // acks and streamed answers only advance the burst; `done` carries the
+    // authoritative answer count either way.
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (pending > 0) {
+    std::fprintf(stderr,
+                 "query: connection closed with %zu queries outstanding\n",
+                 pending);
+    return 2;
+  }
+  std::printf(
+      "%zu queries: %zu ok, %zu degraded, %zu errors; %llu answers, "
+      "%llu tuples shipped; %.1f ms wall (%.0f queries/s)\n",
+      requests.size(), ok, degraded, errors,
+      static_cast<unsigned long long>(answers),
+      static_cast<unsigned long long>(shipped), seconds * 1e3,
+      seconds > 0 ? static_cast<double>(requests.size()) / seconds : 0.0);
+  if (errors > 0) return 2;
+  if (degraded > 0) return 3;
+  return 0;
+}
+
+/// Reads one query request per line from a --mix file (wire format of
+/// docs/PROTOCOL.md; blank lines and `#` comments skipped).
+std::vector<dsud::server::QueryRequest> loadMix(const std::string& path) {
+  namespace srv = dsud::server;
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("query: cannot read --mix=" + path);
+  std::vector<srv::QueryRequest> mix;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(file, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    srv::Request parsed;
+    try {
+      parsed = srv::decodeRequest(line);
+    } catch (const srv::ProtoError& error) {
+      throw std::runtime_error("query: " + path + ":" +
+                               std::to_string(lineNo) + ": " + error.what());
+    }
+    auto* query = std::get_if<srv::QueryRequest>(&parsed);
+    if (query == nullptr) {
+      throw std::runtime_error("query: " + path + ":" +
+                               std::to_string(lineNo) + ": not a query op");
+    }
+    mix.push_back(std::move(*query));
+  }
+  if (mix.empty()) {
+    throw std::runtime_error("query: --mix=" + path + " holds no queries");
+  }
+  return mix;
+}
+
 /// `query --connect=<port>`: run the query through a dsudd daemon instead
 /// of a local cluster.
 int cmdQueryConnect(const ArgParser& args) {
@@ -265,6 +372,31 @@ int cmdQueryConnect(const ArgParser& args) {
     return 1;
   }
   request.limit = static_cast<std::uint64_t>(args.getInt("limit", 20));
+
+  const auto repeat =
+      static_cast<std::size_t>(std::max<std::int64_t>(args.getInt("repeat", 1), 1));
+  const std::string mixPath = args.get("mix", "");
+  if (repeat > 1 || !mixPath.empty()) {
+    std::vector<srv::QueryRequest> round;
+    if (!mixPath.empty()) {
+      round = loadMix(mixPath);
+    } else {
+      srv::QueryRequest base = request;
+      base.progressive = false;  // burst mode reports aggregates only
+      round.push_back(std::move(base));
+    }
+    std::vector<srv::QueryRequest> burst;
+    burst.reserve(round.size() * repeat);
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (const srv::QueryRequest& each : round) {
+        srv::QueryRequest copy = each;
+        copy.id = (copy.id.empty() ? request.id : copy.id) + "#" +
+                  std::to_string(burst.size() + 1);
+        burst.push_back(std::move(copy));
+      }
+    }
+    return runQueryBurst(args, burst);
+  }
 
   const auto port = static_cast<std::uint16_t>(args.getInt("connect", 0));
   const Socket socket = connectTo(port, std::chrono::milliseconds{2000});

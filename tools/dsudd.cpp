@@ -6,6 +6,7 @@
 //         [--max-inflight=64] [--max-queued=256]
 //         [--rate=0] [--burst=32] [--breaker-shed=0.5]
 //         [--drain-ms=5000] [--port-file=<path>]
+//         [--cache-capacity=256] [--batch-window-ms=0]
 //
 // Hosts one in-process cluster (loaded from --in, or synthetic when absent)
 // behind a persistent coordinator: any number of clients connect to the
@@ -22,6 +23,12 @@
 // outright once that fraction of site circuit breakers is open.  Beyond
 // every limit the server answers `overloaded`/`unavailable` with a
 // retry-after hint — explicit load shedding, never an unbounded queue.
+//
+// Shared work: --cache-capacity sizes the global-skyline result cache
+// (entries; 0 disables) and --batch-window-ms opens a shared-work batching
+// window — concurrent compatible queries merge into one site-side descent
+// (0, the default, keeps every query a private session).  Both layers are
+// answer-preserving: responses stay bit-identical to solo runs.
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight
 // queries within --drain-ms, then cancel stragglers.  A second signal
@@ -110,6 +117,13 @@ int run(const ArgParser& args) {
   config.admission.defaultQuota.ratePerSec = args.getDouble("rate", 0.0);
   config.admission.defaultQuota.burst = args.getDouble("burst", 32.0);
   config.admission.breakerShedFraction = args.getDouble("breaker-shed", 0.5);
+  config.cacheCapacity =
+      static_cast<std::size_t>(args.getInt("cache-capacity", 256));
+  const double batchWindowMs = args.getDouble("batch-window-ms", 0.0);
+  if (batchWindowMs > 0.0) {
+    config.batching.enabled = true;
+    config.batching.windowSeconds = batchWindowMs / 1e3;
+  }
 
   server::QueryServer server(cluster.engine(), cluster.metricsRegistry(),
                              config);
