@@ -45,7 +45,7 @@ void runPanel(const Scale& scale, ValueDistribution dist) {
       double broadcasts = 0.0;
       double expunged = 0.0;
       for (std::size_t r = 0; r < scale.repeats; ++r) {
-        InProcCluster cluster(global, scale.m, scale.seed + r * 7919);
+        InProcCluster cluster(Topology::uniform(global, scale.m, scale.seed + r * 7919));
         const QueryResult result = cluster.engine().runEdsud(config);
         tuples += static_cast<double>(result.stats.tuplesShipped);
         broadcasts += static_cast<double>(result.stats.broadcasts);

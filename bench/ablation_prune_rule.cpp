@@ -27,7 +27,7 @@ Outcome measure(const Dataset& global, const Scale& scale, PruneRule rule,
 
   Outcome o;
   for (std::size_t r = 0; r < scale.repeats; ++r) {
-    InProcCluster cluster(global, scale.m, scale.seed + r * 7919);
+    InProcCluster cluster(Topology::uniform(global, scale.m, scale.seed + r * 7919));
     const QueryResult result = cluster.engine().runEdsud(config);
     o.tuples += static_cast<double>(result.stats.tuplesShipped);
     o.reported += static_cast<double>(result.skyline.size());

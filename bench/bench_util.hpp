@@ -96,7 +96,10 @@ inline Point averagePoint(const Dataset& global, std::size_t m,
                           const QueryConfig& config, std::uint64_t seed) {
   Point p;
   for (std::size_t r = 0; r < repeats; ++r) {
-    InProcCluster cluster(global, m, seed + r * 7919, {}, &metricsRegistry());
+    ClusterConfig clusterConfig;
+    clusterConfig.metrics = &metricsRegistry();
+    InProcCluster cluster(Topology::uniform(global, m, seed + r * 7919),
+                          clusterConfig);
     const QueryResult result = runAlgo(cluster.engine(), algo, config);
     p.tuples += static_cast<double>(result.stats.tuplesShipped);
     p.seconds += result.stats.seconds;

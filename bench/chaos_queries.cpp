@@ -53,7 +53,7 @@ FaultPoint sweepAlgo(const Dataset& global, const Scale& scale, Algo algo,
                                .errorRate = faultRate / 2,
                                .seed = scale.seed + r * 31};
     }
-    InProcCluster cluster(global, scale.m, scale.seed + r * 7919, config);
+    InProcCluster cluster(Topology::uniform(global, scale.m, scale.seed + r * 7919), config);
     try {
       const QueryResult result =
           cluster.engine().run(algo, QueryConfig{.q = scale.q}, options);
@@ -112,7 +112,7 @@ int main() {
           .killAfter = 1,
           .onlySite = static_cast<SiteId>(r % scale.m),
           .seed = scale.seed + r * 31};
-      InProcCluster cluster(global, scale.m, scale.seed + r * 7919, config);
+      InProcCluster cluster(Topology::uniform(global, scale.m, scale.seed + r * 7919), config);
       try {
         const QueryResult result =
             cluster.engine().run(algo, QueryConfig{.q = scale.q}, options);

@@ -39,7 +39,7 @@ void constrainedPanel(const Scale& scale) {
     window.expand(hi);
     config.window = window;
 
-    InProcCluster cluster(global, scale.m, scale.seed);
+    InProcCluster cluster(Topology::uniform(global, scale.m, scale.seed));
     const QueryResult result = cluster.engine().runEdsud(config);
     printRow(std::string(w.name),
              static_cast<double>(result.stats.tuplesShipped),
@@ -53,7 +53,7 @@ void topkPanel(const Scale& scale) {
 
   const Dataset global = generateSynthetic(SyntheticSpec{
       scale.n, 3, ValueDistribution::kAnticorrelated, scale.seed + 171});
-  InProcCluster cluster(global, scale.m, scale.seed);
+  InProcCluster cluster(Topology::uniform(global, scale.m, scale.seed));
 
   QueryConfig floorConfig;
   floorConfig.q = 0.05;
@@ -104,8 +104,8 @@ void skewPanel(const Scale& scale) {
 
   const auto measure = [&](const std::vector<Dataset>& sites,
                            const std::string& name) {
-    InProcCluster dsudCluster(sites);
-    InProcCluster edsudCluster(sites);
+    InProcCluster dsudCluster(Topology::fromPartitions(sites));
+    InProcCluster edsudCluster(Topology::fromPartitions(sites));
     QueryConfig config;
     config.q = scale.q;
     const QueryResult dsud = dsudCluster.engine().runDsud(config);

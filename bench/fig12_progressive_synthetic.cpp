@@ -43,7 +43,7 @@ void runPanel(const Scale& scale, ValueDistribution dist) {
   QueryConfig config;
   config.q = scale.q;
 
-  InProcCluster cluster(global, scale.m, scale.seed + 121);
+  InProcCluster cluster(Topology::uniform(global, scale.m, scale.seed + 121));
   const QueryResult dsud = cluster.engine().runDsud(config);
   const QueryResult edsud = cluster.engine().runEdsud(config);
   printCurves(dsud, edsud);

@@ -43,7 +43,7 @@ void runPanel(const Scale& scale, const ProbSampler& probs,
   QueryConfig config;
   config.q = scale.q;
 
-  InProcCluster cluster(trace, scale.m, scale.seed + 131);
+  InProcCluster cluster(Topology::uniform(trace, scale.m, scale.seed + 131));
   const QueryResult dsud = cluster.engine().runDsud(config);
   const QueryResult edsud = cluster.engine().runEdsud(config);
   printCurves(dsud, edsud);

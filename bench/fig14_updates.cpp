@@ -100,7 +100,7 @@ void runPanel(const Scale& scale, const UpdScale& upd,
         MaintenanceStrategy::kIncremental,
         MaintenanceStrategy::kNaiveRecompute};
     for (int s = 0; s < 2; ++s) {
-      InProcCluster cluster(siteData);
+      InProcCluster cluster(Topology::fromPartitions(siteData));
       SkylineMaintainer maintainer(cluster.coordinator(), config,
                                    strategies[s]);
       maintainer.initialize();

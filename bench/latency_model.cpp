@@ -64,7 +64,7 @@ int main() {
                "pipe@10ms s"});
 
   for (const Algo algo : {Algo::kNaive, Algo::kDsud, Algo::kEdsud}) {
-    InProcCluster cluster(global, scale.m, scale.seed);
+    InProcCluster cluster(Topology::uniform(global, scale.m, scale.seed));
     QueryConfig config;
     config.q = scale.q;
     const Model model = measure(cluster.engine(), algo, config, scale.m);
@@ -79,7 +79,7 @@ int main() {
   {
     int i = 0;
     for (const Algo algo : {Algo::kNaive, Algo::kDsud, Algo::kEdsud}) {
-      InProcCluster cluster(global, scale.m, scale.seed);
+      InProcCluster cluster(Topology::uniform(global, scale.m, scale.seed));
       QueryConfig config;
       config.q = scale.q;
       rounds[i++] =

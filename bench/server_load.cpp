@@ -528,8 +528,12 @@ int main() {
   spec.dims = 3;
   spec.dist = ValueDistribution::kAnticorrelated;
   spec.seed = scale.seed;
-  InProcCluster cluster(generateSynthetic(spec, uniformProbability()), scale.m,
-                        scale.seed, {}, &metricsRegistry());
+  ClusterConfig clusterConfig;
+  clusterConfig.metrics = &metricsRegistry();
+  InProcCluster cluster(
+      Topology::uniform(generateSynthetic(spec, uniformProbability()),
+                        scale.m, scale.seed),
+      clusterConfig);
 
   server::ServerConfig config;
   config.admission.maxInFlight = scale.maxInFlight;

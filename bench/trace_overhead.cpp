@@ -35,7 +35,7 @@ double meanSeconds(const Dataset& global, std::size_t m, std::size_t repeats,
   options.siteTrace = mode.siteTrace;
   double seconds = 0.0;
   for (std::size_t r = 0; r < repeats; ++r) {
-    InProcCluster cluster(global, m, seed + r * 7919, {}, &metricsRegistry());
+    InProcCluster cluster(Topology::uniform(global, m, seed + r * 7919), ClusterConfig{.metrics = &metricsRegistry()});
     const QueryResult result = runAlgo(cluster.engine(), algo, config, options);
     seconds += result.stats.seconds;
     *spans = result.trace.events.size();

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
               "distance, noise) across %zu booking sites\n\n",
               spec.n, m);
   const Dataset global = generateSynthetic(spec);
-  InProcCluster cluster(global, m, spec.seed + 1);
+  InProcCluster cluster(Topology::uniform(global, m, spec.seed + 1));
 
   // --- Full-space threshold query -------------------------------------------
   QueryConfig config;

@@ -63,7 +63,7 @@ int main() {
   std::printf("Hotel booking system: 3 cities, attributes "
               "(price, distance to beach), q = 0.3\n\n");
 
-  InProcCluster cluster(hotelSites());
+  InProcCluster cluster(Topology::fromPartitions(hotelSites()));
   QueryConfig config;
   config.q = 0.3;
   config.expunge = ExpungePolicy::kPark;  // the paper's Sec. 5.3 schedule

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   const Dataset global = generateSynthetic(spec);
 
   std::printf("partitioning onto %zu sites and indexing...\n", m);
-  InProcCluster cluster(global, m, spec.seed + 1);
+  InProcCluster cluster(Topology::uniform(global, m, spec.seed + 1));
 
   std::printf("running e-DSUD with threshold q = %.2f\n\n", config.q);
   QueryOptions options;

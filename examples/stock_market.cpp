@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
               "exchange centres...\n",
               spec.n, m);
   const Dataset deals = generateNyse(spec);
-  InProcCluster cluster(deals, m, spec.seed + 1);
+  InProcCluster cluster(Topology::uniform(deals, m, spec.seed + 1));
 
   // --- Threshold sweep ------------------------------------------------------
   std::printf("\n%-6s %10s %14s %14s\n", "q", "|SKY|", "tuples", "ms");

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  InProcCluster cluster(siteData);
+  InProcCluster cluster(Topology::fromPartitions(siteData));
   QueryConfig config;
   config.q = args.getDouble("q", 0.3);
   std::printf("monitoring %zu exchanges, window %zu deals each, q = %.2f\n",

@@ -10,7 +10,21 @@ namespace dsud {
 LocalSite::LocalSite(SiteId id, const Dataset& db, PRTree::Options options)
     : id_(id),
       tree_(PRTree::bulkLoad(db, options)),
-      fullMask_(fullMask(db.dims())) {}
+      fullMask_(fullMask(db.dims())),
+      treeOptions_(options) {}
+
+LocalSite::LocalSite(SiteId id, std::size_t dims, PRTree::Options options)
+    : id_(id),
+      tree_(dims, options),
+      fullMask_(fullMask(dims)),
+      treeOptions_(options),
+      phase_(Phase::kStaging),
+      staging_(std::make_unique<Dataset>(dims)) {}
+
+LocalSite::Phase LocalSite::phase() const {
+  std::lock_guard lock(mutex_);
+  return phase_;
+}
 
 void LocalSite::setMetrics(obs::MetricsRegistry* registry) {
   std::lock_guard lock(mutex_);
@@ -63,6 +77,16 @@ PrepareResponse LocalSite::prepare(const PrepareRequest& request) {
   }
 
   std::lock_guard lock(mutex_);
+  if (phase_ == Phase::kStaging) {
+    // Not a transport fault: routing a query to a half-seeded store is a
+    // topology bug, so fail loudly instead of retrying.  A kDraining store
+    // still serves prepares: its tree holds the retired epoch's full
+    // partition, and any session that reaches it pinned that epoch's view
+    // before the store was drained (MVCC — old versions stay readable
+    // until the last reader lets go).
+    throw std::logic_error(
+        "LocalSite::prepare: store is staging (not yet joined)");
+  }
   Session session;
   session.q = request.q;
   session.mask = request.mask == 0 ? fullMask_ : request.mask;
@@ -268,6 +292,59 @@ std::size_t LocalSite::sessionCount() const {
 std::vector<LocalSite::ReplicaEntry> LocalSite::replica() const {
   std::lock_guard lock(mutex_);
   return replica_;
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership
+
+StreamTuplesResponse LocalSite::streamTuples(
+    const StreamTuplesRequest& request) {
+  if (request.partition != id_) {
+    throw std::invalid_argument(
+        "LocalSite::streamTuples: partition mismatch (store " +
+        std::to_string(id_) + ", request " +
+        std::to_string(request.partition) + ")");
+  }
+  std::lock_guard lock(mutex_);
+  if (phase_ != Phase::kStaging || staging_ == nullptr) {
+    throw std::logic_error(
+        "LocalSite::streamTuples: store is not staging");
+  }
+  // Replay protection: batches arrive strictly ordered (the RPC layer never
+  // pipelines), so a seq at or below the last applied one is a retried
+  // delivery — ack with the current size instead of appending twice.
+  if (request.seq == 0 || request.seq > lastStreamSeq_) {
+    for (const Tuple& t : request.tuples) {
+      if (t.values.size() != staging_->dims()) {
+        throw std::invalid_argument(
+            "LocalSite::streamTuples: bad dimensionality");
+      }
+      staging_->add(t);
+    }
+    if (request.seq != 0) lastStreamSeq_ = request.seq;
+  }
+  return StreamTuplesResponse{staging_->size()};
+}
+
+JoinSiteResponse LocalSite::joinSite(const JoinSiteRequest&) {
+  std::lock_guard lock(mutex_);
+  if (phase_ == Phase::kStaging) {
+    // The seal: one STR bulk load over the streamed tuples — the same build
+    // a live-constructed store gets, so query answers are bit-identical to
+    // a from-scratch site over the same data.
+    tree_ = PRTree::bulkLoad(*staging_, treeOptions_);
+    staging_.reset();
+    phase_ = Phase::kLive;
+    flushedAccesses_ = tree_.nodeAccesses();
+  }
+  return JoinSiteResponse{tree_.size()};
+}
+
+LeaveSiteResponse LocalSite::leaveSite(const LeaveSiteRequest&) {
+  std::lock_guard lock(mutex_);
+  phase_ = Phase::kDraining;
+  staging_.reset();
+  return LeaveSiteResponse{sessions_.size()};
 }
 
 // ---------------------------------------------------------------------------
@@ -505,6 +582,21 @@ Frame SiteServer::handle(const Frame& request) {
       r.expectEnd();
       site_->replicaRemove(msg);
       return toResponseFrame(AckResponse{});
+    }
+    case MsgType::kStreamTuples: {
+      const auto msg = StreamTuplesRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->streamTuples(msg));
+    }
+    case MsgType::kJoinSite: {
+      const auto msg = JoinSiteRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->joinSite(msg));
+    }
+    case MsgType::kLeaveSite: {
+      const auto msg = LeaveSiteRequest::decode(r);
+      r.expectEnd();
+      return toResponseFrame(site_->leaveSite(msg));
     }
   }
   throw SerializeError("SiteServer: unknown message type");

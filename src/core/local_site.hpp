@@ -33,8 +33,24 @@ namespace dsud {
 /// while no query is in flight (see docs/ARCHITECTURE.md §9).
 class LocalSite {
  public:
-  /// Builds the PR-tree over `db` by STR bulk load.
+  /// Builds the PR-tree over `db` by STR bulk load.  The store is live
+  /// (serving queries) immediately.
   LocalSite(SiteId id, const Dataset& db, PRTree::Options options = {});
+
+  /// Staging store for an online join/repartition: starts empty and
+  /// query-rejecting; tuples arrive via streamTuples and joinSite seals it
+  /// with the same STR bulk load as the live constructor — a store built by
+  /// streaming is bit-identical to one built from the assembled dataset.
+  LocalSite(SiteId id, std::size_t dims, PRTree::Options options = {});
+
+  /// Lifecycle of a store under elastic membership.  kStaging rejects
+  /// queries (data still streaming in); kLive serves everything; kDraining
+  /// keeps serving — its tree holds the retired epoch's full partition —
+  /// so sessions that pinned that epoch's view finish correctly even if
+  /// they prepare after the drain.  The store dies when the last pinned
+  /// view drops its shared_ptr.
+  enum class Phase : std::uint8_t { kStaging, kLive, kDraining };
+  Phase phase() const;
 
   SiteId id() const noexcept { return id_; }
   std::size_t size() const noexcept { return tree_.size(); }
@@ -87,6 +103,23 @@ class LocalSite {
   /// tracer — the piggyback trailer SiteServer appends to query responses.
   /// nullopt when the session doesn't exist or doesn't piggyback.
   std::optional<obs::QueryTrace> takePiggybackDelta(QueryId query);
+
+  // --- Elastic membership (online join / leave) ----------------------------
+
+  /// Appends one ordered batch to the staging dataset.  Replay-protected by
+  /// `seq` (a repeated or stale seq acks without appending — batch append is
+  /// not idempotent).  Throws std::logic_error on a live store and
+  /// std::invalid_argument on a partition/dimensionality mismatch.
+  StreamTuplesResponse streamTuples(const StreamTuplesRequest& request);
+
+  /// Seals a staging store: one STR bulk load over everything streamed, then
+  /// the store is live.  Idempotent — joining a live store just acks.
+  JoinSiteResponse joinSite(const JoinSiteRequest& request);
+
+  /// Marks the store draining: the cluster has retired it from routing, but
+  /// it keeps serving sessions pinned to the retired epoch until the last
+  /// pinned view releases it.  Idempotent.
+  LeaveSiteResponse leaveSite(const LeaveSiteRequest& request);
 
   // --- Update maintenance (Sec. 5.4) ---------------------------------------
 
@@ -170,6 +203,11 @@ class LocalSite {
   SiteId id_;
   PRTree tree_;
   DimMask fullMask_;
+  PRTree::Options treeOptions_;  ///< for the joinSite seal
+  Phase phase_ = Phase::kLive;
+  /// Streamed tuples awaiting the seal (non-null only while kStaging).
+  std::unique_ptr<Dataset> staging_;
+  std::uint64_t lastStreamSeq_ = 0;  ///< replay cache: kStreamTuples
 
   mutable std::mutex mutex_;  // guards sessions_, replica_, tree_ walks
   std::unordered_map<QueryId, Session> sessions_;

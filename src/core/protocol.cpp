@@ -1,5 +1,7 @@
 #include "core/protocol.hpp"
 
+#include <algorithm>
+
 namespace dsud {
 
 void encodeTuple(ByteWriter& w, const Tuple& t) {
@@ -320,6 +322,66 @@ void ReplicaRemoveRequest::encode(ByteWriter& w) const { w.putU64(id); }
 ReplicaRemoveRequest ReplicaRemoveRequest::decode(ByteReader& r) {
   ReplicaRemoveRequest msg;
   msg.id = r.getU64();
+  return msg;
+}
+
+void StreamTuplesRequest::encode(ByteWriter& w) const {
+  w.putU32(partition);
+  w.putU64(seq);
+  w.putU32(static_cast<std::uint32_t>(tuples.size()));
+  for (const Tuple& t : tuples) encodeTuple(w, t);
+}
+
+StreamTuplesRequest StreamTuplesRequest::decode(ByteReader& r) {
+  StreamTuplesRequest msg;
+  msg.partition = r.getU32();
+  msg.seq = r.getU64();
+  const std::uint32_t n = r.getU32();
+  // Server-decoded from untrusted frames: bound the reserve by what the
+  // buffer could possibly hold (a tuple costs >= 20 bytes on the wire) so a
+  // garbage count fails on the reader's bounds check, not on an allocation.
+  msg.tuples.reserve(std::min<std::size_t>(n, r.remaining() / 20));
+  for (std::uint32_t i = 0; i < n; ++i) msg.tuples.push_back(decodeTuple(r));
+  return msg;
+}
+
+void StreamTuplesResponse::encode(ByteWriter& w) const { w.putU64(received); }
+
+StreamTuplesResponse StreamTuplesResponse::decode(ByteReader& r) {
+  StreamTuplesResponse msg;
+  msg.received = r.getU64();
+  return msg;
+}
+
+void JoinSiteRequest::encode(ByteWriter& w) const { w.putU64(epoch); }
+
+JoinSiteRequest JoinSiteRequest::decode(ByteReader& r) {
+  JoinSiteRequest msg;
+  msg.epoch = r.getU64();
+  return msg;
+}
+
+void JoinSiteResponse::encode(ByteWriter& w) const { w.putU64(size); }
+
+JoinSiteResponse JoinSiteResponse::decode(ByteReader& r) {
+  JoinSiteResponse msg;
+  msg.size = r.getU64();
+  return msg;
+}
+
+void LeaveSiteRequest::encode(ByteWriter& w) const { w.putU64(epoch); }
+
+LeaveSiteRequest LeaveSiteRequest::decode(ByteReader& r) {
+  LeaveSiteRequest msg;
+  msg.epoch = r.getU64();
+  return msg;
+}
+
+void LeaveSiteResponse::encode(ByteWriter& w) const { w.putU64(sessions); }
+
+LeaveSiteResponse LeaveSiteResponse::decode(ByteReader& r) {
+  LeaveSiteResponse msg;
+  msg.sessions = r.getU64();
   return msg;
 }
 

@@ -14,6 +14,10 @@
 //   kFetchTrace     — pull the site-side span timeline of one session
 //   kApplyInsert / kApplyDelete / kRepairDelete / kReplicaAdd /
 //   kReplicaRemove  — update maintenance
+//   kStreamTuples / kJoinSite / kLeaveSite — elastic membership: a
+//                     background repartition streams tuple batches into a
+//                     staging store, seals it with one STR bulk load, and
+//                     retires the stores of the previous epoch
 //
 // Sessions: every query-protocol message (kPrepare, kNextCandidate,
 // kEvaluate, kFinishQuery) carries a QueryId, so one site serves any number
@@ -151,6 +155,9 @@ enum class MsgType : std::uint8_t {
   kReplicaRemove = 9,
   kFinishQuery = 10,
   kFetchTrace = 11,
+  kJoinSite = 12,
+  kLeaveSite = 13,
+  kStreamTuples = 14,
 };
 
 struct PrepareRequest {
@@ -347,6 +354,70 @@ struct ReplicaRemoveRequest {
 struct AckResponse {
   void encode(ByteWriter&) const {}
   static AckResponse decode(ByteReader&) { return {}; }
+};
+
+// --- Elastic membership (online join / leave / repartitioning) -------------
+//
+// A repartition never mutates a live store: the rebalancer builds *new*
+// stores in a staging phase (kStreamTuples batches append to a staging
+// dataset), seals each one with kJoinSite (one STR bulk load — bit-identical
+// to a from-scratch construction over the same data), atomically installs
+// the new membership epoch at the coordinator, and finally marks the old
+// stores draining with kLeaveSite.  In-flight query sessions keep their
+// pinned epoch's stores until they finish, so queries never block on a
+// rebalance.
+
+/// One batch of tuples streamed into a staging store.  `partition` names the
+/// partition the store will serve (sanity-checked against the store's id).
+/// Batches are ordered; `seq` (per stream, starting at 1) lets the store
+/// drop a retried delivery instead of appending twice.
+struct StreamTuplesRequest {
+  SiteId partition = kNoSite;
+  std::uint64_t seq = 0;  ///< 0 = no replay protection
+  std::vector<Tuple> tuples;
+
+  void encode(ByteWriter& w) const;
+  static StreamTuplesRequest decode(ByteReader& r);
+};
+
+struct StreamTuplesResponse {
+  std::uint64_t received = 0;  ///< staging size after this batch
+
+  void encode(ByteWriter& w) const;
+  static StreamTuplesResponse decode(ByteReader& r);
+};
+
+/// Seals a staging store: bulk-loads the PR-tree over everything streamed so
+/// far and opens the store for queries.  Idempotent — a retried join on an
+/// already-live store acks without rebuilding.
+struct JoinSiteRequest {
+  std::uint64_t epoch = 0;  ///< membership epoch the store joins at
+
+  void encode(ByteWriter& w) const;
+  static JoinSiteRequest decode(ByteReader& r);
+};
+
+struct JoinSiteResponse {
+  std::uint64_t size = 0;  ///< tuples in the sealed store
+
+  void encode(ByteWriter& w) const;
+  static JoinSiteResponse decode(ByteReader& r);
+};
+
+/// Marks a store draining: it serves its existing (epoch-pinned) sessions to
+/// completion but rejects new prepares.  Idempotent.
+struct LeaveSiteRequest {
+  std::uint64_t epoch = 0;  ///< epoch that retired the store
+
+  void encode(ByteWriter& w) const;
+  static LeaveSiteRequest decode(ByteReader& r);
+};
+
+struct LeaveSiteResponse {
+  std::uint64_t sessions = 0;  ///< pinned sessions still draining
+
+  void encode(ByteWriter& w) const;
+  static LeaveSiteResponse decode(ByteReader& r);
 };
 
 // ---------------------------------------------------------------------------

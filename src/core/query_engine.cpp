@@ -90,6 +90,7 @@ QueryResult QueryEngine::dispatch(Algo algo, const QueryConfig& config,
 
   ResultCache::Key key;
   key.datasetVersion = coord_->datasetVersion();
+  key.epoch = coord_->membershipEpoch();
   key.algo = algo;
   key.mask = config.effectiveMask(coord_->dims());
   key.prune = config.prune;
@@ -101,10 +102,12 @@ QueryResult QueryEngine::dispatch(Algo algo, const QueryConfig& config,
     return fromCache(std::move(*hit), options, id);
   }
   QueryResult result = execute(algo, config, options, id);
-  // Degraded answers describe a survivor subset, not the cluster; and if
-  // maintenance landed mid-run the answer may straddle two versions.
-  // Neither is a safe verdict to replay.
-  if (!result.degraded && coord_->datasetVersion() == key.datasetVersion) {
+  // Degraded answers describe a survivor subset, not the cluster; if
+  // maintenance landed mid-run the answer may straddle two versions; and if
+  // the membership epoch moved the answer belongs to a retired layout.
+  // None of those is a safe verdict to replay.
+  if (!result.degraded && coord_->datasetVersion() == key.datasetVersion &&
+      coord_->membershipEpoch() == key.epoch) {
     cache->insert(key, config.q, result.skyline);
   }
   return result;

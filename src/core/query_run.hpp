@@ -24,6 +24,7 @@
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "core/coordinator.hpp"
+#include "core/failover.hpp"
 #include "obs/export.hpp"
 #include "obs/merge.hpp"
 #include "obs/trace.hpp"
@@ -39,8 +40,13 @@ struct QueryRun {
   Stopwatch watch;   ///< session-owned monotonic clock
   obs::Tracer tracer;
   obs::SpanId root = obs::kNoSpan;
-  /// Per-query views of the shared sites; all session traffic flows through
-  /// these so it lands in `usage`.
+  /// Topology snapshot this session runs over, pinned at construction: a
+  /// membership change installs the next epoch without invalidating it, and
+  /// holding the pointer keeps the epoch's stores alive until the run ends.
+  std::shared_ptr<const ClusterView> view;
+  /// Per-query views of the pinned partitions (one per chain; replicated
+  /// partitions get a FailoverSiteHandle over all their stores); all session
+  /// traffic flows through these so it lands in `usage`.
   std::vector<std::unique_ptr<SiteHandle>> sessions;
   /// Site-side span timelines, parallel to `sessions` (empty when site
   /// tracing is off).  Piggyback mode streams into these via the handles'
@@ -75,12 +81,26 @@ struct QueryRun {
   QueryRun(Coordinator& c, const char* algo, const QueryOptions& opts,
            QueryId qid)
       : coord(c), id(qid), options(opts), tracer(opts.traceCapacity),
-        algo(algo) {
+        view(c.view()), algo(algo) {
     result.id = id;
-    sessions.reserve(c.siteCount());
-    for (std::size_t i = 0; i < c.siteCount(); ++i) {
-      sessions.push_back(c.site(i).openSession(&usage, options.fault,
-                                               &c.health(i), c.metrics()));
+    sessions.reserve(view->partitions.size());
+    for (const ReplicaChain& chain : view->partitions) {
+      if (chain.replicas.size() == 1) {
+        sessions.push_back(chain.replicas[0]->openSession(
+            &usage, options.fault, chain.health[0], c.metrics()));
+      } else {
+        // k >= 2: one session per replica store, stitched into a single
+        // failover handle so a dying store is replaced mid-query with zero
+        // result loss (core/failover.hpp).
+        std::vector<std::unique_ptr<SiteHandle>> replicas;
+        replicas.reserve(chain.replicas.size());
+        for (std::size_t r = 0; r < chain.replicas.size(); ++r) {
+          replicas.push_back(chain.replicas[r]->openSession(
+              &usage, options.fault, chain.health[r], c.metrics()));
+        }
+        sessions.push_back(std::make_unique<FailoverSiteHandle>(
+            chain.partition, std::move(replicas), c.metrics()));
+      }
     }
     // Site tracing needs a coordinator trace to merge into; piggybacked
     // spans stream into per-site sinks while the query runs, fetched spans
@@ -132,8 +152,8 @@ struct QueryRun {
     return *sessions[sessionIndexOf(site)];
   }
 
-  /// Position of `site` in `sessions` (== its Coordinator index, so it also
-  /// addresses coord.health()); throws std::out_of_range when unknown.
+  /// Position of `site` in `sessions` (== its position in the pinned view);
+  /// throws std::out_of_range when unknown.
   std::size_t sessionIndexOf(SiteId site) const {
     for (std::size_t i = 0; i < sessions.size(); ++i) {
       if (sessions[i]->siteId() == site) return i;
@@ -147,14 +167,17 @@ struct QueryRun {
   /// Marks an RPC span that needed transport retries: the attempt count and
   /// the site breaker's state (0 closed, 1 open, 2 half-open).  Clean RPCs
   /// stay unannotated, so a faulty run's trace differs from a clean one
-  /// only by these attrs.
-  void annotateRetries(obs::TraceSpan& rpc, const SiteHandle& handle,
-                       std::size_t index) {
+  /// only by these attrs.  The breaker comes from the session handle itself
+  /// (the active replica's, under failover) — positional coordinator
+  /// lookups are not stable once sites join and leave.
+  void annotateRetries(obs::TraceSpan& rpc, const SiteHandle& handle) {
     if (const std::uint32_t attempts = handle.lastAttempts(); attempts > 1) {
       rpc.attr("attempts", attempts);
-      rpc.attr("breaker_state",
-               static_cast<double>(
-                   static_cast<int>(coord.health(index).state())));
+      if (const SiteHealth* health = handle.sessionHealth();
+          health != nullptr) {
+        rpc.attr("breaker_state",
+                 static_cast<double>(static_cast<int>(health->state())));
+      }
     }
   }
 
@@ -204,7 +227,7 @@ struct QueryRun {
       rpc.attr("site", s->siteId());
       try {
         s->prepare(request);
-        annotateRetries(rpc, *s, i);
+        annotateRetries(rpc, *s);
       } catch (const NetError&) {
         if (!degradeOk()) throw;
         markDead(s->siteId());
@@ -303,7 +326,7 @@ struct QueryRun {
             p.rpc.attr("seq",
                        static_cast<double>(sessions[p.index]->lastEvalSeq()));
           }
-          annotateRetries(p.rpc, *sessions[p.index], p.index);
+          annotateRetries(p.rpc, *sessions[p.index]);
           p.rpc.close();
           globalSkyProb *= r.survival;
           stats.prunedAtSites += r.prunedCount;
@@ -330,7 +353,7 @@ struct QueryRun {
           if (siteTracing()) {
             rpc.attr("seq", static_cast<double>(s->lastEvalSeq()));
           }
-          annotateRetries(rpc, *s, i);
+          annotateRetries(rpc, *s);
           globalSkyProb *= r.survival;
           stats.prunedAtSites += r.prunedCount;
         } catch (const NetError&) {
@@ -350,8 +373,7 @@ struct QueryRun {
   std::optional<Candidate> pull(SiteId site, const NextCandidateRequest& cursor,
                                 QueryStats& stats) {
     if (isDead(site)) return std::nullopt;
-    const std::size_t index = sessionIndexOf(site);
-    SiteHandle& handle = *sessions[index];
+    SiteHandle& handle = *sessions[sessionIndexOf(site)];
     obs::TraceSpan pullSpan = span("pull");
     pullSpan.attr("site", site);
     try {
@@ -361,7 +383,7 @@ struct QueryRun {
         // the same sequence number (see obs::mergeSiteTraces).
         pullSpan.attr("seq", static_cast<double>(handle.lastNextSeq()));
       }
-      annotateRetries(pullSpan, handle, index);
+      annotateRetries(pullSpan, handle);
       if (!response.candidate) return std::nullopt;
       countPull(stats);
       return std::move(response.candidate);

@@ -6,9 +6,9 @@
 namespace dsud {
 
 bool ResultCache::Key::operator==(const Key& other) const noexcept {
-  if (datasetVersion != other.datasetVersion || algo != other.algo ||
-      mask != other.mask || prune != other.prune || bound != other.bound ||
-      expunge != other.expunge) {
+  if (datasetVersion != other.datasetVersion || epoch != other.epoch ||
+      algo != other.algo || mask != other.mask || prune != other.prune ||
+      bound != other.bound || expunge != other.expunge) {
     return false;
   }
   // Windows compare by value through SkylineSpec (null == null).
@@ -24,6 +24,7 @@ std::size_t ResultCache::KeyHash::operator()(const Key& key) const noexcept {
   const SkylineSpec spec{key.mask, 0.0, key.window ? &*key.window : nullptr};
   std::size_t seed = std::hash<SkylineSpec>{}(spec);
   detail::hashCombine(seed, std::hash<std::uint64_t>{}(key.datasetVersion));
+  detail::hashCombine(seed, std::hash<std::uint64_t>{}(key.epoch));
   detail::hashCombine(seed, static_cast<std::size_t>(key.algo));
   detail::hashCombine(seed, (static_cast<std::size_t>(key.prune) << 16) ^
                                 (static_cast<std::size_t>(key.bound) << 8) ^

@@ -50,6 +50,11 @@ class ResultCache {
   /// Everything that determines a run's answer list except the threshold.
   struct Key {
     std::uint64_t datasetVersion = 0;
+    /// Membership epoch the answer was computed on.  Folded in so a layout
+    /// change (site join/leave, rebalance) retires every cached verdict even
+    /// when the per-site mutation counters happen to match — e.g. a
+    /// remove-then-add sequence that lands on the same combined version.
+    std::uint64_t epoch = 0;
     Algo algo = Algo::kEdsud;
     DimMask mask = 0;  ///< effective mask (already resolved against dims)
     PruneRule prune = PruneRule::kThresholdBound;

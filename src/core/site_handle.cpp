@@ -62,6 +62,22 @@ class SessionView final : public SiteHandle {
     parent_->replicaRemove(r);
   }
 
+  StreamTuplesResponse streamTuples(const StreamTuplesRequest& r) override {
+    auto msg = parent_->streamTuples(r);
+    count(r.tuples.size());
+    return msg;
+  }
+  JoinSiteResponse joinSite(const JoinSiteRequest& r) override {
+    auto msg = parent_->joinSite(r);
+    count(0);
+    return msg;
+  }
+  LeaveSiteResponse leaveSite(const LeaveSiteRequest& r) override {
+    auto msg = parent_->leaveSite(r);
+    count(0);
+    return msg;
+  }
+
   FetchTraceResponse fetchTrace(const FetchTraceRequest& r) override {
     return parent_->fetchTrace(r);
   }
@@ -86,6 +102,9 @@ class SessionView final : public SiteHandle {
   }
   std::uint64_t lastEvalSeq() const noexcept override {
     return parent_->lastEvalSeq();
+  }
+  SiteHealth* sessionHealth() const noexcept override {
+    return parent_->sessionHealth();
   }
 
  private:
@@ -315,6 +334,36 @@ void RpcSiteHandle::replicaAdd(const ReplicaAddRequest& request) {
 void RpcSiteHandle::replicaRemove(const ReplicaRemoveRequest& request) {
   const Frame response = roundTrip(toFrame(MsgType::kReplicaRemove, request));
   fromResponseFrame<AckResponse>(response);
+}
+
+StreamTuplesResponse RpcSiteHandle::streamTuples(
+    const StreamTuplesRequest& request) {
+  // Batch append is not idempotent, so the stream is numbered like
+  // kNextCandidate: all retry attempts replay the same frame (same seq) and
+  // the store's replay cache drops the duplicates.
+  StreamTuplesRequest numbered = request;
+  numbered.seq = ++streamSeq_;
+  const Frame response =
+      retryingRoundTrip(toFrame(MsgType::kStreamTuples, numbered));
+  auto msg = fromResponseFrame<StreamTuplesResponse>(response);
+  // Repartition traffic moves real tuples; it shares the paper's bandwidth
+  // accounting so the churn bench can report the cost of a rebalance.
+  countTuples(request.tuples.size(), 0);
+  return msg;
+}
+
+JoinSiteResponse RpcSiteHandle::joinSite(const JoinSiteRequest& request) {
+  // Idempotent (a live store just acks): safe to retry.
+  const Frame response =
+      retryingRoundTrip(toFrame(MsgType::kJoinSite, request));
+  return fromResponseFrame<JoinSiteResponse>(response);
+}
+
+LeaveSiteResponse RpcSiteHandle::leaveSite(const LeaveSiteRequest& request) {
+  // Idempotent: draining is a latch.
+  const Frame response =
+      retryingRoundTrip(toFrame(MsgType::kLeaveSite, request));
+  return fromResponseFrame<LeaveSiteResponse>(response);
 }
 
 }  // namespace dsud

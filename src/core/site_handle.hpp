@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "core/health.hpp"
@@ -45,6 +46,19 @@ class SiteHandle {
   virtual RepairDeleteResponse repairDelete(const RepairDeleteRequest&) = 0;
   virtual void replicaAdd(const ReplicaAddRequest&) = 0;
   virtual void replicaRemove(const ReplicaRemoveRequest&) = 0;
+
+  /// Elastic-membership operations (repartitioning traffic).  Only stores
+  /// reachable over a transport take part in a rebalance, so the default
+  /// implementations reject the call.
+  virtual StreamTuplesResponse streamTuples(const StreamTuplesRequest&) {
+    throw std::logic_error("SiteHandle: streamTuples not supported");
+  }
+  virtual JoinSiteResponse joinSite(const JoinSiteRequest&) {
+    throw std::logic_error("SiteHandle: joinSite not supported");
+  }
+  virtual LeaveSiteResponse leaveSite(const LeaveSiteRequest&) {
+    throw std::logic_error("SiteHandle: leaveSite not supported");
+  }
 
   /// Pulls the site-side span timeline of one session (SiteTraceMode::
   /// kFetch).  Non-transport implementations have no remote timeline and
@@ -87,6 +101,13 @@ class SiteHandle {
   /// RPC spans so merged site spans can be matched back by (site, op, seq).
   virtual std::uint64_t lastNextSeq() const noexcept { return 0; }
   virtual std::uint64_t lastEvalSeq() const noexcept { return 0; }
+
+  /// Circuit breaker this session handle consults (null when none) — lets
+  /// the trace layer annotate retried RPCs with the live breaker state
+  /// without positional coordinator lookups (indices are not stable once
+  /// sites join and leave).  For a failover handle, the breaker of the
+  /// currently active replica.
+  virtual SiteHealth* sessionHealth() const noexcept { return nullptr; }
 };
 
 /// SiteHandle over a per-site ChannelPool with bandwidth accounting.
@@ -127,6 +148,10 @@ class RpcSiteHandle final : public SiteHandle {
   void replicaAdd(const ReplicaAddRequest&) override;
   void replicaRemove(const ReplicaRemoveRequest&) override;
 
+  StreamTuplesResponse streamTuples(const StreamTuplesRequest&) override;
+  JoinSiteResponse joinSite(const JoinSiteRequest&) override;
+  LeaveSiteResponse leaveSite(const LeaveSiteRequest&) override;
+
   FetchTraceResponse fetchTrace(const FetchTraceRequest& request) override;
   void setTraceSink(obs::QueryTrace* sink) override { traceSink_ = sink; }
 
@@ -139,6 +164,7 @@ class RpcSiteHandle final : public SiteHandle {
   std::uint32_t lastAttempts() const noexcept override { return lastAttempts_; }
   std::uint64_t lastNextSeq() const noexcept override { return nextSeq_; }
   std::uint64_t lastEvalSeq() const noexcept override { return evalSeq_; }
+  SiteHealth* sessionHealth() const noexcept override { return health_; }
 
  private:
   RpcSiteHandle(SiteId site, std::shared_ptr<ChannelPool> pool,
@@ -170,6 +196,7 @@ class RpcSiteHandle final : public SiteHandle {
   Rng backoffRng_;                // jitter source, seeded per site
   std::uint64_t nextSeq_ = 0;     // kNextCandidate operation numbering
   std::uint64_t evalSeq_ = 0;     // kEvaluate operation numbering
+  std::uint64_t streamSeq_ = 0;   // kStreamTuples batch numbering
   std::uint32_t lastAttempts_ = 1;
   obs::Counter* retries_ = nullptr;   // dsud_retries_total{site}
   obs::Counter* timeouts_ = nullptr;  // dsud_timeouts_total{site}

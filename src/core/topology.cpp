@@ -1,0 +1,101 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "gen/partition.hpp"
+
+namespace dsud {
+
+Topology Topology::make(std::vector<Dataset> parts, std::size_t replicas) {
+  if (parts.empty()) {
+    throw std::invalid_argument("Topology: at least one partition required");
+  }
+  if (replicas == 0) {
+    throw std::invalid_argument("Topology: replica factor must be >= 1");
+  }
+  const std::size_t dims = parts.front().dims();
+  for (const Dataset& p : parts) {
+    if (p.dims() != dims) {
+      throw std::invalid_argument(
+          "Topology: partitions must share dimensionality");
+    }
+  }
+  Topology t;
+  t.replicas_ = replicas;
+  t.dims_ = dims;
+  const std::size_t m = parts.size();
+  t.members_.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    t.members_.push_back(static_cast<SiteId>(i));
+  }
+  t.nextId_ = static_cast<SiteId>(m);
+  t.partitions_ = t.placement(m);
+  t.seedData_ = std::move(parts);
+  return t;
+}
+
+Topology Topology::uniform(const Dataset& global, std::size_t m,
+                           std::uint64_t seed, std::size_t replicas) {
+  Rng rng(seed);
+  return make(partitionUniform(global, m, rng), replicas);
+}
+
+Topology Topology::fromPartitions(std::vector<Dataset> siteData,
+                                  std::size_t replicas) {
+  return make(std::move(siteData), replicas);
+}
+
+bool Topology::isMember(SiteId id) const noexcept {
+  return std::find(members_.begin(), members_.end(), id) != members_.end();
+}
+
+SiteId Topology::addSite() {
+  const SiteId id = nextId_++;
+  members_.push_back(id);
+  ++epoch_;
+  return id;
+}
+
+void Topology::removeSite(SiteId id) {
+  const auto it = std::find(members_.begin(), members_.end(), id);
+  if (it == members_.end()) {
+    throw std::out_of_range("Topology: unknown member id " +
+                            std::to_string(id));
+  }
+  if (members_.size() == 1) {
+    throw std::invalid_argument("Topology: cannot remove the last member");
+  }
+  members_.erase(it);
+  ++epoch_;
+}
+
+std::vector<PartitionDesc> Topology::placement(std::size_t count) const {
+  if (count != members_.size()) {
+    throw std::invalid_argument(
+        "Topology: rebalance places one partition per member");
+  }
+  const std::size_t k = std::min(replicas_, members_.size());
+  std::vector<PartitionDesc> parts;
+  parts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PartitionDesc p;
+    p.id = members_[i];
+    p.hosts.reserve(k);
+    for (std::size_t r = 0; r < k; ++r) {
+      p.hosts.push_back(members_[(i + r) % members_.size()]);
+    }
+    parts.push_back(std::move(p));
+  }
+  return parts;
+}
+
+void Topology::installPartitions(std::vector<PartitionDesc> partitions) {
+  partitions_ = std::move(partitions);
+  ++epoch_;
+}
+
+}  // namespace dsud

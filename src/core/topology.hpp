@@ -1,0 +1,115 @@
+// Dynamic cluster membership (ROADMAP item 4): which sites exist, which
+// partition of the database each one serves, and where the k replicas of
+// every partition live.
+//
+// A Topology is the *declarative* half of the elastic cluster — pure data,
+// no handles, no transport.  InProcCluster (core/cluster.hpp) materialises
+// it into stores and installs the resulting ClusterView snapshots on the
+// Coordinator; the dsudd admin surface mutates it at runtime.
+//
+// Identity model:
+//   - A *member* is a site machine, identified by a SiteId that is never
+//     reused after the member leaves (ids are allocated monotonically).
+//   - A *partition* is one horizontal slice of the global database.  Its id
+//     doubles as the wire-visible SiteId (Candidate::site), and by invariant
+//     equals the id of the member primarily hosting it — so query answers
+//     are bit-identical whether a partition is served by its primary or by
+//     a replica (replicas are LocalSite instances built with the *same* id
+//     over the *same* data).
+//   - hosts[0] is the primary; hosts[1..k-1] are replicas on the next
+//     members in ring order.
+//
+// Every mutation (addSite / removeSite / installPartitions) bumps the
+// membership epoch.  Query sessions pin the epoch they started on, and the
+// result cache folds the epoch into its key, so no answer computed over one
+// layout can ever serve a query against another.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace dsud {
+
+/// One partition and where it lives.  `id` is the partition's stable
+/// identity on the wire; `hosts[0]` is the primary member serving it, the
+/// rest hold bit-identical replicas.
+struct PartitionDesc {
+  SiteId id = kNoSite;
+  std::vector<SiteId> hosts;
+
+  friend bool operator==(const PartitionDesc&, const PartitionDesc&) = default;
+};
+
+class Topology {
+ public:
+  /// Partitions `global` uniformly at random onto `m` sites (paper Sec. 7)
+  /// with `replicas` copies of each partition (clamped to the member count).
+  /// `seed` controls the partitioning only.
+  static Topology uniform(const Dataset& global, std::size_t m,
+                          std::uint64_t seed, std::size_t replicas = 1);
+
+  /// Builds from pre-partitioned local databases; partition/member ids are
+  /// the positions 0..m-1.
+  static Topology fromPartitions(std::vector<Dataset> siteData,
+                                 std::size_t replicas = 1);
+
+  /// Membership epoch: 1 at construction, bumped by every mutation.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Requested replication factor k (effective factor is min(k, members)).
+  std::size_t replicaFactor() const noexcept { return replicas_; }
+
+  /// Current members in ring order (join order; ids are never reused).
+  const std::vector<SiteId>& members() const noexcept { return members_; }
+  bool isMember(SiteId id) const noexcept;
+
+  /// Current partitions, ordered by id.  After a membership change and
+  /// before the next rebalance, partitions may still reference departed
+  /// hosts — the stores live until the rebalance streams their data away.
+  const std::vector<PartitionDesc>& partitions() const noexcept {
+    return partitions_;
+  }
+
+  /// Adds a fresh member (a never-used id) and bumps the epoch.  Membership
+  /// only: the new site hosts no data until the next rebalance.
+  SiteId addSite();
+
+  /// Removes a member and bumps the epoch.  Throws std::out_of_range for a
+  /// non-member and std::invalid_argument when it is the last member.  The
+  /// partitions it hosts keep referencing it until the next rebalance
+  /// moves their data onto the survivors.
+  void removeSite(SiteId id);
+
+  /// Ring placement of `count` partitions over the current members:
+  /// partition i has id members[i], primary members[i], and its replicas on
+  /// the next replicaFactor()-1 distinct members.  Requires count ==
+  /// members().size() (rebalance always lands one partition per member).
+  std::vector<PartitionDesc> placement(std::size_t count) const;
+
+  /// Installs the partition layout of a completed rebalance and bumps the
+  /// epoch (cluster-internal).
+  void installPartitions(std::vector<PartitionDesc> partitions);
+
+  /// Initial per-partition datasets (parallel to partitions()), moved out
+  /// exactly once by the cluster build.
+  std::vector<Dataset> takeSeedData() { return std::move(seedData_); }
+
+  std::size_t dims() const noexcept { return dims_; }
+
+ private:
+  Topology() = default;
+
+  static Topology make(std::vector<Dataset> parts, std::size_t replicas);
+
+  std::uint64_t epoch_ = 1;
+  std::size_t replicas_ = 1;
+  std::size_t dims_ = 0;
+  SiteId nextId_ = 0;  ///< smallest never-allocated member id
+  std::vector<SiteId> members_;
+  std::vector<PartitionDesc> partitions_;
+  std::vector<Dataset> seedData_;  ///< consumed by the cluster build
+};
+
+}  // namespace dsud

@@ -59,6 +59,70 @@ std::vector<Dataset> partitionByRange(const Dataset& global, std::size_t m,
   return sites;
 }
 
+std::vector<Dataset> partitionSTR(const Dataset& global, std::size_t m) {
+  if (m == 0) throw std::invalid_argument("partitionSTR: m must be >= 1");
+
+  const std::size_t n = global.size();
+  const std::size_t dims = global.dims();
+  // Lexicographic comparison from `first`, wrapping through every dimension,
+  // with the tuple id as the final deterministic tie-break.
+  const auto lexLess = [&](std::size_t first) {
+    return [&, first](std::size_t a, std::size_t b) {
+      for (std::size_t k = 0; k < dims; ++k) {
+        const std::size_t d = (first + k) % dims;
+        const double va = global.values(a)[d];
+        const double vb = global.values(b)[d];
+        if (va != vb) return va < vb;
+      }
+      return global.id(a) < global.id(b);
+    };
+  };
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), lexLess(0));
+
+  // ceil(sqrt(m)) slabs on dimension 0, then m tiles overall: slab s holds
+  // the partitions [s * m / slabs, (s+1) * m / slabs) so every partition
+  // index is used exactly once even when m is not a perfect square.
+  const auto slabs = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(m))));
+
+  std::vector<Dataset> parts;
+  parts.reserve(m);
+  for (std::size_t p = 0; p < m; ++p) parts.emplace_back(dims);
+
+  for (std::size_t s = 0; s < slabs; ++s) {
+    const std::size_t begin = s * n / slabs;
+    const std::size_t end = (s + 1) * n / slabs;
+    const std::size_t tileBegin = s * m / slabs;
+    const std::size_t tileEnd = (s + 1) * m / slabs;
+    const std::size_t tiles = tileEnd - tileBegin;
+    if (begin >= end) continue;
+    const std::size_t slabSize = end - begin;
+    if (tiles == 0) {
+      // More slabs than partitions left (tiny m): fold into the last tile.
+      for (std::size_t i = begin; i < end; ++i) {
+        const TupleRef ref = global.at(order[i]);
+        parts[m - 1].add(ref.id, ref.values, ref.prob);
+      }
+      continue;
+    }
+    std::sort(order.begin() + static_cast<std::ptrdiff_t>(begin),
+              order.begin() + static_cast<std::ptrdiff_t>(end),
+              lexLess(dims > 1 ? 1 : 0));
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const std::size_t lo = begin + t * slabSize / tiles;
+      const std::size_t hi = begin + (t + 1) * slabSize / tiles;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const TupleRef ref = global.at(order[i]);
+        parts[tileBegin + t].add(ref.id, ref.values, ref.prob);
+      }
+    }
+  }
+  return parts;
+}
+
 std::vector<Dataset> partitionZipf(const Dataset& global, std::size_t m,
                                    double theta, Rng& rng) {
   if (m == 0) throw std::invalid_argument("partitionZipf: m must be >= 1");

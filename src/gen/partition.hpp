@@ -32,4 +32,14 @@ std::vector<Dataset> partitionByRange(const Dataset& global, std::size_t m,
 std::vector<Dataset> partitionZipf(const Dataset& global, std::size_t m,
                                    double theta, Rng& rng);
 
+/// Sort-Tile-Recursive spatial partitioning: the same tiling the PR-tree's
+/// bulk load uses, applied one level deep — tuples are sorted by dimension
+/// 0 (ties by dimension 1, ..., then id), cut into ceil(sqrt(m)) vertical
+/// slabs, and each slab is sorted by dimension 1 and cut again, yielding m
+/// spatially coherent, (near-)equal-size partitions.  Fully deterministic:
+/// no RNG, a pure function of (global, m) — which is what makes online
+/// repartitioning reproducible (rebalancing onto m sites from any previous
+/// layout lands every tuple in the same partition as a from-scratch build).
+std::vector<Dataset> partitionSTR(const Dataset& global, std::size_t m);
+
 }  // namespace dsud

@@ -175,6 +175,40 @@ Tuple tupleFromJson(const Json& v) {
   return t;
 }
 
+AdminAction adminActionFromName(const std::string& name) {
+  if (name == "add-site") return AdminAction::kAddSite;
+  if (name == "remove-site") return AdminAction::kRemoveSite;
+  if (name == "rebalance") return AdminAction::kRebalance;
+  if (name == "topology") return AdminAction::kTopology;
+  bad("unknown action '" + name +
+      "' (expected add-site|remove-site|rebalance|topology)");
+}
+
+Json partitionToJson(const PartitionDesc& partition) {
+  Json hosts = Json::array();
+  for (const SiteId host : partition.hosts) {
+    hosts.push(static_cast<std::uint64_t>(host));
+  }
+  Json out = Json::object();
+  out.set("id", static_cast<std::uint64_t>(partition.id));
+  out.set("hosts", std::move(hosts));
+  return out;
+}
+
+PartitionDesc partitionFromJson(const Json& v) {
+  if (!v.isObject()) bad("'partitions' must hold objects");
+  PartitionDesc partition;
+  partition.id = static_cast<SiteId>(
+      getUint(v, "id", 0, std::numeric_limits<SiteId>::max()));
+  const Json& hosts = require(v, "hosts");
+  if (!hosts.isArray()) bad("'partitions[].hosts' must be an array");
+  for (const Json& host : hosts.asArray()) {
+    if (!host.isNumber()) bad("'partitions[].hosts' must hold site ids");
+    partition.hosts.push_back(static_cast<SiteId>(host.asNumber()));
+  }
+  return partition;
+}
+
 Json parseLine(std::string_view line) {
   try {
     Json doc = Json::parse(line);
@@ -210,6 +244,16 @@ std::optional<ErrorCode> errorCodeFromName(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+const char* adminActionName(AdminAction action) noexcept {
+  switch (action) {
+    case AdminAction::kAddSite: return "add-site";
+    case AdminAction::kRemoveSite: return "remove-site";
+    case AdminAction::kRebalance: return "rebalance";
+    case AdminAction::kTopology: return "topology";
+  }
+  return "topology";
+}
+
 const char* priorityName(Priority p) noexcept {
   switch (p) {
     case Priority::kHigh: return "high";
@@ -235,6 +279,18 @@ Request decodeRequest(std::string_view line) {
     CancelRequest r;
     r.id = getString(doc, "id", "", kMaxIdBytes);
     if (r.id.empty()) bad("cancel needs a non-empty 'id'");
+    return r;
+  }
+  if (name == "admin") {
+    AdminRequest r;
+    r.id = getString(doc, "id", "", kMaxIdBytes);
+    if (r.id.empty()) bad("admin needs a non-empty 'id'");
+    r.action = adminActionFromName(getString(doc, "action", "", 16));
+    if (r.action == AdminAction::kRemoveSite) {
+      if (doc.find("site") == nullptr) bad("remove-site needs a 'site'");
+      r.site = static_cast<SiteId>(
+          getUint(doc, "site", 0, std::numeric_limits<SiteId>::max()));
+    }
     return r;
   }
   if (name == "query") {
@@ -313,6 +369,17 @@ std::string encodeRequest(const CancelRequest& request) {
 
 std::string encodeRequest(const StatsRequest&) {
   return R"({"op":"stats"})";
+}
+
+std::string encodeRequest(const AdminRequest& request) {
+  Json doc = Json::object();
+  doc.set("op", "admin");
+  doc.set("id", request.id);
+  doc.set("action", adminActionName(request.action));
+  if (request.action == AdminAction::kRemoveSite) {
+    doc.set("site", static_cast<std::uint64_t>(request.site));
+  }
+  return doc.dump();
 }
 
 // ---------------------------------------------------------------------------
@@ -396,6 +463,29 @@ Response decodeResponse(std::string_view line) {
     r.shed = getUint(doc, "shed", 0, kMax);
     return r;
   }
+  if (name == "admin") {
+    AdminResponse r;
+    r.id = getString(doc, "id", "", kMaxIdBytes);
+    r.epoch = getUint(doc, "epoch", 0,
+                      std::numeric_limits<std::uint64_t>::max());
+    r.site = static_cast<SiteId>(
+        getUint(doc, "site", kNoSite, std::numeric_limits<SiteId>::max()));
+    if (const Json* members = doc.find("members"); members != nullptr) {
+      if (!members->isArray()) bad("'members' must be an array");
+      for (const Json& member : members->asArray()) {
+        if (!member.isNumber()) bad("'members' must hold site ids");
+        r.members.push_back(static_cast<SiteId>(member.asNumber()));
+      }
+    }
+    if (const Json* partitions = doc.find("partitions");
+        partitions != nullptr) {
+      if (!partitions->isArray()) bad("'partitions' must be an array");
+      for (const Json& partition : partitions->asArray()) {
+        r.partitions.push_back(partitionFromJson(partition));
+      }
+    }
+    return r;
+  }
   bad("unknown response type '" + name + "'");
 }
 
@@ -468,6 +558,27 @@ std::string encodeResponse(const StatsResponse& response) {
   doc.set("queued", response.queued);
   doc.set("admitted", response.admitted);
   doc.set("shed", response.shed);
+  return doc.dump();
+}
+
+std::string encodeResponse(const AdminResponse& response) {
+  Json doc = Json::object();
+  doc.set("type", "admin");
+  doc.set("id", response.id);
+  doc.set("epoch", response.epoch);
+  if (response.site != kNoSite) {
+    doc.set("site", static_cast<std::uint64_t>(response.site));
+  }
+  Json members = Json::array();
+  for (const SiteId member : response.members) {
+    members.push(static_cast<std::uint64_t>(member));
+  }
+  doc.set("members", std::move(members));
+  Json partitions = Json::array();
+  for (const PartitionDesc& partition : response.partitions) {
+    partitions.push(partitionToJson(partition));
+  }
+  doc.set("partitions", std::move(partitions));
   return doc.dump();
 }
 

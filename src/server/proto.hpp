@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/result.hpp"
+#include "core/topology.hpp"
 #include "server/json.hpp"
 
 namespace dsud::server {
@@ -103,8 +104,30 @@ struct StatsRequest {
   friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
 };
 
-using Request =
-    std::variant<QueryRequest, PingRequest, CancelRequest, StatsRequest>;
+/// Elastic-cluster membership operations (wire strings mirror the `dsudctl
+/// admin` subcommands).
+enum class AdminAction : std::uint8_t {
+  kAddSite,     ///< "add-site": join a fresh member (no data until rebalance)
+  kRemoveSite,  ///< "remove-site": drain a member's partitions and drop it
+  kRebalance,   ///< "rebalance": repartition the database over the members
+  kTopology,    ///< "topology": read-only membership / placement snapshot
+};
+
+const char* adminActionName(AdminAction action) noexcept;
+
+/// `{"op":"admin", "action":...}` — one membership operation.  Every action
+/// answers with an `admin` response describing the resulting topology;
+/// mutating actions run on a worker so a background rebalance never blocks
+/// the event loop (queries keep flowing meanwhile).
+struct AdminRequest {
+  std::string id;  ///< client correlation id (required, <= 128 B)
+  AdminAction action = AdminAction::kTopology;
+  SiteId site = kNoSite;  ///< required for remove-site; ignored otherwise
+  friend bool operator==(const AdminRequest&, const AdminRequest&) = default;
+};
+
+using Request = std::variant<QueryRequest, PingRequest, CancelRequest,
+                             StatsRequest, AdminRequest>;
 
 /// Decodes one request line (without its '\n').  Throws ProtoError with the
 /// code the `error` response should carry: kBadRequest for malformed JSON /
@@ -115,6 +138,7 @@ std::string encodeRequest(const QueryRequest& request);
 std::string encodeRequest(const PingRequest&);
 std::string encodeRequest(const CancelRequest& request);
 std::string encodeRequest(const StatsRequest&);
+std::string encodeRequest(const AdminRequest& request);
 
 // ---------------------------------------------------------------------------
 // Responses (server -> client)
@@ -168,8 +192,20 @@ struct StatsResponse {
   friend bool operator==(const StatsResponse&, const StatsResponse&) = default;
 };
 
-using Response = std::variant<AckResponse, AnswerResponse, DoneResponse,
-                              ErrorResponse, PongResponse, StatsResponse>;
+/// `{"type":"admin"}` — the topology after (or, for `topology`, instead of)
+/// the requested membership change; terminal for its id.
+struct AdminResponse {
+  std::string id;
+  std::uint64_t epoch = 0;       ///< membership epoch of the reported layout
+  std::vector<SiteId> members;   ///< members in ring order
+  std::vector<PartitionDesc> partitions;  ///< partitions, ordered by id
+  SiteId site = kNoSite;  ///< id of the member just added (add-site only)
+  friend bool operator==(const AdminResponse&, const AdminResponse&) = default;
+};
+
+using Response =
+    std::variant<AckResponse, AnswerResponse, DoneResponse, ErrorResponse,
+                 PongResponse, StatsResponse, AdminResponse>;
 
 /// Decodes one response line; throws ProtoError(kBadRequest) on anything
 /// that is not a well-formed response object.
@@ -181,5 +217,6 @@ std::string encodeResponse(const DoneResponse& response);
 std::string encodeResponse(const ErrorResponse& response);
 std::string encodeResponse(const PongResponse&);
 std::string encodeResponse(const StatsResponse& response);
+std::string encodeResponse(const AdminResponse& response);
 
 }  // namespace dsud::server

@@ -36,7 +36,7 @@ QueryServer::QueryServer(QueryEngine& engine, obs::MetricsRegistry& metrics,
   // Pre-register the request counters so every op shows as a zero series
   // from the first scrape.
   for (const char* op :
-       {"query", "ping", "cancel", "stats", "invalid", "oversized"}) {
+       {"query", "ping", "cancel", "stats", "admin", "invalid", "oversized"}) {
     metrics_.counter(obs::labeled("dsud_server_requests_total", {{"op", op}}));
   }
   // Likewise for the sharing-layer series: the batch executor is created
@@ -70,14 +70,16 @@ QueryServer::~QueryServer() {
 }
 
 double QueryServer::breakerOpenFraction() {
-  Coordinator& coord = engine_.coordinator();
-  const std::size_t sites = coord.siteCount();
-  if (sites == 0) return 0.0;
+  // Pin the view once: positional index/health() pairs could straddle a
+  // concurrent membership change.
+  const auto view = engine_.coordinator().view();
+  if (view->partitions.empty()) return 0.0;
   std::size_t open = 0;
-  for (std::size_t i = 0; i < sites; ++i) {
-    if (coord.health(i).state() == SiteHealth::State::kOpen) ++open;
+  for (const ReplicaChain& chain : view->partitions) {
+    if (chain.health[0]->state() == SiteHealth::State::kOpen) ++open;
   }
-  return static_cast<double>(open) / static_cast<double>(sites);
+  return static_cast<double>(open) /
+         static_cast<double>(view->partitions.size());
 }
 
 double QueryServer::engineInflight() {
@@ -279,6 +281,34 @@ void QueryServer::handleLine(std::uint64_t connId, std::string_view line) {
     stats.admitted = admission_.admittedTotal();
     stats.shed = admission_.shedTotal();
     sendLine(connId, encodeResponse(stats));
+  } else if (auto* admin = std::get_if<AdminRequest>(&request)) {
+    countRequest("admin");
+    handleAdmin(connId, std::move(*admin));
+  }
+}
+
+void QueryServer::handleAdmin(std::uint64_t connId, AdminRequest request) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    sendError(connId, request.id, ErrorCode::kUnavailable, "server draining");
+    return;
+  }
+  const ServerConfig::AdminHooks& hooks = config_.admin;
+  if (!hooks.addSite || !hooks.removeSite || !hooks.rebalance ||
+      !hooks.topology) {
+    sendError(connId, request.id, ErrorCode::kBadRequest,
+              "admin operations are not wired on this server");
+    return;
+  }
+  // Every action runs on a worker: mutating ops can stream the whole
+  // database, and even the read-only snapshot serialises against a running
+  // rebalance — neither may stall the event loop.
+  try {
+    pool_->submit([this, connId, request = std::move(request)]() mutable {
+      runAdmin(connId, std::move(request));
+    });
+  } catch (const std::exception&) {
+    sendError(connId, request.id, ErrorCode::kUnavailable,
+              "server shutting down");
   }
 }
 
@@ -467,6 +497,46 @@ void QueryServer::runQuery(QueryJob job) {
     if (it != conns_.end()) it->second->unregisterQuery(requestId);
     sendLine(connId, terminal);
     if (draining_.load(std::memory_order_relaxed)) checkDrainDone();
+  });
+  loop_.wake();
+}
+
+void QueryServer::runAdmin(std::uint64_t connId, AdminRequest request) {
+  std::string line;
+  try {
+    AdminResponse response;
+    response.id = request.id;
+    switch (request.action) {
+      case AdminAction::kAddSite:
+        response.site = config_.admin.addSite();
+        break;
+      case AdminAction::kRemoveSite:
+        config_.admin.removeSite(request.site);
+        break;
+      case AdminAction::kRebalance:
+        config_.admin.rebalance();
+        break;
+      case AdminAction::kTopology:
+        break;
+    }
+    const Topology topology = config_.admin.topology();
+    response.epoch = topology.epoch();
+    response.members = topology.members();
+    response.partitions = topology.partitions();
+    line = encodeResponse(response);
+  } catch (const std::out_of_range& error) {
+    // Unknown member / last-member removal: the request, not the cluster.
+    line = encodeResponse(
+        ErrorResponse{request.id, ErrorCode::kBadRequest, error.what(), 0});
+  } catch (const std::invalid_argument& error) {
+    line = encodeResponse(
+        ErrorResponse{request.id, ErrorCode::kBadRequest, error.what(), 0});
+  } catch (const std::exception& error) {
+    line = encodeResponse(
+        ErrorResponse{request.id, ErrorCode::kInternal, error.what(), 0});
+  }
+  loop_.post([this, connId, line = std::move(line)] {
+    sendLine(connId, line);
   });
   loop_.wake();
 }

@@ -25,11 +25,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "core/query_engine.hpp"
+#include "core/topology.hpp"
 #include "core/result_cache.hpp"
 #include "server/admission.hpp"
 #include "server/connection.hpp"
@@ -55,6 +57,18 @@ struct ServerConfig {
   /// Shared-work batching applied to every threshold query the server runs
   /// (disabled by default; dsudd's --batch-window-ms turns it on).
   BatchingOptions batching;
+  /// Elastic-cluster admin surface behind `{"op":"admin"}`.  The wiring
+  /// layer (dsudd) points these at its InProcCluster; when unset, admin
+  /// requests are rejected with `bad_request`.  Mutating hooks may block for
+  /// the length of a rebalance — the server always calls them from a worker
+  /// thread, never from the event loop.
+  struct AdminHooks {
+    std::function<SiteId()> addSite;
+    std::function<void(SiteId)> removeSite;
+    std::function<void()> rebalance;
+    std::function<Topology()> topology;
+  };
+  AdminHooks admin;
 };
 
 class QueryServer {
@@ -107,7 +121,9 @@ class QueryServer {
   void handleHttpEvent(std::uint64_t connId, std::uint32_t events);
   void handleLine(std::uint64_t connId, std::string_view line);
   void handleQuery(std::uint64_t connId, QueryRequest request);
-  void runQuery(QueryJob job);  ///< worker thread
+  void handleAdmin(std::uint64_t connId, AdminRequest request);
+  void runQuery(QueryJob job);   ///< worker thread
+  void runAdmin(std::uint64_t connId, AdminRequest request);  ///< worker
   QueryResult executeQuery(const QueryRequest& request,
                            const QueryOptions& options, QueryId id);
 

@@ -46,8 +46,8 @@ double counterValue(InProcCluster& cluster, const std::string& name) {
 TEST(BatchTest, ThresholdBandMergesIntoOneDescentBitIdentically) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{2000, 3, ValueDistribution::kAnticorrelated, 9100});
-  InProcCluster shared(data, 6, 9101);
-  InProcCluster reference(data, 6, 9101);
+  InProcCluster shared(Topology::uniform(data, 6, 9101));
+  InProcCluster reference(Topology::uniform(data, 6, 9101));
 
   QueryConfig q03, q04, q05;
   q03.q = 0.3;
@@ -87,8 +87,8 @@ TEST(BatchTest, ThresholdBandMergesIntoOneDescentBitIdentically) {
 TEST(BatchTest, IncompatibleQueriesFormSeparateGroups) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{1200, 3, ValueDistribution::kAnticorrelated, 9200});
-  InProcCluster shared(data, 5, 9201);
-  InProcCluster reference(data, 5, 9201);
+  InProcCluster shared(Topology::uniform(data, 5, 9201));
+  InProcCluster reference(Topology::uniform(data, 5, 9201));
 
   QueryConfig full;
   full.q = 0.3;
@@ -112,7 +112,7 @@ TEST(BatchTest, IncompatibleQueriesFormSeparateGroups) {
 TEST(BatchTest, ProgressStreamsSplitPerMember) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{1500, 2, ValueDistribution::kAnticorrelated, 9300});
-  InProcCluster shared(data, 5, 9301);
+  InProcCluster shared(Topology::uniform(data, 5, 9301));
 
   QueryConfig q02, q06;
   q02.q = 0.2;
@@ -156,8 +156,8 @@ TEST(BatchTest, SiteFailureDegradesEveryMemberIdentically) {
   // first frame, for the shared run and the solo references alike.
   ClusterConfig chaotic;
   chaotic.chaos = ChaosSpec{.dropRate = 1.0, .onlySite = victim};
-  InProcCluster shared(data, 5, 9401, chaotic);
-  InProcCluster reference(data, 5, 9401, chaotic);
+  InProcCluster shared(Topology::uniform(data, 5, 9401), chaotic);
+  InProcCluster reference(Topology::uniform(data, 5, 9401), chaotic);
 
   QueryOptions degrade;
   degrade.fault.onSiteFailure = OnSiteFailure::kDegrade;
@@ -190,8 +190,8 @@ TEST(BatchTest, MixedFaultHandlingNeverShares) {
   // accept a partial answer), so fault options partition groups.
   const Dataset data = generateSynthetic(
       SyntheticSpec{800, 2, ValueDistribution::kIndependent, 9500});
-  InProcCluster shared(data, 4, 9501);
-  InProcCluster reference(data, 4, 9501);
+  InProcCluster shared(Topology::uniform(data, 4, 9501));
+  InProcCluster reference(Topology::uniform(data, 4, 9501));
 
   QueryConfig config;
   config.q = 0.3;
@@ -213,8 +213,8 @@ TEST(BatchTest, MixedFaultHandlingNeverShares) {
 TEST(BatchTest, CancelledMemberDoesNotPoisonItsGroup) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{1000, 2, ValueDistribution::kAnticorrelated, 9600});
-  InProcCluster shared(data, 4, 9601);
-  InProcCluster reference(data, 4, 9601);
+  InProcCluster shared(Topology::uniform(data, 4, 9601));
+  InProcCluster reference(Topology::uniform(data, 4, 9601));
 
   QueryConfig q03, q05;
   q03.q = 0.3;
@@ -239,8 +239,8 @@ TEST(BatchTest, CancelledMemberDoesNotPoisonItsGroup) {
 TEST(BatchTest, EngineTeardownFlushesParkedGroups) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{800, 2, ValueDistribution::kIndependent, 9700});
-  InProcCluster shared(data, 4, 9701);
-  InProcCluster reference(data, 4, 9701);
+  InProcCluster shared(Topology::uniform(data, 4, 9701));
+  InProcCluster reference(Topology::uniform(data, 4, 9701));
 
   QueryConfig config;
   config.q = 0.3;
@@ -259,8 +259,8 @@ TEST(BatchTest, EngineTeardownFlushesParkedGroups) {
 TEST(BatchTest, FullGroupFlushesBeforeTheWindowCloses) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{800, 2, ValueDistribution::kIndependent, 9800});
-  InProcCluster shared(data, 4, 9801);
-  InProcCluster reference(data, 4, 9801);
+  InProcCluster shared(Topology::uniform(data, 4, 9801));
+  InProcCluster reference(Topology::uniform(data, 4, 9801));
 
   QueryConfig config;
   config.q = 0.3;
@@ -278,7 +278,7 @@ TEST(BatchTest, FullGroupFlushesBeforeTheWindowCloses) {
 TEST(BatchTest, CacheHitResolvesAWholeGroup) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{1200, 2, ValueDistribution::kAnticorrelated, 9900});
-  InProcCluster shared(data, 4, 9901);
+  InProcCluster shared(Topology::uniform(data, 4, 9901));
   ResultCache cache;
   QueryEngine engine(shared.coordinator(), 4);
   engine.setResultCache(&cache);

@@ -246,12 +246,12 @@ TEST(ChaosTest, TransientFaultsBelowRetryBudgetAreBitIdentical) {
   Rng rng(99);
   const auto siteData = partitionUniform(global, 5, rng);
 
-  InProcCluster clean(siteData);
+  InProcCluster clean(Topology::fromPartitions(siteData));
 
   ClusterConfig chaotic;
   chaotic.chaos = ChaosSpec{.dropRate = 0.1, .errorRate = 0.1,
                             .seed = chaosSeed()};
-  InProcCluster noisy(siteData, chaotic);
+  InProcCluster noisy(Topology::fromPartitions(siteData), chaotic);
 
   QueryOptions fault;
   fault.fault.retry.maxAttempts = 8;
@@ -292,11 +292,11 @@ TEST(ChaosTest, RetriedRpcSpansDifferFromCleanOnlyByRetryAttrs) {
   Rng rng(99);
   const auto siteData = partitionUniform(global, 5, rng);
 
-  InProcCluster clean(siteData);
+  InProcCluster clean(Topology::fromPartitions(siteData));
   ClusterConfig chaotic;
   chaotic.chaos = ChaosSpec{.dropRate = 0.1, .errorRate = 0.1,
                             .seed = chaosSeed()};
-  InProcCluster noisy(siteData, chaotic);
+  InProcCluster noisy(Topology::fromPartitions(siteData), chaotic);
 
   QueryOptions options;  // default traceCapacity: tracing on, site tracing off
   options.fault.retry.maxAttempts = 8;
@@ -359,7 +359,7 @@ TEST(ChaosTest, KilledSiteDegradesBitIdenticallyToSurvivorCluster) {
   for (std::size_t i = 0; i < siteData.size(); ++i) {
     if (i != victim) survivorData.push_back(siteData[i]);
   }
-  InProcCluster reference(survivorData);
+  InProcCluster reference(Topology::fromPartitions(survivorData));
 
   // The victim's kPrepare succeeds (killAfter = 1), then its first
   // kNextCandidate fails for good — before it contributed any candidate.
@@ -371,7 +371,7 @@ TEST(ChaosTest, KilledSiteDegradesBitIdenticallyToSurvivorCluster) {
   degrade.fault.onSiteFailure = OnSiteFailure::kDegrade;
 
   for (const Algo algo : {Algo::kDsud, Algo::kEdsud}) {
-    InProcCluster cluster(siteData, chaotic);
+    InProcCluster cluster(Topology::fromPartitions(siteData), chaotic);
     const QueryResult ref = reference.engine().run(algo, QueryConfig{});
     const QueryResult degraded =
         cluster.engine().run(algo, QueryConfig{}, degrade);
@@ -387,7 +387,7 @@ TEST(ChaosTest, KilledSiteDegradesBitIdenticallyToSurvivorCluster) {
                 ref.skyline[i].globalSkyProb)
           << "degraded answers must be bit-identical to the survivor run";
     }
-    EXPECT_TRUE(cluster.chaosState(victim)->killed());
+    EXPECT_TRUE(cluster.chaos(victim)->killed());
 
     const obs::MetricsSnapshot snapshot =
         cluster.metricsRegistry().snapshot();
@@ -408,7 +408,7 @@ TEST(ChaosTest, KilledSiteUnderFailPolicyThrowsSiteFailure) {
   ClusterConfig chaotic;
   chaotic.chaos = ChaosSpec{.killAfter = 1, .onlySite = 2,
                             .seed = chaosSeed()};
-  InProcCluster cluster(siteData, chaotic);
+  InProcCluster cluster(Topology::fromPartitions(siteData), chaotic);
 
   try {
     cluster.engine().runDsud(QueryConfig{});  // default: OnSiteFailure::kFail
@@ -429,14 +429,14 @@ TEST(ChaosTest, NaiveDegradesOverSurvivors) {
   for (std::size_t i = 0; i < siteData.size(); ++i) {
     if (i != 1) survivorData.push_back(siteData[i]);
   }
-  InProcCluster reference(survivorData);
+  InProcCluster reference(Topology::fromPartitions(survivorData));
 
   // kShipAll frames carry no session id, so onlyQuery must stay 0 here;
   // killAfter = 0 faults from the very first matched call.
   ClusterConfig chaotic;
   chaotic.chaos = ChaosSpec{.dropRate = 1.0, .onlySite = 1,
                             .seed = chaosSeed()};
-  InProcCluster cluster(siteData, chaotic);
+  InProcCluster cluster(Topology::fromPartitions(siteData), chaotic);
 
   QueryOptions degrade;
   degrade.fault.onSiteFailure = OnSiteFailure::kDegrade;
@@ -453,6 +453,84 @@ TEST(ChaosTest, NaiveDegradesOverSurvivors) {
   }
 }
 
+// --- k-replica failover -----------------------------------------------------
+
+TEST(ChaosTest, KilledMemberFailsOverToReplicaBitIdentically) {
+  const Dataset global = testGlobal();
+  Rng rng(99);
+  const auto siteData = partitionUniform(global, 4, rng);
+
+  // Reference: the same partitioning, healthy and unreplicated.  Replicas
+  // hold bit-identical stores under the partition's own SiteId, so a
+  // failed-over query must match it exactly — not degrade.
+  InProcCluster reference(Topology::fromPartitions(siteData));
+
+  ClusterConfig chaotic;
+  chaotic.chaos = ChaosSpec{.killAfter = 1, .onlySite = 2,
+                            .seed = chaosSeed()};
+  InProcCluster cluster(Topology::fromPartitions(siteData, 2), chaotic);
+
+  QueryOptions fast;  // keep the doomed retries of the dying store cheap
+  fast.fault.retry.initialBackoff = std::chrono::milliseconds{0};
+
+  for (const Algo algo : {Algo::kDsud, Algo::kEdsud, Algo::kNaive}) {
+    const QueryResult ref = reference.engine().run(algo, QueryConfig{});
+    const QueryResult survived =
+        cluster.engine().run(algo, QueryConfig{}, fast);
+    EXPECT_FALSE(survived.degraded)
+        << "k=2 failover must lose zero results, algo "
+        << static_cast<int>(algo);
+    EXPECT_TRUE(survived.excludedSites.empty());
+    ASSERT_EQ(survived.skyline, ref.skyline)
+        << "algo " << static_cast<int>(algo);
+  }
+  EXPECT_TRUE(cluster.chaos(2)->killed());
+
+  const obs::MetricsSnapshot snapshot = cluster.metricsRegistry().snapshot();
+  EXPECT_GT(counterSum(snapshot, "dsud_failovers_total"), 0u);
+  EXPECT_EQ(counterSum(snapshot, "dsud_degraded_queries_total"), 0u);
+  expectInflightZero(snapshot);
+}
+
+TEST(ChaosTest, KilledMemberMidRepartitionRecoversFromReplicas) {
+  const Dataset global = testGlobal();
+  Rng rng(99);
+  const auto siteData = partitionUniform(global, 4, rng);
+
+  ClusterConfig chaotic;
+  chaotic.chaos = ChaosSpec{.killAfter = 1, .onlySite = 1,
+                            .seed = chaosSeed()};
+  InProcCluster cluster(Topology::fromPartitions(siteData, 2), chaotic);
+
+  // Member 1's first call consumes its kill budget: the query below both
+  // kills it and proves mid-query failover to the replica on member 2.
+  QueryOptions fast;
+  fast.fault.retry.initialBackoff = std::chrono::milliseconds{0};
+  const QueryResult firstQuery =
+      cluster.engine().runEdsud(QueryConfig{}, fast);
+  EXPECT_FALSE(firstQuery.degraded);
+  EXPECT_TRUE(cluster.chaos(1)->killed());
+
+  // Repartition with the member dead: gather() falls back to partition 1's
+  // replica, and streaming the new cuts onto member 1 fails, so the next
+  // epoch serves its partitions from the surviving hosts only.
+  cluster.rebalance();
+  EXPECT_EQ(cluster.membershipEpoch(), 2u);
+
+  // Zero result loss: the rebalanced cluster answers bit-identically to a
+  // healthy from-scratch cluster over the same STR cuts.
+  InProcCluster fresh(Topology::fromPartitions(partitionSTR(global, 4)));
+  for (const Algo algo : {Algo::kDsud, Algo::kEdsud}) {
+    const QueryResult ref = fresh.engine().run(algo, QueryConfig{});
+    const QueryResult result =
+        cluster.engine().run(algo, QueryConfig{}, fast);
+    EXPECT_FALSE(result.degraded);
+    EXPECT_TRUE(result.excludedSites.empty());
+    ASSERT_EQ(result.skyline, ref.skyline)
+        << "algo " << static_cast<int>(algo);
+  }
+}
+
 // --- Breaker integration ----------------------------------------------------
 
 TEST(ChaosTest, PersistentlyDeadSiteTripsBreakerAcrossQueries) {
@@ -465,7 +543,7 @@ TEST(ChaosTest, PersistentlyDeadSiteTripsBreakerAcrossQueries) {
                            .seed = chaosSeed()};
   config.breaker = CircuitBreakerConfig{.failureThreshold = 2,
                                         .probeAfter = 100};
-  InProcCluster cluster(siteData, config);
+  InProcCluster cluster(Topology::fromPartitions(siteData), config);
 
   QueryOptions degrade;
   degrade.fault.onSiteFailure = OnSiteFailure::kDegrade;

@@ -65,7 +65,7 @@ TEST(PartitionTest, RejectsZeroSites) {
 TEST(ClusterTest, WiresRequestedSiteCount) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{100, 2, ValueDistribution::kIndependent, 96});
-  InProcCluster cluster(global, 5, 97);
+  InProcCluster cluster(Topology::uniform(global, 5, 97));
   EXPECT_EQ(cluster.siteCount(), 5u);
   EXPECT_EQ(cluster.dims(), 2u);
   EXPECT_EQ(cluster.coordinator().siteCount(), 5u);
@@ -75,18 +75,18 @@ TEST(ClusterTest, RejectsMismatchedDimensions) {
   std::vector<Dataset> sites;
   sites.emplace_back(2);
   sites.emplace_back(3);
-  EXPECT_THROW(InProcCluster{sites}, std::invalid_argument);
+  EXPECT_THROW(Topology::fromPartitions(std::move(sites)),
+               std::invalid_argument);
 }
 
 TEST(ClusterTest, RejectsEmptySiteList) {
-  const std::vector<Dataset> sites;
-  EXPECT_THROW(InProcCluster{sites}, std::invalid_argument);
+  EXPECT_THROW(Topology::fromPartitions({}), std::invalid_argument);
 }
 
 TEST(ClusterTest, MeterSeesEveryByteOfEveryCall) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 2, ValueDistribution::kIndependent, 98});
-  InProcCluster cluster(global, 4, 99);
+  InProcCluster cluster(Topology::uniform(global, 4, 99));
   const QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   const UsageTotals totals = cluster.meter().totals();
   EXPECT_EQ(totals.tuples, result.stats.tuplesShipped);
@@ -98,7 +98,7 @@ TEST(ClusterTest, MeterSeesEveryByteOfEveryCall) {
 TEST(ClusterTest, BackToBackQueriesUseMeterDeltas) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 2, ValueDistribution::kIndependent, 100});
-  InProcCluster cluster(global, 4, 101);
+  InProcCluster cluster(Topology::uniform(global, 4, 101));
   const QueryResult first = cluster.engine().runEdsud(QueryConfig{});
   const QueryResult second = cluster.engine().runEdsud(QueryConfig{});
   // The shared meter keeps accumulating, but per-query stats are deltas.
@@ -110,7 +110,7 @@ TEST(ClusterTest, BackToBackQueriesUseMeterDeltas) {
 TEST(ClusterTest, SiteByIdFindsAndThrows) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{50, 2, ValueDistribution::kIndependent, 102});
-  InProcCluster cluster(global, 3, 103);
+  InProcCluster cluster(Topology::uniform(global, 3, 103));
   EXPECT_EQ(cluster.coordinator().siteById(2).siteId(), 2u);
   EXPECT_THROW(cluster.coordinator().siteById(42), std::out_of_range);
 }

@@ -61,7 +61,7 @@ void expectSameRun(const QueryResult& got, const QueryResult& want) {
 void expectIdle(InProcCluster& cluster) {
   EXPECT_EQ(cluster.engine().inFlight(), 0u);
   for (std::size_t i = 0; i < cluster.siteCount(); ++i) {
-    EXPECT_EQ(cluster.localSite(i).sessionCount(), 0u) << "site " << i;
+    EXPECT_EQ(cluster.site(i).sessionCount(), 0u) << "site " << i;
   }
   for (const auto& [name, value] : cluster.metricsRegistry().snapshot().gauges) {
     if (name.rfind("dsud_queries_inflight", 0) == 0) {
@@ -73,8 +73,8 @@ void expectIdle(InProcCluster& cluster) {
 TEST(ConcurrentQueriesTest, MixedSubmitsMatchSequentialBitForBit) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{3000, 3, ValueDistribution::kAnticorrelated, 2200});
-  InProcCluster shared(global, 8, 2201);
-  InProcCluster reference(global, 8, 2201);
+  InProcCluster shared(Topology::uniform(global, 8, 2201));
+  InProcCluster reference(Topology::uniform(global, 8, 2201));
 
   QueryConfig q03;
   QueryConfig q05;
@@ -130,8 +130,8 @@ TEST(ConcurrentQueriesTest, MixedSubmitsMatchSequentialBitForBit) {
 TEST(ConcurrentQueriesTest, ThreadsHammeringOneClusterSeeNoBleed) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1500, 2, ValueDistribution::kAnticorrelated, 2210});
-  InProcCluster shared(global, 6, 2211);
-  InProcCluster reference(global, 6, 2211);
+  InProcCluster shared(Topology::uniform(global, 6, 2211));
+  InProcCluster reference(Topology::uniform(global, 6, 2211));
 
   QueryConfig config;
   TopKConfig topk;
@@ -162,8 +162,8 @@ TEST(ConcurrentQueriesTest, PerQueryOptionsStayPerQuery) {
   // other runs silent and sequential — concurrently, over the same sites.
   const Dataset global = generateSynthetic(
       SyntheticSpec{1200, 3, ValueDistribution::kIndependent, 2220});
-  InProcCluster shared(global, 6, 2221);
-  InProcCluster reference(global, 6, 2221);
+  InProcCluster shared(Topology::uniform(global, 6, 2221));
+  InProcCluster reference(Topology::uniform(global, 6, 2221));
 
   QueryConfig config;
   QueryOptions traced;
@@ -200,14 +200,14 @@ TEST(ConcurrentQueriesTest, OneOfFiveDegradesWhileTheRestStayBitIdentical) {
   ClusterConfig chaoticConfig;
   chaoticConfig.chaos =
       ChaosSpec{.killAfter = 1, .onlyQuery = 3, .onlySite = victim};
-  InProcCluster shared(siteData, chaoticConfig);
-  InProcCluster reference(siteData);
+  InProcCluster shared(Topology::fromPartitions(siteData), chaoticConfig);
+  InProcCluster reference(Topology::fromPartitions(siteData));
 
   std::vector<Dataset> survivorData;
   for (std::size_t i = 0; i < siteData.size(); ++i) {
     if (i != victim) survivorData.push_back(siteData[i]);
   }
-  InProcCluster survivors(survivorData);
+  InProcCluster survivors(Topology::fromPartitions(survivorData));
 
   QueryConfig config;
   const QueryResult refDsud = reference.engine().runDsud(config);
@@ -264,7 +264,7 @@ TEST(ConcurrentQueriesTest, OneOfFiveDegradesWhileTheRestStayBitIdentical) {
   // site-side session is only reclaimed when the site rejoins.
   EXPECT_EQ(engine.inFlight(), 0u);
   for (std::size_t i = 0; i < shared.siteCount(); ++i) {
-    EXPECT_EQ(shared.localSite(i).sessionCount(), i == victim ? 1u : 0u)
+    EXPECT_EQ(shared.site(i).sessionCount(), i == victim ? 1u : 0u)
         << "site " << i;
   }
 }
@@ -275,8 +275,8 @@ TEST(ConcurrentQueriesTest, BatchedSubmitsMatchSoloRunsBitForBit) {
   // query run alone — content, order, and probabilities.
   const Dataset global = generateSynthetic(
       SyntheticSpec{2000, 3, ValueDistribution::kAnticorrelated, 2260});
-  InProcCluster shared(global, 6, 2261);
-  InProcCluster reference(global, 6, 2261);
+  InProcCluster shared(Topology::uniform(global, 6, 2261));
+  InProcCluster reference(Topology::uniform(global, 6, 2261));
 
   QueryConfig q03, q05, q07;
   q03.q = 0.3;
@@ -313,7 +313,7 @@ TEST(ConcurrentQueriesTest, TransportCountersMatchSummedSessionUsage) {
   // to exactly one session, none double-counted, none dropped.
   const Dataset global = generateSynthetic(
       SyntheticSpec{1200, 3, ValueDistribution::kAnticorrelated, 2250});
-  InProcCluster shared(global, 6, 2251);
+  InProcCluster shared(Topology::uniform(global, 6, 2251));
 
   QueryConfig config;
   QueryEngine engine(shared.coordinator(), 4);
@@ -350,7 +350,7 @@ TEST(ConcurrentQueriesTest, TransportCountersMatchSummedSessionUsage) {
 TEST(ConcurrentQueriesTest, ProgressCallbacksDoNotCrossSessions) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1000, 2, ValueDistribution::kAnticorrelated, 2230});
-  InProcCluster shared(global, 5, 2231);
+  InProcCluster shared(Topology::uniform(global, 5, 2231));
 
   QueryConfig config;
   std::atomic<std::size_t> callsA{0};

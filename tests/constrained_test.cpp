@@ -81,7 +81,7 @@ TEST_P(ConstrainedDistributedTest, AllAlgorithmsMatchFilteredGroundTruth) {
   const ConstrainedCase& c = GetParam();
   const Dataset global =
       generateSynthetic(SyntheticSpec{c.n, 2, c.dist, c.seed});
-  InProcCluster cluster(global, c.m, c.seed + 1);
+  InProcCluster cluster(Topology::uniform(global, c.m, c.seed + 1));
 
   QueryConfig config;
   config.q = 0.3;
@@ -125,7 +125,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ConstrainedTest, FullSpaceWindowEqualsUnconstrained) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1000, 2, ValueDistribution::kAnticorrelated, 320});
-  InProcCluster cluster(global, 5, 321);
+  InProcCluster cluster(Topology::uniform(global, 5, 321));
 
   QueryConfig unconstrained;
   QueryConfig windowed;
@@ -143,7 +143,7 @@ TEST(ConstrainedTest, TightWindowIsCheap) {
   // constrained query must ship (weakly) fewer tuples than the full query.
   const Dataset global = generateSynthetic(
       SyntheticSpec{20000, 2, ValueDistribution::kAnticorrelated, 322});
-  InProcCluster cluster(global, 10, 323);
+  InProcCluster cluster(Topology::uniform(global, 10, 323));
 
   QueryConfig full;
   QueryConfig tight;
@@ -157,7 +157,7 @@ TEST(ConstrainedTest, TightWindowIsCheap) {
 TEST(ConstrainedTest, SubspaceAndWindowCompose) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{800, 3, ValueDistribution::kIndependent, 324});
-  InProcCluster cluster(global, 4, 325);
+  InProcCluster cluster(Topology::uniform(global, 4, 325));
 
   QueryConfig config;
   config.mask = 0b011;
@@ -177,7 +177,7 @@ TEST(ConstrainedTest, SubspaceAndWindowCompose) {
 TEST(ConstrainedTest, MaintainerRejectsWindowedConfig) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{100, 2, ValueDistribution::kIndependent, 326});
-  InProcCluster cluster(global, 2, 327);
+  InProcCluster cluster(Topology::uniform(global, 2, 327));
   QueryConfig config;
   config.window = makeWindow({0.0, 0.0}, {0.5, 0.5});
   EXPECT_THROW(SkylineMaintainer(cluster.coordinator(), config,

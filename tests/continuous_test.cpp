@@ -50,7 +50,7 @@ std::vector<TupleId> truthIds(
 
 TEST(ContinuousTest, ValidatesConstruction) {
   StreamSetup setup = makeSetup(2, 4, 800);
-  InProcCluster cluster(setup.siteData);
+  InProcCluster cluster(Topology::fromPartitions(setup.siteData));
   QueryConfig config;
   config.q = kQ;
   EXPECT_THROW(ContinuousDistributedSkyline(cluster.coordinator(), config, 0,
@@ -69,7 +69,7 @@ TEST(ContinuousTest, StaysExactThroughStream) {
   const std::size_t m = 3;
   const std::size_t window = 12;
   StreamSetup setup = makeSetup(m, window, 801);
-  InProcCluster cluster(setup.siteData);
+  InProcCluster cluster(Topology::fromPartitions(setup.siteData));
   QueryConfig config;
   config.q = kQ;
   ContinuousDistributedSkyline stream(cluster.coordinator(), config, window,
@@ -99,7 +99,7 @@ TEST(ContinuousTest, WarmupPhaseInsertsOnly) {
   const std::size_t m = 2;
   StreamSetup setup = makeSetup(m, 0, 803);  // empty initial windows
   // Sites need at least one tuple for the PR-tree... empty is fine too.
-  InProcCluster cluster(setup.siteData);
+  InProcCluster cluster(Topology::fromPartitions(setup.siteData));
   QueryConfig config;
   config.q = kQ;
   ContinuousDistributedSkyline stream(cluster.coordinator(), config, 3,
@@ -121,7 +121,7 @@ TEST(ContinuousTest, PerEventCostIsFarBelowRequery) {
   const std::size_t m = 4;
   const std::size_t window = 50;
   StreamSetup setup = makeSetup(m, window, 805);
-  InProcCluster cluster(setup.siteData);
+  InProcCluster cluster(Topology::fromPartitions(setup.siteData));
   QueryConfig config;
   config.q = kQ;
   ContinuousDistributedSkyline stream(cluster.coordinator(), config, window,
@@ -148,7 +148,7 @@ TEST(ContinuousTest, PerEventCostIsFarBelowRequery) {
 
 TEST(ContinuousTest, UnknownSiteRejected) {
   StreamSetup setup = makeSetup(2, 2, 807);
-  InProcCluster cluster(setup.siteData);
+  InProcCluster cluster(Topology::fromPartitions(setup.siteData));
   QueryConfig config;
   config.q = kQ;
   ContinuousDistributedSkyline stream(cluster.coordinator(), config, 4,

@@ -42,7 +42,7 @@ TEST_P(DistributedParamTest, AllAlgorithmsMatchCentralisedAnswer) {
   const DistCase& c = GetParam();
   const Dataset global =
       generateSynthetic(SyntheticSpec{c.n, c.dims, c.dist, c.seed});
-  InProcCluster cluster(global, c.m, c.seed + 1000);
+  InProcCluster cluster(Topology::uniform(global, c.m, c.seed + 1000));
 
   QueryConfig config;
   config.q = c.q;
@@ -81,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(DsudTest, NaiveBandwidthEqualsDatabaseSize) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{400, 2, ValueDistribution::kIndependent, 11});
-  InProcCluster cluster(global, 4, 12);
+  InProcCluster cluster(Topology::uniform(global, 4, 12));
   const QueryResult result = cluster.engine().runNaive(QueryConfig{});
   // The baseline ships |D| tuples, nothing else (paper Sec. 3.2).
   EXPECT_EQ(result.stats.tuplesShipped, global.size());
@@ -90,7 +90,7 @@ TEST(DsudTest, NaiveBandwidthEqualsDatabaseSize) {
 TEST(DsudTest, DsudShipsFarLessThanNaive) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{5000, 2, ValueDistribution::kIndependent, 13});
-  InProcCluster cluster(global, 10, 14);
+  InProcCluster cluster(Topology::uniform(global, 10, 14));
   const QueryResult naive = cluster.engine().runNaive(QueryConfig{});
   const QueryResult dsud = cluster.engine().runDsud(QueryConfig{});
   EXPECT_LT(dsud.stats.tuplesShipped, naive.stats.tuplesShipped / 2);
@@ -99,7 +99,7 @@ TEST(DsudTest, DsudShipsFarLessThanNaive) {
 TEST(DsudTest, ProgressPointsAreMonotone) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{2000, 3, ValueDistribution::kAnticorrelated, 15});
-  InProcCluster cluster(global, 8, 16);
+  InProcCluster cluster(Topology::uniform(global, 8, 16));
   const QueryResult result = cluster.engine().runDsud(QueryConfig{});
   ASSERT_EQ(result.progress.size(), result.skyline.size());
   for (std::size_t i = 1; i < result.progress.size(); ++i) {
@@ -118,7 +118,7 @@ TEST(DsudTest, ProgressPointsAreMonotone) {
 TEST(DsudTest, ProgressCallbackFiresPerAnswer) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1000, 2, ValueDistribution::kAnticorrelated, 17});
-  InProcCluster cluster(global, 5, 18);
+  InProcCluster cluster(Topology::uniform(global, 5, 18));
   std::size_t calls = 0;
   QueryOptions options;
   options.progress =
@@ -134,7 +134,7 @@ TEST(DsudTest, ProgressCallbackFiresPerAnswer) {
 TEST(DsudTest, StatsCountersAreConsistent) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1500, 2, ValueDistribution::kIndependent, 19});
-  InProcCluster cluster(global, 6, 20);
+  InProcCluster cluster(Topology::uniform(global, 6, 20));
   const QueryResult result = cluster.engine().runDsud(QueryConfig{});
   // DSUD broadcasts every pulled candidate; each broadcast ships m-1 tuples.
   EXPECT_EQ(result.stats.broadcasts, result.stats.candidatesPulled);
@@ -149,7 +149,7 @@ TEST(DsudTest, StatsCountersAreConsistent) {
 TEST(DsudTest, LocalPruningReducesCandidatePulls) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{4000, 2, ValueDistribution::kIndependent, 21});
-  InProcCluster cluster(global, 8, 22);
+  InProcCluster cluster(Topology::uniform(global, 8, 22));
   const QueryResult result = cluster.engine().runDsud(QueryConfig{});
   // Total local skyline size: what would ship without any pruning.
   std::size_t totalLocalSkyline = result.stats.prunedAtSites;
@@ -161,8 +161,8 @@ TEST(DsudTest, LocalPruningReducesCandidatePulls) {
 TEST(DsudTest, RepeatedQueriesAreDeterministic) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{800, 3, ValueDistribution::kIndependent, 23});
-  InProcCluster clusterA(global, 7, 24);
-  InProcCluster clusterB(global, 7, 24);
+  InProcCluster clusterA(Topology::uniform(global, 7, 24));
+  InProcCluster clusterB(Topology::uniform(global, 7, 24));
   const QueryResult a = clusterA.engine().runDsud(QueryConfig{});
   const QueryResult b = clusterB.engine().runDsud(QueryConfig{});
   EXPECT_EQ(testutil::idsOf(a.skyline), testutil::idsOf(b.skyline));
@@ -172,7 +172,7 @@ TEST(DsudTest, RepeatedQueriesAreDeterministic) {
 TEST(DsudTest, ThresholdMonotonicityDistributed) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1500, 3, ValueDistribution::kAnticorrelated, 25});
-  InProcCluster cluster(global, 6, 26);
+  InProcCluster cluster(Topology::uniform(global, 6, 26));
   std::vector<std::uint64_t> bandwidth;
   std::vector<std::size_t> sizes;
   for (double q : {0.3, 0.5, 0.7, 0.9}) {

@@ -18,7 +18,7 @@ TEST(EdsudTest, BeatsDsudBandwidthOnTypicalWorkloads) {
   for (std::uint64_t seed = 40; seed < 46; ++seed) {
     const Dataset global = generateSynthetic(
         SyntheticSpec{4000, 3, ValueDistribution::kIndependent, seed});
-    InProcCluster cluster(global, 12, seed + 100);
+    InProcCluster cluster(Topology::uniform(global, 12, seed + 100));
     const QueryResult dsud = cluster.engine().runDsud(QueryConfig{});
     const QueryResult edsud = cluster.engine().runEdsud(QueryConfig{});
     EXPECT_EQ(testutil::idsOf(dsud.skyline).size(),
@@ -34,7 +34,7 @@ TEST(EdsudTest, BeatsDsudBandwidthOnTypicalWorkloads) {
 TEST(EdsudTest, ExpungesCandidatesWithoutBroadcast) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{4000, 3, ValueDistribution::kIndependent, 47});
-  InProcCluster cluster(global, 12, 48);
+  InProcCluster cluster(Topology::uniform(global, 12, 48));
   const QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   EXPECT_GT(result.stats.expunged, 0u);
   // Every pulled candidate is either broadcast or expunged.
@@ -45,7 +45,7 @@ TEST(EdsudTest, ExpungesCandidatesWithoutBroadcast) {
 TEST(EdsudTest, BandwidthDecomposition) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{2000, 2, ValueDistribution::kAnticorrelated, 49});
-  InProcCluster cluster(global, 8, 50);
+  InProcCluster cluster(Topology::uniform(global, 8, 50));
   const QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   EXPECT_EQ(result.stats.tuplesShipped,
             result.stats.candidatesPulled +
@@ -55,7 +55,7 @@ TEST(EdsudTest, BandwidthDecomposition) {
 TEST(EdsudTest, FeedbackBoundAblationAllCorrect) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1500, 3, ValueDistribution::kAnticorrelated, 51});
-  InProcCluster cluster(global, 10, 52);
+  InProcCluster cluster(Topology::uniform(global, 10, 52));
   const auto expected =
       testutil::idsOf(linearSkyline(global, {.q = 0.3}));
 
@@ -82,7 +82,7 @@ TEST(EdsudTest, FeedbackBoundAblationAllCorrect) {
 TEST(EdsudTest, BothExpungePoliciesReturnExactAnswers) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1500, 3, ValueDistribution::kAnticorrelated, 46});
-  InProcCluster cluster(global, 10, 146);
+  InProcCluster cluster(Topology::uniform(global, 10, 146));
   const auto expected = testutil::idsOf(linearSkyline(global, {.q = 0.3}));
   for (const ExpungePolicy policy :
        {ExpungePolicy::kEager, ExpungePolicy::kPark}) {
@@ -124,7 +124,7 @@ TEST(EdsudTest, PaperDominancePruneCanLoseQualifiedAnswers) {
 
   // Exact rule: all three qualify (matches the centralised ground truth).
   {
-    InProcCluster cluster(sites);
+    InProcCluster cluster(Topology::fromPartitions(sites));
     config.prune = PruneRule::kThresholdBound;
     const QueryResult exact = cluster.engine().runEdsud(config);
     auto ids = testutil::idsOf(exact.skyline);
@@ -135,7 +135,7 @@ TEST(EdsudTest, PaperDominancePruneCanLoseQualifiedAnswers) {
 
   // Paper-faithful dominance pruning drops s.
   {
-    InProcCluster cluster(sites);
+    InProcCluster cluster(Topology::fromPartitions(sites));
     config.prune = PruneRule::kDominance;
     const QueryResult lossy = cluster.engine().runEdsud(config);
     auto ids = testutil::idsOf(lossy.skyline);
@@ -153,7 +153,7 @@ TEST(EdsudTest, DominancePruneStillCorrectOnCertainData) {
     const std::array<double, 2> v = {rng.uniform(), rng.uniform()};
     global.add(v, 1.0);
   }
-  InProcCluster cluster(global, 5, 54);
+  InProcCluster cluster(Topology::uniform(global, 5, 54));
   QueryConfig config;
   config.prune = PruneRule::kDominance;
   QueryResult result = cluster.engine().runEdsud(config);
@@ -167,7 +167,7 @@ TEST(EdsudTest, ProgressiveEmissionProperties) {
   // query ends, and the cumulative-bandwidth curve is monotone.
   const Dataset global = generateSynthetic(
       SyntheticSpec{3000, 3, ValueDistribution::kAnticorrelated, 55});
-  InProcCluster cluster(global, 10, 56);
+  InProcCluster cluster(Topology::uniform(global, 10, 56));
   const QueryResult dsud = cluster.engine().runDsud(QueryConfig{});
   const QueryResult edsud = cluster.engine().runEdsud(QueryConfig{});
   ASSERT_EQ(dsud.skyline.size(), edsud.skyline.size());
@@ -187,7 +187,7 @@ TEST(EdsudTest, ProgressiveEmissionProperties) {
 TEST(EdsudTest, SingleSiteDegeneratesToLocalSkyline) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 2, ValueDistribution::kIndependent, 57});
-  InProcCluster cluster(global, 1, 58);
+  InProcCluster cluster(Topology::uniform(global, 1, 58));
   QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline),
@@ -200,7 +200,7 @@ TEST(EdsudTest, EmptySitesProduceEmptySkyline) {
   std::vector<Dataset> sites;
   sites.emplace_back(2);
   sites.emplace_back(2);
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   const QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   EXPECT_TRUE(result.skyline.empty());
   EXPECT_EQ(result.stats.tuplesShipped, 0u);
@@ -212,7 +212,7 @@ TEST(EdsudTest, ThresholdOneKeepsOnlyCertainUndominated) {
   const std::array<double, 2> b = {0.9, 0.9};
   global.add(a, 1.0);
   global.add(b, 1.0);  // dominated -> P_gsky = 0
-  InProcCluster cluster(global, 2, 60);
+  InProcCluster cluster(Topology::uniform(global, 2, 60));
   QueryConfig config;
   config.q = 1.0;
   const QueryResult result = cluster.engine().runEdsud(config);

@@ -30,7 +30,7 @@ TEST(IntegrationTest, FullLifecycleThroughDisk) {
   saveDatasetBinary(original, path);
   const Dataset data = loadDatasetBinary(path);
 
-  InProcCluster cluster(data, 5, 1001);
+  InProcCluster cluster(Topology::uniform(data, 5, 1001));
   QueryConfig config;
   SkylineMaintainer maintainer(cluster.coordinator(), config,
                                MaintenanceStrategy::kIncremental);
@@ -64,7 +64,7 @@ TEST(IntegrationTest, FullLifecycleThroughDisk) {
 TEST(IntegrationTest, MaxDimensionalityEndToEnd) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{300, kMaxDims, ValueDistribution::kIndependent, 1002});
-  InProcCluster cluster(global, 4, 1003);
+  InProcCluster cluster(Topology::uniform(global, 4, 1003));
   QueryConfig config;
   config.q = 0.5;
   QueryResult result = cluster.engine().runEdsud(config);
@@ -76,7 +76,7 @@ TEST(IntegrationTest, MaxDimensionalityEndToEnd) {
 TEST(IntegrationTest, MoreSitesThanTuples) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{5, 2, ValueDistribution::kIndependent, 1004});
-  InProcCluster cluster(global, 16, 1005);  // 11 sites end up empty
+  InProcCluster cluster(Topology::uniform(global, 16, 1005));  // 11 sites end up empty
   QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   sortByGlobalProbability(result.skyline);
   EXPECT_EQ(testutil::idsOf(result.skyline),
@@ -90,7 +90,7 @@ TEST(IntegrationTest, IdenticalCoordinatesEverywhere) {
     global.add(id, std::vector<double>{0.5, 0.5},
                0.1 + 0.02 * static_cast<double>(id));
   }
-  InProcCluster cluster(global, 4, 1006);
+  InProcCluster cluster(Topology::uniform(global, 4, 1006));
   QueryConfig config;
   config.q = 0.4;
   const QueryResult result = cluster.engine().runEdsud(config);
@@ -109,7 +109,7 @@ TEST(IntegrationTest, TinyThresholdReturnsEveryPositiveProbability) {
   // globally only genuinely crushed tuples drop out.
   const Dataset global = generateSynthetic(
       SyntheticSpec{120, 2, ValueDistribution::kIndependent, 1007});
-  InProcCluster cluster(global, 3, 1008);
+  InProcCluster cluster(Topology::uniform(global, 3, 1008));
   QueryConfig config;
   config.q = 1e-9;
   QueryResult result = cluster.engine().runEdsud(config);
@@ -123,7 +123,7 @@ TEST(IntegrationTest, RepeatedSessionsResetCleanly) {
   // lists, windows, masks) must fully reset at each prepare.
   const Dataset global = generateSynthetic(
       SyntheticSpec{700, 3, ValueDistribution::kAnticorrelated, 1009});
-  InProcCluster cluster(global, 6, 1010);
+  InProcCluster cluster(Topology::uniform(global, 6, 1010));
 
   struct Session {
     double q;
@@ -153,7 +153,7 @@ TEST(IntegrationTest, GaussianProbabilityMeanSweepKeepsExactness) {
         generateSynthetic(SyntheticSpec{600, 2,
                                         ValueDistribution::kIndependent, 1011},
                           gaussianProbability(mu, 0.2));
-    InProcCluster cluster(global, 5, 1012);
+    InProcCluster cluster(Topology::uniform(global, 5, 1012));
     QueryResult result = cluster.engine().runEdsud(QueryConfig{});
     sortByGlobalProbability(result.skyline);
     EXPECT_EQ(testutil::idsOf(result.skyline),
@@ -171,8 +171,8 @@ TEST(IntegrationTest, MixedUpdateBurstsAcrossStrategiesAgree) {
   Rng rng(1014);
   const auto siteData = partitionUniform(global, 3, rng);
 
-  InProcCluster incrCluster(siteData);
-  InProcCluster naiveCluster(siteData);
+  InProcCluster incrCluster(Topology::fromPartitions(siteData));
+  InProcCluster naiveCluster(Topology::fromPartitions(siteData));
   QueryConfig config;
   SkylineMaintainer incremental(incrCluster.coordinator(), config,
                                 MaintenanceStrategy::kIncremental);

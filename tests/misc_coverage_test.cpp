@@ -21,7 +21,7 @@ TEST(MiscTest, SubspaceMaintenanceStaysExact) {
   Rng rng(1101);
   auto siteData = partitionUniform(global, 3, rng);
 
-  InProcCluster cluster(siteData);
+  InProcCluster cluster(Topology::fromPartitions(siteData));
   QueryConfig config;
   config.mask = 0b011;
   SkylineMaintainer maintainer(cluster.coordinator(), config,
@@ -70,7 +70,7 @@ TEST(MiscTest, PolicyRuleMatrixExactOnCertainData) {
   for (int i = 0; i < 400; ++i) {
     global.add(std::vector<double>{rng.uniform(), rng.uniform()}, 1.0);
   }
-  InProcCluster cluster(global, 5, 1104);
+  InProcCluster cluster(Topology::uniform(global, 5, 1104));
   const auto expected = testutil::idsOf(linearSkyline(global, {.q = 0.3}));
 
   for (const PruneRule prune :
@@ -108,8 +108,8 @@ TEST(MiscTest, SessionCallsWithoutPrepareAreSafe) {
 TEST(MiscTest, TopKUnderParallelBroadcastMatchesSequential) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{2000, 3, ValueDistribution::kAnticorrelated, 1105});
-  InProcCluster seq(global, 8, 1106);
-  InProcCluster par(global, 8, 1106);
+  InProcCluster seq(Topology::uniform(global, 8, 1106));
+  InProcCluster par(Topology::uniform(global, 8, 1106));
   QueryOptions parallel;
   parallel.broadcastThreads = 4;
 
@@ -124,7 +124,7 @@ TEST(MiscTest, TopKUnderParallelBroadcastMatchesSequential) {
 TEST(MiscTest, NaiveIsProgressiveToo) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{2000, 2, ValueDistribution::kAnticorrelated, 1107});
-  InProcCluster cluster(global, 4, 1108);
+  InProcCluster cluster(Topology::uniform(global, 4, 1108));
   std::size_t callbacks = 0;
   QueryOptions options;
   options.progress = [&](const GlobalSkylineEntry&, const ProgressPoint& point) {
@@ -143,7 +143,7 @@ TEST(MiscTest, NaiveIsProgressiveToo) {
 TEST(MiscTest, MeterLinksAttributeTrafficToTheRightSites) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 2, ValueDistribution::kIndependent, 1109});
-  InProcCluster cluster(global, 3, 1110);
+  InProcCluster cluster(Topology::uniform(global, 3, 1110));
   cluster.engine().runEdsud(QueryConfig{});
   std::uint64_t total = 0;
   for (SiteId s = 0; s < 3; ++s) {

@@ -320,7 +320,7 @@ const std::uint64_t* counterAt(const obs::MetricsSnapshot& snapshot,
 TEST(ObsIntegrationTest, DsudRunProducesTraceAndMatchingByteCounters) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{800, 3, ValueDistribution::kAnticorrelated, 42});
-  InProcCluster cluster(global, 5, 43);
+  InProcCluster cluster(Topology::uniform(global, 5, 43));
   QueryConfig config;
   config.q = 0.3;
 
@@ -377,7 +377,7 @@ TEST(ObsIntegrationTest, DsudRunProducesTraceAndMatchingByteCounters) {
 TEST(ObsIntegrationTest, EdsudRunProducesTraceAndMatchingByteCounters) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{800, 3, ValueDistribution::kAnticorrelated, 42});
-  InProcCluster cluster(global, 5, 43);
+  InProcCluster cluster(Topology::uniform(global, 5, 43));
   QueryConfig config;
   config.q = 0.3;
 
@@ -398,7 +398,7 @@ TEST(ObsIntegrationTest, EdsudRunProducesTraceAndMatchingByteCounters) {
 TEST(ObsIntegrationTest, GaugesReturnToIdleAndPerSiteCountersMatchUsage) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{700, 3, ValueDistribution::kAnticorrelated, 77});
-  InProcCluster cluster(global, 4, 78);
+  InProcCluster cluster(Topology::uniform(global, 4, 78));
   QueryConfig config;
   config.q = 0.3;
 
@@ -432,7 +432,7 @@ TEST(ObsIntegrationTest, GaugesReturnToIdleAndPerSiteCountersMatchUsage) {
 TEST(ObsIntegrationTest, TraceCapacityZeroDisablesTracing) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{200, 2, ValueDistribution::kIndependent, 7});
-  InProcCluster cluster(global, 3, 8);
+  InProcCluster cluster(Topology::uniform(global, 3, 8));
   QueryOptions options;
   options.traceCapacity = 0;
   const QueryResult result = cluster.engine().runEdsud(QueryConfig{}, options);

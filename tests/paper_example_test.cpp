@@ -88,7 +88,7 @@ TEST(PaperExampleTest, LocalSkylinesMatchTable2a) {
 }
 
 TEST(PaperExampleTest, EdsudEmitsTheTableTrace) {
-  InProcCluster cluster(hotelSites());
+  InProcCluster cluster(Topology::fromPartitions(hotelSites()));
   QueryConfig config;
   config.q = kQ;
   // The paper's Sec. 5.3 walkthrough parks sub-threshold queue entries
@@ -135,7 +135,7 @@ TEST(PaperExampleTest, EagerPolicySameAnswersDifferentSchedule) {
   // this tiny example that broadcasts the two Xiamen decoys the paper's
   // schedule never ships, but the answers (and their probabilities) are
   // identical.
-  InProcCluster cluster(hotelSites());
+  InProcCluster cluster(Topology::fromPartitions(hotelSites()));
   QueryConfig config;
   config.q = kQ;
   config.expunge = ExpungePolicy::kEager;
@@ -149,8 +149,8 @@ TEST(PaperExampleTest, EagerPolicySameAnswersDifferentSchedule) {
 
 TEST(PaperExampleTest, DsudFindsSameAnswersWithMoreBandwidth) {
   const auto sites = hotelSites();
-  InProcCluster dsudCluster(sites);
-  InProcCluster edsudCluster(sites);
+  InProcCluster dsudCluster(Topology::fromPartitions(sites));
+  InProcCluster edsudCluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = kQ;
 
@@ -170,7 +170,7 @@ TEST(PaperExampleTest, DsudFindsSameAnswersWithMoreBandwidth) {
 TEST(PaperExampleTest, MatchesCentralisedGroundTruth) {
   const auto sites = hotelSites();
   const auto expected = testutil::groundTruth(sites, kQ);
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = kQ;
   QueryResult result = cluster.engine().runEdsud(config);

@@ -110,7 +110,7 @@ TEST_P(SkewedClusterTest, AlgorithmsStayExactUnderSkew) {
     sites = partitionZipf(global, 6, 1.2, rng);
   }
 
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   const auto expected = testutil::idsOf(linearSkyline(global, {.q = 0.3}));
   for (QueryResult result : {cluster.engine().runDsud(QueryConfig{}),
                              cluster.engine().runEdsud(QueryConfig{})}) {
@@ -135,7 +135,7 @@ TEST(SkewedClusterTest, RangePartitioningConcentratesLocalSkylines) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{2000, 2, ValueDistribution::kIndependent, 992});
   const auto sites = partitionByRange(global, 4, 0);
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   const QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   std::size_t fromFirst = 0;
   for (const auto& e : result.skyline) {

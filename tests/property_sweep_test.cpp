@@ -84,7 +84,7 @@ TEST(PropertySweepTest, RandomConfigurationsAllMatchGroundTruth) {
     auto expectedIds = testutil::idsOf(expected);
     std::sort(expectedIds.begin(), expectedIds.end());
 
-    InProcCluster cluster(global, c.m, rng.next());
+    InProcCluster cluster(Topology::uniform(global, c.m, rng.next()));
     for (QueryResult result : {cluster.engine().runNaive(c.query),
                                cluster.engine().runDsud(c.query),
                                cluster.engine().runEdsud(c.query)}) {
@@ -124,7 +124,7 @@ TEST(PropertySweepTest, TopKConsistentWithThresholdSweep) {
     const std::size_t m = 1 + rng.below(8);
     const std::size_t k = 1 + rng.below(15);
 
-    InProcCluster cluster(global, m, rng.next());
+    InProcCluster cluster(Topology::uniform(global, m, rng.next()));
     TopKConfig config;
     config.k = k;
     config.floorQ = 0.02 + 0.2 * rng.uniform();

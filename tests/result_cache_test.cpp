@@ -116,7 +116,7 @@ void expectSameAnswer(const std::vector<GlobalSkylineEntry>& got,
 TEST(ResultCacheTest, EngineHitsReplayBitIdenticalAnswersForFree) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{1500, 3, ValueDistribution::kAnticorrelated, 8100});
-  InProcCluster cluster(data, 6, 8101);
+  InProcCluster cluster(Topology::uniform(data, 6, 8101));
   ResultCache cache;
   cluster.engine().setResultCache(&cache);
 
@@ -145,7 +145,7 @@ TEST(ResultCacheTest, EngineHitsReplayBitIdenticalAnswersForFree) {
   for (const GlobalSkylineEntry& e : banded.skyline) {
     EXPECT_GE(e.globalSkyProb, 0.6);
   }
-  InProcCluster reference(data, 6, 8101);
+  InProcCluster reference(Topology::uniform(data, 6, 8101));
   expectSameAnswer(banded.skyline,
                    reference.engine().runEdsud(tighter).skyline);
 }
@@ -153,7 +153,7 @@ TEST(ResultCacheTest, EngineHitsReplayBitIdenticalAnswersForFree) {
 TEST(ResultCacheTest, MaintenanceUpdatesNeverServeStaleVerdicts) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{1200, 2, ValueDistribution::kAnticorrelated, 8200});
-  InProcCluster cluster(data, 5, 8201);
+  InProcCluster cluster(Topology::uniform(data, 5, 8201));
   ResultCache cache;
   cluster.engine().setResultCache(&cache);
 
@@ -193,7 +193,7 @@ TEST(ResultCacheTest, MaintenanceUpdatesNeverServeStaleVerdicts) {
 TEST(ResultCacheTest, IneligibleConfigurationsBypassTheCache) {
   const Dataset data = generateSynthetic(
       SyntheticSpec{800, 2, ValueDistribution::kIndependent, 8300});
-  InProcCluster cluster(data, 4, 8301);
+  InProcCluster cluster(Topology::uniform(data, 4, 8301));
   ResultCache cache;
   cluster.engine().setResultCache(&cache);
 

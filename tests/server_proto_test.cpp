@@ -128,6 +128,38 @@ TEST(ProtoRequestTest, PingCancelStatsRoundTrip) {
   EXPECT_EQ(std::get<CancelRequest>(decoded), c);
 }
 
+TEST(ProtoRequestTest, AdminRoundTripEveryAction) {
+  for (const AdminAction action :
+       {AdminAction::kAddSite, AdminAction::kRemoveSite,
+        AdminAction::kRebalance, AdminAction::kTopology}) {
+    AdminRequest request;
+    request.id = "a1";
+    request.action = action;
+    if (action == AdminAction::kRemoveSite) request.site = 7;
+    const Request decoded = decodeRequest(encodeRequest(request));
+    ASSERT_TRUE(std::holds_alternative<AdminRequest>(decoded))
+        << adminActionName(action);
+    EXPECT_EQ(std::get<AdminRequest>(decoded), request)
+        << adminActionName(action);
+  }
+}
+
+TEST(ProtoRequestTest, AdminSchemaViolations) {
+  // No id, unknown action, remove-site without a site.
+  for (const char* line :
+       {R"({"op":"admin","action":"topology"})",
+        R"({"op":"admin","id":"a","action":"explode"})",
+        R"({"op":"admin","id":"a","action":"remove-site"})",
+        R"({"op":"admin","id":"a","action":"remove-site","site":-1})"}) {
+    try {
+      decodeRequest(line);
+      FAIL() << line;
+    } catch (const ProtoError& error) {
+      EXPECT_EQ(error.code(), ErrorCode::kBadRequest) << line;
+    }
+  }
+}
+
 TEST(ProtoRequestTest, UnknownFieldsAreIgnored) {
   const Request decoded = decodeRequest(
       R"({"op":"query","id":"q1","future_flag":true,"nested":{"a":[1,2]}})");
@@ -277,6 +309,24 @@ TEST(ProtoResponseTest, PongAndStatsRoundTrip) {
   const Response decoded = decodeResponse(encodeResponse(r));
   ASSERT_TRUE(std::holds_alternative<StatsResponse>(decoded));
   EXPECT_EQ(std::get<StatsResponse>(decoded), r);
+}
+
+TEST(ProtoResponseTest, AdminRoundTrip) {
+  AdminResponse response;
+  response.id = "a1";
+  response.epoch = 5;
+  response.members = {0, 1, 3, 4};
+  response.partitions.push_back(PartitionDesc{0, {0, 1}});
+  response.partitions.push_back(PartitionDesc{1, {1, 3}});
+  const Response decoded = decodeResponse(encodeResponse(response));
+  ASSERT_TRUE(std::holds_alternative<AdminResponse>(decoded));
+  EXPECT_EQ(std::get<AdminResponse>(decoded), response);
+
+  // add-site carries the new member's id; kNoSite is elided on the wire
+  // and restored on decode.
+  response.site = 4;
+  const Response withSite = decodeResponse(encodeResponse(response));
+  EXPECT_EQ(std::get<AdminResponse>(withSite), response);
 }
 
 TEST(ProtoResponseTest, UintFieldAtTwoToTheSixtyFourIsRejected) {

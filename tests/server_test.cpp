@@ -32,7 +32,8 @@ namespace {
 class ServerFixture {
  public:
   explicit ServerFixture(ServerConfig config = {}, std::size_t n = 4000,
-                         std::size_t dims = 3, bool shareWork = false) {
+                         std::size_t dims = 3, bool shareWork = false,
+                         bool wireAdmin = false) {
     // Most tests compare server stats strictly against direct engine runs,
     // which the sharing layer deliberately changes (a cache hit ships
     // nothing).  Keep it off unless a test opts in.
@@ -46,7 +47,17 @@ class ServerFixture {
     spec.dist = ValueDistribution::kAnticorrelated;
     spec.seed = 1;
     cluster_ = std::make_unique<InProcCluster>(
-        generateSynthetic(spec, uniformProbability()), 4, 1);
+        Topology::uniform(generateSynthetic(spec, uniformProbability()), 4, 1));
+    if (wireAdmin) {
+      // The same wiring dsudd uses: the admin surface drives the cluster.
+      InProcCluster* cluster = cluster_.get();
+      config.admin.addSite = [cluster] { return cluster->addSite(); };
+      config.admin.removeSite = [cluster](SiteId id) {
+        cluster->removeSite(id);
+      };
+      config.admin.rebalance = [cluster] { cluster->rebalance(); };
+      config.admin.topology = [cluster] { return cluster->topology(); };
+    }
     server_ = std::make_unique<QueryServer>(
         cluster_->engine(), cluster_->metricsRegistry(), config);
     server_->start();  // ports are known after this
@@ -63,6 +74,7 @@ class ServerFixture {
 
   QueryServer& server() { return *server_; }
   QueryEngine& engine() { return cluster_->engine(); }
+  InProcCluster& cluster() { return *cluster_; }
 
   bool waitForExit(double seconds) {
     const auto deadline =
@@ -643,6 +655,110 @@ TEST(ServerTest, DrainRefusesQueriesFlipsHealthzAndStops) {
   // Once the in-flight query finished, the drain completes and run()
   // returns on its own — no stop() needed.
   EXPECT_TRUE(fx.waitForExit(5.0));
+}
+
+// ---------------------------------------------------------------------------
+// Elastic-cluster admin surface
+
+TEST(ServerTest, AdminJoinRebalanceLeaveOverTheWire) {
+  ServerFixture fx({}, 1000, 3, /*shareWork=*/false, /*wireAdmin=*/true);
+  Client client(fx.server().port());
+
+  // Read-only snapshot of the initial layout.
+  client.send(R"({"op":"admin","id":"t0","action":"topology"})");
+  Response response = client.read();
+  ASSERT_TRUE(std::holds_alternative<AdminResponse>(response));
+  {
+    const auto& topo = std::get<AdminResponse>(response);
+    EXPECT_EQ(topo.id, "t0");
+    EXPECT_EQ(topo.epoch, 1u);
+    EXPECT_EQ(topo.members.size(), 4u);
+    EXPECT_EQ(topo.partitions.size(), 4u);
+    EXPECT_EQ(topo.site, kNoSite);
+  }
+
+  // Join: a fresh member appears in the membership, hosts nothing yet.
+  client.send(R"({"op":"admin","id":"t1","action":"add-site"})");
+  response = client.read();
+  ASSERT_TRUE(std::holds_alternative<AdminResponse>(response));
+  {
+    const auto& joined = std::get<AdminResponse>(response);
+    EXPECT_EQ(joined.site, 4u);
+    EXPECT_EQ(joined.epoch, 2u);
+    EXPECT_EQ(joined.members.size(), 5u);
+    EXPECT_EQ(joined.partitions.size(), 4u) << "no data until rebalance";
+  }
+
+  // Rebalance spreads one partition onto every member.
+  client.send(R"({"op":"admin","id":"t2","action":"rebalance"})");
+  response = client.read();
+  ASSERT_TRUE(std::holds_alternative<AdminResponse>(response));
+  {
+    const auto& rebalanced = std::get<AdminResponse>(response);
+    EXPECT_EQ(rebalanced.epoch, 3u);
+    EXPECT_EQ(rebalanced.partitions.size(), 5u);
+  }
+
+  // Leave: the member's data drains onto the survivors.
+  client.send(R"({"op":"admin","id":"t3","action":"remove-site","site":4})");
+  response = client.read();
+  ASSERT_TRUE(std::holds_alternative<AdminResponse>(response));
+  {
+    const auto& shrunk = std::get<AdminResponse>(response);
+    EXPECT_EQ(shrunk.members.size(), 4u);
+    EXPECT_EQ(shrunk.partitions.size(), 4u);
+  }
+
+  // Queries work across every epoch the churn produced.
+  client.send(R"({"op":"query","id":"q1","q":0.3})");
+  const QueryOutcome out = collect(client, "q1");
+  ASSERT_FALSE(out.failed) << out.error.message;
+  EXPECT_GT(out.done.answers, 0u);
+
+  // Bad requests answer cleanly and keep the connection usable.
+  client.send(R"({"op":"admin","id":"t4","action":"remove-site","site":99})");
+  response = client.read();
+  ASSERT_TRUE(std::holds_alternative<ErrorResponse>(response));
+  EXPECT_EQ(std::get<ErrorResponse>(response).code, ErrorCode::kBadRequest);
+}
+
+TEST(ServerTest, AdminRejectedWhenHooksAreNotWired) {
+  ServerFixture fx({}, 500);  // no admin wiring
+  Client client(fx.server().port());
+  client.send(R"({"op":"admin","id":"a1","action":"topology"})");
+  const Response response = client.read();
+  ASSERT_TRUE(std::holds_alternative<ErrorResponse>(response));
+  EXPECT_EQ(std::get<ErrorResponse>(response).code, ErrorCode::kBadRequest);
+}
+
+TEST(ServerTest, QueriesKeepCompletingDuringWireTriggeredRebalance) {
+  ServerFixture fx({}, 8000, 3, /*shareWork=*/false, /*wireAdmin=*/true);
+  Client adminClient(fx.server().port());
+  Client queryClient(fx.server().port());
+
+  // Kick a rebalance and immediately pipeline queries on another
+  // connection; the rebalance runs on a worker while the queries flow.
+  adminClient.send(R"({"op":"admin","id":"r1","action":"rebalance"})");
+  std::vector<std::string> ids;
+  for (int i = 0; i < 8; ++i) {
+    const std::string id = "q" + std::to_string(i);
+    queryClient.send(R"({"op":"query","id":")" + id +
+                     R"(","q":0.3,"progressive":false})");
+    ids.push_back(id);
+  }
+  auto outcomes = collectMany(queryClient, ids);
+  std::uint64_t answers = 0;
+  for (const auto& [id, out] : outcomes) {
+    ASSERT_FALSE(out.failed) << id << ": " << out.error.message;
+    EXPECT_FALSE(out.done.degraded) << id;
+    if (answers == 0) answers = out.done.answers;
+    EXPECT_EQ(out.done.answers, answers)
+        << "every epoch serves the same answer set";
+  }
+
+  const Response response = adminClient.read();
+  ASSERT_TRUE(std::holds_alternative<AdminResponse>(response));
+  EXPECT_EQ(std::get<AdminResponse>(response).epoch, 2u);
 }
 
 }  // namespace

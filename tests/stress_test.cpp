@@ -28,7 +28,7 @@ std::vector<TupleId> indexedTruth(const Dataset& global, double q) {
 TEST(StressTest, FiftyThousandTuplesSixtySites) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{50000, 3, ValueDistribution::kIndependent, 1200});
-  InProcCluster cluster(global, 60, 1201);
+  InProcCluster cluster(Topology::uniform(global, 60, 1201));
 
   Stopwatch watch;
   QueryResult result = cluster.engine().runEdsud(QueryConfig{});
@@ -48,7 +48,7 @@ TEST(StressTest, FiftyThousandTuplesSixtySites) {
 TEST(StressTest, AnticorrelatedHighDimensional) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{20000, 5, ValueDistribution::kAnticorrelated, 1202});
-  InProcCluster cluster(global, 40, 1203);
+  InProcCluster cluster(Topology::uniform(global, 40, 1203));
   QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   sortByGlobalProbability(result.skyline);
   auto ids = testutil::idsOf(result.skyline);
@@ -59,7 +59,7 @@ TEST(StressTest, AnticorrelatedHighDimensional) {
 
 TEST(StressTest, NyseScaleTrace) {
   const Dataset trace = generateNyse(NyseSpec{100000, 1204});
-  InProcCluster cluster(trace, 60, 1205);
+  InProcCluster cluster(Topology::uniform(trace, 60, 1205));
   QueryResult result = cluster.engine().runEdsud(QueryConfig{});
   sortByGlobalProbability(result.skyline);
   auto ids = testutil::idsOf(result.skyline);
@@ -73,7 +73,7 @@ TEST(StressTest, NyseScaleTrace) {
 TEST(StressTest, DeepUpdateStreamAtScale) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{20000, 2, ValueDistribution::kIndependent, 1206});
-  InProcCluster cluster(global, 20, 1207);
+  InProcCluster cluster(Topology::uniform(global, 20, 1207));
   QueryConfig config;
   SkylineMaintainer maintainer(cluster.coordinator(), config,
                                MaintenanceStrategy::kIncremental);

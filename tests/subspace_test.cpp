@@ -19,7 +19,7 @@ TEST_P(SubspaceParamTest, DistributedMatchesCentralisedProjection) {
   const auto [mask, seed] = GetParam();
   const Dataset global = generateSynthetic(
       SyntheticSpec{800, 4, ValueDistribution::kIndependent, seed});
-  InProcCluster cluster(global, 8, seed + 1);
+  InProcCluster cluster(Topology::uniform(global, 8, seed + 1));
 
   QueryConfig config;
   config.q = 0.3;
@@ -59,7 +59,7 @@ TEST(SubspaceTest, SingleDimensionSkylineIsMinimumStaircase) {
   sites[0].add(0, std::vector<double>{1.0, 9.0}, 0.5);
   sites[1].add(1, std::vector<double>{2.0, 1.0}, 0.8);
 
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = 0.2;
   config.mask = 0b01;  // price only
@@ -74,7 +74,7 @@ TEST(SubspaceTest, SingleDimensionSkylineIsMinimumStaircase) {
 TEST(SubspaceTest, SubspaceAnswerCanDifferFromFullSpace) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 3, ValueDistribution::kAnticorrelated, 66});
-  InProcCluster cluster(global, 4, 67);
+  InProcCluster cluster(Topology::uniform(global, 4, 67));
   QueryConfig fullConfig;
   QueryConfig subConfig;
   subConfig.mask = 0b011;

@@ -80,7 +80,7 @@ TEST(TcpClusterTest, EdsudOverTcpMatchesInProcess) {
 
   QueryResult inproc;
   {
-    InProcCluster cluster(siteData);
+    InProcCluster cluster(Topology::fromPartitions(siteData));
     inproc = cluster.engine().runEdsud(config);
   }
   QueryResult tcp;

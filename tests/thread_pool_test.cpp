@@ -86,8 +86,8 @@ TEST(ParallelBroadcastTest, MatchesSequentialExactly) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{3000, 3, ValueDistribution::kAnticorrelated, 750});
 
-  InProcCluster sequential(global, 16, 751);
-  InProcCluster parallel(global, 16, 751);
+  InProcCluster sequential(Topology::uniform(global, 16, 751));
+  InProcCluster parallel(Topology::uniform(global, 16, 751));
   QueryOptions fanOut;
   fanOut.broadcastThreads = 4;
 
@@ -107,7 +107,7 @@ TEST(ParallelBroadcastTest, MatchesSequentialExactly) {
 TEST(ParallelBroadcastTest, WorksForDsudAndUpdatesToo) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{1000, 2, ValueDistribution::kIndependent, 752});
-  InProcCluster cluster(global, 8, 753);
+  InProcCluster cluster(Topology::uniform(global, 8, 753));
   QueryOptions fanOut;
   fanOut.broadcastThreads = 3;
 

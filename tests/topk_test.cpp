@@ -23,7 +23,7 @@ std::vector<TupleId> topKTruth(const Dataset& global, std::size_t k,
 TEST(TopKTest, ValidatesArguments) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{50, 2, ValueDistribution::kIndependent, 400});
-  InProcCluster cluster(global, 2, 401);
+  InProcCluster cluster(Topology::uniform(global, 2, 401));
   TopKConfig bad;
   bad.k = 0;
   EXPECT_THROW(cluster.engine().runTopK(bad), std::invalid_argument);
@@ -40,7 +40,7 @@ TEST_P(TopKParamTest, MatchesSortedGroundTruth) {
   const auto [k, m, dist] = GetParam();
   for (std::uint64_t seed = 410; seed < 413; ++seed) {
     const Dataset global = generateSynthetic(SyntheticSpec{1000, 3, dist, seed});
-    InProcCluster cluster(global, m, seed + 1);
+    InProcCluster cluster(Topology::uniform(global, m, seed + 1));
     TopKConfig config;
     config.k = k;
     config.floorQ = 0.05;
@@ -73,7 +73,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(TopKTest, KLargerThanAnswerSetReturnsEverything) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 2, ValueDistribution::kIndependent, 420});
-  InProcCluster cluster(global, 4, 421);
+  InProcCluster cluster(Topology::uniform(global, 4, 421));
   TopKConfig config;
   config.k = 10000;
   config.floorQ = 0.3;
@@ -86,7 +86,7 @@ TEST(TopKTest, AdaptiveThresholdBeatsFloorQuery) {
   // more tuples than the adaptive top-k loop for small k.
   const Dataset global = generateSynthetic(
       SyntheticSpec{10000, 3, ValueDistribution::kAnticorrelated, 422});
-  InProcCluster cluster(global, 10, 423);
+  InProcCluster cluster(Topology::uniform(global, 10, 423));
 
   TopKConfig topk;
   topk.k = 5;
@@ -110,7 +110,7 @@ TEST(TopKTest, AdaptiveThresholdBeatsFloorQuery) {
 TEST(TopKTest, SubspaceTopK) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{800, 3, ValueDistribution::kIndependent, 424});
-  InProcCluster cluster(global, 5, 425);
+  InProcCluster cluster(Topology::uniform(global, 5, 425));
   TopKConfig config;
   config.k = 8;
   config.floorQ = 0.05;
@@ -131,7 +131,7 @@ TEST(TopKTest, WindowedTopK) {
   window.expand(lo);
   window.expand(hi);
 
-  InProcCluster cluster(global, 6, 427);
+  InProcCluster cluster(Topology::uniform(global, 6, 427));
   TopKConfig config;
   config.k = 5;
   config.floorQ = 0.05;
@@ -147,8 +147,8 @@ TEST(TopKTest, WindowedTopK) {
 TEST(TopKTest, DeterministicAcrossRuns) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{2000, 3, ValueDistribution::kAnticorrelated, 428});
-  InProcCluster a(global, 6, 429);
-  InProcCluster b(global, 6, 429);
+  InProcCluster a(Topology::uniform(global, 6, 429));
+  InProcCluster b(Topology::uniform(global, 6, 429));
   TopKConfig config;
   config.k = 12;
   const QueryResult ra = a.engine().runTopK(config);

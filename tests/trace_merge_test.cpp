@@ -289,7 +289,7 @@ TEST(MergeSiteTracesTest, EmptyInputsAreNoOps) {
 TEST(SiteTraceE2ETest, PiggybackMergesEverySiteSpanInsideItsRpc) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{900, 3, ValueDistribution::kAnticorrelated, 501});
-  InProcCluster cluster(global, 5, 502);
+  InProcCluster cluster(Topology::uniform(global, 5, 502));
   QueryOptions options;
   options.siteTrace = SiteTraceMode::kPiggyback;
 
@@ -313,8 +313,8 @@ TEST(SiteTraceE2ETest, PiggybackMergesEverySiteSpanInsideItsRpc) {
 TEST(SiteTraceE2ETest, SiteTraceOffKeepsTheWirePayloadIdentical) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{600, 2, ValueDistribution::kAnticorrelated, 503});
-  InProcCluster plain(global, 4, 504);
-  InProcCluster traced(global, 4, 504);
+  InProcCluster plain(Topology::uniform(global, 4, 504));
+  InProcCluster traced(Topology::uniform(global, 4, 504));
 
   QueryOptions off;  // tracing on, site tracing off (the default)
   const QueryResult a = plain.engine().runEdsud(QueryConfig{});
@@ -334,7 +334,7 @@ TEST(SiteTraceE2ETest, SiteTraceOffKeepsTheWirePayloadIdentical) {
 TEST(SiteTraceE2ETest, FetchModeReadsSpansAtFinishTime) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{600, 3, ValueDistribution::kAnticorrelated, 505});
-  InProcCluster cluster(global, 4, 506);
+  InProcCluster cluster(Topology::uniform(global, 4, 506));
   QueryOptions options;
   options.siteTrace = SiteTraceMode::kFetch;
 
@@ -424,7 +424,7 @@ TEST(SiteTraceE2ETest, TcpClusterAlignsSiteClocksIntoRpcSpans) {
 TEST(SiteTraceE2ETest, PerfettoExportPutsSiteSpansOnSiteTracks) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 2, ValueDistribution::kAnticorrelated, 509});
-  InProcCluster cluster(global, 3, 510);
+  InProcCluster cluster(Topology::uniform(global, 3, 510));
   QueryOptions options;
   options.siteTrace = SiteTraceMode::kPiggyback;
   const QueryResult result = cluster.engine().runEdsud(QueryConfig{}, options);
@@ -468,7 +468,7 @@ TEST(SiteTraceE2ETest, PerfettoExportPutsSiteSpansOnSiteTracks) {
 TEST(SiteTraceE2ETest, SlowQueryLogDumpsMergedTrace) {
   const Dataset global = generateSynthetic(
       SyntheticSpec{500, 2, ValueDistribution::kAnticorrelated, 511});
-  InProcCluster cluster(global, 3, 512);
+  InProcCluster cluster(Topology::uniform(global, 3, 512));
   const std::filesystem::path dir =
       std::filesystem::path(::testing::TempDir()) / "dsud_slow_queries";
   std::filesystem::remove_all(dir);

@@ -73,7 +73,7 @@ UpdateEvent randomInsert(Rng& rng, std::size_t m, TupleId id) {
 
 TEST(UpdatesTest, InitializeMatchesQuery) {
   auto sites = initialSites(70);
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = kQ;
   SkylineMaintainer maintainer(cluster.coordinator(), config,
@@ -85,7 +85,7 @@ TEST(UpdatesTest, InitializeMatchesQuery) {
 
 TEST(UpdatesTest, ApplyBeforeInitializeThrows) {
   auto sites = initialSites(71);
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   SkylineMaintainer maintainer(cluster.coordinator(), QueryConfig{},
                                MaintenanceStrategy::kIncremental);
   UpdateEvent e;
@@ -94,7 +94,7 @@ TEST(UpdatesTest, ApplyBeforeInitializeThrows) {
 
 TEST(UpdatesTest, InsertDominatingEverythingReplacesSkyline) {
   auto sites = initialSites(72);
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = kQ;
   SkylineMaintainer maintainer(cluster.coordinator(), config,
@@ -116,7 +116,7 @@ TEST(UpdatesTest, InsertDominatingEverythingReplacesSkyline) {
 
 TEST(UpdatesTest, IrrelevantInsertCostsNothing) {
   auto sites = initialSites(73);
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = kQ;
   SkylineMaintainer maintainer(cluster.coordinator(), config,
@@ -147,7 +147,7 @@ TEST(UpdatesTest, DeleteOfSkylineMemberPromotesSuccessors) {
   sites[1].add(1, std::vector<double>{2.0, 2.0}, 0.8);   // suppressed: 0.08
   sites[1].add(2, std::vector<double>{9.0, 0.5}, 0.6);   // independent
 
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = kQ;
   SkylineMaintainer maintainer(cluster.coordinator(), config,
@@ -185,7 +185,7 @@ TEST(UpdatesTest, DeleteOfNonSkylineTupleCanStillPromote) {
   sites[1].add(2, std::vector<double>{2.0, 2.0}, 0.55);
   // P_gsky(2) = 0.55 * 0.75 * 0.65 = 0.268 < 0.3 initially.
 
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = kQ;
   SkylineMaintainer maintainer(cluster.coordinator(), config,
@@ -212,7 +212,7 @@ TEST(UpdatesTest, DeleteOfNonSkylineTupleCanStillPromote) {
 
 TEST(UpdatesTest, DeleteOfMissingTupleIsNoOp) {
   auto sites = initialSites(74);
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = kQ;
   SkylineMaintainer maintainer(cluster.coordinator(), config,
@@ -237,7 +237,7 @@ class UpdateStreamTest
 TEST_P(UpdateStreamTest, RandomStreamStaysExact) {
   const auto [seed, strategy] = GetParam();
   auto sites = initialSites(seed, 300, 4);
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = kQ;
   SkylineMaintainer maintainer(cluster.coordinator(), config, strategy);
@@ -294,7 +294,7 @@ TEST(UpdatesTest, IncrementalIsCheaperThanNaive) {
        {MaintenanceStrategy::kIncremental,
         MaintenanceStrategy::kNaiveRecompute}) {
     auto sites = initialSites(83, 500, 6);
-    InProcCluster cluster(sites);
+    InProcCluster cluster(Topology::fromPartitions(sites));
     QueryConfig config;
     config.q = kQ;
     SkylineMaintainer maintainer(cluster.coordinator(), config, strategy);
@@ -315,7 +315,7 @@ TEST(UpdatesTest, IncrementalIsCheaperThanNaive) {
 
 TEST(UpdatesTest, ReplicasStayConsistentAcrossSites) {
   auto sites = initialSites(85, 200, 3);
-  InProcCluster cluster(sites);
+  InProcCluster cluster(Topology::fromPartitions(sites));
   QueryConfig config;
   config.q = kQ;
   SkylineMaintainer maintainer(cluster.coordinator(), config,
@@ -332,7 +332,7 @@ TEST(UpdatesTest, ReplicasStayConsistentAcrossSites) {
   std::sort(skylineIds.begin(), skylineIds.end());
   for (std::size_t s = 0; s < cluster.siteCount(); ++s) {
     std::vector<TupleId> replicaIds;
-    for (const auto& r : cluster.localSite(s).replica()) {
+    for (const auto& r : cluster.site(s).replica()) {
       replicaIds.push_back(r.entry.tuple.id);
     }
     std::sort(replicaIds.begin(), replicaIds.end());

@@ -14,6 +14,8 @@
 //                    [--on-failure=fail|degrade] [--tenant=default]
 //                    [--priority=high|normal|low] [--id=q1]
 //                    [--repeat=1] [--mix=<file>]
+//   dsudctl admin    <add-site|remove-site|rebalance|topology>
+//                    --connect=<port> [--site=<id>] [--id=a1]
 //   dsudctl convert  --in=data.bin --out=data.csv
 //   dsudctl metrics  --in=data.bin [--algo=edsud|dsud|naive] [--m=10]
 //                    [--q=0.3] [--k=0] [--seed=1] [--format=prom|json]
@@ -52,6 +54,14 @@
 // run.  Exit codes match local mode — 3 when the daemon reports a degraded
 // result, 2 on any protocol `error` (including load shedding, whose
 // retry-after hint is printed).
+//
+// Cluster administration (`admin`): speak the `{"op":"admin"}` surface of a
+// running dsudd — join a fresh member (`add-site`, which hosts no data until
+// the next rebalance), drain and drop one (`remove-site --site=<id>`),
+// repartition the database over the current members (`rebalance`), or print
+// the membership / placement snapshot (`topology`).  Every action prints
+// the resulting topology; exit code 0 on success, 2 when the daemon rejects
+// the operation.  Same --connect convention as `query`.
 //
 // Load bursts (connect mode only): --repeat=N pipelines N copies of the
 // flag-built query on one connection with suffixed ids (`q1#1` ... `q1#N`)
@@ -113,7 +123,7 @@ void saveAny(const Dataset& data, const std::string& path) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: dsudctl <generate|inspect|query|convert|metrics|trace> "
+      "usage: dsudctl <generate|inspect|query|admin|convert|metrics|trace> "
       "[--flags]\n"
       "see the header of tools/dsudctl.cpp for details\n");
   return 1;
@@ -481,7 +491,7 @@ int cmdQuery(const ArgParser& args) {
     clusterConfig.chaos =
         ChaosSpec{.killAfter = 1, .onlySite = static_cast<SiteId>(kill)};
   }
-  InProcCluster cluster(data, m, seed, clusterConfig);
+  InProcCluster cluster(Topology::uniform(data, m, seed), clusterConfig);
 
   QueryResult result;
   if (k > 0) {
@@ -536,6 +546,85 @@ int cmdQuery(const ArgParser& args) {
   return 0;
 }
 
+/// `admin <action> --connect=<port>`: one membership operation against a
+/// running dsudd, printing the resulting topology.
+int cmdAdmin(const ArgParser& args) {
+  namespace srv = dsud::server;
+
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "admin: usage dsudctl admin "
+                 "<add-site|remove-site|rebalance|topology> --connect=<port> "
+                 "[--site=<id>]\n");
+    return 1;
+  }
+  const std::string& action = args.positional()[1];
+  srv::AdminRequest request;
+  request.id = args.get("id", "a1");
+  if (action == "add-site") {
+    request.action = srv::AdminAction::kAddSite;
+  } else if (action == "remove-site") {
+    request.action = srv::AdminAction::kRemoveSite;
+    const std::int64_t site = args.getInt("site", -1);
+    if (site < 0) {
+      std::fprintf(stderr, "admin: remove-site needs --site=<id>\n");
+      return 1;
+    }
+    request.site = static_cast<SiteId>(site);
+  } else if (action == "rebalance") {
+    request.action = srv::AdminAction::kRebalance;
+  } else if (action == "topology") {
+    request.action = srv::AdminAction::kTopology;
+  } else {
+    std::fprintf(stderr, "admin: unknown action '%s'\n", action.c_str());
+    return 1;
+  }
+  if (!args.has("connect")) {
+    std::fprintf(stderr, "admin: --connect=<port> is required\n");
+    return 1;
+  }
+
+  const auto port = static_cast<std::uint16_t>(args.getInt("connect", 0));
+  const Socket socket = connectTo(port, std::chrono::milliseconds{2000});
+  writeAll(socket, srv::encodeRequest(request) + "\n");
+
+  std::string buffer;
+  std::string line;
+  while (readLine(socket, buffer, line)) {
+    if (line.empty()) continue;
+    const srv::Response response = srv::decodeResponse(line);
+    if (const auto* admin = std::get_if<srv::AdminResponse>(&response)) {
+      if (admin->site != kNoSite) {
+        std::printf("joined member %u (no data until the next rebalance)\n",
+                    admin->site);
+      }
+      std::printf("epoch %llu; %zu member(s):",
+                  static_cast<unsigned long long>(admin->epoch),
+                  admin->members.size());
+      for (const SiteId member : admin->members) {
+        std::printf(" %u", member);
+      }
+      std::printf("\n");
+      for (const PartitionDesc& partition : admin->partitions) {
+        std::printf("  partition %-4u hosts:", partition.id);
+        for (const SiteId host : partition.hosts) {
+          std::printf(" %u", host);
+        }
+        std::printf("\n");
+      }
+      return 0;
+    }
+    if (const auto* error = std::get_if<srv::ErrorResponse>(&response)) {
+      std::fprintf(stderr, "admin failed: %s: %s\n",
+                   srv::errorCodeName(error->code), error->message.c_str());
+      return 2;
+    }
+    // Anything else cannot answer an admin id; keep reading defensively.
+  }
+  std::fprintf(stderr, "admin: connection closed before a response\n");
+  return 2;
+}
+
 int cmdMetrics(const ArgParser& args) {
   const std::string in = args.get("in", "");
   if (in.empty()) {
@@ -553,7 +642,7 @@ int cmdMetrics(const ArgParser& args) {
     return 1;
   }
 
-  InProcCluster cluster(data, m, seed);
+  InProcCluster cluster(Topology::uniform(data, m, seed));
 
   QueryResult result;
   if (k > 0) {
@@ -681,7 +770,7 @@ int cmdTrace(const ArgParser& args) {
     }
     for (auto& t : threads) t.join();
   } else if (transportKind == "inproc") {
-    InProcCluster cluster(data, m, seed);
+    InProcCluster cluster(Topology::uniform(data, m, seed));
     result = runTracedQuery(cluster.engine(), algo, config, options);
   } else {
     std::fprintf(stderr, "trace: unknown --transport=%s\n",
@@ -734,6 +823,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmdGenerate(args);
     if (command == "inspect") return cmdInspect(args);
     if (command == "query") return cmdQuery(args);
+    if (command == "admin") return cmdAdmin(args);
     if (command == "convert") return cmdConvert(args);
     if (command == "metrics") return cmdMetrics(args);
     if (command == "trace") return cmdTrace(args);

@@ -2,8 +2,8 @@
 //
 //   dsudd [--in=data.bin] [--n=20000] [--d=3] [--seed=1]
 //         [--dist=independent|correlated|anticorrelated|nyse]
-//         [--m=10] [--port=7411] [--http-port=7412] [--workers=4]
-//         [--max-inflight=64] [--max-queued=256]
+//         [--m=10] [--replicas=1] [--port=7411] [--http-port=7412]
+//         [--workers=4] [--max-inflight=64] [--max-queued=256]
 //         [--rate=0] [--burst=32] [--breaker-shed=0.5]
 //         [--drain-ms=5000] [--port-file=<path>]
 //         [--cache-capacity=256] [--batch-window-ms=0]
@@ -23,6 +23,13 @@
 // outright once that fraction of site circuit breakers is open.  Beyond
 // every limit the server answers `overloaded`/`unavailable` with a
 // retry-after hint — explicit load shedding, never an unbounded queue.
+//
+// Elasticity: --replicas=k keeps k bit-identical copies of every partition
+// (failover with zero result loss when k >= 2), and the `{"op":"admin"}`
+// protocol surface — `dsudctl admin {add-site,remove-site,rebalance,
+// topology} --connect=<port>` — joins and drains members and triggers
+// background rebalances at runtime.  Rebalances run on a worker thread;
+// queries keep completing against the pinned previous epoch meanwhile.
 //
 // Shared work: --cache-capacity sizes the global-skyline result cache
 // (entries; 0 disables) and --batch-window-ms opens a shared-work batching
@@ -102,8 +109,10 @@ int run(const ArgParser& args) {
   const Dataset data = loadOrGenerate(args);
   const auto m = static_cast<std::size_t>(args.getInt("m", 10));
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const auto replicas =
+      static_cast<std::size_t>(args.getInt("replicas", 1));
 
-  InProcCluster cluster(data, m, seed);
+  InProcCluster cluster(Topology::uniform(data, m, seed, replicas));
 
   server::ServerConfig config;
   config.port = static_cast<std::uint16_t>(args.getInt("port", 7411));
@@ -124,6 +133,10 @@ int run(const ArgParser& args) {
     config.batching.enabled = true;
     config.batching.windowSeconds = batchWindowMs / 1e3;
   }
+  config.admin.addSite = [&cluster] { return cluster.addSite(); };
+  config.admin.removeSite = [&cluster](SiteId id) { cluster.removeSite(id); };
+  config.admin.rebalance = [&cluster] { cluster.rebalance(); };
+  config.admin.topology = [&cluster] { return cluster.topology(); };
 
   server::QueryServer server(cluster.engine(), cluster.metricsRegistry(),
                              config);
