@@ -56,7 +56,7 @@ inline Scale defaultScale() {
 // The bench harness dispatches on the library's own algorithm selector.
 using Algo = dsud::Algo;
 
-inline const char* algoName(Algo a) {
+inline const char* algoLabel(Algo a) {
   switch (a) {
     case Algo::kNaive:
       return "Naive";

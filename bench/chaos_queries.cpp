@@ -124,7 +124,7 @@ int main() {
       }
     }
     if (completed > 0) point.seconds /= static_cast<double>(completed);
-    printRow(std::string(algoName(algo)), std::uint64_t(point.exact),
+    printRow(std::string(algoLabel(algo)), std::uint64_t(point.exact),
              std::uint64_t(point.degraded), std::uint64_t(point.failed),
              point.seconds);
   }

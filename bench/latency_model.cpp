@@ -68,7 +68,7 @@ int main() {
     QueryConfig config;
     config.q = scale.q;
     const Model model = measure(cluster.engine(), algo, config, scale.m);
-    printRow(std::string(algoName(algo)), model.tuples,
+    printRow(std::string(algoLabel(algo)), model.tuples,
              model.sequentialRounds, model.pipelinedRounds,
              model.sequentialRounds * 0.010, model.pipelinedRounds * 0.010);
   }

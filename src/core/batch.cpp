@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/log.hpp"
 #include "skyline/spec.hpp"
 
 namespace dsud {
@@ -158,6 +159,9 @@ void BatchExecutor::launchFlush(std::shared_ptr<Group> group, bool inlineRun) {
   if (flushes_ != nullptr) flushes_->inc();
   if (width_ != nullptr) width_->observe(static_cast<double>(width));
   if (merged_ != nullptr && width > 1) merged_->add(width - 1);
+  obs::eventLog().emit(LogLevel::kInfo, "batch", "batch.flush",
+                       {obs::field("algo", algoName(group->algo)),
+                        obs::field("width", width)});
   QueryEngine* engine = engine_;
   if (inlineRun) {
     runGroup(*engine, *group);
@@ -214,6 +218,8 @@ void BatchExecutor::runGroup(QueryEngine& engine, Group& group) {
   QueryResult leader;
   try {
     leader = engine.dispatch(group.algo, config, options, leaderId);
+    leader.profile.batch = live.size() > 1 ? "leader" : "solo";
+    leader.profile.batchWidth = live.size();
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     for (Member* m : live) {
@@ -230,6 +236,8 @@ void BatchExecutor::runGroup(QueryEngine& engine, Group& group) {
     result.stats = leader.stats;  // the shared descent's totals
     result.degraded = leader.degraded;
     result.excludedSites = leader.excludedSites;
+    result.profile = leader.profile;  // the shared descent's cost, per member
+    if (m.id != leaderId) result.profile.batch = "member";
     for (std::size_t j = 0; j < leader.skyline.size(); ++j) {
       const GlobalSkylineEntry& entry = leader.skyline[j];
       if (entry.globalSkyProb < m.q) continue;

@@ -8,6 +8,7 @@
 #include "gen/partition.hpp"
 #include "net/channel_pool.hpp"
 #include "net/inproc_transport.hpp"
+#include "obs/log.hpp"
 
 namespace dsud {
 
@@ -123,6 +124,10 @@ SiteId InProcCluster::addSite() {
   // Layout unchanged until the next rebalance, but the epoch bump must be
   // visible now: it retires cached answers and stamps new sessions.
   refreshView();
+  obs::eventLog().emit(LogLevel::kInfo, "topology", "topology.join",
+                       {obs::field("site", id),
+                        obs::field("epoch", topology_.epoch()),
+                        obs::field("members", topology_.members().size())});
   return id;
 }
 
@@ -137,11 +142,18 @@ void InProcCluster::removeSite(SiteId id) {
   Dataset global = gather();
   topology_.removeSite(id);
   repartition(global);
+  obs::eventLog().emit(LogLevel::kInfo, "topology", "topology.leave",
+                       {obs::field("site", id),
+                        obs::field("epoch", topology_.epoch()),
+                        obs::field("members", topology_.members().size())});
 }
 
 void InProcCluster::rebalance() {
   std::lock_guard lock(adminMutex_);
   repartition(gather());
+  obs::eventLog().emit(LogLevel::kInfo, "topology", "topology.rebalance",
+                       {obs::field("epoch", topology_.epoch()),
+                        obs::field("members", topology_.members().size())});
 }
 
 Dataset InProcCluster::gather() const {

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/log.hpp"
+
 namespace dsud {
 
 void sortByGlobalProbability(std::vector<GlobalSkylineEntry>& entries) {
@@ -15,6 +17,15 @@ void sortByGlobalProbability(std::vector<GlobalSkylineEntry>& entries) {
               }
               return a.tuple.id < b.tuple.id;
             });
+}
+
+const char* algoName(Algo algo) noexcept {
+  switch (algo) {
+    case Algo::kNaive: return "naive";
+    case Algo::kDsud: return "dsud";
+    case Algo::kEdsud: return "edsud";
+  }
+  return "unknown";
 }
 
 Coordinator::Coordinator(BandwidthMeter* meter, std::size_t dims,
@@ -74,6 +85,10 @@ void Coordinator::installView(std::shared_ptr<const ClusterView> view) {
   if (epochGauge_ != nullptr) {
     epochGauge_->set(static_cast<double>(view->epoch));
   }
+  obs::eventLog().emit(
+      LogLevel::kInfo, "topology", "topology.install",
+      {obs::field("epoch", view->epoch),
+       obs::field("partitions", view->partitions.size())});
   std::lock_guard lock(viewMutex_);
   view_ = std::move(view);
 }

@@ -4,6 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "obs/log.hpp"
+#include "obs/recorder.hpp"
+
 namespace dsud {
 
 FailoverSiteHandle::FailoverSiteHandle(
@@ -57,6 +60,15 @@ auto FailoverSiteHandle::withFailover(Fn&& fn) {
       ++active_;
       needReplay_ = true;
       if (failoverCounter_ != nullptr) failoverCounter_->inc();
+      obs::eventLog().emit(
+          LogLevel::kWarn, "failover", "failover",
+          {obs::field("site", partition_),
+           obs::field("replica", static_cast<std::uint64_t>(active_)),
+           obs::field("replicas",
+                      static_cast<std::uint64_t>(replicas_.size()))});
+      // A replica died mid-query: the recent ring (retries, breaker trips)
+      // explains why — preserve it.
+      obs::flightRecorder().anomaly("failover");
     }
   }
 }

@@ -64,7 +64,7 @@ class FailoverSiteHandle final : public SiteHandle {
   SiteHealth* sessionHealth() const noexcept override;
 
   /// Replicas this session has failed away from (0 on the happy path).
-  std::size_t failovers() const noexcept { return active_; }
+  std::uint64_t failovers() const noexcept override { return active_; }
 
  private:
   SiteHandle& active() const noexcept { return *replicas_[active_]; }

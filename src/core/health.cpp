@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/log.hpp"
+
 namespace dsud {
 
 SiteHealth::SiteHealth(SiteId site, CircuitBreakerConfig config,
@@ -49,22 +51,46 @@ bool SiteHealth::admit() {
 }
 
 void SiteHealth::recordSuccess() {
-  std::lock_guard lock(mutex_);
-  consecutiveFailures_ = 0;
-  rejections_ = 0;
-  setStateLocked(State::kClosed);
+  bool closed = false;
+  {
+    std::lock_guard lock(mutex_);
+    consecutiveFailures_ = 0;
+    rejections_ = 0;
+    closed = state_ != State::kClosed;
+    setStateLocked(State::kClosed);
+  }
+  // Emit outside the breaker mutex: the event log takes its own lock and
+  // fans out to sinks, which must never nest under per-site state.
+  if (closed) {
+    obs::eventLog().emit(LogLevel::kInfo, "health", "breaker.close",
+                         {obs::field("site", site_)});
+  }
 }
 
 void SiteHealth::recordFailure() {
-  std::lock_guard lock(mutex_);
-  ++consecutiveFailures_;
-  const bool shouldOpen = state_ == State::kHalfOpen ||  // failed probe
-                          consecutiveFailures_ >= config_.failureThreshold;
-  if (shouldOpen && state_ != State::kOpen) {
-    ++trips_;
-    if (tripCounter_ != nullptr) tripCounter_->inc();
-    rejections_ = 0;
-    setStateLocked(State::kOpen);
+  bool opened = false;
+  std::uint64_t trips = 0;
+  std::uint32_t failures = 0;
+  {
+    std::lock_guard lock(mutex_);
+    ++consecutiveFailures_;
+    const bool shouldOpen = state_ == State::kHalfOpen ||  // failed probe
+                            consecutiveFailures_ >= config_.failureThreshold;
+    if (shouldOpen && state_ != State::kOpen) {
+      ++trips_;
+      if (tripCounter_ != nullptr) tripCounter_->inc();
+      rejections_ = 0;
+      setStateLocked(State::kOpen);
+      opened = true;
+      trips = trips_;
+      failures = consecutiveFailures_;
+    }
+  }
+  if (opened) {
+    obs::eventLog().emit(LogLevel::kWarn, "health", "breaker.open",
+                         {obs::field("site", site_),
+                          obs::field("failures", failures),
+                          obs::field("trips", trips)});
   }
 }
 

@@ -8,6 +8,7 @@
 #include "common/stopwatch.hpp"
 #include "core/batch.hpp"
 #include "core/result_cache.hpp"
+#include "obs/log.hpp"
 
 namespace dsud {
 
@@ -85,7 +86,9 @@ QueryResult QueryEngine::dispatch(Algo algo, const QueryConfig& config,
                                   const QueryOptions& options, QueryId id) {
   ResultCache* cache = cache_;
   if (cache == nullptr || !shareEligible(algo, config)) {
-    return execute(algo, config, options, id);
+    QueryResult result = execute(algo, config, options, id);
+    result.profile.cache = "bypass";
+    return result;
   }
 
   ResultCache::Key key;
@@ -99,9 +102,20 @@ QueryResult QueryEngine::dispatch(Algo algo, const QueryConfig& config,
   key.window = config.window;
 
   if (auto hit = cache->lookup(key, config.q)) {
-    return fromCache(std::move(*hit), options, id);
+    obs::eventLog().emit(LogLevel::kInfo, "cache", "cache.hit",
+                         {obs::field("query", id),
+                          obs::field("algo", algoName(algo)),
+                          obs::field("answers", hit->size())});
+    QueryResult result = fromCache(std::move(*hit), options, id);
+    result.profile.algo = algoName(algo);
+    result.profile.cache = "hit";
+    return result;
   }
+  obs::eventLog().emit(LogLevel::kDebug, "cache", "cache.miss",
+                       {obs::field("query", id),
+                        obs::field("algo", algoName(algo))});
   QueryResult result = execute(algo, config, options, id);
+  result.profile.cache = "miss";
   // Degraded answers describe a survivor subset, not the cluster; if
   // maintenance landed mid-run the answer may straddle two versions; and if
   // the membership epoch moved the answer belongs to a retired layout.

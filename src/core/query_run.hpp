@@ -26,7 +26,9 @@
 #include "core/coordinator.hpp"
 #include "core/failover.hpp"
 #include "obs/export.hpp"
+#include "obs/log.hpp"
 #include "obs/merge.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace dsud::internal {
@@ -36,8 +38,25 @@ struct QueryRun {
   QueryId id;
   QueryOptions options;  ///< immutable for the run
   QueryResult result;
-  QueryUsage usage;  ///< session-scoped bandwidth (sums into the meter too)
+  /// Per-chain bandwidth scopes, parallel to `sessions`: each chain's RPC
+  /// traffic lands in its own QueryUsage (sums into the meter too) so the
+  /// EXPLAIN profile can attribute bytes and tuples per site.  Aggregate
+  /// stats are the sum over chains — integer sums, so bit-identical to the
+  /// former single-scope accounting.
+  std::vector<std::unique_ptr<QueryUsage>> siteUsage;
+  /// Coordinator-thread tallies, parallel to `sessions` (the pooled
+  /// broadcast path drains its futures on this thread, so plain integers
+  /// suffice): To-Server pulls, candidates returned, Local-Pruning victims,
+  /// retried transport attempts.
+  struct SiteTally {
+    std::uint64_t rounds = 0;
+    std::uint64_t candidates = 0;
+    std::uint64_t pruned = 0;
+    std::uint64_t retries = 0;
+  };
+  std::vector<SiteTally> tallies;
   Stopwatch watch;   ///< session-owned monotonic clock
+  double prepareDoneSeconds = 0.0;  ///< stamp at end of prepareAll
   obs::Tracer tracer;
   obs::SpanId root = obs::kNoSpan;
   /// Topology snapshot this session runs over, pinned at construction: a
@@ -84,10 +103,15 @@ struct QueryRun {
         view(c.view()), algo(algo) {
     result.id = id;
     sessions.reserve(view->partitions.size());
+    siteUsage.reserve(view->partitions.size());
     for (const ReplicaChain& chain : view->partitions) {
+      // One scope per chain: all replicas of a partition record into it, so
+      // failover traffic stays attributed to the logical site.
+      siteUsage.push_back(std::make_unique<QueryUsage>());
+      QueryUsage* scope = siteUsage.back().get();
       if (chain.replicas.size() == 1) {
         sessions.push_back(chain.replicas[0]->openSession(
-            &usage, options.fault, chain.health[0], c.metrics()));
+            scope, options.fault, chain.health[0], c.metrics()));
       } else {
         // k >= 2: one session per replica store, stitched into a single
         // failover handle so a dying store is replaced mid-query with zero
@@ -96,12 +120,13 @@ struct QueryRun {
         replicas.reserve(chain.replicas.size());
         for (std::size_t r = 0; r < chain.replicas.size(); ++r) {
           replicas.push_back(chain.replicas[r]->openSession(
-              &usage, options.fault, chain.health[r], c.metrics()));
+              scope, options.fault, chain.health[r], c.metrics()));
         }
         sessions.push_back(std::make_unique<FailoverSiteHandle>(
             chain.partition, std::move(replicas), c.metrics()));
       }
     }
+    tallies.resize(sessions.size());
     // Site tracing needs a coordinator trace to merge into; piggybacked
     // spans stream into per-site sinks while the query runs, fetched spans
     // arrive in one kFetchTrace per site at finish() time.
@@ -137,6 +162,9 @@ struct QueryRun {
       inflight = &reg->gauge(name("dsud_queries_inflight"));
       inflight->add(1);
     }
+    obs::eventLog().emit(LogLevel::kDebug, "engine", "query.start",
+                         {obs::field("query", id), obs::field("algo", algo),
+                          obs::field("sites", sessions.size())});
   }
 
   ~QueryRun() {
@@ -169,9 +197,12 @@ struct QueryRun {
   /// stay unannotated, so a faulty run's trace differs from a clean one
   /// only by these attrs.  The breaker comes from the session handle itself
   /// (the active replica's, under failover) — positional coordinator
-  /// lookups are not stable once sites join and leave.
-  void annotateRetries(obs::TraceSpan& rpc, const SiteHandle& handle) {
+  /// lookups are not stable once sites join and leave.  Also folds the
+  /// extra attempts into the session's per-site retry tally (profile).
+  void annotateRetries(obs::TraceSpan& rpc, std::size_t index) {
+    const SiteHandle& handle = *sessions[index];
     if (const std::uint32_t attempts = handle.lastAttempts(); attempts > 1) {
+      tallies[index].retries += attempts - 1;
       rpc.attr("attempts", attempts);
       if (const SiteHealth* health = handle.sessionHealth();
           health != nullptr) {
@@ -204,6 +235,9 @@ struct QueryRun {
     }
     obs::TraceSpan s = span("site.dead");
     s.attr("site", site);
+    obs::eventLog().emit(LogLevel::kWarn, "engine", "site.dead",
+                         {obs::field("query", id), obs::field("algo", algo),
+                          obs::field("site", site)});
   }
 
   /// Opens the site-side sessions: kPrepare to every site.  Marks the
@@ -227,7 +261,7 @@ struct QueryRun {
       rpc.attr("site", s->siteId());
       try {
         s->prepare(request);
-        annotateRetries(rpc, *s);
+        annotateRetries(rpc, i);
       } catch (const NetError&) {
         if (!degradeOk()) throw;
         markDead(s->siteId());
@@ -236,6 +270,7 @@ struct QueryRun {
     if (dead.size() == sessions.size()) {
       throw NetError("prepareAll: all sites unavailable");
     }
+    prepareDoneSeconds = watch.elapsedSeconds();
   }
 
   /// Releases the site-side session state (kFinishQuery, idempotent).
@@ -326,10 +361,11 @@ struct QueryRun {
             p.rpc.attr("seq",
                        static_cast<double>(sessions[p.index]->lastEvalSeq()));
           }
-          annotateRetries(p.rpc, *sessions[p.index]);
+          annotateRetries(p.rpc, p.index);
           p.rpc.close();
           globalSkyProb *= r.survival;
           stats.prunedAtSites += r.prunedCount;
+          tallies[p.index].pruned += r.prunedCount;
         } catch (const NetError&) {
           if (degradeOk()) {
             failed.push_back(p.site);
@@ -353,9 +389,10 @@ struct QueryRun {
           if (siteTracing()) {
             rpc.attr("seq", static_cast<double>(s->lastEvalSeq()));
           }
-          annotateRetries(rpc, *s);
+          annotateRetries(rpc, i);
           globalSkyProb *= r.survival;
           stats.prunedAtSites += r.prunedCount;
+          tallies[i].pruned += r.prunedCount;
         } catch (const NetError&) {
           if (!degradeOk()) throw;
           markDead(s->siteId());
@@ -373,18 +410,21 @@ struct QueryRun {
   std::optional<Candidate> pull(SiteId site, const NextCandidateRequest& cursor,
                                 QueryStats& stats) {
     if (isDead(site)) return std::nullopt;
-    SiteHandle& handle = *sessions[sessionIndexOf(site)];
+    const std::size_t index = sessionIndexOf(site);
+    SiteHandle& handle = *sessions[index];
     obs::TraceSpan pullSpan = span("pull");
     pullSpan.attr("site", site);
     try {
       auto response = handle.nextCandidate(cursor);
+      ++tallies[index].rounds;
       if (siteTracing()) {
         // Matches this round trip to the site-side "site.next" span carrying
         // the same sequence number (see obs::mergeSiteTraces).
         pullSpan.attr("seq", static_cast<double>(handle.lastNextSeq()));
       }
-      annotateRetries(pullSpan, handle);
+      annotateRetries(pullSpan, index);
       if (!response.candidate) return std::nullopt;
+      ++tallies[index].candidates;
       countPull(stats);
       return std::move(response.candidate);
     } catch (const NetError&) {
@@ -394,7 +434,20 @@ struct QueryRun {
     }
   }
 
-  std::uint64_t tuplesSoFar() const { return usage.totals().tuples; }
+  /// Sums the per-chain scopes into one aggregate (what the single session
+  /// scope used to hold).
+  UsageTotals usageTotals() const {
+    UsageTotals sum;
+    for (const auto& scope : siteUsage) {
+      const UsageTotals t = scope->totals();
+      sum.tuples += t.tuples;
+      sum.bytes += t.bytes;
+      sum.calls += t.calls;
+    }
+    return sum;
+  }
+
+  std::uint64_t tuplesSoFar() const { return usageTotals().tuples; }
 
   /// Cooperative cancellation: aborts the run with QueryCancelled once the
   /// shared flag (QueryOptions::cancel) has been set.  Checked at every
@@ -468,11 +521,12 @@ struct QueryRun {
   }
 
   QueryResult finalize() {
+    const double executeDone = watch.elapsedSeconds();
     // Release the site sessions before reading the totals so the finish
     // round trips land in this query's stats deterministically.
     finish();
     result.stats.seconds = watch.elapsedSeconds();
-    const UsageTotals totals = usage.totals();
+    const UsageTotals totals = usageTotals();
     result.stats.tuplesShipped = totals.tuples;
     result.stats.bytesShipped = totals.bytes;
     result.stats.roundTrips = totals.calls;
@@ -493,20 +547,84 @@ struct QueryRun {
       }
       obs::mergeSiteTraces(result.trace, inputs);
     }
+    buildProfile(executeDone);
+    emitLifecycleEvents();
     maybeDumpSlowQuery();
     return std::move(result);
   }
 
+  /// Assembles the EXPLAIN/ANALYZE profile from the per-chain usage scopes
+  /// and coordinator-thread tallies.  Cheap (one small vector per query) and
+  /// unconditional — whether the client *sees* it is the protocol's choice,
+  /// so answers are bit-identical with profiling on or off.
+  void buildProfile(double executeDone) {
+    QueryProfile& p = result.profile;
+    p.algo = algo;
+    p.prepareSeconds = prepareDoneSeconds;
+    p.executeSeconds = std::max(0.0, executeDone - prepareDoneSeconds);
+    p.finalizeSeconds =
+        std::max(0.0, result.stats.seconds - executeDone);
+    p.sites.reserve(sessions.size());
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      SiteProfile site;
+      site.site = sessions[i]->siteId();
+      const UsageTotals t = siteUsage[i]->totals();
+      site.tuples = t.tuples;
+      site.bytes = t.bytes;
+      site.rounds = tallies[i].rounds;
+      site.candidates = tallies[i].candidates;
+      site.pruned = tallies[i].pruned;
+      site.retries = tallies[i].retries;
+      site.failovers = sessions[i]->failovers();
+      site.dead = isDead(site.site);
+      p.failovers += site.failovers;
+      p.sites.push_back(std::move(site));
+    }
+  }
+
+  /// query.done (info) for every run; query.degraded (warn) plus a flight-
+  /// recorder anomaly dump when sites were lost — the dump is the always-on
+  /// record of *why* (retries → breaker trips → site.dead precede it in the
+  /// ring).
+  void emitLifecycleEvents() {
+    obs::EventLog& log = obs::eventLog();
+    log.emit(LogLevel::kInfo, "engine", "query.done",
+             {obs::field("query", id), obs::field("algo", algo),
+              obs::field("answers", result.skyline.size()),
+              obs::field("tuples", result.stats.tuplesShipped),
+              obs::field("bytes", result.stats.bytesShipped),
+              obs::field("round_trips", result.stats.roundTrips),
+              obs::field("seconds", result.stats.seconds),
+              obs::field("degraded", result.degraded),
+              obs::field("failovers", result.profile.failovers)});
+    if (result.degraded) {
+      log.emit(LogLevel::kWarn, "engine", "query.degraded",
+               {obs::field("query", id), obs::field("algo", algo),
+                obs::field("excluded", result.excludedSites.size())});
+      obs::flightRecorder().anomaly("degraded_query");
+    }
+  }
+
   /// Slow-query log: when the run exceeded QueryOptions::slowQueryThreshold,
-  /// count it and — if a dump directory is configured — write the merged
-  /// trace as `<algo>-q<id>-<ms>ms.trace.json` (Perfetto-loadable).
-  /// Best-effort: an unwritable directory never fails the query.
+  /// count it and emit a `query.slow` event into the structured log (one
+  /// stream with everything else; the flight recorder retains it).  The
+  /// legacy per-query Perfetto dump — `<algo>-q<id>-<ms>ms.trace.json` in
+  /// `slowQueryDir` — is kept as a compatibility shim for check_trace.py
+  /// consumers and is deprecated (docs/ARCHITECTURE §14).  Best-effort: an
+  /// unwritable directory never fails the query.
   void maybeDumpSlowQuery() {
     if (options.slowQueryThreshold <= 0.0 ||
         result.stats.seconds < options.slowQueryThreshold) {
       return;
     }
     if (slowQueries != nullptr) slowQueries->inc();
+    obs::eventLog().emit(
+        LogLevel::kWarn, "engine", "query.slow",
+        {obs::field("query", id), obs::field("algo", algo),
+         obs::field("seconds", result.stats.seconds),
+         obs::field("threshold", options.slowQueryThreshold),
+         obs::field("tuples", result.stats.tuplesShipped),
+         obs::field("round_trips", result.stats.roundTrips)});
     if (options.slowQueryDir.empty()) return;
     try {
       std::filesystem::create_directories(options.slowQueryDir);

@@ -50,6 +50,48 @@ struct QueryStats {
   friend bool operator==(const QueryStats&, const QueryStats&) = default;
 };
 
+/// Per-site slice of a query's EXPLAIN/ANALYZE profile: how much work one
+/// site contributed and how the coordinator's fault machinery treated it.
+struct SiteProfile {
+  SiteId site = kNoSite;
+  std::uint64_t rounds = 0;      ///< sorted-access pulls served (To-Server)
+  std::uint64_t tuples = 0;      ///< tuples shipped from/to this site
+  std::uint64_t bytes = 0;       ///< wire bytes attributed to this site
+  std::uint64_t candidates = 0;  ///< candidates this site contributed
+  std::uint64_t pruned = 0;      ///< tuples its Local-Pruning withheld
+  std::uint64_t retries = 0;     ///< RPC attempts beyond the first
+  std::uint64_t failovers = 0;   ///< replica switches on this chain
+  bool dead = false;             ///< excluded after exhausting replicas
+
+  friend bool operator==(const SiteProfile&, const SiteProfile&) = default;
+};
+
+/// EXPLAIN/ANALYZE profile of one query run: where the rounds and bytes
+/// went (per site), how the serving layer disposed of the query (cache /
+/// batch / failover), and where its wall time was spent.  Always collected
+/// — the fields are tallied on the coordinator thread from state the run
+/// maintains anyway — and carried on the `done` protocol frame only when
+/// the client asked for it, so answers are bit-identical either way.
+struct QueryProfile {
+  std::string algo;   ///< "naive" | "dsud" | "edsud" | "topk"
+  /// Result-cache disposition: "hit" (answer replayed from cache), "miss"
+  /// (executed, then inserted), or "bypass" (cache absent or query not
+  /// share-eligible).
+  std::string cache = "bypass";
+  /// Shared-work disposition: "solo" (ran alone), "leader" (its descent
+  /// served the whole group), or "member" (answer split out of a leader's
+  /// run).
+  std::string batch = "solo";
+  std::uint64_t batchWidth = 1;  ///< group size when batched (else 1)
+  std::uint64_t failovers = 0;   ///< replica switches across all chains
+  double prepareSeconds = 0.0;   ///< session open + site prepare
+  double executeSeconds = 0.0;   ///< protocol rounds until last answer
+  double finalizeSeconds = 0.0;  ///< finish + trace merge + accounting
+  std::vector<SiteProfile> sites;
+
+  friend bool operator==(const QueryProfile&, const QueryProfile&) = default;
+};
+
 struct QueryResult {
   QueryId id = kNoQuery;  ///< session id the engine assigned to this query
   std::vector<GlobalSkylineEntry> skyline;  ///< in emission order
@@ -66,6 +108,8 @@ struct QueryResult {
   /// Sites excluded from a degraded run, in the order their failures were
   /// detected.  Empty when `degraded` is false.
   std::vector<SiteId> excludedSites;
+  /// EXPLAIN/ANALYZE cost profile (always populated by the engine paths).
+  QueryProfile profile;
 };
 
 /// Invoked the moment an answer qualifies (progressive reporting).
@@ -180,5 +224,9 @@ struct QueryOptions {
 /// Sorts answers by descending global skyline probability (ties: id) — the
 /// canonical order used when comparing algorithm outputs.
 void sortByGlobalProbability(std::vector<GlobalSkylineEntry>& entries);
+
+/// Canonical lowercase name of an algorithm ("naive" / "dsud" / "edsud"),
+/// shared by the wire protocol, the profile, and the structured event log.
+const char* algoName(Algo algo) noexcept;
 
 }  // namespace dsud

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/log.hpp"
+
 namespace dsud {
 
 namespace {
@@ -222,6 +224,10 @@ Frame RpcSiteHandle::retryingRoundTrip(const Frame& request) {
       throw SiteFailure(site_, attempt, why);
     }
     if (retries_ != nullptr) retries_->inc();
+    obs::eventLog().emit(LogLevel::kWarn, "rpc", "rpc.retry",
+                         {obs::field("site", site_),
+                          obs::field("attempt", attempt),
+                          obs::field("reason", why)});
     const auto delay = fault_.retry.backoff(attempt, backoffRng_);
     if (delay.count() > 0) std::this_thread::sleep_for(delay);
   }

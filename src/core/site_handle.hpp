@@ -108,6 +108,10 @@ class SiteHandle {
   /// sites join and leave).  For a failover handle, the breaker of the
   /// currently active replica.
   virtual SiteHealth* sessionHealth() const noexcept { return nullptr; }
+
+  /// Replica switches this session performed so far (EXPLAIN profile).
+  /// Non-replicated handles never fail over.
+  virtual std::uint64_t failovers() const noexcept { return 0; }
 };
 
 /// SiteHandle over a per-site ChannelPool with bandwidth accounting.

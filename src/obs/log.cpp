@@ -1,0 +1,226 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <utility>
+
+#include "obs/export.hpp"  // appendJsonEscaped
+#include "obs/recorder.hpp"
+
+namespace dsud::obs {
+
+EventField field(std::string key, std::uint64_t value) {
+  EventField f;
+  f.key = std::move(key);
+  f.kind = EventField::Kind::kUint;
+  f.u = value;
+  return f;
+}
+
+EventField field(std::string key, std::int64_t value) {
+  EventField f;
+  f.key = std::move(key);
+  f.kind = EventField::Kind::kInt;
+  f.i = value;
+  return f;
+}
+
+EventField field(std::string key, double value) {
+  EventField f;
+  f.key = std::move(key);
+  f.kind = EventField::Kind::kDouble;
+  f.d = value;
+  return f;
+}
+
+EventField field(std::string key, bool value) {
+  EventField f;
+  f.key = std::move(key);
+  f.kind = EventField::Kind::kBool;
+  f.b = value;
+  return f;
+}
+
+EventField field(std::string key, std::string value) {
+  EventField f;
+  f.key = std::move(key);
+  f.kind = EventField::Kind::kString;
+  f.s = std::move(value);
+  return f;
+}
+
+EventField field(std::string key, std::string_view value) {
+  return field(std::move(key), std::string(value));
+}
+
+EventField field(std::string key, const char* value) {
+  return field(std::move(key), std::string(value));
+}
+
+std::uint64_t wallClockNs() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+const char* levelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+namespace {
+
+void appendField(std::string& out, const EventField& f) {
+  out.push_back('"');
+  appendJsonEscaped(out, f.key);
+  out += "\":";
+  char buffer[32];
+  switch (f.kind) {
+    case EventField::Kind::kUint:
+      std::snprintf(buffer, sizeof buffer, "%llu",
+                    static_cast<unsigned long long>(f.u));
+      out += buffer;
+      break;
+    case EventField::Kind::kInt:
+      std::snprintf(buffer, sizeof buffer, "%lld",
+                    static_cast<long long>(f.i));
+      out += buffer;
+      break;
+    case EventField::Kind::kDouble: {
+      // %.17g round-trips any double; NaN/Inf are not valid JSON, so encode
+      // them as null rather than emit a line no parser accepts.
+      if (f.d != f.d || f.d > 1.7976931348623157e308 ||
+          f.d < -1.7976931348623157e308) {
+        out += "null";
+      } else {
+        std::snprintf(buffer, sizeof buffer, "%.17g", f.d);
+        out += buffer;
+      }
+      break;
+    }
+    case EventField::Kind::kBool:
+      out += f.b ? "true" : "false";
+      break;
+    case EventField::Kind::kString:
+      out.push_back('"');
+      appendJsonEscaped(out, f.s);
+      out.push_back('"');
+      break;
+  }
+}
+
+}  // namespace
+
+std::string eventToNdjson(const Event& event) {
+  std::string out;
+  out.reserve(96 + event.fields.size() * 24);
+  out += "{\"ts_ns\":";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(event.wallNs));
+  out += buffer;
+  out += ",\"level\":\"";
+  out += levelName(event.level);
+  out += "\",\"component\":\"";
+  appendJsonEscaped(out, event.component);
+  out += "\",\"event\":\"";
+  appendJsonEscaped(out, event.name);
+  out.push_back('"');
+  for (const EventField& f : event.fields) {
+    out.push_back(',');
+    appendField(out, f);
+  }
+  out.push_back('}');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FileSink
+
+FileSink::FileSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "a");
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::accept(const Event& event) {
+  if (file_ == nullptr) return;
+  const std::string line = eventToNdjson(event);
+  std::lock_guard lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+// ---------------------------------------------------------------------------
+// EventLog
+
+void EventLog::addSink(std::shared_ptr<EventSink> sink) {
+  if (sink == nullptr) return;
+  std::lock_guard lock(mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+void EventLog::removeSink(const EventSink* sink) {
+  std::lock_guard lock(mutex_);
+  for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+    if (it->get() == sink) {
+      sinks_.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t EventLog::sinkCount() const {
+  std::lock_guard lock(mutex_);
+  return sinks_.size();
+}
+
+void EventLog::emit(Event event) {
+  if (!enabled(event.level)) return;
+  if (event.wallNs == 0) event.wallNs = wallClockNs();
+  // Snapshot the sink list so accept() runs outside the mutex: a slow file
+  // sink must not serialise concurrent emitters against addSink/removeSink.
+  std::vector<std::shared_ptr<EventSink>> sinks;
+  {
+    std::lock_guard lock(mutex_);
+    sinks = sinks_;
+  }
+  for (const auto& sink : sinks) sink->accept(event);
+}
+
+void EventLog::emit(LogLevel level, std::string_view component,
+                    std::string_view name,
+                    std::initializer_list<EventField> fields) {
+  if (!enabled(level)) return;
+  Event event;
+  event.level = level;
+  event.component = std::string(component);
+  event.name = std::string(name);
+  event.fields.assign(fields.begin(), fields.end());
+  emit(std::move(event));
+}
+
+EventLog& eventLog() {
+  // The global log ships with the global flight recorder attached: the
+  // recorder is default-on, and anything emitted anywhere is dump-able on
+  // anomaly.  The shared_ptr aliases the function-local singleton (no-op
+  // deleter) — both live until process exit.
+  static EventLog* log = [] {
+    auto* l = new EventLog();
+    l->addSink(std::shared_ptr<EventSink>(&flightRecorder(),
+                                          [](EventSink*) {}));
+    return l;
+  }();
+  return *log;
+}
+
+}  // namespace dsud::obs

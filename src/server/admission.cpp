@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/log.hpp"
+
 namespace dsud::server {
 
 namespace {
@@ -70,13 +72,17 @@ bool AdmissionController::takeToken(const std::string& tenant, double now,
   return false;
 }
 
-void AdmissionController::recordShed(const char* reason) {
+void AdmissionController::recordShed(const char* reason,
+                                     const std::string& tenant) {
   ++shedTotal_;
   if (metrics_ != nullptr) {
     metrics_
         ->counter(obs::labeled("dsud_server_shed_total", {{"reason", reason}}))
         .inc();
   }
+  obs::eventLog().emit(LogLevel::kWarn, "admission", "admission.shed",
+                       {obs::field("reason", reason),
+                        obs::field("tenant", tenant)});
 }
 
 AdmissionController::Outcome AdmissionController::submit(
@@ -87,7 +93,7 @@ AdmissionController::Outcome AdmissionController::submit(
 
     std::uint32_t retryAfterMs = 0;
     if (!takeToken(tenant, clock_(), &retryAfterMs)) {
-      recordShed("tenant_quota");
+      recordShed("tenant_quota", tenant);
       if (shed != nullptr) {
         *shed = Shed{ErrorCode::kOverloaded, "tenant_quota", retryAfterMs};
       }
@@ -96,7 +102,7 @@ AdmissionController::Outcome AdmissionController::submit(
 
     if (breakerProbe_ && config_.breakerShedFraction <= 1.0 &&
         breakerProbe_() >= config_.breakerShedFraction) {
-      recordShed("cluster_degraded");
+      recordShed("cluster_degraded", tenant);
       if (shed != nullptr) {
         *shed = Shed{ErrorCode::kUnavailable, "cluster_degraded",
                      config_.retryAfterMs};
@@ -134,7 +140,7 @@ AdmissionController::Outcome AdmissionController::submit(
         }
         return Outcome::kQueue;
       }
-      recordShed("capacity");
+      recordShed("capacity", tenant);
       if (shed != nullptr) {
         *shed =
             Shed{ErrorCode::kOverloaded, "capacity", config_.retryAfterMs};

@@ -122,7 +122,7 @@ class AdmissionController {
   bool takeToken(const std::string& tenant, double now,
                  std::uint32_t* retryAfterMs);
   const TenantQuota& quotaFor(const std::string& tenant) const;
-  void recordShed(const char* reason);
+  void recordShed(const char* reason, const std::string& tenant);
 
   AdmissionConfig config_;
   Clock clock_;

@@ -85,15 +85,6 @@ Algo algoFromName(const std::string& name) {
   bad("unknown algo '" + name + "' (expected edsud|dsud|naive)");
 }
 
-const char* algoName(Algo algo) noexcept {
-  switch (algo) {
-    case Algo::kNaive: return "naive";
-    case Algo::kDsud: return "dsud";
-    case Algo::kEdsud: return "edsud";
-  }
-  return "edsud";
-}
-
 Priority priorityFromJson(const Json& obj) {
   const Json* v = obj.find("priority");
   if (v == nullptr) return Priority::kNormal;
@@ -207,6 +198,74 @@ PartitionDesc partitionFromJson(const Json& v) {
     partition.hosts.push_back(static_cast<SiteId>(host.asNumber()));
   }
   return partition;
+}
+
+Json profileToJson(const QueryProfile& profile) {
+  Json phases = Json::object();
+  phases.set("prepare_s", profile.prepareSeconds);
+  phases.set("execute_s", profile.executeSeconds);
+  phases.set("finalize_s", profile.finalizeSeconds);
+  Json sites = Json::array();
+  for (const SiteProfile& s : profile.sites) {
+    Json site = Json::object();
+    site.set("site", static_cast<std::uint64_t>(s.site));
+    site.set("rounds", s.rounds);
+    site.set("tuples", s.tuples);
+    site.set("bytes", s.bytes);
+    site.set("candidates", s.candidates);
+    site.set("pruned", s.pruned);
+    site.set("retries", s.retries);
+    site.set("failovers", s.failovers);
+    site.set("dead", s.dead);
+    sites.push(std::move(site));
+  }
+  Json out = Json::object();
+  out.set("algo", profile.algo);
+  out.set("cache", profile.cache);
+  out.set("batch", profile.batch);
+  out.set("batch_width", profile.batchWidth);
+  out.set("failovers", profile.failovers);
+  out.set("phases", std::move(phases));
+  out.set("sites", std::move(sites));
+  return out;
+}
+
+QueryProfile profileFromJson(const Json& v) {
+  if (!v.isObject()) bad("'profile' must be an object");
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  constexpr double kMaxD = std::numeric_limits<double>::max();
+  QueryProfile profile;
+  profile.algo = getString(v, "algo", "", 16);
+  profile.cache = getString(v, "cache", "bypass", 16);
+  profile.batch = getString(v, "batch", "solo", 16);
+  profile.batchWidth = getUint(v, "batch_width", 1, kMax);
+  profile.failovers = getUint(v, "failovers", 0, kMax);
+  if (const Json* phases = v.find("phases"); phases != nullptr) {
+    if (!phases->isObject()) bad("'profile.phases' must be an object");
+    profile.prepareSeconds = getNumber(*phases, "prepare_s", 0.0, 0.0, kMaxD);
+    profile.executeSeconds = getNumber(*phases, "execute_s", 0.0, 0.0, kMaxD);
+    profile.finalizeSeconds =
+        getNumber(*phases, "finalize_s", 0.0, 0.0, kMaxD);
+  }
+  if (const Json* sites = v.find("sites"); sites != nullptr) {
+    if (!sites->isArray()) bad("'profile.sites' must be an array");
+    for (const Json& s : sites->asArray()) {
+      if (!s.isObject()) bad("'profile.sites' must hold objects");
+      SiteProfile site;
+      site.site = static_cast<SiteId>(
+          getUint(s, "site", 0, std::numeric_limits<SiteId>::max()));
+      site.rounds = getUint(s, "rounds", 0, kMax);
+      site.tuples = getUint(s, "tuples", 0, kMax);
+      site.bytes = getUint(s, "bytes", 0, kMax);
+      site.candidates = getUint(s, "candidates", 0, kMax);
+      site.pruned = getUint(s, "pruned", 0, kMax);
+      site.retries = getUint(s, "retries", 0, kMax);
+      site.failovers = getUint(s, "failovers", 0, kMax);
+      site.dead = getBool(s, "dead", false);
+      profile.sites.push_back(std::move(site));
+    }
+  }
+  return profile;
 }
 
 Json parseLine(std::string_view line) {
@@ -323,6 +382,7 @@ Request decodeRequest(std::string_view line) {
     r.limit = getUint(doc, "limit", 0, std::numeric_limits<std::uint32_t>::max());
     r.traceCapacity = static_cast<std::uint32_t>(
         getUint(doc, "trace_capacity", 0, 1u << 24));
+    r.profile = getBool(doc, "profile", false);
     return r;
   }
   throw ProtoError(ErrorCode::kUnknownOp, "unknown op '" + name + "'");
@@ -353,6 +413,7 @@ std::string encodeRequest(const QueryRequest& request) {
   if (request.traceCapacity != 0) {
     doc.set("trace_capacity", request.traceCapacity);
   }
+  if (request.profile) doc.set("profile", true);
   return doc.dump();
 }
 
@@ -439,6 +500,9 @@ Response decodeResponse(std::string_view line) {
           static_cast<std::size_t>(getUint(*stats, "pruned_at_sites", 0, kMax));
       r.stats.seconds = getNumber(*stats, "seconds", 0.0, 0.0,
                                   std::numeric_limits<double>::max());
+    }
+    if (const Json* profile = doc.find("profile"); profile != nullptr) {
+      r.profile = profileFromJson(*profile);
     }
     return r;
   }
@@ -532,6 +596,7 @@ std::string encodeResponse(const DoneResponse& response) {
   stats.set("pruned_at_sites", response.stats.prunedAtSites);
   stats.set("seconds", response.stats.seconds);
   doc.set("stats", std::move(stats));
+  if (response.profile) doc.set("profile", profileToJson(*response.profile));
   return doc.dump();
 }
 

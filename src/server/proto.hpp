@@ -85,6 +85,10 @@ struct QueryRequest {
   bool progressive = true;       ///< stream `answer` lines as answers emit
   std::uint64_t limit = 0;       ///< cap streamed answers (0 = unlimited)
   std::uint32_t traceCapacity = 0;  ///< > 0 records a protocol timeline
+  /// Attach the EXPLAIN/ANALYZE profile block to the `done` response.  The
+  /// profile is collected either way; this only controls the wire — answers
+  /// are bit-identical with it on or off.
+  bool profile = false;
 
   friend bool operator==(const QueryRequest&, const QueryRequest&) = default;
 };
@@ -167,6 +171,9 @@ struct DoneResponse {
   bool degraded = false;
   std::vector<SiteId> excluded;
   QueryStats stats;
+  /// EXPLAIN/ANALYZE block, present only when the request set `profile`
+  /// (see docs/PROTOCOL.md "Profile block").
+  std::optional<QueryProfile> profile;
   friend bool operator==(const DoneResponse&, const DoneResponse&) = default;
 };
 

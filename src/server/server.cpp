@@ -11,6 +11,8 @@
 
 #include "core/health.hpp"
 #include "obs/export.hpp"
+#include "obs/log.hpp"
+#include "obs/recorder.hpp"
 
 namespace dsud::server {
 
@@ -410,6 +412,7 @@ void QueryServer::runQuery(QueryJob job) {
   }
 
   const QueryId id = engine_.coordinator().nextQueryId();
+  debugBegin(id, job.request);
   {
     AckResponse ack;
     ack.id = requestId;
@@ -474,17 +477,24 @@ void QueryServer::runQuery(QueryJob job) {
     done.degraded = result.degraded;
     done.excluded = result.excludedSites;
     done.stats = result.stats;
+    // The profile is always collected; the flag only gates the wire block,
+    // so answers stay bit-identical with profiling on or off.
+    if (job.request.profile) done.profile = result.profile;
     terminal = encodeResponse(done);
+    debugFinish(id, "done", &result);
   } catch (const QueryCancelled&) {
     terminal = encodeResponse(ErrorResponse{
         requestId, ErrorCode::kCancelled, "query cancelled", 0});
+    debugFinish(id, "cancelled", nullptr);
   } catch (const NetError& error) {
     // Site unreachable / transport failure: the cluster, not the request.
     terminal = encodeResponse(ErrorResponse{
         requestId, ErrorCode::kUnavailable, error.what(), 0});
+    debugFinish(id, "error", nullptr);
   } catch (const std::exception& error) {
     terminal = encodeResponse(ErrorResponse{
         requestId, ErrorCode::kInternal, error.what(), 0});
+    debugFinish(id, "error", nullptr);
   }
 
   // Free the admission slot before the terminal line goes out: by the time
@@ -593,7 +603,152 @@ std::string QueryServer::httpRespond(std::string_view method,
     }
     return makeHttpResponse(200, "OK", "text/plain", "ok\n");
   }
+  if (path == "/debug/queries") {
+    return makeHttpResponse(200, "OK", "application/json",
+                            debugQueriesJson() + "\n");
+  }
+  if (path == "/debug/topology") {
+    return makeHttpResponse(200, "OK", "application/json",
+                            debugTopologyJson() + "\n");
+  }
+  if (path == "/debug/cache") {
+    return makeHttpResponse(200, "OK", "application/json",
+                            debugCacheJson() + "\n");
+  }
+  if (path == "/debug/recorder") {
+    return makeHttpResponse(200, "OK", "application/json",
+                            debugRecorderJson() + "\n");
+  }
   return makeHttpResponse(404, "Not Found", "text/plain", "not found\n");
+}
+
+// ---------------------------------------------------------------------------
+// /debug introspection
+
+void QueryServer::debugBegin(QueryId id, const QueryRequest& request) {
+  QueryDebugRow row;
+  row.query = id;
+  row.requestId = request.id;
+  row.tenant = request.tenant;
+  row.algo = request.k > 0 ? "topk" : algoName(request.algo);
+  row.startNs = obs::wallClockNs();
+  std::lock_guard lock(debugMutex_);
+  runningQueries_.emplace(id, std::move(row));
+}
+
+void QueryServer::debugFinish(QueryId id, const char* state,
+                              const QueryResult* result) {
+  std::lock_guard lock(debugMutex_);
+  const auto it = runningQueries_.find(id);
+  if (it == runningQueries_.end()) return;
+  QueryDebugRow row = std::move(it->second);
+  runningQueries_.erase(it);
+  row.state = state;
+  if (result != nullptr) {
+    row.answers = result->skyline.size();
+    row.seconds = result->stats.seconds;
+    row.degraded = result->degraded;
+    row.cache = result->profile.cache;
+    row.batch = result->profile.batch;
+    row.failovers = result->profile.failovers;
+  } else {
+    row.seconds =
+        static_cast<double>(obs::wallClockNs() - row.startNs) / 1e9;
+  }
+  recentQueries_.push_front(std::move(row));
+  while (recentQueries_.size() > kRecentQueries) recentQueries_.pop_back();
+}
+
+std::string QueryServer::debugQueriesJson() {
+  const std::uint64_t nowNs = obs::wallClockNs();
+  const auto debugRowToJson = [nowNs](const QueryDebugRow& row) {
+    Json entry = Json::object();
+    entry.set("query", row.query);
+    entry.set("id", row.requestId);
+    entry.set("tenant", row.tenant);
+    entry.set("algo", row.algo);
+    entry.set("state", row.state);
+    entry.set("answers", row.answers);
+    const bool running = row.state == "running";
+    entry.set("seconds",
+              running && nowNs > row.startNs
+                  ? static_cast<double>(nowNs - row.startNs) / 1e9
+                  : row.seconds);
+    entry.set("degraded", row.degraded);
+    if (!row.cache.empty()) entry.set("cache", row.cache);
+    if (!row.batch.empty()) entry.set("batch", row.batch);
+    entry.set("failovers", row.failovers);
+    return entry;
+  };
+  Json doc = Json::object();
+  Json running = Json::array();
+  Json recent = Json::array();
+  {
+    std::lock_guard lock(debugMutex_);
+    for (const auto& [id, row] : runningQueries_) {
+      running.push(debugRowToJson(row));
+    }
+    for (const QueryDebugRow& row : recentQueries_) {
+      recent.push(debugRowToJson(row));
+    }
+  }
+  doc.set("running", std::move(running));
+  doc.set("recent", std::move(recent));
+  return doc.dump();
+}
+
+std::string QueryServer::debugTopologyJson() {
+  const auto view = engine_.coordinator().view();
+  Json doc = Json::object();
+  doc.set("epoch", view->epoch);
+  Json partitions = Json::array();
+  std::size_t open = 0;
+  for (const ReplicaChain& chain : view->partitions) {
+    Json entry = Json::object();
+    entry.set("partition", chain.partition);
+    entry.set("replicas", chain.replicas.size());
+    const SiteHealth::State state = chain.health[0]->state();
+    const char* name = state == SiteHealth::State::kOpen       ? "open"
+                       : state == SiteHealth::State::kHalfOpen ? "half_open"
+                                                               : "closed";
+    entry.set("breaker", name);
+    if (state == SiteHealth::State::kOpen) ++open;
+    partitions.push(std::move(entry));
+  }
+  doc.set("partitions", std::move(partitions));
+  doc.set("breakers_open", open);
+  return doc.dump();
+}
+
+std::string QueryServer::debugCacheJson() {
+  Json doc = Json::object();
+  doc.set("enabled", cache_ != nullptr);
+  doc.set("capacity", cache_ != nullptr ? cache_->capacity() : 0);
+  doc.set("size", cache_ != nullptr ? cache_->size() : 0);
+  doc.set("hits", metrics_.counter("dsud_cache_hits_total").value());
+  doc.set("misses", metrics_.counter("dsud_cache_misses_total").value());
+  doc.set("batch_flushes",
+          metrics_.counter("dsud_batch_flushes_total").value());
+  doc.set("batch_merged", metrics_.counter("dsud_batch_merged_total").value());
+  return doc.dump();
+}
+
+std::string QueryServer::debugRecorderJson() {
+  const obs::FlightRecorder& recorder = obs::flightRecorder();
+  Json doc = Json::object();
+  doc.set("capacity", recorder.capacity());
+  doc.set("recorded", recorder.recorded());
+  doc.set("dumps", recorder.dumps());
+  doc.set("window_s", recorder.windowSeconds());
+  doc.set("dump_dir", recorder.dumpDir());
+  Json events = Json::array();
+  for (const obs::Event& event : recorder.snapshot()) {
+    // Each retained event re-parsed from its own NDJSON rendering: the
+    // /debug surface serves one well-formed JSON document, not raw lines.
+    events.push(Json::parse(obs::eventToNdjson(event)));
+  }
+  doc.set("events", std::move(events));
+  return doc.dump();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,8 @@
 // dsudd's core: a persistent query-serving daemon over one QueryEngine.
 //
 // One event-loop thread owns two listening sockets (the NDJSON query port
-// and the HTTP port for /metrics + /healthz) and every accepted connection;
+// and the HTTP port for /metrics, /healthz, and the /debug/* introspection
+// endpoints) and every accepted connection;
 // a fixed worker pool executes admitted queries as ordinary QueryEngine
 // sessions.  The two worlds meet only through EventLoop::post — workers
 // never touch sockets, the loop thread never blocks on a query:
@@ -25,9 +26,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/query_engine.hpp"
@@ -43,7 +46,7 @@ namespace dsud::server {
 
 struct ServerConfig {
   std::uint16_t port = 0;      ///< query port (0 = pick a free one)
-  std::uint16_t httpPort = 0;  ///< /metrics + /healthz port (0 = pick)
+  std::uint16_t httpPort = 0;  ///< /metrics, /healthz, /debug/* (0 = pick)
   std::size_t workers = 4;     ///< query-executing worker threads
   AdmissionConfig admission;
   double drainSeconds = 5.0;  ///< requestDrain(): grace before cancelling
@@ -145,6 +148,35 @@ class QueryServer {
   std::string httpRespond(std::string_view method, std::string_view path);
   void countRequest(const char* op);
 
+  // --- /debug introspection --------------------------------------------------
+
+  /// One row of /debug/queries: in-flight and recently finished queries.
+  /// Workers write rows (debugBegin / debugFinish), the loop thread renders
+  /// them; both sides serialise on debugMutex_.
+  struct QueryDebugRow {
+    QueryId query = kNoQuery;
+    std::string requestId;
+    std::string tenant;
+    std::string algo;
+    std::string state = "running";  ///< running | done | error | cancelled
+    std::uint64_t answers = 0;
+    double seconds = 0.0;
+    bool degraded = false;
+    std::string cache;  ///< profile disposition, set once finished
+    std::string batch;
+    std::uint64_t failovers = 0;
+    std::uint64_t startNs = 0;  ///< wall clock; ages running queries
+  };
+
+  void debugBegin(QueryId id, const QueryRequest& request);  ///< worker
+  void debugFinish(QueryId id, const char* state,
+                   const QueryResult* result);  ///< worker
+
+  std::string debugQueriesJson();
+  std::string debugTopologyJson();
+  std::string debugCacheJson();
+  std::string debugRecorderJson();
+
   void beginDrain();       ///< loop thread
   void checkDrainDone();   ///< loop thread
   double breakerOpenFraction();
@@ -174,6 +206,13 @@ class QueryServer {
 
   std::atomic<bool> draining_{false};
   bool drainTimersArmed_ = false;
+
+  /// /debug/queries state: running rows keyed by engine id plus a bounded
+  /// ring of finished rows, newest first.
+  static constexpr std::size_t kRecentQueries = 64;
+  mutable std::mutex debugMutex_;
+  std::map<QueryId, QueryDebugRow> runningQueries_;
+  std::deque<QueryDebugRow> recentQueries_;
 
   obs::Gauge* connectionsGauge_ = nullptr;
   obs::Gauge* inflightGauges_[4] = {nullptr, nullptr, nullptr, nullptr};

@@ -282,6 +282,63 @@ TEST(ProtoResponseTest, DoneRoundTrip) {
   EXPECT_EQ(std::get<DoneResponse>(decoded), r);
 }
 
+TEST(ProtoResponseTest, DoneWithProfileRoundTrip) {
+  DoneResponse r;
+  r.id = "q9";
+  r.answers = 12;
+  r.stats.tuplesShipped = 40;
+  r.stats.seconds = 0.01;
+
+  QueryProfile profile;
+  profile.algo = "edsud";
+  profile.cache = "miss";
+  profile.batch = "leader";
+  profile.batchWidth = 3;
+  profile.failovers = 1;
+  profile.prepareSeconds = 0.001;
+  profile.executeSeconds = 0.025;
+  profile.finalizeSeconds = 0.0005;
+  SiteProfile alive;
+  alive.site = 0;
+  alive.rounds = 4;
+  alive.tuples = 25;
+  alive.bytes = 1200;
+  alive.candidates = 30;
+  alive.pruned = 970;
+  SiteProfile fallen;
+  fallen.site = 1;
+  fallen.rounds = 1;
+  fallen.tuples = 15;
+  fallen.bytes = 720;
+  fallen.retries = 2;
+  fallen.failovers = 1;
+  fallen.dead = true;
+  profile.sites = {alive, fallen};
+  r.profile = profile;
+
+  const Response decoded = decodeResponse(encodeResponse(r));
+  ASSERT_TRUE(std::holds_alternative<DoneResponse>(decoded));
+  EXPECT_EQ(std::get<DoneResponse>(decoded), r);
+
+  // Without the block, the option stays disengaged after a round-trip —
+  // profiles never materialise out of thin air on the client side.
+  DoneResponse bare;
+  bare.id = "q10";
+  const Response plain = decodeResponse(encodeResponse(bare));
+  ASSERT_TRUE(std::holds_alternative<DoneResponse>(plain));
+  EXPECT_FALSE(std::get<DoneResponse>(plain).profile.has_value());
+}
+
+TEST(ProtoRequestTest, ProfileFlagRoundTrip) {
+  QueryRequest r;
+  r.id = "explain";
+  r.profile = true;
+  const Request decoded = decodeRequest(encodeRequest(r));
+  ASSERT_TRUE(std::holds_alternative<QueryRequest>(decoded));
+  EXPECT_TRUE(std::get<QueryRequest>(decoded).profile);
+  EXPECT_EQ(std::get<QueryRequest>(decoded), r);
+}
+
 TEST(ProtoResponseTest, ErrorRoundTripEveryCode) {
   for (const ErrorCode code :
        {ErrorCode::kBadRequest, ErrorCode::kUnknownOp, ErrorCode::kOversized,

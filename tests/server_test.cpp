@@ -21,6 +21,7 @@
 #include "gen/synthetic.hpp"
 #include "net/wire.hpp"
 #include "prom_util.hpp"
+#include "server/json.hpp"
 #include "server/server.hpp"
 
 namespace dsud::server {
@@ -759,6 +760,171 @@ TEST(ServerTest, QueriesKeepCompletingDuringWireTriggeredRebalance) {
   const Response response = adminClient.read();
   ASSERT_TRUE(std::holds_alternative<AdminResponse>(response));
   EXPECT_EQ(std::get<AdminResponse>(response).epoch, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Live /debug introspection
+
+TEST(ServerTest, DebugEndpointsServeWellFormedJson) {
+  ServerFixture fx({}, 500);
+  const std::uint16_t http = fx.server().httpPort();
+
+  // Run one query first so /debug/queries has a finished row and the
+  // recorder has retained its lifecycle events.
+  Client client(fx.server().port());
+  client.send(R"({"op":"query","id":"dbg1","algo":"edsud","q":0.3})");
+  const QueryOutcome out = collect(client, "dbg1");
+  ASSERT_FALSE(out.failed) << out.error.message;
+
+  const auto [qStatus, qBody] =
+      httpGet(http, "GET /debug/queries HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(qStatus.find("200"), std::string::npos);
+  const Json queries = Json::parse(qBody);
+  ASSERT_TRUE(queries.isObject());
+  ASSERT_NE(queries.find("running"), nullptr);
+  ASSERT_NE(queries.find("recent"), nullptr);
+  ASSERT_TRUE(queries.find("recent")->isArray());
+  const auto& recent = queries.find("recent")->asArray();
+  ASSERT_FALSE(recent.empty());
+  // Newest first; the row is the query we just ran, fully disposed.
+  const Json& row = recent.front();
+  ASSERT_TRUE(row.isObject());
+  EXPECT_EQ(row.find("id")->asString(), "dbg1");
+  EXPECT_EQ(row.find("state")->asString(), "done");
+  EXPECT_EQ(row.find("algo")->asString(), "edsud");
+  EXPECT_EQ(row.find("answers")->asNumber(),
+            static_cast<double>(out.done.answers));
+  ASSERT_NE(row.find("cache"), nullptr);
+  ASSERT_NE(row.find("batch"), nullptr);
+
+  const auto [tStatus, tBody] =
+      httpGet(http, "GET /debug/topology HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(tStatus.find("200"), std::string::npos);
+  const Json topology = Json::parse(tBody);
+  ASSERT_TRUE(topology.isObject());
+  ASSERT_NE(topology.find("epoch"), nullptr);
+  ASSERT_NE(topology.find("breakers_open"), nullptr);
+  ASSERT_TRUE(topology.find("partitions")->isArray());
+  const auto& partitions = topology.find("partitions")->asArray();
+  ASSERT_EQ(partitions.size(), 4u);
+  for (const Json& part : partitions) {
+    ASSERT_TRUE(part.isObject());
+    ASSERT_NE(part.find("partition"), nullptr);
+    ASSERT_NE(part.find("replicas"), nullptr);
+    EXPECT_EQ(part.find("breaker")->asString(), "closed");
+  }
+
+  const auto [cStatus, cBody] =
+      httpGet(http, "GET /debug/cache HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(cStatus.find("200"), std::string::npos);
+  const Json cache = Json::parse(cBody);
+  ASSERT_TRUE(cache.isObject());
+  // The fixture runs with sharing off, and the page says so.
+  EXPECT_FALSE(cache.find("enabled")->asBool());
+  ASSERT_NE(cache.find("capacity"), nullptr);
+  ASSERT_NE(cache.find("size"), nullptr);
+  ASSERT_NE(cache.find("hits"), nullptr);
+  ASSERT_NE(cache.find("misses"), nullptr);
+
+  const auto [rStatus, rBody] =
+      httpGet(http, "GET /debug/recorder HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(rStatus.find("200"), std::string::npos);
+  const Json recorder = Json::parse(rBody);
+  ASSERT_TRUE(recorder.isObject());
+  EXPECT_GT(recorder.find("capacity")->asNumber(), 0.0);
+  EXPECT_GT(recorder.find("recorded")->asNumber(), 0.0);
+  ASSERT_NE(recorder.find("dumps"), nullptr);
+  ASSERT_TRUE(recorder.find("events")->isArray());
+  // The query's lifecycle passed through the ring: at least one retained
+  // event carries the reserved keys.
+  bool sawQueryDone = false;
+  for (const Json& event : recorder.find("events")->asArray()) {
+    ASSERT_TRUE(event.isObject());
+    ASSERT_NE(event.find("ts_ns"), nullptr);
+    ASSERT_NE(event.find("level"), nullptr);
+    ASSERT_NE(event.find("component"), nullptr);
+    ASSERT_NE(event.find("event"), nullptr);
+    if (event.find("event")->asString() == "query.done") sawQueryDone = true;
+  }
+  EXPECT_TRUE(sawQueryDone);
+
+  // Unknown /debug paths are a plain 404, not a crash.
+  const auto [nfStatus, nfBody] =
+      httpGet(http, "GET /debug/nope HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(nfStatus.find("404"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-query EXPLAIN profiles over the wire
+
+TEST(ServerTest, ProfileOnAnswerIsBitIdenticalAndCompleteForAllAlgos) {
+  ServerFixture fx({}, 1500);
+  Client client(fx.server().port());
+
+  struct AlgoCase {
+    std::string request;   // fields after the id, before the closing brace
+    std::string expected;  // profile.algo on the wire
+  };
+  const std::vector<AlgoCase> cases = {
+      {R"("algo":"naive","q":0.3)", "naive"},
+      {R"("algo":"dsud","q":0.3)", "dsud"},
+      {R"("algo":"edsud","q":0.3)", "edsud"},
+      {R"("algo":"edsud","q":0.3,"k":5)", "topk"},
+  };
+  int seq = 0;
+  for (const AlgoCase& c : cases) {
+    // The same query with and without `profile`: answers and stats must be
+    // bit-identical — profiling is observation, never perturbation.
+    const std::string plainId = "p" + std::to_string(seq++);
+    client.send(R"({"op":"query","id":")" + plainId + R"(",)" + c.request +
+                "}");
+    const QueryOutcome plain = collect(client, plainId);
+    ASSERT_FALSE(plain.failed) << plain.error.message;
+    EXPECT_FALSE(plain.done.profile.has_value())
+        << c.expected << ": profile must be opt-in";
+
+    const std::string profId = "p" + std::to_string(seq++);
+    client.send(R"({"op":"query","id":")" + profId + R"(",)" + c.request +
+                R"(,"profile":true})");
+    const QueryOutcome profiled = collect(client, profId);
+    ASSERT_FALSE(profiled.failed) << profiled.error.message;
+
+    ASSERT_EQ(profiled.answers.size(), plain.answers.size()) << c.expected;
+    for (std::size_t i = 0; i < profiled.answers.size(); ++i) {
+      EXPECT_EQ(profiled.answers[i].entry, plain.answers[i].entry)
+          << c.expected << " answer " << i;
+    }
+    EXPECT_EQ(profiled.done.answers, plain.done.answers) << c.expected;
+    // Everything but wall-clock seconds is deterministic across the pair.
+    EXPECT_EQ(profiled.done.stats.tuplesShipped, plain.done.stats.tuplesShipped)
+        << c.expected;
+    EXPECT_EQ(profiled.done.stats.bytesShipped, plain.done.stats.bytesShipped)
+        << c.expected;
+    EXPECT_EQ(profiled.done.stats.roundTrips, plain.done.stats.roundTrips)
+        << c.expected;
+    EXPECT_EQ(profiled.done.stats.candidatesPulled,
+              plain.done.stats.candidatesPulled)
+        << c.expected;
+    EXPECT_EQ(profiled.done.stats.broadcasts, plain.done.stats.broadcasts)
+        << c.expected;
+
+    ASSERT_TRUE(profiled.done.profile.has_value()) << c.expected;
+    const QueryProfile& profile = *profiled.done.profile;
+    EXPECT_EQ(profile.algo, c.expected);
+    EXPECT_EQ(profile.cache, "bypass") << "sharing is off in this fixture";
+    EXPECT_EQ(profile.batch, "solo");
+    EXPECT_EQ(profile.failovers, 0u);
+    EXPECT_GE(profile.executeSeconds, 0.0);
+    ASSERT_EQ(profile.sites.size(), 4u) << "one row per site";
+    std::uint64_t tuples = 0;
+    for (const SiteProfile& site : profile.sites) {
+      EXPECT_FALSE(site.dead);
+      EXPECT_EQ(site.retries, 0u);
+      tuples += site.tuples;
+    }
+    // Per-site shipping decomposes the query-level total exactly.
+    EXPECT_EQ(tuples, profiled.done.stats.tuplesShipped) << c.expected;
+  }
 }
 
 }  // namespace

@@ -9,17 +9,20 @@
 //                    [--q=0.3] [--k=0] [--mask=0] [--seed=1] [--limit=20]
 //                    [--deadline-ms=0] [--retries=0]
 //                    [--on-failure=fail|degrade] [--chaos-kill=<site>]
+//                    [--profile]
 //   dsudctl query    --connect=<port> [--algo=...] [--q=...] [--k=...]
 //                    [--mask=0] [--limit=20] [--deadline-ms=0] [--retries=0]
 //                    [--on-failure=fail|degrade] [--tenant=default]
 //                    [--priority=high|normal|low] [--id=q1]
-//                    [--repeat=1] [--mix=<file>]
+//                    [--repeat=1] [--mix=<file>] [--profile]
 //   dsudctl admin    <add-site|remove-site|rebalance|topology>
 //                    --connect=<port> [--site=<id>] [--id=a1]
 //   dsudctl convert  --in=data.bin --out=data.csv
 //   dsudctl metrics  --in=data.bin [--algo=edsud|dsud|naive] [--m=10]
 //                    [--q=0.3] [--k=0] [--seed=1] [--format=prom|json]
 //                    [--trace-out=trace.json]
+//   dsudctl metrics  --connect=<http-port>
+//   dsudctl debug    <queries|topology|cache|recorder> --connect=<http-port>
 //   dsudctl trace    --in=data.bin --out=query.trace.json
 //                    [--algo=edsud|dsud|naive] [--m=6] [--q=0.3] [--seed=1]
 //                    [--transport=inproc|tcp] [--site-trace=piggyback|fetch|off]
@@ -29,7 +32,20 @@
 // `metrics` runs one query with full observability enabled and prints the
 // resulting metrics snapshot — Prometheus text exposition by default,
 // JSON with --format=json — to stdout; --trace-out additionally writes the
-// query's protocol timeline as JSON.
+// query's protocol timeline as JSON.  With --connect=<http-port> it instead
+// fetches GET /metrics from a running dsudd and prints the live exposition.
+//
+// `debug` fetches one of dsudd's live introspection endpoints — GET
+// /debug/queries (in-flight + recent queries), /debug/topology (partitions
+// and breaker states), /debug/cache (result-cache and batching counters),
+// /debug/recorder (flight-recorder status + retained events) — and prints
+// the JSON body.
+//
+// `query --profile` requests the per-query EXPLAIN/ANALYZE block and prints
+// it after the summary: phase timings, cache/batch/failover disposition,
+// and a per-site table (rounds, tuples, bytes, candidates, pruned, retries,
+// failovers, dead).  Answers are bit-identical with or without --profile —
+// the flag only controls reporting.
 //
 // `trace` runs one query with distributed tracing on — the sites record
 // their own spans, ship them to the coordinator (piggybacked on responses,
@@ -123,7 +139,8 @@ void saveAny(const Dataset& data, const std::string& path) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: dsudctl <generate|inspect|query|admin|convert|metrics|trace> "
+      "usage: dsudctl "
+      "<generate|inspect|query|admin|convert|metrics|debug|trace> "
       "[--flags]\n"
       "see the header of tools/dsudctl.cpp for details\n");
   return 1;
@@ -215,6 +232,36 @@ void printEntry(std::size_t rank, const GlobalSkylineEntry& e) {
   std::printf(")\n");
 }
 
+/// `query --profile` rendering, shared by local and connect mode.
+void printProfile(const QueryProfile& profile) {
+  std::printf("profile: algo=%s cache=%s batch=%s", profile.algo.c_str(),
+              profile.cache.c_str(), profile.batch.c_str());
+  if (profile.batchWidth > 1) {
+    std::printf("(width %llu)",
+                static_cast<unsigned long long>(profile.batchWidth));
+  }
+  std::printf(" failovers=%llu\n",
+              static_cast<unsigned long long>(profile.failovers));
+  std::printf("  phases: prepare %.2f ms, execute %.2f ms, finalize %.2f ms\n",
+              profile.prepareSeconds * 1e3, profile.executeSeconds * 1e3,
+              profile.finalizeSeconds * 1e3);
+  if (profile.sites.empty()) return;
+  std::printf(
+      "  %-6s %7s %8s %10s %7s %7s %8s %10s %5s\n", "site", "rounds",
+      "tuples", "bytes", "cands", "pruned", "retries", "failovers", "dead");
+  for (const SiteProfile& site : profile.sites) {
+    std::printf("  %-6u %7llu %8llu %10llu %7llu %7llu %8llu %10llu %5s\n",
+                site.site, static_cast<unsigned long long>(site.rounds),
+                static_cast<unsigned long long>(site.tuples),
+                static_cast<unsigned long long>(site.bytes),
+                static_cast<unsigned long long>(site.candidates),
+                static_cast<unsigned long long>(site.pruned),
+                static_cast<unsigned long long>(site.retries),
+                static_cast<unsigned long long>(site.failovers),
+                site.dead ? "yes" : "no");
+  }
+}
+
 /// Reads one '\n'-terminated line from a blocking socket.  Returns false on
 /// EOF with nothing buffered.
 bool readLine(const Socket& socket, std::string& buffer, std::string& line) {
@@ -240,6 +287,35 @@ void writeAll(const Socket& socket, const std::string& text) {
     if (n <= 0) throw NetError("connect mode: send failed");
     sent += static_cast<std::size_t>(n);
   }
+}
+
+/// One GET against dsudd's HTTP port (the /metrics + /debug surface).  The
+/// server answers every request with Connection: close, so the body is
+/// simply everything after the header block until EOF.
+std::string httpGet(std::uint16_t port, const std::string& path) {
+  const Socket socket = connectTo(port, std::chrono::milliseconds{2000});
+  writeAll(socket, "GET " + path +
+                       " HTTP/1.0\r\nHost: 127.0.0.1\r\n"
+                       "Connection: close\r\n\r\n");
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(socket.fd(), chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t split = response.find("\r\n\r\n");
+  if (response.compare(0, 5, "HTTP/") != 0 || split == std::string::npos) {
+    throw NetError("malformed HTTP response for " + path);
+  }
+  const std::size_t space = response.find(' ');
+  const int status =
+      space != std::string::npos ? std::atoi(response.c_str() + space + 1) : 0;
+  if (status != 200) {
+    throw std::runtime_error("GET " + path + " answered HTTP " +
+                             std::to_string(status));
+  }
+  return response.substr(split + 4);
 }
 
 /// `query --connect --repeat/--mix`: pipeline a whole burst of queries on
@@ -382,6 +458,7 @@ int cmdQueryConnect(const ArgParser& args) {
     return 1;
   }
   request.limit = static_cast<std::uint64_t>(args.getInt("limit", 20));
+  request.profile = args.has("profile");
 
   const auto repeat =
       static_cast<std::size_t>(std::max<std::int64_t>(args.getInt("repeat", 1), 1));
@@ -436,6 +513,7 @@ int cmdQueryConnect(const ArgParser& args) {
         std::printf("  ... %llu more (raise --limit)\n",
                     static_cast<unsigned long long>(done->answers - streamed));
       }
+      if (done->profile) printProfile(*done->profile);
       if (done->degraded) {
         std::fprintf(stderr, "warning: degraded result — excluded site(s):");
         for (const SiteId site : done->excluded) {
@@ -535,6 +613,7 @@ int cmdQuery(const ArgParser& args) {
     std::printf("  ... %zu more (raise --limit)\n",
                 result.skyline.size() - limit);
   }
+  if (args.has("profile")) printProfile(result.profile);
   if (result.degraded) {
     std::fprintf(stderr, "warning: degraded result — excluded site(s):");
     for (const SiteId site : result.excludedSites) {
@@ -625,7 +704,40 @@ int cmdAdmin(const ArgParser& args) {
   return 2;
 }
 
+/// `debug <queries|topology|cache|recorder> --connect=<http-port>`: fetch
+/// one live introspection document from a running dsudd and print it.
+int cmdDebug(const ArgParser& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "debug: usage dsudctl debug "
+                 "<queries|topology|cache|recorder> --connect=<http-port>\n");
+    return 1;
+  }
+  const std::string& what = args.positional()[1];
+  if (what != "queries" && what != "topology" && what != "cache" &&
+      what != "recorder") {
+    std::fprintf(stderr, "debug: unknown endpoint '%s'\n", what.c_str());
+    return 1;
+  }
+  if (!args.has("connect")) {
+    std::fprintf(stderr, "debug: --connect=<http-port> is required\n");
+    return 1;
+  }
+  const auto port = static_cast<std::uint16_t>(args.getInt("connect", 0));
+  const std::string body = httpGet(port, "/debug/" + what);
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  return 0;
+}
+
 int cmdMetrics(const ArgParser& args) {
+  if (args.has("connect")) {
+    // Live mode: scrape the daemon's own registry instead of running a
+    // local query — same exposition Prometheus sees.
+    const auto port = static_cast<std::uint16_t>(args.getInt("connect", 0));
+    const std::string body = httpGet(port, "/metrics");
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return 0;
+  }
   const std::string in = args.get("in", "");
   if (in.empty()) {
     std::fprintf(stderr, "metrics: --in=<path> is required\n");
@@ -826,6 +938,7 @@ int main(int argc, char** argv) {
     if (command == "admin") return cmdAdmin(args);
     if (command == "convert") return cmdConvert(args);
     if (command == "metrics") return cmdMetrics(args);
+    if (command == "debug") return cmdDebug(args);
     if (command == "trace") return cmdTrace(args);
     return usage();
   } catch (const std::exception& e) {

@@ -7,6 +7,10 @@
 //         [--rate=0] [--burst=32] [--breaker-shed=0.5]
 //         [--drain-ms=5000] [--port-file=<path>]
 //         [--cache-capacity=256] [--batch-window-ms=0]
+//         [--log-file=<path>] [--log-level=debug|info|warn|error]
+//         [--recorder-capacity=8192] [--recorder-dir=<dir>]
+//         [--recorder-window-s=30] [--chaos-kill-site=<id>]
+//         [--chaos-kill-after=<n>]
 //
 // Hosts one in-process cluster (loaded from --in, or synthetic when absent)
 // behind a persistent coordinator: any number of clients connect to the
@@ -37,6 +41,16 @@
 // (0, the default, keeps every query a private session).  Both layers are
 // answer-preserving: responses stay bit-identical to solo runs.
 //
+// Observability: --log-file appends every structured event (docs/
+// ARCHITECTURE.md §14) as NDJSON, --log-level sets the emission floor, and
+// the flight recorder — always on — keeps the last --recorder-capacity
+// events in memory and dumps the trailing --recorder-window-s seconds to
+// --recorder-dir on anomalies (degraded queries, failovers, fatal
+// signals).  The HTTP port additionally serves GET /debug/{queries,
+// topology,cache,recorder} as JSON.  --chaos-kill-site/--chaos-kill-after
+// wire deterministic fault injection into the cluster so the CI smoke job
+// can provoke a degraded query and assert the recorder explains it.
+//
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight
 // queries within --drain-ms, then cancel stragglers.  A second signal
 // stops immediately.  --port-file writes "<port> <http-port>\n" once both
@@ -55,6 +69,8 @@
 #include "core/cluster.hpp"
 #include "gen/nyse.hpp"
 #include "gen/synthetic.hpp"
+#include "obs/log.hpp"
+#include "obs/recorder.hpp"
 #include "server/server.hpp"
 
 namespace {
@@ -71,6 +87,16 @@ void onSignal(int) {
     const std::uint64_t one = 1;
     [[maybe_unused]] const auto n = ::write(g_wakeFd, &one, sizeof one);
   }
+}
+
+void onFatalSignal(int sig) {
+  // Last-gasp flight-recorder dump.  anomaly() allocates and writes a file,
+  // neither of which is async-signal-safe — but the process is already
+  // dying, so a torn dump beats no dump.  The handler then restores the
+  // default disposition and re-raises, preserving the crash exit status.
+  obs::flightRecorder().anomaly("fatal_signal");
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
 }
 
 bool endsWith(const std::string& s, const std::string& suffix) {
@@ -106,13 +132,62 @@ Dataset loadOrGenerate(const ArgParser& args) {
 }
 
 int run(const ArgParser& args) {
+  // Recorder sizing must land before the first event is emitted anywhere —
+  // the ring is built at first use and never resized.
+  if (const std::int64_t cap = args.getInt("recorder-capacity", 0); cap > 0) {
+    obs::configureFlightRecorder(static_cast<std::size_t>(cap));
+  }
+  obs::FlightRecorder& recorder = obs::flightRecorder();
+  if (const std::string dir = args.get("recorder-dir", ""); !dir.empty()) {
+    recorder.setDumpDir(dir);
+  }
+  if (const double windowS = args.getDouble("recorder-window-s", 0.0);
+      windowS > 0.0) {
+    recorder.setWindowSeconds(windowS);
+  }
+  const std::string levelName = args.get("log-level", "info");
+  if (levelName == "debug") {
+    obs::eventLog().setLevel(LogLevel::kDebug);
+  } else if (levelName == "info") {
+    obs::eventLog().setLevel(LogLevel::kInfo);
+  } else if (levelName == "warn") {
+    obs::eventLog().setLevel(LogLevel::kWarn);
+  } else if (levelName == "error") {
+    obs::eventLog().setLevel(LogLevel::kError);
+  } else {
+    std::fprintf(stderr, "dsudd: unknown --log-level=%s\n", levelName.c_str());
+    return 1;
+  }
+  if (const std::string logFile = args.get("log-file", ""); !logFile.empty()) {
+    auto sink = std::make_shared<obs::FileSink>(logFile);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "dsudd: cannot open --log-file=%s\n",
+                   logFile.c_str());
+      return 2;
+    }
+    obs::eventLog().addSink(std::move(sink));
+  }
+
   const Dataset data = loadOrGenerate(args);
   const auto m = static_cast<std::size_t>(args.getInt("m", 10));
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
   const auto replicas =
       static_cast<std::size_t>(args.getInt("replicas", 1));
 
-  InProcCluster cluster(Topology::uniform(data, m, seed, replicas));
+  ClusterConfig clusterConfig;
+  if (const std::int64_t killAfter = args.getInt("chaos-kill-after", 0);
+      killAfter > 0) {
+    ChaosSpec chaos;
+    chaos.killAfter = static_cast<std::uint32_t>(killAfter);
+    chaos.seed = seed;
+    if (const std::int64_t site = args.getInt("chaos-kill-site", -1);
+        site >= 0) {
+      chaos.onlySite = static_cast<SiteId>(site);
+    }
+    clusterConfig.chaos = chaos;
+  }
+  InProcCluster cluster(Topology::uniform(data, m, seed, replicas),
+                        clusterConfig);
 
   server::ServerConfig config;
   config.port = static_cast<std::uint16_t>(args.getInt("port", 7411));
@@ -164,6 +239,10 @@ int run(const ArgParser& args) {
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
   ::signal(SIGPIPE, SIG_IGN);  // peers may vanish mid-write
+  // Crashes dump the recorder window before the default disposition runs.
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    ::signal(sig, onFatalSignal);
+  }
   server.loop().setWakeHandler([&server] {
     if (g_signals >= 2) {
       server.stop();
@@ -177,7 +256,13 @@ int run(const ArgParser& args) {
                "http port %u (%zu workers, max %zu in flight)\n",
                data.size(), m, server.port(), server.httpPort(),
                config.workers, config.admission.maxInFlight);
+  obs::eventLog().emit(LogLevel::kInfo, "dsudd", "daemon.start",
+                       {obs::field("port", server.port()),
+                        obs::field("http_port", server.httpPort()),
+                        obs::field("sites", m),
+                        obs::field("tuples", data.size())});
   server.run();
+  obs::eventLog().emit(LogLevel::kInfo, "dsudd", "daemon.stop", {});
   std::fprintf(stderr, "dsudd: shut down cleanly\n");
   return 0;
 }
